@@ -1,0 +1,91 @@
+// Ablation bench: LEAD's inference-time candidate encoding with shared
+// phase-1 segment compression ("once forward computation", the paper's
+// §VI-B efficiency claim) vs. naive per-candidate encoding.
+//
+// Naive encoding recompresses every stay/move segment for every candidate
+// that contains it, i.e. O(n^2) phase-1 work instead of O(n); the gap
+// widens with the number of stay points.
+#include <benchmark/benchmark.h>
+
+#include "core/autoencoder.h"
+#include "sim/truck_sim.h"
+#include "sim/world.h"
+
+namespace {
+
+using namespace lead;
+
+struct Fixture {
+  std::unique_ptr<sim::World> world;
+  core::ProcessedTrajectory pt;
+  std::unique_ptr<core::HierarchicalAutoencoder> autoencoder;
+};
+
+// Builds a processed trajectory with exactly `target_stays` stay points
+// by retrying simulation.
+const Fixture& GetFixture(int target_stays) {
+  static std::map<int, Fixture>* fixtures = new std::map<int, Fixture>();
+  auto it = fixtures->find(target_stays);
+  if (it != fixtures->end()) return it->second;
+
+  Fixture f;
+  sim::WorldOptions world_options;
+  world_options.num_background_pois = 8000;
+  f.world = sim::World::Generate(world_options);
+  sim::SimOptions sim_options;
+  // Force the requested bucket.
+  for (int b = 0; b < 4; ++b) {
+    sim_options.bucket_shares[b] =
+        (target_stays >= 3 + 3 * b && target_stays <= 5 + 3 * b) ? 1.0 : 0.0;
+  }
+  const sim::TruckSimulator simulator(f.world.get(), sim_options,
+                                      traj::NoiseFilterOptions(),
+                                      traj::StayPointOptions());
+  Rng rng(71 + target_stays);
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    auto day = simulator.SimulateDay("b", "b", attempt, &rng);
+    if (!day.has_value() || day->num_stay_points != target_stays) continue;
+    auto pt = core::ProcessTrajectory(day->raw, f.world->poi_index(),
+                                      core::PipelineOptions(), nullptr);
+    LEAD_CHECK(pt.ok());
+    f.pt = std::move(pt).value();
+    break;
+  }
+  LEAD_CHECK_EQ(f.pt.num_stays(), target_stays);
+  Rng init_rng(7);
+  f.autoencoder = std::make_unique<core::HierarchicalAutoencoder>(
+      core::AutoencoderOptions(), &init_rng);
+  return fixtures->emplace(target_stays, std::move(f)).first->second;
+}
+
+void BM_EncodeAllCandidatesShared(benchmark::State& state) {
+  const Fixture& f = GetFixture(static_cast<int>(state.range(0)));
+  nn::NoGradGuard no_grad;
+  for (auto _ : state) {
+    const core::TrajectoryEncoding enc =
+        f.autoencoder->EncodeSegments(f.pt);
+    for (const traj::Candidate& c : f.pt.candidates) {
+      benchmark::DoNotOptimize(
+          f.autoencoder->EncodeCandidateFromSegments(enc, c).value().data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * f.pt.candidates.size());
+}
+BENCHMARK(BM_EncodeAllCandidatesShared)->Arg(5)->Arg(8)->Arg(11)->Arg(14);
+
+void BM_EncodeAllCandidatesNaive(benchmark::State& state) {
+  const Fixture& f = GetFixture(static_cast<int>(state.range(0)));
+  nn::NoGradGuard no_grad;
+  for (auto _ : state) {
+    for (const traj::Candidate& c : f.pt.candidates) {
+      benchmark::DoNotOptimize(
+          f.autoencoder->EncodeCandidate(f.pt, c).value().data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * f.pt.candidates.size());
+}
+BENCHMARK(BM_EncodeAllCandidatesNaive)->Arg(5)->Arg(8)->Arg(11)->Arg(14);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// Reproduces paper Figure 10: training KLD-loss curves of the forward and
+// backward detectors.
+//
+// The paper reports both detectors converging (forward ~epoch 12 at
+// 0.296, backward ~epoch 11 at 0.289). The reproduction target is that
+// both losses descend from a common starting region and converge to a
+// small value, demonstrating that the detectors approximate the
+// eps-smoothed label distributions.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace lead;
+
+int main() {
+  const double scale = eval::BenchScaleFromEnv();
+  eval::ExperimentConfig config = eval::DefaultConfig(scale);
+  config.lead.train.detector_epochs = 20;
+  config.lead.train.early_stopping_patience = 20;  // full-length curves
+  bench::PrintHeader("Figure 10 - KLD loss curves of the detectors", scale,
+                     config);
+
+  auto data_or = eval::BuildExperiment(config);
+  if (!data_or.ok()) {
+    std::fprintf(stderr, "experiment build failed: %s\n",
+                 data_or.status().ToString().c_str());
+    return 1;
+  }
+  const eval::ExperimentData data = std::move(data_or).value();
+
+  std::printf("training LEAD...\n");
+  core::TrainingLog log;
+  const auto model = bench::TrainLead(config.lead, data, &log);
+  (void)model;
+
+  std::printf("\n%s",
+              eval::FormatLossCurve("Forward detector train KLD",
+                                    log.forward_kld)
+                  .c_str());
+  std::printf("%s\n",
+              eval::FormatLossCurve("Forward detector val KLD",
+                                    log.forward_val_kld)
+                  .c_str());
+  std::printf("%s",
+              eval::FormatLossCurve("Backward detector train KLD",
+                                    log.backward_kld)
+                  .c_str());
+  std::printf("%s\n",
+              eval::FormatLossCurve("Backward detector val KLD",
+                                    log.backward_val_kld)
+                  .c_str());
+  std::printf(
+      "Paper Figure 10: forward detector minimized ~epoch 12 at 0.296,\n"
+      "backward ~epoch 11 at 0.289. Compare shapes: both curves must\n"
+      "descend from a common region and flatten at a small value.\n");
+  return 0;
+}

@@ -1,0 +1,163 @@
+// Microbenchmarks of the substrates (google-benchmark): noise filtering,
+// stay-point extraction, candidate generation, POI index queries, GEMM,
+// LSTM steps and the full processing pipeline. These quantify the design
+// choices DESIGN.md calls out (grid index, i-k-j GEMM order, shared
+// phase-1 encoding is covered by ablation_shared_encoding).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/pipeline.h"
+#include "nn/lstm.h"
+#include "nn/ops.h"
+#include "sim/truck_sim.h"
+#include "sim/world.h"
+#include "traj/noise_filter.h"
+#include "traj/segmentation.h"
+#include "traj/stay_point.h"
+
+namespace {
+
+using namespace lead;
+
+// Shared fixtures built once.
+const sim::World& TestWorld() {
+  static const sim::World* world = [] {
+    sim::WorldOptions options;
+    options.num_background_pois = 8000;
+    options.seed = 11;
+    return sim::World::Generate(options).release();
+  }();
+  return *world;
+}
+
+const traj::RawTrajectory& TestTrajectory() {
+  static const traj::RawTrajectory* trajectory = [] {
+    const sim::TruckSimulator simulator(&TestWorld(), sim::SimOptions(),
+                                        traj::NoiseFilterOptions(),
+                                        traj::StayPointOptions());
+    Rng rng(21);
+    auto day = simulator.SimulateDay("bench", "bench", 0, &rng);
+    LEAD_CHECK(day.has_value());
+    return new traj::RawTrajectory(day->raw);
+  }();
+  return *trajectory;
+}
+
+void BM_NoiseFilter(benchmark::State& state) {
+  const traj::RawTrajectory& raw = TestTrajectory();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(traj::FilterNoise(raw));
+  }
+  state.SetItemsProcessed(state.iterations() * raw.size());
+}
+BENCHMARK(BM_NoiseFilter);
+
+void BM_StayPointExtraction(benchmark::State& state) {
+  const traj::RawTrajectory cleaned =
+      traj::FilterNoise(TestTrajectory()).cleaned;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(traj::ExtractStayPoints(cleaned));
+  }
+  state.SetItemsProcessed(state.iterations() * cleaned.size());
+}
+BENCHMARK(BM_StayPointExtraction);
+
+void BM_CandidateGeneration(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(traj::GenerateCandidates(n));
+  }
+}
+BENCHMARK(BM_CandidateGeneration)->Arg(5)->Arg(10)->Arg(14);
+
+void BM_PoiIndexCount100m(benchmark::State& state) {
+  const poi::PoiIndex& index = TestWorld().poi_index();
+  Rng rng(31);
+  const geo::BoundingBox& b = TestWorld().bounds();
+  for (auto _ : state) {
+    const geo::LatLng center{rng.Uniform(b.min.lat, b.max.lat),
+                             rng.Uniform(b.min.lng, b.max.lng)};
+    benchmark::DoNotOptimize(index.CountByCategory(center, 100.0));
+  }
+}
+BENCHMARK(BM_PoiIndexCount100m);
+
+void BM_PoiBruteForceCount100m(benchmark::State& state) {
+  // The design-choice ablation: counting without the grid index.
+  const auto& pois = TestWorld().poi_index().pois();
+  Rng rng(31);
+  const geo::BoundingBox& b = TestWorld().bounds();
+  for (auto _ : state) {
+    const geo::LatLng center{rng.Uniform(b.min.lat, b.max.lat),
+                             rng.Uniform(b.min.lng, b.max.lng)};
+    poi::CategoryCounts counts{};
+    for (const poi::Poi& p : pois) {
+      if (geo::DistanceMeters(center, p.pos) <= 100.0) {
+        ++counts[static_cast<int>(p.category)];
+      }
+    }
+    benchmark::DoNotOptimize(counts);
+  }
+}
+BENCHMARK(BM_PoiBruteForceCount100m);
+
+void BM_Gemm(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(41);
+  const nn::Matrix a = nn::Matrix::Uniform(n, n, 1.0f, &rng);
+  const nn::Matrix b = nn::Matrix::Uniform(n, n, 1.0f, &rng);
+  nn::Matrix out(n, n);
+  for (auto _ : state) {
+    out.Fill(0.0f);
+    nn::MatMulAccumulate(a, b, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_LstmForwardSequence(benchmark::State& state) {
+  const int steps = static_cast<int>(state.range(0));
+  Rng rng(51);
+  nn::LstmCell lstm(32, 32, &rng);
+  const nn::Variable x =
+      nn::Variable::Constant(nn::Matrix::Uniform(steps, 32, 1.0f, &rng));
+  nn::NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lstm.ForwardSequence(x).value().data());
+  }
+  state.SetItemsProcessed(state.iterations() * steps);
+}
+BENCHMARK(BM_LstmForwardSequence)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_LstmTrainStep(benchmark::State& state) {
+  // Forward + backward through a 64-step sequence (training-path cost).
+  Rng rng(61);
+  nn::LstmCell lstm(32, 32, &rng);
+  const nn::Variable x =
+      nn::Variable::Constant(nn::Matrix::Uniform(64, 32, 1.0f, &rng));
+  const nn::Variable target =
+      nn::Variable::Constant(nn::Matrix::Uniform(64, 32, 1.0f, &rng));
+  for (auto _ : state) {
+    const nn::Variable loss = nn::MseLoss(lstm.ForwardSequence(x), target);
+    nn::Backward(loss);
+    lstm.ZeroGrad();
+    benchmark::DoNotOptimize(loss.value().data());
+  }
+}
+BENCHMARK(BM_LstmTrainStep);
+
+void BM_FullProcessingPipeline(benchmark::State& state) {
+  const traj::RawTrajectory& raw = TestTrajectory();
+  const core::PipelineOptions options;
+  for (auto _ : state) {
+    auto pt = core::ProcessTrajectory(raw, TestWorld().poi_index(), options,
+                                      nullptr);
+    benchmark::DoNotOptimize(pt);
+  }
+}
+BENCHMARK(BM_FullProcessingPipeline);
+
+}  // namespace
+
+BENCHMARK_MAIN();

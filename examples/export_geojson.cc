@@ -1,0 +1,83 @@
+// GeoJSON export: visualize a detection (paper Figure 1's three phases).
+//
+// Trains a small LEAD model, detects the loaded trajectory of a few test
+// days and writes one GeoJSON file per day into ./geojson_out/ — drop a
+// file into geojson.io to see the empty phases (blue), the detected
+// loaded trajectory (red), and the loading/unloading stay points.
+#include <cstdio>
+#include <filesystem>
+
+#include "core/lead.h"
+#include "eval/harness.h"
+#include "io/geojson.h"
+#include "traj/simplify.h"
+
+using namespace lead;
+
+int main() {
+  std::printf("building corpus and training LEAD...\n");
+  eval::ExperimentConfig config = eval::DefaultConfig(1.0);
+  config.dataset.num_trajectories = 90;
+  config.dataset.num_trucks = 45;
+  config.sim.sample_interval_mean_s = 240.0;
+  config.lead.train.autoencoder_epochs = 6;
+  config.lead.train.detector_epochs = 25;
+  auto data_or = eval::BuildExperiment(config);
+  if (!data_or.ok()) {
+    std::fprintf(stderr, "%s\n", data_or.status().ToString().c_str());
+    return 1;
+  }
+  const eval::ExperimentData data = std::move(data_or).value();
+  core::LeadModel model(config.lead);
+  if (const Status s = model.Train(data.TrainLabeled(), data.ValLabeled(),
+                                   data.world->poi_index(), nullptr);
+      !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  const std::string out_dir = "geojson_out";
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+
+  int written = 0;
+  for (const sim::SimulatedDay& day : data.split.test) {
+    if (written >= 5) break;
+    auto pt = model.Preprocess(day.raw, data.world->poi_index());
+    if (!pt.ok()) continue;
+    auto detection = model.DetectProcessed(*pt);
+    if (!detection.ok()) continue;
+
+    io::GeoJsonWriter writer;
+    io::AddDetection(pt->cleaned, pt->segmentation, detection->loaded,
+                     &writer);
+    // Context: POIs within 1 km of the loading stay point.
+    const geo::LatLng load_pos =
+        pt->segmentation.stays[detection->loaded.start_sp].centroid;
+    std::vector<poi::Poi> nearby;
+    for (int i : data.world->poi_index().QueryWithin(load_pos, 1000.0)) {
+      nearby.push_back(data.world->poi_index().pois()[i]);
+    }
+    io::AddPois(nearby, &writer);
+
+    const std::string path =
+        out_dir + "/" + day.raw.trajectory_id + ".geojson";
+    if (const Status s = writer.WriteToFile(path); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    const traj::TrackStats stats = traj::ComputeStats(
+        pt->cleaned.points,
+        traj::CandidateRange(pt->segmentation, detection->loaded));
+    std::printf(
+        "%-24s -> %s  (%d features; loaded leg %.1f km, %.0f min, "
+        "mean %.0f km/h, %s)\n",
+        day.raw.trajectory_id.c_str(), path.c_str(),
+        writer.feature_count(), stats.path_length_m / 1000.0,
+        stats.duration_s / 60.0, stats.mean_speed_kmh,
+        detection->loaded == day.loaded_label ? "HIT" : "MISS");
+    ++written;
+  }
+  std::printf("\nwrote %d GeoJSON files to %s/\n", written, out_dir.c_str());
+  return 0;
+}

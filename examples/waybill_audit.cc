@@ -1,0 +1,127 @@
+// Waybill audit: the paper's motivating application (§I).
+//
+// Drivers file waybills manually after the trip; the collected records
+// suffer preset default times (8:00/17:00) and coarse or mistyped
+// addresses. This example auto-generates waybills from LEAD detections
+// (the origin/destination stay points of the detected loaded trajectory)
+// and audits the driver-filled ones against them, flagging records whose
+// reported time or location deviates beyond tolerance.
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/lead.h"
+#include "eval/harness.h"
+
+using namespace lead;
+
+namespace {
+
+struct AutoWaybill {
+  int64_t load_t = 0;
+  int64_t unload_t = 0;
+  geo::LatLng load_pos;
+  geo::LatLng unload_pos;
+};
+
+// Derives a waybill from the detected loaded trajectory: the arrival time
+// and centroid of its loading/unloading stay points.
+AutoWaybill GenerateWaybill(const core::ProcessedTrajectory& pt,
+                            const traj::Candidate& loaded) {
+  const traj::StayPoint& load = pt.segmentation.stays[loaded.start_sp];
+  const traj::StayPoint& unload = pt.segmentation.stays[loaded.end_sp];
+  return AutoWaybill{load.arrival_t, unload.arrival_t, load.centroid,
+                     unload.centroid};
+}
+
+const char* Hhmm(int64_t t, char* buffer) {
+  const int64_t seconds_of_day = t % 86400;
+  std::snprintf(buffer, 8, "%02d:%02d",
+                static_cast<int>(seconds_of_day / 3600),
+                static_cast<int>((seconds_of_day / 60) % 60));
+  return buffer;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("building corpus and training LEAD...\n");
+  eval::ExperimentConfig config = eval::DefaultConfig(1.0);
+  config.dataset.num_trajectories = 120;
+  config.dataset.num_trucks = 60;
+  config.sim.sample_interval_mean_s = 240.0;
+  config.lead.train.autoencoder_epochs = 8;
+  config.lead.train.detector_epochs = 30;
+  auto data_or = eval::BuildExperiment(config);
+  if (!data_or.ok()) {
+    std::fprintf(stderr, "%s\n", data_or.status().ToString().c_str());
+    return 1;
+  }
+  const eval::ExperimentData data = std::move(data_or).value();
+  core::LeadModel model(config.lead);
+  if (const Status s = model.Train(data.TrainLabeled(), data.ValLabeled(),
+                                   data.world->poi_index(), nullptr);
+      !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // Audit thresholds: a waybill is suspicious when its reported times or
+  // locations disagree with the detection-derived waybill.
+  constexpr int64_t kTimeToleranceS = 2 * 3600;
+  constexpr double kLocationToleranceM = 1500.0;
+
+  int audited = 0;
+  int flagged = 0;
+  int truly_bad = 0;
+  int flagged_and_bad = 0;
+  char hm1[8], hm2[8];
+  std::printf("\n%-22s %-13s %-13s %s\n", "trajectory",
+              "driver(load)", "auto(load)", "verdict");
+  for (const sim::SimulatedDay& day : data.split.test) {
+    auto pt = model.Preprocess(day.raw, data.world->poi_index());
+    if (!pt.ok()) continue;
+    auto detection = model.DetectProcessed(*pt);
+    if (!detection.ok()) continue;
+    const AutoWaybill generated = GenerateWaybill(*pt, detection->loaded);
+    const sim::Waybill& filed = day.waybill;
+
+    const bool time_off =
+        std::llabs(filed.reported_load_t - generated.load_t) >
+            kTimeToleranceS ||
+        std::llabs(filed.reported_unload_t - generated.unload_t) >
+            kTimeToleranceS;
+    const bool location_off =
+        geo::DistanceMeters(filed.reported_load_pos, generated.load_pos) >
+            kLocationToleranceM ||
+        geo::DistanceMeters(filed.reported_unload_pos,
+                            generated.unload_pos) > kLocationToleranceM;
+    const bool flag = time_off || location_off;
+    const bool bad = filed.used_default_times ||
+                     filed.load_address_coarse_or_wrong ||
+                     filed.unload_address_coarse_or_wrong;
+    ++audited;
+    flagged += flag ? 1 : 0;
+    truly_bad += bad ? 1 : 0;
+    flagged_and_bad += (flag && bad) ? 1 : 0;
+    std::printf("%-22s %-13s %-13s %s%s\n", day.raw.trajectory_id.c_str(),
+                Hhmm(filed.reported_load_t, hm1),
+                Hhmm(generated.load_t, hm2),
+                flag ? "FLAGGED" : "ok",
+                flag ? (bad ? " (corrupt record)" : " (false alarm)") : "");
+  }
+
+  std::printf("\naudited %d waybills: %d flagged, %d actually corrupted, "
+              "%d correctly caught\n",
+              audited, flagged, truly_bad, flagged_and_bad);
+  if (truly_bad > 0) {
+    std::printf("audit recall %.0f%%, precision %.0f%%\n",
+                100.0 * flagged_and_bad / truly_bad,
+                flagged > 0 ? 100.0 * flagged_and_bad / flagged : 0.0);
+  }
+  std::printf(
+      "\nauto-generated waybills replace the manual filing entirely: the\n"
+      "detected loading/unloading stay points provide reliable times and\n"
+      "coordinates (paper §I, 'high-quality waybill can be automatically\n"
+      "generated from the loaded trajectory').\n");
+  return 0;
+}

@@ -1,0 +1,28 @@
+#include "baselines/baseline.h"
+
+#include "common/check.h"
+
+namespace lead::baselines {
+
+BaselineDetection GreedyDetect(const std::vector<bool>& is_lu_stay) {
+  const int n = static_cast<int>(is_lu_stay.size());
+  LEAD_CHECK_GE(n, 2);
+  int first = -1;
+  int last = -1;
+  for (int i = 0; i < n; ++i) {
+    if (!is_lu_stay[i]) continue;
+    if (first < 0) first = i;
+    last = i;
+  }
+  BaselineDetection detection;
+  detection.num_stays = n;
+  if (first >= 0 && last > first) {
+    detection.loaded = traj::Candidate{first, last};
+  } else {
+    detection.loaded = traj::Candidate{0, n - 1};
+    detection.used_default = true;
+  }
+  return detection;
+}
+
+}  // namespace lead::baselines

@@ -1,0 +1,30 @@
+// Shared baseline types (paper §VI-A "Baselines").
+//
+// All three baselines classify stay points as loading/unloading (l/u) or
+// ordinary, then apply the same greedy strategy: the earliest l/u stay
+// point is the loading stay point and the latest is the unloading one.
+// With fewer than two l/u stay points the result is the default loaded
+// trajectory (first extracted stay point -> last extracted stay point).
+#ifndef LEAD_BASELINES_BASELINE_H_
+#define LEAD_BASELINES_BASELINE_H_
+
+#include <vector>
+
+#include "traj/segmentation.h"
+
+namespace lead::baselines {
+
+struct BaselineDetection {
+  traj::Candidate loaded;
+  int num_stays = 0;
+  // True when the greedy strategy found < 2 l/u stay points and fell back
+  // to the default loaded trajectory.
+  bool used_default = false;
+};
+
+// Applies the greedy endpoint strategy to per-stay-point l/u flags.
+BaselineDetection GreedyDetect(const std::vector<bool>& is_lu_stay);
+
+}  // namespace lead::baselines
+
+#endif  // LEAD_BASELINES_BASELINE_H_

@@ -1,0 +1,210 @@
+#include "baselines/sp_rnn.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "common/check.h"
+#include "nn/adam.h"
+#include "nn/early_stopping.h"
+#include "nn/gru.h"
+#include "nn/linear.h"
+#include "nn/lstm.h"
+#include "nn/ops.h"
+
+namespace lead::baselines {
+
+const char* RnnCellTypeName(RnnCellType type) {
+  return type == RnnCellType::kGru ? "SP-GRU" : "SP-LSTM";
+}
+
+// The classifier network: one recurrent cell and a sigmoid head over the
+// last hidden state.
+class SpRnnBaseline::Network : public nn::Module {
+ public:
+  Network(RnnCellType type, int input_dims, int hidden, Rng* rng)
+      : head_(hidden, 1, rng) {
+    if (type == RnnCellType::kGru) {
+      gru_ = std::make_unique<nn::GruCell>(input_dims, hidden, rng);
+      RegisterChild("gru", gru_.get());
+    } else {
+      lstm_ = std::make_unique<nn::LstmCell>(input_dims, hidden, rng);
+      RegisterChild("lstm", lstm_.get());
+    }
+    RegisterChild("head", &head_);
+  }
+
+  // stay_features: [T x F] -> probability [1 x 1].
+  nn::Variable Forward(const nn::Variable& stay_features) const {
+    const nn::Variable hidden_states =
+        gru_ != nullptr ? gru_->ForwardSequence(stay_features)
+                        : lstm_->ForwardSequence(stay_features);
+    const nn::Variable last =
+        nn::SliceRows(hidden_states, hidden_states.rows() - 1, 1);
+    return nn::Sigmoid(head_.Forward(last));
+  }
+
+ private:
+  std::unique_ptr<nn::GruCell> gru_;
+  std::unique_ptr<nn::LstmCell> lstm_;
+  nn::Linear head_;
+};
+
+SpRnnBaseline::SpRnnBaseline(const core::PipelineOptions& pipeline,
+                             const SpRnnOptions& options)
+    : pipeline_(pipeline), options_(options) {
+  Rng rng(options_.train.seed ^ (options_.cell == RnnCellType::kGru
+                                     ? 0xbadc0de1
+                                     : 0xbadc0de2));
+  network_ = std::make_unique<Network>(options_.cell, core::kFeatureDims,
+                                       options_.hidden, &rng);
+}
+
+SpRnnBaseline::~SpRnnBaseline() = default;
+
+namespace {
+
+// One training sample: the feature matrix of a stay point plus its label.
+struct StaySample {
+  nn::Matrix features;
+  float is_lu = 0.0f;
+};
+
+StatusOr<std::vector<StaySample>> CollectStaySamples(
+    const std::vector<core::LabeledRawTrajectory>& labeled,
+    const poi::PoiIndex& poi_index, const core::PipelineOptions& pipeline,
+    const nn::ZScoreNormalizer* normalizer) {
+  std::vector<StaySample> samples;
+  for (const core::LabeledRawTrajectory& sample : labeled) {
+    auto pt =
+        core::ProcessTrajectory(sample.raw, poi_index, pipeline, normalizer);
+    if (!pt.ok()) return pt.status();
+    if (sample.loaded.end_sp >= pt->num_stays()) {
+      return InvalidArgumentError("label out of range for trajectory " +
+                                  sample.raw.trajectory_id);
+    }
+    for (int i = 0; i < pt->num_stays(); ++i) {
+      StaySample s;
+      s.features =
+          core::SegmentFeatures(*pt, pt->segmentation.stays[i].range)
+              .value();
+      s.is_lu = (i == sample.loaded.start_sp || i == sample.loaded.end_sp)
+                    ? 1.0f
+                    : 0.0f;
+      samples.push_back(std::move(s));
+    }
+  }
+  return samples;
+}
+
+// Numerically safe binary cross-entropy for one probability.
+nn::Variable Bce(const nn::Variable& prob, float target) {
+  const nn::Variable one_minus =
+      nn::AddScalar(nn::ScalarMul(prob, -1.0f), 1.0f);
+  const nn::Variable ll =
+      nn::Add(nn::ScalarMul(nn::Log(prob), target),
+              nn::ScalarMul(nn::Log(one_minus), 1.0f - target));
+  return nn::ScalarMul(ll, -1.0f);
+}
+
+}  // namespace
+
+Status SpRnnBaseline::Train(
+    const std::vector<core::LabeledRawTrajectory>& training,
+    const std::vector<core::LabeledRawTrajectory>& validation,
+    const poi::PoiIndex& poi_index, std::vector<float>* loss_curve,
+    std::vector<float>* val_loss_curve) {
+  if (training.empty()) return InvalidArgumentError("empty training set");
+  // Fit the normalizer on the training stay-point features.
+  {
+    auto raw_samples = CollectStaySamples(training, poi_index, pipeline_,
+                                          /*normalizer=*/nullptr);
+    if (!raw_samples.ok()) return raw_samples.status();
+    std::vector<std::vector<float>> rows;
+    for (const StaySample& s : *raw_samples) {
+      for (int r = 0; r < s.features.rows(); ++r) {
+        rows.emplace_back(s.features.row(r),
+                          s.features.row(r) + s.features.cols());
+      }
+    }
+    LEAD_RETURN_IF_ERROR(normalizer_.Fit(rows));
+  }
+  auto train_samples =
+      CollectStaySamples(training, poi_index, pipeline_, &normalizer_);
+  if (!train_samples.ok()) return train_samples.status();
+  auto val_samples =
+      CollectStaySamples(validation, poi_index, pipeline_, &normalizer_);
+  if (!val_samples.ok()) return val_samples.status();
+
+  const core::TrainOptions& topt = options_.train;
+  Rng rng(topt.seed ^ 0x5b5b5b);
+  nn::Adam optimizer(network_->Parameters(),
+                     {.learning_rate = topt.learning_rate,
+                      .clip_grad_norm = 5.0f});
+  nn::EarlyStopping stopper(topt.early_stopping_patience);
+  std::vector<int> order(train_samples->size());
+  std::iota(order.begin(), order.end(), 0);
+  const float inv_b = 1.0f / static_cast<float>(topt.batch_size);
+
+  for (int epoch = 0; epoch < topt.detector_epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double epoch_loss = 0.0;
+    int since_step = 0;
+    for (int idx : order) {
+      const StaySample& s = (*train_samples)[idx];
+      const nn::Variable prob =
+          network_->Forward(nn::Variable::Constant(s.features));
+      const nn::Variable loss = Bce(prob, s.is_lu);
+      epoch_loss += loss.value().at(0, 0);
+      nn::Backward(nn::ScalarMul(loss, inv_b));
+      if (++since_step == topt.batch_size) {
+        optimizer.StepAndZeroGrad();
+        since_step = 0;
+      }
+    }
+    if (since_step > 0) optimizer.StepAndZeroGrad();
+    const float train_loss =
+        static_cast<float>(epoch_loss / std::max<size_t>(1, order.size()));
+
+    float val_loss = train_loss;
+    if (!val_samples->empty()) {
+      nn::NoGradGuard no_grad;
+      double total = 0.0;
+      for (const StaySample& s : *val_samples) {
+        total += Bce(network_->Forward(nn::Variable::Constant(s.features)),
+                     s.is_lu)
+                     .value()
+                     .at(0, 0);
+      }
+      val_loss = static_cast<float>(total / val_samples->size());
+    }
+    if (loss_curve != nullptr) loss_curve->push_back(train_loss);
+    if (val_loss_curve != nullptr) val_loss_curve->push_back(val_loss);
+    if (topt.verbose) {
+      std::fprintf(stderr, "[%s] epoch %d train=%.4f val=%.4f\n",
+                   RnnCellTypeName(options_.cell), epoch, train_loss,
+                   val_loss);
+    }
+    if (!stopper.Report(val_loss)) break;
+  }
+  return Status::Ok();
+}
+
+StatusOr<BaselineDetection> SpRnnBaseline::Detect(
+    const traj::RawTrajectory& raw, const poi::PoiIndex& poi_index) const {
+  if (!trained()) {
+    return FailedPreconditionError("baseline is not trained");
+  }
+  auto pt = core::ProcessTrajectory(raw, poi_index, pipeline_, &normalizer_);
+  if (!pt.ok()) return pt.status();
+  nn::NoGradGuard no_grad;
+  std::vector<bool> is_lu(pt->num_stays());
+  for (int i = 0; i < pt->num_stays(); ++i) {
+    const nn::Variable prob = network_->Forward(
+        core::SegmentFeatures(*pt, pt->segmentation.stays[i].range));
+    is_lu[i] = prob.value().at(0, 0) >= options_.classification_threshold;
+  }
+  return GreedyDetect(is_lu);
+}
+
+}  // namespace lead::baselines

@@ -1,0 +1,63 @@
+// SP-GRU / SP-LSTM: recurrent binary stay-point classifiers (paper §VI-A).
+//
+// A GRU or LSTM with 128 hidden units reads the feature sequence of each
+// stay point; a sigmoid head classifies it as l/u or ordinary. The greedy
+// endpoint strategy then assembles the detection. Unlike LEAD, these
+// baselines see only staying behaviour — no move points, no candidate
+// relationships.
+#ifndef LEAD_BASELINES_SP_RNN_H_
+#define LEAD_BASELINES_SP_RNN_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/baseline.h"
+#include "common/status.h"
+#include "core/lead.h"
+#include "nn/normalizer.h"
+
+namespace lead::baselines {
+
+enum class RnnCellType { kGru, kLstm };
+const char* RnnCellTypeName(RnnCellType type);
+
+struct SpRnnOptions {
+  RnnCellType cell = RnnCellType::kLstm;
+  int hidden = 128;  // paper: 128 hidden units
+  float classification_threshold = 0.5f;
+  core::TrainOptions train;
+};
+
+class SpRnnBaseline {
+ public:
+  SpRnnBaseline(const core::PipelineOptions& pipeline,
+                const SpRnnOptions& options);
+  ~SpRnnBaseline();
+
+  // Trains the binary classifier on all stay points of the training set
+  // (positives: the labeled loading/unloading stay points). Validation
+  // drives early stopping. Loss-curve outputs are optional.
+  Status Train(const std::vector<core::LabeledRawTrajectory>& training,
+               const std::vector<core::LabeledRawTrajectory>& validation,
+               const poi::PoiIndex& poi_index,
+               std::vector<float>* loss_curve,
+               std::vector<float>* val_loss_curve);
+
+  StatusOr<BaselineDetection> Detect(const traj::RawTrajectory& raw,
+                                     const poi::PoiIndex& poi_index) const;
+
+  const SpRnnOptions& options() const { return options_; }
+  bool trained() const { return normalizer_.fitted(); }
+
+ private:
+  class Network;  // RNN + sigmoid head (defined in sp_rnn.cc)
+
+  core::PipelineOptions pipeline_;
+  SpRnnOptions options_;
+  nn::ZScoreNormalizer normalizer_;
+  std::unique_ptr<Network> network_;
+};
+
+}  // namespace lead::baselines
+
+#endif  // LEAD_BASELINES_SP_RNN_H_

@@ -1,0 +1,69 @@
+#include "baselines/sp_rule.h"
+
+#include <string>
+
+#include "traj/noise_filter.h"
+#include "traj/stay_point.h"
+
+namespace lead::baselines {
+namespace {
+
+// Light-weight processing: SP-R needs only stay points, not features.
+StatusOr<std::vector<traj::StayPoint>> ExtractStays(
+    const traj::RawTrajectory& raw, const core::PipelineOptions& pipeline) {
+  LEAD_RETURN_IF_ERROR(traj::ValidateChronological(raw));
+  const traj::RawTrajectory cleaned =
+      traj::FilterNoise(raw, pipeline.noise).cleaned;
+  std::vector<traj::StayPoint> stays =
+      traj::ExtractStayPoints(cleaned, pipeline.stay);
+  if (stays.size() < 2) {
+    return FailedPreconditionError("trajectory " + raw.trajectory_id +
+                                   " has fewer than 2 stay points");
+  }
+  return stays;
+}
+
+}  // namespace
+
+SpRuleBaseline::SpRuleBaseline(const core::PipelineOptions& pipeline,
+                               const SpRuleOptions& options)
+    : pipeline_(pipeline), options_(options) {}
+
+Status SpRuleBaseline::Train(
+    const std::vector<core::LabeledRawTrajectory>& training) {
+  whitelist_.clear();
+  for (const core::LabeledRawTrajectory& sample : training) {
+    auto stays = ExtractStays(sample.raw, pipeline_);
+    if (!stays.ok()) return stays.status();
+    if (sample.loaded.end_sp >= static_cast<int>(stays->size())) {
+      return InvalidArgumentError("label out of range for trajectory " +
+                                  sample.raw.trajectory_id);
+    }
+    // Both ends of the loaded trajectory enter the white list.
+    whitelist_.push_back((*stays)[sample.loaded.start_sp].centroid);
+    whitelist_.push_back((*stays)[sample.loaded.end_sp].centroid);
+  }
+  return Status::Ok();
+}
+
+StatusOr<BaselineDetection> SpRuleBaseline::Detect(
+    const traj::RawTrajectory& raw) const {
+  if (whitelist_.empty()) {
+    return FailedPreconditionError("SP-R white list is empty; call Train");
+  }
+  auto stays = ExtractStays(raw, pipeline_);
+  if (!stays.ok()) return stays.status();
+  std::vector<bool> is_lu(stays->size(), false);
+  for (size_t i = 0; i < stays->size(); ++i) {
+    // Deliberate full traversal of the white list (see header comment).
+    for (const geo::LatLng& location : whitelist_) {
+      if (geo::DistanceMeters((*stays)[i].centroid, location) <=
+          options_.search_radius_m) {
+        is_lu[i] = true;
+      }
+    }
+  }
+  return GreedyDetect(is_lu);
+}
+
+}  // namespace lead::baselines

@@ -1,0 +1,47 @@
+// SP-R: rule-based stay-point classifier with a white list (paper §VI-A).
+//
+// Training stores both endpoints of every archived loaded trajectory as
+// white-list locations. Detection classifies a stay point as l/u when any
+// white-list location lies within the search radius, deliberately
+// traversing the whole list per stay point (the paper attributes SP-R's
+// slowness to exactly this scan).
+#ifndef LEAD_BASELINES_SP_RULE_H_
+#define LEAD_BASELINES_SP_RULE_H_
+
+#include <vector>
+
+#include "baselines/baseline.h"
+#include "common/status.h"
+#include "core/lead.h"
+#include "geo/latlng.h"
+
+namespace lead::baselines {
+
+struct SpRuleOptions {
+  // Paper: 500 m search radius per stay point.
+  double search_radius_m = 500.0;
+};
+
+class SpRuleBaseline {
+ public:
+  SpRuleBaseline(const core::PipelineOptions& pipeline,
+                 const SpRuleOptions& options);
+
+  // Builds the white list from the training set's loaded trajectories.
+  Status Train(const std::vector<core::LabeledRawTrajectory>& training);
+
+  StatusOr<BaselineDetection> Detect(const traj::RawTrajectory& raw) const;
+
+  int whitelist_size() const {
+    return static_cast<int>(whitelist_.size());
+  }
+
+ private:
+  core::PipelineOptions pipeline_;
+  SpRuleOptions options_;
+  std::vector<geo::LatLng> whitelist_;
+};
+
+}  // namespace lead::baselines
+
+#endif  // LEAD_BASELINES_SP_RULE_H_

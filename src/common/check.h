@@ -1,0 +1,58 @@
+// Invariant-checking macros.
+//
+// LEAD_CHECK* abort the process on failure and are reserved for programming
+// errors; recoverable conditions use Status (see status.h).
+#ifndef LEAD_COMMON_CHECK_H_
+#define LEAD_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/status.h"
+
+namespace lead::internal_check {
+
+[[noreturn]] inline void DieCheckFailure(const char* file, int line,
+                                         const char* expr) {
+  std::fprintf(stderr, "%s:%d: LEAD_CHECK failed: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace lead::internal_check
+
+#define LEAD_CHECK(expr)                                                 \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::lead::internal_check::DieCheckFailure(__FILE__, __LINE__, #expr); \
+    }                                                                    \
+  } while (false)
+
+#define LEAD_CHECK_EQ(a, b) LEAD_CHECK((a) == (b))
+#define LEAD_CHECK_NE(a, b) LEAD_CHECK((a) != (b))
+#define LEAD_CHECK_LT(a, b) LEAD_CHECK((a) < (b))
+#define LEAD_CHECK_LE(a, b) LEAD_CHECK((a) <= (b))
+#define LEAD_CHECK_GT(a, b) LEAD_CHECK((a) > (b))
+#define LEAD_CHECK_GE(a, b) LEAD_CHECK((a) >= (b))
+
+// Propagates a non-OK Status from the current function.
+#define LEAD_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::lead::Status lead_status_tmp_ = (expr);       \
+    if (!lead_status_tmp_.ok()) return lead_status_tmp_; \
+  } while (false)
+
+// Evaluates a StatusOr expression; on success binds the value, on error
+// returns the status. `lhs` may declare a new variable.
+#define LEAD_ASSIGN_OR_RETURN(lhs, expr)                       \
+  LEAD_ASSIGN_OR_RETURN_IMPL_(                                 \
+      LEAD_STATUS_MACRO_CONCAT_(lead_statusor_, __LINE__), lhs, expr)
+
+#define LEAD_ASSIGN_OR_RETURN_IMPL_(statusor, lhs, expr) \
+  auto statusor = (expr);                                \
+  if (!statusor.ok()) return statusor.status();          \
+  lhs = std::move(statusor).value()
+
+#define LEAD_STATUS_MACRO_CONCAT_INNER_(x, y) x##y
+#define LEAD_STATUS_MACRO_CONCAT_(x, y) LEAD_STATUS_MACRO_CONCAT_INNER_(x, y)
+
+#endif  // LEAD_COMMON_CHECK_H_

@@ -1,0 +1,119 @@
+// Error-handling primitives for the LEAD library.
+//
+// The library does not use C++ exceptions. Fallible operations return
+// `Status`, or `StatusOr<T>` when they also produce a value. Programming
+// errors (broken invariants) abort via the LEAD_CHECK macros in check.h.
+#ifndef LEAD_COMMON_STATUS_H_
+#define LEAD_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace lead {
+
+// Coarse error taxonomy, mirroring the categories the library actually
+// produces. Extend only when a caller can meaningfully dispatch on the code.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kOutOfRange,
+  kInternal,
+  kIoError,
+};
+
+// Returns a stable human-readable name, e.g. "INVALID_ARGUMENT".
+const char* StatusCodeName(StatusCode code);
+
+// Value-semantic success-or-error result. Cheap to copy when OK.
+class Status {
+ public:
+  // Default-constructed status is OK.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "INVALID_ARGUMENT: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Convenience factories.
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status InternalError(std::string message);
+Status IoError(std::string message);
+
+// Holds either a value of type T or a non-OK Status.
+//
+// Accessing value() on a non-OK StatusOr aborts; call ok() first or use
+// the LEAD_ASSIGN_OR_RETURN macro in check.h.
+template <typename T>
+class StatusOr {
+ public:
+  // Implicit construction from a value or an error status keeps call sites
+  // terse: `return result;` / `return InvalidArgumentError(...)`.
+  StatusOr(T value) : rep_(std::move(value)) {}                // NOLINT
+  StatusOr(Status status) : rep_(std::move(status)) {}         // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    AbortIfError();
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    AbortIfError();
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    AbortIfError();
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void AbortIfError() const;
+
+  std::variant<T, Status> rep_;
+};
+
+namespace internal_status {
+// Out-of-line abort keeps the template light; defined in status.cc.
+[[noreturn]] void DieBadStatusAccess(const Status& status);
+}  // namespace internal_status
+
+template <typename T>
+void StatusOr<T>::AbortIfError() const {
+  if (!ok()) internal_status::DieBadStatusAccess(std::get<Status>(rep_));
+}
+
+}  // namespace lead
+
+#endif  // LEAD_COMMON_STATUS_H_

@@ -1,0 +1,227 @@
+#include "core/autoencoder.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "nn/ops.h"
+
+namespace lead::core {
+
+CompressionOperator::CompressionOperator(int input_dims, int hidden,
+                                         int output_dims, bool use_attention,
+                                         Rng* rng)
+    : output_dims_(output_dims),
+      use_attention_(use_attention),
+      lstm_(input_dims, hidden, rng),
+      fc1_(hidden, hidden, rng),
+      fc2_(hidden, output_dims, rng) {
+  RegisterChild("lstm", &lstm_);
+  if (use_attention_) {
+    attention_ = std::make_unique<nn::LastQueryAttention>(hidden, hidden, rng);
+    RegisterChild("attn", attention_.get());
+  }
+  RegisterChild("fc1", &fc1_);
+  RegisterChild("fc2", &fc2_);
+}
+
+nn::Variable CompressionOperator::Forward(const nn::Variable& seq) const {
+  const nn::Variable hidden_states = lstm_.ForwardSequence(seq);
+  const nn::Variable aggregated =
+      use_attention_
+          ? attention_->Forward(hidden_states)
+          : nn::SliceRows(hidden_states, hidden_states.rows() - 1, 1);
+  return nn::Tanh(fc2_.Forward(fc1_.Forward(aggregated)));
+}
+
+DecompressionOperator::DecompressionOperator(int input_dims, int hidden,
+                                             int output_dims, Rng* rng)
+    : lstm_(input_dims, hidden, rng),
+      fc1_(hidden, hidden, rng),
+      fc2_(hidden, output_dims, rng) {
+  RegisterChild("lstm", &lstm_);
+  RegisterChild("fc1", &fc1_);
+  RegisterChild("fc2", &fc2_);
+}
+
+nn::Variable DecompressionOperator::Forward(const nn::Variable& v,
+                                            int steps) const {
+  const nn::Variable hidden_states = lstm_.ForwardConstantInput(v, steps);
+  return nn::Tanh(fc2_.Forward(fc1_.Forward(hidden_states)));
+}
+
+CandidateSegments BuildCandidateSegments(const ProcessedTrajectory& pt,
+                                         const traj::Candidate& candidate) {
+  const traj::Segmentation& seg = pt.segmentation;
+  LEAD_CHECK_GE(candidate.start_sp, 0);
+  LEAD_CHECK_LT(candidate.start_sp, candidate.end_sp);
+  LEAD_CHECK_LT(candidate.end_sp, seg.num_stays());
+  CandidateSegments out;
+  for (int s = candidate.start_sp; s <= candidate.end_sp; ++s) {
+    out.sp_seqs.push_back(SegmentFeatures(pt, seg.stays[s].range));
+  }
+  // Interior move slots of <sp_a --> sp_b> are moves a+1 .. b.
+  for (int m = candidate.start_sp + 1; m <= candidate.end_sp; ++m) {
+    const traj::MoveSegment& move = seg.moves[m];
+    out.mp_seqs.push_back(move.has_points ? SegmentFeatures(pt, move.range)
+                                          : nn::Variable());
+  }
+  return out;
+}
+
+HierarchicalAutoencoder::HierarchicalAutoencoder(
+    const AutoencoderOptions& options, Rng* rng)
+    : options_(options) {
+  const int f = options_.feature_dims;
+  const int h = options_.hidden;
+  if (options_.hierarchical) {
+    comp_sp1_ = std::make_unique<CompressionOperator>(
+        f, h, h, options_.use_attention, rng);
+    comp_mp1_ = std::make_unique<CompressionOperator>(
+        f, h, h, options_.use_attention, rng);
+    comp_sp2_ = std::make_unique<CompressionOperator>(
+        h, h, h, options_.use_attention, rng);
+    comp_mp2_ = std::make_unique<CompressionOperator>(
+        h, h, h, options_.use_attention, rng);
+    dec_sp2_ = std::make_unique<DecompressionOperator>(h, h, h, rng);
+    dec_mp2_ = std::make_unique<DecompressionOperator>(h, h, h, rng);
+    dec_sp1_ = std::make_unique<DecompressionOperator>(h, h, f, rng);
+    dec_mp1_ = std::make_unique<DecompressionOperator>(h, h, f, rng);
+    RegisterChild("comp_sp1", comp_sp1_.get());
+    RegisterChild("comp_mp1", comp_mp1_.get());
+    RegisterChild("comp_sp2", comp_sp2_.get());
+    RegisterChild("comp_mp2", comp_mp2_.get());
+    RegisterChild("dec_sp2", dec_sp2_.get());
+    RegisterChild("dec_mp2", dec_mp2_.get());
+    RegisterChild("dec_sp1", dec_sp1_.get());
+    RegisterChild("dec_mp1", dec_mp1_.get());
+  } else {
+    // NoHie: one operator each; the c-vec keeps the 2h dimension so the
+    // detectors are comparable.
+    comp_flat_ = std::make_unique<CompressionOperator>(
+        f, h, 2 * h, options_.use_attention, rng);
+    dec_flat_ = std::make_unique<DecompressionOperator>(2 * h, h, f, rng);
+    RegisterChild("comp_flat", comp_flat_.get());
+    RegisterChild("dec_flat", dec_flat_.get());
+  }
+}
+
+nn::Variable HierarchicalAutoencoder::CompressMove(
+    const nn::Variable& seq) const {
+  if (!seq.defined()) {
+    // Empty move slot: a zero mp-c-vec keeps positions aligned in the
+    // MP-c-vec-seq.
+    return nn::Variable::Constant(nn::Matrix::Zeros(1, options_.hidden));
+  }
+  return comp_mp1_->Forward(seq);
+}
+
+TrajectoryEncoding HierarchicalAutoencoder::EncodeSegments(
+    const ProcessedTrajectory& pt) const {
+  LEAD_CHECK(options_.hierarchical);
+  TrajectoryEncoding enc;
+  const traj::Segmentation& seg = pt.segmentation;
+  enc.sp_cvecs.reserve(seg.stays.size());
+  for (const traj::StayPoint& sp : seg.stays) {
+    enc.sp_cvecs.push_back(comp_sp1_->Forward(SegmentFeatures(pt, sp.range)));
+  }
+  enc.mp_cvecs.reserve(seg.moves.size());
+  for (const traj::MoveSegment& move : seg.moves) {
+    enc.mp_cvecs.push_back(
+        CompressMove(move.has_points ? SegmentFeatures(pt, move.range)
+                                     : nn::Variable()));
+  }
+  return enc;
+}
+
+nn::Variable HierarchicalAutoencoder::EncodeCandidateFromSegments(
+    const TrajectoryEncoding& enc, const traj::Candidate& c) const {
+  LEAD_CHECK(options_.hierarchical);
+  std::vector<nn::Variable> sp_rows(enc.sp_cvecs.begin() + c.start_sp,
+                                    enc.sp_cvecs.begin() + c.end_sp + 1);
+  std::vector<nn::Variable> mp_rows(enc.mp_cvecs.begin() + c.start_sp + 1,
+                                    enc.mp_cvecs.begin() + c.end_sp + 1);
+  const nn::Variable sp_cvec = comp_sp2_->Forward(nn::ConcatRows(sp_rows));
+  const nn::Variable mp_cvec = comp_mp2_->Forward(nn::ConcatRows(mp_rows));
+  return nn::ConcatCols({sp_cvec, mp_cvec});
+}
+
+nn::Variable HierarchicalAutoencoder::EncodeHierarchical(
+    const CandidateSegments& segments) const {
+  std::vector<nn::Variable> sp_cvecs;
+  sp_cvecs.reserve(segments.sp_seqs.size());
+  for (const nn::Variable& seq : segments.sp_seqs) {
+    sp_cvecs.push_back(comp_sp1_->Forward(seq));
+  }
+  std::vector<nn::Variable> mp_cvecs;
+  mp_cvecs.reserve(segments.mp_seqs.size());
+  for (const nn::Variable& seq : segments.mp_seqs) {
+    mp_cvecs.push_back(CompressMove(seq));
+  }
+  const nn::Variable sp_cvec = comp_sp2_->Forward(nn::ConcatRows(sp_cvecs));
+  const nn::Variable mp_cvec = comp_mp2_->Forward(nn::ConcatRows(mp_cvecs));
+  return nn::ConcatCols({sp_cvec, mp_cvec});
+}
+
+nn::Variable HierarchicalAutoencoder::FlatSequence(
+    const CandidateSegments& segments) {
+  std::vector<nn::Variable> parts;
+  parts.reserve(segments.sp_seqs.size() + segments.mp_seqs.size());
+  for (size_t i = 0; i < segments.sp_seqs.size(); ++i) {
+    parts.push_back(segments.sp_seqs[i]);
+    if (i < segments.mp_seqs.size() && segments.mp_seqs[i].defined()) {
+      parts.push_back(segments.mp_seqs[i]);
+    }
+  }
+  return nn::ConcatRows(parts);
+}
+
+nn::Variable HierarchicalAutoencoder::EncodeFlat(
+    const CandidateSegments& segments) const {
+  return comp_flat_->Forward(FlatSequence(segments));
+}
+
+nn::Variable HierarchicalAutoencoder::EncodeCandidate(
+    const ProcessedTrajectory& pt, const traj::Candidate& c) const {
+  const CandidateSegments segments = BuildCandidateSegments(pt, c);
+  return options_.hierarchical ? EncodeHierarchical(segments)
+                               : EncodeFlat(segments);
+}
+
+nn::Variable HierarchicalAutoencoder::ReconstructionLoss(
+    const ProcessedTrajectory& pt, const traj::Candidate& c) const {
+  const CandidateSegments segments = BuildCandidateSegments(pt, c);
+  const nn::Variable original = FlatSequence(segments);
+
+  if (!options_.hierarchical) {
+    const nn::Variable cvec = EncodeFlat(segments);
+    const nn::Variable decoded = dec_flat_->Forward(cvec, original.rows());
+    return nn::MseLoss(decoded, original);
+  }
+
+  const int h = options_.hidden;
+  const nn::Variable cvec = EncodeHierarchical(segments);
+  const nn::Variable sp_cvec = nn::SliceCols(cvec, 0, h);
+  const nn::Variable mp_cvec = nn::SliceCols(cvec, h, h);
+
+  const int num_sps = static_cast<int>(segments.sp_seqs.size());
+  const int num_mps = static_cast<int>(segments.mp_seqs.size());
+  // Phase 1 of the decompressor: c-vec halves back to c-vec sequences.
+  const nn::Variable sp_cvec_seq = dec_sp2_->Forward(sp_cvec, num_sps);
+  const nn::Variable mp_cvec_seq = dec_mp2_->Forward(mp_cvec, num_mps);
+
+  // Phase 2: each c-vec back to its feature sequence; reassemble in the
+  // original stay/move order for the point-wise MSE of Eq. 8.
+  std::vector<nn::Variable> decoded_parts;
+  decoded_parts.reserve(num_sps + num_mps);
+  for (int i = 0; i < num_sps; ++i) {
+    decoded_parts.push_back(dec_sp1_->Forward(
+        nn::SliceRows(sp_cvec_seq, i, 1), segments.sp_seqs[i].rows()));
+    if (i < num_mps && segments.mp_seqs[i].defined()) {
+      decoded_parts.push_back(dec_mp1_->Forward(
+          nn::SliceRows(mp_cvec_seq, i, 1), segments.mp_seqs[i].rows()));
+    }
+  }
+  return nn::MseLoss(nn::ConcatRows(decoded_parts), original);
+}
+
+}  // namespace lead::core

@@ -1,0 +1,64 @@
+#include "core/detector.h"
+
+#include "common/check.h"
+#include "nn/ops.h"
+
+namespace lead::core {
+
+StackedBiLstmDetector::StackedBiLstmDetector(const DetectorOptions& options,
+                                             Rng* rng)
+    : options_(options) {
+  LEAD_CHECK_GE(options.num_layers, 1);
+  layers_.reserve(options.num_layers);
+  projections_.reserve(options.num_layers);
+  for (int l = 0; l < options.num_layers; ++l) {
+    const int in = l == 0 ? options.input_dims : options.hidden;
+    layers_.push_back(std::make_unique<nn::BiLstm>(in, options.hidden, rng));
+    projections_.push_back(
+        std::make_unique<nn::Linear>(2 * options.hidden, options.hidden, rng));
+    RegisterChild("bilstm" + std::to_string(l), layers_[l].get());
+    RegisterChild("proj" + std::to_string(l), projections_[l].get());
+  }
+  score_ = std::make_unique<nn::Linear>(options.hidden, 1, rng);
+  RegisterChild("score", score_.get());
+}
+
+nn::Variable StackedBiLstmDetector::ScoreSubgroup(
+    const nn::Variable& subgroup) const {
+  nn::Variable hidden = subgroup;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    hidden = projections_[l]->Forward(layers_[l]->Forward(hidden));
+  }
+  const nn::Variable scores = score_->Forward(hidden);  // [T x 1]
+  return nn::Transpose(scores);                         // [1 x T]
+}
+
+nn::Variable StackedBiLstmDetector::ForwardGroup(
+    const std::vector<nn::Variable>& subgroups) const {
+  std::vector<nn::Variable> parts;
+  parts.reserve(subgroups.size());
+  for (const nn::Variable& subgroup : subgroups) {
+    parts.push_back(ScoreSubgroup(subgroup));
+  }
+  return nn::SoftmaxRows(nn::ConcatCols(parts));
+}
+
+MlpScorer::MlpScorer(int input_dims, Rng* rng)
+    : fc1_(input_dims, 64, rng),
+      fc2_(64, 32, rng),
+      fc3_(32, 32, rng),
+      fc4_(32, 1, rng) {
+  RegisterChild("fc1", &fc1_);
+  RegisterChild("fc2", &fc2_);
+  RegisterChild("fc3", &fc3_);
+  RegisterChild("fc4", &fc4_);
+}
+
+nn::Variable MlpScorer::Forward(const nn::Variable& cvecs) const {
+  nn::Variable h = nn::Relu(fc1_.Forward(cvecs));
+  h = nn::Relu(fc2_.Forward(h));
+  h = nn::Relu(fc3_.Forward(h));
+  return nn::Sigmoid(fc4_.Forward(h));
+}
+
+}  // namespace lead::core

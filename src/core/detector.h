@@ -1,0 +1,74 @@
+// Forward / backward detectors (paper §V-B, Figure 7) and the LEAD-NoGro
+// MLP scorer (§VI-A variant 4).
+//
+// A detector is a stacked BiLSTM with L layers. Each subgroup (a sequence
+// of candidate c-vecs) passes through every layer; after each BiLSTM the
+// concatenated directions are projected back to the hidden width (Eq. 9).
+// A final FC maps each position to a score (Eq. 10); the detector's
+// output distribution is the softmax over the concatenated scores of all
+// subgroups, so it is a proper probability distribution over the
+// candidate trajectories (§II/§V call the output exactly that; a
+// per-subgroup softmax would sum to n-1 and make the KLD against the
+// global label ill-formed, and would degenerate to probability 1 on
+// single-member subgroups).
+#ifndef LEAD_CORE_DETECTOR_H_
+#define LEAD_CORE_DETECTOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/linear.h"
+#include "nn/lstm.h"
+#include "nn/module.h"
+
+namespace lead::core {
+
+struct DetectorOptions {
+  int input_dims = 64;  // c-vec dimension
+  int hidden = 64;      // paper: all detector LSTMs have 64 hidden units
+  int num_layers = 4;   // paper: best L = 4
+};
+
+class StackedBiLstmDetector : public nn::Module {
+ public:
+  StackedBiLstmDetector(const DetectorOptions& options, Rng* rng);
+
+  // subgroup: [T x input_dims] (T >= 1 candidate c-vecs).
+  // Returns the subgroup's raw scores [1 x T]; concatenate all subgroups'
+  // scores and softmax once for the detector's output distribution.
+  nn::Variable ScoreSubgroup(const nn::Variable& subgroup) const;
+
+  // Convenience: scores every subgroup and applies the global softmax;
+  // output is [1 x sum(T_i)] in the given subgroup order.
+  nn::Variable ForwardGroup(const std::vector<nn::Variable>& subgroups) const;
+
+  const DetectorOptions& options() const { return options_; }
+
+ private:
+  DetectorOptions options_;
+  std::vector<std::unique_ptr<nn::BiLstm>> layers_;
+  std::vector<std::unique_ptr<nn::Linear>> projections_;  // 2h -> h
+  std::unique_ptr<nn::Linear> score_;                     // h -> 1
+};
+
+// LEAD-NoGro replacement: scores each c-vec independently with a
+// 64-32-32-1 MLP, sigmoid on the last layer (paper §VI-A). Hidden layers
+// use ReLU.
+class MlpScorer : public nn::Module {
+ public:
+  MlpScorer(int input_dims, Rng* rng);
+
+  // cvecs: [N x input_dims] -> independent probabilities [N x 1].
+  nn::Variable Forward(const nn::Variable& cvecs) const;
+
+ private:
+  nn::Linear fc1_;
+  nn::Linear fc2_;
+  nn::Linear fc3_;
+  nn::Linear fc4_;
+};
+
+}  // namespace lead::core
+
+#endif  // LEAD_CORE_DETECTOR_H_

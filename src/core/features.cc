@@ -1,0 +1,43 @@
+#include "core/features.h"
+
+#include "common/check.h"
+
+namespace lead::core {
+
+std::vector<std::vector<float>> ExtractPointFeatures(
+    const traj::RawTrajectory& trajectory, const poi::PoiIndex& poi_index,
+    const FeatureOptions& options) {
+  std::vector<std::vector<float>> rows;
+  rows.reserve(trajectory.points.size());
+  for (const traj::GpsPoint& p : trajectory.points) {
+    std::vector<float> row(kFeatureDims, 0.0f);
+    row[0] = static_cast<float>(p.pos.lat);
+    row[1] = static_cast<float>(p.pos.lng);
+    row[2] = static_cast<float>(p.t % 86400);  // seconds since midnight
+    if (options.use_poi) {
+      const poi::CategoryCounts counts =
+          poi_index.CountByCategory(p.pos, options.poi_radius_m);
+      for (int c = 0; c < poi::kNumCategories; ++c) {
+        row[kSpatioTemporalDims + c] = static_cast<float>(counts[c]);
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+nn::Matrix PackFeatures(const std::vector<std::vector<float>>& rows,
+                        const nn::ZScoreNormalizer* normalizer) {
+  LEAD_CHECK(!rows.empty());
+  const int dims = static_cast<int>(rows[0].size());
+  nn::Matrix m(static_cast<int>(rows.size()), dims);
+  for (int r = 0; r < m.rows(); ++r) {
+    LEAD_CHECK_EQ(static_cast<int>(rows[r].size()), dims);
+    std::vector<float> row = rows[r];
+    if (normalizer != nullptr) normalizer->Apply(&row);
+    std::copy(row.begin(), row.end(), m.row(r));
+  }
+  return m;
+}
+
+}  // namespace lead::core

@@ -1,0 +1,43 @@
+// Per-GPS-point feature extraction (paper §IV-A).
+//
+// Each GPS point becomes a 32-dim vector [lat, lng, t, poi_0..poi_28]:
+// the spatiotemporal features plus the counts of each POI category within
+// a 100 m radius. Features are Z-score normalized with statistics fitted
+// on the training split (nn::ZScoreNormalizer).
+#ifndef LEAD_CORE_FEATURES_H_
+#define LEAD_CORE_FEATURES_H_
+
+#include <vector>
+
+#include "nn/matrix.h"
+#include "nn/normalizer.h"
+#include "poi/poi_index.h"
+#include "traj/trajectory.h"
+
+namespace lead::core {
+
+inline constexpr int kSpatioTemporalDims = 3;
+inline constexpr int kFeatureDims = kSpatioTemporalDims + poi::kNumCategories;
+
+struct FeatureOptions {
+  double poi_radius_m = 100.0;
+  // LEAD-NoPoi: replace the POI block with zero padding, keeping the
+  // feature dimension constant (paper §VI-A variant 1).
+  bool use_poi = true;
+};
+
+// Raw (unnormalized) feature rows for every point of a trajectory.
+// The time feature is seconds since local midnight, which carries the
+// time-of-day semantics the timestamp encodes within one day.
+std::vector<std::vector<float>> ExtractPointFeatures(
+    const traj::RawTrajectory& trajectory, const poi::PoiIndex& poi_index,
+    const FeatureOptions& options);
+
+// Packs (optionally normalized) feature rows into a [num_points x 32]
+// matrix. `normalizer` may be null (no normalization).
+nn::Matrix PackFeatures(const std::vector<std::vector<float>>& rows,
+                        const nn::ZScoreNormalizer* normalizer);
+
+}  // namespace lead::core
+
+#endif  // LEAD_CORE_FEATURES_H_

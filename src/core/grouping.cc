@@ -1,0 +1,47 @@
+#include "core/grouping.h"
+
+#include "common/check.h"
+
+namespace lead::core {
+
+std::vector<Subgroup> ForwardGroups(int num_stays) {
+  LEAD_CHECK_GE(num_stays, 2);
+  std::vector<Subgroup> groups;
+  groups.reserve(num_stays - 1);
+  for (int a = 0; a < num_stays - 1; ++a) {
+    Subgroup g;
+    for (int b = a + 1; b < num_stays; ++b) {
+      g.members.push_back(traj::Candidate{a, b});
+    }
+    groups.push_back(std::move(g));
+  }
+  return groups;
+}
+
+std::vector<Subgroup> BackwardGroups(int num_stays) {
+  LEAD_CHECK_GE(num_stays, 2);
+  std::vector<Subgroup> groups;
+  groups.reserve(num_stays - 1);
+  for (int b = 1; b < num_stays; ++b) {
+    Subgroup g;
+    for (int a = b - 1; a >= 0; --a) {
+      g.members.push_back(traj::Candidate{a, b});
+    }
+    groups.push_back(std::move(g));
+  }
+  return groups;
+}
+
+int BackwardFlatIndex(int num_stays, const traj::Candidate& candidate) {
+  const int a = candidate.start_sp;
+  const int b = candidate.end_sp;
+  LEAD_CHECK_GE(a, 0);
+  LEAD_CHECK_LT(a, b);
+  LEAD_CHECK_LT(b, num_stays);
+  // Subgroups gb_1..gb_{b-1} precede; gb_j has j members.
+  const int before = b * (b - 1) / 2;
+  // Within gb_b, members are (b-1,b), (b-2,b), ..., (0,b).
+  return before + (b - 1 - a);
+}
+
+}  // namespace lead::core

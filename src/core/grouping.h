@@ -1,0 +1,38 @@
+// Group generation (paper §V-A, Table II).
+//
+// Forward grouping: subgroup g_a holds candidates starting at stay point
+// a, sorted by ascending end index. Backward grouping: subgroup gb_b
+// holds candidates ending at b, sorted by descending start index.
+// Within a subgroup, adjacent candidates are in inclusion/exclusion
+// relationship; subgroups capture the analogy relationship.
+//
+// Flatten orders (used for label vectors and distribution outputs):
+//  forward  - subgroups g_0..g_{n-2} concatenated, i.e. lexicographic
+//             (start asc, end asc) == traj::GenerateCandidates order;
+//  backward - subgroups gb_1..gb_{n-1} concatenated.
+#ifndef LEAD_CORE_GROUPING_H_
+#define LEAD_CORE_GROUPING_H_
+
+#include <vector>
+
+#include "traj/segmentation.h"
+
+namespace lead::core {
+
+struct Subgroup {
+  // Candidates in the subgroup's canonical order.
+  std::vector<traj::Candidate> members;
+};
+
+// n-1 forward subgroups for n stay points.
+std::vector<Subgroup> ForwardGroups(int num_stays);
+// n-1 backward subgroups for n stay points.
+std::vector<Subgroup> BackwardGroups(int num_stays);
+
+// Position of a candidate in the backward flatten order. (The forward
+// flatten position is traj::CandidateFlatIndex.)
+int BackwardFlatIndex(int num_stays, const traj::Candidate& candidate);
+
+}  // namespace lead::core
+
+#endif  // LEAD_CORE_GROUPING_H_

@@ -1,0 +1,33 @@
+#include "core/labels.h"
+
+#include "common/check.h"
+#include "core/grouping.h"
+
+namespace lead::core {
+namespace {
+
+std::vector<float> SmoothedOneHot(int length, int hot_index, float eps) {
+  LEAD_CHECK_GE(hot_index, 0);
+  LEAD_CHECK_LT(hot_index, length);
+  std::vector<float> label(length, eps);
+  // k zero-probabilities were replaced by eps; the hot entry keeps the
+  // distribution summing to 1.
+  label[hot_index] = 1.0f - eps * static_cast<float>(length - 1);
+  return label;
+}
+
+}  // namespace
+
+std::vector<float> ForwardLabel(int num_stays, const traj::Candidate& loaded,
+                                float eps) {
+  return SmoothedOneHot(traj::NumCandidates(num_stays),
+                        traj::CandidateFlatIndex(num_stays, loaded), eps);
+}
+
+std::vector<float> BackwardLabel(int num_stays,
+                                 const traj::Candidate& loaded, float eps) {
+  return SmoothedOneHot(traj::NumCandidates(num_stays),
+                        BackwardFlatIndex(num_stays, loaded), eps);
+}
+
+}  // namespace lead::core

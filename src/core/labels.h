@@ -1,0 +1,33 @@
+// Label processing (paper §V-C).
+//
+// The real label of a group is a one-hot distribution over all candidates
+// marking the archived loaded trajectory. One-hot labels make the KLD
+// loss (Eqs. 11-12) undefined at log(0), so each zero probability is
+// replaced with a small eps and the hot entry becomes 1 - k*eps, keeping
+// the vector a valid distribution.
+#ifndef LEAD_CORE_LABELS_H_
+#define LEAD_CORE_LABELS_H_
+
+#include <vector>
+
+#include "traj/segmentation.h"
+
+namespace lead::core {
+
+inline constexpr float kDefaultLabelEpsilon = 1e-5f;
+
+// eps-smoothed label in the forward flatten order
+// (traj::CandidateFlatIndex positions).
+std::vector<float> ForwardLabel(int num_stays,
+                                const traj::Candidate& loaded,
+                                float eps = kDefaultLabelEpsilon);
+
+// eps-smoothed label in the backward flatten order (BackwardFlatIndex
+// positions).
+std::vector<float> BackwardLabel(int num_stays,
+                                 const traj::Candidate& loaded,
+                                 float eps = kDefaultLabelEpsilon);
+
+}  // namespace lead::core
+
+#endif  // LEAD_CORE_LABELS_H_

@@ -1,0 +1,632 @@
+#include "core/lead.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+#include "core/grouping.h"
+#include "nn/early_stopping.h"
+#include "nn/scheduler.h"
+#include "nn/ops.h"
+#include "nn/serialize.h"
+
+namespace lead::core {
+namespace {
+
+// Captures / restores module weights so early stopping can keep the best
+// validation epoch (paper uses early stopping; restoring the best weights
+// is the standard realization).
+class WeightSnapshot {
+ public:
+  void Capture(const nn::Module& module) {
+    values_.clear();
+    for (const nn::Variable& p : module.Parameters()) {
+      values_.push_back(p.value());
+    }
+  }
+  void Restore(nn::Module* module) const {
+    if (values_.empty()) return;
+    std::vector<nn::Variable> params = module->Parameters();
+    LEAD_CHECK_EQ(params.size(), values_.size());
+    for (size_t i = 0; i < params.size(); ++i) {
+      params[i].mutable_value() = values_[i];
+    }
+  }
+  bool captured() const { return !values_.empty(); }
+
+ private:
+  std::vector<nn::Matrix> values_;
+};
+
+// Binary cross-entropy of independent candidate probabilities against a
+// one-hot target (LEAD-NoGro training objective).
+nn::Variable BinaryCrossEntropy(const nn::Variable& probs,
+                                const nn::Variable& one_hot) {
+  const nn::Variable one_minus_p =
+      nn::AddScalar(nn::ScalarMul(probs, -1.0f), 1.0f);
+  const nn::Variable one_minus_y =
+      nn::AddScalar(nn::ScalarMul(one_hot, -1.0f), 1.0f);
+  const nn::Variable ll = nn::Add(nn::Mul(one_hot, nn::Log(probs)),
+                                  nn::Mul(one_minus_y, nn::Log(one_minus_p)));
+  return nn::ScalarMul(nn::Mean(ll), -1.0f);
+}
+
+}  // namespace
+
+const char* LeadVariantName(LeadVariant variant) {
+  switch (variant) {
+    case LeadVariant::kFull: return "LEAD";
+    case LeadVariant::kNoPoi: return "LEAD-NoPoi";
+    case LeadVariant::kNoSel: return "LEAD-NoSel";
+    case LeadVariant::kNoHie: return "LEAD-NoHie";
+    case LeadVariant::kNoGro: return "LEAD-NoGro";
+    case LeadVariant::kNoFor: return "LEAD-NoFor";
+    case LeadVariant::kNoBac: return "LEAD-NoBac";
+  }
+  return "LEAD-?";
+}
+
+LeadOptions MakeVariantOptions(LeadOptions base, LeadVariant variant) {
+  switch (variant) {
+    case LeadVariant::kFull:
+      break;
+    case LeadVariant::kNoPoi:
+      base.pipeline.features.use_poi = false;
+      break;
+    case LeadVariant::kNoSel:
+      base.autoencoder.use_attention = false;
+      break;
+    case LeadVariant::kNoHie:
+      base.autoencoder.hierarchical = false;
+      break;
+    case LeadVariant::kNoGro:
+      base.use_grouping = false;
+      break;
+    case LeadVariant::kNoFor:
+      base.use_forward = false;
+      break;
+    case LeadVariant::kNoBac:
+      base.use_backward = false;
+      break;
+  }
+  return base;
+}
+
+LeadModel::LeadModel(const LeadOptions& options) : options_(options) {
+  LEAD_CHECK(options_.use_grouping ||
+             (options_.use_forward && options_.use_backward));
+  LEAD_CHECK(options_.use_forward || options_.use_backward);
+  Rng rng(options_.train.seed);
+  options_.detector.input_dims = options_.autoencoder.cvec_dims();
+  autoencoder_ =
+      std::make_unique<HierarchicalAutoencoder>(options_.autoencoder, &rng);
+  if (options_.use_grouping) {
+    if (options_.use_forward) {
+      forward_detector_ =
+          std::make_unique<StackedBiLstmDetector>(options_.detector, &rng);
+    }
+    if (options_.use_backward) {
+      backward_detector_ =
+          std::make_unique<StackedBiLstmDetector>(options_.detector, &rng);
+    }
+  } else {
+    mlp_scorer_ =
+        std::make_unique<MlpScorer>(options_.autoencoder.cvec_dims(), &rng);
+  }
+}
+
+Status LeadModel::Prepare(const std::vector<LabeledRawTrajectory>& labeled,
+                          const poi::PoiIndex& poi_index,
+                          bool fit_normalizer,
+                          std::vector<PreparedSample>* out) {
+  // First pass: pipeline without normalization.
+  out->clear();
+  out->reserve(labeled.size());
+  for (const LabeledRawTrajectory& sample : labeled) {
+    auto processed = ProcessTrajectory(sample.raw, poi_index,
+                                       options_.pipeline, nullptr);
+    if (!processed.ok()) return processed.status();
+    if (sample.loaded.end_sp >= processed->num_stays()) {
+      return InvalidArgumentError(
+          "label stay index out of range for trajectory " +
+          sample.raw.trajectory_id +
+          " (label derived with different pipeline options?)");
+    }
+    out->push_back(PreparedSample{*std::move(processed), sample.loaded});
+  }
+  if (fit_normalizer) {
+    std::vector<std::vector<float>> rows;
+    for (const PreparedSample& s : *out) {
+      for (int r = 0; r < s.pt.features.rows(); ++r) {
+        rows.emplace_back(s.pt.features.row(r),
+                          s.pt.features.row(r) + s.pt.features.cols());
+      }
+    }
+    LEAD_RETURN_IF_ERROR(normalizer_.Fit(rows));
+  }
+  if (!normalizer_.fitted()) {
+    return FailedPreconditionError("normalizer not fitted");
+  }
+  // Second pass: standardize in place.
+  for (PreparedSample& s : *out) {
+    for (int r = 0; r < s.pt.features.rows(); ++r) {
+      std::vector<float> row(s.pt.features.row(r),
+                             s.pt.features.row(r) + s.pt.features.cols());
+      normalizer_.Apply(&row);
+      std::copy(row.begin(), row.end(), s.pt.features.row(r));
+    }
+  }
+  return Status::Ok();
+}
+
+Status LeadModel::Train(const std::vector<LabeledRawTrajectory>& training,
+                        const std::vector<LabeledRawTrajectory>& validation,
+                        const poi::PoiIndex& poi_index, TrainingLog* log) {
+  if (training.empty()) return InvalidArgumentError("empty training set");
+  std::vector<PreparedSample> train_samples;
+  std::vector<PreparedSample> val_samples;
+  LEAD_RETURN_IF_ERROR(
+      Prepare(training, poi_index, /*fit_normalizer=*/true, &train_samples));
+  LEAD_RETURN_IF_ERROR(Prepare(validation, poi_index,
+                               /*fit_normalizer=*/false, &val_samples));
+  TrainAutoencoder(train_samples, val_samples, log);
+  TrainDetectors(train_samples, val_samples, log);
+  return Status::Ok();
+}
+
+void LeadModel::TrainAutoencoder(
+    const std::vector<PreparedSample>& training,
+    const std::vector<PreparedSample>& validation, TrainingLog* log) {
+  const TrainOptions& topt = options_.train;
+  Rng rng(topt.seed ^ 0xae0001);
+  nn::Adam optimizer(autoencoder_->Parameters(),
+                     {.learning_rate = topt.learning_rate,
+                      .clip_grad_norm = 5.0f});
+  const nn::StepDecayLr lr_schedule(topt.learning_rate, topt.lr_decay_gamma,
+                                    topt.lr_decay_epochs);
+  nn::EarlyStopping stopper(topt.early_stopping_patience,
+                            topt.early_stopping_min_delta);
+  WeightSnapshot best;
+
+  // Candidate subsampler (see TrainOptions::max_candidates_per_trajectory).
+  auto sample_candidates = [&](const PreparedSample& s, Rng* r) {
+    std::vector<traj::Candidate> cands = s.pt.candidates;
+    const int cap = topt.max_candidates_per_trajectory;
+    if (cap > 0 && static_cast<int>(cands.size()) > cap) {
+      r->Shuffle(&cands);
+      cands.resize(cap);
+    }
+    return cands;
+  };
+
+  for (int epoch = 0; epoch < topt.autoencoder_epochs; ++epoch) {
+    optimizer.set_learning_rate(lr_schedule.LearningRate(epoch));
+    // Collect this epoch's (trajectory, candidate) pairs and shuffle them
+    // across trajectories (paper: all f-seqs are shuffled for training).
+    std::vector<std::pair<int, traj::Candidate>> samples;
+    for (int i = 0; i < static_cast<int>(training.size()); ++i) {
+      for (const traj::Candidate& c : sample_candidates(training[i], &rng)) {
+        samples.emplace_back(i, c);
+      }
+    }
+    rng.Shuffle(&samples);
+
+    double epoch_loss = 0.0;
+    int since_step = 0;
+    const float inv_b = 1.0f / static_cast<float>(topt.batch_size);
+    for (const auto& [traj_index, candidate] : samples) {
+      const nn::Variable loss =
+          autoencoder_->ReconstructionLoss(training[traj_index].pt, candidate);
+      epoch_loss += loss.value().at(0, 0);
+      nn::Backward(nn::ScalarMul(loss, inv_b));
+      if (++since_step == topt.batch_size) {
+        optimizer.StepAndZeroGrad();
+        since_step = 0;
+      }
+    }
+    if (since_step > 0) optimizer.StepAndZeroGrad();
+    const float train_mse =
+        samples.empty() ? 0.0f
+                        : static_cast<float>(epoch_loss / samples.size());
+
+    // Validation MSE (same subsampling policy, deterministic).
+    float val_mse = train_mse;
+    if (!validation.empty()) {
+      nn::NoGradGuard no_grad;
+      Rng val_rng(topt.seed ^ 0xae0002);
+      double total = 0.0;
+      int count = 0;
+      for (const PreparedSample& s : validation) {
+        for (const traj::Candidate& c : sample_candidates(s, &val_rng)) {
+          total +=
+              autoencoder_->ReconstructionLoss(s.pt, c).value().at(0, 0);
+          ++count;
+        }
+      }
+      val_mse = count > 0 ? static_cast<float>(total / count) : train_mse;
+    }
+
+    if (log != nullptr) {
+      log->autoencoder_mse.push_back(train_mse);
+      log->autoencoder_val_mse.push_back(val_mse);
+    }
+    if (topt.verbose) {
+      std::fprintf(stderr, "[AE] epoch %d train_mse=%.4f val_mse=%.4f\n",
+                   epoch, train_mse, val_mse);
+    }
+    const bool keep_going = stopper.Report(val_mse);
+    if (stopper.improved_last_report()) best.Capture(*autoencoder_);
+    if (!keep_going) break;
+  }
+  best.Restore(autoencoder_.get());
+}
+
+void LeadModel::TrainDetectors(const std::vector<PreparedSample>& training,
+                               const std::vector<PreparedSample>& validation,
+                               TrainingLog* log) {
+  const TrainOptions& topt = options_.train;
+
+  // Freeze the compressor and cache every candidate's c-vec (paper: the
+  // trained compressor produces the detection component's inputs).
+  struct CachedSample {
+    int num_stays = 0;
+    traj::Candidate loaded;
+    std::vector<nn::Matrix> cvecs;  // forward flatten order
+  };
+  auto cache = [&](const std::vector<PreparedSample>& samples) {
+    nn::NoGradGuard no_grad;
+    std::vector<CachedSample> cached;
+    cached.reserve(samples.size());
+    for (const PreparedSample& s : samples) {
+      CachedSample c;
+      c.num_stays = s.pt.num_stays();
+      c.loaded = s.loaded;
+      c.cvecs.reserve(s.pt.candidates.size());
+      for (nn::Matrix& m : EncodeCandidates(s.pt)) {
+        c.cvecs.push_back(std::move(m));
+      }
+      cached.push_back(std::move(c));
+    }
+    return cached;
+  };
+  const std::vector<CachedSample> train_cached = cache(training);
+  const std::vector<CachedSample> val_cached = cache(validation);
+
+  // Builds the flat output distribution of one detector for one sample
+  // (global softmax over all subgroup scores).
+  auto distribution = [&](const StackedBiLstmDetector& detector,
+                          const CachedSample& s, bool forward) {
+    const std::vector<Subgroup> groups = forward
+                                             ? ForwardGroups(s.num_stays)
+                                             : BackwardGroups(s.num_stays);
+    std::vector<nn::Variable> inputs;
+    inputs.reserve(groups.size());
+    for (const Subgroup& g : groups) {
+      std::vector<nn::Variable> rows;
+      rows.reserve(g.members.size());
+      for (const traj::Candidate& c : g.members) {
+        rows.push_back(nn::Variable::Constant(
+            s.cvecs[traj::CandidateFlatIndex(s.num_stays, c)]));
+      }
+      inputs.push_back(nn::ConcatRows(rows));
+    }
+    return detector.ForwardGroup(inputs);  // [1 x NumCandidates]
+  };
+
+  // Generic simulated-batch training loop with early stopping.
+  auto run = [&](nn::Module* module,
+                 const std::function<nn::Variable(const CachedSample&)>&
+                     sample_loss,
+                 std::vector<float>* train_curve,
+                 std::vector<float>* val_curve, const char* tag) {
+    Rng rng(topt.seed ^ 0xde0001);
+    nn::Adam optimizer(module->Parameters(),
+                       {.learning_rate = topt.learning_rate,
+                        .clip_grad_norm = 5.0f});
+    const nn::StepDecayLr lr_schedule(
+        topt.learning_rate, topt.lr_decay_gamma, topt.lr_decay_epochs);
+    nn::EarlyStopping stopper(topt.early_stopping_patience,
+                              topt.early_stopping_min_delta);
+    WeightSnapshot best;
+    std::vector<int> order(train_cached.size());
+    std::iota(order.begin(), order.end(), 0);
+    const float inv_b = 1.0f / static_cast<float>(topt.batch_size);
+    for (int epoch = 0; epoch < topt.detector_epochs; ++epoch) {
+      optimizer.set_learning_rate(lr_schedule.LearningRate(epoch));
+      rng.Shuffle(&order);
+      double epoch_loss = 0.0;
+      int since_step = 0;
+      for (int idx : order) {
+        const nn::Variable loss = sample_loss(train_cached[idx]);
+        epoch_loss += loss.value().at(0, 0);
+        nn::Backward(nn::ScalarMul(loss, inv_b));
+        if (++since_step == topt.batch_size) {
+          optimizer.StepAndZeroGrad();
+          since_step = 0;
+        }
+      }
+      if (since_step > 0) optimizer.StepAndZeroGrad();
+      const float train_loss =
+          train_cached.empty()
+              ? 0.0f
+              : static_cast<float>(epoch_loss / train_cached.size());
+
+      float val_loss = train_loss;
+      if (!val_cached.empty()) {
+        nn::NoGradGuard no_grad;
+        double total = 0.0;
+        for (const CachedSample& s : val_cached) {
+          total += sample_loss(s).value().at(0, 0);
+        }
+        val_loss = static_cast<float>(total / val_cached.size());
+      }
+      if (train_curve != nullptr) train_curve->push_back(train_loss);
+      if (val_curve != nullptr) val_curve->push_back(val_loss);
+      if (topt.verbose) {
+        std::fprintf(stderr, "[%s] epoch %d train=%.4f val=%.4f\n", tag,
+                     epoch, train_loss, val_loss);
+      }
+      const bool keep_going = stopper.Report(val_loss);
+      if (stopper.improved_last_report()) best.Capture(*module);
+      if (!keep_going) break;
+    }
+    best.Restore(module);
+  };
+
+  if (options_.use_grouping) {
+    if (forward_detector_ != nullptr) {
+      run(
+          forward_detector_.get(),
+          [&](const CachedSample& s) {
+            const nn::Variable label = nn::Variable::Constant(
+                nn::Matrix::RowVector(ForwardLabel(s.num_stays, s.loaded,
+                                                   topt.label_epsilon)));
+            return nn::KlDivergence(
+                label, distribution(*forward_detector_, s, /*forward=*/true));
+          },
+          log != nullptr ? &log->forward_kld : nullptr,
+          log != nullptr ? &log->forward_val_kld : nullptr, "fwd");
+    }
+    if (backward_detector_ != nullptr) {
+      run(
+          backward_detector_.get(),
+          [&](const CachedSample& s) {
+            const nn::Variable label = nn::Variable::Constant(
+                nn::Matrix::RowVector(BackwardLabel(s.num_stays, s.loaded,
+                                                    topt.label_epsilon)));
+            return nn::KlDivergence(
+                label,
+                distribution(*backward_detector_, s, /*forward=*/false));
+          },
+          log != nullptr ? &log->backward_kld : nullptr,
+          log != nullptr ? &log->backward_val_kld : nullptr, "bwd");
+    }
+  } else {
+    run(
+        mlp_scorer_.get(),
+        [&](const CachedSample& s) {
+          std::vector<nn::Variable> rows;
+          rows.reserve(s.cvecs.size());
+          for (const nn::Matrix& m : s.cvecs) {
+            rows.push_back(nn::Variable::Constant(m));
+          }
+          nn::Matrix one_hot(static_cast<int>(s.cvecs.size()), 1);
+          one_hot.at(traj::CandidateFlatIndex(s.num_stays, s.loaded), 0) =
+              1.0f;
+          return BinaryCrossEntropy(
+              mlp_scorer_->Forward(nn::ConcatRows(rows)),
+              nn::Variable::Constant(std::move(one_hot)));
+        },
+        log != nullptr ? &log->nogro_bce : nullptr,
+        log != nullptr ? &log->nogro_val_bce : nullptr, "mlp");
+  }
+}
+
+StatusOr<ProcessedTrajectory> LeadModel::Preprocess(
+    const traj::RawTrajectory& raw, const poi::PoiIndex& poi_index) const {
+  if (!normalizer_.fitted()) {
+    return FailedPreconditionError("model is not trained");
+  }
+  return ProcessTrajectory(raw, poi_index, options_.pipeline, &normalizer_);
+}
+
+std::vector<nn::Matrix> LeadModel::EncodeCandidates(
+    const ProcessedTrajectory& pt) const {
+  nn::NoGradGuard no_grad;
+  std::vector<nn::Matrix> cvecs;
+  cvecs.reserve(pt.candidates.size());
+  if (options_.autoencoder.hierarchical) {
+    // Phase-1 segment compression shared across candidates.
+    const TrajectoryEncoding enc = autoencoder_->EncodeSegments(pt);
+    for (const traj::Candidate& c : pt.candidates) {
+      cvecs.push_back(
+          autoencoder_->EncodeCandidateFromSegments(enc, c).value());
+    }
+  } else {
+    for (const traj::Candidate& c : pt.candidates) {
+      cvecs.push_back(autoencoder_->EncodeCandidate(pt, c).value());
+    }
+  }
+  return cvecs;
+}
+
+StatusOr<Detection> LeadModel::DetectProcessed(
+    const ProcessedTrajectory& pt) const {
+  if (!normalizer_.fitted()) {
+    return FailedPreconditionError("model is not trained");
+  }
+  nn::NoGradGuard no_grad;
+  const int n = pt.num_stays();
+  const std::vector<nn::Matrix> cvecs = EncodeCandidates(pt);
+  const int num_candidates = static_cast<int>(cvecs.size());
+  LEAD_CHECK_EQ(num_candidates, traj::NumCandidates(n));
+
+  std::vector<float> merged(num_candidates, 0.0f);
+  if (options_.use_grouping) {
+    auto accumulate = [&](const StackedBiLstmDetector& detector,
+                          bool forward) {
+      const std::vector<Subgroup> groups =
+          forward ? ForwardGroups(n) : BackwardGroups(n);
+      std::vector<nn::Variable> inputs;
+      std::vector<const traj::Candidate*> order;
+      inputs.reserve(groups.size());
+      for (const Subgroup& g : groups) {
+        std::vector<nn::Variable> rows;
+        rows.reserve(g.members.size());
+        for (const traj::Candidate& c : g.members) {
+          rows.push_back(nn::Variable::Constant(
+              cvecs[traj::CandidateFlatIndex(n, c)]));
+          order.push_back(&c);
+        }
+        inputs.push_back(nn::ConcatRows(rows));
+      }
+      const nn::Variable probs = detector.ForwardGroup(inputs);
+      for (size_t i = 0; i < order.size(); ++i) {
+        merged[traj::CandidateFlatIndex(n, *order[i])] +=
+            probs.value().at(0, static_cast<int>(i));
+      }
+    };
+    if (options_.use_forward && forward_detector_ != nullptr) {
+      accumulate(*forward_detector_, /*forward=*/true);
+    }
+    if (options_.use_backward && backward_detector_ != nullptr) {
+      accumulate(*backward_detector_, /*forward=*/false);
+    }
+  } else {
+    std::vector<nn::Variable> rows;
+    rows.reserve(cvecs.size());
+    for (const nn::Matrix& m : cvecs) {
+      rows.push_back(nn::Variable::Constant(m));
+    }
+    const nn::Variable probs = mlp_scorer_->Forward(nn::ConcatRows(rows));
+    for (int i = 0; i < num_candidates; ++i) {
+      merged[i] = probs.value().at(i, 0);
+    }
+  }
+
+  // Min-max rescale to [0, 1] (Eq. 13's normalization step).
+  const auto [min_it, max_it] =
+      std::minmax_element(merged.begin(), merged.end());
+  const float lo = *min_it;
+  const float hi = *max_it;
+  if (hi > lo) {
+    for (float& p : merged) p = (p - lo) / (hi - lo);
+  }
+
+  Detection detection;
+  detection.num_stays = n;
+  detection.candidates = pt.candidates;
+  const int best = static_cast<int>(
+      std::max_element(merged.begin(), merged.end()) - merged.begin());
+  detection.loaded = pt.candidates[best];
+  detection.probabilities = std::move(merged);
+  return detection;
+}
+
+StatusOr<Detection> LeadModel::Detect(const traj::RawTrajectory& raw,
+                                      const poi::PoiIndex& poi_index) const {
+  auto processed = Preprocess(raw, poi_index);
+  if (!processed.ok()) return processed.status();
+  return DetectProcessed(*processed);
+}
+
+std::vector<std::pair<traj::Candidate, float>> TopKCandidates(
+    const Detection& detection, int k) {
+  LEAD_CHECK_EQ(detection.candidates.size(),
+                detection.probabilities.size());
+  std::vector<int> order(detection.candidates.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return detection.probabilities[a] > detection.probabilities[b];
+  });
+  const int count =
+      std::min<int>(std::max(0, k), static_cast<int>(order.size()));
+  std::vector<std::pair<traj::Candidate, float>> top;
+  top.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    top.emplace_back(detection.candidates[order[i]],
+                     detection.probabilities[order[i]]);
+  }
+  return top;
+}
+
+Status LeadModel::Save(const std::string& path) const {
+  if (!normalizer_.fitted()) {
+    return FailedPreconditionError("model is not trained");
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return IoError("cannot open for write: " + path);
+  const uint32_t dims = static_cast<uint32_t>(normalizer_.dims());
+  out.write(reinterpret_cast<const char*>(&dims), sizeof(dims));
+  out.write(reinterpret_cast<const char*>(normalizer_.mean().data()),
+            dims * sizeof(float));
+  out.write(reinterpret_cast<const char*>(normalizer_.std().data()),
+            dims * sizeof(float));
+  LEAD_RETURN_IF_ERROR(nn::SaveParameters(*autoencoder_, out));
+  if (forward_detector_ != nullptr) {
+    LEAD_RETURN_IF_ERROR(nn::SaveParameters(*forward_detector_, out));
+  }
+  if (backward_detector_ != nullptr) {
+    LEAD_RETURN_IF_ERROR(nn::SaveParameters(*backward_detector_, out));
+  }
+  if (mlp_scorer_ != nullptr) {
+    LEAD_RETURN_IF_ERROR(nn::SaveParameters(*mlp_scorer_, out));
+  }
+  if (!out.good()) return IoError("failed writing model file");
+  return Status::Ok();
+}
+
+Status LeadModel::CopyEncoderFrom(const LeadModel& other) {
+  if (!other.trained()) {
+    return FailedPreconditionError("source model is not trained");
+  }
+  const AutoencoderOptions& a = options_.autoencoder;
+  const AutoencoderOptions& b = other.options_.autoencoder;
+  if (a.feature_dims != b.feature_dims || a.hidden != b.hidden ||
+      a.use_attention != b.use_attention ||
+      a.hierarchical != b.hierarchical ||
+      options_.pipeline.features.use_poi !=
+          other.options_.pipeline.features.use_poi) {
+    return InvalidArgumentError(
+        "autoencoder/feature configurations do not match");
+  }
+  std::stringstream buffer;
+  LEAD_RETURN_IF_ERROR(nn::SaveParameters(*other.autoencoder_, buffer));
+  LEAD_RETURN_IF_ERROR(nn::LoadParameters(autoencoder_.get(), buffer));
+  normalizer_ = other.normalizer_;
+  return Status::Ok();
+}
+
+Status LeadModel::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return IoError("cannot open for read: " + path);
+  uint32_t dims = 0;
+  in.read(reinterpret_cast<char*>(&dims), sizeof(dims));
+  if (!in.good() || dims == 0 || dims > 4096) {
+    return IoError("bad model file header");
+  }
+  std::vector<float> mean(dims);
+  std::vector<float> std_dev(dims);
+  in.read(reinterpret_cast<char*>(mean.data()), dims * sizeof(float));
+  in.read(reinterpret_cast<char*>(std_dev.data()), dims * sizeof(float));
+  if (!in.good()) return IoError("truncated model file");
+  normalizer_ =
+      nn::ZScoreNormalizer::FromMoments(std::move(mean), std::move(std_dev));
+  LEAD_RETURN_IF_ERROR(nn::LoadParameters(autoencoder_.get(), in));
+  if (forward_detector_ != nullptr) {
+    LEAD_RETURN_IF_ERROR(nn::LoadParameters(forward_detector_.get(), in));
+  }
+  if (backward_detector_ != nullptr) {
+    LEAD_RETURN_IF_ERROR(nn::LoadParameters(backward_detector_.get(), in));
+  }
+  if (mlp_scorer_ != nullptr) {
+    LEAD_RETURN_IF_ERROR(nn::LoadParameters(mlp_scorer_.get(), in));
+  }
+  return Status::Ok();
+}
+
+}  // namespace lead::core

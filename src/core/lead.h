@@ -1,0 +1,187 @@
+// LEAD: the end-to-end loaded-trajectory detection framework (paper §II-B,
+// Figure 2).
+//
+// Offline stage: Train() fits the Z-score normalizer, trains the
+// hierarchical autoencoder self-supervisedly on candidate feature
+// sequences (Eq. 8), freezes the compressor, caches candidate c-vecs, and
+// trains the forward/backward detectors on eps-smoothed labels with the
+// KLD loss (Eqs. 11-12).
+//
+// Online stage: Detect() processes an unseen raw trajectory, encodes all
+// candidates (phase-1 segment compression shared across candidates), runs
+// both detectors, merges and min-max-rescales the two distributions, and
+// returns the argmax candidate (Eq. 13).
+//
+// All six ablation variants of §VI-A are configuration switches; see
+// MakeVariantOptions.
+#ifndef LEAD_CORE_LEAD_H_
+#define LEAD_CORE_LEAD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/autoencoder.h"
+#include "core/detector.h"
+#include "core/labels.h"
+#include "core/pipeline.h"
+#include "nn/adam.h"
+
+namespace lead::core {
+
+// One supervised sample: a raw trajectory plus its archived loaded
+// trajectory, expressed as the (loading, unloading) stay-point pair the
+// pipeline options produce.
+struct LabeledRawTrajectory {
+  traj::RawTrajectory raw;
+  traj::Candidate loaded;
+};
+
+struct TrainOptions {
+  int autoencoder_epochs = 14;
+  int detector_epochs = 25;
+  float learning_rate = 1e-4f;  // paper: Adam, scheduled lr 1e-4
+  // Simulated batch size B: the average loss of B consecutive samples is
+  // backpropagated per optimizer step (paper §VI-A).
+  int batch_size = 64;
+  int early_stopping_patience = 3;
+  // Minimum validation-loss improvement that resets patience.
+  float early_stopping_min_delta = 1e-3f;
+  // Step-decay learning-rate schedule (paper: "scheduled learning rate"):
+  // rate is multiplied by lr_decay_gamma every lr_decay_epochs epochs;
+  // gamma 1.0 disables.
+  float lr_decay_gamma = 1.0f;
+  int lr_decay_epochs = 10;
+  float label_epsilon = kDefaultLabelEpsilon;
+  // Autoencoder epochs subsample at most this many candidates per
+  // trajectory (<=0 trains on all candidates, the paper's setting; the
+  // cap is a CPU-budget knob, see DESIGN.md §3).
+  int max_candidates_per_trajectory = 6;
+  uint64_t seed = 42;
+  bool verbose = false;
+};
+
+struct LeadOptions {
+  PipelineOptions pipeline;
+  AutoencoderOptions autoencoder;
+  DetectorOptions detector;
+  TrainOptions train;
+  // Variant switches (paper §VI-A). use_grouping=false replaces both
+  // detectors with the independent MLP scorer (LEAD-NoGro).
+  bool use_grouping = true;
+  bool use_forward = true;
+  bool use_backward = true;
+};
+
+// The paper's ablation variants as option transforms.
+enum class LeadVariant {
+  kFull,
+  kNoPoi,
+  kNoSel,
+  kNoHie,
+  kNoGro,
+  kNoFor,
+  kNoBac,
+};
+const char* LeadVariantName(LeadVariant variant);
+LeadOptions MakeVariantOptions(LeadOptions base, LeadVariant variant);
+
+// Per-epoch loss curves recorded during Train() (Figures 9-10).
+struct TrainingLog {
+  std::vector<float> autoencoder_mse;       // train, per epoch
+  std::vector<float> autoencoder_val_mse;   // val, per epoch
+  std::vector<float> forward_kld;           // train, per epoch
+  std::vector<float> forward_val_kld;
+  std::vector<float> backward_kld;
+  std::vector<float> backward_val_kld;
+  std::vector<float> nogro_bce;             // only for LEAD-NoGro
+  std::vector<float> nogro_val_bce;
+};
+
+// The online-stage output for one raw trajectory.
+struct Detection {
+  traj::Candidate loaded;
+  int num_stays = 0;
+  std::vector<traj::Candidate> candidates;    // forward flatten order
+  // Merged, min-max-rescaled probabilities by forward flatten index.
+  std::vector<float> probabilities;
+};
+
+// The k most probable candidates of a detection, most probable first
+// (ties broken by flatten order). k is clamped to the candidate count.
+std::vector<std::pair<traj::Candidate, float>> TopKCandidates(
+    const Detection& detection, int k);
+
+class LeadModel {
+ public:
+  explicit LeadModel(const LeadOptions& options);
+
+  // Offline stage. `validation` drives early stopping; `log` (optional)
+  // receives loss curves.
+  Status Train(const std::vector<LabeledRawTrajectory>& training,
+               const std::vector<LabeledRawTrajectory>& validation,
+               const poi::PoiIndex& poi_index, TrainingLog* log);
+
+  // Online stage: detects the loaded trajectory of an unseen raw
+  // trajectory.
+  StatusOr<Detection> Detect(const traj::RawTrajectory& raw,
+                             const poi::PoiIndex& poi_index) const;
+
+  // Detection from an already-processed trajectory (features must have
+  // been produced with this model's normalizer).
+  StatusOr<Detection> DetectProcessed(const ProcessedTrajectory& pt) const;
+
+  // Runs the processing pipeline with this model's fitted normalizer.
+  StatusOr<ProcessedTrajectory> Preprocess(
+      const traj::RawTrajectory& raw, const poi::PoiIndex& poi_index) const;
+
+  // Candidate c-vecs of a processed trajectory by forward flatten index
+  // (inference mode, shared phase-1 encoding).
+  std::vector<nn::Matrix> EncodeCandidates(
+      const ProcessedTrajectory& pt) const;
+
+  Status Save(const std::string& path) const;
+  Status Load(const std::string& path);
+
+  // Copies the fitted normalizer and trained autoencoder weights from a
+  // model with an identical feature/autoencoder configuration. Lets
+  // detector-side ablations (NoGro/NoFor/NoBac) share the expensive
+  // self-supervised stage: combine with train.autoencoder_epochs = 0.
+  Status CopyEncoderFrom(const LeadModel& other);
+
+  const LeadOptions& options() const { return options_; }
+  bool trained() const { return normalizer_.fitted(); }
+  const nn::ZScoreNormalizer& normalizer() const { return normalizer_; }
+  const HierarchicalAutoencoder& autoencoder() const {
+    return *autoencoder_;
+  }
+
+ private:
+  struct PreparedSample {
+    ProcessedTrajectory pt;
+    traj::Candidate loaded;
+  };
+
+  Status Prepare(const std::vector<LabeledRawTrajectory>& labeled,
+                 const poi::PoiIndex& poi_index, bool fit_normalizer,
+                 std::vector<PreparedSample>* out);
+  void TrainAutoencoder(const std::vector<PreparedSample>& training,
+                        const std::vector<PreparedSample>& validation,
+                        TrainingLog* log);
+  void TrainDetectors(const std::vector<PreparedSample>& training,
+                      const std::vector<PreparedSample>& validation,
+                      TrainingLog* log);
+
+  LeadOptions options_;
+  nn::ZScoreNormalizer normalizer_;
+  std::unique_ptr<HierarchicalAutoencoder> autoencoder_;
+  std::unique_ptr<StackedBiLstmDetector> forward_detector_;
+  std::unique_ptr<StackedBiLstmDetector> backward_detector_;
+  std::unique_ptr<MlpScorer> mlp_scorer_;
+};
+
+}  // namespace lead::core
+
+#endif  // LEAD_CORE_LEAD_H_

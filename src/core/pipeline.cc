@@ -1,0 +1,48 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace lead::core {
+
+StatusOr<ProcessedTrajectory> ProcessTrajectory(
+    const traj::RawTrajectory& raw, const poi::PoiIndex& poi_index,
+    const PipelineOptions& options, const nn::ZScoreNormalizer* normalizer) {
+  if (raw.empty()) {
+    return InvalidArgumentError("empty trajectory: " + raw.trajectory_id);
+  }
+  LEAD_RETURN_IF_ERROR(traj::ValidateChronological(raw));
+
+  ProcessedTrajectory out;
+  out.cleaned = traj::FilterNoise(raw, options.noise).cleaned;
+  std::vector<traj::StayPoint> stays =
+      traj::ExtractStayPoints(out.cleaned, options.stay);
+  if (stays.size() < 2) {
+    return FailedPreconditionError(
+        "trajectory " + raw.trajectory_id +
+        " has fewer than 2 stay points; no candidate trajectory exists");
+  }
+  out.segmentation = traj::Segment(out.cleaned, std::move(stays));
+  out.candidates = traj::GenerateCandidates(out.segmentation.num_stays());
+  out.features = PackFeatures(
+      ExtractPointFeatures(out.cleaned, poi_index, options.features),
+      normalizer);
+  return out;
+}
+
+nn::Variable SegmentFeatures(const ProcessedTrajectory& trajectory,
+                             traj::IndexRange range) {
+  LEAD_CHECK_GE(range.begin, 0);
+  LEAD_CHECK_LE(range.begin, range.end);
+  LEAD_CHECK_LT(range.end, trajectory.features.rows());
+  nn::Matrix m(range.size(), trajectory.features.cols());
+  for (int r = 0; r < range.size(); ++r) {
+    const float* src = trajectory.features.row(range.begin + r);
+    std::copy(src, src + m.cols(), m.row(r));
+  }
+  return nn::Variable::Constant(std::move(m));
+}
+
+}  // namespace lead::core

@@ -1,0 +1,52 @@
+// Raw-trajectory processing pipeline (paper §III + feature extraction).
+//
+// noise filter -> stay-point extraction -> stay/move segmentation ->
+// candidate generation -> per-point feature matrix.
+#ifndef LEAD_CORE_PIPELINE_H_
+#define LEAD_CORE_PIPELINE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/features.h"
+#include "nn/normalizer.h"
+#include "nn/variable.h"
+#include "poi/poi_index.h"
+#include "traj/noise_filter.h"
+#include "traj/segmentation.h"
+#include "traj/stay_point.h"
+
+namespace lead::core {
+
+struct PipelineOptions {
+  traj::NoiseFilterOptions noise;
+  traj::StayPointOptions stay;
+  FeatureOptions features;
+};
+
+// Everything downstream components need about one trajectory.
+struct ProcessedTrajectory {
+  traj::RawTrajectory cleaned;
+  traj::Segmentation segmentation;
+  std::vector<traj::Candidate> candidates;  // lexicographic order
+  nn::Matrix features;  // [cleaned.size() x kFeatureDims]
+
+  int num_stays() const { return segmentation.num_stays(); }
+};
+
+// Runs the full processing pipeline. `normalizer` may be null (features
+// stay in raw units; used while fitting the normalizer itself). Fails if
+// the cleaned trajectory has fewer than 2 stay points, i.e. no candidate
+// exists (Definition 4).
+StatusOr<ProcessedTrajectory> ProcessTrajectory(
+    const traj::RawTrajectory& raw, const poi::PoiIndex& poi_index,
+    const PipelineOptions& options, const nn::ZScoreNormalizer* normalizer);
+
+// The feature sub-matrix of an index range as an autograd constant
+// ([range.size() x kFeatureDims]).
+nn::Variable SegmentFeatures(const ProcessedTrajectory& trajectory,
+                             traj::IndexRange range);
+
+}  // namespace lead::core
+
+#endif  // LEAD_CORE_PIPELINE_H_

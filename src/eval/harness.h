@@ -1,0 +1,86 @@
+// Shared experiment harness: builds the simulated corpus, converts it to
+// training samples, evaluates detection methods and formats the paper's
+// tables. Every bench binary is a thin wrapper over this module.
+#ifndef LEAD_EVAL_HARNESS_H_
+#define LEAD_EVAL_HARNESS_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/lead.h"
+#include "eval/metrics.h"
+#include "sim/dataset.h"
+#include "sim/world.h"
+
+namespace lead::eval {
+
+// Full configuration of one experiment run.
+struct ExperimentConfig {
+  sim::WorldOptions world;
+  sim::SimOptions sim;
+  sim::DatasetOptions dataset;
+  core::LeadOptions lead;
+};
+
+// Default configuration used by the benches. The CPU-budget scale factor
+// multiplies the corpus size (and, below 1.0, thins GPS sampling); it is
+// read from the LEAD_BENCH_SCALE environment variable (default 1.0; the
+// paper-faithful corpus corresponds to roughly 12.0).
+ExperimentConfig DefaultConfig(double scale);
+double BenchScaleFromEnv();
+
+// The generated corpus, split by truck.
+struct ExperimentData {
+  std::unique_ptr<sim::World> world;
+  sim::DatasetSplit split;
+
+  std::vector<core::LabeledRawTrajectory> TrainLabeled() const;
+  std::vector<core::LabeledRawTrajectory> ValLabeled() const;
+  std::vector<core::LabeledRawTrajectory> TestLabeled() const;
+};
+
+StatusOr<ExperimentData> BuildExperiment(const ExperimentConfig& config);
+
+std::vector<core::LabeledRawTrajectory> ToLabeled(
+    const std::vector<sim::SimulatedDay>& days);
+
+// A detection method under evaluation: maps a raw trajectory to the
+// detected loaded candidate (stay-point pair).
+using DetectFn =
+    std::function<StatusOr<traj::Candidate>(const traj::RawTrajectory&)>;
+
+struct MethodResult {
+  std::string name;
+  AccuracyTable accuracy;
+  TimingTable timing;
+  DetectionBreakdown breakdown;  // endpoint/overlap diagnostics
+  int errors = 0;  // trajectories the method failed on (counted as miss)
+};
+
+// Runs `detect` over the test set, timing each call end to end.
+MethodResult EvaluateMethod(const std::string& name,
+                            const std::vector<sim::SimulatedDay>& test,
+                            const DetectFn& detect);
+
+// Formats a Table III / Table IV style table: one row per method, columns
+// 3~5 / 6~8 / 9~11 / 12~14 / 3~14 accuracy (percent), plus the test-set
+// bucket shares in the header.
+std::string FormatAccuracyTable(const std::vector<MethodResult>& results,
+                                const std::vector<sim::SimulatedDay>& test);
+
+// Formats the Figure 8 series: mean inference seconds per bucket.
+std::string FormatTimingTable(const std::vector<MethodResult>& results);
+
+// Formats the endpoint/overlap diagnostics (extension beyond the paper).
+std::string FormatBreakdownTable(const std::vector<MethodResult>& results);
+
+// Formats a loss curve ("epoch i: loss") plus a crude ASCII sparkline.
+std::string FormatLossCurve(const std::string& name,
+                            const std::vector<float>& losses);
+
+}  // namespace lead::eval
+
+#endif  // LEAD_EVAL_HARNESS_H_

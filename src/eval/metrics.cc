@@ -1,0 +1,70 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace lead::eval {
+
+int BucketOf(int num_stays) {
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (num_stays >= kBucketLow[i] && num_stays <= kBucketHigh[i]) return i;
+  }
+  return -1;
+}
+
+std::string BucketLabel(int bucket) {
+  if (bucket == kNumBuckets) return "3~14";
+  LEAD_CHECK_GE(bucket, 0);
+  LEAD_CHECK_LT(bucket, kNumBuckets);
+  return std::to_string(kBucketLow[bucket]) + "~" +
+         std::to_string(kBucketHigh[bucket]);
+}
+
+void AccuracyTable::Add(int num_stays, bool hit) {
+  const int b = BucketOf(num_stays);
+  if (b >= 0) {
+    buckets_[b].total += 1;
+    buckets_[b].hits += hit ? 1 : 0;
+  }
+  overall_.total += 1;
+  overall_.hits += hit ? 1 : 0;
+}
+
+void DetectionBreakdown::Add(int detected_start, int detected_end,
+                             int true_start, int true_end) {
+  ++total_;
+  loading_correct_ += detected_start == true_start ? 1 : 0;
+  unloading_correct_ += detected_end == true_end ? 1 : 0;
+  const int inter_lo = std::max(detected_start, true_start);
+  const int inter_hi = std::min(detected_end, true_end);
+  const int inter = std::max(0, inter_hi - inter_lo + 1);
+  const int uni = (detected_end - detected_start + 1) +
+                  (true_end - true_start + 1) - inter;
+  iou_sum_ += uni > 0 ? static_cast<double>(inter) / uni : 0.0;
+}
+
+void TimingTable::Add(int num_stays, double seconds) {
+  const int b = BucketOf(num_stays);
+  if (b < 0) return;
+  total_s_[b] += seconds;
+  counts_[b] += 1;
+}
+
+double TimingTable::mean_seconds(int bucket) const {
+  LEAD_CHECK_GE(bucket, 0);
+  LEAD_CHECK_LT(bucket, kNumBuckets);
+  return counts_[bucket] > 0 ? total_s_[bucket] / counts_[bucket] : 0.0;
+}
+
+double TimingTable::overall_mean_seconds() const {
+  double total = 0.0;
+  int count = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    total += total_s_[i];
+    count += counts_[i];
+  }
+  return count > 0 ? total / count : 0.0;
+}
+
+}  // namespace lead::eval

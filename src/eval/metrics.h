@@ -1,0 +1,86 @@
+// Evaluation metric (paper Eq. 14) and the stay-point-count buckets used
+// throughout §VI: 3-5, 6-8, 9-11, 12-14 and the 3-14 overall column.
+#ifndef LEAD_EVAL_METRICS_H_
+#define LEAD_EVAL_METRICS_H_
+
+#include <array>
+#include <string>
+
+namespace lead::eval {
+
+inline constexpr int kNumBuckets = 4;
+inline constexpr std::array<int, kNumBuckets> kBucketLow = {3, 6, 9, 12};
+inline constexpr std::array<int, kNumBuckets> kBucketHigh = {5, 8, 11, 14};
+
+// Bucket index of a stay-point count, or -1 when outside 3-14.
+int BucketOf(int num_stays);
+// "3~5" style label; index kNumBuckets means the overall 3~14 column.
+std::string BucketLabel(int bucket);
+
+struct BucketCounter {
+  int hits = 0;
+  int total = 0;
+
+  double accuracy_pct() const {
+    return total > 0 ? 100.0 * hits / total : 0.0;
+  }
+};
+
+// Accuracy broken down by bucket plus the overall column (Eq. 14).
+class AccuracyTable {
+ public:
+  // Records one test trajectory's outcome.
+  void Add(int num_stays, bool hit);
+
+  const BucketCounter& bucket(int i) const { return buckets_[i]; }
+  const BucketCounter& overall() const { return overall_; }
+
+ private:
+  std::array<BucketCounter, kNumBuckets> buckets_{};
+  BucketCounter overall_{};
+};
+
+// Endpoint-level and overlap diagnostics (extension beyond the paper's
+// exact-match Acc): how often each endpoint is right, and how much of the
+// true loaded trajectory the detection covers when it is not an exact hit.
+class DetectionBreakdown {
+ public:
+  // `detected`/`truth` are (loading, unloading) stay-point index pairs.
+  void Add(int detected_start, int detected_end, int true_start,
+           int true_end);
+
+  int total() const { return total_; }
+  double loading_accuracy_pct() const {
+    return total_ > 0 ? 100.0 * loading_correct_ / total_ : 0.0;
+  }
+  double unloading_accuracy_pct() const {
+    return total_ > 0 ? 100.0 * unloading_correct_ / total_ : 0.0;
+  }
+  // Mean IoU of the detected vs. true stay-point index intervals.
+  double mean_interval_iou() const {
+    return total_ > 0 ? iou_sum_ / total_ : 0.0;
+  }
+
+ private:
+  int total_ = 0;
+  int loading_correct_ = 0;
+  int unloading_correct_ = 0;
+  double iou_sum_ = 0.0;
+};
+
+// Mean wall-clock per bucket (Figure 8).
+class TimingTable {
+ public:
+  void Add(int num_stays, double seconds);
+
+  double mean_seconds(int bucket) const;
+  double overall_mean_seconds() const;
+
+ private:
+  std::array<double, kNumBuckets> total_s_{};
+  std::array<int, kNumBuckets> counts_{};
+};
+
+}  // namespace lead::eval
+
+#endif  // LEAD_EVAL_METRICS_H_

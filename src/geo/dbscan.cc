@@ -1,0 +1,129 @@
+#include "geo/dbscan.h"
+
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace lead::geo {
+namespace {
+
+// Minimal uniform grid over the input points for epsilon-neighbourhood
+// queries (cells sized to epsilon, so a query inspects <= 9 cells).
+class PointGrid {
+ public:
+  PointGrid(const std::vector<LatLng>& points, double cell_m)
+      : points_(points), cell_m_(cell_m) {
+    double mean_lat = 0.0;
+    for (const LatLng& p : points) mean_lat += p.lat;
+    if (!points.empty()) mean_lat /= static_cast<double>(points.size());
+    m_per_deg_lat_ = kDegToRad * kEarthRadiusMeters;
+    m_per_deg_lng_ =
+        std::max(1.0, m_per_deg_lat_ * std::cos(mean_lat * kDegToRad));
+    for (int i = 0; i < static_cast<int>(points.size()); ++i) {
+      cells_[Key(points[i])].push_back(i);
+    }
+  }
+
+  // Indices of all points within radius_m of points_[center].
+  std::vector<int> Neighbours(int center, double radius_m) const {
+    std::vector<int> out;
+    const LatLng& c = points_[center];
+    const int64_t span =
+        static_cast<int64_t>(std::ceil(radius_m / cell_m_));
+    const int64_t cx = CellX(c);
+    const int64_t cy = CellY(c);
+    for (int64_t dy = -span; dy <= span; ++dy) {
+      for (int64_t dx = -span; dx <= span; ++dx) {
+        const auto it = cells_.find(Pack(cx + dx, cy + dy));
+        if (it == cells_.end()) continue;
+        for (int i : it->second) {
+          if (DistanceMeters(c, points_[i]) <= radius_m) out.push_back(i);
+        }
+      }
+    }
+    return out;
+  }
+
+ private:
+  int64_t CellX(const LatLng& p) const {
+    return static_cast<int64_t>(
+        std::floor(p.lng * m_per_deg_lng_ / cell_m_));
+  }
+  int64_t CellY(const LatLng& p) const {
+    return static_cast<int64_t>(
+        std::floor(p.lat * m_per_deg_lat_ / cell_m_));
+  }
+  static int64_t Pack(int64_t x, int64_t y) {
+    constexpr int64_t kOffset = int64_t{1} << 30;
+    return ((x + kOffset) << 32) | (y + kOffset);
+  }
+  int64_t Key(const LatLng& p) const { return Pack(CellX(p), CellY(p)); }
+
+  const std::vector<LatLng>& points_;
+  double cell_m_;
+  double m_per_deg_lat_;
+  double m_per_deg_lng_;
+  std::unordered_map<int64_t, std::vector<int>> cells_;
+};
+
+}  // namespace
+
+DbscanResult Dbscan(const std::vector<LatLng>& points,
+                    const DbscanOptions& options) {
+  LEAD_CHECK_GT(options.epsilon_m, 0.0);
+  LEAD_CHECK_GE(options.min_points, 1);
+  const int n = static_cast<int>(points.size());
+  DbscanResult result;
+  result.labels.assign(n, kNoise);
+  if (n == 0) return result;
+
+  const PointGrid grid(points, options.epsilon_m);
+  constexpr int kUnvisited = -2;
+  std::vector<int> labels(n, kUnvisited);
+
+  for (int i = 0; i < n; ++i) {
+    if (labels[i] != kUnvisited) continue;
+    std::vector<int> neighbours = grid.Neighbours(i, options.epsilon_m);
+    if (static_cast<int>(neighbours.size()) < options.min_points) {
+      labels[i] = kNoise;  // may be claimed later as a border point
+      continue;
+    }
+    // Start a new cluster and expand it breadth-first.
+    const int cluster = result.num_clusters++;
+    labels[i] = cluster;
+    std::deque<int> frontier(neighbours.begin(), neighbours.end());
+    while (!frontier.empty()) {
+      const int j = frontier.front();
+      frontier.pop_front();
+      if (labels[j] == kNoise) labels[j] = cluster;  // border point
+      if (labels[j] != kUnvisited) continue;
+      labels[j] = cluster;
+      std::vector<int> expansion = grid.Neighbours(j, options.epsilon_m);
+      if (static_cast<int>(expansion.size()) >= options.min_points) {
+        frontier.insert(frontier.end(), expansion.begin(), expansion.end());
+      }
+    }
+  }
+
+  result.labels = std::move(labels);
+  result.centroids.assign(result.num_clusters, LatLng{});
+  result.sizes.assign(result.num_clusters, 0);
+  for (int i = 0; i < n; ++i) {
+    const int label = result.labels[i];
+    if (label < 0) continue;
+    result.centroids[label].lat += points[i].lat;
+    result.centroids[label].lng += points[i].lng;
+    result.sizes[label] += 1;
+  }
+  for (int c = 0; c < result.num_clusters; ++c) {
+    LEAD_CHECK_GT(result.sizes[c], 0);
+    result.centroids[c].lat /= result.sizes[c];
+    result.centroids[c].lng /= result.sizes[c];
+  }
+  return result;
+}
+
+}  // namespace lead::geo

@@ -1,0 +1,45 @@
+// DBSCAN density-based clustering over geographic points.
+//
+// Used to mine loading/unloading sites from detected loaded-trajectory
+// endpoints (paper §I motivation (1); the ICFinder system the paper cites
+// clusters truck stay locations the same way). Distances are haversine
+// meters; the neighbour search uses a uniform grid like poi::PoiIndex.
+#ifndef LEAD_GEO_DBSCAN_H_
+#define LEAD_GEO_DBSCAN_H_
+
+#include <vector>
+
+#include "geo/latlng.h"
+
+namespace lead::geo {
+
+struct DbscanOptions {
+  // Neighbourhood radius in meters.
+  double epsilon_m = 500.0;
+  // Minimum neighbourhood size (including the point itself) for a core
+  // point.
+  int min_points = 3;
+};
+
+// Cluster label per input point: 0..k-1 for cluster members, kNoise (-1)
+// for noise points.
+inline constexpr int kNoise = -1;
+
+struct DbscanResult {
+  std::vector<int> labels;        // size == input size
+  int num_clusters = 0;
+
+  // Arithmetic centroid of each cluster.
+  std::vector<LatLng> centroids;
+  // Member count of each cluster.
+  std::vector<int> sizes;
+};
+
+// Runs DBSCAN. Deterministic: clusters are numbered in order of the first
+// core point discovered (input order).
+DbscanResult Dbscan(const std::vector<LatLng>& points,
+                    const DbscanOptions& options = {});
+
+}  // namespace lead::geo
+
+#endif  // LEAD_GEO_DBSCAN_H_

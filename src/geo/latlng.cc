@@ -1,0 +1,62 @@
+#include "geo/latlng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lead::geo {
+
+std::ostream& operator<<(std::ostream& os, const LatLng& p) {
+  return os << "(" << p.lat << ", " << p.lng << ")";
+}
+
+double DistanceMeters(const LatLng& a, const LatLng& b) {
+  const double lat1 = a.lat * kDegToRad;
+  const double lat2 = b.lat * kDegToRad;
+  const double dlat = (b.lat - a.lat) * kDegToRad;
+  const double dlng = (b.lng - a.lng) * kDegToRad;
+  const double sin_dlat = std::sin(dlat / 2.0);
+  const double sin_dlng = std::sin(dlng / 2.0);
+  const double h = sin_dlat * sin_dlat +
+                   std::cos(lat1) * std::cos(lat2) * sin_dlng * sin_dlng;
+  return 2.0 * kEarthRadiusMeters *
+         std::asin(std::sqrt(std::min(1.0, h)));
+}
+
+LatLng OffsetMeters(const LatLng& origin, double east_m, double north_m) {
+  const double dlat = north_m / kEarthRadiusMeters * kRadToDeg;
+  const double cos_lat = std::cos(origin.lat * kDegToRad);
+  const double dlng =
+      east_m / (kEarthRadiusMeters * cos_lat) * kRadToDeg;
+  return LatLng{origin.lat + dlat, origin.lng + dlng};
+}
+
+EastNorth ToLocalMeters(const LatLng& origin, const LatLng& p) {
+  const double north_m =
+      (p.lat - origin.lat) * kDegToRad * kEarthRadiusMeters;
+  const double east_m = (p.lng - origin.lng) * kDegToRad *
+                        kEarthRadiusMeters *
+                        std::cos(origin.lat * kDegToRad);
+  return EastNorth{east_m, north_m};
+}
+
+LatLng Interpolate(const LatLng& a, const LatLng& b, double t) {
+  return LatLng{a.lat + (b.lat - a.lat) * t, a.lng + (b.lng - a.lng) * t};
+}
+
+double InitialBearingRad(const LatLng& a, const LatLng& b) {
+  const double lat1 = a.lat * kDegToRad;
+  const double lat2 = b.lat * kDegToRad;
+  const double dlng = (b.lng - a.lng) * kDegToRad;
+  const double y = std::sin(dlng) * std::cos(lat2);
+  const double x = std::cos(lat1) * std::sin(lat2) -
+                   std::sin(lat1) * std::cos(lat2) * std::cos(dlng);
+  return std::atan2(y, x);
+}
+
+BoundingBox Expand(const BoundingBox& box, double margin_m) {
+  const LatLng new_min = OffsetMeters(box.min, -margin_m, -margin_m);
+  const LatLng new_max = OffsetMeters(box.max, margin_m, margin_m);
+  return BoundingBox{new_min, new_max};
+}
+
+}  // namespace lead::geo

@@ -1,0 +1,68 @@
+// WGS84 geodesy primitives: coordinates, great-circle distance, and local
+// metric offsets used by the trajectory and simulation substrates.
+#ifndef LEAD_GEO_LATLNG_H_
+#define LEAD_GEO_LATLNG_H_
+
+#include <cmath>
+#include <ostream>
+
+namespace lead::geo {
+
+// Mean Earth radius in meters (IUGG value), adequate for city-scale work.
+inline constexpr double kEarthRadiusMeters = 6371008.8;
+
+inline constexpr double kDegToRad = M_PI / 180.0;
+inline constexpr double kRadToDeg = 180.0 / M_PI;
+
+// A WGS84 coordinate in degrees. Plain value type.
+struct LatLng {
+  double lat = 0.0;
+  double lng = 0.0;
+
+  friend bool operator==(const LatLng&, const LatLng&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const LatLng& p);
+
+// Great-circle (haversine) distance between two coordinates, in meters.
+double DistanceMeters(const LatLng& a, const LatLng& b);
+
+// Returns the point reached by moving `east_m` meters east and `north_m`
+// meters north of `origin` using a local equirectangular approximation.
+// Accurate to well under 1% at city scale (tens of km).
+LatLng OffsetMeters(const LatLng& origin, double east_m, double north_m);
+
+// Inverse of OffsetMeters: local (east, north) meters of `p` relative to
+// `origin`.
+struct EastNorth {
+  double east_m = 0.0;
+  double north_m = 0.0;
+};
+EastNorth ToLocalMeters(const LatLng& origin, const LatLng& p);
+
+// Linear interpolation between two coordinates (t in [0,1]); adequate for
+// the short hops the simulator takes between successive GPS samples.
+LatLng Interpolate(const LatLng& a, const LatLng& b, double t);
+
+// Initial bearing from `a` to `b` in radians, clockwise from north.
+double InitialBearingRad(const LatLng& a, const LatLng& b);
+
+// Axis-aligned lat/lng rectangle.
+struct BoundingBox {
+  LatLng min;  // south-west corner
+  LatLng max;  // north-east corner
+
+  bool Contains(const LatLng& p) const {
+    return p.lat >= min.lat && p.lat <= max.lat && p.lng >= min.lng &&
+           p.lng <= max.lng;
+  }
+  double width_deg() const { return max.lng - min.lng; }
+  double height_deg() const { return max.lat - min.lat; }
+};
+
+// Expands `box` by `margin_m` meters on every side.
+BoundingBox Expand(const BoundingBox& box, double margin_m);
+
+}  // namespace lead::geo
+
+#endif  // LEAD_GEO_LATLNG_H_

@@ -1,0 +1,235 @@
+#include "io/csv.h"
+
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace lead::io {
+namespace {
+
+// Splits one CSV line on commas (fields in these formats never contain
+// commas or quotes).
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::stringstream ss(line);
+  while (std::getline(ss, field, ',')) fields.push_back(field);
+  if (!line.empty() && line.back() == ',') fields.push_back("");
+  return fields;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  const char* begin = s.data();
+  const char* end = begin + s.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+bool ParseInt64(const std::string& s, int64_t* out) {
+  const char* begin = s.data();
+  const char* end = begin + s.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+Status BadRow(const char* what, size_t line_number) {
+  return InvalidArgumentError(std::string(what) + " at line " +
+                              std::to_string(line_number));
+}
+
+}  // namespace
+
+StatusOr<poi::Category> CategoryFromName(const std::string& name) {
+  for (int c = 0; c < poi::kNumCategories; ++c) {
+    const auto category = static_cast<poi::Category>(c);
+    if (name == poi::CategoryName(category)) return category;
+  }
+  return NotFoundError("unknown POI category: " + name);
+}
+
+Status WriteTrajectories(
+    const std::vector<traj::RawTrajectory>& trajectories,
+    std::ostream& out) {
+  out << "trajectory_id,truck_id,lat,lng,t\n";
+  char buffer[160];
+  for (const traj::RawTrajectory& t : trajectories) {
+    for (const traj::GpsPoint& p : t.points) {
+      std::snprintf(buffer, sizeof(buffer), "%s,%s,%.7f,%.7f,%lld\n",
+                    t.trajectory_id.c_str(), t.truck_id.c_str(), p.pos.lat,
+                    p.pos.lng, static_cast<long long>(p.t));
+      out << buffer;
+    }
+  }
+  if (!out.good()) return IoError("failed writing trajectory CSV");
+  return Status::Ok();
+}
+
+StatusOr<std::vector<traj::RawTrajectory>> ReadTrajectories(
+    std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) ||
+      line.rfind("trajectory_id,", 0) != 0) {
+    return InvalidArgumentError("missing trajectory CSV header");
+  }
+  std::vector<traj::RawTrajectory> trajectories;
+  std::unordered_map<std::string, size_t> by_id;
+  size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = SplitCsvLine(line);
+    if (fields.size() != 5) return BadRow("expected 5 fields", line_number);
+    traj::GpsPoint point;
+    if (!ParseDouble(fields[2], &point.pos.lat) ||
+        !ParseDouble(fields[3], &point.pos.lng) ||
+        !ParseInt64(fields[4], &point.t)) {
+      return BadRow("unparsable coordinates/timestamp", line_number);
+    }
+    const std::string& id = fields[0];
+    auto [it, inserted] = by_id.emplace(id, trajectories.size());
+    if (inserted) {
+      traj::RawTrajectory t;
+      t.trajectory_id = id;
+      t.truck_id = fields[1];
+      trajectories.push_back(std::move(t));
+    } else if (it->second != trajectories.size() - 1) {
+      return BadRow("trajectory rows are not contiguous", line_number);
+    }
+    traj::RawTrajectory& t = trajectories[it->second];
+    if (!t.points.empty() && point.t <= t.points.back().t) {
+      return BadRow("non-increasing timestamp", line_number);
+    }
+    t.points.push_back(point);
+  }
+  return trajectories;
+}
+
+Status WritePois(const std::vector<poi::Poi>& pois, std::ostream& out) {
+  out << "id,category,lat,lng\n";
+  char buffer[128];
+  for (const poi::Poi& p : pois) {
+    std::snprintf(buffer, sizeof(buffer), "%lld,%s,%.7f,%.7f\n",
+                  static_cast<long long>(p.id), poi::CategoryName(p.category),
+                  p.pos.lat, p.pos.lng);
+    out << buffer;
+  }
+  if (!out.good()) return IoError("failed writing POI CSV");
+  return Status::Ok();
+}
+
+StatusOr<std::vector<poi::Poi>> ReadPois(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line.rfind("id,", 0) != 0) {
+    return InvalidArgumentError("missing POI CSV header");
+  }
+  std::vector<poi::Poi> pois;
+  size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = SplitCsvLine(line);
+    if (fields.size() != 4) return BadRow("expected 4 fields", line_number);
+    poi::Poi p;
+    if (!ParseInt64(fields[0], &p.id) ||
+        !ParseDouble(fields[2], &p.pos.lat) ||
+        !ParseDouble(fields[3], &p.pos.lng)) {
+      return BadRow("unparsable POI row", line_number);
+    }
+    auto category = CategoryFromName(fields[1]);
+    if (!category.ok()) return BadRow("unknown category", line_number);
+    p.category = *category;
+    pois.push_back(p);
+  }
+  return pois;
+}
+
+Status WriteLabels(const LabelMap& labels, std::ostream& out) {
+  out << "trajectory_id,loading_sp,unloading_sp\n";
+  for (const auto& [id, candidate] : labels) {
+    out << id << ',' << candidate.start_sp << ',' << candidate.end_sp
+        << '\n';
+  }
+  if (!out.good()) return IoError("failed writing label CSV");
+  return Status::Ok();
+}
+
+StatusOr<LabelMap> ReadLabels(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line.rfind("trajectory_id,", 0) != 0) {
+    return InvalidArgumentError("missing label CSV header");
+  }
+  LabelMap labels;
+  size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = SplitCsvLine(line);
+    if (fields.size() != 3) return BadRow("expected 3 fields", line_number);
+    int64_t start = 0;
+    int64_t end = 0;
+    if (!ParseInt64(fields[1], &start) || !ParseInt64(fields[2], &end) ||
+        start < 0 || end <= start) {
+      return BadRow("invalid stay-point pair", line_number);
+    }
+    if (!labels
+             .emplace(fields[0], traj::Candidate{static_cast<int>(start),
+                                                 static_cast<int>(end)})
+             .second) {
+      return BadRow("duplicate trajectory id", line_number);
+    }
+  }
+  return labels;
+}
+
+namespace {
+
+template <typename WriteFn>
+Status WriteFile(const std::string& path, WriteFn&& write) {
+  std::ofstream out(path);
+  if (!out) return IoError("cannot open for write: " + path);
+  return write(out);
+}
+
+template <typename ReadFn>
+auto ReadFile(const std::string& path, ReadFn&& read)
+    -> decltype(read(std::declval<std::istream&>())) {
+  std::ifstream in(path);
+  if (!in) return IoError("cannot open for read: " + path);
+  return read(in);
+}
+
+}  // namespace
+
+Status WriteTrajectoriesToFile(
+    const std::vector<traj::RawTrajectory>& trajectories,
+    const std::string& path) {
+  return WriteFile(path, [&](std::ostream& out) {
+    return WriteTrajectories(trajectories, out);
+  });
+}
+StatusOr<std::vector<traj::RawTrajectory>> ReadTrajectoriesFromFile(
+    const std::string& path) {
+  return ReadFile(path,
+                  [](std::istream& in) { return ReadTrajectories(in); });
+}
+
+Status WritePoisToFile(const std::vector<poi::Poi>& pois,
+                       const std::string& path) {
+  return WriteFile(path,
+                   [&](std::ostream& out) { return WritePois(pois, out); });
+}
+StatusOr<std::vector<poi::Poi>> ReadPoisFromFile(const std::string& path) {
+  return ReadFile(path, [](std::istream& in) { return ReadPois(in); });
+}
+
+Status WriteLabelsToFile(const LabelMap& labels, const std::string& path) {
+  return WriteFile(
+      path, [&](std::ostream& out) { return WriteLabels(labels, out); });
+}
+StatusOr<LabelMap> ReadLabelsFromFile(const std::string& path) {
+  return ReadFile(path, [](std::istream& in) { return ReadLabels(in); });
+}
+
+}  // namespace lead::io

@@ -1,0 +1,60 @@
+// CSV persistence for trajectories, POIs and labels.
+//
+// Formats (all with a header row):
+//   trajectories.csv: trajectory_id,truck_id,lat,lng,t
+//   pois.csv:         id,category,lat,lng          (category by name)
+//   labels.csv:       trajectory_id,loading_sp,unloading_sp
+//
+// Rows of one trajectory must be contiguous and chronologically ordered;
+// readers validate both. These files are how real deployments would feed
+// government GPS archives into the library.
+#ifndef LEAD_IO_CSV_H_
+#define LEAD_IO_CSV_H_
+
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "poi/poi.h"
+#include "traj/segmentation.h"
+#include "traj/trajectory.h"
+
+namespace lead::io {
+
+// ---- Trajectories. ----
+Status WriteTrajectories(const std::vector<traj::RawTrajectory>& trajectories,
+                         std::ostream& out);
+StatusOr<std::vector<traj::RawTrajectory>> ReadTrajectories(std::istream& in);
+
+Status WriteTrajectoriesToFile(
+    const std::vector<traj::RawTrajectory>& trajectories,
+    const std::string& path);
+StatusOr<std::vector<traj::RawTrajectory>> ReadTrajectoriesFromFile(
+    const std::string& path);
+
+// ---- POIs. ----
+Status WritePois(const std::vector<poi::Poi>& pois, std::ostream& out);
+StatusOr<std::vector<poi::Poi>> ReadPois(std::istream& in);
+
+Status WritePoisToFile(const std::vector<poi::Poi>& pois,
+                       const std::string& path);
+StatusOr<std::vector<poi::Poi>> ReadPoisFromFile(const std::string& path);
+
+// ---- Loaded-trajectory labels (trajectory_id -> stay-point pair). ----
+using LabelMap = std::unordered_map<std::string, traj::Candidate>;
+
+Status WriteLabels(const LabelMap& labels, std::ostream& out);
+StatusOr<LabelMap> ReadLabels(std::istream& in);
+
+Status WriteLabelsToFile(const LabelMap& labels, const std::string& path);
+StatusOr<LabelMap> ReadLabelsFromFile(const std::string& path);
+
+// Category name -> enum lookup ("chemical_factory" etc.); NotFound on
+// unknown names.
+StatusOr<poi::Category> CategoryFromName(const std::string& name);
+
+}  // namespace lead::io
+
+#endif  // LEAD_IO_CSV_H_

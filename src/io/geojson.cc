@@ -1,0 +1,147 @@
+#include "io/geojson.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/check.h"
+
+namespace lead::io {
+namespace {
+
+std::string Coordinate(const geo::LatLng& p) {
+  char buffer[64];
+  // GeoJSON order is [longitude, latitude].
+  std::snprintf(buffer, sizeof(buffer), "[%.6f,%.6f]", p.lng, p.lat);
+  return buffer;
+}
+
+std::string Feature(const std::string& geometry,
+                    const std::string& properties) {
+  return "{\"type\":\"Feature\",\"geometry\":" + geometry +
+         ",\"properties\":{" + properties + "}}";
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void GeoJsonWriter::AddLineString(const std::vector<traj::GpsPoint>& points,
+                                  traj::IndexRange range,
+                                  const std::string& properties) {
+  LEAD_CHECK_GE(range.begin, 0);
+  LEAD_CHECK_LE(range.begin, range.end);
+  LEAD_CHECK_LT(range.end, static_cast<int>(points.size()));
+  std::string coords = "[";
+  for (int i = range.begin; i <= range.end; ++i) {
+    if (i > range.begin) coords += ',';
+    coords += Coordinate(points[i].pos);
+  }
+  coords += ']';
+  features_.push_back(Feature(
+      "{\"type\":\"LineString\",\"coordinates\":" + coords + "}",
+      properties));
+}
+
+void GeoJsonWriter::AddPoint(const geo::LatLng& pos,
+                             const std::string& properties) {
+  features_.push_back(Feature(
+      "{\"type\":\"Point\",\"coordinates\":" + Coordinate(pos) + "}",
+      properties));
+}
+
+std::string GeoJsonWriter::ToString() const {
+  std::string out = "{\"type\":\"FeatureCollection\",\"features\":[";
+  for (size_t i = 0; i < features_.size(); ++i) {
+    if (i > 0) out += ',';
+    out += features_[i];
+  }
+  out += "]}";
+  return out;
+}
+
+Status GeoJsonWriter::WriteToFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return IoError("cannot open for write: " + path);
+  out << ToString();
+  if (!out.good()) return IoError("failed writing GeoJSON: " + path);
+  return Status::Ok();
+}
+
+void AddTrajectory(const traj::RawTrajectory& trajectory,
+                   GeoJsonWriter* writer) {
+  if (trajectory.size() < 2) return;
+  writer->AddLineString(
+      trajectory.points, traj::IndexRange{0, trajectory.size() - 1},
+      "\"kind\":\"raw_trajectory\",\"trajectory_id\":\"" +
+          JsonEscape(trajectory.trajectory_id) + "\",\"stroke\":\"#888888\"");
+}
+
+void AddDetection(const traj::RawTrajectory& cleaned,
+                  const traj::Segmentation& segmentation,
+                  const traj::Candidate& loaded, GeoJsonWriter* writer) {
+  const traj::IndexRange range =
+      traj::CandidateRange(segmentation, loaded);
+  const int last = cleaned.size() - 1;
+  // Phase I: before the loading stay point.
+  if (range.begin > 0) {
+    writer->AddLineString(cleaned.points, traj::IndexRange{0, range.begin},
+                          "\"kind\":\"empty_phase\",\"phase\":1,"
+                          "\"stroke\":\"#2b83ba\"");
+  }
+  // Phase II: the loaded trajectory.
+  writer->AddLineString(cleaned.points, range,
+                        "\"kind\":\"loaded_trajectory\",\"phase\":2,"
+                        "\"stroke\":\"#d7191c\",\"stroke-width\":3");
+  // Phase III: after the unloading stay point.
+  if (range.end < last) {
+    writer->AddLineString(cleaned.points, traj::IndexRange{range.end, last},
+                          "\"kind\":\"empty_phase\",\"phase\":3,"
+                          "\"stroke\":\"#2b83ba\"");
+  }
+  const traj::StayPoint& load = segmentation.stays[loaded.start_sp];
+  const traj::StayPoint& unload = segmentation.stays[loaded.end_sp];
+  writer->AddPoint(load.centroid,
+                   "\"kind\":\"loading_stay_point\",\"marker-color\":"
+                   "\"#d7191c\",\"marker-symbol\":\"warehouse\"");
+  writer->AddPoint(unload.centroid,
+                   "\"kind\":\"unloading_stay_point\",\"marker-color\":"
+                   "\"#fdae61\",\"marker-symbol\":\"warehouse\"");
+  // Ordinary stay points for context.
+  for (int i = 0; i < segmentation.num_stays(); ++i) {
+    if (i == loaded.start_sp || i == loaded.end_sp) continue;
+    writer->AddPoint(segmentation.stays[i].centroid,
+                     "\"kind\":\"ordinary_stay_point\",\"marker-color\":"
+                     "\"#aaaaaa\",\"marker-size\":\"small\"");
+  }
+}
+
+void AddPois(const std::vector<poi::Poi>& pois, GeoJsonWriter* writer) {
+  for (const poi::Poi& p : pois) {
+    writer->AddPoint(p.pos, "\"kind\":\"poi\",\"category\":\"" +
+                                std::string(poi::CategoryName(p.category)) +
+                                "\"");
+  }
+}
+
+}  // namespace lead::io

@@ -1,0 +1,62 @@
+// GeoJSON export of trajectories, stay points and detections for
+// visualization (drop the output into geojson.io or any GIS tool).
+//
+// Writers emit a FeatureCollection. Detection exports color the loaded
+// subtrajectory differently from the empty phases and mark the
+// loading/unloading stay points, mirroring the paper's Figure 1.
+#ifndef LEAD_IO_GEOJSON_H_
+#define LEAD_IO_GEOJSON_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "poi/poi.h"
+#include "traj/segmentation.h"
+#include "traj/stay_point.h"
+#include "traj/trajectory.h"
+
+namespace lead::io {
+
+// Builder for a GeoJSON FeatureCollection. Properties are flat
+// string/number maps supplied as prebuilt JSON object bodies.
+class GeoJsonWriter {
+ public:
+  GeoJsonWriter() = default;
+
+  // A LineString from a range of trajectory points.
+  void AddLineString(const std::vector<traj::GpsPoint>& points,
+                     traj::IndexRange range, const std::string& properties);
+  // A Point feature.
+  void AddPoint(const geo::LatLng& pos, const std::string& properties);
+
+  // Serializes the FeatureCollection.
+  std::string ToString() const;
+  Status WriteToFile(const std::string& path) const;
+
+  int feature_count() const { return static_cast<int>(features_.size()); }
+
+ private:
+  std::vector<std::string> features_;
+};
+
+// Whole raw trajectory as one LineString.
+void AddTrajectory(const traj::RawTrajectory& trajectory,
+                   GeoJsonWriter* writer);
+
+// Detection view: empty phases, the loaded subtrajectory, and the
+// loading/unloading stay points as marked Point features.
+void AddDetection(const traj::RawTrajectory& cleaned,
+                  const traj::Segmentation& segmentation,
+                  const traj::Candidate& loaded, GeoJsonWriter* writer);
+
+// POIs as Point features (subsample large corpora before calling).
+void AddPois(const std::vector<poi::Poi>& pois, GeoJsonWriter* writer);
+
+// Escapes a string for embedding in JSON.
+std::string JsonEscape(const std::string& raw);
+
+}  // namespace lead::io
+
+#endif  // LEAD_IO_GEOJSON_H_

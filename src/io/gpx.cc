@@ -1,0 +1,198 @@
+#include "io/gpx.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+
+namespace lead::io {
+namespace {
+
+// Days since 1970-01-01 for a Gregorian date (civil-days algorithm).
+int64_t DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const int yoe = static_cast<int>(y - era * 400);
+  const int doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const int doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + doe - 719468;
+}
+
+// Escapes the XML specials for text/attribute content.
+std::string XmlEscape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '&': out += "&amp;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+// Finds an attribute value in a tag body like `lat="32.01" lon="120.9"`.
+bool FindAttribute(const std::string& tag, const std::string& name,
+                   std::string* value) {
+  const std::string needle = name + "=\"";
+  const size_t start = tag.find(needle);
+  if (start == std::string::npos) return false;
+  const size_t begin = start + needle.size();
+  const size_t end = tag.find('"', begin);
+  if (end == std::string::npos) return false;
+  *value = tag.substr(begin, end - begin);
+  return true;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  const auto [ptr, ec] =
+      std::from_chars(s.data(), s.data() + s.size(), *out);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+}  // namespace
+
+StatusOr<int64_t> ParseIso8601Utc(const std::string& text) {
+  int y = 0, mo = 0, d = 0, h = 0, mi = 0, s = 0;
+  // Accept "YYYY-MM-DDTHH:MM:SS(.fff...)Z".
+  if (std::sscanf(text.c_str(), "%4d-%2d-%2dT%2d:%2d:%2d", &y, &mo, &d, &h,
+                  &mi, &s) != 6) {
+    return InvalidArgumentError("unparsable ISO-8601 time: " + text);
+  }
+  if (mo < 1 || mo > 12 || d < 1 || d > 31 || h > 23 || mi > 59 || s > 60) {
+    return InvalidArgumentError("out-of-range ISO-8601 time: " + text);
+  }
+  if (text.back() != 'Z') {
+    return InvalidArgumentError("only UTC ('Z') GPX times supported: " +
+                                text);
+  }
+  return DaysFromCivil(y, mo, d) * 86400 + h * 3600 + mi * 60 + s;
+}
+
+std::string FormatIso8601Utc(int64_t unix_seconds) {
+  std::time_t t = static_cast<std::time_t>(unix_seconds);
+  std::tm tm_utc;
+  gmtime_r(&t, &tm_utc);
+  char buffer[32];
+  std::strftime(buffer, sizeof(buffer), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  return buffer;
+}
+
+StatusOr<std::vector<traj::RawTrajectory>> ReadGpx(std::istream& in) {
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  if (text.find("<gpx") == std::string::npos) {
+    return InvalidArgumentError("not a GPX document");
+  }
+
+  std::vector<traj::RawTrajectory> trajectories;
+  size_t pos = 0;
+  int anonymous_tracks = 0;
+  while (true) {
+    const size_t trk_begin = text.find("<trk>", pos);
+    if (trk_begin == std::string::npos) break;
+    const size_t trk_end = text.find("</trk>", trk_begin);
+    if (trk_end == std::string::npos) {
+      return InvalidArgumentError("unterminated <trk>");
+    }
+    const std::string trk = text.substr(trk_begin, trk_end - trk_begin);
+    pos = trk_end + 6;
+
+    traj::RawTrajectory trajectory;
+    const size_t name_begin = trk.find("<name>");
+    const size_t name_end = trk.find("</name>");
+    if (name_begin != std::string::npos && name_end != std::string::npos &&
+        name_end > name_begin) {
+      trajectory.trajectory_id =
+          trk.substr(name_begin + 6, name_end - name_begin - 6);
+    } else {
+      trajectory.trajectory_id =
+          "gpx_track_" + std::to_string(anonymous_tracks++);
+    }
+    trajectory.truck_id = trajectory.trajectory_id;
+
+    size_t pt_pos = 0;
+    while (true) {
+      const size_t pt_begin = trk.find("<trkpt", pt_pos);
+      if (pt_begin == std::string::npos) break;
+      const size_t tag_end = trk.find('>', pt_begin);
+      const size_t pt_end = trk.find("</trkpt>", pt_begin);
+      if (tag_end == std::string::npos || pt_end == std::string::npos) {
+        return InvalidArgumentError("malformed <trkpt>");
+      }
+      const std::string tag = trk.substr(pt_begin, tag_end - pt_begin);
+      const std::string body = trk.substr(tag_end, pt_end - tag_end);
+      pt_pos = pt_end + 8;
+
+      std::string lat_text;
+      std::string lon_text;
+      if (!FindAttribute(tag, "lat", &lat_text) ||
+          !FindAttribute(tag, "lon", &lon_text)) {
+        return InvalidArgumentError("<trkpt> missing lat/lon");
+      }
+      traj::GpsPoint point;
+      if (!ParseDouble(lat_text, &point.pos.lat) ||
+          !ParseDouble(lon_text, &point.pos.lng)) {
+        return InvalidArgumentError("unparsable lat/lon in <trkpt>");
+      }
+      const size_t time_begin = body.find("<time>");
+      const size_t time_end = body.find("</time>");
+      if (time_begin == std::string::npos ||
+          time_end == std::string::npos) {
+        return InvalidArgumentError("<trkpt> missing <time>");
+      }
+      auto t = ParseIso8601Utc(
+          body.substr(time_begin + 6, time_end - time_begin - 6));
+      if (!t.ok()) return t.status();
+      point.t = *t;
+      trajectory.points.push_back(point);
+    }
+    if (!trajectory.points.empty()) {
+      trajectories.push_back(std::move(trajectory));
+    }
+  }
+  return trajectories;
+}
+
+Status WriteGpx(const std::vector<traj::RawTrajectory>& trajectories,
+                std::ostream& out) {
+  out << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+      << "<gpx version=\"1.1\" creator=\"lead\">\n";
+  for (const traj::RawTrajectory& t : trajectories) {
+    out << "<trk><name>" << XmlEscape(t.trajectory_id) << "</name><trkseg>\n";
+    char line[160];
+    for (const traj::GpsPoint& p : t.points) {
+      std::snprintf(line, sizeof(line),
+                    "<trkpt lat=\"%.7f\" lon=\"%.7f\"><time>%s</time>"
+                    "</trkpt>\n",
+                    p.pos.lat, p.pos.lng, FormatIso8601Utc(p.t).c_str());
+      out << line;
+    }
+    out << "</trkseg></trk>\n";
+  }
+  out << "</gpx>\n";
+  if (!out.good()) return IoError("failed writing GPX stream");
+  return Status::Ok();
+}
+
+StatusOr<std::vector<traj::RawTrajectory>> ReadGpxFromFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return IoError("cannot open for read: " + path);
+  return ReadGpx(in);
+}
+
+Status WriteGpxToFile(const std::vector<traj::RawTrajectory>& trajectories,
+                      const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return IoError("cannot open for write: " + path);
+  return WriteGpx(trajectories, out);
+}
+
+}  // namespace lead::io

@@ -1,0 +1,40 @@
+// GPX 1.1 track ingestion — the common consumer/fleet GPS exchange
+// format, so real tracker exports can be fed to the pipeline without
+// conversion to the CSV schema.
+//
+// Supports <trk>/<trkseg>/<trkpt lat lon><time>...</time></trkpt>; each
+// <trk> becomes one RawTrajectory (its <name> is the trajectory id;
+// segments are concatenated). The parser is a small, forgiving
+// subset-of-XML scanner: attributes on trkpt and ISO-8601 UTC times are
+// required, everything else is ignored.
+#ifndef LEAD_IO_GPX_H_
+#define LEAD_IO_GPX_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "traj/trajectory.h"
+
+namespace lead::io {
+
+StatusOr<std::vector<traj::RawTrajectory>> ReadGpx(std::istream& in);
+StatusOr<std::vector<traj::RawTrajectory>> ReadGpxFromFile(
+    const std::string& path);
+
+// Writes trajectories as GPX 1.1 (one <trk> per trajectory).
+Status WriteGpx(const std::vector<traj::RawTrajectory>& trajectories,
+                std::ostream& out);
+Status WriteGpxToFile(const std::vector<traj::RawTrajectory>& trajectories,
+                      const std::string& path);
+
+// Parses an ISO-8601 UTC timestamp ("2020-09-01T08:30:00Z", fractional
+// seconds tolerated and truncated) into Unix seconds.
+StatusOr<int64_t> ParseIso8601Utc(const std::string& text);
+// Inverse of ParseIso8601Utc (whole seconds).
+std::string FormatIso8601Utc(int64_t unix_seconds);
+
+}  // namespace lead::io
+
+#endif  // LEAD_IO_GPX_H_

@@ -1,0 +1,46 @@
+#include "nn/adam.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+
+namespace lead::nn {
+
+Adam::Adam(std::vector<Variable> parameters, const AdamOptions& options)
+    : Optimizer(std::move(parameters)), options_(options) {
+  m_.reserve(parameters_.size());
+  v_.reserve(parameters_.size());
+  for (const Variable& p : parameters_) {
+    m_.emplace_back(p.rows(), p.cols());
+    v_.emplace_back(p.rows(), p.cols());
+  }
+}
+
+void Adam::Step() {
+  ++step_count_;
+  const float scale = ClipScale(options_.clip_grad_norm);
+  const float bias1 =
+      1.0f - std::pow(options_.beta1, static_cast<float>(step_count_));
+  const float bias2 =
+      1.0f - std::pow(options_.beta2, static_cast<float>(step_count_));
+  for (size_t k = 0; k < parameters_.size(); ++k) {
+    Variable& p = parameters_[k];
+    const float* g = p.grad().data();
+    float* value = p.mutable_value().data();
+    float* m = m_[k].data();
+    float* v = v_[k].data();
+    const int n = p.grad().size();
+    for (int i = 0; i < n; ++i) {
+      const float grad = g[i] * scale;
+      m[i] = options_.beta1 * m[i] + (1.0f - options_.beta1) * grad;
+      v[i] = options_.beta2 * v[i] + (1.0f - options_.beta2) * grad * grad;
+      const float m_hat = m[i] / bias1;
+      const float v_hat = v[i] / bias2;
+      value[i] -= options_.learning_rate * m_hat /
+                  (std::sqrt(v_hat) + options_.epsilon);
+    }
+  }
+}
+
+}  // namespace lead::nn

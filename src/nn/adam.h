@@ -1,0 +1,41 @@
+// Adam optimizer (Kingma & Ba 2014), the paper's optimizer (lr 1e-4).
+#ifndef LEAD_NN_ADAM_H_
+#define LEAD_NN_ADAM_H_
+
+#include <vector>
+
+#include "nn/optimizer.h"
+
+namespace lead::nn {
+
+struct AdamOptions {
+  float learning_rate = 1e-4f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float epsilon = 1e-8f;
+  // Optional global gradient-norm clip; <= 0 disables.
+  float clip_grad_norm = 0.0f;
+};
+
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Variable> parameters, const AdamOptions& options = {});
+
+  void Step() override;
+
+  float learning_rate() const override { return options_.learning_rate; }
+  void set_learning_rate(float lr) override {
+    options_.learning_rate = lr;
+  }
+  const AdamOptions& options() const { return options_; }
+
+ private:
+  AdamOptions options_;
+  std::vector<Matrix> m_;  // first moments
+  std::vector<Matrix> v_;  // second moments
+  int64_t step_count_ = 0;
+};
+
+}  // namespace lead::nn
+
+#endif  // LEAD_NN_ADAM_H_

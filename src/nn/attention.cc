@@ -1,0 +1,32 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "nn/init.h"
+
+namespace lead::nn {
+
+LastQueryAttention::LastQueryAttention(int hidden_size, int key_size,
+                                       Rng* rng)
+    : hidden_size_(hidden_size), key_size_(key_size) {
+  w_q_ = RegisterParameter("w_q", XavierUniform(hidden_size, key_size, rng));
+  b_q_ = RegisterParameter("b_q", Matrix::Zeros(1, key_size));
+  w_k_ = RegisterParameter("w_k", XavierUniform(hidden_size, key_size, rng));
+  b_k_ = RegisterParameter("b_k", Matrix::Zeros(1, key_size));
+}
+
+Variable LastQueryAttention::Forward(const Variable& hidden_states) const {
+  LEAD_CHECK_EQ(hidden_states.cols(), hidden_size_);
+  const int steps = hidden_states.rows();
+  LEAD_CHECK_GT(steps, 0);
+  const Variable last = SliceRows(hidden_states, steps - 1, 1);  // [1 x hid]
+  const Variable q = Add(MatMul(last, w_q_), b_q_);              // [1 x dk]
+  const Variable k = Add(MatMul(hidden_states, w_k_), b_k_);     // [T x dk]
+  const float scale = 1.0f / std::sqrt(static_cast<float>(key_size_));
+  const Variable scores =
+      SoftmaxRows(ScalarMul(MatMul(q, Transpose(k)), scale));    // [1 x T]
+  return MatMul(scores, hidden_states);                          // [1 x hid]
+}
+
+}  // namespace lead::nn

@@ -1,0 +1,38 @@
+// Self-attention sequence aggregator (paper Eq. 3 and surrounding text).
+//
+// The last hidden state of an LSTM queries all hidden states; the
+// resulting importance scores aggregate the hidden-state matrix into a
+// single vector. The value matrix is the hidden states themselves, per
+// the paper ("the value matrix includes the hidden states output by
+// LSTM").
+#ifndef LEAD_NN_ATTENTION_H_
+#define LEAD_NN_ATTENTION_H_
+
+#include "common/rng.h"
+#include "nn/module.h"
+#include "nn/ops.h"
+
+namespace lead::nn {
+
+class LastQueryAttention : public Module {
+ public:
+  // hidden_size: width of the LSTM hidden states; key_size: d_k.
+  LastQueryAttention(int hidden_size, int key_size, Rng* rng);
+
+  // hidden_states: [T x hidden]. Returns the aggregated vector [1 x hidden].
+  Variable Forward(const Variable& hidden_states) const;
+
+  int hidden_size() const { return hidden_size_; }
+
+ private:
+  int hidden_size_;
+  int key_size_;
+  Variable w_q_;  // [hidden x d_k]
+  Variable b_q_;  // [1 x d_k]
+  Variable w_k_;  // [hidden x d_k]
+  Variable b_k_;  // [1 x d_k]
+};
+
+}  // namespace lead::nn
+
+#endif  // LEAD_NN_ATTENTION_H_

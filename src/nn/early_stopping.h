@@ -1,0 +1,43 @@
+// Early stopping on a validation metric (paper cites Caruana et al. 2000).
+#ifndef LEAD_NN_EARLY_STOPPING_H_
+#define LEAD_NN_EARLY_STOPPING_H_
+
+#include <limits>
+
+namespace lead::nn {
+
+// Tracks a minimized validation metric; Report returns true while training
+// should continue. `patience` epochs without improvement of at least
+// `min_delta` stop training.
+class EarlyStopping {
+ public:
+  explicit EarlyStopping(int patience, float min_delta = 0.0f)
+      : patience_(patience), min_delta_(min_delta) {}
+
+  // Reports one epoch's validation loss; returns false when training
+  // should stop.
+  bool Report(float validation_loss) {
+    if (validation_loss < best_ - min_delta_) {
+      best_ = validation_loss;
+      epochs_without_improvement_ = 0;
+    } else {
+      ++epochs_without_improvement_;
+    }
+    return epochs_without_improvement_ < patience_;
+  }
+
+  float best() const { return best_; }
+  bool improved_last_report() const {
+    return epochs_without_improvement_ == 0;
+  }
+
+ private:
+  int patience_;
+  float min_delta_;
+  float best_ = std::numeric_limits<float>::infinity();
+  int epochs_without_improvement_ = 0;
+};
+
+}  // namespace lead::nn
+
+#endif  // LEAD_NN_EARLY_STOPPING_H_

@@ -1,0 +1,44 @@
+#include "nn/gru.h"
+
+#include <vector>
+
+#include "common/check.h"
+#include "nn/init.h"
+
+namespace lead::nn {
+
+GruCell::GruCell(int input_size, int hidden_size, Rng* rng)
+    : input_size_(input_size), hidden_size_(hidden_size) {
+  w_ih_ = RegisterParameter("w_ih",
+                            XavierUniform(input_size, 3 * hidden_size, rng));
+  w_hh_ = RegisterParameter("w_hh",
+                            XavierUniform(hidden_size, 3 * hidden_size, rng));
+  b_ih_ = RegisterParameter("b_ih", Matrix::Zeros(1, 3 * hidden_size));
+  b_hh_ = RegisterParameter("b_hh", Matrix::Zeros(1, 3 * hidden_size));
+}
+
+Variable GruCell::ForwardSequence(const Variable& x) const {
+  LEAD_CHECK_EQ(x.cols(), input_size_);
+  const int steps = x.rows();
+  LEAD_CHECK_GT(steps, 0);
+  const int h = hidden_size_;
+  const Variable input_proj = Add(MatMul(x, w_ih_), b_ih_);  // [T x 3H]
+  Variable hidden = Variable::Constant(Matrix::Zeros(1, h));
+  std::vector<Variable> hidden_states;
+  hidden_states.reserve(steps);
+  for (int t = 0; t < steps; ++t) {
+    const Variable xp = SliceRows(input_proj, t, 1);
+    const Variable hp = Add(MatMul(hidden, w_hh_), b_hh_);  // [1 x 3H]
+    const Variable z = Sigmoid(Add(SliceCols(xp, 0, h), SliceCols(hp, 0, h)));
+    const Variable r = Sigmoid(Add(SliceCols(xp, h, h), SliceCols(hp, h, h)));
+    const Variable n = Tanh(
+        Add(SliceCols(xp, 2 * h, h), Mul(r, SliceCols(hp, 2 * h, h))));
+    // h' = (1 - z) * n + z * h.
+    const Variable one_minus_z = AddScalar(ScalarMul(z, -1.0f), 1.0f);
+    hidden = Add(Mul(one_minus_z, n), Mul(z, hidden));
+    hidden_states.push_back(hidden);
+  }
+  return ConcatRows(hidden_states);
+}
+
+}  // namespace lead::nn

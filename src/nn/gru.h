@@ -1,0 +1,34 @@
+// GRU cell (Chung et al. 2014), used by the SP-GRU baseline classifier.
+#ifndef LEAD_NN_GRU_H_
+#define LEAD_NN_GRU_H_
+
+#include "common/rng.h"
+#include "nn/module.h"
+#include "nn/ops.h"
+
+namespace lead::nn {
+
+// Gate layout along the 3H axis: [update(z), reset(r), candidate(n)].
+class GruCell : public Module {
+ public:
+  GruCell(int input_size, int hidden_size, Rng* rng);
+
+  // Runs the cell over x [T x input_size]; returns all hidden states
+  // [T x H].
+  Variable ForwardSequence(const Variable& x) const;
+
+  int input_size() const { return input_size_; }
+  int hidden_size() const { return hidden_size_; }
+
+ private:
+  int input_size_;
+  int hidden_size_;
+  Variable w_ih_;  // [input x 3H]
+  Variable w_hh_;  // [H x 3H]
+  Variable b_ih_;  // [1 x 3H]
+  Variable b_hh_;  // [1 x 3H]  (separate bias on the recurrent candidate)
+};
+
+}  // namespace lead::nn
+
+#endif  // LEAD_NN_GRU_H_

@@ -1,0 +1,13 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace lead::nn {
+
+Matrix XavierUniform(int fan_in, int fan_out, Rng* rng) {
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return Matrix::Uniform(fan_in, fan_out, bound, rng);
+}
+
+}  // namespace lead::nn

@@ -1,0 +1,19 @@
+// Weight initialization schemes.
+#ifndef LEAD_NN_INIT_H_
+#define LEAD_NN_INIT_H_
+
+#include "common/rng.h"
+#include "nn/matrix.h"
+
+namespace lead::nn {
+
+// Xavier/Glorot uniform: U(-sqrt(6/(fan_in+fan_out)), +...). The default
+// for all dense and recurrent weights in this library.
+Matrix XavierUniform(int fan_in, int fan_out, Rng* rng);
+
+// Orthogonal-ish recurrent init is overkill at these sizes; recurrent
+// weights also use Xavier with fan_in = fan_out = hidden.
+
+}  // namespace lead::nn
+
+#endif  // LEAD_NN_INIT_H_

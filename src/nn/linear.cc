@@ -1,0 +1,18 @@
+#include "nn/linear.h"
+
+#include "nn/init.h"
+
+namespace lead::nn {
+
+Linear::Linear(int in_features, int out_features, Rng* rng)
+    : in_features_(in_features), out_features_(out_features) {
+  weight_ = RegisterParameter("weight",
+                              XavierUniform(in_features, out_features, rng));
+  bias_ = RegisterParameter("bias", Matrix::Zeros(1, out_features));
+}
+
+Variable Linear::Forward(const Variable& x) const {
+  return Add(MatMul(x, weight_), bias_);
+}
+
+}  // namespace lead::nn

@@ -1,0 +1,30 @@
+// Fully connected layer: y = x W + b.
+#ifndef LEAD_NN_LINEAR_H_
+#define LEAD_NN_LINEAR_H_
+
+#include "common/rng.h"
+#include "nn/module.h"
+#include "nn/ops.h"
+
+namespace lead::nn {
+
+class Linear : public Module {
+ public:
+  Linear(int in_features, int out_features, Rng* rng);
+
+  // x: [T x in] -> [T x out]; the bias row broadcasts over T.
+  Variable Forward(const Variable& x) const;
+
+  int in_features() const { return in_features_; }
+  int out_features() const { return out_features_; }
+
+ private:
+  int in_features_;
+  int out_features_;
+  Variable weight_;  // [in x out]
+  Variable bias_;    // [1 x out]
+};
+
+}  // namespace lead::nn
+
+#endif  // LEAD_NN_LINEAR_H_

@@ -1,0 +1,95 @@
+#include "nn/lstm.h"
+
+#include <vector>
+
+#include "common/check.h"
+#include "nn/init.h"
+
+namespace lead::nn {
+
+LstmCell::LstmCell(int input_size, int hidden_size, Rng* rng)
+    : input_size_(input_size), hidden_size_(hidden_size) {
+  w_ih_ = RegisterParameter("w_ih",
+                            XavierUniform(input_size, 4 * hidden_size, rng));
+  w_hh_ = RegisterParameter("w_hh",
+                            XavierUniform(hidden_size, 4 * hidden_size, rng));
+  Matrix bias = Matrix::Zeros(1, 4 * hidden_size);
+  // Forget gate block is [H, 2H).
+  for (int c = hidden_size; c < 2 * hidden_size; ++c) bias.at(0, c) = 1.0f;
+  bias_ = RegisterParameter("bias", std::move(bias));
+}
+
+LstmCell::State LstmCell::InitialState() const {
+  return State{Variable::Constant(Matrix::Zeros(1, hidden_size_)),
+               Variable::Constant(Matrix::Zeros(1, hidden_size_))};
+}
+
+LstmCell::State LstmCell::ApplyGates(const Variable& preact,
+                                     const State& prev) const {
+  const int h = hidden_size_;
+  const Variable i_gate = Sigmoid(SliceCols(preact, 0, h));
+  const Variable f_gate = Sigmoid(SliceCols(preact, h, h));
+  const Variable g_cand = Tanh(SliceCols(preact, 2 * h, h));
+  const Variable o_gate = Sigmoid(SliceCols(preact, 3 * h, h));
+  const Variable c_next = Add(Mul(f_gate, prev.c), Mul(i_gate, g_cand));
+  const Variable h_next = Mul(o_gate, Tanh(c_next));
+  return State{h_next, c_next};
+}
+
+LstmCell::State LstmCell::Step(const Variable& x_t,
+                               const State& prev) const {
+  const Variable preact =
+      Add(Add(MatMul(x_t, w_ih_), MatMul(prev.h, w_hh_)), bias_);
+  return ApplyGates(preact, prev);
+}
+
+Variable LstmCell::ForwardSequence(const Variable& x) const {
+  LEAD_CHECK_EQ(x.cols(), input_size_);
+  const int steps = x.rows();
+  LEAD_CHECK_GT(steps, 0);
+  // One matmul for the input projection of every step.
+  const Variable input_proj = MatMul(x, w_ih_);
+  State state = InitialState();
+  std::vector<Variable> hidden_states;
+  hidden_states.reserve(steps);
+  for (int t = 0; t < steps; ++t) {
+    const Variable preact = Add(
+        Add(SliceRows(input_proj, t, 1), MatMul(state.h, w_hh_)), bias_);
+    state = ApplyGates(preact, state);
+    hidden_states.push_back(state.h);
+  }
+  return ConcatRows(hidden_states);
+}
+
+Variable LstmCell::ForwardConstantInput(const Variable& v, int steps) const {
+  LEAD_CHECK_EQ(v.rows(), 1);
+  LEAD_CHECK_EQ(v.cols(), input_size_);
+  LEAD_CHECK_GT(steps, 0);
+  const Variable input_proj = MatMul(v, w_ih_);  // [1 x 4H], reused
+  State state = InitialState();
+  std::vector<Variable> hidden_states;
+  hidden_states.reserve(steps);
+  for (int t = 0; t < steps; ++t) {
+    const Variable preact =
+        Add(Add(input_proj, MatMul(state.h, w_hh_)), bias_);
+    state = ApplyGates(preact, state);
+    hidden_states.push_back(state.h);
+  }
+  return ConcatRows(hidden_states);
+}
+
+BiLstm::BiLstm(int input_size, int hidden_size, Rng* rng)
+    : forward_(input_size, hidden_size, rng),
+      backward_(input_size, hidden_size, rng) {
+  RegisterChild("fwd", &forward_);
+  RegisterChild("bwd", &backward_);
+}
+
+Variable BiLstm::Forward(const Variable& x) const {
+  const Variable fwd_out = forward_.ForwardSequence(x);
+  const Variable bwd_out =
+      ReverseRows(backward_.ForwardSequence(ReverseRows(x)));
+  return ConcatCols({fwd_out, bwd_out});
+}
+
+}  // namespace lead::nn

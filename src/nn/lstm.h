@@ -1,0 +1,72 @@
+// LSTM primitives (Hochreiter & Schmidhuber 1997), the recurrent backbone
+// of the paper's compression/decompression operators (Eq. 2, 5) and the
+// BiLSTM detectors (Eq. 9).
+#ifndef LEAD_NN_LSTM_H_
+#define LEAD_NN_LSTM_H_
+
+#include "common/rng.h"
+#include "nn/module.h"
+#include "nn/ops.h"
+
+namespace lead::nn {
+
+// Single LSTM cell with combined gate weights. Gate layout along the 4H
+// axis: [input, forget, cell-candidate, output]. Forget-gate bias is
+// initialized to 1 (standard trick for gradient flow).
+class LstmCell : public Module {
+ public:
+  LstmCell(int input_size, int hidden_size, Rng* rng);
+
+  struct State {
+    Variable h;  // [1 x H]
+    Variable c;  // [1 x H]
+  };
+
+  State InitialState() const;
+
+  // One recurrence step; x_t is [1 x input_size].
+  State Step(const Variable& x_t, const State& prev) const;
+
+  // Runs the cell over a whole sequence x [T x input_size] and returns all
+  // hidden states [T x H]. The input projection for all steps is computed
+  // as one matmul.
+  Variable ForwardSequence(const Variable& x) const;
+
+  // Runs the cell `steps` times feeding the same input vector v [1 x in]
+  // at every step — the paper's decompression operator (Eq. 5), which
+  // unrolls a compressed vector into a sequence. Returns [steps x H].
+  Variable ForwardConstantInput(const Variable& v, int steps) const;
+
+  int input_size() const { return input_size_; }
+  int hidden_size() const { return hidden_size_; }
+
+ private:
+  // Shared epilogue: applies gate nonlinearities to preactivations
+  // [1 x 4H] and advances the state.
+  State ApplyGates(const Variable& preact, const State& prev) const;
+
+  int input_size_;
+  int hidden_size_;
+  Variable w_ih_;  // [input x 4H]
+  Variable w_hh_;  // [H x 4H]
+  Variable bias_;  // [1 x 4H]
+};
+
+// Bidirectional LSTM layer: concatenates a forward pass and a reversed
+// backward pass, output [T x 2H].
+class BiLstm : public Module {
+ public:
+  BiLstm(int input_size, int hidden_size, Rng* rng);
+
+  Variable Forward(const Variable& x) const;
+
+  int hidden_size() const { return forward_.hidden_size(); }
+
+ private:
+  LstmCell forward_;
+  LstmCell backward_;
+};
+
+}  // namespace lead::nn
+
+#endif  // LEAD_NN_LSTM_H_

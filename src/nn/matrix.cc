@@ -1,0 +1,98 @@
+#include "nn/matrix.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace lead::nn {
+
+Matrix Matrix::Full(int rows, int cols, float value) {
+  Matrix m(rows, cols);
+  m.Fill(value);
+  return m;
+}
+
+Matrix Matrix::RowVector(std::vector<float> values) {
+  const int n = static_cast<int>(values.size());
+  return Matrix(1, n, std::move(values));
+}
+
+Matrix Matrix::Uniform(int rows, int cols, float bound, Rng* rng) {
+  Matrix m(rows, cols);
+  for (int i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng->Uniform(-bound, bound));
+  }
+  return m;
+}
+
+void Matrix::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void MatMulAccumulate(const Matrix& a, const Matrix& b, Matrix* out) {
+  LEAD_CHECK_EQ(a.cols(), b.rows());
+  LEAD_CHECK_EQ(out->rows(), a.rows());
+  LEAD_CHECK_EQ(out->cols(), b.cols());
+  const int m = a.rows();
+  const int k = a.cols();
+  const int n = b.cols();
+  // i-k-j loop order keeps the inner loop streaming over contiguous rows
+  // of b and out.
+  for (int i = 0; i < m; ++i) {
+    const float* a_row = a.row(i);
+    float* out_row = out->row(i);
+    for (int p = 0; p < k; ++p) {
+      const float a_ip = a_row[p];
+      if (a_ip == 0.0f) continue;
+      const float* b_row = b.row(p);
+      for (int j = 0; j < n; ++j) {
+        out_row[j] += a_ip * b_row[j];
+      }
+    }
+  }
+}
+
+void MatMulTransposeAAccumulate(const Matrix& a, const Matrix& b,
+                                Matrix* out) {
+  LEAD_CHECK_EQ(a.rows(), b.rows());
+  LEAD_CHECK_EQ(out->rows(), a.cols());
+  LEAD_CHECK_EQ(out->cols(), b.cols());
+  const int k = a.rows();
+  const int m = a.cols();
+  const int n = b.cols();
+  for (int p = 0; p < k; ++p) {
+    const float* a_row = a.row(p);
+    const float* b_row = b.row(p);
+    for (int i = 0; i < m; ++i) {
+      const float a_pi = a_row[i];
+      if (a_pi == 0.0f) continue;
+      float* out_row = out->row(i);
+      for (int j = 0; j < n; ++j) {
+        out_row[j] += a_pi * b_row[j];
+      }
+    }
+  }
+}
+
+void MatMulTransposeBAccumulate(const Matrix& a, const Matrix& b,
+                                Matrix* out) {
+  LEAD_CHECK_EQ(a.cols(), b.cols());
+  LEAD_CHECK_EQ(out->rows(), a.rows());
+  LEAD_CHECK_EQ(out->cols(), b.rows());
+  const int m = a.rows();
+  const int k = a.cols();
+  const int n = b.rows();
+  for (int i = 0; i < m; ++i) {
+    const float* a_row = a.row(i);
+    float* out_row = out->row(i);
+    for (int j = 0; j < n; ++j) {
+      const float* b_row = b.row(j);
+      float dot = 0.0f;
+      for (int p = 0; p < k; ++p) {
+        dot += a_row[p] * b_row[p];
+      }
+      out_row[j] += dot;
+    }
+  }
+}
+
+}  // namespace lead::nn

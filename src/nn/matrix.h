@@ -1,0 +1,76 @@
+// Dense row-major float matrix, the storage type of the nn substrate.
+//
+// All tensors in this library are rank-2; vectors are [1 x n] rows and
+// scalars are [1 x 1]. Sequences are either matrices ([T x d], one row per
+// step) or std::vector<Variable> at the layer level.
+#ifndef LEAD_NN_MATRIX_H_
+#define LEAD_NN_MATRIX_H_
+
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace lead::nn {
+
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(int rows, int cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows) * cols, 0.0f) {
+    LEAD_CHECK_GE(rows, 0);
+    LEAD_CHECK_GE(cols, 0);
+  }
+  Matrix(int rows, int cols, std::vector<float> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    LEAD_CHECK_EQ(static_cast<size_t>(rows) * cols, data_.size());
+  }
+
+  static Matrix Zeros(int rows, int cols) { return Matrix(rows, cols); }
+  static Matrix Full(int rows, int cols, float value);
+  // A single row vector from values.
+  static Matrix RowVector(std::vector<float> values);
+  // Uniform random entries in [-bound, bound].
+  static Matrix Uniform(int rows, int cols, float bound, Rng* rng);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int size() const { return rows_ * cols_; }
+  bool empty() const { return data_.empty(); }
+
+  float& at(int r, int c) { return data_[static_cast<size_t>(r) * cols_ + c]; }
+  float at(int r, int c) const {
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float* row(int r) { return data_.data() + static_cast<size_t>(r) * cols_; }
+  const float* row(int r) const {
+    return data_.data() + static_cast<size_t>(r) * cols_;
+  }
+
+  void Fill(float value);
+  bool SameShape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<float> data_;
+};
+
+// out += a * b (row-major GEMM accumulate). Shapes: a [m x k], b [k x n],
+// out [m x n].
+void MatMulAccumulate(const Matrix& a, const Matrix& b, Matrix* out);
+// out += a^T * b. Shapes: a [k x m], b [k x n], out [m x n].
+void MatMulTransposeAAccumulate(const Matrix& a, const Matrix& b,
+                                Matrix* out);
+// out += a * b^T. Shapes: a [m x k], b [n x k], out [m x n].
+void MatMulTransposeBAccumulate(const Matrix& a, const Matrix& b,
+                                Matrix* out);
+
+}  // namespace lead::nn
+
+#endif  // LEAD_NN_MATRIX_H_

@@ -1,0 +1,45 @@
+#include "nn/module.h"
+
+namespace lead::nn {
+
+std::vector<NamedParameter> Module::NamedParameters() const {
+  std::vector<NamedParameter> result = own_parameters_;
+  for (const auto& [name, child] : children_) {
+    for (NamedParameter& p : child->NamedParameters()) {
+      result.push_back({name + "." + p.name, p.variable});
+    }
+  }
+  return result;
+}
+
+std::vector<Variable> Module::Parameters() const {
+  std::vector<Variable> result;
+  for (const NamedParameter& p : NamedParameters()) {
+    result.push_back(p.variable);
+  }
+  return result;
+}
+
+int64_t Module::NumParameters() const {
+  int64_t total = 0;
+  for (const NamedParameter& p : NamedParameters()) {
+    total += p.variable.value().size();
+  }
+  return total;
+}
+
+void Module::ZeroGrad() {
+  for (Variable& v : Parameters()) v.ZeroGrad();
+}
+
+Variable Module::RegisterParameter(std::string name, Matrix init) {
+  Variable v = Variable::Parameter(std::move(init));
+  own_parameters_.push_back({std::move(name), v});
+  return v;
+}
+
+void Module::RegisterChild(std::string name, Module* child) {
+  children_.emplace_back(std::move(name), child);
+}
+
+}  // namespace lead::nn

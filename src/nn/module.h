@@ -1,0 +1,55 @@
+// Base class for trainable components: a named-parameter registry used by
+// optimizers and (de)serialization.
+#ifndef LEAD_NN_MODULE_H_
+#define LEAD_NN_MODULE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nn/variable.h"
+
+namespace lead::nn {
+
+struct NamedParameter {
+  std::string name;
+  Variable variable;
+};
+
+// A Module owns trainable parameters and may own child modules; the flat
+// parameter list (depth-first, registration order) is what optimizers and
+// checkpoints operate on.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  // Flat view of all parameters (own + descendants).
+  std::vector<NamedParameter> NamedParameters() const;
+  std::vector<Variable> Parameters() const;
+
+  // Total scalar parameter count.
+  int64_t NumParameters() const;
+
+  void ZeroGrad();
+
+ protected:
+  Module() = default;
+
+  // Registers a trainable parameter; the returned Variable is the live
+  // handle layers use in Forward passes.
+  Variable RegisterParameter(std::string name, Matrix init);
+  // Registers a child whose parameters are reported under "<name>.".
+  // The child must outlive this module (typically a data member).
+  void RegisterChild(std::string name, Module* child);
+
+ private:
+  std::vector<NamedParameter> own_parameters_;
+  std::vector<std::pair<std::string, Module*>> children_;
+};
+
+}  // namespace lead::nn
+
+#endif  // LEAD_NN_MODULE_H_

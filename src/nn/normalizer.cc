@@ -1,0 +1,70 @@
+#include "nn/normalizer.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace lead::nn {
+namespace {
+constexpr float kMinStd = 1e-6f;
+}  // namespace
+
+Status ZScoreNormalizer::Fit(const std::vector<std::vector<float>>& rows) {
+  if (rows.empty()) return InvalidArgumentError("no rows to fit");
+  const size_t dims = rows[0].size();
+  if (dims == 0) return InvalidArgumentError("zero-dimensional rows");
+  std::vector<double> sum(dims, 0.0);
+  std::vector<double> sum_sq(dims, 0.0);
+  for (const std::vector<float>& row : rows) {
+    if (row.size() != dims) {
+      return InvalidArgumentError("ragged feature rows");
+    }
+    for (size_t d = 0; d < dims; ++d) {
+      sum[d] += row[d];
+      sum_sq[d] += static_cast<double>(row[d]) * row[d];
+    }
+  }
+  const double n = static_cast<double>(rows.size());
+  mean_.resize(dims);
+  std_.resize(dims);
+  for (size_t d = 0; d < dims; ++d) {
+    const double mean = sum[d] / n;
+    const double var = std::max(0.0, sum_sq[d] / n - mean * mean);
+    mean_[d] = static_cast<float>(mean);
+    std_[d] = std::max(kMinStd, static_cast<float>(std::sqrt(var)));
+  }
+  return Status::Ok();
+}
+
+void ZScoreNormalizer::Apply(std::vector<float>* row) const {
+  LEAD_CHECK(fitted());
+  LEAD_CHECK_EQ(row->size(), mean_.size());
+  for (size_t d = 0; d < mean_.size(); ++d) {
+    (*row)[d] = ((*row)[d] - mean_[d]) / std_[d];
+  }
+}
+
+std::vector<float> ZScoreNormalizer::Applied(std::vector<float> row) const {
+  Apply(&row);
+  return row;
+}
+
+void ZScoreNormalizer::Invert(std::vector<float>* row) const {
+  LEAD_CHECK(fitted());
+  LEAD_CHECK_EQ(row->size(), mean_.size());
+  for (size_t d = 0; d < mean_.size(); ++d) {
+    (*row)[d] = (*row)[d] * std_[d] + mean_[d];
+  }
+}
+
+ZScoreNormalizer ZScoreNormalizer::FromMoments(std::vector<float> mean,
+                                               std::vector<float> std) {
+  LEAD_CHECK_EQ(mean.size(), std.size());
+  ZScoreNormalizer z;
+  z.mean_ = std::move(mean);
+  z.std_ = std::move(std);
+  for (float& s : z.std_) s = std::max(s, kMinStd);
+  return z;
+}
+
+}  // namespace lead::nn

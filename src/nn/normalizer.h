@@ -1,0 +1,46 @@
+// Z-score feature normalization (paper §IV-A, citing Cheadle et al.).
+//
+// Fit on training-set feature vectors; Apply standardizes each dimension
+// to zero mean / unit variance. Constant dimensions pass through centered
+// (std clamped to a minimum) to avoid division blow-ups.
+#ifndef LEAD_NN_NORMALIZER_H_
+#define LEAD_NN_NORMALIZER_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace lead::nn {
+
+class ZScoreNormalizer {
+ public:
+  ZScoreNormalizer() = default;
+
+  // Fits mean/std per dimension over all rows. Rows must be non-empty and
+  // rectangular.
+  Status Fit(const std::vector<std::vector<float>>& rows);
+
+  bool fitted() const { return !mean_.empty(); }
+  int dims() const { return static_cast<int>(mean_.size()); }
+
+  // Standardizes one vector in place.
+  void Apply(std::vector<float>* row) const;
+  std::vector<float> Applied(std::vector<float> row) const;
+  // Inverse transform (used to report reconstruction in original units).
+  void Invert(std::vector<float>* row) const;
+
+  const std::vector<float>& mean() const { return mean_; }
+  const std::vector<float>& std() const { return std_; }
+
+  // Direct construction from precomputed statistics (deserialization).
+  static ZScoreNormalizer FromMoments(std::vector<float> mean,
+                                      std::vector<float> std);
+
+ private:
+  std::vector<float> mean_;
+  std::vector<float> std_;
+};
+
+}  // namespace lead::nn
+
+#endif  // LEAD_NN_NORMALIZER_H_

@@ -1,0 +1,529 @@
+#include "nn/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+
+namespace lead::nn {
+namespace {
+
+using internal::Node;
+
+// Accumulates `src` into node's grad if the node requires it.
+void AccumulateGrad(Node* node, const Matrix& src) {
+  if (!node->requires_grad) return;
+  node->EnsureGrad();
+  LEAD_CHECK(node->grad.SameShape(src));
+  float* dst = node->grad.data();
+  const float* s = src.data();
+  for (int i = 0; i < src.size(); ++i) dst[i] += s[i];
+}
+
+}  // namespace
+
+Variable Add(const Variable& a, const Variable& b) {
+  const bool broadcast =
+      b.rows() == 1 && a.rows() != 1 && b.cols() == a.cols();
+  LEAD_CHECK(broadcast ||
+             (a.rows() == b.rows() && a.cols() == b.cols()));
+  Matrix out = a.value();
+  if (broadcast) {
+    for (int r = 0; r < out.rows(); ++r) {
+      float* row = out.row(r);
+      const float* brow = b.value().row(0);
+      for (int c = 0; c < out.cols(); ++c) row[c] += brow[c];
+    }
+  } else {
+    const float* bd = b.value().data();
+    float* od = out.data();
+    for (int i = 0; i < out.size(); ++i) od[i] += bd[i];
+  }
+  Node* an = a.node();
+  Node* bn = b.node();
+  return Variable::FromOp(
+      std::move(out), {a, b}, [an, bn, broadcast](const Matrix& g) {
+        AccumulateGrad(an, g);
+        if (!bn->requires_grad) return;
+        if (broadcast) {
+          bn->EnsureGrad();
+          float* bg = bn->grad.row(0);
+          for (int r = 0; r < g.rows(); ++r) {
+            const float* grow = g.row(r);
+            for (int c = 0; c < g.cols(); ++c) bg[c] += grow[c];
+          }
+        } else {
+          AccumulateGrad(bn, g);
+        }
+      });
+}
+
+Variable Sub(const Variable& a, const Variable& b) {
+  LEAD_CHECK(a.value().SameShape(b.value()));
+  Matrix out = a.value();
+  const float* bd = b.value().data();
+  float* od = out.data();
+  for (int i = 0; i < out.size(); ++i) od[i] -= bd[i];
+  Node* an = a.node();
+  Node* bn = b.node();
+  return Variable::FromOp(std::move(out), {a, b},
+                          [an, bn](const Matrix& g) {
+                            AccumulateGrad(an, g);
+                            if (!bn->requires_grad) return;
+                            bn->EnsureGrad();
+                            float* bg = bn->grad.data();
+                            const float* gd = g.data();
+                            for (int i = 0; i < g.size(); ++i) {
+                              bg[i] -= gd[i];
+                            }
+                          });
+}
+
+Variable Mul(const Variable& a, const Variable& b) {
+  LEAD_CHECK(a.value().SameShape(b.value()));
+  Matrix out = a.value();
+  const float* bd = b.value().data();
+  float* od = out.data();
+  for (int i = 0; i < out.size(); ++i) od[i] *= bd[i];
+  Node* an = a.node();
+  Node* bn = b.node();
+  return Variable::FromOp(
+      std::move(out), {a, b}, [an, bn](const Matrix& g) {
+        if (an->requires_grad) {
+          an->EnsureGrad();
+          float* ag = an->grad.data();
+          const float* gd = g.data();
+          const float* bv = bn->value.data();
+          for (int i = 0; i < g.size(); ++i) ag[i] += gd[i] * bv[i];
+        }
+        if (bn->requires_grad) {
+          bn->EnsureGrad();
+          float* bg = bn->grad.data();
+          const float* gd = g.data();
+          const float* av = an->value.data();
+          for (int i = 0; i < g.size(); ++i) bg[i] += gd[i] * av[i];
+        }
+      });
+}
+
+Variable ScalarMul(const Variable& a, float s) {
+  Matrix out = a.value();
+  float* od = out.data();
+  for (int i = 0; i < out.size(); ++i) od[i] *= s;
+  Node* an = a.node();
+  return Variable::FromOp(std::move(out), {a}, [an, s](const Matrix& g) {
+    if (!an->requires_grad) return;
+    an->EnsureGrad();
+    float* ag = an->grad.data();
+    const float* gd = g.data();
+    for (int i = 0; i < g.size(); ++i) ag[i] += gd[i] * s;
+  });
+}
+
+Variable MatMul(const Variable& a, const Variable& b) {
+  LEAD_CHECK_EQ(a.cols(), b.rows());
+  Matrix out(a.rows(), b.cols());
+  MatMulAccumulate(a.value(), b.value(), &out);
+  Node* an = a.node();
+  Node* bn = b.node();
+  return Variable::FromOp(
+      std::move(out), {a, b}, [an, bn](const Matrix& g) {
+        if (an->requires_grad) {
+          an->EnsureGrad();
+          MatMulTransposeBAccumulate(g, bn->value, &an->grad);
+        }
+        if (bn->requires_grad) {
+          bn->EnsureGrad();
+          MatMulTransposeAAccumulate(an->value, g, &bn->grad);
+        }
+      });
+}
+
+Variable Transpose(const Variable& a) {
+  Matrix out(a.cols(), a.rows());
+  for (int r = 0; r < a.rows(); ++r) {
+    for (int c = 0; c < a.cols(); ++c) {
+      out.at(c, r) = a.value().at(r, c);
+    }
+  }
+  Node* an = a.node();
+  return Variable::FromOp(std::move(out), {a}, [an](const Matrix& g) {
+    if (!an->requires_grad) return;
+    an->EnsureGrad();
+    for (int r = 0; r < g.rows(); ++r) {
+      for (int c = 0; c < g.cols(); ++c) {
+        an->grad.at(c, r) += g.at(r, c);
+      }
+    }
+  });
+}
+
+namespace {
+
+template <typename ForwardFn, typename DerivFromOutputFn>
+Variable ElementwiseOp(const Variable& a, ForwardFn fwd,
+                       DerivFromOutputFn deriv) {
+  Matrix out = a.value();
+  float* od = out.data();
+  for (int i = 0; i < out.size(); ++i) od[i] = fwd(od[i]);
+  Node* an = a.node();
+  // The derivative is computed from the op's output value, so the closure
+  // snapshots the output matrix.
+  Matrix out_copy = out;
+  return Variable::FromOp(
+      std::move(out), {a},
+      [an, deriv, out_copy = std::move(out_copy)](const Matrix& g) {
+        if (!an->requires_grad) return;
+        an->EnsureGrad();
+        float* ag = an->grad.data();
+        const float* gd = g.data();
+        const float* ov = out_copy.data();
+        for (int i = 0; i < g.size(); ++i) {
+          ag[i] += gd[i] * deriv(ov[i]);
+        }
+      });
+}
+
+}  // namespace
+
+Variable Tanh(const Variable& a) {
+  return ElementwiseOp(
+      a, [](float x) { return std::tanh(x); },
+      [](float y) { return 1.0f - y * y; });
+}
+
+Variable Sigmoid(const Variable& a) {
+  return ElementwiseOp(
+      a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](float y) { return y * (1.0f - y); });
+}
+
+Variable Relu(const Variable& a) {
+  return ElementwiseOp(
+      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float y) { return y > 0.0f ? 1.0f : 0.0f; });
+}
+
+Variable Log(const Variable& a, float eps) {
+  // Derivative needs the (clamped) input, not the output; handle directly.
+  Matrix out = a.value();
+  Matrix clamped_in = a.value();
+  float* cd = clamped_in.data();
+  float* od = out.data();
+  for (int i = 0; i < out.size(); ++i) {
+    cd[i] = std::max(cd[i], eps);
+    od[i] = std::log(cd[i]);
+  }
+  Node* an = a.node();
+  return Variable::FromOp(
+      std::move(out), {a},
+      [an, clamped_in = std::move(clamped_in)](const Matrix& g) {
+        if (!an->requires_grad) return;
+        an->EnsureGrad();
+        float* ag = an->grad.data();
+        const float* gd = g.data();
+        const float* cv = clamped_in.data();
+        for (int i = 0; i < g.size(); ++i) ag[i] += gd[i] / cv[i];
+      });
+}
+
+Variable SoftmaxRows(const Variable& a) {
+  Matrix out = a.value();
+  for (int r = 0; r < out.rows(); ++r) {
+    float* row = out.row(r);
+    float max_v = row[0];
+    for (int c = 1; c < out.cols(); ++c) max_v = std::max(max_v, row[c]);
+    float sum = 0.0f;
+    for (int c = 0; c < out.cols(); ++c) {
+      row[c] = std::exp(row[c] - max_v);
+      sum += row[c];
+    }
+    for (int c = 0; c < out.cols(); ++c) row[c] /= sum;
+  }
+  Node* an = a.node();
+  Matrix out_copy = out;
+  return Variable::FromOp(
+      std::move(out), {a},
+      [an, out_copy = std::move(out_copy)](const Matrix& g) {
+        if (!an->requires_grad) return;
+        an->EnsureGrad();
+        for (int r = 0; r < g.rows(); ++r) {
+          const float* grow = g.row(r);
+          const float* yrow = out_copy.row(r);
+          float dot = 0.0f;
+          for (int c = 0; c < g.cols(); ++c) dot += grow[c] * yrow[c];
+          float* arow = an->grad.row(r);
+          for (int c = 0; c < g.cols(); ++c) {
+            arow[c] += (grow[c] - dot) * yrow[c];
+          }
+        }
+      });
+}
+
+Variable AddScalar(const Variable& a, float s) {
+  Matrix out = a.value();
+  float* od = out.data();
+  for (int i = 0; i < out.size(); ++i) od[i] += s;
+  Node* an = a.node();
+  return Variable::FromOp(std::move(out), {a}, [an](const Matrix& g) {
+    AccumulateGrad(an, g);
+  });
+}
+
+Variable SliceCols(const Variable& a, int start, int len) {
+  LEAD_CHECK_GE(start, 0);
+  LEAD_CHECK_GE(len, 1);
+  LEAD_CHECK_LE(start + len, a.cols());
+  Matrix out(a.rows(), len);
+  for (int r = 0; r < a.rows(); ++r) {
+    const float* src = a.value().row(r) + start;
+    std::copy(src, src + len, out.row(r));
+  }
+  Node* an = a.node();
+  return Variable::FromOp(std::move(out), {a},
+                          [an, start](const Matrix& g) {
+                            if (!an->requires_grad) return;
+                            an->EnsureGrad();
+                            for (int r = 0; r < g.rows(); ++r) {
+                              const float* grow = g.row(r);
+                              float* arow = an->grad.row(r) + start;
+                              for (int c = 0; c < g.cols(); ++c) {
+                                arow[c] += grow[c];
+                              }
+                            }
+                          });
+}
+
+Variable SliceRows(const Variable& a, int start, int len) {
+  LEAD_CHECK_GE(start, 0);
+  LEAD_CHECK_GE(len, 1);
+  LEAD_CHECK_LE(start + len, a.rows());
+  Matrix out(len, a.cols());
+  for (int r = 0; r < len; ++r) {
+    const float* src = a.value().row(start + r);
+    std::copy(src, src + a.cols(), out.row(r));
+  }
+  Node* an = a.node();
+  return Variable::FromOp(std::move(out), {a},
+                          [an, start](const Matrix& g) {
+                            if (!an->requires_grad) return;
+                            an->EnsureGrad();
+                            for (int r = 0; r < g.rows(); ++r) {
+                              const float* grow = g.row(r);
+                              float* arow = an->grad.row(start + r);
+                              for (int c = 0; c < g.cols(); ++c) {
+                                arow[c] += grow[c];
+                              }
+                            }
+                          });
+}
+
+Variable ConcatRows(const std::vector<Variable>& parts) {
+  LEAD_CHECK(!parts.empty());
+  const int cols = parts[0].cols();
+  int rows = 0;
+  for (const Variable& p : parts) {
+    LEAD_CHECK_EQ(p.cols(), cols);
+    rows += p.rows();
+  }
+  Matrix out(rows, cols);
+  int r0 = 0;
+  for (const Variable& p : parts) {
+    for (int r = 0; r < p.rows(); ++r) {
+      const float* src = p.value().row(r);
+      std::copy(src, src + cols, out.row(r0 + r));
+    }
+    r0 += p.rows();
+  }
+  std::vector<Node*> nodes;
+  std::vector<int> offsets;
+  std::vector<int> sizes;
+  nodes.reserve(parts.size());
+  int off = 0;
+  for (const Variable& p : parts) {
+    nodes.push_back(p.node());
+    offsets.push_back(off);
+    sizes.push_back(p.rows());
+    off += p.rows();
+  }
+  return Variable::FromOp(
+      std::move(out), parts,
+      [nodes = std::move(nodes), offsets = std::move(offsets),
+       sizes = std::move(sizes)](const Matrix& g) {
+        for (size_t k = 0; k < nodes.size(); ++k) {
+          Node* n = nodes[k];
+          if (!n->requires_grad) continue;
+          n->EnsureGrad();
+          for (int r = 0; r < sizes[k]; ++r) {
+            const float* grow = g.row(offsets[k] + r);
+            float* nrow = n->grad.row(r);
+            for (int c = 0; c < g.cols(); ++c) nrow[c] += grow[c];
+          }
+        }
+      });
+}
+
+Variable ConcatCols(const std::vector<Variable>& parts) {
+  LEAD_CHECK(!parts.empty());
+  const int rows = parts[0].rows();
+  int cols = 0;
+  for (const Variable& p : parts) {
+    LEAD_CHECK_EQ(p.rows(), rows);
+    cols += p.cols();
+  }
+  Matrix out(rows, cols);
+  int c0 = 0;
+  for (const Variable& p : parts) {
+    for (int r = 0; r < rows; ++r) {
+      const float* src = p.value().row(r);
+      std::copy(src, src + p.cols(), out.row(r) + c0);
+    }
+    c0 += p.cols();
+  }
+  std::vector<Node*> nodes;
+  std::vector<int> offsets;
+  std::vector<int> widths;
+  int off = 0;
+  for (const Variable& p : parts) {
+    nodes.push_back(p.node());
+    offsets.push_back(off);
+    widths.push_back(p.cols());
+    off += p.cols();
+  }
+  return Variable::FromOp(
+      std::move(out), parts,
+      [nodes = std::move(nodes), offsets = std::move(offsets),
+       widths = std::move(widths), rows](const Matrix& g) {
+        for (size_t k = 0; k < nodes.size(); ++k) {
+          Node* n = nodes[k];
+          if (!n->requires_grad) continue;
+          n->EnsureGrad();
+          for (int r = 0; r < rows; ++r) {
+            const float* grow = g.row(r) + offsets[k];
+            float* nrow = n->grad.row(r);
+            for (int c = 0; c < widths[k]; ++c) nrow[c] += grow[c];
+          }
+        }
+      });
+}
+
+Variable ReverseRows(const Variable& a) {
+  Matrix out(a.rows(), a.cols());
+  for (int r = 0; r < a.rows(); ++r) {
+    const float* src = a.value().row(a.rows() - 1 - r);
+    std::copy(src, src + a.cols(), out.row(r));
+  }
+  Node* an = a.node();
+  return Variable::FromOp(std::move(out), {a}, [an](const Matrix& g) {
+    if (!an->requires_grad) return;
+    an->EnsureGrad();
+    for (int r = 0; r < g.rows(); ++r) {
+      const float* grow = g.row(r);
+      float* arow = an->grad.row(g.rows() - 1 - r);
+      for (int c = 0; c < g.cols(); ++c) arow[c] += grow[c];
+    }
+  });
+}
+
+Variable Sum(const Variable& a) {
+  float total = 0.0f;
+  const float* ad = a.value().data();
+  for (int i = 0; i < a.value().size(); ++i) total += ad[i];
+  Node* an = a.node();
+  return Variable::FromOp(Matrix(1, 1, {total}), {a},
+                          [an](const Matrix& g) {
+                            if (!an->requires_grad) return;
+                            an->EnsureGrad();
+                            const float go = g.at(0, 0);
+                            float* ag = an->grad.data();
+                            for (int i = 0; i < an->grad.size(); ++i) {
+                              ag[i] += go;
+                            }
+                          });
+}
+
+Variable Mean(const Variable& a) {
+  LEAD_CHECK_GT(a.value().size(), 0);
+  return ScalarMul(Sum(a), 1.0f / static_cast<float>(a.value().size()));
+}
+
+Variable MseLoss(const Variable& prediction, const Variable& target) {
+  LEAD_CHECK(prediction.value().SameShape(target.value()));
+  const int n = prediction.value().size();
+  LEAD_CHECK_GT(n, 0);
+  float total = 0.0f;
+  const float* pd = prediction.value().data();
+  const float* td = target.value().data();
+  for (int i = 0; i < n; ++i) {
+    const float d = pd[i] - td[i];
+    total += d * d;
+  }
+  Node* pn = prediction.node();
+  Node* tn = target.node();
+  const float inv_n = 1.0f / static_cast<float>(n);
+  return Variable::FromOp(
+      Matrix(1, 1, {total * inv_n}), {prediction, target},
+      [pn, tn, inv_n, n](const Matrix& g) {
+        const float go = g.at(0, 0);
+        const float* pv = pn->value.data();
+        const float* tv = tn->value.data();
+        if (pn->requires_grad) {
+          pn->EnsureGrad();
+          float* pg = pn->grad.data();
+          for (int i = 0; i < n; ++i) {
+            pg[i] += go * 2.0f * (pv[i] - tv[i]) * inv_n;
+          }
+        }
+        if (tn->requires_grad) {
+          tn->EnsureGrad();
+          float* tg = tn->grad.data();
+          for (int i = 0; i < n; ++i) {
+            tg[i] -= go * 2.0f * (pv[i] - tv[i]) * inv_n;
+          }
+        }
+      });
+}
+
+Variable Dropout(const Variable& a, float p, Rng* rng) {
+  LEAD_CHECK_GE(p, 0.0f);
+  LEAD_CHECK_LT(p, 1.0f);
+  if (p == 0.0f || internal::NoGradEnabled()) return a;
+  const float keep_scale = 1.0f / (1.0f - p);
+  Matrix mask(a.rows(), a.cols());
+  for (int i = 0; i < mask.size(); ++i) {
+    mask.data()[i] = rng->Bernoulli(p) ? 0.0f : keep_scale;
+  }
+  return Mul(a, Variable::Constant(std::move(mask)));
+}
+
+Variable KlDivergence(const Variable& label, const Variable& prediction,
+                      float eps) {
+  LEAD_CHECK(label.value().SameShape(prediction.value()));
+  const int n = label.value().size();
+  float total = 0.0f;
+  const float* lv = label.value().data();
+  const float* pv = prediction.value().data();
+  for (int i = 0; i < n; ++i) {
+    if (lv[i] <= 0.0f) continue;
+    total += lv[i] * (std::log(lv[i]) - std::log(std::max(pv[i], eps)));
+  }
+  Node* pn = prediction.node();
+  Node* ln = label.node();
+  return Variable::FromOp(
+      Matrix(1, 1, {total}), {label, prediction},
+      [pn, ln, eps, n](const Matrix& g) {
+        if (!pn->requires_grad) return;
+        pn->EnsureGrad();
+        const float go = g.at(0, 0);
+        const float* lv = ln->value.data();
+        const float* pv = pn->value.data();
+        float* pg = pn->grad.data();
+        for (int i = 0; i < n; ++i) {
+          if (lv[i] <= 0.0f) continue;
+          pg[i] -= go * lv[i] / std::max(pv[i], eps);
+        }
+      });
+}
+
+}  // namespace lead::nn

@@ -1,0 +1,77 @@
+// Differentiable tensor operations.
+//
+// Every function returns a new Variable; gradients flow to inputs that
+// require them. Shapes are validated with LEAD_CHECK (shape errors are
+// programming errors).
+#ifndef LEAD_NN_OPS_H_
+#define LEAD_NN_OPS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/variable.h"
+
+namespace lead::nn {
+
+// Elementwise a + b. b may also be a [1 x cols] row vector, broadcast over
+// a's rows (the bias pattern).
+Variable Add(const Variable& a, const Variable& b);
+// Elementwise a - b (same shape).
+Variable Sub(const Variable& a, const Variable& b);
+// Elementwise (Hadamard) a * b (same shape).
+Variable Mul(const Variable& a, const Variable& b);
+// a * s for a scalar constant s.
+Variable ScalarMul(const Variable& a, float s);
+
+// Matrix product [m x k] * [k x n] -> [m x n].
+Variable MatMul(const Variable& a, const Variable& b);
+// Transpose [m x n] -> [n x m].
+Variable Transpose(const Variable& a);
+
+// Elementwise nonlinearities.
+Variable Tanh(const Variable& a);
+Variable Sigmoid(const Variable& a);
+Variable Relu(const Variable& a);
+// Elementwise natural log; inputs are clamped to >= eps for stability.
+Variable Log(const Variable& a, float eps = 1e-12f);
+
+// Row-wise softmax.
+Variable SoftmaxRows(const Variable& a);
+
+// a + s elementwise for a scalar constant s.
+Variable AddScalar(const Variable& a, float s);
+
+// Rows [start, start+len) of a, as a [len x cols] matrix.
+Variable SliceRows(const Variable& a, int start, int len);
+// Columns [start, start+len) of a, as a [rows x len] matrix.
+Variable SliceCols(const Variable& a, int start, int len);
+// Vertically stacks parts (equal cols).
+Variable ConcatRows(const std::vector<Variable>& parts);
+// Horizontally concatenates parts (equal rows).
+Variable ConcatCols(const std::vector<Variable>& parts);
+// Reverses the row order (sequence reversal for backward LSTMs).
+Variable ReverseRows(const Variable& a);
+
+// Sum / mean over all elements -> [1 x 1].
+Variable Sum(const Variable& a);
+Variable Mean(const Variable& a);
+
+// Mean squared error between prediction and a target of the same shape
+// (Eq. 8). Gradients flow to both inputs if required.
+Variable MseLoss(const Variable& prediction, const Variable& target);
+
+// Inverted dropout: during training (outside NoGradGuard) zeroes each
+// element with probability p and scales survivors by 1/(1-p); identity
+// in inference mode. p in [0, 1).
+Variable Dropout(const Variable& a, float p, Rng* rng);
+
+// Kullback-Leibler divergence sum_i label_i * log(label_i / pred_i)
+// (Eqs. 11-12). `label` is a probability distribution (typically an
+// eps-smoothed constant); gradients flow to `prediction` only.
+// Predictions are clamped to >= eps inside the log.
+Variable KlDivergence(const Variable& label, const Variable& prediction,
+                      float eps = 1e-12f);
+
+}  // namespace lead::nn
+
+#endif  // LEAD_NN_OPS_H_

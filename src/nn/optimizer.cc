@@ -1,0 +1,44 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+
+namespace lead::nn {
+
+Optimizer::Optimizer(std::vector<Variable> parameters)
+    : parameters_(std::move(parameters)) {
+  for (Variable& p : parameters_) {
+    LEAD_CHECK(p.requires_grad());
+    p.ZeroGrad();
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (Variable& p : parameters_) p.ZeroGrad();
+}
+
+void Optimizer::StepAndZeroGrad() {
+  Step();
+  ZeroGrad();
+}
+
+float Optimizer::GradNorm() const {
+  double total = 0.0;
+  for (const Variable& p : parameters_) {
+    const float* g = p.grad().data();
+    for (int i = 0; i < p.grad().size(); ++i) {
+      total += static_cast<double>(g[i]) * g[i];
+    }
+  }
+  return static_cast<float>(std::sqrt(total));
+}
+
+float Optimizer::ClipScale(float clip_grad_norm) const {
+  if (clip_grad_norm <= 0.0f) return 1.0f;
+  const float norm = GradNorm();
+  return norm > clip_grad_norm ? clip_grad_norm / norm : 1.0f;
+}
+
+}  // namespace lead::nn

@@ -1,0 +1,41 @@
+// Optimizer interface shared by Adam and SGD.
+#ifndef LEAD_NN_OPTIMIZER_H_
+#define LEAD_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/variable.h"
+
+namespace lead::nn {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Variable> parameters);
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  // Applies one update from the accumulated gradients.
+  virtual void Step() = 0;
+
+  void ZeroGrad();
+  void StepAndZeroGrad();
+
+  // Global L2 norm of all parameter gradients.
+  float GradNorm() const;
+
+  virtual float learning_rate() const = 0;
+  virtual void set_learning_rate(float lr) = 0;
+
+ protected:
+  // Scale factor implementing global gradient-norm clipping; 1.0 when
+  // disabled or under the threshold.
+  float ClipScale(float clip_grad_norm) const;
+
+  std::vector<Variable> parameters_;
+};
+
+}  // namespace lead::nn
+
+#endif  // LEAD_NN_OPTIMIZER_H_

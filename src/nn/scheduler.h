@@ -1,0 +1,67 @@
+// Learning-rate schedules (the paper trains Adam with a "scheduled
+// learning rate"). A scheduler maps an epoch index to a rate; trainers
+// apply it via Optimizer::set_learning_rate at each epoch boundary.
+#ifndef LEAD_NN_SCHEDULER_H_
+#define LEAD_NN_SCHEDULER_H_
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace lead::nn {
+
+// Constant rate (the default when no schedule is configured).
+class ConstantLr {
+ public:
+  explicit ConstantLr(float lr) : lr_(lr) {}
+  float LearningRate(int /*epoch*/) const { return lr_; }
+
+ private:
+  float lr_;
+};
+
+// Multiplies the rate by `gamma` every `step_epochs` epochs.
+class StepDecayLr {
+ public:
+  StepDecayLr(float initial_lr, float gamma, int step_epochs)
+      : initial_lr_(initial_lr), gamma_(gamma), step_epochs_(step_epochs) {
+    LEAD_CHECK_GT(step_epochs, 0);
+    LEAD_CHECK_GT(gamma, 0.0f);
+  }
+  float LearningRate(int epoch) const {
+    return initial_lr_ *
+           std::pow(gamma_, static_cast<float>(epoch / step_epochs_));
+  }
+
+ private:
+  float initial_lr_;
+  float gamma_;
+  int step_epochs_;
+};
+
+// Cosine annealing from `initial_lr` to `min_lr` over `total_epochs`.
+class CosineDecayLr {
+ public:
+  CosineDecayLr(float initial_lr, float min_lr, int total_epochs)
+      : initial_lr_(initial_lr),
+        min_lr_(min_lr),
+        total_epochs_(total_epochs) {
+    LEAD_CHECK_GT(total_epochs, 0);
+  }
+  float LearningRate(int epoch) const {
+    const float t =
+        std::min(1.0f, static_cast<float>(epoch) / total_epochs_);
+    return min_lr_ + 0.5f * (initial_lr_ - min_lr_) *
+                         (1.0f + std::cos(t * static_cast<float>(M_PI)));
+  }
+
+ private:
+  float initial_lr_;
+  float min_lr_;
+  int total_epochs_;
+};
+
+}  // namespace lead::nn
+
+#endif  // LEAD_NN_SCHEDULER_H_

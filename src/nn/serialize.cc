@@ -1,0 +1,109 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <unordered_map>
+
+namespace lead::nn {
+namespace {
+
+constexpr char kMagic[8] = {'L', 'E', 'A', 'D', 'C', 'K', 'P', 'T'};
+constexpr uint32_t kVersion = 1;
+
+void WriteU32(std::ostream& out, uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void WriteU64(std::ostream& out, uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+bool ReadU32(std::istream& in, uint32_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return in.good();
+}
+bool ReadU64(std::istream& in, uint64_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return in.good();
+}
+
+}  // namespace
+
+Status SaveParameters(const Module& module, std::ostream& out) {
+  const std::vector<NamedParameter> params = module.NamedParameters();
+  out.write(kMagic, sizeof(kMagic));
+  WriteU32(out, kVersion);
+  WriteU64(out, params.size());
+  for (const NamedParameter& p : params) {
+    WriteU32(out, static_cast<uint32_t>(p.name.size()));
+    out.write(p.name.data(), static_cast<std::streamsize>(p.name.size()));
+    const Matrix& m = p.variable.value();
+    WriteU32(out, static_cast<uint32_t>(m.rows()));
+    WriteU32(out, static_cast<uint32_t>(m.cols()));
+    out.write(reinterpret_cast<const char*>(m.data()),
+              static_cast<std::streamsize>(m.size() * sizeof(float)));
+  }
+  if (!out.good()) return IoError("failed writing checkpoint stream");
+  return Status::Ok();
+}
+
+Status LoadParameters(Module* module, std::istream& in) {
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || !std::equal(magic, magic + 8, kMagic)) {
+    return IoError("bad checkpoint magic");
+  }
+  uint32_t version = 0;
+  if (!ReadU32(in, &version) || version != kVersion) {
+    return IoError("unsupported checkpoint version");
+  }
+  uint64_t count = 0;
+  if (!ReadU64(in, &count)) return IoError("truncated checkpoint header");
+
+  std::vector<NamedParameter> params = module->NamedParameters();
+  std::unordered_map<std::string, Variable*> by_name;
+  by_name.reserve(params.size());
+  for (NamedParameter& p : params) by_name[p.name] = &p.variable;
+  if (count != params.size()) {
+    return InvalidArgumentError("checkpoint parameter count mismatch");
+  }
+
+  for (uint64_t k = 0; k < count; ++k) {
+    uint32_t name_len = 0;
+    if (!ReadU32(in, &name_len)) return IoError("truncated checkpoint");
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    uint32_t rows = 0;
+    uint32_t cols = 0;
+    if (!in.good() || !ReadU32(in, &rows) || !ReadU32(in, &cols)) {
+      return IoError("truncated checkpoint");
+    }
+    const auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      return InvalidArgumentError("unknown parameter in checkpoint: " + name);
+    }
+    Matrix& target = it->second->mutable_value();
+    if (target.rows() != static_cast<int>(rows) ||
+        target.cols() != static_cast<int>(cols)) {
+      return InvalidArgumentError("shape mismatch for parameter: " + name);
+    }
+    in.read(reinterpret_cast<char*>(target.data()),
+            static_cast<std::streamsize>(target.size() * sizeof(float)));
+    if (!in.good()) return IoError("truncated checkpoint data");
+  }
+  return Status::Ok();
+}
+
+Status SaveParametersToFile(const Module& module, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return IoError("cannot open for write: " + path);
+  return SaveParameters(module, out);
+}
+
+Status LoadParametersFromFile(Module* module, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return IoError("cannot open for read: " + path);
+  return LoadParameters(module, in);
+}
+
+}  // namespace lead::nn

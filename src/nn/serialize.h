@@ -1,0 +1,28 @@
+// Binary checkpointing of module parameters.
+//
+// Format: magic "LEADCKPT", u32 version, u64 count, then per parameter:
+// u32 name length, name bytes, u32 rows, u32 cols, f32 data (row-major,
+// little-endian). Loading matches by name and shape and fails with a
+// Status on any mismatch, so checkpoints are robust to reordering but not
+// to architecture changes.
+#ifndef LEAD_NN_SERIALIZE_H_
+#define LEAD_NN_SERIALIZE_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "nn/module.h"
+
+namespace lead::nn {
+
+Status SaveParameters(const Module& module, std::ostream& out);
+Status LoadParameters(Module* module, std::istream& in);
+
+// File-path convenience wrappers.
+Status SaveParametersToFile(const Module& module, const std::string& path);
+Status LoadParametersFromFile(Module* module, const std::string& path);
+
+}  // namespace lead::nn
+
+#endif  // LEAD_NN_SERIALIZE_H_

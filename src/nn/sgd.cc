@@ -1,0 +1,34 @@
+#include "nn/sgd.h"
+
+#include <utility>
+
+namespace lead::nn {
+
+Sgd::Sgd(std::vector<Variable> parameters, const SgdOptions& options)
+    : Optimizer(std::move(parameters)), options_(options) {
+  velocity_.reserve(parameters_.size());
+  for (const Variable& p : parameters_) {
+    velocity_.emplace_back(p.rows(), p.cols());
+  }
+}
+
+void Sgd::Step() {
+  const float scale = ClipScale(options_.clip_grad_norm);
+  for (size_t k = 0; k < parameters_.size(); ++k) {
+    Variable& p = parameters_[k];
+    const float* g = p.grad().data();
+    float* value = p.mutable_value().data();
+    float* v = velocity_[k].data();
+    const int n = p.grad().size();
+    for (int i = 0; i < n; ++i) {
+      float grad = g[i] * scale;
+      if (options_.weight_decay > 0.0f) {
+        grad += options_.weight_decay * value[i];
+      }
+      v[i] = options_.momentum * v[i] + grad;
+      value[i] -= options_.learning_rate * v[i];
+    }
+  }
+}
+
+}  // namespace lead::nn

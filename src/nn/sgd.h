@@ -1,0 +1,38 @@
+// SGD with momentum — comparison optimizer for the design-choice
+// ablation benches (the paper uses Adam).
+#ifndef LEAD_NN_SGD_H_
+#define LEAD_NN_SGD_H_
+
+#include <vector>
+
+#include "nn/optimizer.h"
+
+namespace lead::nn {
+
+struct SgdOptions {
+  float learning_rate = 1e-2f;
+  float momentum = 0.9f;
+  float weight_decay = 0.0f;  // L2 regularization coefficient
+  float clip_grad_norm = 0.0f;
+};
+
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Variable> parameters, const SgdOptions& options = {});
+
+  void Step() override;
+
+  float learning_rate() const override { return options_.learning_rate; }
+  void set_learning_rate(float lr) override {
+    options_.learning_rate = lr;
+  }
+  const SgdOptions& options() const { return options_; }
+
+ private:
+  SgdOptions options_;
+  std::vector<Matrix> velocity_;
+};
+
+}  // namespace lead::nn
+
+#endif  // LEAD_NN_SGD_H_

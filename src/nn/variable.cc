@@ -1,0 +1,107 @@
+#include "nn/variable.h"
+
+#include <unordered_set>
+#include <utility>
+
+#include "common/check.h"
+
+namespace lead::nn {
+
+Variable Variable::Constant(Matrix value) {
+  auto node = std::make_shared<internal::Node>();
+  node->value = std::move(value);
+  node->requires_grad = false;
+  return Variable(std::move(node));
+}
+
+Variable Variable::Parameter(Matrix value) {
+  auto node = std::make_shared<internal::Node>();
+  node->value = std::move(value);
+  node->requires_grad = true;
+  node->EnsureGrad();
+  return Variable(std::move(node));
+}
+
+namespace {
+thread_local bool no_grad_mode = false;
+}  // namespace
+
+NoGradGuard::NoGradGuard() : previous_(no_grad_mode) {
+  no_grad_mode = true;
+}
+NoGradGuard::~NoGradGuard() { no_grad_mode = previous_; }
+
+namespace internal {
+bool NoGradEnabled() { return no_grad_mode; }
+}  // namespace internal
+
+Variable Variable::FromOp(
+    Matrix value, std::vector<Variable> parents,
+    std::function<void(const Matrix& out_grad)> backward) {
+  auto node = std::make_shared<internal::Node>();
+  node->value = std::move(value);
+  if (no_grad_mode) return Variable(std::move(node));
+  for (const Variable& p : parents) {
+    if (p.requires_grad()) {
+      node->requires_grad = true;
+      break;
+    }
+  }
+  if (node->requires_grad) {
+    node->parents.reserve(parents.size());
+    for (Variable& p : parents) {
+      node->parents.push_back(p.shared_node());
+    }
+    node->backward = std::move(backward);
+  }
+  return Variable(std::move(node));
+}
+
+void Variable::ZeroGrad() {
+  LEAD_CHECK(defined());
+  node_->EnsureGrad();
+  node_->grad.Fill(0.0f);
+}
+
+void Backward(const Variable& root) {
+  LEAD_CHECK(root.defined());
+  LEAD_CHECK_EQ(root.value().size(), 1);
+  LEAD_CHECK(root.requires_grad());
+
+  // Iterative post-order DFS to produce a topological order (parents
+  // before children in `order` after the walk; we then run in reverse).
+  std::vector<internal::Node*> order;
+  std::unordered_set<internal::Node*> visited;
+  struct Frame {
+    internal::Node* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({root.node(), 0});
+  visited.insert(root.node());
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next_parent < frame.node->parents.size()) {
+      internal::Node* parent =
+          frame.node->parents[frame.next_parent++].get();
+      if (parent->requires_grad && visited.insert(parent).second) {
+        stack.push_back({parent, 0});
+      }
+    } else {
+      order.push_back(frame.node);
+      stack.pop_back();
+    }
+  }
+
+  for (internal::Node* node : order) node->EnsureGrad();
+  root.node()->grad.Fill(1.0f);
+
+  // `order` lists parents before children; reverse order visits each node
+  // after all of its consumers have contributed to its gradient.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    internal::Node* node = *it;
+    if (node->backward) node->backward(node->grad);
+  }
+}
+
+}  // namespace lead::nn

@@ -1,0 +1,107 @@
+// Reverse-mode automatic differentiation.
+//
+// A Variable is a shared handle to a graph node holding a Matrix value,
+// its gradient, and a backward closure that scatters the node's gradient
+// into its parents. Ops (ops.h) build the graph on the fly; Backward()
+// topologically sorts the graph and runs the closures in reverse.
+//
+// When no input of an op requires gradients the op produces a leaf
+// constant, so pure inference builds no graph and allocates no closures.
+#ifndef LEAD_NN_VARIABLE_H_
+#define LEAD_NN_VARIABLE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace lead::nn {
+
+namespace internal {
+
+struct Node {
+  Matrix value;
+  Matrix grad;  // allocated lazily, same shape as value
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<Node>> parents;
+  // Scatters `out_grad` (same shape as value) into the parents' grads.
+  // Null for leaves.
+  std::function<void(const Matrix& out_grad)> backward;
+
+  void EnsureGrad() {
+    if (!grad.SameShape(value)) {
+      grad = Matrix::Zeros(value.rows(), value.cols());
+    }
+  }
+};
+
+}  // namespace internal
+
+class Variable {
+ public:
+  // Null handle; defined() is false.
+  Variable() = default;
+
+  // A leaf that does not require gradients.
+  static Variable Constant(Matrix value);
+  // A trainable leaf; gradients accumulate across Backward() calls until
+  // ZeroGrad().
+  static Variable Parameter(Matrix value);
+  // Used by ops: a node computed from `parents` with the given backward
+  // closure. Requires grad iff any parent does; the closure may be empty
+  // when it does not.
+  static Variable FromOp(Matrix value,
+                         std::vector<Variable> parents,
+                         std::function<void(const Matrix& out_grad)> backward);
+
+  bool defined() const { return node_ != nullptr; }
+  const Matrix& value() const { return node_->value; }
+  // Mutable access for optimizers and in-place parameter loading.
+  Matrix& mutable_value() { return node_->value; }
+  const Matrix& grad() const { return node_->grad; }
+  bool requires_grad() const { return node_ && node_->requires_grad; }
+
+  int rows() const { return node_->value.rows(); }
+  int cols() const { return node_->value.cols(); }
+
+  // Zeroes the accumulated gradient (allocating it if needed).
+  void ZeroGrad();
+
+  internal::Node* node() const { return node_.get(); }
+  std::shared_ptr<internal::Node> shared_node() const { return node_; }
+
+ private:
+  explicit Variable(std::shared_ptr<internal::Node> node)
+      : node_(std::move(node)) {}
+
+  std::shared_ptr<internal::Node> node_;
+};
+
+// Runs reverse-mode differentiation from `root`, which must be a scalar
+// ([1 x 1]). Gradients accumulate into every reachable node that requires
+// them (notably parameters).
+void Backward(const Variable& root);
+
+// While alive, every op output is treated as a constant: no parents are
+// retained and no backward closures are allocated. Use for inference and
+// validation passes. Nestable; thread-local.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+namespace internal {
+// True while at least one NoGradGuard is alive on this thread.
+bool NoGradEnabled();
+}  // namespace internal
+
+}  // namespace lead::nn
+
+#endif  // LEAD_NN_VARIABLE_H_

@@ -1,0 +1,40 @@
+#include "poi/poi.h"
+
+namespace lead::poi {
+
+const char* CategoryName(Category category) {
+  switch (category) {
+    case Category::kChemicalFactory: return "chemical_factory";
+    case Category::kFuelStation: return "fuel_station";
+    case Category::kFuelDepot: return "fuel_depot";
+    case Category::kPort: return "port";
+    case Category::kHospital: return "hospital";
+    case Category::kConstructionSite: return "construction_site";
+    case Category::kIndustrialFactory: return "industrial_factory";
+    case Category::kWarehouse: return "warehouse";
+    case Category::kLogisticsCenter: return "logistics_center";
+    case Category::kPowerPlant: return "power_plant";
+    case Category::kWaterTreatment: return "water_treatment";
+    case Category::kMine: return "mine";
+    case Category::kCompany: return "company";
+    case Category::kRestaurant: return "restaurant";
+    case Category::kHotel: return "hotel";
+    case Category::kShop: return "shop";
+    case Category::kSupermarket: return "supermarket";
+    case Category::kMarket: return "market";
+    case Category::kSchool: return "school";
+    case Category::kResidentialArea: return "residential_area";
+    case Category::kPark: return "park";
+    case Category::kParkingLot: return "parking_lot";
+    case Category::kTruckStop: return "truck_stop";
+    case Category::kTollStation: return "toll_station";
+    case Category::kGovernmentOffice: return "government_office";
+    case Category::kBank: return "bank";
+    case Category::kBusStation: return "bus_station";
+    case Category::kTrainStation: return "train_station";
+    case Category::kScenicSpot: return "scenic_spot";
+  }
+  return "unknown";
+}
+
+}  // namespace lead::poi

@@ -1,0 +1,72 @@
+// POI (point of interest) model (paper §IV-A).
+//
+// The paper uses 415,639 Nantong POIs grouped into 29 typical categories;
+// per-GPS-point POI features are category counts within a 100 m radius.
+// This module defines the 29-category taxonomy and the POI value type; the
+// spatial index lives in poi_index.h.
+#ifndef LEAD_POI_POI_H_
+#define LEAD_POI_POI_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/latlng.h"
+
+namespace lead::poi {
+
+// The 29 POI categories. The first block covers categories tied to
+// hazardous-chemical loading/unloading (chemical plants, fuel
+// infrastructure, ports, hospitals, construction sites); the rest are the
+// ordinary urban categories that dominate a real POI corpus.
+enum class Category : uint8_t {
+  kChemicalFactory = 0,
+  kFuelStation,
+  kFuelDepot,
+  kPort,
+  kHospital,
+  kConstructionSite,
+  kIndustrialFactory,
+  kWarehouse,
+  kLogisticsCenter,
+  kPowerPlant,
+  kWaterTreatment,
+  kMine,
+  kCompany,
+  kRestaurant,
+  kHotel,
+  kShop,
+  kSupermarket,
+  kMarket,
+  kSchool,
+  kResidentialArea,
+  kPark,
+  kParkingLot,
+  kTruckStop,
+  kTollStation,
+  kGovernmentOffice,
+  kBank,
+  kBusStation,
+  kTrainStation,
+  kScenicSpot,
+};
+
+inline constexpr int kNumCategories = 29;
+
+// Stable display name, e.g. "chemical_factory".
+const char* CategoryName(Category category);
+
+// One point of interest.
+struct Poi {
+  int64_t id = 0;
+  Category category = Category::kCompany;
+  geo::LatLng pos;
+};
+
+// Per-category counts, the raw form of the paper's 29-dim POI feature.
+using CategoryCounts = std::array<int, kNumCategories>;
+
+}  // namespace lead::poi
+
+#endif  // LEAD_POI_POI_H_

@@ -1,0 +1,104 @@
+#include "poi/poi_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.h"
+
+namespace lead::poi {
+namespace {
+
+int64_t PackKey(int64_t x, int64_t y) {
+  // Offset into non-negative range, then interleave into one key. City
+  // extents are far below the 2^31 cell limit per axis.
+  constexpr int64_t kOffset = int64_t{1} << 30;
+  return ((x + kOffset) << 32) | (y + kOffset);
+}
+
+}  // namespace
+
+PoiIndex::PoiIndex(std::vector<Poi> pois, double cell_size_m)
+    : pois_(std::move(pois)), cell_size_m_(cell_size_m) {
+  LEAD_CHECK_GT(cell_size_m_, 0.0);
+
+  double mean_lat = 0.0;
+  for (const Poi& p : pois_) mean_lat += p.pos.lat;
+  if (!pois_.empty()) mean_lat /= static_cast<double>(pois_.size());
+
+  meters_per_deg_lat_ = geo::kDegToRad * geo::kEarthRadiusMeters;
+  meters_per_deg_lng_ =
+      meters_per_deg_lat_ * std::cos(mean_lat * geo::kDegToRad);
+  // Guard degenerate corpora near the poles (never the case for city data).
+  if (meters_per_deg_lng_ < 1.0) meters_per_deg_lng_ = 1.0;
+
+  std::unordered_map<int64_t, std::vector<int>> buckets;
+  buckets.reserve(pois_.size());
+  for (int i = 0; i < size(); ++i) {
+    const CellCoord c = CellOf(pois_[i].pos);
+    buckets[PackKey(c.x, c.y)].push_back(i);
+  }
+  cells_.reserve(buckets.size());
+  for (auto& [key, ids] : buckets) {
+    cells_.emplace_back(key, std::move(ids));
+  }
+  std::sort(cells_.begin(), cells_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+}
+
+PoiIndex::CellCoord PoiIndex::CellOf(const geo::LatLng& p) const {
+  return CellCoord{
+      static_cast<int64_t>(std::floor(p.lng * meters_per_deg_lng_ /
+                                      cell_size_m_)),
+      static_cast<int64_t>(std::floor(p.lat * meters_per_deg_lat_ /
+                                      cell_size_m_)),
+  };
+}
+
+template <typename Fn>
+void PoiIndex::ForEachWithin(const geo::LatLng& center, double radius_m,
+                             Fn&& fn) const {
+  if (pois_.empty() || radius_m < 0.0) return;
+  const int64_t cell_span =
+      static_cast<int64_t>(std::ceil(radius_m / cell_size_m_));
+  const CellCoord base = CellOf(center);
+  for (int64_t dy = -cell_span; dy <= cell_span; ++dy) {
+    for (int64_t dx = -cell_span; dx <= cell_span; ++dx) {
+      const int64_t key = PackKey(base.x + dx, base.y + dy);
+      const auto it = std::lower_bound(
+          cells_.begin(), cells_.end(), key,
+          [](const auto& cell, int64_t k) { return cell.first < k; });
+      if (it == cells_.end() || it->first != key) continue;
+      for (int poi_index : it->second) {
+        if (geo::DistanceMeters(center, pois_[poi_index].pos) <= radius_m) {
+          fn(poi_index);
+        }
+      }
+    }
+  }
+}
+
+CategoryCounts PoiIndex::CountByCategory(const geo::LatLng& center,
+                                         double radius_m) const {
+  CategoryCounts counts{};
+  ForEachWithin(center, radius_m, [&](int i) {
+    ++counts[static_cast<int>(pois_[i].category)];
+  });
+  return counts;
+}
+
+std::vector<int> PoiIndex::QueryWithin(const geo::LatLng& center,
+                                       double radius_m) const {
+  std::vector<int> result;
+  ForEachWithin(center, radius_m, [&](int i) { result.push_back(i); });
+  return result;
+}
+
+bool PoiIndex::AnyWithin(const geo::LatLng& center, double radius_m) const {
+  bool found = false;
+  ForEachWithin(center, radius_m, [&](int) { found = true; });
+  return found;
+}
+
+}  // namespace lead::poi

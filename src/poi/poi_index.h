@@ -1,0 +1,67 @@
+// Uniform-grid spatial index over a POI corpus.
+//
+// Supports the two query shapes the paper needs:
+//  - category counts within a radius (100 m POI features, §IV-A), and
+//  - any/all POIs within a radius (SP-R white-list matching, §VI-A).
+// Cells are sized in meters at the corpus centroid; each query inspects
+// only the cells overlapping the query disc and then exact-filters by
+// haversine distance.
+#ifndef LEAD_POI_POI_INDEX_H_
+#define LEAD_POI_POI_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/latlng.h"
+#include "poi/poi.h"
+
+namespace lead::poi {
+
+class PoiIndex {
+ public:
+  // Builds the index. `cell_size_m` trades memory for query selectivity;
+  // the default suits the 100-500 m radii used throughout the paper.
+  explicit PoiIndex(std::vector<Poi> pois, double cell_size_m = 250.0);
+
+  PoiIndex(const PoiIndex&) = delete;
+  PoiIndex& operator=(const PoiIndex&) = delete;
+  PoiIndex(PoiIndex&&) = default;
+  PoiIndex& operator=(PoiIndex&&) = default;
+
+  // Number of POIs of each category within `radius_m` of `center`.
+  CategoryCounts CountByCategory(const geo::LatLng& center,
+                                 double radius_m) const;
+
+  // Indices (into pois()) of all POIs within `radius_m`, unordered.
+  std::vector<int> QueryWithin(const geo::LatLng& center,
+                               double radius_m) const;
+
+  // True iff any POI lies within `radius_m` of `center`.
+  bool AnyWithin(const geo::LatLng& center, double radius_m) const;
+
+  const std::vector<Poi>& pois() const { return pois_; }
+  int size() const { return static_cast<int>(pois_.size()); }
+
+ private:
+  struct CellCoord {
+    int64_t x = 0;
+    int64_t y = 0;
+  };
+
+  CellCoord CellOf(const geo::LatLng& p) const;
+  // Invokes fn(poi_index) for each POI within the radius.
+  template <typename Fn>
+  void ForEachWithin(const geo::LatLng& center, double radius_m,
+                     Fn&& fn) const;
+
+  std::vector<Poi> pois_;
+  double cell_size_m_;
+  double meters_per_deg_lat_;
+  double meters_per_deg_lng_;
+  // Sorted flat map from packed cell key to the POI indices in that cell.
+  std::vector<std::pair<int64_t, std::vector<int>>> cells_;
+};
+
+}  // namespace lead::poi
+
+#endif  // LEAD_POI_POI_INDEX_H_

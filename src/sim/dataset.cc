@@ -1,0 +1,85 @@
+#include "sim/dataset.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.h"
+
+namespace lead::sim {
+
+StatusOr<Dataset> GenerateDataset(const World& world,
+                                  const TruckSimulator& simulator,
+                                  const DatasetOptions& options) {
+  (void)world;
+  if (options.num_trajectories <= 0 || options.num_trucks <= 0) {
+    return InvalidArgumentError("dataset sizes must be positive");
+  }
+  Rng rng(options.seed);
+  Dataset dataset;
+  dataset.days.reserve(options.num_trajectories);
+  int failures = 0;
+  for (int i = 0; i < options.num_trajectories; ++i) {
+    const int truck = i % options.num_trucks;
+    const int day_index = i / options.num_trucks;
+    const std::string truck_id = "truck_" + std::to_string(truck);
+    const std::string traj_id = truck_id + "_day_" + std::to_string(day_index);
+    std::optional<SimulatedDay> day =
+        simulator.SimulateDay(truck_id, traj_id, day_index, &rng);
+    if (!day.has_value()) {
+      ++failures;
+      if (failures > options.num_trajectories / 10 + 5) {
+        return InternalError("simulator failed to produce labeled days");
+      }
+      --i;  // retry this slot with fresh randomness
+      continue;
+    }
+    dataset.days.push_back(*std::move(day));
+  }
+  return dataset;
+}
+
+DatasetSplit SplitByTruck(Dataset dataset, const DatasetOptions& options) {
+  // Collect distinct trucks in first-appearance order, then shuffle
+  // deterministically.
+  std::vector<std::string> trucks;
+  std::unordered_map<std::string, int> first_seen;
+  for (const SimulatedDay& day : dataset.days) {
+    if (first_seen.emplace(day.raw.truck_id, 1).second) {
+      trucks.push_back(day.raw.truck_id);
+    }
+  }
+  Rng rng(options.seed ^ 0x9e3779b97f4a7c15ULL);
+  rng.Shuffle(&trucks);
+
+  const int n = static_cast<int>(trucks.size());
+  const int train_end = static_cast<int>(n * options.train_fraction);
+  const int val_end =
+      train_end + std::max(1, static_cast<int>(n * options.val_fraction));
+  enum class Part { kTrain, kVal, kTest };
+  std::unordered_map<std::string, Part> assignment;
+  for (int i = 0; i < n; ++i) {
+    assignment[trucks[i]] = i < train_end    ? Part::kTrain
+                            : i < val_end    ? Part::kVal
+                                             : Part::kTest;
+  }
+
+  DatasetSplit split;
+  for (SimulatedDay& day : dataset.days) {
+    switch (assignment.at(day.raw.truck_id)) {
+      case Part::kTrain:
+        split.train.push_back(std::move(day));
+        break;
+      case Part::kVal:
+        split.val.push_back(std::move(day));
+        break;
+      case Part::kTest:
+        split.test.push_back(std::move(day));
+        break;
+    }
+  }
+  return split;
+}
+
+}  // namespace lead::sim

@@ -1,0 +1,50 @@
+// Dataset generation and truck-disjoint splitting (paper §VI-A).
+//
+// The paper's corpus: 5,968 labeled raw trajectories from 2,734 trucks
+// over two months, split 8:1:1 with no truck overlap between training and
+// validation/test. This module reproduces that protocol over simulated
+// days.
+#ifndef LEAD_SIM_DATASET_H_
+#define LEAD_SIM_DATASET_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "sim/truck_sim.h"
+#include "sim/world.h"
+
+namespace lead::sim {
+
+struct DatasetOptions {
+  int num_trajectories = 600;
+  int num_trucks = 275;  // roughly the paper's trajectory:truck ratio
+  uint64_t seed = 7;
+  // Split ratios over trucks (paper: 8:1:1 over trajectories with
+  // truck-disjoint validation/test).
+  double train_fraction = 0.8;
+  double val_fraction = 0.1;
+};
+
+struct Dataset {
+  std::vector<SimulatedDay> days;
+};
+
+struct DatasetSplit {
+  std::vector<SimulatedDay> train;
+  std::vector<SimulatedDay> val;
+  std::vector<SimulatedDay> test;
+};
+
+// Simulates `num_trajectories` labeled truck-days. Trucks are assigned
+// round-robin; each truck contributes days with distinct day indexes.
+StatusOr<Dataset> GenerateDataset(const World& world,
+                                  const TruckSimulator& simulator,
+                                  const DatasetOptions& options);
+
+// Splits by truck id so validation/test trucks never appear in training.
+DatasetSplit SplitByTruck(Dataset dataset, const DatasetOptions& options);
+
+}  // namespace lead::sim
+
+#endif  // LEAD_SIM_DATASET_H_

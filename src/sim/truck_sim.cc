@@ -1,0 +1,394 @@
+#include "sim/truck_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+
+namespace lead::sim {
+namespace {
+
+using geo::LatLng;
+
+// 2020-09-01 00:00:00 UTC, start of the paper's collection window.
+constexpr int64_t kEpochBase = 1598918400;
+
+// Accumulates the clean (pre-noise) GPS track of one day.
+class DayBuilder {
+ public:
+  DayBuilder(const SimOptions& options, double start_t, Rng* rng)
+      : options_(options), t_(start_t), rng_(rng) {}
+
+  // Advances time by one sampling interval.
+  double NextInterval() {
+    return std::max(30.0, options_.sample_interval_mean_s +
+                              rng_->Gaussian(0.0,
+                                             options_.sample_interval_jitter_s));
+  }
+
+  void AppendPoint(const LatLng& pos) {
+    points_.push_back(traj::GpsPoint{pos, static_cast<int64_t>(t_)});
+  }
+
+  // Drives along a waypointed polyline from `from` to `to`, emitting one
+  // GPS sample per interval until arrival at `to`.
+  void Drive(const LatLng& from, const LatLng& to, bool loaded,
+             const std::vector<LatLng>& urban_centers) {
+    const std::vector<LatLng> path =
+        BuildPath(from, to, loaded, urban_centers);
+    // Cumulative arc length of the polyline.
+    std::vector<double> cum(path.size(), 0.0);
+    for (size_t i = 1; i < path.size(); ++i) {
+      cum[i] = cum[i - 1] + geo::DistanceMeters(path[i - 1], path[i]);
+    }
+    const double total = cum.back();
+
+    double cruise = rng_->Uniform(options_.empty_speed_min_kmh,
+                                  options_.empty_speed_max_kmh);
+    if (loaded) cruise *= options_.loaded_speed_factor;
+    const double speed_cap =
+        loaded ? options_.empty_speed_max_kmh * options_.loaded_speed_factor
+               : options_.empty_speed_max_kmh;
+
+    double along = 0.0;
+    while (true) {
+      const double dt = NextInterval();
+      const double speed_kmh =
+          std::clamp(cruise + rng_->Gaussian(0.0, 6.0), 12.0, speed_cap);
+      along += speed_kmh / 3.6 * dt;
+      t_ += dt;
+      if (along >= total) break;  // arrived; the stay emits points at `to`
+      // Locate the segment containing `along`.
+      const auto it = std::upper_bound(cum.begin(), cum.end(), along);
+      const size_t seg = static_cast<size_t>(it - cum.begin()) - 1;
+      const double seg_len = cum[seg + 1] - cum[seg];
+      const double f = seg_len > 0.0 ? (along - cum[seg]) / seg_len : 1.0;
+      AppendPoint(geo::Interpolate(path[seg], path[seg + 1], f));
+    }
+  }
+
+  // Emits stay samples at `pos` for `duration_s`; returns the [arrive,
+  // depart] interval.
+  std::pair<int64_t, int64_t> Stay(const LatLng& pos, int64_t duration_s) {
+    const int64_t arrive = static_cast<int64_t>(t_);
+    const double end_t = t_ + static_cast<double>(duration_s);
+    while (t_ < end_t) {
+      AppendPoint(geo::OffsetMeters(
+          pos, rng_->Gaussian(0.0, options_.stay_wander_m),
+          rng_->Gaussian(0.0, options_.stay_wander_m)));
+      t_ += NextInterval();
+    }
+    return {arrive, static_cast<int64_t>(t_)};
+  }
+
+  std::vector<traj::GpsPoint> TakePoints() { return std::move(points_); }
+  double time() const { return t_; }
+
+ private:
+  // Straight line with 1-2 lateral waypoints; loaded trucks bend away
+  // from urban cores (the detour behaviour the paper's intro describes).
+  std::vector<LatLng> BuildPath(const LatLng& from, const LatLng& to,
+                                bool loaded,
+                                const std::vector<LatLng>& urban_centers) {
+    std::vector<LatLng> path;
+    path.push_back(from);
+    const double dist = geo::DistanceMeters(from, to);
+    const int num_waypoints = dist > 8000.0 ? 2 : 1;
+    for (int w = 1; w <= num_waypoints; ++w) {
+      const double f = static_cast<double>(w) / (num_waypoints + 1);
+      LatLng base = geo::Interpolate(from, to, f);
+      // Perpendicular jitter models road-network curvature.
+      const double bearing = geo::InitialBearingRad(from, to);
+      const double lateral = rng_->Gaussian(0.0, 0.10 * dist);
+      base = geo::OffsetMeters(base, lateral * std::cos(bearing),
+                               -lateral * std::sin(bearing));
+      if (loaded) {
+        // Push the waypoint out of any urban avoidance disc.
+        for (const LatLng& center : urban_centers) {
+          const double d = geo::DistanceMeters(base, center);
+          if (d < options_.urban_avoid_radius_m) {
+            const geo::EastNorth away = geo::ToLocalMeters(center, base);
+            const double norm = std::max(1.0, std::hypot(away.east_m,
+                                                         away.north_m));
+            const double push = options_.urban_avoid_radius_m - d + 500.0;
+            base = geo::OffsetMeters(base, away.east_m / norm * push,
+                                     away.north_m / norm * push);
+          }
+        }
+      }
+      path.push_back(base);
+    }
+    path.push_back(to);
+    return path;
+  }
+
+  const SimOptions& options_;
+  std::vector<traj::GpsPoint> points_;
+  double t_;
+  Rng* rng_;
+};
+
+// Picks a non-service stop that is a small detour from the leg A->B and
+// not too close to any already chosen stop. With probability
+// `industrial_visit_prob` the stop is at some other loading facility
+// (queueing / maintenance), otherwise at a rest area.
+const Facility* PickRestStop(const World& world, double industrial_visit_prob,
+                             const LatLng& a, const LatLng& b,
+                             const std::vector<LatLng>& taken, Rng* rng) {
+  const Facility* best = nullptr;
+  double best_detour = 0.0;
+  const bool industrial_visit = rng->Bernoulli(industrial_visit_prob);
+  const std::vector<Facility>& pool =
+      industrial_visit ? world.loading_facilities() : world.rest_areas();
+  const int num_rest = static_cast<int>(pool.size());
+  for (int trial = 0; trial < 10; ++trial) {
+    const Facility& f = pool[rng->UniformInt(0, num_rest - 1)];
+    bool conflict = false;
+    for (const LatLng& p : taken) {
+      if (geo::DistanceMeters(f.pos, p) < 1500.0) {
+        conflict = true;
+        break;
+      }
+    }
+    if (conflict) continue;
+    const double detour =
+        geo::DistanceMeters(a, f.pos) + geo::DistanceMeters(f.pos, b);
+    if (best == nullptr || detour < best_detour) {
+      best = &f;
+      best_detour = detour;
+    }
+  }
+  return best;
+}
+
+// Finds the extracted stay point matching a ground-truth service window.
+int FindStayPoint(const std::vector<traj::StayPoint>& stays,
+                  int64_t arrive_t, int64_t depart_t, const LatLng& pos) {
+  for (int i = 0; i < static_cast<int>(stays.size()); ++i) {
+    const traj::StayPoint& sp = stays[i];
+    const int64_t overlap = std::min(sp.departure_t, depart_t) -
+                            std::max(sp.arrival_t, arrive_t);
+    if (overlap >= 600 && geo::DistanceMeters(sp.centroid, pos) <= 600.0) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+TruckSimulator::TruckSimulator(const World* world, const SimOptions& options,
+                               const traj::NoiseFilterOptions& noise_options,
+                               const traj::StayPointOptions& stay_options)
+    : world_(world),
+      options_(options),
+      noise_options_(noise_options),
+      stay_options_(stay_options) {
+  LEAD_CHECK(world != nullptr);
+  LEAD_CHECK(!world->loading_facilities().empty());
+  LEAD_CHECK(!world->unloading_facilities().empty());
+  LEAD_CHECK(!world->rest_areas().empty());
+  LEAD_CHECK(!world->depots().empty());
+}
+
+std::optional<SimulatedDay> TruckSimulator::SimulateDay(
+    const std::string& truck_id, const std::string& trajectory_id,
+    int day_index, Rng* rng) const {
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    // ---- Plan the day. ----
+    const LatLng depot =
+        world_->depots()[rng->UniformInt(
+            0, static_cast<int>(world_->depots().size()) - 1)];
+    const Facility& load_fac =
+        world_->loading_facilities()[rng->Categorical(
+            world_->loading_weights())];
+    const Facility& unload_fac =
+        world_->unloading_facilities()[rng->Categorical(
+            world_->unloading_weights())];
+    if (geo::DistanceMeters(load_fac.pos, unload_fac.pos) < 4000.0) continue;
+    if (geo::DistanceMeters(depot, load_fac.pos) < 2500.0) continue;
+
+    // Target stay-point count.
+    const int bucket = rng->Categorical(
+        {options_.bucket_shares[0], options_.bucket_shares[1],
+         options_.bucket_shares[2], options_.bucket_shares[3]});
+    const int target_stays = rng->UniformInt(3 + 3 * bucket, 5 + 3 * bucket);
+    bool depot_idle = rng->Bernoulli(options_.depot_idle_prob);
+    int extras = target_stays - 2 - (depot_idle ? 1 : 0);
+    if (extras < 0) {
+      depot_idle = false;
+      extras = target_stays - 2;
+    }
+    int pre = 0;
+    int enroute = 0;
+    int post = 0;
+    for (int e = 0; e < extras; ++e) {
+      const int where = rng->Categorical({0.40, 0.20, 0.40});
+      (where == 0 ? pre : where == 1 ? enroute : post) += 1;
+    }
+
+    // ---- Execute the plan. ----
+    const double start_t =
+        static_cast<double>(kEpochBase) + 86400.0 * day_index +
+        rng->Uniform(5.5 * 3600.0, 8.5 * 3600.0);
+    DayBuilder day(options_, start_t, rng);
+    std::vector<LatLng> taken = {load_fac.pos, unload_fac.pos};
+
+    LatLng here = depot;
+    if (depot_idle) {
+      day.Stay(depot, rng->UniformInt(
+                          static_cast<int>(options_.rest_stay_min_s),
+                          static_cast<int>(options_.rest_stay_max_s)));
+    } else {
+      day.AppendPoint(depot);
+    }
+    auto visit_rest = [&](const LatLng& toward) -> bool {
+      const Facility* rest = PickRestStop(
+          *world_, options_.industrial_visit_prob, here, toward, taken, rng);
+      if (rest == nullptr) return false;
+      taken.push_back(rest->pos);
+      day.Drive(here, rest->pos, /*loaded=*/false, world_->urban_centers());
+      day.Stay(rest->pos,
+               rng->UniformInt(static_cast<int>(options_.rest_stay_min_s),
+                               static_cast<int>(options_.rest_stay_max_s)));
+      here = rest->pos;
+      return true;
+    };
+    auto visit_rest_loaded = [&](const LatLng& toward) -> bool {
+      // En-route breaks happen at rest areas only: a loaded hazmat truck
+      // does not call at other plants (industrial visits are an
+      // empty-phase behaviour).
+      const Facility* rest = PickRestStop(
+          *world_, /*industrial_visit_prob=*/0.0, here, toward, taken, rng);
+      if (rest == nullptr) return false;
+      taken.push_back(rest->pos);
+      day.Drive(here, rest->pos, /*loaded=*/true, world_->urban_centers());
+      day.Stay(rest->pos,
+               rng->UniformInt(static_cast<int>(options_.rest_stay_min_s),
+                               static_cast<int>(options_.rest_stay_max_s)));
+      here = rest->pos;
+      return true;
+    };
+
+    for (int s = 0; s < pre; ++s) {
+      if (!visit_rest(load_fac.pos)) break;
+    }
+    // Phase I ends: arrive at the loading location.
+    day.Drive(here, load_fac.pos, /*loaded=*/false, world_->urban_centers());
+    GroundTruthIntervals truth;
+    truth.load_pos = load_fac.pos;
+    truth.unload_pos = unload_fac.pos;
+    {
+      const auto [arrive, depart] = day.Stay(
+          load_fac.pos,
+          rng->UniformInt(static_cast<int>(options_.service_stay_min_s),
+                          static_cast<int>(options_.service_stay_max_s)));
+      truth.load_arrive_t = arrive;
+      truth.load_depart_t = depart;
+    }
+    here = load_fac.pos;
+    // Phase II: loaded transport, possibly with breaks.
+    for (int s = 0; s < enroute; ++s) {
+      if (!visit_rest_loaded(unload_fac.pos)) break;
+    }
+    day.Drive(here, unload_fac.pos, /*loaded=*/true,
+              world_->urban_centers());
+    {
+      const auto [arrive, depart] = day.Stay(
+          unload_fac.pos,
+          rng->UniformInt(static_cast<int>(options_.service_stay_min_s),
+                          static_cast<int>(options_.service_stay_max_s)));
+      truth.unload_arrive_t = arrive;
+      truth.unload_depart_t = depart;
+    }
+    here = unload_fac.pos;
+    // Phase III: leave, more stops, return to depot.
+    for (int s = 0; s < post; ++s) {
+      if (!visit_rest(depot)) break;
+    }
+    day.Drive(here, depot, /*loaded=*/false, world_->urban_centers());
+    day.AppendPoint(depot);
+
+    // ---- Corrupt with GPS noise and outliers. ----
+    traj::RawTrajectory raw;
+    raw.truck_id = truck_id;
+    raw.trajectory_id = trajectory_id;
+    raw.points = day.TakePoints();
+    if (raw.size() < 10) continue;
+    for (int i = 0; i < raw.size(); ++i) {
+      traj::GpsPoint& p = raw.points[i];
+      p.pos = geo::OffsetMeters(
+          p.pos, rng->Gaussian(0.0, options_.gps_noise_sigma_m),
+          rng->Gaussian(0.0, options_.gps_noise_sigma_m));
+      // Leave the first point intact: the speed filter anchors on it.
+      if (i > 0 && rng->Bernoulli(options_.outlier_prob)) {
+        const double r =
+            rng->Uniform(options_.outlier_min_m, options_.outlier_max_m);
+        const double theta = rng->Uniform(0.0, 2.0 * M_PI);
+        p.pos = geo::OffsetMeters(p.pos, r * std::cos(theta),
+                                  r * std::sin(theta));
+      }
+    }
+
+    // ---- Derive the label through the canonical pipeline. ----
+    const traj::RawTrajectory cleaned =
+        traj::FilterNoise(raw, noise_options_).cleaned;
+    const std::vector<traj::StayPoint> stays =
+        traj::ExtractStayPoints(cleaned, stay_options_);
+    const int n = static_cast<int>(stays.size());
+    if (n < 3 || n > 14) continue;
+    const int load_sp = FindStayPoint(stays, truth.load_arrive_t,
+                                      truth.load_depart_t, truth.load_pos);
+    const int unload_sp =
+        FindStayPoint(stays, truth.unload_arrive_t, truth.unload_depart_t,
+                      truth.unload_pos);
+    if (load_sp < 0 || unload_sp < 0 || load_sp >= unload_sp) continue;
+
+    // ---- Fill the noisy waybill. ----
+    Waybill waybill;
+    waybill.used_default_times =
+        rng->Bernoulli(options_.waybill_default_time_prob);
+    if (waybill.used_default_times) {
+      const int64_t midnight =
+          kEpochBase + static_cast<int64_t>(86400) * day_index;
+      waybill.reported_load_t = midnight + 8 * 3600;     // 8:00 am preset
+      waybill.reported_unload_t = midnight + 17 * 3600;  // 5:00 pm preset
+    } else {
+      waybill.reported_load_t =
+          truth.load_arrive_t +
+          static_cast<int64_t>(rng->Gaussian(0.0, 1800.0));
+      waybill.reported_unload_t =
+          truth.unload_arrive_t +
+          static_cast<int64_t>(rng->Gaussian(0.0, 1800.0));
+    }
+    auto corrupt_address = [&](const LatLng& true_pos, bool* flag) {
+      if (!rng->Bernoulli(options_.waybill_bad_address_prob)) return true_pos;
+      *flag = true;
+      if (rng->Bernoulli(0.6)) {
+        // Coarse: only the district level, i.e. an urban center.
+        return world_->urban_centers()[rng->UniformInt(
+            0, static_cast<int>(world_->urban_centers().size()) - 1)];
+      }
+      // Mistyped: some other facility entirely.
+      return world_->unloading_facilities()[rng->UniformInt(
+          0, static_cast<int>(world_->unloading_facilities().size()) - 1)]
+          .pos;
+    };
+    waybill.reported_load_pos =
+        corrupt_address(truth.load_pos, &waybill.load_address_coarse_or_wrong);
+    waybill.reported_unload_pos = corrupt_address(
+        truth.unload_pos, &waybill.unload_address_coarse_or_wrong);
+
+    SimulatedDay result;
+    result.raw = std::move(raw);
+    result.truth = truth;
+    result.waybill = waybill;
+    result.loaded_label = traj::Candidate{load_sp, unload_sp};
+    result.num_stay_points = n;
+    return result;
+  }
+  return std::nullopt;
+}
+
+}  // namespace lead::sim

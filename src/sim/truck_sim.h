@@ -1,0 +1,134 @@
+// HCT truck day simulator (substitute for the paper's GPS corpus).
+//
+// Simulates the three-phase HCT process of §I — (I) drive to a loading
+// location, (II) transport the chemical to an unloading location,
+// (III) leave — plus the confounding behaviours that make detection hard:
+// depot idling, pre-trip rests, en-route breaks while loaded, refuelling
+// at fuel stations, and post-trip stops. GPS sampling (~2 min), sensor
+// noise and multi-km outliers match the paper's data description.
+//
+// Ground truth is produced exactly as Definition 3: after running the
+// canonical processing pipeline (noise filter + stay-point extraction),
+// the loading/unloading stay points are located by time overlap with the
+// simulated service intervals and returned as a Candidate label.
+#ifndef LEAD_SIM_TRUCK_SIM_H_
+#define LEAD_SIM_TRUCK_SIM_H_
+
+#include <optional>
+#include <string>
+
+#include "common/rng.h"
+#include "sim/world.h"
+#include "traj/noise_filter.h"
+#include "traj/segmentation.h"
+#include "traj/stay_point.h"
+#include "traj/trajectory.h"
+
+namespace lead::sim {
+
+// True loading/unloading service windows and positions.
+struct GroundTruthIntervals {
+  int64_t load_arrive_t = 0;
+  int64_t load_depart_t = 0;
+  int64_t unload_arrive_t = 0;
+  int64_t unload_depart_t = 0;
+  geo::LatLng load_pos;
+  geo::LatLng unload_pos;
+};
+
+// A driver-filled waybill with the paper's quality problems: preset
+// default times and coarse or wrong addresses (§I).
+struct Waybill {
+  int64_t reported_load_t = 0;
+  int64_t reported_unload_t = 0;
+  geo::LatLng reported_load_pos;
+  geo::LatLng reported_unload_pos;
+  bool used_default_times = false;
+  bool load_address_coarse_or_wrong = false;
+  bool unload_address_coarse_or_wrong = false;
+};
+
+struct SimOptions {
+  // GPS sampling (paper: average interval around 2 minutes).
+  double sample_interval_mean_s = 120.0;
+  double sample_interval_jitter_s = 25.0;
+  double gps_noise_sigma_m = 12.0;
+  // Outliers large enough to trip the 130 km/h speed filter.
+  double outlier_prob = 0.004;
+  double outlier_min_m = 6000.0;
+  double outlier_max_m = 18000.0;
+
+  // Driving behaviour. Loaded trucks drive slower and avoid urban cores.
+  double empty_speed_min_kmh = 42.0;
+  double empty_speed_max_kmh = 74.0;
+  double loaded_speed_factor = 0.65;
+  double urban_avoid_radius_m = 4000.0;
+
+  // Stay behaviour (seconds). Service and rest durations overlap
+  // substantially — duration alone cannot classify a stay.
+  int64_t service_stay_min_s = 1500;   // loading / unloading
+  int64_t service_stay_max_s = 5400;
+  int64_t rest_stay_min_s = 1000;      // breaks, refuelling, queueing
+  int64_t rest_stay_max_s = 5000;
+  double stay_wander_m = 45.0;
+
+  // Chance the truck idles at the depot long enough to create a stay
+  // point before departing.
+  double depot_idle_prob = 0.55;
+
+  // Probability that a non-service stop happens at some *other* loading
+  // facility (weighbridge queues, maintenance, paperwork at a plant the
+  // truck is not loading from today). Per stay-point features these stops
+  // are indistinguishable from real loading actions — the paper's
+  // "complex staying scenarios" at its sharpest — and they are what breaks
+  // the baselines' greedy first/last-l/u strategy.
+  double industrial_visit_prob = 0.28;
+
+  // Target stay-point-count buckets (3-5, 6-8, 9-11, 12-14) and their
+  // shares; defaults match the paper's test-set percentages.
+  double bucket_shares[4] = {0.22, 0.34, 0.25, 0.19};
+
+  // Waybill corruption rates (§I): drivers keep preset times / enter
+  // coarse or wrong addresses.
+  double waybill_default_time_prob = 0.45;
+  double waybill_bad_address_prob = 0.40;
+
+  int max_attempts = 30;
+};
+
+// One successfully simulated, labeled day.
+struct SimulatedDay {
+  traj::RawTrajectory raw;  // noisy, unfiltered (pipeline input)
+  GroundTruthIntervals truth;
+  Waybill waybill;
+  // Label under the canonical pipeline options used by the simulator.
+  traj::Candidate loaded_label;
+  int num_stay_points = 0;
+};
+
+class TruckSimulator {
+ public:
+  // The pipeline options define how labels are derived and must match the
+  // options the detection pipeline will use.
+  TruckSimulator(const World* world, const SimOptions& options,
+                 const traj::NoiseFilterOptions& noise_options,
+                 const traj::StayPointOptions& stay_options);
+
+  // Simulates one truck-day. Returns nullopt if no attempt out of
+  // max_attempts produced a well-formed labeled day (rare).
+  std::optional<SimulatedDay> SimulateDay(const std::string& truck_id,
+                                          const std::string& trajectory_id,
+                                          int day_index, Rng* rng) const;
+
+  const SimOptions& options() const { return options_; }
+
+ private:
+  const World* world_;
+  SimOptions options_;
+  traj::NoiseFilterOptions noise_options_;
+  traj::StayPointOptions stay_options_;
+};
+
+}  // namespace lead::sim
+
+#endif  // LEAD_SIM_TRUCK_SIM_H_

@@ -1,0 +1,305 @@
+#include "sim/world.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+
+namespace lead::sim {
+namespace {
+
+using geo::LatLng;
+using poi::Category;
+
+// Placement profile of one POI category: mixture weights over the three
+// placement modes and the cluster spread. `share` is the category's share
+// of the background corpus (normalized over all categories).
+struct CategoryProfile {
+  Category category;
+  double share;
+  double w_industrial;
+  double w_urban;
+  double w_uniform;
+  double sigma_m;
+};
+
+// Industrial categories cluster tightly in industrial zones; commercial
+// categories cluster around urban centers; agriculture and infrastructure
+// scatter. Shares are loosely modeled on a real city's POI distribution
+// (commerce dominates, heavy industry is rare but concentrated).
+constexpr CategoryProfile kProfiles[] = {
+    {Category::kChemicalFactory, 0.8, 0.95, 0.00, 0.05, 1200},
+    {Category::kFuelStation, 1.5, 0.20, 0.40, 0.40, 2500},
+    {Category::kFuelDepot, 0.4, 0.90, 0.00, 0.10, 1500},
+    {Category::kPort, 0.3, 0.90, 0.00, 0.10, 1000},
+    {Category::kHospital, 1.2, 0.05, 0.80, 0.15, 2500},
+    {Category::kConstructionSite, 2.0, 0.30, 0.40, 0.30, 3000},
+    {Category::kIndustrialFactory, 4.0, 0.85, 0.05, 0.10, 1800},
+    {Category::kWarehouse, 2.5, 0.75, 0.10, 0.15, 1800},
+    {Category::kLogisticsCenter, 1.0, 0.70, 0.15, 0.15, 2000},
+    {Category::kPowerPlant, 0.3, 0.85, 0.00, 0.15, 1200},
+    {Category::kWaterTreatment, 0.3, 0.70, 0.10, 0.20, 1500},
+    {Category::kMine, 0.2, 0.50, 0.00, 0.50, 2000},
+    {Category::kCompany, 14.0, 0.25, 0.60, 0.15, 2800},
+    {Category::kRestaurant, 16.0, 0.10, 0.70, 0.20, 2500},
+    {Category::kHotel, 3.0, 0.05, 0.75, 0.20, 2500},
+    {Category::kShop, 18.0, 0.05, 0.75, 0.20, 2200},
+    {Category::kSupermarket, 3.0, 0.05, 0.75, 0.20, 2500},
+    {Category::kMarket, 2.0, 0.10, 0.65, 0.25, 2500},
+    {Category::kSchool, 3.5, 0.05, 0.70, 0.25, 2800},
+    {Category::kResidentialArea, 12.0, 0.10, 0.70, 0.20, 3000},
+    {Category::kPark, 2.0, 0.05, 0.60, 0.35, 3000},
+    {Category::kParkingLot, 4.0, 0.25, 0.55, 0.20, 2500},
+    {Category::kTruckStop, 0.8, 0.40, 0.10, 0.50, 3000},
+    {Category::kTollStation, 0.5, 0.20, 0.10, 0.70, 3000},
+    {Category::kGovernmentOffice, 1.5, 0.05, 0.80, 0.15, 2200},
+    {Category::kBank, 2.2, 0.05, 0.80, 0.15, 2200},
+    {Category::kBusStation, 1.5, 0.10, 0.70, 0.20, 2500},
+    {Category::kTrainStation, 0.2, 0.10, 0.70, 0.20, 2000},
+    {Category::kScenicSpot, 1.0, 0.00, 0.40, 0.60, 3500},
+};
+static_assert(sizeof(kProfiles) / sizeof(kProfiles[0]) ==
+              static_cast<size_t>(poi::kNumCategories));
+
+LatLng UniformInBox(const geo::BoundingBox& box, Rng* rng) {
+  return LatLng{rng->Uniform(box.min.lat, box.max.lat),
+                rng->Uniform(box.min.lng, box.max.lng)};
+}
+
+LatLng ClampToBox(const geo::BoundingBox& box, const LatLng& p) {
+  LatLng out = p;
+  out.lat = std::min(std::max(out.lat, box.min.lat), box.max.lat);
+  out.lng = std::min(std::max(out.lng, box.min.lng), box.max.lng);
+  return out;
+}
+
+LatLng GaussianAround(const LatLng& center, double sigma_m, Rng* rng) {
+  return geo::OffsetMeters(center, rng->Gaussian(0.0, sigma_m),
+                           rng->Gaussian(0.0, sigma_m));
+}
+
+}  // namespace
+
+std::unique_ptr<World> World::Generate(const WorldOptions& options) {
+  LEAD_CHECK_GT(options.num_industrial_zones, 0);
+  LEAD_CHECK_GT(options.num_urban_centers, 0);
+  Rng rng(options.seed);
+  auto world = std::unique_ptr<World>(new World());
+  world->bounds_ = options.bounds;
+
+  // Zone anchors. Shrink the sampling box so zone clusters stay inside.
+  geo::BoundingBox inner = options.bounds;
+  const double margin_lat = 0.12 * inner.height_deg();
+  const double margin_lng = 0.12 * inner.width_deg();
+  inner.min.lat += margin_lat;
+  inner.max.lat -= margin_lat;
+  inner.min.lng += margin_lng;
+  inner.max.lng -= margin_lng;
+
+  std::vector<LatLng> industrial_zones;
+  for (int i = 0; i < options.num_industrial_zones; ++i) {
+    industrial_zones.push_back(UniformInBox(inner, &rng));
+  }
+  for (int i = 0; i < options.num_urban_centers; ++i) {
+    world->urban_centers_.push_back(UniformInBox(inner, &rng));
+  }
+
+  std::vector<poi::Poi> pois;
+  pois.reserve(options.num_background_pois + 8 * options.num_loading_facilities);
+  int64_t next_poi_id = 0;
+  auto add_poi = [&](Category category, const LatLng& pos) {
+    pois.push_back(poi::Poi{next_poi_id++, category,
+                            ClampToBox(options.bounds, pos)});
+  };
+
+  // Background POI field.
+  std::vector<double> shares;
+  shares.reserve(poi::kNumCategories);
+  for (const CategoryProfile& p : kProfiles) shares.push_back(p.share);
+  for (int i = 0; i < options.num_background_pois; ++i) {
+    const CategoryProfile& profile = kProfiles[rng.Categorical(shares)];
+    const int mode = rng.Categorical(
+        {profile.w_industrial, profile.w_urban, profile.w_uniform});
+    LatLng pos;
+    if (mode == 0) {
+      const LatLng& zone =
+          industrial_zones[rng.UniformInt(0, options.num_industrial_zones - 1)];
+      pos = GaussianAround(zone, profile.sigma_m, &rng);
+    } else if (mode == 1) {
+      const LatLng& center = world->urban_centers_[rng.UniformInt(
+          0, options.num_urban_centers - 1)];
+      pos = GaussianAround(center, profile.sigma_m, &rng);
+    } else {
+      pos = UniformInBox(options.bounds, &rng);
+    }
+    add_poi(profile.category, pos);
+  }
+
+  // Surrounds a facility with the POIs its real counterpart would have
+  // within the 100 m feature radius.
+  auto add_signature = [&](const LatLng& pos,
+                           const std::vector<Category>& categories,
+                           int lo, int hi) {
+    const int count = rng.UniformInt(lo, hi);
+    for (int i = 0; i < count; ++i) {
+      const Category c =
+          categories[rng.UniformInt(0, static_cast<int>(categories.size()) - 1)];
+      add_poi(c, GaussianAround(pos, 45.0, &rng));
+    }
+  };
+
+  // Loading facilities: chemical plants, fuel depots and port terminals in
+  // industrial zones.
+  for (int i = 0; i < options.num_loading_facilities; ++i) {
+    const LatLng& zone =
+        industrial_zones[rng.UniformInt(0, options.num_industrial_zones - 1)];
+    Facility f;
+    f.pos = ClampToBox(options.bounds, GaussianAround(zone, 2000.0, &rng));
+    const int kind = rng.Categorical({0.55, 0.30, 0.15});
+    f.category = kind == 0   ? Category::kChemicalFactory
+                 : kind == 1 ? Category::kFuelDepot
+                             : Category::kPort;
+    f.can_load = true;
+    f.can_unload = rng.Bernoulli(0.25);
+    add_poi(f.category, f.pos);
+    add_signature(f.pos,
+                  {Category::kWarehouse, Category::kIndustrialFactory,
+                   Category::kParkingLot, Category::kChemicalFactory},
+                  2, 5);
+    world->loading_facilities_.push_back(f);
+  }
+
+  // Unloading facilities: consumers of hazardous chemicals.
+  for (int i = 0; i < options.num_unloading_facilities; ++i) {
+    Facility f;
+    const int kind = rng.Categorical({0.30, 0.25, 0.18, 0.12, 0.08, 0.07});
+    switch (kind) {
+      case 0: {  // industrial consumer
+        const LatLng& zone = industrial_zones[rng.UniformInt(
+            0, options.num_industrial_zones - 1)];
+        f.pos = GaussianAround(zone, 2200.0, &rng);
+        f.category = Category::kIndustrialFactory;
+        add_signature(f.pos,
+                      {Category::kWarehouse, Category::kIndustrialFactory,
+                       Category::kParkingLot},
+                      2, 4);
+        break;
+      }
+      case 1: {  // fuel station taking fuel deliveries
+        f.pos = UniformInBox(inner, &rng);
+        f.category = Category::kFuelStation;
+        // Delivery stations have storage infrastructure nearby — and the
+        // ordinary roadside amenities every station has, so their POI
+        // context overlaps with rest-area stations.
+        add_signature(f.pos, {Category::kFuelDepot, Category::kParkingLot},
+                      1, 3);
+        add_signature(f.pos,
+                      {Category::kRestaurant, Category::kShop,
+                       Category::kParkingLot},
+                      1, 3);
+        break;
+      }
+      case 2: {  // construction site (e.g. fuel / solvents)
+        f.pos = UniformInBox(inner, &rng);
+        f.category = Category::kConstructionSite;
+        add_signature(f.pos,
+                      {Category::kWarehouse, Category::kParkingLot}, 1, 2);
+        break;
+      }
+      case 3: {  // hospital (medical gases)
+        const LatLng& center = world->urban_centers_[rng.UniformInt(
+            0, options.num_urban_centers - 1)];
+        f.pos = GaussianAround(center, 2200.0, &rng);
+        f.category = Category::kHospital;
+        add_signature(f.pos, {Category::kBank, Category::kParkingLot},
+                      1, 2);
+        break;
+      }
+      case 4: {  // power plant
+        const LatLng& zone = industrial_zones[rng.UniformInt(
+            0, options.num_industrial_zones - 1)];
+        f.pos = GaussianAround(zone, 1500.0, &rng);
+        f.category = Category::kPowerPlant;
+        add_signature(f.pos, {Category::kWarehouse}, 1, 2);
+        break;
+      }
+      default: {  // water treatment (chlorine)
+        f.pos = UniformInBox(inner, &rng);
+        f.category = Category::kWaterTreatment;
+        add_signature(f.pos, {Category::kWarehouse}, 1, 2);
+        break;
+      }
+    }
+    f.pos = ClampToBox(options.bounds, f.pos);
+    f.can_unload = true;
+    add_poi(f.category, f.pos);
+    world->unloading_facilities_.push_back(f);
+  }
+
+  // Rest areas: the confounding stops. A sizable fraction coincides with
+  // an unloading-capable fuel station (identical position, identical POI
+  // context) — there the staying behaviour alone cannot distinguish a
+  // delivery from a break. Standalone fuel-station rest areas also carry
+  // storage tanks sometimes, further blurring the POI signal.
+  std::vector<const Facility*> delivery_stations;
+  for (const Facility& f : world->unloading_facilities_) {
+    if (f.category == Category::kFuelStation) delivery_stations.push_back(&f);
+  }
+  for (int i = 0; i < options.num_rest_areas; ++i) {
+    if (!delivery_stations.empty() &&
+        rng.Bernoulli(options.rest_at_facility_fraction)) {
+      Facility rest = *delivery_stations[rng.UniformInt(
+          0, static_cast<int>(delivery_stations.size()) - 1)];
+      rest.can_load = false;
+      rest.can_unload = false;
+      world->rest_areas_.push_back(rest);
+      continue;
+    }
+    Facility f;
+    const int kind = rng.Categorical({0.40, 0.25, 0.20, 0.15});
+    f.category = kind == 0   ? Category::kFuelStation
+                 : kind == 1 ? Category::kTruckStop
+                 : kind == 2 ? Category::kRestaurant
+                             : Category::kParkingLot;
+    f.pos = UniformInBox(options.bounds, &rng);
+    add_poi(f.category, f.pos);
+    add_signature(f.pos,
+                  {Category::kRestaurant, Category::kShop,
+                   Category::kParkingLot},
+                  1, 4);
+    if (f.category == Category::kFuelStation && rng.Bernoulli(0.3)) {
+      add_signature(f.pos, {Category::kFuelDepot}, 1, 2);
+    }
+    world->rest_areas_.push_back(f);
+  }
+
+  // Depots: where trucks start and end the day.
+  for (int i = 0; i < options.num_depots; ++i) {
+    LatLng pos = UniformInBox(inner, &rng);
+    add_poi(Category::kParkingLot, pos);
+    add_poi(Category::kLogisticsCenter, GaussianAround(pos, 40.0, &rng));
+    world->depots_.push_back(pos);
+  }
+
+  // Zipf popularity over randomly permuted ranks.
+  auto zipf_weights = [&](size_t count) {
+    std::vector<double> weights(count);
+    std::vector<int> ranks(count);
+    for (size_t i = 0; i < count; ++i) ranks[i] = static_cast<int>(i);
+    rng.Shuffle(&ranks);
+    for (size_t i = 0; i < count; ++i) {
+      weights[i] =
+          1.0 / std::pow(ranks[i] + 1.0, options.facility_zipf_exponent);
+    }
+    return weights;
+  };
+  world->loading_weights_ = zipf_weights(world->loading_facilities_.size());
+  world->unloading_weights_ =
+      zipf_weights(world->unloading_facilities_.size());
+
+  world->poi_index_ =
+      std::make_unique<poi::PoiIndex>(std::move(pois), /*cell_size_m=*/250.0);
+  return world;
+}
+
+}  // namespace lead::sim

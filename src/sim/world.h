@@ -1,0 +1,102 @@
+// Synthetic Nantong-like world: POI field, HCT facilities, rest areas and
+// depots. Substitutes the paper's confidential real-world data (see
+// DESIGN.md §3).
+//
+// The world reproduces the two difficulty drivers the paper names:
+//  (1) complex staying scenarios — rest areas include fuel stations and
+//      truck stops whose staying behaviour looks like loading/unloading;
+//  (2) numerous loading/unloading locations — facilities are drawn from a
+//      large pool spread over several industrial zones, so no white list
+//      derived from a training split covers them all.
+#ifndef LEAD_SIM_WORLD_H_
+#define LEAD_SIM_WORLD_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "geo/latlng.h"
+#include "poi/poi.h"
+#include "poi/poi_index.h"
+
+namespace lead::sim {
+
+// A place where an HCT truck can perform an action that produces a stay.
+struct Facility {
+  geo::LatLng pos;
+  poi::Category category = poi::Category::kChemicalFactory;
+  bool can_load = false;    // hazardous chemical can be loaded here
+  bool can_unload = false;  // ... or delivered here
+};
+
+struct WorldOptions {
+  // Nantong-like extent, roughly 38 km x 33 km.
+  geo::BoundingBox bounds{{31.85, 120.70}, {32.15, 121.10}};
+  int num_industrial_zones = 6;
+  int num_urban_centers = 3;
+  // Background POI count (scaled-down stand-in for the paper's 415,639).
+  int num_background_pois = 12000;
+  // Large facility pools are one of the paper's two difficulty drivers:
+  // a training-split white list cannot cover all of them.
+  int num_loading_facilities = 90;
+  int num_unloading_facilities = 220;
+  int num_rest_areas = 220;
+  // Zipf exponent of facility popularity: a few busy facilities dominate
+  // traffic while a long tail is visited rarely, so no finite training
+  // split covers every location (paper challenge (2)).
+  double facility_zipf_exponent = 0.95;
+  // Fraction of rest areas that coincide with an unloading-capable fuel
+  // station: the paper's "complex staying scenarios" — the same station
+  // hosts both fuel deliveries and driver breaks.
+  double rest_at_facility_fraction = 0.40;
+  int num_depots = 24;
+  uint64_t seed = 20220901;
+};
+
+// Immutable world shared by all simulated trucks.
+class World {
+ public:
+  // Generates a world; deterministic in options.seed.
+  static std::unique_ptr<World> Generate(const WorldOptions& options);
+
+  const poi::PoiIndex& poi_index() const { return *poi_index_; }
+  const std::vector<Facility>& loading_facilities() const {
+    return loading_facilities_;
+  }
+  const std::vector<Facility>& unloading_facilities() const {
+    return unloading_facilities_;
+  }
+  // Confounders: places where trucks rest/refuel without transferring
+  // chemicals.
+  const std::vector<Facility>& rest_areas() const { return rest_areas_; }
+  // Popularity weights aligned with the facility vectors (Zipf over a
+  // random permutation of ranks).
+  const std::vector<double>& loading_weights() const {
+    return loading_weights_;
+  }
+  const std::vector<double>& unloading_weights() const {
+    return unloading_weights_;
+  }
+  const std::vector<geo::LatLng>& depots() const { return depots_; }
+  const std::vector<geo::LatLng>& urban_centers() const {
+    return urban_centers_;
+  }
+  const geo::BoundingBox& bounds() const { return bounds_; }
+
+ private:
+  World() = default;
+
+  geo::BoundingBox bounds_;
+  std::unique_ptr<poi::PoiIndex> poi_index_;
+  std::vector<Facility> loading_facilities_;
+  std::vector<Facility> unloading_facilities_;
+  std::vector<double> loading_weights_;
+  std::vector<double> unloading_weights_;
+  std::vector<Facility> rest_areas_;
+  std::vector<geo::LatLng> depots_;
+  std::vector<geo::LatLng> urban_centers_;
+};
+
+}  // namespace lead::sim
+
+#endif  // LEAD_SIM_WORLD_H_

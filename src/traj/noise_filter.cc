@@ -1,0 +1,28 @@
+#include "traj/noise_filter.h"
+
+namespace lead::traj {
+
+NoiseFilterResult FilterNoise(const RawTrajectory& trajectory,
+                              const NoiseFilterOptions& options) {
+  NoiseFilterResult result;
+  result.cleaned.truck_id = trajectory.truck_id;
+  result.cleaned.trajectory_id = trajectory.trajectory_id;
+  result.cleaned.points.reserve(trajectory.points.size());
+
+  for (int i = 0; i < trajectory.size(); ++i) {
+    const GpsPoint& point = trajectory.points[i];
+    if (result.cleaned.points.empty()) {
+      result.cleaned.points.push_back(point);
+      continue;
+    }
+    const GpsPoint& precursor = result.cleaned.points.back();
+    if (SpeedKmh(precursor, point) > options.max_speed_kmh) {
+      result.removed_indices.push_back(i);
+    } else {
+      result.cleaned.points.push_back(point);
+    }
+  }
+  return result;
+}
+
+}  // namespace lead::traj

@@ -1,0 +1,35 @@
+// Heuristic GPS noise filter (paper §III "Noise Filtering").
+//
+// Sequentially computes each point's travel speed from its retained
+// precursor; points whose speed exceeds V_max are dropped as sensor
+// outliers. This is the speed-threshold heuristic of Zheng, "Trajectory
+// Data Mining: An Overview" (TIST 2015), as cited by the paper.
+#ifndef LEAD_TRAJ_NOISE_FILTER_H_
+#define LEAD_TRAJ_NOISE_FILTER_H_
+
+#include <vector>
+
+#include "traj/trajectory.h"
+
+namespace lead::traj {
+
+struct NoiseFilterOptions {
+  // Paper default: an HCT truck rarely exceeds 130 km/h.
+  double max_speed_kmh = 130.0;
+};
+
+struct NoiseFilterResult {
+  RawTrajectory cleaned;
+  // Indices (into the input trajectory) of removed points, ascending.
+  std::vector<int> removed_indices;
+};
+
+// Returns the trajectory with speed-outlier points removed. The first point
+// is always kept; each subsequent point is compared against the last kept
+// point, so a burst of consecutive outliers is removed in full.
+NoiseFilterResult FilterNoise(const RawTrajectory& trajectory,
+                              const NoiseFilterOptions& options = {});
+
+}  // namespace lead::traj
+
+#endif  // LEAD_TRAJ_NOISE_FILTER_H_

@@ -1,0 +1,91 @@
+#include "traj/segmentation.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace lead::traj {
+
+Segmentation Segment(const RawTrajectory& trajectory,
+                     std::vector<StayPoint> stay_points) {
+  Segmentation segmentation;
+  segmentation.stays = std::move(stay_points);
+  const int n = segmentation.num_stays();
+  const int last_index = trajectory.size() - 1;
+  segmentation.moves.resize(n + 1);
+
+  if (n == 0) {
+    MoveSegment& only = segmentation.moves[0];
+    if (!trajectory.empty()) {
+      only.has_points = true;
+      only.range = IndexRange{0, last_index};
+    }
+    return segmentation;
+  }
+
+  // move[0]: before the first stay point.
+  const int first_stay_begin = segmentation.stays[0].range.begin;
+  if (first_stay_begin > 0) {
+    segmentation.moves[0].has_points = true;
+    segmentation.moves[0].range = IndexRange{0, first_stay_begin - 1};
+  }
+
+  // Interior moves: strictly between consecutive stay points.
+  for (int k = 1; k < n; ++k) {
+    const int prev_end = segmentation.stays[k - 1].range.end;
+    const int next_begin = segmentation.stays[k].range.begin;
+    LEAD_CHECK_LT(prev_end, next_begin);
+    if (next_begin - prev_end > 1) {
+      segmentation.moves[k].has_points = true;
+      segmentation.moves[k].range = IndexRange{prev_end + 1, next_begin - 1};
+    }
+  }
+
+  // move[n]: after the last stay point.
+  const int last_stay_end = segmentation.stays[n - 1].range.end;
+  if (last_stay_end < last_index) {
+    segmentation.moves[n].has_points = true;
+    segmentation.moves[n].range = IndexRange{last_stay_end + 1, last_index};
+  }
+  return segmentation;
+}
+
+std::vector<Candidate> GenerateCandidates(int num_stays) {
+  std::vector<Candidate> candidates;
+  candidates.reserve(NumCandidates(num_stays));
+  for (int a = 0; a < num_stays; ++a) {
+    for (int b = a + 1; b < num_stays; ++b) {
+      candidates.push_back(Candidate{a, b});
+    }
+  }
+  return candidates;
+}
+
+int NumCandidates(int num_stays) {
+  if (num_stays < 2) return 0;
+  return num_stays * (num_stays - 1) / 2;
+}
+
+int CandidateFlatIndex(int num_stays, const Candidate& candidate) {
+  const int a = candidate.start_sp;
+  const int b = candidate.end_sp;
+  LEAD_CHECK_GE(a, 0);
+  LEAD_CHECK_LT(a, b);
+  LEAD_CHECK_LT(b, num_stays);
+  // Candidates with start < a occupy sum_{s<a} (n-1-s) slots.
+  const int before = a * (num_stays - 1) - a * (a - 1) / 2;
+  return before + (b - a - 1);
+}
+
+IndexRange CandidateRange(const Segmentation& segmentation,
+                          const Candidate& candidate) {
+  LEAD_CHECK_GE(candidate.start_sp, 0);
+  LEAD_CHECK_LT(candidate.start_sp, candidate.end_sp);
+  LEAD_CHECK_LT(candidate.end_sp, segmentation.num_stays());
+  return IndexRange{
+      segmentation.stays[candidate.start_sp].range.begin,
+      segmentation.stays[candidate.end_sp].range.end,
+  };
+}
+
+}  // namespace lead::traj

@@ -1,0 +1,79 @@
+// Stay/move segmentation and candidate-trajectory generation
+// (paper Definitions 3-5 and §III "Candidate Trajectory Generation").
+//
+// After stay-point extraction a raw trajectory decomposes into an
+// alternation of stay points and move points. With n stay points
+// (0-based 0..n-1) there are n+1 move slots (0..n):
+//   move[0]    - points before the first stay point (paper's mp_0),
+//   move[k]    - points strictly between stay k-1 and stay k (paper's
+//                mp_{k} in 1-based numbering), possibly empty when the
+//                truck crossed D_max within one sampling interval,
+//   move[n]    - points after the last stay point (paper's mp_n).
+// A candidate trajectory <sp_a --> sp_b> covers stays a..b and the
+// interior moves a+1..b.
+#ifndef LEAD_TRAJ_SEGMENTATION_H_
+#define LEAD_TRAJ_SEGMENTATION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "traj/stay_point.h"
+#include "traj/trajectory.h"
+
+namespace lead::traj {
+
+// A move slot; `has_points` is false when no GPS point lies strictly
+// between the adjacent stay points.
+struct MoveSegment {
+  bool has_points = false;
+  IndexRange range;  // valid only when has_points
+
+  int size() const { return has_points ? range.size() : 0; }
+};
+
+// Full stay/move decomposition of one raw trajectory.
+struct Segmentation {
+  std::vector<StayPoint> stays;     // n stay points
+  std::vector<MoveSegment> moves;   // n+1 move slots (see header comment)
+
+  int num_stays() const { return static_cast<int>(stays.size()); }
+};
+
+// Builds the segmentation from already-extracted stay points. The stay
+// points must be those produced by ExtractStayPoints on `trajectory`
+// (temporally ordered, non-overlapping).
+Segmentation Segment(const RawTrajectory& trajectory,
+                     std::vector<StayPoint> stay_points);
+
+// A candidate trajectory <sp_start --> sp_end> (Definition 4), identified
+// by its ordered stay-point pair (0-based, start < end).
+struct Candidate {
+  int start_sp = 0;
+  int end_sp = 0;
+
+  friend bool operator==(const Candidate&, const Candidate&) = default;
+};
+
+// All n(n-1)/2 candidates of a trajectory with n stay points, in
+// lexicographic order: (0,1), (0,2), ..., (0,n-1), (1,2), ..., (n-2,n-1).
+// This is the paper's "forward flatten" order used for label vectors.
+std::vector<Candidate> GenerateCandidates(int num_stays);
+
+// Number of candidates for n stay points: n(n-1)/2.
+int NumCandidates(int num_stays);
+
+// Flat index of a candidate in GenerateCandidates(num_stays) order.
+int CandidateFlatIndex(int num_stays, const Candidate& candidate);
+
+// Point range of the candidate within the raw trajectory: from the first
+// point of its starting stay point to the last point of its ending one.
+IndexRange CandidateRange(const Segmentation& segmentation,
+                          const Candidate& candidate);
+
+// Ground-truth loaded trajectory (Definition 3) expressed as a candidate,
+// i.e. the (loading stay point, unloading stay point) pair.
+using LoadedTrajectoryLabel = Candidate;
+
+}  // namespace lead::traj
+
+#endif  // LEAD_TRAJ_SEGMENTATION_H_

@@ -1,0 +1,105 @@
+#include "traj/simplify.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace lead::traj {
+namespace {
+
+// Perpendicular distance of `p` from the segment a-b, in meters, using
+// the local tangent plane at `a`.
+double PerpendicularDistanceMeters(const geo::LatLng& a, const geo::LatLng& b,
+                                   const geo::LatLng& p) {
+  const geo::EastNorth ab = geo::ToLocalMeters(a, b);
+  const geo::EastNorth ap = geo::ToLocalMeters(a, p);
+  const double len_sq = ab.east_m * ab.east_m + ab.north_m * ab.north_m;
+  if (len_sq < 1e-9) {
+    return std::hypot(ap.east_m, ap.north_m);
+  }
+  // Project ap onto ab, clamped to the segment.
+  double t = (ap.east_m * ab.east_m + ap.north_m * ab.north_m) / len_sq;
+  t = std::clamp(t, 0.0, 1.0);
+  const double de = ap.east_m - t * ab.east_m;
+  const double dn = ap.north_m - t * ab.north_m;
+  return std::hypot(de, dn);
+}
+
+void SimplifyRecursive(const std::vector<GpsPoint>& points, int first,
+                       int last, double tolerance_m,
+                       std::vector<bool>* keep) {
+  if (last - first < 2) return;
+  double max_dist = -1.0;
+  int split = -1;
+  for (int i = first + 1; i < last; ++i) {
+    const double d = PerpendicularDistanceMeters(
+        points[first].pos, points[last].pos, points[i].pos);
+    if (d > max_dist) {
+      max_dist = d;
+      split = i;
+    }
+  }
+  if (max_dist > tolerance_m) {
+    (*keep)[split] = true;
+    SimplifyRecursive(points, first, split, tolerance_m, keep);
+    SimplifyRecursive(points, split, last, tolerance_m, keep);
+  }
+}
+
+}  // namespace
+
+std::vector<int> SimplifyIndices(const std::vector<GpsPoint>& points,
+                                 double tolerance_m) {
+  const int n = static_cast<int>(points.size());
+  std::vector<int> indices;
+  if (n == 0) return indices;
+  if (n <= 2) {
+    for (int i = 0; i < n; ++i) indices.push_back(i);
+    return indices;
+  }
+  std::vector<bool> keep(n, false);
+  keep.front() = true;
+  keep.back() = true;
+  SimplifyRecursive(points, 0, n - 1, tolerance_m, &keep);
+  for (int i = 0; i < n; ++i) {
+    if (keep[i]) indices.push_back(i);
+  }
+  return indices;
+}
+
+RawTrajectory Simplify(const RawTrajectory& trajectory, double tolerance_m) {
+  RawTrajectory out;
+  out.trajectory_id = trajectory.trajectory_id;
+  out.truck_id = trajectory.truck_id;
+  for (int i : SimplifyIndices(trajectory.points, tolerance_m)) {
+    out.points.push_back(trajectory.points[i]);
+  }
+  return out;
+}
+
+TrackStats ComputeStats(const std::vector<GpsPoint>& points,
+                        IndexRange range) {
+  LEAD_CHECK_GE(range.begin, 0);
+  LEAD_CHECK_LE(range.begin, range.end);
+  LEAD_CHECK_LT(range.end, static_cast<int>(points.size()));
+  TrackStats stats;
+  stats.path_length_m = PathLengthMeters(points, range);
+  stats.duration_s = DurationSeconds(points, range);
+  if (stats.duration_s > 0) {
+    stats.mean_speed_kmh =
+        stats.path_length_m / static_cast<double>(stats.duration_s) * 3.6;
+  }
+  for (int i = range.begin + 1; i <= range.end; ++i) {
+    stats.max_leg_speed_kmh = std::max(
+        stats.max_leg_speed_kmh, SpeedKmh(points[i - 1], points[i]));
+  }
+  if (stats.path_length_m > 1e-9) {
+    stats.straightness =
+        geo::DistanceMeters(points[range.begin].pos, points[range.end].pos) /
+        stats.path_length_m;
+  }
+  return stats;
+}
+
+}  // namespace lead::traj

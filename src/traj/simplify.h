@@ -1,0 +1,39 @@
+// Trajectory simplification (Douglas-Peucker) and track statistics.
+//
+// Supporting utilities for storage, visualization and analysis of HCT
+// tracks: raw one-day trajectories at 2-minute sampling carry hundreds of
+// points; dashboards and GeoJSON exports want a faithful subset.
+#ifndef LEAD_TRAJ_SIMPLIFY_H_
+#define LEAD_TRAJ_SIMPLIFY_H_
+
+#include <vector>
+
+#include "traj/trajectory.h"
+
+namespace lead::traj {
+
+// Douglas-Peucker simplification with a spatial tolerance in meters.
+// Returns the indices of retained points (always includes the first and
+// last), ascending. Distances are perpendicular offsets in the local
+// tangent plane of the segment start.
+std::vector<int> SimplifyIndices(const std::vector<GpsPoint>& points,
+                                 double tolerance_m);
+
+// Convenience wrapper returning the simplified trajectory.
+RawTrajectory Simplify(const RawTrajectory& trajectory, double tolerance_m);
+
+// Aggregate motion statistics of a point range.
+struct TrackStats {
+  double path_length_m = 0.0;
+  int64_t duration_s = 0;
+  double mean_speed_kmh = 0.0;    // path length over duration
+  double max_leg_speed_kmh = 0.0; // fastest consecutive-sample leg
+  double straightness = 0.0;      // endpoint distance / path length, [0,1]
+};
+
+TrackStats ComputeStats(const std::vector<GpsPoint>& points,
+                        IndexRange range);
+
+}  // namespace lead::traj
+
+#endif  // LEAD_TRAJ_SIMPLIFY_H_

@@ -1,0 +1,35 @@
+#include "traj/stay_point.h"
+
+namespace lead::traj {
+
+std::vector<StayPoint> ExtractStayPoints(const RawTrajectory& trajectory,
+                                         const StayPointOptions& options) {
+  std::vector<StayPoint> stay_points;
+  const std::vector<GpsPoint>& points = trajectory.points;
+  const int n = trajectory.size();
+
+  int i = 0;
+  while (i < n) {
+    // Grow the run of successors within D_max of the anchor p_i.
+    int j = i;
+    while (j + 1 < n &&
+           geo::DistanceMeters(points[i].pos, points[j + 1].pos) <=
+               options.max_distance_m) {
+      ++j;
+    }
+    if (points[j].t - points[i].t >= options.min_duration_s) {
+      StayPoint sp;
+      sp.range = IndexRange{i, j};
+      sp.centroid = Centroid(points, sp.range);
+      sp.arrival_t = points[i].t;
+      sp.departure_t = points[j].t;
+      stay_points.push_back(sp);
+      i = j + 1;  // anchor jumps past the emitted stay point
+    } else {
+      ++i;
+    }
+  }
+  return stay_points;
+}
+
+}  // namespace lead::traj

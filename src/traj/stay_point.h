@@ -1,0 +1,47 @@
+// Rule-based stay-point extraction (paper Definition 2 and §III).
+//
+// A stay point is a maximal run of GPS points that remain within D_max of
+// the run's anchor point for at least T_min. The algorithm follows Li et
+// al., "Mining user similarity based on location history" (GIS 2008), the
+// method the paper cites: extracted stay points are temporally consecutive
+// and non-overlapping, which makes stay-point numbering well defined.
+#ifndef LEAD_TRAJ_STAY_POINT_H_
+#define LEAD_TRAJ_STAY_POINT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/latlng.h"
+#include "traj/trajectory.h"
+
+namespace lead::traj {
+
+// One extracted stay point: a subtrajectory plus derived summary fields.
+struct StayPoint {
+  IndexRange range;        // points of the raw trajectory forming the stay
+  geo::LatLng centroid;    // mean position of the run
+  int64_t arrival_t = 0;   // timestamp of the first point
+  int64_t departure_t = 0; // timestamp of the last point
+
+  int64_t duration_s() const { return departure_t - arrival_t; }
+};
+
+struct StayPointOptions {
+  // Paper defaults: D_max = 500 m, T_min = 15 min capture loading,
+  // unloading and resting behaviours of HCT trucks.
+  double max_distance_m = 500.0;
+  int64_t min_duration_s = 15 * 60;
+};
+
+// Extracts all stay points of a (cleaned) trajectory in temporal order.
+//
+// Anchor scan per Definition 2: starting from an anchor p_i, the run grows
+// while distance(p_i, p_k) <= D_max; if the run spans >= T_min a stay point
+// [i..j] is emitted and the anchor jumps past it, otherwise the anchor
+// advances by one.
+std::vector<StayPoint> ExtractStayPoints(
+    const RawTrajectory& trajectory, const StayPointOptions& options = {});
+
+}  // namespace lead::traj
+
+#endif  // LEAD_TRAJ_STAY_POINT_H_

@@ -1,0 +1,60 @@
+#include "traj/trajectory.h"
+
+#include <limits>
+#include <string>
+
+#include "common/check.h"
+
+namespace lead::traj {
+
+Status ValidateChronological(const RawTrajectory& trajectory) {
+  for (int i = 1; i < trajectory.size(); ++i) {
+    if (trajectory.points[i].t <= trajectory.points[i - 1].t) {
+      return InvalidArgumentError(
+          "trajectory " + trajectory.trajectory_id +
+          ": non-increasing timestamp at index " + std::to_string(i));
+    }
+  }
+  return Status::Ok();
+}
+
+double SpeedKmh(const GpsPoint& from, const GpsPoint& to) {
+  const int64_t dt = to.t - from.t;
+  if (dt <= 0) return std::numeric_limits<double>::infinity();
+  const double meters = geo::DistanceMeters(from.pos, to.pos);
+  return meters / static_cast<double>(dt) * 3.6;
+}
+
+double PathLengthMeters(const std::vector<GpsPoint>& points,
+                        IndexRange range) {
+  LEAD_CHECK_GE(range.begin, 0);
+  LEAD_CHECK_LT(range.end, static_cast<int>(points.size()));
+  double total = 0.0;
+  for (int i = range.begin + 1; i <= range.end; ++i) {
+    total += geo::DistanceMeters(points[i - 1].pos, points[i].pos);
+  }
+  return total;
+}
+
+int64_t DurationSeconds(const std::vector<GpsPoint>& points,
+                        IndexRange range) {
+  LEAD_CHECK_GE(range.begin, 0);
+  LEAD_CHECK_LT(range.end, static_cast<int>(points.size()));
+  return points[range.end].t - points[range.begin].t;
+}
+
+geo::LatLng Centroid(const std::vector<GpsPoint>& points, IndexRange range) {
+  LEAD_CHECK_GE(range.begin, 0);
+  LEAD_CHECK_LE(range.begin, range.end);
+  LEAD_CHECK_LT(range.end, static_cast<int>(points.size()));
+  double lat = 0.0;
+  double lng = 0.0;
+  for (int i = range.begin; i <= range.end; ++i) {
+    lat += points[i].pos.lat;
+    lng += points[i].pos.lng;
+  }
+  const double n = range.size();
+  return geo::LatLng{lat / n, lng / n};
+}
+
+}  // namespace lead::traj

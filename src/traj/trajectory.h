@@ -1,0 +1,66 @@
+// Core trajectory data model (paper Definition 1).
+//
+// A raw trajectory is the chronologically ordered GPS track of one HCT
+// truck over one day. All downstream structures (stay points, move points,
+// candidate trajectories) are index ranges into a raw trajectory.
+#ifndef LEAD_TRAJ_TRAJECTORY_H_
+#define LEAD_TRAJ_TRAJECTORY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "geo/latlng.h"
+
+namespace lead::traj {
+
+// One GPS fix: a WGS84 position and a Unix timestamp in seconds.
+struct GpsPoint {
+  geo::LatLng pos;
+  int64_t t = 0;  // seconds since epoch
+
+  friend bool operator==(const GpsPoint&, const GpsPoint&) = default;
+};
+
+// Inclusive index range [begin, end] into a trajectory's point vector.
+struct IndexRange {
+  int begin = 0;
+  int end = 0;  // inclusive
+
+  int size() const { return end - begin + 1; }
+  bool Contains(int i) const { return i >= begin && i <= end; }
+  friend bool operator==(const IndexRange&, const IndexRange&) = default;
+};
+
+// Raw trajectory of one truck over one day (Definition 1).
+struct RawTrajectory {
+  std::string truck_id;
+  std::string trajectory_id;
+  std::vector<GpsPoint> points;
+
+  int size() const { return static_cast<int>(points.size()); }
+  bool empty() const { return points.empty(); }
+};
+
+// Verifies Definition 1's invariant: timestamps strictly increase.
+Status ValidateChronological(const RawTrajectory& trajectory);
+
+// Average speed between two GPS fixes in km/h; returns +inf for zero or
+// negative time delta (callers treat such pairs as noise).
+double SpeedKmh(const GpsPoint& from, const GpsPoint& to);
+
+// Total path length of a point range, in meters.
+double PathLengthMeters(const std::vector<GpsPoint>& points,
+                        IndexRange range);
+
+// Time span covered by a point range, in seconds.
+int64_t DurationSeconds(const std::vector<GpsPoint>& points,
+                        IndexRange range);
+
+// Arithmetic centroid of a point range.
+geo::LatLng Centroid(const std::vector<GpsPoint>& points, IndexRange range);
+
+}  // namespace lead::traj
+
+#endif  // LEAD_TRAJ_TRAJECTORY_H_

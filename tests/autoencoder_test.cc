@@ -1,0 +1,295 @@
+// Tests for the hierarchical autoencoder and the detectors.
+#include <gtest/gtest.h>
+
+#include "core/autoencoder.h"
+#include "core/detector.h"
+#include "gradcheck.h"
+#include "nn/adam.h"
+#include "nn/ops.h"
+
+namespace lead::core {
+namespace {
+
+constexpr geo::LatLng kOrigin{32.0, 120.9};
+
+// Builds a small processed trajectory with `n` stays directly (bypassing
+// the pipeline) so autoencoder tests stay fast and deterministic.
+ProcessedTrajectory TinyProcessed(int num_stays, int stay_len, int move_len,
+                                  uint64_t seed) {
+  ProcessedTrajectory pt;
+  Rng rng(seed);
+  int index = 0;
+  int64_t time = 1'600'000'000;
+  auto push_points = [&](int count) {
+    traj::IndexRange range{index, index + count - 1};
+    for (int i = 0; i < count; ++i) {
+      pt.cleaned.points.push_back(
+          {geo::OffsetMeters(kOrigin, rng.Uniform(-50, 50),
+                             rng.Uniform(-50, 50)),
+           time});
+      time += 120;
+      ++index;
+    }
+    return range;
+  };
+  for (int s = 0; s < num_stays; ++s) {
+    if (s > 0 && move_len > 0) {
+      traj::MoveSegment move;
+      move.has_points = true;
+      move.range = push_points(move_len);
+      pt.segmentation.moves.push_back(move);
+    } else if (s > 0) {
+      pt.segmentation.moves.push_back(traj::MoveSegment{});
+    } else {
+      pt.segmentation.moves.push_back(traj::MoveSegment{});  // move[0]
+    }
+    traj::StayPoint sp;
+    sp.range = push_points(stay_len);
+    pt.segmentation.stays.push_back(sp);
+  }
+  pt.segmentation.moves.push_back(traj::MoveSegment{});  // move[n]
+  pt.candidates = traj::GenerateCandidates(num_stays);
+  // Random normalized-looking features.
+  pt.features = nn::Matrix(index, kFeatureDims);
+  for (int i = 0; i < pt.features.size(); ++i) {
+    pt.features.data()[i] = static_cast<float>(rng.Gaussian(0.0, 0.6));
+  }
+  return pt;
+}
+
+AutoencoderOptions SmallAeOptions(bool attention = true,
+                                  bool hierarchical = true) {
+  AutoencoderOptions options;
+  options.hidden = 8;
+  options.use_attention = attention;
+  options.hierarchical = hierarchical;
+  return options;
+}
+
+TEST(AutoencoderTest, CvecHasExpectedShape) {
+  Rng rng(1);
+  HierarchicalAutoencoder ae(SmallAeOptions(), &rng);
+  const ProcessedTrajectory pt = TinyProcessed(4, 4, 3, 7);
+  const nn::Variable cvec = ae.EncodeCandidate(pt, {0, 2});
+  EXPECT_EQ(cvec.rows(), 1);
+  EXPECT_EQ(cvec.cols(), ae.cvec_dims());
+  EXPECT_EQ(ae.cvec_dims(), 16);
+}
+
+TEST(AutoencoderTest, SharedSegmentEncodingMatchesNaive) {
+  Rng rng(2);
+  HierarchicalAutoencoder ae(SmallAeOptions(), &rng);
+  const ProcessedTrajectory pt = TinyProcessed(5, 4, 3, 8);
+  nn::NoGradGuard no_grad;
+  const TrajectoryEncoding enc = ae.EncodeSegments(pt);
+  for (const traj::Candidate& c : pt.candidates) {
+    const nn::Variable shared = ae.EncodeCandidateFromSegments(enc, c);
+    const nn::Variable naive = ae.EncodeCandidate(pt, c);
+    ASSERT_EQ(shared.cols(), naive.cols());
+    for (int i = 0; i < shared.cols(); ++i) {
+      EXPECT_NEAR(shared.value().at(0, i), naive.value().at(0, i), 1e-5)
+          << "candidate (" << c.start_sp << "," << c.end_sp << ") dim " << i;
+    }
+  }
+}
+
+TEST(AutoencoderTest, ReconstructionLossIsFiniteAndPositive) {
+  Rng rng(3);
+  HierarchicalAutoencoder ae(SmallAeOptions(), &rng);
+  const ProcessedTrajectory pt = TinyProcessed(3, 4, 3, 9);
+  const nn::Variable loss = ae.ReconstructionLoss(pt, {0, 2});
+  EXPECT_TRUE(std::isfinite(loss.value().at(0, 0)));
+  EXPECT_GT(loss.value().at(0, 0), 0.0f);
+}
+
+TEST(AutoencoderTest, HandlesEmptyMoveSlots) {
+  Rng rng(4);
+  HierarchicalAutoencoder ae(SmallAeOptions(), &rng);
+  // move_len = 0: all interior moves empty.
+  const ProcessedTrajectory pt = TinyProcessed(3, 4, 0, 10);
+  const nn::Variable cvec = ae.EncodeCandidate(pt, {0, 2});
+  EXPECT_EQ(cvec.cols(), 16);
+  const nn::Variable loss = ae.ReconstructionLoss(pt, {0, 2});
+  EXPECT_TRUE(std::isfinite(loss.value().at(0, 0)));
+}
+
+TEST(AutoencoderTest, GradCheckHierarchical) {
+  Rng rng(5);
+  HierarchicalAutoencoder ae(SmallAeOptions(), &rng);
+  const ProcessedTrajectory pt = TinyProcessed(3, 3, 2, 11);
+  lead::testing::ExpectGradientsMatch(
+      &ae, [&] { return ae.ReconstructionLoss(pt, {0, 2}); },
+      /*checks_per_param=*/2);
+}
+
+TEST(AutoencoderTest, GradCheckFlatVariant) {
+  Rng rng(6);
+  HierarchicalAutoencoder ae(SmallAeOptions(true, /*hierarchical=*/false),
+                             &rng);
+  const ProcessedTrajectory pt = TinyProcessed(3, 3, 2, 12);
+  lead::testing::ExpectGradientsMatch(
+      &ae, [&] { return ae.ReconstructionLoss(pt, {0, 2}); },
+      /*checks_per_param=*/2);
+}
+
+TEST(AutoencoderTest, GradCheckNoAttentionVariant) {
+  Rng rng(7);
+  HierarchicalAutoencoder ae(SmallAeOptions(/*attention=*/false), &rng);
+  const ProcessedTrajectory pt = TinyProcessed(3, 3, 2, 13);
+  lead::testing::ExpectGradientsMatch(
+      &ae, [&] { return ae.ReconstructionLoss(pt, {0, 2}); },
+      /*checks_per_param=*/2);
+}
+
+TEST(AutoencoderTest, TrainingReducesReconstructionLoss) {
+  Rng rng(8);
+  HierarchicalAutoencoder ae(SmallAeOptions(), &rng);
+  ProcessedTrajectory pt = TinyProcessed(4, 4, 3, 14);
+  // Structured (compressible) features: smooth per-dimension waves.
+  for (int r = 0; r < pt.features.rows(); ++r) {
+    for (int c = 0; c < pt.features.cols(); ++c) {
+      pt.features.at(r, c) =
+          0.5f * std::sin(0.3f * r + 0.8f * c) + 0.1f * c / 32.0f;
+    }
+  }
+  nn::Adam adam(ae.Parameters(), {.learning_rate = 3e-3f});
+  float first = 0.0f;
+  float last = 0.0f;
+  for (int step = 0; step < 60; ++step) {
+    float total = 0.0f;
+    for (const traj::Candidate& c : pt.candidates) {
+      const nn::Variable loss = ae.ReconstructionLoss(pt, c);
+      total += loss.value().at(0, 0);
+      nn::Backward(loss);
+    }
+    adam.StepAndZeroGrad();
+    if (step == 0) first = total;
+    last = total;
+  }
+  EXPECT_LT(last, first * 0.8f);
+}
+
+TEST(AutoencoderTest, VariantsProduceDifferentParameterCounts) {
+  Rng rng(9);
+  HierarchicalAutoencoder full(SmallAeOptions(), &rng);
+  HierarchicalAutoencoder no_sel(SmallAeOptions(/*attention=*/false), &rng);
+  HierarchicalAutoencoder no_hie(
+      SmallAeOptions(true, /*hierarchical=*/false), &rng);
+  EXPECT_GT(full.NumParameters(), no_sel.NumParameters());
+  EXPECT_GT(full.NumParameters(), no_hie.NumParameters());
+}
+
+// ---- Detectors. ----
+
+TEST(DetectorTest, GroupDistributionSumsToOne) {
+  Rng rng(10);
+  DetectorOptions options;
+  options.input_dims = 16;
+  options.hidden = 8;
+  options.num_layers = 2;
+  StackedBiLstmDetector detector(options, &rng);
+  // Three subgroups of sizes 3, 2, 1 -> a distribution over 6 candidates.
+  const std::vector<nn::Variable> subgroups = {
+      nn::Variable::Constant(nn::Matrix::Uniform(3, 16, 1.0f, &rng)),
+      nn::Variable::Constant(nn::Matrix::Uniform(2, 16, 1.0f, &rng)),
+      nn::Variable::Constant(nn::Matrix::Uniform(1, 16, 1.0f, &rng)),
+  };
+  const nn::Variable probs = detector.ForwardGroup(subgroups);
+  EXPECT_EQ(probs.rows(), 1);
+  EXPECT_EQ(probs.cols(), 6);
+  float sum = 0.0f;
+  for (int i = 0; i < 6; ++i) {
+    const float p = probs.value().at(0, i);
+    EXPECT_GE(p, 0.0f);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0f, 1e-5);
+}
+
+TEST(DetectorTest, SingleMemberSubgroupIsNotDegenerate) {
+  // With the global softmax, a single-member subgroup competes with all
+  // other candidates instead of receiving probability 1.
+  Rng rng(11);
+  DetectorOptions options;
+  options.input_dims = 16;
+  options.hidden = 8;
+  options.num_layers = 1;
+  StackedBiLstmDetector detector(options, &rng);
+  const std::vector<nn::Variable> subgroups = {
+      nn::Variable::Constant(nn::Matrix::Uniform(4, 16, 1.0f, &rng)),
+      nn::Variable::Constant(nn::Matrix::Uniform(1, 16, 1.0f, &rng)),
+  };
+  const nn::Variable probs = detector.ForwardGroup(subgroups);
+  EXPECT_LT(probs.value().at(0, 4), 0.9f);
+}
+
+TEST(DetectorTest, ScoreSubgroupShape) {
+  Rng rng(13);
+  DetectorOptions options;
+  options.input_dims = 16;
+  options.hidden = 8;
+  options.num_layers = 2;
+  StackedBiLstmDetector detector(options, &rng);
+  const nn::Variable subgroup =
+      nn::Variable::Constant(nn::Matrix::Uniform(5, 16, 1.0f, &rng));
+  const nn::Variable scores = detector.ScoreSubgroup(subgroup);
+  EXPECT_EQ(scores.rows(), 1);
+  EXPECT_EQ(scores.cols(), 5);
+}
+
+TEST(DetectorTest, GradCheck) {
+  Rng rng(12);
+  DetectorOptions options;
+  options.input_dims = 8;
+  options.hidden = 6;
+  options.num_layers = 2;
+  StackedBiLstmDetector detector(options, &rng);
+  const std::vector<nn::Variable> subgroups = {
+      nn::Variable::Constant(nn::Matrix::Uniform(3, 8, 1.0f, &rng)),
+      nn::Variable::Constant(nn::Matrix::Uniform(1, 8, 1.0f, &rng)),
+  };
+  const nn::Variable label = nn::Variable::Constant(
+      nn::Matrix::RowVector({0.7f, 0.1f, 0.1f, 0.1f}));
+  lead::testing::ExpectGradientsMatch(
+      &detector,
+      [&] {
+        return nn::KlDivergence(label, detector.ForwardGroup(subgroups));
+      },
+      /*checks_per_param=*/2);
+}
+
+TEST(MlpScorerTest, OutputsProbabilitiesPerRow) {
+  Rng rng(13);
+  MlpScorer scorer(16, &rng);
+  const nn::Variable cvecs =
+      nn::Variable::Constant(nn::Matrix::Uniform(6, 16, 1.0f, &rng));
+  const nn::Variable probs = scorer.Forward(cvecs);
+  EXPECT_EQ(probs.rows(), 6);
+  EXPECT_EQ(probs.cols(), 1);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_GT(probs.value().at(i, 0), 0.0f);
+    EXPECT_LT(probs.value().at(i, 0), 1.0f);
+  }
+}
+
+TEST(MlpScorerTest, CanOverfitOneSample) {
+  Rng rng(14);
+  MlpScorer scorer(8, &rng);
+  const nn::Variable cvecs =
+      nn::Variable::Constant(nn::Matrix::Uniform(3, 8, 1.0f, &rng));
+  nn::Matrix target(3, 1);
+  target.at(1, 0) = 1.0f;
+  const nn::Variable y = nn::Variable::Constant(target);
+  nn::Adam adam(scorer.Parameters(), {.learning_rate = 1e-2f});
+  for (int i = 0; i < 300; ++i) {
+    const nn::Variable probs = scorer.Forward(cvecs);
+    nn::Backward(nn::MseLoss(probs, y));
+    adam.StepAndZeroGrad();
+  }
+  const nn::Variable probs = scorer.Forward(cvecs);
+  EXPECT_GT(probs.value().at(1, 0), 0.8f);
+  EXPECT_LT(probs.value().at(0, 0), 0.2f);
+}
+
+}  // namespace
+}  // namespace lead::core

@@ -1,0 +1,128 @@
+// Unit tests for the SP-R white-list baseline on crafted geometry
+// (no training of neural models; SP-RNN end-to-end lives in lead_test).
+#include <gtest/gtest.h>
+
+#include "baselines/sp_rnn.h"
+#include "baselines/sp_rule.h"
+
+namespace lead::baselines {
+namespace {
+
+constexpr geo::LatLng kOrigin{32.0, 120.9};
+
+// A trajectory with stays at the given east offsets (meters), connected
+// by drives.
+traj::RawTrajectory TrackWithStays(const std::vector<double>& stay_easts,
+                                   const std::string& id = "t") {
+  traj::RawTrajectory t;
+  t.trajectory_id = id;
+  t.truck_id = id;
+  int64_t time = 1'600'000'000;
+  double previous = stay_easts.front();
+  for (size_t s = 0; s < stay_easts.size(); ++s) {
+    if (s > 0) {
+      for (double e = previous + 1500; e < stay_easts[s] - 700; e += 1500) {
+        t.points.push_back({geo::OffsetMeters(kOrigin, e, 0), time});
+        time += 120;
+      }
+    }
+    for (int i = 0; i < 6; ++i) {
+      t.points.push_back(
+          {geo::OffsetMeters(kOrigin, stay_easts[s] + 8 * (i % 2), 0),
+           time});
+      time += 240;
+    }
+    previous = stay_easts[s];
+  }
+  return t;
+}
+
+TEST(SpRuleTest, DetectsViaWhiteListMatch) {
+  // Training trajectory: stays at 0 / 10 km / 20 km, loaded (1,2):
+  // white list gets locations ~10 km and ~20 km.
+  SpRuleBaseline sp_r(core::PipelineOptions(), {});
+  core::LabeledRawTrajectory train;
+  train.raw = TrackWithStays({0, 10000, 20000}, "train");
+  train.loaded = {1, 2};
+  ASSERT_TRUE(sp_r.Train({train}).ok());
+  EXPECT_EQ(sp_r.whitelist_size(), 2);
+
+  // Test trajectory with stays at 5 km / 10 km / 20 km / 30 km: the
+  // 10 km and 20 km stays match the white list.
+  const auto detection =
+      sp_r.Detect(TrackWithStays({5000, 10000, 20000, 30000}, "test"));
+  ASSERT_TRUE(detection.ok()) << detection.status();
+  EXPECT_EQ(detection->loaded, (traj::Candidate{1, 2}));
+  EXPECT_FALSE(detection->used_default);
+}
+
+TEST(SpRuleTest, SearchRadiusControlsMatching) {
+  core::LabeledRawTrajectory train;
+  train.raw = TrackWithStays({0, 10000, 20000}, "train");
+  train.loaded = {1, 2};
+  // Test stays are offset 800 m from the white-list locations.
+  const traj::RawTrajectory test =
+      TrackWithStays({5000, 10800, 20800, 30000}, "test");
+
+  SpRuleBaseline tight(core::PipelineOptions(), {.search_radius_m = 500});
+  ASSERT_TRUE(tight.Train({train}).ok());
+  const auto miss = tight.Detect(test);
+  ASSERT_TRUE(miss.ok());
+  EXPECT_TRUE(miss->used_default);  // nothing within 500 m
+
+  SpRuleBaseline loose(core::PipelineOptions(), {.search_radius_m = 1000});
+  ASSERT_TRUE(loose.Train({train}).ok());
+  const auto hit = loose.Detect(test);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_FALSE(hit->used_default);
+  EXPECT_EQ(hit->loaded, (traj::Candidate{1, 2}));
+}
+
+TEST(SpRuleTest, GreedyPicksOutermostMatches) {
+  // White list covers stays 0, 2 and 3 of the test trajectory: greedy
+  // spans first to last l/u stay point even if that is wrong.
+  core::LabeledRawTrajectory a;
+  a.raw = TrackWithStays({0, 10000, 20000}, "a");
+  a.loaded = {0, 2};  // white list: 0 m and 20 km
+  core::LabeledRawTrajectory b;
+  b.raw = TrackWithStays({30000, 40000, 50000}, "b");
+  b.loaded = {1, 2};  // white list: 40 km and 50 km
+  SpRuleBaseline sp_r(core::PipelineOptions(), {});
+  ASSERT_TRUE(sp_r.Train({a, b}).ok());
+  EXPECT_EQ(sp_r.whitelist_size(), 4);
+
+  const auto detection =
+      sp_r.Detect(TrackWithStays({0, 15000, 20000, 40000}, "test"));
+  ASSERT_TRUE(detection.ok());
+  // Matches at stays 0, 2, 3 -> greedy spans (0, 3).
+  EXPECT_EQ(detection->loaded, (traj::Candidate{0, 3}));
+}
+
+TEST(SpRuleTest, FailsGracefullyUntrainedAndUnprocessable) {
+  SpRuleBaseline sp_r(core::PipelineOptions(), {});
+  EXPECT_FALSE(sp_r.Detect(TrackWithStays({0, 10000}, "x")).ok());
+  core::LabeledRawTrajectory train;
+  train.raw = TrackWithStays({0, 10000, 20000}, "train");
+  train.loaded = {1, 2};
+  ASSERT_TRUE(sp_r.Train({train}).ok());
+  // Single-stay trajectory cannot be processed.
+  const auto result = sp_r.Detect(TrackWithStays({0}, "single"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SpRuleTest, TrainRejectsOutOfRangeLabels) {
+  SpRuleBaseline sp_r(core::PipelineOptions(), {});
+  core::LabeledRawTrajectory bad;
+  bad.raw = TrackWithStays({0, 10000}, "bad");
+  bad.loaded = {1, 7};  // only 2 stay points exist
+  EXPECT_FALSE(sp_r.Train({bad}).ok());
+}
+
+TEST(RnnCellTypeTest, Names) {
+  EXPECT_STREQ(RnnCellTypeName(RnnCellType::kGru), "SP-GRU");
+  EXPECT_STREQ(RnnCellTypeName(RnnCellType::kLstm), "SP-LSTM");
+}
+
+}  // namespace
+}  // namespace lead::baselines

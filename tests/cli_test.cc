@@ -1,0 +1,100 @@
+// End-to-end test of the lead_cli tool: simulate -> train -> evaluate ->
+// detect, exercised through the real binary (path injected by CMake).
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+#ifndef LEAD_CLI_PATH
+#define LEAD_CLI_PATH ""
+#endif
+
+std::string CliPath() { return LEAD_CLI_PATH; }
+
+// Runs a command, captures combined stdout/stderr, returns exit code.
+int RunCommand(const std::string& command, std::string* output) {
+  output->clear();
+  FILE* pipe = popen((command + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) return -1;
+  char buffer[512];
+  while (fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+    *output += buffer;
+  }
+  const int status = pclose(pipe);
+  return WEXITSTATUS(status);
+}
+
+class CliEndToEnd : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_FALSE(CliPath().empty()) << "LEAD_CLI_PATH not configured";
+    dir_ = ::testing::TempDir() + "/lead_cli_corpus";
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(CliEndToEnd, SimulateTrainEvaluateDetect) {
+  std::string out;
+  // Tiny corpus and schedule: this exercises plumbing, not accuracy.
+  ASSERT_EQ(RunCommand(CliPath() + " simulate --out " + dir_ +
+                    " --trajectories 40 --trucks 20 --seed 5",
+                &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("wrote 40 trajectories"), std::string::npos) << out;
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/trajectories.csv"));
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/pois.csv"));
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/labels.csv"));
+
+  const std::string model = dir_ + "/model.bin";
+  ASSERT_EQ(RunCommand(CliPath() + " train --data " + dir_ + " --model " + model +
+                    " --ae-epochs 1 --det-epochs 2",
+                &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("model written"), std::string::npos) << out;
+  EXPECT_TRUE(std::filesystem::exists(model));
+
+  ASSERT_EQ(RunCommand(CliPath() + " evaluate --data " + dir_ + " --model " + model,
+                &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("LEAD"), std::string::npos) << out;
+  EXPECT_NE(out.find("3~14"), std::string::npos) << out;
+
+  ASSERT_EQ(RunCommand(CliPath() + " detect --data " + dir_ + " --model " + model,
+                &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("detected loaded trajectory"), std::string::npos)
+      << out;
+}
+
+TEST_F(CliEndToEnd, UsageAndErrorPaths) {
+  std::string out;
+  EXPECT_NE(RunCommand(CliPath(), &out), 0);
+  EXPECT_NE(out.find("usage"), std::string::npos);
+  EXPECT_NE(RunCommand(CliPath() + " frobnicate", &out), 0);
+  // Train without data: usage error.
+  EXPECT_NE(RunCommand(CliPath() + " train --model /tmp/x.bin", &out), 0);
+  // Detect with a missing model file: IO error surfaced.
+  ASSERT_EQ(RunCommand(CliPath() + " simulate --out " + dir_ +
+                    " --trajectories 12 --trucks 6",
+                &out),
+            0)
+      << out;
+  EXPECT_NE(RunCommand(CliPath() + " detect --data " + dir_ +
+                           " --model /nonexistent.bin",
+                       &out),
+            0);
+  EXPECT_NE(out.find("error"), std::string::npos);
+}
+
+}  // namespace

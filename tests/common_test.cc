@@ -1,0 +1,119 @@
+// Unit tests for Status/StatusOr and Rng.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace lead {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = InvalidArgumentError("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad input");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  EXPECT_EQ(NotFoundError("").code(), StatusCode::kNotFound);
+  EXPECT_EQ(FailedPreconditionError("").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(OutOfRangeError("").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(InternalError("").code(), StatusCode::kInternal);
+  EXPECT_EQ(IoError("").code(), StatusCode::kIoError);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  const StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  const StatusOr<int> v = NotFoundError("missing");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) return InvalidArgumentError("not positive");
+  return x;
+}
+
+Status UseAssignOrReturn(int x, int* out) {
+  LEAD_ASSIGN_OR_RETURN(const int value, ParsePositive(x));
+  *out = value * 2;
+  return Status::Ok();
+}
+
+TEST(StatusMacroTest, AssignOrReturnPropagates) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(21, &out).ok());
+  EXPECT_EQ(out, 42);
+  EXPECT_FALSE(UseAssignOrReturn(-1, &out).ok());
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000000), b.UniformInt(0, 1000000));
+  }
+}
+
+TEST(RngTest, UniformWithinRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Uniform(-2.0, 3.0);
+    EXPECT_GE(x, -2.0);
+    EXPECT_LT(x, 3.0);
+    const int k = rng.UniformInt(2, 7);
+    EXPECT_GE(k, 2);
+    EXPECT_LE(k, 7);
+  }
+}
+
+TEST(RngTest, CategoricalRespectsZeroWeights) {
+  Rng rng(6);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(rng.Categorical({0.0, 1.0, 0.0}), 1);
+  }
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng a(9);
+  Rng child = a.Split();
+  // Consuming the child must not equal consuming the parent's next draws.
+  Rng b(9);
+  Rng child_b = b.Split();
+  EXPECT_EQ(child.UniformInt(0, 1 << 30), child_b.UniformInt(0, 1 << 30));
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(7);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Gaussian(2.0, 3.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(var, 9.0, 0.5);
+}
+
+}  // namespace
+}  // namespace lead

@@ -1,0 +1,266 @@
+// Tests for core features, pipeline, grouping and label processing.
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "core/features.h"
+#include "core/grouping.h"
+#include "core/labels.h"
+#include "core/lead.h"
+#include "core/pipeline.h"
+
+namespace lead::core {
+namespace {
+
+constexpr geo::LatLng kOrigin{32.0, 120.9};
+
+traj::RawTrajectory ThreeStayTrajectory() {
+  traj::RawTrajectory t;
+  t.trajectory_id = "pipeline_test";
+  t.truck_id = "truck";
+  int64_t time = 1'600'000'000;
+  auto stay = [&](double east) {
+    for (int i = 0; i < 6; ++i) {
+      t.points.push_back(
+          {geo::OffsetMeters(kOrigin, east + 10 * (i % 2), 0), time});
+      time += 240;
+    }
+  };
+  auto move = [&](double from, double to) {
+    for (double e = from + 1500; e < to - 700; e += 1500) {
+      t.points.push_back({geo::OffsetMeters(kOrigin, e, 0), time});
+      time += 120;
+    }
+  };
+  stay(0);
+  move(0, 9000);
+  stay(9000);
+  move(9000, 20000);
+  stay(20000);
+  return t;
+}
+
+poi::PoiIndex MakePoiIndex() {
+  std::vector<poi::Poi> pois;
+  // A chemical factory at the first stay, a restaurant at the second.
+  pois.push_back({0, poi::Category::kChemicalFactory,
+                  geo::OffsetMeters(kOrigin, 20.0, 10.0)});
+  pois.push_back({1, poi::Category::kRestaurant,
+                  geo::OffsetMeters(kOrigin, 9020.0, -10.0)});
+  return poi::PoiIndex(std::move(pois));
+}
+
+TEST(FeaturesTest, DimensionsAndPoiCounts) {
+  const traj::RawTrajectory t = ThreeStayTrajectory();
+  const poi::PoiIndex index = MakePoiIndex();
+  const auto rows = ExtractPointFeatures(t, index, FeatureOptions());
+  ASSERT_EQ(rows.size(), t.points.size());
+  ASSERT_EQ(static_cast<int>(rows[0].size()), kFeatureDims);
+  // First point sits next to the chemical factory.
+  EXPECT_EQ(rows[0][kSpatioTemporalDims +
+                    static_cast<int>(poi::Category::kChemicalFactory)],
+            1.0f);
+  EXPECT_EQ(rows[0][kSpatioTemporalDims +
+                    static_cast<int>(poi::Category::kRestaurant)],
+            0.0f);
+  // Time feature is seconds-of-day.
+  EXPECT_GE(rows[0][2], 0.0f);
+  EXPECT_LT(rows[0][2], 86400.0f);
+}
+
+TEST(FeaturesTest, NoPoiZeroPadsPoiBlock) {
+  const traj::RawTrajectory t = ThreeStayTrajectory();
+  const poi::PoiIndex index = MakePoiIndex();
+  FeatureOptions options;
+  options.use_poi = false;
+  const auto rows = ExtractPointFeatures(t, index, options);
+  ASSERT_EQ(static_cast<int>(rows[0].size()), kFeatureDims);
+  for (int c = kSpatioTemporalDims; c < kFeatureDims; ++c) {
+    EXPECT_EQ(rows[0][c], 0.0f);
+  }
+}
+
+TEST(PipelineTest, ProcessesThreeStayTrajectory) {
+  const poi::PoiIndex index = MakePoiIndex();
+  auto pt = ProcessTrajectory(ThreeStayTrajectory(), index,
+                              PipelineOptions(), nullptr);
+  ASSERT_TRUE(pt.ok()) << pt.status();
+  EXPECT_EQ(pt->num_stays(), 3);
+  EXPECT_EQ(pt->candidates.size(), 3u);
+  EXPECT_EQ(pt->features.rows(), pt->cleaned.size());
+  EXPECT_EQ(pt->features.cols(), kFeatureDims);
+}
+
+TEST(PipelineTest, RejectsEmptyAndSingleStay) {
+  const poi::PoiIndex index = MakePoiIndex();
+  traj::RawTrajectory empty;
+  EXPECT_FALSE(ProcessTrajectory(empty, index, PipelineOptions(), nullptr)
+                   .ok());
+  traj::RawTrajectory one_stay;
+  one_stay.trajectory_id = "one";
+  int64_t time = 0;
+  for (int i = 0; i < 8; ++i) {
+    one_stay.points.push_back({kOrigin, time});
+    time += 240;
+  }
+  const auto result =
+      ProcessTrajectory(one_stay, index, PipelineOptions(), nullptr);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(PipelineTest, SegmentFeaturesMatchesUnderlyingRows) {
+  const poi::PoiIndex index = MakePoiIndex();
+  auto pt = ProcessTrajectory(ThreeStayTrajectory(), index,
+                              PipelineOptions(), nullptr);
+  ASSERT_TRUE(pt.ok());
+  const traj::IndexRange range = pt->segmentation.stays[1].range;
+  const nn::Variable seg = SegmentFeatures(*pt, range);
+  EXPECT_EQ(seg.rows(), range.size());
+  for (int r = 0; r < seg.rows(); ++r) {
+    for (int c = 0; c < seg.cols(); ++c) {
+      EXPECT_EQ(seg.value().at(r, c),
+                pt->features.at(range.begin + r, c));
+    }
+  }
+}
+
+// ---- Grouping (paper Table II, n = 5). ----
+
+TEST(GroupingTest, ForwardGroupsMatchTableII) {
+  const std::vector<Subgroup> groups = ForwardGroups(5);
+  ASSERT_EQ(groups.size(), 4u);
+  // g_1 in the paper = candidates starting at stay 0 here (0-based).
+  ASSERT_EQ(groups[0].members.size(), 4u);
+  EXPECT_EQ(groups[0].members[0], (traj::Candidate{0, 1}));
+  EXPECT_EQ(groups[0].members[3], (traj::Candidate{0, 4}));
+  ASSERT_EQ(groups[3].members.size(), 1u);
+  EXPECT_EQ(groups[3].members[0], (traj::Candidate{3, 4}));
+}
+
+TEST(GroupingTest, BackwardGroupsMatchTableII) {
+  const std::vector<Subgroup> groups = BackwardGroups(5);
+  ASSERT_EQ(groups.size(), 4u);
+  // gb_2 in the paper = candidates ending at stay 1 here.
+  ASSERT_EQ(groups[0].members.size(), 1u);
+  EXPECT_EQ(groups[0].members[0], (traj::Candidate{0, 1}));
+  // gb_5: (4,5),(3,5),(2,5),(1,5) in paper numbering -> descending starts.
+  ASSERT_EQ(groups[3].members.size(), 4u);
+  EXPECT_EQ(groups[3].members[0], (traj::Candidate{3, 4}));
+  EXPECT_EQ(groups[3].members[3], (traj::Candidate{0, 4}));
+}
+
+class GroupingSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GroupingSweep, GroupsPartitionAllCandidates) {
+  const int n = GetParam();
+  for (const bool forward : {true, false}) {
+    const std::vector<Subgroup> groups =
+        forward ? ForwardGroups(n) : BackwardGroups(n);
+    std::vector<int> seen(traj::NumCandidates(n), 0);
+    for (const Subgroup& g : groups) {
+      for (const traj::Candidate& c : g.members) {
+        seen[traj::CandidateFlatIndex(n, c)] += 1;
+      }
+    }
+    for (int count : seen) EXPECT_EQ(count, 1);
+  }
+}
+
+TEST_P(GroupingSweep, BackwardFlatIndexIsABijection) {
+  const int n = GetParam();
+  std::vector<int> seen(traj::NumCandidates(n), 0);
+  for (const traj::Candidate& c : traj::GenerateCandidates(n)) {
+    const int index = BackwardFlatIndex(n, c);
+    ASSERT_GE(index, 0);
+    ASSERT_LT(index, traj::NumCandidates(n));
+    seen[index] += 1;
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST_P(GroupingSweep, BackwardFlattenMatchesGroupConcatenation) {
+  const int n = GetParam();
+  int flat = 0;
+  for (const Subgroup& g : BackwardGroups(n)) {
+    for (const traj::Candidate& c : g.members) {
+      EXPECT_EQ(BackwardFlatIndex(n, c), flat);
+      ++flat;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(StayCounts, GroupingSweep,
+                         ::testing::Values(2, 3, 5, 9, 14));
+
+// ---- Label processing. ----
+
+class LabelSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LabelSweep, LabelsAreSmoothedDistributions) {
+  const int n = GetParam();
+  const traj::Candidate loaded{0, n - 1};
+  for (const bool forward : {true, false}) {
+    const std::vector<float> label =
+        forward ? ForwardLabel(n, loaded) : BackwardLabel(n, loaded);
+    ASSERT_EQ(static_cast<int>(label.size()), traj::NumCandidates(n));
+    const float sum = std::accumulate(label.begin(), label.end(), 0.0f);
+    EXPECT_NEAR(sum, 1.0f, 1e-5);
+    const int hot = forward ? traj::CandidateFlatIndex(n, loaded)
+                            : BackwardFlatIndex(n, loaded);
+    for (int i = 0; i < static_cast<int>(label.size()); ++i) {
+      if (i == hot) {
+        EXPECT_GT(label[i], 0.9f);
+      } else {
+        EXPECT_FLOAT_EQ(label[i], kDefaultLabelEpsilon);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(StayCounts, LabelSweep,
+                         ::testing::Values(2, 5, 14));
+
+TEST(TopKTest, OrdersByProbability) {
+  Detection detection;
+  detection.num_stays = 3;
+  detection.candidates = traj::GenerateCandidates(3);  // (0,1),(0,2),(1,2)
+  detection.probabilities = {0.2f, 1.0f, 0.5f};
+  detection.loaded = detection.candidates[1];
+  const auto top2 = TopKCandidates(detection, 2);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_EQ(top2[0].first, (traj::Candidate{0, 2}));
+  EXPECT_FLOAT_EQ(top2[0].second, 1.0f);
+  EXPECT_EQ(top2[1].first, (traj::Candidate{1, 2}));
+  // k clamps to the candidate count; k <= 0 yields nothing.
+  EXPECT_EQ(TopKCandidates(detection, 99).size(), 3u);
+  EXPECT_TRUE(TopKCandidates(detection, 0).empty());
+}
+
+TEST(TopKTest, StableForTies) {
+  Detection detection;
+  detection.num_stays = 3;
+  detection.candidates = traj::GenerateCandidates(3);
+  detection.probabilities = {0.5f, 0.5f, 0.5f};
+  const auto top = TopKCandidates(detection, 3);
+  // Ties keep flatten order.
+  EXPECT_EQ(top[0].first, (traj::Candidate{0, 1}));
+  EXPECT_EQ(top[1].first, (traj::Candidate{0, 2}));
+  EXPECT_EQ(top[2].first, (traj::Candidate{1, 2}));
+}
+
+TEST(LabelTest, ForwardAndBackwardMarkSameCandidate) {
+  const int n = 6;
+  const traj::Candidate loaded{2, 4};
+  const std::vector<float> fwd = ForwardLabel(n, loaded);
+  const std::vector<float> bwd = BackwardLabel(n, loaded);
+  const int fwd_hot = static_cast<int>(
+      std::max_element(fwd.begin(), fwd.end()) - fwd.begin());
+  const int bwd_hot = static_cast<int>(
+      std::max_element(bwd.begin(), bwd.end()) - bwd.begin());
+  EXPECT_EQ(fwd_hot, traj::CandidateFlatIndex(n, loaded));
+  EXPECT_EQ(bwd_hot, BackwardFlatIndex(n, loaded));
+}
+
+}  // namespace
+}  // namespace lead::core

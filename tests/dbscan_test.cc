@@ -1,0 +1,146 @@
+// Tests for DBSCAN clustering over geographic points.
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geo/dbscan.h"
+
+namespace lead::geo {
+namespace {
+
+constexpr LatLng kOrigin{32.0, 120.9};
+
+// `count` points within `spread_m` of a center offset (east, north).
+void AddBlob(std::vector<LatLng>* points, double east, double north,
+             int count, double spread_m, Rng* rng) {
+  for (int i = 0; i < count; ++i) {
+    points->push_back(OffsetMeters(kOrigin, east + rng->Uniform(-spread_m,
+                                                                spread_m),
+                                   north + rng->Uniform(-spread_m,
+                                                        spread_m)));
+  }
+}
+
+TEST(DbscanTest, EmptyInput) {
+  const DbscanResult result = Dbscan({});
+  EXPECT_EQ(result.num_clusters, 0);
+  EXPECT_TRUE(result.labels.empty());
+}
+
+TEST(DbscanTest, SingleBlobIsOneCluster) {
+  Rng rng(1);
+  std::vector<LatLng> points;
+  AddBlob(&points, 0, 0, 12, 150, &rng);
+  const DbscanResult result = Dbscan(points, {.epsilon_m = 500,
+                                              .min_points = 3});
+  EXPECT_EQ(result.num_clusters, 1);
+  for (int label : result.labels) EXPECT_EQ(label, 0);
+  EXPECT_EQ(result.sizes[0], 12);
+  EXPECT_LT(DistanceMeters(result.centroids[0], kOrigin), 200.0);
+}
+
+TEST(DbscanTest, SeparatesDistantBlobsAndMarksNoise) {
+  Rng rng(2);
+  std::vector<LatLng> points;
+  AddBlob(&points, 0, 0, 10, 150, &rng);        // cluster A
+  AddBlob(&points, 8000, 0, 8, 150, &rng);      // cluster B
+  points.push_back(OffsetMeters(kOrigin, 4000, 4000));  // lone noise point
+  const DbscanResult result = Dbscan(points, {.epsilon_m = 500,
+                                              .min_points = 3});
+  EXPECT_EQ(result.num_clusters, 2);
+  EXPECT_EQ(result.labels.back(), kNoise);
+  // First blob discovered first -> label 0.
+  EXPECT_EQ(result.labels[0], 0);
+  EXPECT_EQ(result.labels[12], 1);
+  EXPECT_EQ(result.sizes[0], 10);
+  EXPECT_EQ(result.sizes[1], 8);
+}
+
+TEST(DbscanTest, MinPointsControlsCoreFormation) {
+  Rng rng(3);
+  std::vector<LatLng> points;
+  AddBlob(&points, 0, 0, 4, 100, &rng);
+  // min_points larger than the blob: everything is noise.
+  const DbscanResult strict = Dbscan(points, {.epsilon_m = 500,
+                                              .min_points = 6});
+  EXPECT_EQ(strict.num_clusters, 0);
+  for (int label : strict.labels) EXPECT_EQ(label, kNoise);
+  // Permissive: one cluster.
+  const DbscanResult loose = Dbscan(points, {.epsilon_m = 500,
+                                             .min_points = 2});
+  EXPECT_EQ(loose.num_clusters, 1);
+}
+
+TEST(DbscanTest, ChainsMergeThroughCorePoints) {
+  // A line of points 300 m apart with eps 500: density-connected into one
+  // cluster even though the ends are km apart.
+  std::vector<LatLng> points;
+  for (int i = 0; i < 15; ++i) {
+    points.push_back(OffsetMeters(kOrigin, i * 300.0, 0));
+  }
+  const DbscanResult result = Dbscan(points, {.epsilon_m = 500,
+                                              .min_points = 3});
+  EXPECT_EQ(result.num_clusters, 1);
+  EXPECT_EQ(result.sizes[0], 15);
+}
+
+TEST(DbscanTest, MatchesBruteForceOnRandomInput) {
+  // Property: cluster co-membership must match a brute-force DBSCAN.
+  Rng rng(4);
+  std::vector<LatLng> points;
+  AddBlob(&points, 0, 0, 20, 400, &rng);
+  AddBlob(&points, 5000, 2000, 15, 400, &rng);
+  AddBlob(&points, -4000, -3000, 5, 2500, &rng);  // sparse: partly noise
+  const DbscanOptions options{.epsilon_m = 600, .min_points = 4};
+  const DbscanResult fast = Dbscan(points, options);
+
+  // Brute force.
+  const int n = static_cast<int>(points.size());
+  auto neighbours = [&](int i) {
+    std::vector<int> out;
+    for (int j = 0; j < n; ++j) {
+      if (DistanceMeters(points[i], points[j]) <= options.epsilon_m) {
+        out.push_back(j);
+      }
+    }
+    return out;
+  };
+  std::vector<int> slow(n, -2);
+  int clusters = 0;
+  for (int i = 0; i < n; ++i) {
+    if (slow[i] != -2) continue;
+    auto nb = neighbours(i);
+    if (static_cast<int>(nb.size()) < options.min_points) {
+      slow[i] = kNoise;
+      continue;
+    }
+    const int cluster = clusters++;
+    slow[i] = cluster;
+    std::vector<int> frontier = nb;
+    while (!frontier.empty()) {
+      const int j = frontier.back();
+      frontier.pop_back();
+      if (slow[j] == kNoise) slow[j] = cluster;
+      if (slow[j] != -2) continue;
+      slow[j] = cluster;
+      auto nj = neighbours(j);
+      if (static_cast<int>(nj.size()) >= options.min_points) {
+        frontier.insert(frontier.end(), nj.begin(), nj.end());
+      }
+    }
+  }
+  ASSERT_EQ(fast.num_clusters, clusters);
+  // Same noise set and same co-membership relation.
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(fast.labels[i] == kNoise, slow[i] == kNoise) << i;
+    for (int j = i + 1; j < n; ++j) {
+      if (fast.labels[i] == kNoise || fast.labels[j] == kNoise) continue;
+      EXPECT_EQ(fast.labels[i] == fast.labels[j], slow[i] == slow[j])
+          << i << "," << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lead::geo

@@ -1,0 +1,144 @@
+// Tests for the evaluation harness: config scaling, method evaluation and
+// table formatting.
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "eval/harness.h"
+
+namespace lead::eval {
+namespace {
+
+TEST(DefaultConfigTest, ScalesCorpusLinearly) {
+  const ExperimentConfig small = DefaultConfig(1.0);
+  const ExperimentConfig large = DefaultConfig(2.0);
+  EXPECT_EQ(small.dataset.num_trajectories, 360);
+  EXPECT_EQ(large.dataset.num_trajectories, 720);
+  EXPECT_GT(large.dataset.num_trucks, small.dataset.num_trucks);
+  // Paper-faithful 2-minute sampling at scale >= 2.
+  EXPECT_DOUBLE_EQ(large.sim.sample_interval_mean_s, 120.0);
+  EXPECT_GT(small.sim.sample_interval_mean_s, 120.0);
+}
+
+TEST(DefaultConfigTest, FloorsTinyScales) {
+  const ExperimentConfig tiny = DefaultConfig(0.01);
+  EXPECT_GE(tiny.dataset.num_trajectories, 60);
+  EXPECT_GE(tiny.dataset.num_trucks, 30);
+}
+
+TEST(BenchScaleTest, ReadsEnvironment) {
+  unsetenv("LEAD_BENCH_SCALE");
+  EXPECT_DOUBLE_EQ(BenchScaleFromEnv(), 1.0);
+  setenv("LEAD_BENCH_SCALE", "2.5", 1);
+  EXPECT_DOUBLE_EQ(BenchScaleFromEnv(), 2.5);
+  setenv("LEAD_BENCH_SCALE", "garbage", 1);
+  EXPECT_DOUBLE_EQ(BenchScaleFromEnv(), 1.0);
+  unsetenv("LEAD_BENCH_SCALE");
+}
+
+std::vector<sim::SimulatedDay> FakeTestSet() {
+  std::vector<sim::SimulatedDay> days(4);
+  days[0].num_stay_points = 4;
+  days[0].loaded_label = {1, 2};
+  days[0].raw.trajectory_id = "a";
+  days[1].num_stay_points = 7;
+  days[1].loaded_label = {2, 4};
+  days[1].raw.trajectory_id = "b";
+  days[2].num_stay_points = 10;
+  days[2].loaded_label = {3, 6};
+  days[2].raw.trajectory_id = "c";
+  days[3].num_stay_points = 13;
+  days[3].loaded_label = {5, 9};
+  days[3].raw.trajectory_id = "d";
+  return days;
+}
+
+TEST(EvaluateMethodTest, CountsHitsAndErrors) {
+  const auto test = FakeTestSet();
+  int calls = 0;
+  const MethodResult result = EvaluateMethod(
+      "fake", test,
+      [&](const traj::RawTrajectory& raw) -> StatusOr<traj::Candidate> {
+        ++calls;
+        if (raw.trajectory_id == "a") return traj::Candidate{1, 2};  // hit
+        if (raw.trajectory_id == "b") return traj::Candidate{0, 1};  // miss
+        if (raw.trajectory_id == "c") return InternalError("boom");
+        return traj::Candidate{5, 9};  // hit
+      });
+  EXPECT_EQ(calls, 4);
+  EXPECT_EQ(result.errors, 1);
+  EXPECT_EQ(result.accuracy.overall().total, 4);
+  EXPECT_EQ(result.accuracy.overall().hits, 2);
+  EXPECT_EQ(result.accuracy.bucket(0).hits, 1);
+  EXPECT_EQ(result.accuracy.bucket(1).hits, 0);
+  EXPECT_EQ(result.accuracy.bucket(2).hits, 0);  // error counts as miss
+  EXPECT_EQ(result.accuracy.bucket(3).hits, 1);
+}
+
+TEST(FormatAccuracyTableTest, ContainsMethodsAndBuckets) {
+  const auto test = FakeTestSet();
+  MethodResult result;
+  result.name = "LEAD";
+  result.accuracy.Add(4, true);
+  result.accuracy.Add(7, false);
+  const std::string table = FormatAccuracyTable({result}, test);
+  EXPECT_NE(table.find("LEAD"), std::string::npos);
+  EXPECT_NE(table.find("3~5"), std::string::npos);
+  EXPECT_NE(table.find("12~14"), std::string::npos);
+  EXPECT_NE(table.find("3~14"), std::string::npos);
+  EXPECT_NE(table.find("100.0"), std::string::npos);  // bucket 0 accuracy
+}
+
+TEST(FormatTimingTableTest, FormatsSeconds) {
+  MethodResult result;
+  result.name = "SP-R";
+  result.timing.Add(4, 0.5);
+  const std::string table = FormatTimingTable({result});
+  EXPECT_NE(table.find("SP-R"), std::string::npos);
+  EXPECT_NE(table.find("0.5000"), std::string::npos);
+}
+
+TEST(FormatLossCurveTest, ReportsMinimum) {
+  const std::string curve = FormatLossCurve("test", {0.5f, 0.2f, 0.3f});
+  EXPECT_NE(curve.find("epoch  2"), std::string::npos);
+  EXPECT_NE(curve.find("minimized at epoch 2"), std::string::npos);
+  EXPECT_NE(curve.find("0.200"), std::string::npos);
+  // Empty curve: no crash, no minimum line.
+  const std::string empty = FormatLossCurve("empty", {});
+  EXPECT_EQ(empty.find("minimized"), std::string::npos);
+}
+
+TEST(DetectionBreakdownTest, EndpointAndIouAccounting) {
+  DetectionBreakdown b;
+  b.Add(1, 4, 1, 4);  // exact: both endpoints right, IoU 1
+  b.Add(1, 3, 1, 4);  // loading right, IoU 3/4
+  b.Add(0, 4, 1, 4);  // unloading right, IoU 4/5
+  b.Add(5, 6, 1, 4);  // disjoint: IoU 0
+  EXPECT_EQ(b.total(), 4);
+  EXPECT_DOUBLE_EQ(b.loading_accuracy_pct(), 50.0);
+  EXPECT_DOUBLE_EQ(b.unloading_accuracy_pct(), 50.0);
+  EXPECT_NEAR(b.mean_interval_iou(), (1.0 + 0.75 + 0.8 + 0.0) / 4, 1e-9);
+}
+
+TEST(FormatBreakdownTableTest, FormatsDiagnostics) {
+  MethodResult result;
+  result.name = "LEAD";
+  result.breakdown.Add(1, 4, 1, 4);
+  result.errors = 2;
+  const std::string table = FormatBreakdownTable({result});
+  EXPECT_NE(table.find("LEAD"), std::string::npos);
+  EXPECT_NE(table.find("100.0"), std::string::npos);
+  EXPECT_NE(table.find("1.000"), std::string::npos);
+  EXPECT_NE(table.find("2"), std::string::npos);
+}
+
+TEST(ToLabeledTest, CarriesRawAndLabel) {
+  const auto days = FakeTestSet();
+  const auto labeled = ToLabeled(days);
+  ASSERT_EQ(labeled.size(), days.size());
+  EXPECT_EQ(labeled[2].raw.trajectory_id, "c");
+  EXPECT_EQ(labeled[2].loaded, (traj::Candidate{3, 6}));
+}
+
+}  // namespace
+}  // namespace lead::eval

@@ -1,0 +1,80 @@
+// Unit tests for the geodesy substrate.
+#include <gtest/gtest.h>
+
+#include "geo/latlng.h"
+
+namespace lead::geo {
+namespace {
+
+TEST(DistanceTest, ZeroForIdenticalPoints) {
+  const LatLng p{32.0, 120.9};
+  EXPECT_NEAR(DistanceMeters(p, p), 0.0, 1e-9);
+}
+
+TEST(DistanceTest, KnownDistanceOneDegreeLatitude) {
+  // One degree of latitude is ~111.2 km.
+  const LatLng a{31.5, 120.9};
+  const LatLng b{32.5, 120.9};
+  EXPECT_NEAR(DistanceMeters(a, b), 111195.0, 200.0);
+}
+
+TEST(DistanceTest, LongitudeShrinksWithLatitude) {
+  const LatLng eq_a{0.0, 100.0};
+  const LatLng eq_b{0.0, 101.0};
+  const LatLng mid_a{60.0, 100.0};
+  const LatLng mid_b{60.0, 101.0};
+  EXPECT_NEAR(DistanceMeters(mid_a, mid_b),
+              DistanceMeters(eq_a, eq_b) * 0.5, 500.0);
+}
+
+TEST(DistanceTest, Symmetric) {
+  const LatLng a{31.9, 120.7};
+  const LatLng b{32.1, 121.1};
+  EXPECT_NEAR(DistanceMeters(a, b), DistanceMeters(b, a), 1e-6);
+}
+
+TEST(OffsetTest, RoundTripsWithToLocalMeters) {
+  const LatLng origin{32.0, 120.9};
+  const LatLng moved = OffsetMeters(origin, 1234.0, -567.0);
+  const EastNorth local = ToLocalMeters(origin, moved);
+  EXPECT_NEAR(local.east_m, 1234.0, 1.5);
+  EXPECT_NEAR(local.north_m, -567.0, 1.5);
+}
+
+TEST(OffsetTest, DistanceMatchesOffsetMagnitude) {
+  const LatLng origin{32.0, 120.9};
+  const LatLng moved = OffsetMeters(origin, 300.0, 400.0);
+  EXPECT_NEAR(DistanceMeters(origin, moved), 500.0, 2.0);
+}
+
+TEST(InterpolateTest, EndpointsAndMidpoint) {
+  const LatLng a{31.0, 120.0};
+  const LatLng b{33.0, 122.0};
+  EXPECT_EQ(Interpolate(a, b, 0.0), a);
+  EXPECT_EQ(Interpolate(a, b, 1.0), b);
+  const LatLng mid = Interpolate(a, b, 0.5);
+  EXPECT_NEAR(mid.lat, 32.0, 1e-9);
+  EXPECT_NEAR(mid.lng, 121.0, 1e-9);
+}
+
+TEST(BearingTest, CardinalDirections) {
+  const LatLng origin{32.0, 120.9};
+  EXPECT_NEAR(InitialBearingRad(origin, OffsetMeters(origin, 0, 1000)), 0.0,
+              1e-3);  // north
+  EXPECT_NEAR(InitialBearingRad(origin, OffsetMeters(origin, 1000, 0)),
+              M_PI / 2, 1e-3);  // east
+}
+
+TEST(BoundingBoxTest, ContainsAndExpand) {
+  const BoundingBox box{{31.9, 120.8}, {32.1, 121.0}};
+  EXPECT_TRUE(box.Contains({32.0, 120.9}));
+  EXPECT_FALSE(box.Contains({32.2, 120.9}));
+  EXPECT_FALSE(box.Contains({32.0, 121.1}));
+  const BoundingBox bigger = Expand(box, 5000.0);
+  EXPECT_TRUE(bigger.Contains({32.14, 121.04}));
+  EXPECT_GT(box.width_deg(), 0.0);
+  EXPECT_GT(box.height_deg(), 0.0);
+}
+
+}  // namespace
+}  // namespace lead::geo

@@ -1,0 +1,109 @@
+// Tests for GeoJSON export.
+#include <gtest/gtest.h>
+
+#include "io/geojson.h"
+#include "traj/stay_point.h"
+
+namespace lead::io {
+namespace {
+
+constexpr geo::LatLng kOrigin{32.0, 120.9};
+
+traj::RawTrajectory ThreeStayTrack() {
+  traj::RawTrajectory t;
+  t.trajectory_id = "gj";
+  int64_t time = 0;
+  auto stay = [&](double east) {
+    for (int i = 0; i < 6; ++i) {
+      t.points.push_back({geo::OffsetMeters(kOrigin, east + 5 * i, 0), time});
+      time += 240;
+    }
+  };
+  auto move = [&](double from, double to) {
+    for (double e = from + 1500; e < to - 700; e += 1500) {
+      t.points.push_back({geo::OffsetMeters(kOrigin, e, 0), time});
+      time += 120;
+    }
+  };
+  stay(0);
+  move(0, 9000);
+  stay(9000);
+  move(9000, 18000);
+  stay(18000);
+  return t;
+}
+
+TEST(JsonEscapeTest, EscapesSpecials) {
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape(std::string("x\x01y", 3)), "x\\u0001y");
+}
+
+TEST(GeoJsonWriterTest, EmptyCollectionIsValid) {
+  GeoJsonWriter writer;
+  EXPECT_EQ(writer.ToString(),
+            "{\"type\":\"FeatureCollection\",\"features\":[]}");
+}
+
+TEST(GeoJsonWriterTest, PointAndLineStringStructure) {
+  GeoJsonWriter writer;
+  writer.AddPoint(kOrigin, "\"name\":\"x\"");
+  const traj::RawTrajectory t = ThreeStayTrack();
+  writer.AddLineString(t.points, traj::IndexRange{0, 3}, "\"kind\":\"seg\"");
+  const std::string json = writer.ToString();
+  EXPECT_EQ(writer.feature_count(), 2);
+  EXPECT_NE(json.find("\"type\":\"Point\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"LineString\""), std::string::npos);
+  // Longitude first.
+  EXPECT_NE(json.find("[120.9"), std::string::npos);
+  // Balanced braces (crude well-formedness check).
+  int depth = 0;
+  for (char c : json) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(GeoJsonExportTest, DetectionHasAllPhases) {
+  const traj::RawTrajectory t = ThreeStayTrack();
+  const traj::Segmentation seg =
+      traj::Segment(t, traj::ExtractStayPoints(t));
+  ASSERT_EQ(seg.num_stays(), 3);
+  GeoJsonWriter writer;
+  AddDetection(t, seg, traj::Candidate{0, 1}, &writer);
+  const std::string json = writer.ToString();
+  EXPECT_NE(json.find("loaded_trajectory"), std::string::npos);
+  EXPECT_NE(json.find("loading_stay_point"), std::string::npos);
+  EXPECT_NE(json.find("unloading_stay_point"), std::string::npos);
+  EXPECT_NE(json.find("ordinary_stay_point"), std::string::npos);
+  // Candidate (0,1): no phase-1 line (track starts in the first stay),
+  // but a phase-3 line must exist.
+  EXPECT_NE(json.find("\"phase\":3"), std::string::npos);
+}
+
+TEST(GeoJsonExportTest, TrajectoryAndPois) {
+  GeoJsonWriter writer;
+  AddTrajectory(ThreeStayTrack(), &writer);
+  std::vector<poi::Poi> pois = {
+      {1, poi::Category::kChemicalFactory, kOrigin}};
+  AddPois(pois, &writer);
+  const std::string json = writer.ToString();
+  EXPECT_NE(json.find("raw_trajectory"), std::string::npos);
+  EXPECT_NE(json.find("chemical_factory"), std::string::npos);
+}
+
+TEST(GeoJsonExportTest, WritesToFile) {
+  GeoJsonWriter writer;
+  writer.AddPoint(kOrigin, "\"a\":1");
+  const std::string path = ::testing::TempDir() + "/lead_geojson_test.json";
+  ASSERT_TRUE(writer.WriteToFile(path).ok());
+  std::remove(path.c_str());
+  EXPECT_FALSE(writer.WriteToFile("/nonexistent/nope/x.json").ok());
+}
+
+}  // namespace
+}  // namespace lead::io

@@ -1,0 +1,125 @@
+// Tests for GPX ingestion/export and ISO-8601 parsing.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "io/gpx.h"
+
+namespace lead::io {
+namespace {
+
+TEST(Iso8601Test, ParsesKnownTimes) {
+  // 2020-09-01T00:00:00Z == 1598918400.
+  auto t = ParseIso8601Utc("2020-09-01T00:00:00Z");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(*t, 1598918400);
+  t = ParseIso8601Utc("1970-01-01T00:00:00Z");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(*t, 0);
+  t = ParseIso8601Utc("2020-02-29T12:30:45Z");  // leap day
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(*t, 1582979445);
+}
+
+TEST(Iso8601Test, ToleratesFractionalSeconds) {
+  auto t = ParseIso8601Utc("2020-09-01T00:00:00.500Z");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(*t, 1598918400);
+}
+
+TEST(Iso8601Test, RejectsGarbageAndNonUtc) {
+  EXPECT_FALSE(ParseIso8601Utc("not a time").ok());
+  EXPECT_FALSE(ParseIso8601Utc("2020-13-01T00:00:00Z").ok());
+  EXPECT_FALSE(ParseIso8601Utc("2020-09-01T00:00:00+08:00").ok());
+}
+
+TEST(Iso8601Test, FormatRoundTrips) {
+  for (const int64_t t : {0LL, 1598918400LL, 1600000123LL}) {
+    auto parsed = ParseIso8601Utc(FormatIso8601Utc(t));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, t);
+  }
+}
+
+TEST(GpxTest, ParsesMinimalDocument) {
+  std::stringstream in(R"(<?xml version="1.0"?>
+<gpx version="1.1" creator="test">
+<trk><name>truck_7_day_0</name><trkseg>
+<trkpt lat="32.0100000" lon="120.9000000"><time>2020-09-01T08:00:00Z</time></trkpt>
+<trkpt lat="32.0110000" lon="120.9010000"><time>2020-09-01T08:02:00Z</time></trkpt>
+</trkseg></trk>
+</gpx>)");
+  auto tracks = ReadGpx(in);
+  ASSERT_TRUE(tracks.ok()) << tracks.status();
+  ASSERT_EQ(tracks->size(), 1u);
+  const traj::RawTrajectory& t = (*tracks)[0];
+  EXPECT_EQ(t.trajectory_id, "truck_7_day_0");
+  ASSERT_EQ(t.points.size(), 2u);
+  EXPECT_NEAR(t.points[0].pos.lat, 32.01, 1e-6);
+  EXPECT_EQ(t.points[1].t - t.points[0].t, 120);
+}
+
+TEST(GpxTest, UnnamedTracksGetGeneratedIds) {
+  std::stringstream in(
+      "<gpx><trk><trkseg>"
+      "<trkpt lat=\"32.0\" lon=\"120.9\"><time>2020-09-01T08:00:00Z</time>"
+      "</trkpt></trkseg></trk>"
+      "<trk><trkseg>"
+      "<trkpt lat=\"32.1\" lon=\"121.0\"><time>2020-09-01T09:00:00Z</time>"
+      "</trkpt></trkseg></trk></gpx>");
+  auto tracks = ReadGpx(in);
+  ASSERT_TRUE(tracks.ok()) << tracks.status();
+  ASSERT_EQ(tracks->size(), 2u);
+  EXPECT_EQ((*tracks)[0].trajectory_id, "gpx_track_0");
+  EXPECT_EQ((*tracks)[1].trajectory_id, "gpx_track_1");
+}
+
+TEST(GpxTest, RejectsMalformedDocuments) {
+  std::stringstream not_gpx("<kml></kml>");
+  EXPECT_FALSE(ReadGpx(not_gpx).ok());
+  std::stringstream no_time(
+      "<gpx><trk><trkseg><trkpt lat=\"32.0\" lon=\"120.9\"></trkpt>"
+      "</trkseg></trk></gpx>");
+  EXPECT_FALSE(ReadGpx(no_time).ok());
+  std::stringstream no_coords(
+      "<gpx><trk><trkseg><trkpt><time>2020-09-01T08:00:00Z</time></trkpt>"
+      "</trkseg></trk></gpx>");
+  EXPECT_FALSE(ReadGpx(no_coords).ok());
+  std::stringstream unterminated("<gpx><trk><trkseg>");
+  EXPECT_FALSE(ReadGpx(unterminated).ok());
+}
+
+TEST(GpxTest, WriteReadRoundTrip) {
+  traj::RawTrajectory t;
+  t.trajectory_id = "rt<&>";  // exercises XML escaping
+  t.truck_id = "rt<&>";
+  t.points = {
+      {{32.0123456, 120.9876543}, 1598918400},
+      {{32.0130000, 120.9880000}, 1598918520},
+  };
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteGpx({t}, buffer).ok());
+  auto back = ReadGpx(buffer);
+  ASSERT_TRUE(back.ok()) << back.status();
+  ASSERT_EQ(back->size(), 1u);
+  ASSERT_EQ((*back)[0].points.size(), 2u);
+  EXPECT_NEAR((*back)[0].points[0].pos.lat, 32.0123456, 1e-6);
+  EXPECT_NEAR((*back)[0].points[1].pos.lng, 120.988, 1e-6);
+  EXPECT_EQ((*back)[0].points[0].t, 1598918400);
+}
+
+TEST(GpxTest, FileRoundTrip) {
+  traj::RawTrajectory t;
+  t.trajectory_id = "file_track";
+  t.points = {{{32.0, 120.9}, 100}};
+  const std::string path = ::testing::TempDir() + "/lead_gpx_test.gpx";
+  ASSERT_TRUE(WriteGpxToFile({t}, path).ok());
+  auto back = ReadGpxFromFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->size(), 1u);
+  std::remove(path.c_str());
+  EXPECT_FALSE(ReadGpxFromFile("/nonexistent.gpx").ok());
+}
+
+}  // namespace
+}  // namespace lead::io

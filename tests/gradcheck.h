@@ -1,0 +1,54 @@
+// Central-difference gradient checking utilities for nn tests.
+#ifndef LEAD_TESTS_GRADCHECK_H_
+#define LEAD_TESTS_GRADCHECK_H_
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/module.h"
+#include "nn/variable.h"
+
+namespace lead::testing {
+
+// Verifies the analytic gradients of `loss_fn` (a scalar-valued graph
+// builder over `module`'s parameters) against central differences on a
+// random sample of parameter entries.
+inline void ExpectGradientsMatch(nn::Module* module,
+                                 const std::function<nn::Variable()>& loss_fn,
+                                 int checks_per_param = 4,
+                                 float step = 5e-3f, float rtol = 8e-2f,
+                                 float atol = 2e-4f) {
+  module->ZeroGrad();
+  const nn::Variable loss = loss_fn();
+  nn::Backward(loss);
+
+  Rng rng(12345);
+  for (nn::Variable& param : module->Parameters()) {
+    const int n = param.value().size();
+    for (int check = 0; check < checks_per_param; ++check) {
+      const int i = rng.UniformInt(0, n - 1);
+      const float analytic = param.grad().data()[i];
+      float* entry = &param.mutable_value().data()[i];
+      const float original = *entry;
+      *entry = original + step;
+      const float up = loss_fn().value().at(0, 0);
+      *entry = original - step;
+      const float down = loss_fn().value().at(0, 0);
+      *entry = original;
+      const float numeric = (up - down) / (2.0f * step);
+      const float tolerance =
+          atol + rtol * std::max(std::fabs(analytic), std::fabs(numeric));
+      EXPECT_NEAR(analytic, numeric, tolerance)
+          << "parameter entry " << i << " (analytic " << analytic
+          << " vs numeric " << numeric << ")";
+    }
+  }
+}
+
+}  // namespace lead::testing
+
+#endif  // LEAD_TESTS_GRADCHECK_H_

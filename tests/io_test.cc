@@ -1,0 +1,147 @@
+// Tests for CSV persistence.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "io/csv.h"
+
+namespace lead::io {
+namespace {
+
+std::vector<traj::RawTrajectory> SampleTrajectories() {
+  std::vector<traj::RawTrajectory> trajectories(2);
+  trajectories[0].trajectory_id = "t1";
+  trajectories[0].truck_id = "truck_a";
+  trajectories[0].points = {
+      {{32.0123456, 120.9876543}, 1000},
+      {{32.0130000, 120.9880000}, 1120},
+  };
+  trajectories[1].trajectory_id = "t2";
+  trajectories[1].truck_id = "truck_b";
+  trajectories[1].points = {
+      {{31.95, 120.80}, 2000},
+  };
+  return trajectories;
+}
+
+TEST(TrajectoryCsvTest, RoundTrips) {
+  const auto original = SampleTrajectories();
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteTrajectories(original, buffer).ok());
+  auto loaded = ReadTrajectories(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ((*loaded)[0].trajectory_id, "t1");
+  EXPECT_EQ((*loaded)[0].truck_id, "truck_a");
+  ASSERT_EQ((*loaded)[0].points.size(), 2u);
+  EXPECT_NEAR((*loaded)[0].points[0].pos.lat, 32.0123456, 1e-6);
+  EXPECT_EQ((*loaded)[0].points[1].t, 1120);
+  EXPECT_EQ((*loaded)[1].points.size(), 1u);
+}
+
+TEST(TrajectoryCsvTest, RejectsMissingHeader) {
+  std::stringstream buffer("a,b,1,2,3\n");
+  EXPECT_FALSE(ReadTrajectories(buffer).ok());
+}
+
+TEST(TrajectoryCsvTest, RejectsNonContiguousRows) {
+  std::stringstream buffer(
+      "trajectory_id,truck_id,lat,lng,t\n"
+      "t1,a,32.0,120.9,100\n"
+      "t2,b,32.0,120.9,100\n"
+      "t1,a,32.0,120.9,200\n");
+  const auto result = ReadTrajectories(buffer);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(TrajectoryCsvTest, RejectsNonIncreasingTimestamps) {
+  std::stringstream buffer(
+      "trajectory_id,truck_id,lat,lng,t\n"
+      "t1,a,32.0,120.9,100\n"
+      "t1,a,32.0,120.9,100\n");
+  EXPECT_FALSE(ReadTrajectories(buffer).ok());
+}
+
+TEST(TrajectoryCsvTest, RejectsGarbageFields) {
+  std::stringstream buffer(
+      "trajectory_id,truck_id,lat,lng,t\n"
+      "t1,a,not_a_number,120.9,100\n");
+  EXPECT_FALSE(ReadTrajectories(buffer).ok());
+  std::stringstream missing(
+      "trajectory_id,truck_id,lat,lng,t\n"
+      "t1,a,32.0,120.9\n");
+  EXPECT_FALSE(ReadTrajectories(missing).ok());
+}
+
+TEST(PoiCsvTest, RoundTrips) {
+  std::vector<poi::Poi> pois = {
+      {7, poi::Category::kChemicalFactory, {32.01, 120.98}},
+      {8, poi::Category::kRestaurant, {31.99, 120.91}},
+  };
+  std::stringstream buffer;
+  ASSERT_TRUE(WritePois(pois, buffer).ok());
+  auto loaded = ReadPois(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ((*loaded)[0].id, 7);
+  EXPECT_EQ((*loaded)[0].category, poi::Category::kChemicalFactory);
+  EXPECT_EQ((*loaded)[1].category, poi::Category::kRestaurant);
+  EXPECT_NEAR((*loaded)[1].pos.lng, 120.91, 1e-6);
+}
+
+TEST(PoiCsvTest, RejectsUnknownCategory) {
+  std::stringstream buffer(
+      "id,category,lat,lng\n"
+      "1,flying_saucer_pad,32.0,120.9\n");
+  EXPECT_FALSE(ReadPois(buffer).ok());
+}
+
+TEST(PoiCsvTest, CategoryNameRoundTripsForAllCategories) {
+  for (int c = 0; c < poi::kNumCategories; ++c) {
+    const auto category = static_cast<poi::Category>(c);
+    auto parsed = CategoryFromName(poi::CategoryName(category));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, category);
+  }
+  EXPECT_FALSE(CategoryFromName("nope").ok());
+}
+
+TEST(LabelCsvTest, RoundTrips) {
+  LabelMap labels = {
+      {"t1", traj::Candidate{1, 4}},
+      {"t2", traj::Candidate{0, 2}},
+  };
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteLabels(labels, buffer).ok());
+  auto loaded = ReadLabels(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->size(), 2u);
+  EXPECT_EQ(loaded->at("t1"), (traj::Candidate{1, 4}));
+  EXPECT_EQ(loaded->at("t2"), (traj::Candidate{0, 2}));
+}
+
+TEST(LabelCsvTest, RejectsInvalidPairsAndDuplicates) {
+  std::stringstream reversed(
+      "trajectory_id,loading_sp,unloading_sp\n"
+      "t1,4,1\n");
+  EXPECT_FALSE(ReadLabels(reversed).ok());
+  std::stringstream duplicate(
+      "trajectory_id,loading_sp,unloading_sp\n"
+      "t1,0,1\n"
+      "t1,0,2\n");
+  EXPECT_FALSE(ReadLabels(duplicate).ok());
+}
+
+TEST(FileIoTest, RoundTripsThroughDisk) {
+  const std::string dir = ::testing::TempDir();
+  const auto original = SampleTrajectories();
+  ASSERT_TRUE(
+      WriteTrajectoriesToFile(original, dir + "/io_test_traj.csv").ok());
+  auto loaded = ReadTrajectoriesFromFile(dir + "/io_test_traj.csv");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), original.size());
+  EXPECT_FALSE(ReadTrajectoriesFromFile("/nonexistent/nope.csv").ok());
+}
+
+}  // namespace
+}  // namespace lead::io

@@ -1,0 +1,201 @@
+// Gradient checks and behavioural tests for nn layers.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "gradcheck.h"
+#include "nn/attention.h"
+#include "nn/gru.h"
+#include "nn/linear.h"
+#include "nn/lstm.h"
+#include "nn/ops.h"
+
+namespace lead::nn {
+namespace {
+
+using ::lead::testing::ExpectGradientsMatch;
+
+Matrix RandomInput(int rows, int cols, uint64_t seed) {
+  Rng rng(seed);
+  return Matrix::Uniform(rows, cols, 1.0f, &rng);
+}
+
+TEST(LinearTest, ShapesAndBias) {
+  Rng rng(1);
+  Linear linear(3, 2, &rng);
+  const Variable x = Variable::Constant(Matrix::Zeros(4, 3));
+  const Variable y = linear.Forward(x);
+  EXPECT_EQ(y.rows(), 4);
+  EXPECT_EQ(y.cols(), 2);
+  // Zero input -> bias (zero-initialized).
+  EXPECT_FLOAT_EQ(y.value().at(0, 0), 0.0f);
+}
+
+TEST(LinearTest, GradCheck) {
+  Rng rng(2);
+  Linear linear(3, 2, &rng);
+  const Variable x = Variable::Constant(RandomInput(5, 3, 11));
+  const Variable target = Variable::Constant(RandomInput(5, 2, 12));
+  ExpectGradientsMatch(&linear, [&] {
+    return MseLoss(linear.Forward(x), target);
+  });
+}
+
+TEST(LstmTest, ForwardShapes) {
+  Rng rng(3);
+  LstmCell lstm(4, 8, &rng);
+  const Variable x = Variable::Constant(RandomInput(6, 4, 13));
+  const Variable h = lstm.ForwardSequence(x);
+  EXPECT_EQ(h.rows(), 6);
+  EXPECT_EQ(h.cols(), 8);
+}
+
+TEST(LstmTest, HiddenStatesBounded) {
+  Rng rng(4);
+  LstmCell lstm(4, 8, &rng);
+  const Variable x = Variable::Constant(RandomInput(20, 4, 14));
+  const Variable h = lstm.ForwardSequence(x);
+  for (int i = 0; i < h.value().size(); ++i) {
+    EXPECT_LT(std::fabs(h.value().data()[i]), 1.0f);
+  }
+}
+
+TEST(LstmTest, StepMatchesForwardSequence) {
+  Rng rng(5);
+  LstmCell lstm(3, 5, &rng);
+  const Matrix input = RandomInput(4, 3, 15);
+  const Variable x = Variable::Constant(input);
+  const Variable seq_out = lstm.ForwardSequence(x);
+  LstmCell::State state = lstm.InitialState();
+  for (int t = 0; t < 4; ++t) {
+    Matrix row(1, 3);
+    for (int c = 0; c < 3; ++c) row.at(0, c) = input.at(t, c);
+    state = lstm.Step(Variable::Constant(row), state);
+    for (int c = 0; c < 5; ++c) {
+      EXPECT_NEAR(state.h.value().at(0, c), seq_out.value().at(t, c), 1e-5);
+    }
+  }
+}
+
+TEST(LstmTest, GradCheckSequence) {
+  Rng rng(6);
+  LstmCell lstm(3, 4, &rng);
+  const Variable x = Variable::Constant(RandomInput(5, 3, 16));
+  const Variable target = Variable::Constant(RandomInput(5, 4, 17));
+  ExpectGradientsMatch(&lstm, [&] {
+    return MseLoss(lstm.ForwardSequence(x), target);
+  });
+}
+
+TEST(LstmTest, GradCheckConstantInput) {
+  Rng rng(7);
+  LstmCell lstm(4, 4, &rng);
+  const Variable v = Variable::Constant(RandomInput(1, 4, 18));
+  const Variable target = Variable::Constant(RandomInput(6, 4, 19));
+  ExpectGradientsMatch(&lstm, [&] {
+    return MseLoss(lstm.ForwardConstantInput(v, 6), target);
+  });
+}
+
+TEST(BiLstmTest, OutputConcatsBothDirections) {
+  Rng rng(8);
+  BiLstm bilstm(3, 4, &rng);
+  const Variable x = Variable::Constant(RandomInput(5, 3, 20));
+  const Variable y = bilstm.Forward(x);
+  EXPECT_EQ(y.rows(), 5);
+  EXPECT_EQ(y.cols(), 8);
+}
+
+TEST(BiLstmTest, GradCheck) {
+  Rng rng(9);
+  BiLstm bilstm(3, 3, &rng);
+  const Variable x = Variable::Constant(RandomInput(4, 3, 21));
+  const Variable target = Variable::Constant(RandomInput(4, 6, 22));
+  ExpectGradientsMatch(&bilstm, [&] {
+    return MseLoss(bilstm.Forward(x), target);
+  });
+}
+
+TEST(BiLstmTest, SingleStepSequenceWorks) {
+  Rng rng(10);
+  BiLstm bilstm(3, 4, &rng);
+  const Variable x = Variable::Constant(RandomInput(1, 3, 23));
+  const Variable y = bilstm.Forward(x);
+  EXPECT_EQ(y.rows(), 1);
+  EXPECT_EQ(y.cols(), 8);
+}
+
+TEST(GruTest, ForwardShapes) {
+  Rng rng(11);
+  GruCell gru(4, 6, &rng);
+  const Variable x = Variable::Constant(RandomInput(7, 4, 24));
+  const Variable h = gru.ForwardSequence(x);
+  EXPECT_EQ(h.rows(), 7);
+  EXPECT_EQ(h.cols(), 6);
+}
+
+TEST(GruTest, GradCheck) {
+  Rng rng(12);
+  GruCell gru(3, 4, &rng);
+  const Variable x = Variable::Constant(RandomInput(5, 3, 25));
+  const Variable target = Variable::Constant(RandomInput(5, 4, 26));
+  ExpectGradientsMatch(&gru, [&] {
+    return MseLoss(gru.ForwardSequence(x), target);
+  });
+}
+
+TEST(AttentionTest, OutputIsConvexCombinationOfHiddenStates) {
+  Rng rng(13);
+  LastQueryAttention attention(4, 4, &rng);
+  // Hidden states all equal -> the weighted aggregate must equal them.
+  Matrix h(3, 4);
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 4; ++c) h.at(r, c) = 0.5f - 0.1f * c;
+  }
+  const Variable out = attention.Forward(Variable::Constant(h));
+  EXPECT_EQ(out.rows(), 1);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_NEAR(out.value().at(0, c), 0.5f - 0.1f * c, 1e-5);
+  }
+}
+
+TEST(AttentionTest, GradCheck) {
+  Rng rng(14);
+  LastQueryAttention attention(4, 4, &rng);
+  const Variable h = Variable::Constant(RandomInput(5, 4, 27));
+  const Variable target = Variable::Constant(RandomInput(1, 4, 28));
+  ExpectGradientsMatch(&attention, [&] {
+    return MseLoss(attention.Forward(h), target);
+  });
+}
+
+TEST(ModuleTest, NamedParametersIncludeChildren) {
+  Rng rng(15);
+  BiLstm bilstm(3, 4, &rng);
+  const std::vector<NamedParameter> params = bilstm.NamedParameters();
+  // 2 cells x 3 tensors each.
+  EXPECT_EQ(params.size(), 6u);
+  EXPECT_EQ(params[0].name, "fwd.w_ih");
+  EXPECT_GT(bilstm.NumParameters(), 0);
+}
+
+// Parameterized sweep: LSTM gradients must be correct across sequence
+// lengths (including length 1).
+class LstmLengthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LstmLengthSweep, GradCheckAtLength) {
+  const int length = GetParam();
+  Rng rng(16);
+  LstmCell lstm(2, 3, &rng);
+  const Variable x = Variable::Constant(RandomInput(length, 2, 100 + length));
+  const Variable target =
+      Variable::Constant(RandomInput(length, 3, 200 + length));
+  ExpectGradientsMatch(
+      &lstm, [&] { return MseLoss(lstm.ForwardSequence(x), target); },
+      /*checks_per_param=*/3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, LstmLengthSweep,
+                         ::testing::Values(1, 2, 3, 8, 17));
+
+}  // namespace
+}  // namespace lead::nn

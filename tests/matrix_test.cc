@@ -1,0 +1,115 @@
+// Unit tests for the Matrix type and raw GEMM kernels.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/matrix.h"
+
+namespace lead::nn {
+namespace {
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.size(), 6);
+  m.at(1, 2) = 5.0f;
+  EXPECT_FLOAT_EQ(m.at(1, 2), 5.0f);
+  EXPECT_FLOAT_EQ(m.at(0, 0), 0.0f);
+}
+
+TEST(MatrixTest, RowVectorAndFull) {
+  const Matrix v = Matrix::RowVector({1, 2, 3});
+  EXPECT_EQ(v.rows(), 1);
+  EXPECT_EQ(v.cols(), 3);
+  const Matrix f = Matrix::Full(2, 2, 7.0f);
+  EXPECT_FLOAT_EQ(f.at(1, 1), 7.0f);
+}
+
+TEST(MatrixTest, UniformRespectsBound) {
+  Rng rng(1);
+  const Matrix m = Matrix::Uniform(10, 10, 0.5f, &rng);
+  for (int i = 0; i < m.size(); ++i) {
+    EXPECT_LE(std::fabs(m.data()[i]), 0.5f);
+  }
+}
+
+TEST(MatrixTest, SameShape) {
+  EXPECT_TRUE(Matrix(2, 3).SameShape(Matrix(2, 3)));
+  EXPECT_FALSE(Matrix(2, 3).SameShape(Matrix(3, 2)));
+}
+
+// Reference naive GEMM used to validate the kernels.
+Matrix NaiveMatMul(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < b.cols(); ++j) {
+      float dot = 0.0f;
+      for (int k = 0; k < a.cols(); ++k) dot += a.at(i, k) * b.at(k, j);
+      out.at(i, j) = dot;
+    }
+  }
+  return out;
+}
+
+class GemmSweep : public ::testing::TestWithParam<std::tuple<int, int, int>> {
+};
+
+TEST_P(GemmSweep, AllThreeKernelsMatchNaive) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(42 + m * 100 + k * 10 + n);
+  const Matrix a = Matrix::Uniform(m, k, 1.0f, &rng);
+  const Matrix b = Matrix::Uniform(k, n, 1.0f, &rng);
+  const Matrix expected = NaiveMatMul(a, b);
+
+  Matrix out(m, n);
+  MatMulAccumulate(a, b, &out);
+  for (int i = 0; i < out.size(); ++i) {
+    EXPECT_NEAR(out.data()[i], expected.data()[i], 1e-4);
+  }
+
+  // a^T path: build a_t with shape [k x m] so a_t^T * b == expected.
+  Matrix a_t(k, m);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < k; ++j) a_t.at(j, i) = a.at(i, j);
+  }
+  Matrix out_ta(m, n);
+  MatMulTransposeAAccumulate(a_t, b, &out_ta);
+  for (int i = 0; i < out_ta.size(); ++i) {
+    EXPECT_NEAR(out_ta.data()[i], expected.data()[i], 1e-4);
+  }
+
+  // b^T path: build b_t with shape [n x k].
+  Matrix b_t(n, k);
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j < n; ++j) b_t.at(j, i) = b.at(i, j);
+  }
+  Matrix out_tb(m, n);
+  MatMulTransposeBAccumulate(a, b_t, &out_tb);
+  for (int i = 0; i < out_tb.size(); ++i) {
+    EXPECT_NEAR(out_tb.data()[i], expected.data()[i], 1e-4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmSweep,
+    ::testing::Values(std::tuple<int, int, int>{1, 1, 1},
+                      std::tuple<int, int, int>{1, 8, 4},
+                      std::tuple<int, int, int>{4, 1, 8},
+                      std::tuple<int, int, int>{3, 5, 7},
+                      std::tuple<int, int, int>{16, 16, 16},
+                      std::tuple<int, int, int>{7, 32, 13}));
+
+TEST(GemmTest, AccumulatesIntoExistingOutput) {
+  Rng rng(9);
+  const Matrix a = Matrix::Uniform(2, 2, 1.0f, &rng);
+  const Matrix b = Matrix::Uniform(2, 2, 1.0f, &rng);
+  Matrix out = Matrix::Full(2, 2, 10.0f);
+  MatMulAccumulate(a, b, &out);
+  const Matrix fresh = NaiveMatMul(a, b);
+  for (int i = 0; i < out.size(); ++i) {
+    EXPECT_NEAR(out.data()[i], 10.0f + fresh.data()[i], 1e-4);
+  }
+}
+
+}  // namespace
+}  // namespace lead::nn

@@ -1,0 +1,184 @@
+// Randomized comparisons of every nn op against straightforward
+// double-precision reference implementations, across a sweep of shapes.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/ops.h"
+
+namespace lead::nn {
+namespace {
+
+using Ref = std::vector<std::vector<double>>;
+
+Ref ToRef(const Matrix& m) {
+  Ref out(m.rows(), std::vector<double>(m.cols()));
+  for (int r = 0; r < m.rows(); ++r) {
+    for (int c = 0; c < m.cols(); ++c) out[r][c] = m.at(r, c);
+  }
+  return out;
+}
+
+void ExpectMatches(const Variable& actual, const Ref& expected,
+                   double tolerance = 2e-4) {
+  ASSERT_EQ(actual.rows(), static_cast<int>(expected.size()));
+  ASSERT_EQ(actual.cols(), static_cast<int>(expected[0].size()));
+  for (int r = 0; r < actual.rows(); ++r) {
+    for (int c = 0; c < actual.cols(); ++c) {
+      EXPECT_NEAR(actual.value().at(r, c), expected[r][c], tolerance)
+          << "at (" << r << "," << c << ")";
+    }
+  }
+}
+
+class OpsReferenceSweep
+    : public ::testing::TestWithParam<std::pair<int, int>> {
+ protected:
+  Matrix Random(int rows, int cols, uint64_t salt) {
+    Rng rng(GetParam().first * 1000 + GetParam().second + salt);
+    return Matrix::Uniform(rows, cols, 2.0f, &rng);
+  }
+};
+
+TEST_P(OpsReferenceSweep, AddSubMul) {
+  const auto [rows, cols] = GetParam();
+  const Matrix ma = Random(rows, cols, 1);
+  const Matrix mb = Random(rows, cols, 2);
+  const Variable a = Variable::Constant(ma);
+  const Variable b = Variable::Constant(mb);
+  Ref sum = ToRef(ma);
+  Ref diff = ToRef(ma);
+  Ref prod = ToRef(ma);
+  const Ref rb = ToRef(mb);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      sum[r][c] += rb[r][c];
+      diff[r][c] -= rb[r][c];
+      prod[r][c] *= rb[r][c];
+    }
+  }
+  ExpectMatches(Add(a, b), sum);
+  ExpectMatches(Sub(a, b), diff);
+  ExpectMatches(Mul(a, b), prod);
+}
+
+TEST_P(OpsReferenceSweep, ScalarOps) {
+  const auto [rows, cols] = GetParam();
+  const Matrix ma = Random(rows, cols, 3);
+  const Variable a = Variable::Constant(ma);
+  Ref scaled = ToRef(ma);
+  Ref shifted = ToRef(ma);
+  for (auto& row : scaled) {
+    for (double& v : row) v *= -1.5;
+  }
+  for (auto& row : shifted) {
+    for (double& v : row) v += 0.75;
+  }
+  ExpectMatches(ScalarMul(a, -1.5f), scaled);
+  ExpectMatches(AddScalar(a, 0.75f), shifted);
+}
+
+TEST_P(OpsReferenceSweep, Nonlinearities) {
+  const auto [rows, cols] = GetParam();
+  const Matrix ma = Random(rows, cols, 4);
+  const Variable a = Variable::Constant(ma);
+  Ref tanh_ref = ToRef(ma);
+  Ref sig_ref = ToRef(ma);
+  Ref relu_ref = ToRef(ma);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      tanh_ref[r][c] = std::tanh(tanh_ref[r][c]);
+      sig_ref[r][c] = 1.0 / (1.0 + std::exp(-sig_ref[r][c]));
+      relu_ref[r][c] = std::max(0.0, relu_ref[r][c]);
+    }
+  }
+  ExpectMatches(Tanh(a), tanh_ref);
+  ExpectMatches(Sigmoid(a), sig_ref);
+  ExpectMatches(Relu(a), relu_ref);
+}
+
+TEST_P(OpsReferenceSweep, SoftmaxAgainstReference) {
+  const auto [rows, cols] = GetParam();
+  const Matrix ma = Random(rows, cols, 5);
+  const Variable a = Variable::Constant(ma);
+  Ref ref = ToRef(ma);
+  for (auto& row : ref) {
+    double max_v = row[0];
+    for (double v : row) max_v = std::max(max_v, v);
+    double sum = 0.0;
+    for (double& v : row) {
+      v = std::exp(v - max_v);
+      sum += v;
+    }
+    for (double& v : row) v /= sum;
+  }
+  ExpectMatches(SoftmaxRows(a), ref);
+}
+
+TEST_P(OpsReferenceSweep, ReductionsAgainstReference) {
+  const auto [rows, cols] = GetParam();
+  const Matrix ma = Random(rows, cols, 6);
+  const Variable a = Variable::Constant(ma);
+  double total = 0.0;
+  for (const auto& row : ToRef(ma)) {
+    for (double v : row) total += v;
+  }
+  EXPECT_NEAR(Sum(a).value().at(0, 0), total, 1e-3);
+  EXPECT_NEAR(Mean(a).value().at(0, 0), total / (rows * cols), 1e-4);
+}
+
+TEST_P(OpsReferenceSweep, TransposeReverseSliceConcat) {
+  const auto [rows, cols] = GetParam();
+  const Matrix ma = Random(rows, cols, 7);
+  const Variable a = Variable::Constant(ma);
+  const Variable t = Transpose(a);
+  const Variable back = Transpose(t);
+  ExpectMatches(back, ToRef(ma));
+  const Variable rev = ReverseRows(a);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      EXPECT_FLOAT_EQ(rev.value().at(r, c),
+                      ma.at(rows - 1 - r, c));
+    }
+  }
+  if (rows >= 2) {
+    const Variable top = SliceRows(a, 0, 1);
+    const Variable rest = SliceRows(a, 1, rows - 1);
+    ExpectMatches(ConcatRows({top, rest}), ToRef(ma));
+  }
+  if (cols >= 2) {
+    const Variable left = SliceCols(a, 0, 1);
+    const Variable right = SliceCols(a, 1, cols - 1);
+    ExpectMatches(ConcatCols({left, right}), ToRef(ma));
+  }
+}
+
+TEST_P(OpsReferenceSweep, MatMulAgainstReference) {
+  const auto [rows, cols] = GetParam();
+  const int inner = 7;
+  const Matrix ma = Random(rows, inner, 8);
+  const Matrix mb = Random(inner, cols, 9);
+  const Variable a = Variable::Constant(ma);
+  const Variable b = Variable::Constant(mb);
+  Ref ref(rows, std::vector<double>(cols, 0.0));
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      for (int k = 0; k < inner; ++k) {
+        ref[r][c] += static_cast<double>(ma.at(r, k)) * mb.at(k, c);
+      }
+    }
+  }
+  ExpectMatches(MatMul(a, b), ref, 5e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, OpsReferenceSweep,
+                         ::testing::Values(std::pair<int, int>{1, 1},
+                                           std::pair<int, int>{1, 9},
+                                           std::pair<int, int>{7, 1},
+                                           std::pair<int, int>{5, 5},
+                                           std::pair<int, int>{13, 31}));
+
+}  // namespace
+}  // namespace lead::nn

@@ -1,0 +1,130 @@
+// Tests for SGD, learning-rate schedulers and dropout.
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/linear.h"
+#include "nn/ops.h"
+#include "nn/scheduler.h"
+#include "nn/sgd.h"
+
+namespace lead::nn {
+namespace {
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  Variable x = Variable::Parameter(Matrix::RowVector({4.0f, -2.0f}));
+  const Variable target = Variable::Constant(Matrix::RowVector({1.0f, 1.0f}));
+  Sgd sgd({x}, {.learning_rate = 0.05f, .momentum = 0.9f});
+  for (int i = 0; i < 300; ++i) {
+    Backward(MseLoss(x, target));
+    sgd.StepAndZeroGrad();
+  }
+  EXPECT_NEAR(x.value().at(0, 0), 1.0f, 0.05f);
+  EXPECT_NEAR(x.value().at(0, 1), 1.0f, 0.05f);
+}
+
+TEST(SgdTest, WeightDecayShrinksWeights) {
+  Variable x = Variable::Parameter(Matrix::RowVector({10.0f}));
+  // Zero-gradient loss: only weight decay acts.
+  Sgd sgd({x}, {.learning_rate = 0.1f, .momentum = 0.0f,
+                .weight_decay = 0.1f});
+  for (int i = 0; i < 50; ++i) {
+    sgd.StepAndZeroGrad();  // gradients are zero
+  }
+  EXPECT_LT(std::fabs(x.value().at(0, 0)), 10.0f);
+  EXPECT_GT(x.value().at(0, 0), 0.0f);
+}
+
+TEST(SgdTest, LearningRateIsAdjustable) {
+  Variable x = Variable::Parameter(Matrix::RowVector({1.0f}));
+  Sgd sgd({x}, {.learning_rate = 0.5f});
+  EXPECT_FLOAT_EQ(sgd.learning_rate(), 0.5f);
+  sgd.set_learning_rate(0.25f);
+  EXPECT_FLOAT_EQ(sgd.learning_rate(), 0.25f);
+}
+
+TEST(SchedulerTest, ConstantLr) {
+  const ConstantLr schedule(0.01f);
+  EXPECT_FLOAT_EQ(schedule.LearningRate(0), 0.01f);
+  EXPECT_FLOAT_EQ(schedule.LearningRate(100), 0.01f);
+}
+
+TEST(SchedulerTest, StepDecayHalvesEveryStep) {
+  const StepDecayLr schedule(1.0f, 0.5f, 10);
+  EXPECT_FLOAT_EQ(schedule.LearningRate(0), 1.0f);
+  EXPECT_FLOAT_EQ(schedule.LearningRate(9), 1.0f);
+  EXPECT_FLOAT_EQ(schedule.LearningRate(10), 0.5f);
+  EXPECT_FLOAT_EQ(schedule.LearningRate(25), 0.25f);
+}
+
+TEST(SchedulerTest, CosineDecayEndpoints) {
+  const CosineDecayLr schedule(1.0f, 0.1f, 20);
+  EXPECT_NEAR(schedule.LearningRate(0), 1.0f, 1e-5);
+  EXPECT_NEAR(schedule.LearningRate(20), 0.1f, 1e-5);
+  EXPECT_NEAR(schedule.LearningRate(40), 0.1f, 1e-5);  // clamped past end
+  // Monotone decreasing.
+  for (int e = 1; e <= 20; ++e) {
+    EXPECT_LE(schedule.LearningRate(e), schedule.LearningRate(e - 1) + 1e-6);
+  }
+}
+
+TEST(DropoutTest, IdentityAtZeroAndInInference) {
+  Rng rng(1);
+  const Variable x = Variable::Constant(Matrix::Full(4, 4, 2.0f));
+  const Variable same = Dropout(x, 0.0f, &rng);
+  EXPECT_EQ(same.node(), x.node());  // true identity
+  NoGradGuard guard;
+  const Variable inference = Dropout(x, 0.5f, &rng);
+  EXPECT_EQ(inference.node(), x.node());
+}
+
+TEST(DropoutTest, ZeroesAndRescales) {
+  Rng rng(2);
+  const Variable x = Variable::Constant(Matrix::Full(50, 50, 1.0f));
+  const Variable dropped = Dropout(x, 0.4f, &rng);
+  int zeros = 0;
+  double sum = 0.0;
+  for (int i = 0; i < dropped.value().size(); ++i) {
+    const float v = dropped.value().data()[i];
+    if (v == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_NEAR(v, 1.0f / 0.6f, 1e-5);
+    }
+    sum += v;
+  }
+  // ~40% zeroed; expectation preserved.
+  EXPECT_NEAR(zeros / 2500.0, 0.4, 0.05);
+  EXPECT_NEAR(sum / 2500.0, 1.0, 0.06);
+}
+
+TEST(DropoutTest, GradientFlowsThroughMask) {
+  Rng rng(3);
+  Variable x = Variable::Parameter(Matrix::Full(1, 100, 1.0f));
+  const Variable dropped = Dropout(x, 0.5f, &rng);
+  Backward(Sum(dropped));
+  // Gradient is 0 where dropped, 2.0 where kept.
+  for (int i = 0; i < 100; ++i) {
+    const float v = dropped.value().data()[i];
+    const float g = x.grad().data()[i];
+    if (v == 0.0f) {
+      EXPECT_FLOAT_EQ(g, 0.0f);
+    } else {
+      EXPECT_NEAR(g, 2.0f, 1e-5);
+    }
+  }
+}
+
+TEST(OptimizerBaseTest, GradNormAndClipConsistentAcrossImpls) {
+  Variable x = Variable::Parameter(Matrix::RowVector({3.0f, 4.0f}));
+  Sgd sgd({x}, {.learning_rate = 1.0f});
+  Backward(Sum(Mul(x, x)));  // grad = 2x = (6, 8), norm 10
+  EXPECT_NEAR(sgd.GradNorm(), 10.0f, 1e-4);
+  sgd.ZeroGrad();
+  EXPECT_FLOAT_EQ(sgd.GradNorm(), 0.0f);
+}
+
+}  // namespace
+}  // namespace lead::nn

@@ -1,0 +1,170 @@
+// Tests for Adam, early stopping, normalization and serialization.
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/adam.h"
+#include "nn/early_stopping.h"
+#include "nn/linear.h"
+#include "nn/normalizer.h"
+#include "nn/ops.h"
+#include "nn/serialize.h"
+
+namespace lead::nn {
+namespace {
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  // Minimize ||x - target||^2.
+  Variable x = Variable::Parameter(Matrix::RowVector({5.0f, -3.0f}));
+  const Variable target = Variable::Constant(Matrix::RowVector({1.0f, 2.0f}));
+  Adam adam({x}, {.learning_rate = 0.05f});
+  for (int i = 0; i < 500; ++i) {
+    Backward(MseLoss(x, target));
+    adam.StepAndZeroGrad();
+  }
+  EXPECT_NEAR(x.value().at(0, 0), 1.0f, 0.05f);
+  EXPECT_NEAR(x.value().at(0, 1), 2.0f, 0.05f);
+}
+
+TEST(AdamTest, FitsLinearRegression) {
+  Rng rng(3);
+  Linear model(3, 1, &rng);
+  // Ground truth: y = 2 x0 - x1 + 0.5 x2 + 1.
+  const int n = 64;
+  Matrix x(n, 3);
+  Matrix y(n, 1);
+  for (int i = 0; i < n; ++i) {
+    for (int c = 0; c < 3; ++c) x.at(i, c) = (float)rng.Uniform(-1, 1);
+    y.at(i, 0) = 2 * x.at(i, 0) - x.at(i, 1) + 0.5f * x.at(i, 2) + 1.0f;
+  }
+  const Variable xs = Variable::Constant(x);
+  const Variable ys = Variable::Constant(y);
+  Adam adam(model.Parameters(), {.learning_rate = 0.05f});
+  float final_loss = 1e9f;
+  for (int i = 0; i < 800; ++i) {
+    const Variable loss = MseLoss(model.Forward(xs), ys);
+    final_loss = loss.value().at(0, 0);
+    Backward(loss);
+    adam.StepAndZeroGrad();
+  }
+  EXPECT_LT(final_loss, 1e-3f);
+}
+
+TEST(AdamTest, ClipGradNormLimitsUpdateDirection) {
+  Variable x = Variable::Parameter(Matrix::RowVector({1000.0f}));
+  Adam clipped({x}, {.learning_rate = 0.1f, .clip_grad_norm = 1.0f});
+  Backward(MseLoss(x, Variable::Constant(Matrix::RowVector({0.0f}))));
+  EXPECT_GT(clipped.GradNorm(), 1.0f);
+  clipped.StepAndZeroGrad();
+  // Adam's per-step movement is bounded by ~lr regardless of clip, but the
+  // clip must not blow up anything.
+  EXPECT_LT(x.value().at(0, 0), 1000.0f);
+  EXPECT_FLOAT_EQ(clipped.GradNorm(), 0.0f);  // gradients cleared
+}
+
+TEST(EarlyStoppingTest, StopsAfterPatienceWithoutImprovement) {
+  EarlyStopping stopper(/*patience=*/2);
+  EXPECT_TRUE(stopper.Report(1.0f));   // improves
+  EXPECT_TRUE(stopper.Report(0.5f));   // improves
+  EXPECT_TRUE(stopper.Report(0.6f));   // 1 bad epoch
+  EXPECT_FALSE(stopper.Report(0.7f));  // 2 bad epochs -> stop
+  EXPECT_FLOAT_EQ(stopper.best(), 0.5f);
+}
+
+TEST(EarlyStoppingTest, ImprovementResetsPatience) {
+  EarlyStopping stopper(/*patience=*/2);
+  EXPECT_TRUE(stopper.Report(1.0f));
+  EXPECT_TRUE(stopper.Report(1.1f));
+  EXPECT_TRUE(stopper.Report(0.9f));  // reset
+  EXPECT_TRUE(stopper.Report(1.0f));
+  EXPECT_FALSE(stopper.Report(1.0f));
+}
+
+TEST(NormalizerTest, StandardizesToZeroMeanUnitVariance) {
+  std::vector<std::vector<float>> rows = {
+      {1.0f, 10.0f}, {2.0f, 20.0f}, {3.0f, 30.0f}};
+  ZScoreNormalizer z;
+  ASSERT_TRUE(z.Fit(rows).ok());
+  EXPECT_EQ(z.dims(), 2);
+  // Check the transformed corpus statistics.
+  double mean0 = 0, var0 = 0;
+  std::vector<std::vector<float>> transformed;
+  for (auto row : rows) {
+    z.Apply(&row);
+    transformed.push_back(row);
+    mean0 += row[0];
+  }
+  mean0 /= 3;
+  for (const auto& row : transformed) {
+    var0 += (row[0] - mean0) * (row[0] - mean0);
+  }
+  var0 /= 3;
+  EXPECT_NEAR(mean0, 0.0, 1e-5);
+  EXPECT_NEAR(var0, 1.0, 1e-4);
+}
+
+TEST(NormalizerTest, InvertRoundTrips) {
+  std::vector<std::vector<float>> rows = {{1, 5}, {3, 9}, {-2, 4}};
+  ZScoreNormalizer z;
+  ASSERT_TRUE(z.Fit(rows).ok());
+  std::vector<float> row = {2.0f, 6.0f};
+  std::vector<float> copy = row;
+  z.Apply(&row);
+  z.Invert(&row);
+  EXPECT_NEAR(row[0], copy[0], 1e-4);
+  EXPECT_NEAR(row[1], copy[1], 1e-4);
+}
+
+TEST(NormalizerTest, ConstantDimensionIsSafe) {
+  std::vector<std::vector<float>> rows = {{7, 1}, {7, 2}, {7, 3}};
+  ZScoreNormalizer z;
+  ASSERT_TRUE(z.Fit(rows).ok());
+  std::vector<float> row = {7.0f, 2.0f};
+  z.Apply(&row);
+  EXPECT_TRUE(std::isfinite(row[0]));
+  EXPECT_NEAR(row[0], 0.0f, 1e-3);
+}
+
+TEST(NormalizerTest, RejectsEmptyAndRagged) {
+  ZScoreNormalizer z;
+  EXPECT_FALSE(z.Fit({}).ok());
+  EXPECT_FALSE(z.Fit({{1.0f, 2.0f}, {1.0f}}).ok());
+}
+
+TEST(SerializeTest, RoundTripsParameters) {
+  Rng rng(5);
+  Linear a(4, 3, &rng);
+  Linear b(4, 3, &rng);  // different init
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveParameters(a, buffer).ok());
+  ASSERT_TRUE(LoadParameters(&b, buffer).ok());
+  const auto pa = a.Parameters();
+  const auto pb = b.Parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    for (int j = 0; j < pa[i].value().size(); ++j) {
+      EXPECT_FLOAT_EQ(pa[i].value().data()[j], pb[i].value().data()[j]);
+    }
+  }
+}
+
+TEST(SerializeTest, RejectsShapeMismatch) {
+  Rng rng(6);
+  Linear a(4, 3, &rng);
+  Linear b(3, 4, &rng);
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveParameters(a, buffer).ok());
+  EXPECT_FALSE(LoadParameters(&b, buffer).ok());
+}
+
+TEST(SerializeTest, RejectsGarbage) {
+  Rng rng(7);
+  Linear a(2, 2, &rng);
+  std::stringstream buffer("not a checkpoint at all");
+  EXPECT_FALSE(LoadParameters(&a, buffer).ok());
+}
+
+}  // namespace
+}  // namespace lead::nn

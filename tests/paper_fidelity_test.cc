@@ -1,0 +1,73 @@
+// Pins the default hyperparameters to the values the paper specifies
+// (§VI-A "Implementation Details"), so accidental drift is caught.
+#include <gtest/gtest.h>
+
+#include "baselines/sp_rnn.h"
+#include "baselines/sp_rule.h"
+#include "core/lead.h"
+#include "poi/poi.h"
+
+namespace lead {
+namespace {
+
+TEST(PaperFidelityTest, RawTrajectoryProcessingDefaults) {
+  const core::PipelineOptions options;
+  // Noise filtering: V_max = 130 km/h.
+  EXPECT_DOUBLE_EQ(options.noise.max_speed_kmh, 130.0);
+  // Stay point extraction: D_max = 500 m, T_min = 15 min.
+  EXPECT_DOUBLE_EQ(options.stay.max_distance_m, 500.0);
+  EXPECT_EQ(options.stay.min_duration_s, 15 * 60);
+  // POI feature: 100 m radius.
+  EXPECT_DOUBLE_EQ(options.features.poi_radius_m, 100.0);
+  EXPECT_TRUE(options.features.use_poi);
+}
+
+TEST(PaperFidelityTest, FeatureDimensions) {
+  // 29 POI categories; 3 spatiotemporal dims; 32-dim feature vector.
+  EXPECT_EQ(poi::kNumCategories, 29);
+  EXPECT_EQ(core::kSpatioTemporalDims, 3);
+  EXPECT_EQ(core::kFeatureDims, 32);
+}
+
+TEST(PaperFidelityTest, AutoencoderDefaults) {
+  const core::AutoencoderOptions options;
+  // 32 hidden units everywhere; compressed vector dimension 64.
+  EXPECT_EQ(options.hidden, 32);
+  EXPECT_EQ(options.cvec_dims(), 64);
+  EXPECT_TRUE(options.use_attention);
+  EXPECT_TRUE(options.hierarchical);
+}
+
+TEST(PaperFidelityTest, DetectorDefaults) {
+  const core::DetectorOptions options;
+  // All detector LSTMs have 64 hidden units; best L = 4.
+  EXPECT_EQ(options.hidden, 64);
+  EXPECT_EQ(options.num_layers, 4);
+  EXPECT_EQ(options.input_dims, 64);
+}
+
+TEST(PaperFidelityTest, TrainingDefaults) {
+  const core::TrainOptions options;
+  // Adam with scheduled lr 1e-4; simulated batch B = 64; eps = 1e-5.
+  EXPECT_FLOAT_EQ(options.learning_rate, 1e-4f);
+  EXPECT_EQ(options.batch_size, 64);
+  EXPECT_FLOAT_EQ(options.label_epsilon, 1e-5f);
+  EXPECT_FLOAT_EQ(core::kDefaultLabelEpsilon, 1e-5f);
+}
+
+TEST(PaperFidelityTest, BaselineDefaults) {
+  // SP-R searches 500 m around each stay point; SP-GRU/SP-LSTM use 128
+  // hidden units.
+  EXPECT_DOUBLE_EQ(baselines::SpRuleOptions().search_radius_m, 500.0);
+  EXPECT_EQ(baselines::SpRnnOptions().hidden, 128);
+}
+
+TEST(PaperFidelityTest, CandidateCountsMatchSection3) {
+  // "the number of stay points ... ranges from 3~14, so the number of
+  //  generated candidate trajectories is moderate (3~91)".
+  EXPECT_EQ(traj::NumCandidates(3), 3);
+  EXPECT_EQ(traj::NumCandidates(14), 91);
+}
+
+}  // namespace
+}  // namespace lead

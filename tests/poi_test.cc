@@ -1,0 +1,116 @@
+// Unit and property tests for the POI substrate and its grid index.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "poi/poi.h"
+#include "poi/poi_index.h"
+
+namespace lead::poi {
+namespace {
+
+constexpr geo::LatLng kOrigin{32.0, 120.9};
+
+std::vector<Poi> RandomPois(int count, double extent_m, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Poi> pois;
+  pois.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    Poi p;
+    p.id = i;
+    p.category = static_cast<Category>(rng.UniformInt(0, kNumCategories - 1));
+    p.pos = geo::OffsetMeters(kOrigin, rng.Uniform(-extent_m, extent_m),
+                              rng.Uniform(-extent_m, extent_m));
+    pois.push_back(p);
+  }
+  return pois;
+}
+
+TEST(PoiTest, CategoryNamesAreUniqueAndNonEmpty) {
+  std::set<std::string> names;
+  for (int c = 0; c < kNumCategories; ++c) {
+    const std::string name = CategoryName(static_cast<Category>(c));
+    EXPECT_FALSE(name.empty());
+    EXPECT_TRUE(names.insert(name).second) << "duplicate: " << name;
+  }
+}
+
+TEST(PoiIndexTest, EmptyCorpus) {
+  const PoiIndex index({});
+  EXPECT_EQ(index.size(), 0);
+  EXPECT_FALSE(index.AnyWithin(kOrigin, 1000.0));
+  const CategoryCounts counts = index.CountByCategory(kOrigin, 1000.0);
+  for (int c : counts) EXPECT_EQ(c, 0);
+}
+
+TEST(PoiIndexTest, SinglePoiExactRadius) {
+  Poi p;
+  p.id = 1;
+  p.category = Category::kChemicalFactory;
+  p.pos = geo::OffsetMeters(kOrigin, 100.0, 0.0);
+  const PoiIndex index({p});
+  EXPECT_TRUE(index.AnyWithin(kOrigin, 101.0));
+  EXPECT_FALSE(index.AnyWithin(kOrigin, 99.0));
+  const CategoryCounts counts = index.CountByCategory(kOrigin, 150.0);
+  EXPECT_EQ(counts[static_cast<int>(Category::kChemicalFactory)], 1);
+}
+
+class PoiIndexSweep
+    : public ::testing::TestWithParam<std::tuple<int, double, double>> {};
+
+TEST_P(PoiIndexSweep, MatchesBruteForce) {
+  const auto [count, extent_m, radius_m] = GetParam();
+  const std::vector<Poi> pois = RandomPois(count, extent_m, 99 + count);
+  const PoiIndex index(std::vector<Poi>(pois), /*cell_size_m=*/250.0);
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const geo::LatLng center = geo::OffsetMeters(
+        kOrigin, rng.Uniform(-extent_m, extent_m),
+        rng.Uniform(-extent_m, extent_m));
+    // Brute force.
+    CategoryCounts expected{};
+    int expected_total = 0;
+    for (const Poi& p : pois) {
+      if (geo::DistanceMeters(center, p.pos) <= radius_m) {
+        ++expected[static_cast<int>(p.category)];
+        ++expected_total;
+      }
+    }
+    const CategoryCounts actual = index.CountByCategory(center, radius_m);
+    EXPECT_EQ(actual, expected);
+    EXPECT_EQ(static_cast<int>(index.QueryWithin(center, radius_m).size()),
+              expected_total);
+    EXPECT_EQ(index.AnyWithin(center, radius_m), expected_total > 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpora, PoiIndexSweep,
+    ::testing::Values(std::tuple<int, double, double>{50, 2000, 100},
+                      std::tuple<int, double, double>{500, 5000, 100},
+                      std::tuple<int, double, double>{500, 5000, 500},
+                      std::tuple<int, double, double>{2000, 10000, 500},
+                      std::tuple<int, double, double>{200, 1000, 3000}));
+
+TEST(PoiIndexTest, QueryWithinReturnsCorrectIds) {
+  std::vector<Poi> pois;
+  for (int i = 0; i < 5; ++i) {
+    Poi p;
+    p.id = i;
+    p.category = Category::kShop;
+    p.pos = geo::OffsetMeters(kOrigin, i * 1000.0, 0.0);
+    pois.push_back(p);
+  }
+  const PoiIndex index(std::move(pois));
+  const std::vector<int> near = index.QueryWithin(kOrigin, 1500.0);
+  std::set<int64_t> ids;
+  for (int i : near) ids.insert(index.pois()[i].id);
+  EXPECT_EQ(ids, (std::set<int64_t>{0, 1}));
+}
+
+TEST(PoiIndexTest, NegativeRadiusIsEmpty) {
+  const PoiIndex index(RandomPois(10, 500, 3));
+  EXPECT_TRUE(index.QueryWithin(kOrigin, -1.0).empty());
+}
+
+}  // namespace
+}  // namespace lead::poi

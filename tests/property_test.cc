@@ -1,0 +1,159 @@
+// Randomized property tests over the trajectory pipeline: Definition 2's
+// stay-point conditions, segmentation coverage, candidate-segment
+// consistency, and noise-filter invariants, checked against randomly
+// generated truck-like tracks.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/autoencoder.h"
+#include "core/pipeline.h"
+#include "traj/noise_filter.h"
+#include "traj/segmentation.h"
+#include "traj/stay_point.h"
+
+namespace lead {
+namespace {
+
+constexpr geo::LatLng kOrigin{32.0, 120.9};
+
+// A random alternation of dwells and drives with GPS noise — not
+// necessarily clean stay points, which is the point.
+traj::RawTrajectory RandomTrack(uint64_t seed) {
+  Rng rng(seed);
+  traj::RawTrajectory t;
+  t.trajectory_id = "prop_" + std::to_string(seed);
+  t.truck_id = "truck";
+  double east = 0.0;
+  double north = 0.0;
+  int64_t time = 1'600'000'000 + rng.UniformInt(0, 86400);
+  const int phases = rng.UniformInt(2, 8);
+  for (int phase = 0; phase < phases; ++phase) {
+    if (rng.Bernoulli(0.5)) {
+      // Dwell: 5-40 min around the current spot.
+      const int samples = rng.UniformInt(2, 12);
+      for (int i = 0; i < samples; ++i) {
+        t.points.push_back(
+            {geo::OffsetMeters(kOrigin, east + rng.Gaussian(0, 40),
+                               north + rng.Gaussian(0, 40)),
+             time});
+        time += rng.UniformInt(90, 240);
+      }
+    } else {
+      // Drive: random direction, 1-15 km.
+      const double bearing = rng.Uniform(0, 2 * M_PI);
+      const double dist = rng.Uniform(1000, 15000);
+      const int samples = rng.UniformInt(2, 15);
+      for (int i = 0; i < samples; ++i) {
+        east += dist / samples * std::sin(bearing);
+        north += dist / samples * std::cos(bearing);
+        t.points.push_back(
+            {geo::OffsetMeters(kOrigin, east + rng.Gaussian(0, 15),
+                               north + rng.Gaussian(0, 15)),
+             time});
+        time += rng.UniformInt(90, 240);
+      }
+    }
+  }
+  return t;
+}
+
+class PipelinePropertySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PipelinePropertySweep, StayPointsSatisfyDefinition2) {
+  const traj::RawTrajectory track = RandomTrack(GetParam());
+  const traj::StayPointOptions options;
+  const std::vector<traj::StayPoint> stays =
+      traj::ExtractStayPoints(track, options);
+  for (const traj::StayPoint& sp : stays) {
+    const traj::GpsPoint& anchor = track.points[sp.range.begin];
+    // All successors within D_max of the anchor.
+    for (int k = sp.range.begin + 1; k <= sp.range.end; ++k) {
+      EXPECT_LE(geo::DistanceMeters(anchor.pos, track.points[k].pos),
+                options.max_distance_m + 1e-6);
+    }
+    // The next point (if any) leaves the disc.
+    if (sp.range.end + 1 < track.size()) {
+      EXPECT_GT(
+          geo::DistanceMeters(anchor.pos, track.points[sp.range.end + 1].pos),
+          options.max_distance_m);
+    }
+    // Duration condition.
+    EXPECT_GE(sp.duration_s(), options.min_duration_s);
+    // Summary fields consistent.
+    EXPECT_EQ(sp.arrival_t, track.points[sp.range.begin].t);
+    EXPECT_EQ(sp.departure_t, track.points[sp.range.end].t);
+  }
+}
+
+TEST_P(PipelinePropertySweep, SegmentationPartitionsTrack) {
+  const traj::RawTrajectory track = RandomTrack(GetParam());
+  const traj::Segmentation seg =
+      traj::Segment(track, traj::ExtractStayPoints(track));
+  std::vector<int> covered(track.size(), 0);
+  for (const traj::StayPoint& sp : seg.stays) {
+    for (int i = sp.range.begin; i <= sp.range.end; ++i) covered[i] += 1;
+  }
+  for (const traj::MoveSegment& mp : seg.moves) {
+    if (!mp.has_points) continue;
+    for (int i = mp.range.begin; i <= mp.range.end; ++i) covered[i] += 1;
+  }
+  for (int i = 0; i < track.size(); ++i) {
+    ASSERT_EQ(covered[i], 1) << "point " << i << " seed " << GetParam();
+  }
+  EXPECT_EQ(seg.moves.size(), seg.stays.size() + 1);
+}
+
+TEST_P(PipelinePropertySweep, CandidateSegmentsCoverCandidateRange) {
+  const traj::RawTrajectory track = RandomTrack(GetParam());
+  core::ProcessedTrajectory pt;
+  pt.cleaned = track;
+  pt.segmentation = traj::Segment(track, traj::ExtractStayPoints(track));
+  if (pt.segmentation.num_stays() < 2) return;  // nothing to check
+  pt.candidates = traj::GenerateCandidates(pt.segmentation.num_stays());
+  pt.features = nn::Matrix(track.size(), core::kFeatureDims);
+
+  for (const traj::Candidate& c : pt.candidates) {
+    const core::CandidateSegments segments =
+        core::BuildCandidateSegments(pt, c);
+    int total_rows = 0;
+    for (const nn::Variable& v : segments.sp_seqs) total_rows += v.rows();
+    for (const nn::Variable& v : segments.mp_seqs) {
+      if (v.defined()) total_rows += v.rows();
+    }
+    const traj::IndexRange range = traj::CandidateRange(pt.segmentation, c);
+    EXPECT_EQ(total_rows, range.size());
+    EXPECT_EQ(static_cast<int>(segments.sp_seqs.size()),
+              c.end_sp - c.start_sp + 1);
+    EXPECT_EQ(static_cast<int>(segments.mp_seqs.size()),
+              c.end_sp - c.start_sp);
+  }
+}
+
+TEST_P(PipelinePropertySweep, NoiseFilterOutputHasBoundedSpeeds) {
+  traj::RawTrajectory track = RandomTrack(GetParam());
+  // Inject teleport outliers.
+  Rng rng(GetParam() ^ 0xff);
+  for (traj::GpsPoint& p : track.points) {
+    if (rng.Bernoulli(0.05)) {
+      p.pos = geo::OffsetMeters(p.pos, rng.Uniform(-30000, 30000),
+                                rng.Uniform(-30000, 30000));
+    }
+  }
+  const traj::NoiseFilterOptions options;
+  const traj::NoiseFilterResult result = traj::FilterNoise(track, options);
+  for (size_t i = 1; i < result.cleaned.points.size(); ++i) {
+    EXPECT_LE(traj::SpeedKmh(result.cleaned.points[i - 1],
+                             result.cleaned.points[i]),
+              options.max_speed_kmh + 1e-9);
+  }
+  // Removed + kept == input.
+  EXPECT_EQ(result.cleaned.size() +
+                static_cast<int>(result.removed_indices.size()),
+            track.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelinePropertySweep,
+                         ::testing::Range<uint64_t>(1000, 1030));
+
+}  // namespace
+}  // namespace lead

@@ -1,0 +1,256 @@
+// Tests for the synthetic world, truck-day simulator and dataset splits.
+#include <set>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "sim/dataset.h"
+#include "sim/truck_sim.h"
+#include "sim/world.h"
+#include "traj/noise_filter.h"
+#include "traj/stay_point.h"
+
+namespace lead::sim {
+namespace {
+
+WorldOptions SmallWorldOptions() {
+  WorldOptions options;
+  options.num_background_pois = 3000;
+  options.num_loading_facilities = 12;
+  options.num_unloading_facilities = 24;
+  options.num_rest_areas = 30;
+  options.num_depots = 8;
+  options.seed = 5;
+  return options;
+}
+
+TEST(WorldTest, GeneratesRequestedEntities) {
+  const WorldOptions options = SmallWorldOptions();
+  const std::unique_ptr<World> world = World::Generate(options);
+  EXPECT_EQ(static_cast<int>(world->loading_facilities().size()),
+            options.num_loading_facilities);
+  EXPECT_EQ(static_cast<int>(world->unloading_facilities().size()),
+            options.num_unloading_facilities);
+  EXPECT_EQ(static_cast<int>(world->rest_areas().size()),
+            options.num_rest_areas);
+  EXPECT_EQ(static_cast<int>(world->depots().size()), options.num_depots);
+  // Background POIs plus facility signatures.
+  EXPECT_GT(world->poi_index().size(), options.num_background_pois);
+}
+
+TEST(WorldTest, DeterministicInSeed) {
+  const std::unique_ptr<World> a = World::Generate(SmallWorldOptions());
+  const std::unique_ptr<World> b = World::Generate(SmallWorldOptions());
+  ASSERT_EQ(a->loading_facilities().size(), b->loading_facilities().size());
+  for (size_t i = 0; i < a->loading_facilities().size(); ++i) {
+    EXPECT_EQ(a->loading_facilities()[i].pos,
+              b->loading_facilities()[i].pos);
+  }
+  EXPECT_EQ(a->poi_index().size(), b->poi_index().size());
+}
+
+TEST(WorldTest, EntitiesInsideBounds) {
+  const std::unique_ptr<World> world = World::Generate(SmallWorldOptions());
+  const geo::BoundingBox& bounds = world->bounds();
+  for (const Facility& f : world->loading_facilities()) {
+    EXPECT_TRUE(bounds.Contains(f.pos));
+    EXPECT_TRUE(f.can_load);
+  }
+  for (const Facility& f : world->unloading_facilities()) {
+    EXPECT_TRUE(bounds.Contains(f.pos));
+    EXPECT_TRUE(f.can_unload);
+  }
+  for (const poi::Poi& p : world->poi_index().pois()) {
+    EXPECT_TRUE(bounds.Contains(p.pos));
+  }
+}
+
+TEST(WorldTest, LoadingFacilitiesHavePoiSignature) {
+  const std::unique_ptr<World> world = World::Generate(SmallWorldOptions());
+  // Every loading facility must have at least its own POI within 100 m.
+  for (const Facility& f : world->loading_facilities()) {
+    EXPECT_TRUE(world->poi_index().AnyWithin(f.pos, 100.0));
+  }
+}
+
+class TruckSimTest : public ::testing::Test {
+ protected:
+  TruckSimTest()
+      : world_(World::Generate(SmallWorldOptions())),
+        simulator_(world_.get(), SimOptions(), traj::NoiseFilterOptions(),
+                   traj::StayPointOptions()) {}
+
+  std::unique_ptr<World> world_;
+  TruckSimulator simulator_;
+};
+
+TEST_F(TruckSimTest, ProducesWellFormedLabeledDay) {
+  Rng rng(11);
+  const std::optional<SimulatedDay> day =
+      simulator_.SimulateDay("truck_x", "traj_x", 0, &rng);
+  ASSERT_TRUE(day.has_value());
+  EXPECT_EQ(day->raw.truck_id, "truck_x");
+  EXPECT_TRUE(traj::ValidateChronological(day->raw).ok());
+  EXPECT_GE(day->num_stay_points, 3);
+  EXPECT_LE(day->num_stay_points, 14);
+  EXPECT_LT(day->loaded_label.start_sp, day->loaded_label.end_sp);
+  EXPECT_LT(day->loaded_label.end_sp, day->num_stay_points);
+}
+
+TEST_F(TruckSimTest, LabelMatchesReextraction) {
+  // Re-running the canonical pipeline must reproduce the stay-point count
+  // and place the labeled stay points at the true service locations.
+  Rng rng(12);
+  const std::optional<SimulatedDay> day =
+      simulator_.SimulateDay("t", "tr", 1, &rng);
+  ASSERT_TRUE(day.has_value());
+  const traj::RawTrajectory cleaned = traj::FilterNoise(day->raw).cleaned;
+  const std::vector<traj::StayPoint> stays =
+      traj::ExtractStayPoints(cleaned);
+  ASSERT_EQ(static_cast<int>(stays.size()), day->num_stay_points);
+  const traj::StayPoint& load = stays[day->loaded_label.start_sp];
+  const traj::StayPoint& unload = stays[day->loaded_label.end_sp];
+  EXPECT_LE(geo::DistanceMeters(load.centroid, day->truth.load_pos), 600.0);
+  EXPECT_LE(geo::DistanceMeters(unload.centroid, day->truth.unload_pos),
+            600.0);
+  EXPECT_LT(load.departure_t, unload.arrival_t);
+}
+
+TEST_F(TruckSimTest, LoadedPhaseIsSlower) {
+  // Average speed between loading and unloading should be lower than the
+  // unloaded approach (loaded_speed_factor < 1).
+  Rng rng(13);
+  double loaded_speed_sum = 0.0;
+  double empty_speed_sum = 0.0;
+  int trials = 0;
+  for (int i = 0; i < 10; ++i) {
+    const std::optional<SimulatedDay> day =
+        simulator_.SimulateDay("t", "tr", i, &rng);
+    if (!day.has_value()) continue;
+    const auto& truth = day->truth;
+    double loaded_dist = 0.0, loaded_time = 0.0;
+    double empty_dist = 0.0, empty_time = 0.0;
+    const auto& points = day->raw.points;
+    for (size_t j = 1; j < points.size(); ++j) {
+      const double d =
+          geo::DistanceMeters(points[j - 1].pos, points[j].pos);
+      const double dt = static_cast<double>(points[j].t - points[j - 1].t);
+      const double speed_kmh = d / dt * 3.6;
+      // Only count driving intervals: skip stationary samples (stays) and
+      // injected outliers.
+      if (speed_kmh < 15.0 || speed_kmh > 130.0) continue;
+      const int64_t mid = (points[j - 1].t + points[j].t) / 2;
+      if (mid > truth.load_depart_t && mid < truth.unload_arrive_t) {
+        loaded_dist += d;
+        loaded_time += dt;
+      } else if (mid < truth.load_arrive_t) {
+        empty_dist += d;
+        empty_time += dt;
+      }
+    }
+    if (loaded_time > 600 && empty_time > 600) {
+      loaded_speed_sum += loaded_dist / loaded_time;
+      empty_speed_sum += empty_dist / empty_time;
+      ++trials;
+    }
+  }
+  ASSERT_GT(trials, 3);
+  EXPECT_LT(loaded_speed_sum, empty_speed_sum);
+}
+
+TEST_F(TruckSimTest, InjectsFilterableOutliers) {
+  Rng rng(14);
+  int removed_total = 0;
+  for (int i = 0; i < 8; ++i) {
+    const std::optional<SimulatedDay> day =
+        simulator_.SimulateDay("t", "tr", i, &rng);
+    if (!day.has_value()) continue;
+    removed_total += static_cast<int>(
+        traj::FilterNoise(day->raw).removed_indices.size());
+  }
+  // outlier_prob ~0.4% over thousands of points: expect at least a few.
+  EXPECT_GT(removed_total, 0);
+}
+
+TEST_F(TruckSimTest, WaybillCorruptionRatesRoughlyMatchOptions) {
+  Rng rng(15);
+  int defaults = 0;
+  int total = 0;
+  for (int i = 0; i < 30; ++i) {
+    const std::optional<SimulatedDay> day =
+        simulator_.SimulateDay("t", "tr", i, &rng);
+    if (!day.has_value()) continue;
+    ++total;
+    defaults += day->waybill.used_default_times ? 1 : 0;
+  }
+  ASSERT_GT(total, 20);
+  // 45% +- wide tolerance.
+  EXPECT_GT(defaults, total / 5);
+  EXPECT_LT(defaults, total * 4 / 5);
+}
+
+TEST(DatasetTest, GeneratesAndSplitsByTruck) {
+  const std::unique_ptr<World> world = World::Generate(SmallWorldOptions());
+  const TruckSimulator simulator(world.get(), SimOptions(),
+                                 traj::NoiseFilterOptions(),
+                                 traj::StayPointOptions());
+  DatasetOptions options;
+  options.num_trajectories = 40;
+  options.num_trucks = 20;
+  options.seed = 3;
+  auto dataset = GenerateDataset(*world, simulator, options);
+  ASSERT_TRUE(dataset.ok()) << dataset.status();
+  EXPECT_EQ(static_cast<int>(dataset->days.size()), 40);
+
+  const DatasetSplit split = SplitByTruck(*std::move(dataset), options);
+  EXPECT_FALSE(split.train.empty());
+  EXPECT_FALSE(split.val.empty());
+  EXPECT_FALSE(split.test.empty());
+  EXPECT_EQ(split.train.size() + split.val.size() + split.test.size(), 40u);
+
+  std::unordered_set<std::string> train_trucks;
+  for (const SimulatedDay& d : split.train) {
+    train_trucks.insert(d.raw.truck_id);
+  }
+  for (const SimulatedDay& d : split.val) {
+    EXPECT_FALSE(train_trucks.contains(d.raw.truck_id));
+  }
+  for (const SimulatedDay& d : split.test) {
+    EXPECT_FALSE(train_trucks.contains(d.raw.truck_id));
+  }
+}
+
+TEST(DatasetTest, StayCountsSpanBuckets) {
+  const std::unique_ptr<World> world = World::Generate(SmallWorldOptions());
+  const TruckSimulator simulator(world.get(), SimOptions(),
+                                 traj::NoiseFilterOptions(),
+                                 traj::StayPointOptions());
+  DatasetOptions options;
+  options.num_trajectories = 60;
+  options.num_trucks = 30;
+  options.seed = 4;
+  auto dataset = GenerateDataset(*world, simulator, options);
+  ASSERT_TRUE(dataset.ok()) << dataset.status();
+  std::set<int> buckets;
+  for (const SimulatedDay& d : dataset->days) {
+    const int b = eval::BucketOf(d.num_stay_points);
+    ASSERT_GE(b, 0);
+    buckets.insert(b);
+  }
+  // All four buckets should appear in 60 draws (shares 22/34/25/19%).
+  EXPECT_EQ(buckets.size(), 4u);
+}
+
+TEST(DatasetTest, RejectsBadOptions) {
+  const std::unique_ptr<World> world = World::Generate(SmallWorldOptions());
+  const TruckSimulator simulator(world.get(), SimOptions(),
+                                 traj::NoiseFilterOptions(),
+                                 traj::StayPointOptions());
+  DatasetOptions options;
+  options.num_trajectories = 0;
+  EXPECT_FALSE(GenerateDataset(*world, simulator, options).ok());
+}
+
+}  // namespace
+}  // namespace lead::sim

@@ -1,0 +1,126 @@
+// Tests for Douglas-Peucker simplification and track statistics.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "traj/simplify.h"
+
+namespace lead::traj {
+namespace {
+
+constexpr geo::LatLng kOrigin{32.0, 120.9};
+
+GpsPoint At(double east, double north, int64_t t) {
+  return GpsPoint{geo::OffsetMeters(kOrigin, east, north), t};
+}
+
+TEST(SimplifyTest, StraightLineCollapsesToEndpoints) {
+  std::vector<GpsPoint> points;
+  for (int i = 0; i <= 10; ++i) points.push_back(At(i * 100.0, 0.0, i * 60));
+  const std::vector<int> kept = SimplifyIndices(points, 20.0);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept.front(), 0);
+  EXPECT_EQ(kept.back(), 10);
+}
+
+TEST(SimplifyTest, KeepsSignificantCorner) {
+  std::vector<GpsPoint> points;
+  for (int i = 0; i <= 5; ++i) points.push_back(At(i * 100.0, 0.0, i * 60));
+  for (int i = 1; i <= 5; ++i) {
+    points.push_back(At(500.0, i * 100.0, (5 + i) * 60));
+  }
+  const std::vector<int> kept = SimplifyIndices(points, 20.0);
+  // First, corner (index 5), last.
+  ASSERT_EQ(kept.size(), 3u);
+  EXPECT_EQ(kept[1], 5);
+}
+
+TEST(SimplifyTest, ToleranceControlsDetail) {
+  // A sine-wave path: lower tolerance keeps more points.
+  std::vector<GpsPoint> points;
+  for (int i = 0; i <= 60; ++i) {
+    points.push_back(
+        At(i * 100.0, 300.0 * std::sin(i * 0.4), i * 60));
+  }
+  const size_t coarse = SimplifyIndices(points, 250.0).size();
+  const size_t fine = SimplifyIndices(points, 20.0).size();
+  EXPECT_LT(coarse, fine);
+  EXPECT_GT(fine, 10u);
+}
+
+TEST(SimplifyTest, TinyInputsPassThrough) {
+  std::vector<GpsPoint> empty;
+  EXPECT_TRUE(SimplifyIndices(empty, 10.0).empty());
+  std::vector<GpsPoint> two = {At(0, 0, 0), At(100, 0, 60)};
+  EXPECT_EQ(SimplifyIndices(two, 10.0).size(), 2u);
+}
+
+TEST(SimplifyTest, SimplifiedTrajectoryKeepsMetadataAndOrder) {
+  RawTrajectory t;
+  t.trajectory_id = "id";
+  t.truck_id = "truck";
+  for (int i = 0; i <= 20; ++i) {
+    t.points.push_back(At(i * 100.0, (i % 2) * 250.0, i * 60));
+  }
+  const RawTrajectory simplified = Simplify(t, 30.0);
+  EXPECT_EQ(simplified.trajectory_id, "id");
+  EXPECT_GE(simplified.size(), 2);
+  EXPECT_TRUE(ValidateChronological(simplified).ok());
+}
+
+TEST(SimplifyTest, MaxErrorIsBoundedByTolerance) {
+  // Property: every dropped point is within tolerance of the simplified
+  // polyline (checked against the segment between its surviving
+  // neighbours).
+  Rng rng(9);
+  std::vector<GpsPoint> points;
+  double north = 0.0;
+  for (int i = 0; i <= 80; ++i) {
+    north += rng.Gaussian(0, 60);
+    points.push_back(At(i * 120.0, north, i * 60));
+  }
+  const double tolerance = 100.0;
+  const std::vector<int> kept = SimplifyIndices(points, tolerance);
+  for (size_t k = 1; k < kept.size(); ++k) {
+    const geo::LatLng& a = points[kept[k - 1]].pos;
+    const geo::LatLng& b = points[kept[k]].pos;
+    for (int i = kept[k - 1] + 1; i < kept[k]; ++i) {
+      const geo::EastNorth ab = geo::ToLocalMeters(a, b);
+      const geo::EastNorth ap = geo::ToLocalMeters(a, points[i].pos);
+      const double len_sq = ab.east_m * ab.east_m + ab.north_m * ab.north_m;
+      double t = len_sq > 0 ? (ap.east_m * ab.east_m +
+                               ap.north_m * ab.north_m) / len_sq
+                            : 0.0;
+      t = std::clamp(t, 0.0, 1.0);
+      const double d = std::hypot(ap.east_m - t * ab.east_m,
+                                  ap.north_m - t * ab.north_m);
+      // Douglas-Peucker guarantees distance to the *recursive* polyline;
+      // allow slack for the local-plane approximation.
+      EXPECT_LE(d, tolerance + 1.0);
+    }
+  }
+}
+
+TEST(TrackStatsTest, ComputesSpeedAndStraightness) {
+  std::vector<GpsPoint> points;
+  // 1 km straight east over 120 s -> 30 km/h.
+  points.push_back(At(0, 0, 0));
+  points.push_back(At(500, 0, 60));
+  points.push_back(At(1000, 0, 120));
+  const TrackStats stats = ComputeStats(points, IndexRange{0, 2});
+  EXPECT_NEAR(stats.path_length_m, 1000.0, 2.0);
+  EXPECT_EQ(stats.duration_s, 120);
+  EXPECT_NEAR(stats.mean_speed_kmh, 30.0, 0.2);
+  EXPECT_NEAR(stats.max_leg_speed_kmh, 30.0, 0.2);
+  EXPECT_NEAR(stats.straightness, 1.0, 1e-3);
+}
+
+TEST(TrackStatsTest, DetourLowersStraightness) {
+  std::vector<GpsPoint> points = {
+      At(0, 0, 0), At(500, 800, 60), At(1000, 0, 120)};
+  const TrackStats stats = ComputeStats(points, IndexRange{0, 2});
+  EXPECT_LT(stats.straightness, 0.6);
+  EXPECT_GT(stats.straightness, 0.3);
+}
+
+}  // namespace
+}  // namespace lead::traj

@@ -1,0 +1,260 @@
+// Unit and property tests for the trajectory substrate: noise filtering,
+// stay-point extraction, segmentation and candidate generation.
+#include <gtest/gtest.h>
+
+#include "traj/noise_filter.h"
+#include "traj/segmentation.h"
+#include "traj/stay_point.h"
+#include "traj/trajectory.h"
+
+namespace lead::traj {
+namespace {
+
+constexpr geo::LatLng kOrigin{32.0, 120.9};
+
+// Builds a trajectory from (east_m, north_m, t) triples around kOrigin.
+RawTrajectory MakeTrajectory(
+    const std::vector<std::tuple<double, double, int64_t>>& specs) {
+  RawTrajectory trajectory;
+  trajectory.trajectory_id = "test";
+  trajectory.truck_id = "truck";
+  for (const auto& [east, north, t] : specs) {
+    trajectory.points.push_back(
+        GpsPoint{geo::OffsetMeters(kOrigin, east, north), t});
+  }
+  return trajectory;
+}
+
+TEST(TrajectoryTest, ValidateChronologicalAcceptsIncreasing) {
+  const RawTrajectory t = MakeTrajectory({{0, 0, 0}, {10, 0, 60}});
+  EXPECT_TRUE(ValidateChronological(t).ok());
+}
+
+TEST(TrajectoryTest, ValidateChronologicalRejectsDuplicateTimestamps) {
+  const RawTrajectory t = MakeTrajectory({{0, 0, 60}, {10, 0, 60}});
+  EXPECT_FALSE(ValidateChronological(t).ok());
+}
+
+TEST(TrajectoryTest, SpeedKmh) {
+  const RawTrajectory t = MakeTrajectory({{0, 0, 0}, {1000, 0, 3600}});
+  // 1 km in 1 hour.
+  EXPECT_NEAR(SpeedKmh(t.points[0], t.points[1]), 1.0, 0.01);
+}
+
+TEST(TrajectoryTest, SpeedInfiniteForNonPositiveDt) {
+  const RawTrajectory t = MakeTrajectory({{0, 0, 100}, {10, 0, 100}});
+  EXPECT_TRUE(std::isinf(SpeedKmh(t.points[0], t.points[1])));
+}
+
+TEST(TrajectoryTest, CentroidAndDuration) {
+  const RawTrajectory t =
+      MakeTrajectory({{0, 0, 0}, {100, 0, 60}, {200, 0, 120}});
+  const IndexRange all{0, 2};
+  EXPECT_EQ(DurationSeconds(t.points, all), 120);
+  const geo::LatLng c = Centroid(t.points, all);
+  EXPECT_NEAR(geo::ToLocalMeters(kOrigin, c).east_m, 100.0, 1.0);
+  EXPECT_NEAR(PathLengthMeters(t.points, all), 200.0, 1.0);
+}
+
+TEST(NoiseFilterTest, RemovesSpeedOutlier) {
+  // 2-minute sampling; the middle point jumps 10 km (=300 km/h).
+  const RawTrajectory t =
+      MakeTrajectory({{0, 0, 0}, {10000, 0, 120}, {200, 0, 240}});
+  const NoiseFilterResult result = FilterNoise(t);
+  EXPECT_EQ(result.cleaned.size(), 2);
+  ASSERT_EQ(result.removed_indices.size(), 1u);
+  EXPECT_EQ(result.removed_indices[0], 1);
+}
+
+TEST(NoiseFilterTest, KeepsNormalDriving) {
+  // ~60 km/h hops.
+  const RawTrajectory t =
+      MakeTrajectory({{0, 0, 0}, {2000, 0, 120}, {4000, 0, 240}});
+  const NoiseFilterResult result = FilterNoise(t);
+  EXPECT_EQ(result.cleaned.size(), 3);
+  EXPECT_TRUE(result.removed_indices.empty());
+}
+
+TEST(NoiseFilterTest, ComparesAgainstLastKeptPoint) {
+  // Two consecutive outliers: both must go (each compared to the last
+  // *kept* point, not its raw precursor).
+  const RawTrajectory t = MakeTrajectory(
+      {{0, 0, 0}, {10000, 0, 120}, {10200, 0, 240}, {400, 0, 360}});
+  const NoiseFilterResult result = FilterNoise(t);
+  EXPECT_EQ(result.cleaned.size(), 2);
+  EXPECT_EQ(result.removed_indices.size(), 2u);
+}
+
+TEST(NoiseFilterTest, PreservesMetadataAndEmptyInput) {
+  RawTrajectory t;
+  t.trajectory_id = "id";
+  t.truck_id = "tr";
+  const NoiseFilterResult result = FilterNoise(t);
+  EXPECT_EQ(result.cleaned.trajectory_id, "id");
+  EXPECT_EQ(result.cleaned.truck_id, "tr");
+  EXPECT_TRUE(result.cleaned.empty());
+}
+
+// A stay: `count` points within a tight disc, `dt` seconds apart.
+void AppendStay(std::vector<std::tuple<double, double, int64_t>>* specs,
+                double east, double north, int count, int64_t dt = 240) {
+  int64_t t = specs->empty() ? 0 : std::get<2>(specs->back()) + dt;
+  for (int i = 0; i < count; ++i) {
+    specs->push_back({east + 10.0 * (i % 3), north + 10.0 * (i % 2), t});
+    t += dt;
+  }
+}
+
+// A move: points stepping `step_m` east each `dt` seconds.
+void AppendMove(std::vector<std::tuple<double, double, int64_t>>* specs,
+                double from_east, double to_east, double north,
+                double step_m = 1500.0, int64_t dt = 120) {
+  int64_t t = specs->empty() ? 0 : std::get<2>(specs->back()) + dt;
+  for (double e = from_east + step_m; e < to_east - step_m / 2;
+       e += step_m) {
+    specs->push_back({e, north, t});
+    t += dt;
+  }
+}
+
+RawTrajectory TwoStayTrajectory() {
+  std::vector<std::tuple<double, double, int64_t>> specs;
+  AppendStay(&specs, 0, 0, 6);           // 20 min within 30 m
+  AppendMove(&specs, 0, 10000, 0);       // drive 10 km east
+  AppendStay(&specs, 10000, 0, 6);       // second stay
+  return MakeTrajectory(specs);
+}
+
+TEST(StayPointTest, ExtractsTwoStays) {
+  const RawTrajectory t = TwoStayTrajectory();
+  const std::vector<StayPoint> stays = ExtractStayPoints(t);
+  ASSERT_EQ(stays.size(), 2u);
+  EXPECT_NEAR(geo::ToLocalMeters(kOrigin, stays[0].centroid).east_m, 10.0,
+              30.0);
+  EXPECT_NEAR(geo::ToLocalMeters(kOrigin, stays[1].centroid).east_m, 10010.0,
+              30.0);
+  EXPECT_GE(stays[0].duration_s(), 15 * 60);
+}
+
+TEST(StayPointTest, ShortDwellIsNotAStay) {
+  std::vector<std::tuple<double, double, int64_t>> specs;
+  AppendStay(&specs, 0, 0, 3, /*dt=*/240);  // only 8 min within disc
+  AppendMove(&specs, 0, 8000, 0);
+  const RawTrajectory t = MakeTrajectory(specs);
+  StayPointOptions options;
+  options.min_duration_s = 15 * 60;
+  EXPECT_TRUE(ExtractStayPoints(t, options).empty());
+}
+
+TEST(StayPointTest, WideWanderIsNotAStay) {
+  // Points 400 m apart drift out of the 500 m disc around the anchor.
+  std::vector<std::tuple<double, double, int64_t>> specs;
+  for (int i = 0; i < 10; ++i) {
+    specs.push_back({i * 400.0, 0.0, i * 240});
+  }
+  EXPECT_TRUE(ExtractStayPoints(MakeTrajectory(specs)).empty());
+}
+
+TEST(StayPointTest, StaysAreOrderedAndDisjoint) {
+  const RawTrajectory t = TwoStayTrajectory();
+  const std::vector<StayPoint> stays = ExtractStayPoints(t);
+  for (size_t i = 1; i < stays.size(); ++i) {
+    EXPECT_GT(stays[i].range.begin, stays[i - 1].range.end);
+    EXPECT_GT(stays[i].arrival_t, stays[i - 1].departure_t);
+  }
+}
+
+TEST(StayPointTest, RespectsDistanceThresholdParameter) {
+  const RawTrajectory t = TwoStayTrajectory();
+  StayPointOptions generous;
+  generous.max_distance_m = 50000.0;  // everything within one disc
+  const std::vector<StayPoint> stays = ExtractStayPoints(t, generous);
+  ASSERT_EQ(stays.size(), 1u);
+  EXPECT_EQ(stays[0].range.begin, 0);
+  EXPECT_EQ(stays[0].range.end, t.size() - 1);
+}
+
+TEST(SegmentationTest, AlternatesStaysAndMoves) {
+  const RawTrajectory t = TwoStayTrajectory();
+  Segmentation seg = Segment(t, ExtractStayPoints(t));
+  ASSERT_EQ(seg.num_stays(), 2);
+  ASSERT_EQ(seg.moves.size(), 3u);
+  EXPECT_FALSE(seg.moves[0].has_points);  // trajectory starts in a stay
+  EXPECT_TRUE(seg.moves[1].has_points);   // the 10 km drive
+  EXPECT_FALSE(seg.moves[2].has_points);  // ends in a stay
+  // The interior move exactly covers the gap.
+  EXPECT_EQ(seg.moves[1].range.begin, seg.stays[0].range.end + 1);
+  EXPECT_EQ(seg.moves[1].range.end, seg.stays[1].range.begin - 1);
+}
+
+TEST(SegmentationTest, EmptyMoveBetweenAdjacentStays) {
+  // Two stays with zero intermediate points (a single >500 m hop).
+  std::vector<std::tuple<double, double, int64_t>> specs;
+  AppendStay(&specs, 0, 0, 6);
+  AppendStay(&specs, 2000, 0, 6);
+  const RawTrajectory t = MakeTrajectory(specs);
+  Segmentation seg = Segment(t, ExtractStayPoints(t));
+  ASSERT_EQ(seg.num_stays(), 2);
+  EXPECT_FALSE(seg.moves[1].has_points);
+  EXPECT_EQ(seg.moves[1].size(), 0);
+}
+
+TEST(SegmentationTest, CoversEveryPointExactlyOnce) {
+  const RawTrajectory t = TwoStayTrajectory();
+  Segmentation seg = Segment(t, ExtractStayPoints(t));
+  std::vector<int> covered(t.size(), 0);
+  for (const StayPoint& sp : seg.stays) {
+    for (int i = sp.range.begin; i <= sp.range.end; ++i) covered[i]++;
+  }
+  for (const MoveSegment& mp : seg.moves) {
+    if (!mp.has_points) continue;
+    for (int i = mp.range.begin; i <= mp.range.end; ++i) covered[i]++;
+  }
+  for (int i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(covered[i], 1) << "point " << i;
+  }
+}
+
+class CandidateSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CandidateSweep, CountAndOrderInvariants) {
+  const int n = GetParam();
+  const std::vector<Candidate> candidates = GenerateCandidates(n);
+  EXPECT_EQ(static_cast<int>(candidates.size()), NumCandidates(n));
+  EXPECT_EQ(NumCandidates(n), n * (n - 1) / 2);
+  for (int i = 0; i < static_cast<int>(candidates.size()); ++i) {
+    const Candidate& c = candidates[i];
+    EXPECT_LT(c.start_sp, c.end_sp);
+    EXPECT_LT(c.end_sp, n);
+    // Flat index agrees with position.
+    EXPECT_EQ(CandidateFlatIndex(n, c), i);
+    if (i > 0) {
+      const Candidate& prev = candidates[i - 1];
+      EXPECT_TRUE(prev.start_sp < c.start_sp ||
+                  (prev.start_sp == c.start_sp && prev.end_sp < c.end_sp));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(StayCounts, CandidateSweep,
+                         ::testing::Values(2, 3, 5, 8, 14));
+
+TEST(CandidateTest, PaperExampleCounts) {
+  // Paper: 5 stay points -> 10 candidates; 14 -> 91; 3 -> 3.
+  EXPECT_EQ(NumCandidates(5), 10);
+  EXPECT_EQ(NumCandidates(14), 91);
+  EXPECT_EQ(NumCandidates(3), 3);
+  EXPECT_EQ(NumCandidates(1), 0);
+  EXPECT_EQ(NumCandidates(0), 0);
+}
+
+TEST(CandidateTest, CandidateRangeSpansStayEndpoints) {
+  const RawTrajectory t = TwoStayTrajectory();
+  Segmentation seg = Segment(t, ExtractStayPoints(t));
+  const IndexRange range = CandidateRange(seg, Candidate{0, 1});
+  EXPECT_EQ(range.begin, seg.stays[0].range.begin);
+  EXPECT_EQ(range.end, seg.stays[1].range.end);
+}
+
+}  // namespace
+}  // namespace lead::traj

@@ -1,0 +1,93 @@
+// Scratch diagnostic: training dynamics + c-vec dispersion + accuracy.
+#include <cstdio>
+#include <cmath>
+#include "baselines/sp_rnn.h"
+#include "baselines/sp_rule.h"
+#include "core/lead.h"
+#include "eval/harness.h"
+
+using namespace lead;
+
+int main(int argc, char** argv) {
+  double lr = argc > 1 ? atof(argv[1]) : 1e-3;
+  int ae_epochs = argc > 2 ? atoi(argv[2]) : 6;
+  int det_epochs = argc > 3 ? atoi(argv[3]) : 40;
+  int ntraj = argc > 4 ? atoi(argv[4]) : 56;
+  eval::ExperimentConfig config = eval::DefaultConfig(1.0);
+  config.world.num_background_pois = 3000;
+  config.world.num_loading_facilities = 10;
+  config.world.num_unloading_facilities = 20;
+  config.world.num_rest_areas = 24;
+  config.world.num_depots = 8;
+  config.dataset.num_trajectories = ntraj;
+  config.dataset.num_trucks = ntraj/2;
+  config.sim.sample_interval_mean_s = 240.0;
+  config.lead.train.autoencoder_epochs = ae_epochs;
+  config.lead.train.detector_epochs = det_epochs;
+  config.lead.train.max_candidates_per_trajectory = 4;
+  config.lead.train.batch_size = 8;
+  config.lead.train.learning_rate = (float)lr;
+  config.lead.train.early_stopping_patience = 8;
+  config.lead.train.verbose = true;
+  auto data = eval::BuildExperiment(config);
+  if (!data.ok()) { printf("build failed: %s\n", data.status().ToString().c_str()); return 1; }
+  printf("train=%zu val=%zu test=%zu\n", data->split.train.size(), data->split.val.size(), data->split.test.size());
+  core::LeadModel model(config.lead);
+  core::TrainingLog log;
+  auto st = model.Train(data->TrainLabeled(), data->ValLabeled(), data->world->poi_index(), &log);
+  if (!st.ok()) { printf("train failed: %s\n", st.ToString().c_str()); return 1; }
+
+  // c-vec dispersion on one test trajectory
+  auto pt = model.Preprocess(data->split.test[0].raw, data->world->poi_index());
+  auto cvecs = model.EncodeCandidates(*pt);
+  double mean_norm=0, mean_pair_dist=0; int pairs=0;
+  for (auto& m : cvecs) { double n2=0; for (int i=0;i<m.size();++i) n2+=m.data()[i]*m.data()[i]; mean_norm+=sqrt(n2); }
+  mean_norm/=cvecs.size();
+  for (size_t i=0;i<cvecs.size();++i) for (size_t j=i+1;j<cvecs.size();++j) {
+    double d2=0; for (int k=0;k<cvecs[i].size();++k){double d=cvecs[i].data()[k]-cvecs[j].data()[k]; d2+=d*d;} mean_pair_dist+=sqrt(d2); ++pairs; }
+  mean_pair_dist/=pairs;
+  printf("cvec mean norm %.3f  mean pairwise dist %.3f (n=%zu)\n", mean_norm, mean_pair_dist, cvecs.size());
+
+  auto result = eval::EvaluateMethod("LEAD", data->split.test, [&](const traj::RawTrajectory& raw) -> StatusOr<traj::Candidate> {
+    auto d = model.Detect(raw, data->world->poi_index());
+    if (!d.ok()) return d.status();
+    return d->loaded;
+  });
+  printf("test acc = %.1f%%  (errors %d)\n", result.accuracy.overall().accuracy_pct(), result.errors);
+  // also print distribution of detected candidates vs label
+  int first_last=0, zero_one=0;
+  for (auto& day : data->split.test) {
+    auto d = model.Detect(day.raw, data->world->poi_index());
+    if (!d.ok()) continue;
+    int n = d->num_stays;
+    if (d->loaded.start_sp==n-2 && d->loaded.end_sp==n-1) first_last++;
+    if (d->loaded.start_sp==0 && d->loaded.end_sp==1) zero_one++;
+    printf("  n=%2d label=(%d,%d) detected=(%d,%d)\n", n, day.loaded_label.start_sp, day.loaded_label.end_sp, d->loaded.start_sp, d->loaded.end_sp);
+  }
+  printf("structural picks: (n-2,n-1)=%d (0,1)=%d of %zu\n", first_last, zero_one, data->split.test.size());
+
+  // Baselines under the new world.
+  baselines::SpRuleBaseline sp_r(config.lead.pipeline, {});
+  if (sp_r.Train(data->TrainLabeled()).ok()) {
+    auto r = eval::EvaluateMethod("SP-R", data->split.test, [&](const traj::RawTrajectory& raw) -> StatusOr<traj::Candidate> {
+      auto d = sp_r.Detect(raw);
+      if (!d.ok()) return d.status();
+      return d->loaded;
+    });
+    printf("SP-R   acc = %.1f%%\n", r.accuracy.overall().accuracy_pct());
+  }
+  baselines::SpRnnOptions ropt;
+  ropt.cell = baselines::RnnCellType::kLstm;
+  ropt.train = config.lead.train;
+  ropt.train.detector_epochs = 20;
+  baselines::SpRnnBaseline sp_lstm(config.lead.pipeline, ropt);
+  if (sp_lstm.Train(data->TrainLabeled(), data->ValLabeled(), data->world->poi_index(), nullptr, nullptr).ok()) {
+    auto r = eval::EvaluateMethod("SP-LSTM", data->split.test, [&](const traj::RawTrajectory& raw) -> StatusOr<traj::Candidate> {
+      auto d = sp_lstm.Detect(raw, data->world->poi_index());
+      if (!d.ok()) return d.status();
+      return d->loaded;
+    });
+    printf("SP-LSTM acc = %.1f%%\n", r.accuracy.overall().accuracy_pct());
+  }
+  return 0;
+}
