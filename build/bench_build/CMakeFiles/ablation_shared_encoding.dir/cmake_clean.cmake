@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_shared_encoding"
+  "../bench/ablation_shared_encoding.pdb"
+  "CMakeFiles/ablation_shared_encoding.dir/ablation_shared_encoding.cc.o"
+  "CMakeFiles/ablation_shared_encoding.dir/ablation_shared_encoding.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_shared_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_detector_loss"
+  "../bench/fig10_detector_loss.pdb"
+  "CMakeFiles/fig10_detector_loss.dir/fig10_detector_loss.cc.o"
+  "CMakeFiles/fig10_detector_loss.dir/fig10_detector_loss.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_detector_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

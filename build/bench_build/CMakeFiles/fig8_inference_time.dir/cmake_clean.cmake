@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_inference_time"
+  "../bench/fig8_inference_time.pdb"
+  "CMakeFiles/fig8_inference_time.dir/fig8_inference_time.cc.o"
+  "CMakeFiles/fig8_inference_time.dir/fig8_inference_time.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_inference_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

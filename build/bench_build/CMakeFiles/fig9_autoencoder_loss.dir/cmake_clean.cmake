@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_autoencoder_loss"
+  "../bench/fig9_autoencoder_loss.pdb"
+  "CMakeFiles/fig9_autoencoder_loss.dir/fig9_autoencoder_loss.cc.o"
+  "CMakeFiles/fig9_autoencoder_loss.dir/fig9_autoencoder_loss.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_autoencoder_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

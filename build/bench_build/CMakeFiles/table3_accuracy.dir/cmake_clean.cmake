@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_accuracy"
+  "../bench/table3_accuracy.pdb"
+  "CMakeFiles/table3_accuracy.dir/table3_accuracy.cc.o"
+  "CMakeFiles/table3_accuracy.dir/table3_accuracy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lead_cli.dir/lead_cli.cc.o"
+  "CMakeFiles/lead_cli.dir/lead_cli.cc.o.d"
+  "lead_cli"
+  "lead_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lead_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

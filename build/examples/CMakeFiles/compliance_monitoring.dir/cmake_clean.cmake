@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compliance_monitoring.dir/compliance_monitoring.cc.o"
+  "CMakeFiles/compliance_monitoring.dir/compliance_monitoring.cc.o.d"
+  "compliance_monitoring"
+  "compliance_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compliance_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

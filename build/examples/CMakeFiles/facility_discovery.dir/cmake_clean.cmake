@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/facility_discovery.dir/facility_discovery.cc.o"
+  "CMakeFiles/facility_discovery.dir/facility_discovery.cc.o.d"
+  "facility_discovery"
+  "facility_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/facility_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waybill_audit.dir/waybill_audit.cc.o"
+  "CMakeFiles/waybill_audit.dir/waybill_audit.cc.o.d"
+  "waybill_audit"
+  "waybill_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waybill_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

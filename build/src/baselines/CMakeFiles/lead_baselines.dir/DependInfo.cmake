@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/baseline.cc" "src/baselines/CMakeFiles/lead_baselines.dir/baseline.cc.o" "gcc" "src/baselines/CMakeFiles/lead_baselines.dir/baseline.cc.o.d"
+  "/root/repo/src/baselines/sp_rnn.cc" "src/baselines/CMakeFiles/lead_baselines.dir/sp_rnn.cc.o" "gcc" "src/baselines/CMakeFiles/lead_baselines.dir/sp_rnn.cc.o.d"
+  "/root/repo/src/baselines/sp_rule.cc" "src/baselines/CMakeFiles/lead_baselines.dir/sp_rule.cc.o" "gcc" "src/baselines/CMakeFiles/lead_baselines.dir/sp_rule.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lead_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/lead_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/traj/CMakeFiles/lead_traj.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lead_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/poi/CMakeFiles/lead_poi.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/lead_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

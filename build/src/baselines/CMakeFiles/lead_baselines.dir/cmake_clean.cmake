@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lead_baselines.dir/baseline.cc.o"
+  "CMakeFiles/lead_baselines.dir/baseline.cc.o.d"
+  "CMakeFiles/lead_baselines.dir/sp_rnn.cc.o"
+  "CMakeFiles/lead_baselines.dir/sp_rnn.cc.o.d"
+  "CMakeFiles/lead_baselines.dir/sp_rule.cc.o"
+  "CMakeFiles/lead_baselines.dir/sp_rule.cc.o.d"
+  "liblead_baselines.a"
+  "liblead_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lead_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lead_common.dir/status.cc.o"
+  "CMakeFiles/lead_common.dir/status.cc.o.d"
+  "liblead_common.a"
+  "liblead_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lead_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

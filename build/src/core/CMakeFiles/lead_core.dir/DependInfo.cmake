@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/autoencoder.cc" "src/core/CMakeFiles/lead_core.dir/autoencoder.cc.o" "gcc" "src/core/CMakeFiles/lead_core.dir/autoencoder.cc.o.d"
+  "/root/repo/src/core/detector.cc" "src/core/CMakeFiles/lead_core.dir/detector.cc.o" "gcc" "src/core/CMakeFiles/lead_core.dir/detector.cc.o.d"
+  "/root/repo/src/core/features.cc" "src/core/CMakeFiles/lead_core.dir/features.cc.o" "gcc" "src/core/CMakeFiles/lead_core.dir/features.cc.o.d"
+  "/root/repo/src/core/grouping.cc" "src/core/CMakeFiles/lead_core.dir/grouping.cc.o" "gcc" "src/core/CMakeFiles/lead_core.dir/grouping.cc.o.d"
+  "/root/repo/src/core/labels.cc" "src/core/CMakeFiles/lead_core.dir/labels.cc.o" "gcc" "src/core/CMakeFiles/lead_core.dir/labels.cc.o.d"
+  "/root/repo/src/core/lead.cc" "src/core/CMakeFiles/lead_core.dir/lead.cc.o" "gcc" "src/core/CMakeFiles/lead_core.dir/lead.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/core/CMakeFiles/lead_core.dir/pipeline.cc.o" "gcc" "src/core/CMakeFiles/lead_core.dir/pipeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/lead_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/traj/CMakeFiles/lead_traj.dir/DependInfo.cmake"
+  "/root/repo/build/src/poi/CMakeFiles/lead_poi.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/lead_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lead_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lead_core.dir/autoencoder.cc.o"
+  "CMakeFiles/lead_core.dir/autoencoder.cc.o.d"
+  "CMakeFiles/lead_core.dir/detector.cc.o"
+  "CMakeFiles/lead_core.dir/detector.cc.o.d"
+  "CMakeFiles/lead_core.dir/features.cc.o"
+  "CMakeFiles/lead_core.dir/features.cc.o.d"
+  "CMakeFiles/lead_core.dir/grouping.cc.o"
+  "CMakeFiles/lead_core.dir/grouping.cc.o.d"
+  "CMakeFiles/lead_core.dir/labels.cc.o"
+  "CMakeFiles/lead_core.dir/labels.cc.o.d"
+  "CMakeFiles/lead_core.dir/lead.cc.o"
+  "CMakeFiles/lead_core.dir/lead.cc.o.d"
+  "CMakeFiles/lead_core.dir/pipeline.cc.o"
+  "CMakeFiles/lead_core.dir/pipeline.cc.o.d"
+  "liblead_core.a"
+  "liblead_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lead_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

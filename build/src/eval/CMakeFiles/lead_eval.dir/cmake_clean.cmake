@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lead_eval.dir/harness.cc.o"
+  "CMakeFiles/lead_eval.dir/harness.cc.o.d"
+  "CMakeFiles/lead_eval.dir/metrics.cc.o"
+  "CMakeFiles/lead_eval.dir/metrics.cc.o.d"
+  "liblead_eval.a"
+  "liblead_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lead_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

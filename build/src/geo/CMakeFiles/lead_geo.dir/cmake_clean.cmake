@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lead_geo.dir/dbscan.cc.o"
+  "CMakeFiles/lead_geo.dir/dbscan.cc.o.d"
+  "CMakeFiles/lead_geo.dir/latlng.cc.o"
+  "CMakeFiles/lead_geo.dir/latlng.cc.o.d"
+  "liblead_geo.a"
+  "liblead_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lead_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

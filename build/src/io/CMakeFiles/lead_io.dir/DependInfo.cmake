@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/csv.cc" "src/io/CMakeFiles/lead_io.dir/csv.cc.o" "gcc" "src/io/CMakeFiles/lead_io.dir/csv.cc.o.d"
+  "/root/repo/src/io/geojson.cc" "src/io/CMakeFiles/lead_io.dir/geojson.cc.o" "gcc" "src/io/CMakeFiles/lead_io.dir/geojson.cc.o.d"
+  "/root/repo/src/io/gpx.cc" "src/io/CMakeFiles/lead_io.dir/gpx.cc.o" "gcc" "src/io/CMakeFiles/lead_io.dir/gpx.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/traj/CMakeFiles/lead_traj.dir/DependInfo.cmake"
+  "/root/repo/build/src/poi/CMakeFiles/lead_poi.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lead_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/lead_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lead_io.dir/csv.cc.o"
+  "CMakeFiles/lead_io.dir/csv.cc.o.d"
+  "CMakeFiles/lead_io.dir/geojson.cc.o"
+  "CMakeFiles/lead_io.dir/geojson.cc.o.d"
+  "CMakeFiles/lead_io.dir/gpx.cc.o"
+  "CMakeFiles/lead_io.dir/gpx.cc.o.d"
+  "liblead_io.a"
+  "liblead_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lead_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/adam.cc" "src/nn/CMakeFiles/lead_nn.dir/adam.cc.o" "gcc" "src/nn/CMakeFiles/lead_nn.dir/adam.cc.o.d"
+  "/root/repo/src/nn/attention.cc" "src/nn/CMakeFiles/lead_nn.dir/attention.cc.o" "gcc" "src/nn/CMakeFiles/lead_nn.dir/attention.cc.o.d"
+  "/root/repo/src/nn/gru.cc" "src/nn/CMakeFiles/lead_nn.dir/gru.cc.o" "gcc" "src/nn/CMakeFiles/lead_nn.dir/gru.cc.o.d"
+  "/root/repo/src/nn/init.cc" "src/nn/CMakeFiles/lead_nn.dir/init.cc.o" "gcc" "src/nn/CMakeFiles/lead_nn.dir/init.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/nn/CMakeFiles/lead_nn.dir/linear.cc.o" "gcc" "src/nn/CMakeFiles/lead_nn.dir/linear.cc.o.d"
+  "/root/repo/src/nn/lstm.cc" "src/nn/CMakeFiles/lead_nn.dir/lstm.cc.o" "gcc" "src/nn/CMakeFiles/lead_nn.dir/lstm.cc.o.d"
+  "/root/repo/src/nn/matrix.cc" "src/nn/CMakeFiles/lead_nn.dir/matrix.cc.o" "gcc" "src/nn/CMakeFiles/lead_nn.dir/matrix.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/nn/CMakeFiles/lead_nn.dir/module.cc.o" "gcc" "src/nn/CMakeFiles/lead_nn.dir/module.cc.o.d"
+  "/root/repo/src/nn/normalizer.cc" "src/nn/CMakeFiles/lead_nn.dir/normalizer.cc.o" "gcc" "src/nn/CMakeFiles/lead_nn.dir/normalizer.cc.o.d"
+  "/root/repo/src/nn/ops.cc" "src/nn/CMakeFiles/lead_nn.dir/ops.cc.o" "gcc" "src/nn/CMakeFiles/lead_nn.dir/ops.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/lead_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/lead_nn.dir/optimizer.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/nn/CMakeFiles/lead_nn.dir/serialize.cc.o" "gcc" "src/nn/CMakeFiles/lead_nn.dir/serialize.cc.o.d"
+  "/root/repo/src/nn/sgd.cc" "src/nn/CMakeFiles/lead_nn.dir/sgd.cc.o" "gcc" "src/nn/CMakeFiles/lead_nn.dir/sgd.cc.o.d"
+  "/root/repo/src/nn/variable.cc" "src/nn/CMakeFiles/lead_nn.dir/variable.cc.o" "gcc" "src/nn/CMakeFiles/lead_nn.dir/variable.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lead_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

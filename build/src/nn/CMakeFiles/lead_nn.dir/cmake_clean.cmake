@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lead_nn.dir/adam.cc.o"
+  "CMakeFiles/lead_nn.dir/adam.cc.o.d"
+  "CMakeFiles/lead_nn.dir/attention.cc.o"
+  "CMakeFiles/lead_nn.dir/attention.cc.o.d"
+  "CMakeFiles/lead_nn.dir/gru.cc.o"
+  "CMakeFiles/lead_nn.dir/gru.cc.o.d"
+  "CMakeFiles/lead_nn.dir/init.cc.o"
+  "CMakeFiles/lead_nn.dir/init.cc.o.d"
+  "CMakeFiles/lead_nn.dir/linear.cc.o"
+  "CMakeFiles/lead_nn.dir/linear.cc.o.d"
+  "CMakeFiles/lead_nn.dir/lstm.cc.o"
+  "CMakeFiles/lead_nn.dir/lstm.cc.o.d"
+  "CMakeFiles/lead_nn.dir/matrix.cc.o"
+  "CMakeFiles/lead_nn.dir/matrix.cc.o.d"
+  "CMakeFiles/lead_nn.dir/module.cc.o"
+  "CMakeFiles/lead_nn.dir/module.cc.o.d"
+  "CMakeFiles/lead_nn.dir/normalizer.cc.o"
+  "CMakeFiles/lead_nn.dir/normalizer.cc.o.d"
+  "CMakeFiles/lead_nn.dir/ops.cc.o"
+  "CMakeFiles/lead_nn.dir/ops.cc.o.d"
+  "CMakeFiles/lead_nn.dir/optimizer.cc.o"
+  "CMakeFiles/lead_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/lead_nn.dir/serialize.cc.o"
+  "CMakeFiles/lead_nn.dir/serialize.cc.o.d"
+  "CMakeFiles/lead_nn.dir/sgd.cc.o"
+  "CMakeFiles/lead_nn.dir/sgd.cc.o.d"
+  "CMakeFiles/lead_nn.dir/variable.cc.o"
+  "CMakeFiles/lead_nn.dir/variable.cc.o.d"
+  "liblead_nn.a"
+  "liblead_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lead_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/poi/poi.cc" "src/poi/CMakeFiles/lead_poi.dir/poi.cc.o" "gcc" "src/poi/CMakeFiles/lead_poi.dir/poi.cc.o.d"
+  "/root/repo/src/poi/poi_index.cc" "src/poi/CMakeFiles/lead_poi.dir/poi_index.cc.o" "gcc" "src/poi/CMakeFiles/lead_poi.dir/poi_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/lead_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lead_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

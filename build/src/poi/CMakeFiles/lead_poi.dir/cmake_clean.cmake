@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lead_poi.dir/poi.cc.o"
+  "CMakeFiles/lead_poi.dir/poi.cc.o.d"
+  "CMakeFiles/lead_poi.dir/poi_index.cc.o"
+  "CMakeFiles/lead_poi.dir/poi_index.cc.o.d"
+  "liblead_poi.a"
+  "liblead_poi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lead_poi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

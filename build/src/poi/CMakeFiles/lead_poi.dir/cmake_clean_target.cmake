@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblead_poi.a"
+)

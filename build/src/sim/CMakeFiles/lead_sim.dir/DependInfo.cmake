@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/dataset.cc" "src/sim/CMakeFiles/lead_sim.dir/dataset.cc.o" "gcc" "src/sim/CMakeFiles/lead_sim.dir/dataset.cc.o.d"
+  "/root/repo/src/sim/truck_sim.cc" "src/sim/CMakeFiles/lead_sim.dir/truck_sim.cc.o" "gcc" "src/sim/CMakeFiles/lead_sim.dir/truck_sim.cc.o.d"
+  "/root/repo/src/sim/world.cc" "src/sim/CMakeFiles/lead_sim.dir/world.cc.o" "gcc" "src/sim/CMakeFiles/lead_sim.dir/world.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/traj/CMakeFiles/lead_traj.dir/DependInfo.cmake"
+  "/root/repo/build/src/poi/CMakeFiles/lead_poi.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/lead_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lead_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lead_sim.dir/dataset.cc.o"
+  "CMakeFiles/lead_sim.dir/dataset.cc.o.d"
+  "CMakeFiles/lead_sim.dir/truck_sim.cc.o"
+  "CMakeFiles/lead_sim.dir/truck_sim.cc.o.d"
+  "CMakeFiles/lead_sim.dir/world.cc.o"
+  "CMakeFiles/lead_sim.dir/world.cc.o.d"
+  "liblead_sim.a"
+  "liblead_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lead_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traj/noise_filter.cc" "src/traj/CMakeFiles/lead_traj.dir/noise_filter.cc.o" "gcc" "src/traj/CMakeFiles/lead_traj.dir/noise_filter.cc.o.d"
+  "/root/repo/src/traj/segmentation.cc" "src/traj/CMakeFiles/lead_traj.dir/segmentation.cc.o" "gcc" "src/traj/CMakeFiles/lead_traj.dir/segmentation.cc.o.d"
+  "/root/repo/src/traj/simplify.cc" "src/traj/CMakeFiles/lead_traj.dir/simplify.cc.o" "gcc" "src/traj/CMakeFiles/lead_traj.dir/simplify.cc.o.d"
+  "/root/repo/src/traj/stay_point.cc" "src/traj/CMakeFiles/lead_traj.dir/stay_point.cc.o" "gcc" "src/traj/CMakeFiles/lead_traj.dir/stay_point.cc.o.d"
+  "/root/repo/src/traj/trajectory.cc" "src/traj/CMakeFiles/lead_traj.dir/trajectory.cc.o" "gcc" "src/traj/CMakeFiles/lead_traj.dir/trajectory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/lead_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lead_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

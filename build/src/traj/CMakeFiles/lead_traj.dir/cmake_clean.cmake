@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lead_traj.dir/noise_filter.cc.o"
+  "CMakeFiles/lead_traj.dir/noise_filter.cc.o.d"
+  "CMakeFiles/lead_traj.dir/segmentation.cc.o"
+  "CMakeFiles/lead_traj.dir/segmentation.cc.o.d"
+  "CMakeFiles/lead_traj.dir/simplify.cc.o"
+  "CMakeFiles/lead_traj.dir/simplify.cc.o.d"
+  "CMakeFiles/lead_traj.dir/stay_point.cc.o"
+  "CMakeFiles/lead_traj.dir/stay_point.cc.o.d"
+  "CMakeFiles/lead_traj.dir/trajectory.cc.o"
+  "CMakeFiles/lead_traj.dir/trajectory.cc.o.d"
+  "liblead_traj.a"
+  "liblead_traj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lead_traj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

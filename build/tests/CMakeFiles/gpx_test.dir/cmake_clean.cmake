@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpx_test.dir/gpx_test.cc.o"
+  "CMakeFiles/gpx_test.dir/gpx_test.cc.o.d"
+  "gpx_test"
+  "gpx_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lead_test.dir/lead_test.cc.o"
+  "CMakeFiles/lead_test.dir/lead_test.cc.o.d"
+  "lead_test"
+  "lead_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lead_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

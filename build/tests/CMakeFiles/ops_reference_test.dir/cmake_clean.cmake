@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_reference_test.dir/ops_reference_test.cc.o"
+  "CMakeFiles/ops_reference_test.dir/ops_reference_test.cc.o.d"
+  "ops_reference_test"
+  "ops_reference_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_reference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

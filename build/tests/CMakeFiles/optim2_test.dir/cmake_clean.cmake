@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optim2_test.dir/optim2_test.cc.o"
+  "CMakeFiles/optim2_test.dir/optim2_test.cc.o.d"
+  "optim2_test"
+  "optim2_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optim2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/simplify_test.cc" "tests/CMakeFiles/simplify_test.dir/simplify_test.cc.o" "gcc" "tests/CMakeFiles/simplify_test.dir/simplify_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/lead_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/lead_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lead_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lead_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/lead_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/lead_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/poi/CMakeFiles/lead_poi.dir/DependInfo.cmake"
+  "/root/repo/build/src/traj/CMakeFiles/lead_traj.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/lead_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lead_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
