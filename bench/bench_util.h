@@ -3,6 +3,7 @@
 #ifndef LEAD_BENCH_BENCH_UTIL_H_
 #define LEAD_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -28,11 +29,14 @@ inline void PrintHeader(const char* title, double scale,
   std::printf("==========================================================\n");
 }
 
-// Trains the full LEAD model; aborts the bench on failure.
+// Trains the full LEAD model; aborts the bench on failure. Prints the
+// training wall-clock so batch-size / batching changes show up as a
+// throughput number alongside the quality tables.
 inline std::unique_ptr<core::LeadModel> TrainLead(
     const core::LeadOptions& options, const eval::ExperimentData& data,
     core::TrainingLog* log) {
   auto model = std::make_unique<core::LeadModel>(options);
+  const auto start = std::chrono::steady_clock::now();
   const Status status = model->Train(data.TrainLabeled(), data.ValLabeled(),
                                      data.world->poi_index(), log);
   if (!status.ok()) {
@@ -40,6 +44,11 @@ inline std::unique_ptr<core::LeadModel> TrainLead(
                  status.ToString().c_str());
     std::exit(1);
   }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  std::printf("[train] LEAD wall-clock %.1fs (batch_size=%d)\n", seconds,
+              options.train.batch_size);
   return model;
 }
 

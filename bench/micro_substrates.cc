@@ -5,8 +5,11 @@
 // phase-1 encoding is covered by ablation_shared_encoding).
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "common/rng.h"
 #include "core/pipeline.h"
+#include "nn/batch.h"
 #include "nn/lstm.h"
 #include "nn/ops.h"
 #include "sim/truck_sim.h"
@@ -116,6 +119,28 @@ void BM_Gemm(benchmark::State& state) {
 }
 BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128);
 
+void BM_GemmSparseAware(benchmark::State& state) {
+  // Same dense operands through the sparse-aware kernel. The dense
+  // MatMulAccumulate used to carry an `if (a_ip == 0.0f) continue;` guard
+  // in its inner loop; on dense activations the branch never skips work
+  // but still costs a compare per multiply and blocks vectorization, so
+  // the guard now lives only in MatMulAccumulateSparseA (profitable for
+  // mostly-zero `a`, e.g. one-hot rows). Compare against BM_Gemm at the
+  // same size to see the dense-path win.
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(41);
+  const nn::Matrix a = nn::Matrix::Uniform(n, n, 1.0f, &rng);
+  const nn::Matrix b = nn::Matrix::Uniform(n, n, 1.0f, &rng);
+  nn::Matrix out(n, n);
+  for (auto _ : state) {
+    out.Fill(0.0f);
+    nn::MatMulAccumulateSparseA(a, b, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_GemmSparseAware)->Arg(32)->Arg(64)->Arg(128);
+
 void BM_LstmForwardSequence(benchmark::State& state) {
   const int steps = static_cast<int>(state.range(0));
   Rng rng(51);
@@ -129,6 +154,58 @@ void BM_LstmForwardSequence(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * steps);
 }
 BENCHMARK(BM_LstmForwardSequence)->Arg(16)->Arg(64)->Arg(256);
+
+// The batch-major refactor's headline comparison: running B sequences one
+// at a time (the retired row-vector path) versus one time-major batched
+// forward over the same B sequences. Arg is B; sequences are 32 steps of
+// 32 features through a 32-unit cell. The batched path issues one
+// [B x d] GEMM per gate per step instead of B [1 x d] GEMVs and builds
+// ~B x fewer autograd nodes.
+void BM_LstmSequenceRowLoop(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  constexpr int kSteps = 32;
+  Rng rng(51);
+  nn::LstmCell lstm(32, 32, &rng);
+  std::vector<nn::Variable> sequences;
+  sequences.reserve(batch);
+  for (int i = 0; i < batch; ++i) {
+    sequences.push_back(
+        nn::Variable::Constant(nn::Matrix::Uniform(kSteps, 32, 1.0f, &rng)));
+  }
+  nn::NoGradGuard no_grad;
+  for (auto _ : state) {
+    for (const nn::Variable& x : sequences) {
+      benchmark::DoNotOptimize(lstm.ForwardSequence(x).value().data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * batch * kSteps);
+}
+BENCHMARK(BM_LstmSequenceRowLoop)->Arg(1)->Arg(16)->Arg(64);
+
+void BM_LstmSequenceBatched(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  constexpr int kSteps = 32;
+  Rng rng(51);
+  nn::LstmCell lstm(32, 32, &rng);
+  std::vector<nn::Matrix> backing;
+  backing.reserve(batch);
+  for (int i = 0; i < batch; ++i) {
+    backing.push_back(nn::Matrix::Uniform(kSteps, 32, 1.0f, &rng));
+  }
+  std::vector<nn::SeqView> views;
+  views.reserve(batch);
+  for (const nn::Matrix& m : backing) {
+    views.push_back({nn::SeqSpan{&m, 0, m.rows()}});
+  }
+  nn::NoGradGuard no_grad;
+  for (auto _ : state) {
+    const nn::StepBatch input = nn::PackViews(views);
+    benchmark::DoNotOptimize(
+        lstm.ForwardSequenceSteps(input).back().value().data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch * kSteps);
+}
+BENCHMARK(BM_LstmSequenceBatched)->Arg(1)->Arg(16)->Arg(64);
 
 void BM_LstmTrainStep(benchmark::State& state) {
   // Forward + backward through a 64-step sequence (training-path cost).
@@ -146,6 +223,67 @@ void BM_LstmTrainStep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LstmTrainStep);
+
+// Training-path version of the row-loop vs batched comparison: forward +
+// backward over B 32-step sequences, accumulating gradients either one
+// sequence at a time or through a single batched graph.
+void BM_LstmTrainRowLoop(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  constexpr int kSteps = 32;
+  Rng rng(61);
+  nn::LstmCell lstm(32, 32, &rng);
+  std::vector<nn::Variable> sequences;
+  std::vector<nn::Variable> targets;
+  for (int i = 0; i < batch; ++i) {
+    sequences.push_back(
+        nn::Variable::Constant(nn::Matrix::Uniform(kSteps, 32, 1.0f, &rng)));
+    targets.push_back(
+        nn::Variable::Constant(nn::Matrix::Uniform(kSteps, 32, 1.0f, &rng)));
+  }
+  for (auto _ : state) {
+    for (int i = 0; i < batch; ++i) {
+      const nn::Variable loss =
+          nn::MseLoss(lstm.ForwardSequence(sequences[i]), targets[i]);
+      nn::Backward(loss);
+      benchmark::DoNotOptimize(loss.value().data());
+    }
+    lstm.ZeroGrad();
+  }
+  state.SetItemsProcessed(state.iterations() * batch * kSteps);
+}
+BENCHMARK(BM_LstmTrainRowLoop)->Arg(16)->Arg(64);
+
+void BM_LstmTrainBatched(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  constexpr int kSteps = 32;
+  Rng rng(61);
+  nn::LstmCell lstm(32, 32, &rng);
+  std::vector<nn::Matrix> backing;
+  for (int i = 0; i < batch; ++i) {
+    backing.push_back(nn::Matrix::Uniform(kSteps, 32, 1.0f, &rng));
+  }
+  std::vector<nn::SeqView> views;
+  for (const nn::Matrix& m : backing) {
+    views.push_back({nn::SeqSpan{&m, 0, m.rows()}});
+  }
+  const nn::Variable target =
+      nn::Variable::Constant(nn::Matrix::Uniform(batch, 32, 1.0f, &rng));
+  for (auto _ : state) {
+    const nn::StepBatch input = nn::PackViews(views);
+    const std::vector<nn::Variable> hidden =
+        lstm.ForwardSequenceSteps(input);
+    nn::Variable loss;
+    for (const nn::Variable& h : hidden) {
+      const nn::Variable step = nn::MseLoss(h, target);
+      loss = loss.defined() ? nn::Add(loss, step) : step;
+    }
+    nn::Backward(loss);
+    lstm.ZeroGrad();
+    benchmark::DoNotOptimize(loss.value().data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch * kSteps);
+}
+BENCHMARK(BM_LstmTrainBatched)->Arg(16)->Arg(64);
 
 void BM_FullProcessingPipeline(benchmark::State& state) {
   const traj::RawTrajectory& raw = TestTrajectory();

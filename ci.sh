@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Repo CI: tier-1 verify (full build + ctest) followed by an
+# ASan/UBSan-instrumented build of the nn-layer tests (the batched step
+# kernels and autograd are where memory bugs would hide).
+#
+# Usage: ./ci.sh [--skip-sanitizers]
+set -euo pipefail
+cd "$(dirname "$0")"
+
+SKIP_SAN=0
+[[ "${1:-}" == "--skip-sanitizers" ]] && SKIP_SAN=1
+
+echo "=== tier-1: configure + build + ctest ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+if [[ "$SKIP_SAN" == "1" ]]; then
+  echo "=== sanitizers skipped ==="
+  exit 0
+fi
+
+echo "=== sanitizers: ASan/UBSan build of the nn tests ==="
+SAN_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer -fno-sanitize-recover=all"
+cmake -B build-asan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="$SAN_FLAGS" \
+  -DCMAKE_EXE_LINKER_FLAGS="$SAN_FLAGS" >/dev/null
+NN_TESTS=(matrix_test autograd_test layers_test optim_test optim2_test \
+          ops_reference_test batch_test)
+cmake --build build-asan -j --target "${NN_TESTS[@]}"
+for t in "${NN_TESTS[@]}"; do
+  echo "--- $t (ASan/UBSan) ---"
+  "./build-asan/tests/$t"
+done
+echo "=== ci.sh: all green ==="

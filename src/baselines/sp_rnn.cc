@@ -5,7 +5,9 @@
 #include <utility>
 
 #include "common/check.h"
+#include "core/batching.h"
 #include "nn/adam.h"
+#include "nn/batch.h"
 #include "nn/early_stopping.h"
 #include "nn/gru.h"
 #include "nn/linear.h"
@@ -42,6 +44,16 @@ class SpRnnBaseline::Network : public nn::Module {
     const nn::Variable last =
         nn::SliceRows(hidden_states, hidden_states.rows() - 1, 1);
     return nn::Sigmoid(head_.Forward(last));
+  }
+
+  // Batch-major forward: B stay sequences packed time-major -> [B x 1]
+  // probabilities. The masked recurrence freezes finished rows, so the
+  // final step holds every row's own last hidden state.
+  nn::Variable ForwardBatch(const nn::StepBatch& input) const {
+    const std::vector<nn::Variable> hidden =
+        gru_ != nullptr ? gru_->ForwardSequenceSteps(input)
+                        : lstm_->ForwardSequenceSteps(input);
+    return nn::Sigmoid(head_.Forward(hidden.back()));
   }
 
  private:
@@ -97,14 +109,20 @@ StatusOr<std::vector<StaySample>> CollectStaySamples(
   return samples;
 }
 
-// Numerically safe binary cross-entropy for one probability.
-nn::Variable Bce(const nn::Variable& prob, float target) {
-  const nn::Variable one_minus =
-      nn::AddScalar(nn::ScalarMul(prob, -1.0f), 1.0f);
-  const nn::Variable ll =
-      nn::Add(nn::ScalarMul(nn::Log(prob), target),
-              nn::ScalarMul(nn::Log(one_minus), 1.0f - target));
-  return nn::ScalarMul(ll, -1.0f);
+// Stay-sequence bucketing: short stays should not ride in long buckets.
+constexpr int kStayMaxPadding = 4;
+
+// Numerically safe binary cross-entropy summed over a [B x 1] probability
+// column against a [B x 1] target column.
+nn::Variable BceSum(const nn::Variable& probs, nn::Matrix targets) {
+  const nn::Variable y = nn::Variable::Constant(std::move(targets));
+  const nn::Variable one_minus_p =
+      nn::AddScalar(nn::ScalarMul(probs, -1.0f), 1.0f);
+  const nn::Variable one_minus_y =
+      nn::AddScalar(nn::ScalarMul(y, -1.0f), 1.0f);
+  const nn::Variable ll = nn::Add(nn::Mul(y, nn::Log(probs)),
+                                  nn::Mul(one_minus_y, nn::Log(one_minus_p)));
+  return nn::ScalarMul(nn::Sum(ll), -1.0f);
 }
 
 }  // namespace
@@ -146,23 +164,50 @@ Status SpRnnBaseline::Train(
   std::iota(order.begin(), order.end(), 0);
   const float inv_b = 1.0f / static_cast<float>(topt.batch_size);
 
+  // Sum of BCE losses over a set of stay samples, computed in
+  // length-bucketed [B x F] batches.
+  auto chunk_loss = [&](const std::vector<const StaySample*>& chunk) {
+    std::vector<int> lengths;
+    lengths.reserve(chunk.size());
+    for (const StaySample* s : chunk) {
+      lengths.push_back(s->features.rows());
+    }
+    const std::vector<core::LengthBucket> buckets =
+        core::BucketByLength(lengths, 0, kStayMaxPadding);
+    nn::Variable total;
+    for (const core::LengthBucket& bucket : buckets) {
+      std::vector<nn::SeqView> views;
+      nn::Matrix targets(static_cast<int>(bucket.items.size()), 1);
+      views.reserve(bucket.items.size());
+      for (size_t j = 0; j < bucket.items.size(); ++j) {
+        const StaySample* s = chunk[bucket.items[j]];
+        views.push_back({nn::SeqSpan{&s->features, 0, s->features.rows()}});
+        targets.at(static_cast<int>(j), 0) = s->is_lu;
+      }
+      const nn::Variable bce = BceSum(
+          network_->ForwardBatch(nn::PackViews(views)), std::move(targets));
+      total = total.defined() ? nn::Add(total, bce) : bce;
+    }
+    return total;
+  };
+
   for (int epoch = 0; epoch < topt.detector_epochs; ++epoch) {
     rng.Shuffle(&order);
     double epoch_loss = 0.0;
-    int since_step = 0;
-    for (int idx : order) {
-      const StaySample& s = (*train_samples)[idx];
-      const nn::Variable prob =
-          network_->Forward(nn::Variable::Constant(s.features));
-      const nn::Variable loss = Bce(prob, s.is_lu);
+    for (size_t begin = 0; begin < order.size();
+         begin += static_cast<size_t>(topt.batch_size)) {
+      const size_t end =
+          std::min(order.size(), begin + static_cast<size_t>(topt.batch_size));
+      std::vector<const StaySample*> chunk;
+      chunk.reserve(end - begin);
+      for (size_t i = begin; i < end; ++i) {
+        chunk.push_back(&(*train_samples)[order[i]]);
+      }
+      const nn::Variable loss = chunk_loss(chunk);
       epoch_loss += loss.value().at(0, 0);
       nn::Backward(nn::ScalarMul(loss, inv_b));
-      if (++since_step == topt.batch_size) {
-        optimizer.StepAndZeroGrad();
-        since_step = 0;
-      }
+      optimizer.StepAndZeroGrad();
     }
-    if (since_step > 0) optimizer.StepAndZeroGrad();
     const float train_loss =
         static_cast<float>(epoch_loss / std::max<size_t>(1, order.size()));
 
@@ -170,11 +215,16 @@ Status SpRnnBaseline::Train(
     if (!val_samples->empty()) {
       nn::NoGradGuard no_grad;
       double total = 0.0;
-      for (const StaySample& s : *val_samples) {
-        total += Bce(network_->Forward(nn::Variable::Constant(s.features)),
-                     s.is_lu)
-                     .value()
-                     .at(0, 0);
+      for (size_t begin = 0; begin < val_samples->size();
+           begin += static_cast<size_t>(topt.batch_size)) {
+        const size_t end = std::min(
+            val_samples->size(), begin + static_cast<size_t>(topt.batch_size));
+        std::vector<const StaySample*> chunk;
+        chunk.reserve(end - begin);
+        for (size_t i = begin; i < end; ++i) {
+          chunk.push_back(&(*val_samples)[i]);
+        }
+        total += chunk_loss(chunk).value().at(0, 0);
       }
       val_loss = static_cast<float>(total / val_samples->size());
     }
@@ -198,11 +248,17 @@ StatusOr<BaselineDetection> SpRnnBaseline::Detect(
   auto pt = core::ProcessTrajectory(raw, poi_index, pipeline_, &normalizer_);
   if (!pt.ok()) return pt.status();
   nn::NoGradGuard no_grad;
+  // All stays of the trajectory as one ragged batch.
+  std::vector<nn::SeqView> views;
+  views.reserve(pt->num_stays());
+  for (int i = 0; i < pt->num_stays(); ++i) {
+    const traj::IndexRange range = pt->segmentation.stays[i].range;
+    views.push_back({nn::SeqSpan{&pt->features, range.begin, range.size()}});
+  }
+  const nn::Variable probs = network_->ForwardBatch(nn::PackViews(views));
   std::vector<bool> is_lu(pt->num_stays());
   for (int i = 0; i < pt->num_stays(); ++i) {
-    const nn::Variable prob = network_->Forward(
-        core::SegmentFeatures(*pt, pt->segmentation.stays[i].range));
-    is_lu[i] = prob.value().at(0, 0) >= options_.classification_threshold;
+    is_lu[i] = probs.value().at(i, 0) >= options_.classification_threshold;
   }
   return GreedyDetect(is_lu);
 }

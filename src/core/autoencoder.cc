@@ -1,11 +1,112 @@
 #include "core/autoencoder.h"
 
+#include <map>
+#include <tuple>
 #include <utility>
+#include <vector>
 
 #include "common/check.h"
+#include "core/batching.h"
+#include "nn/batch.h"
 #include "nn/ops.h"
 
 namespace lead::core {
+
+namespace {
+
+// Phase-1 segment bucketing knobs: cap the batch so step matrices stay
+// cache-resident, and cap per-member padding so short segments do not pay
+// for long ones.
+constexpr int kSegmentMaxBatch = 64;
+constexpr int kSegmentMaxPadding = 4;
+
+// One stay/move segment of one batch item.
+struct SegmentTask {
+  int item = 0;  // index into the CandidateBatchItem vector
+  int pos = 0;   // segment position within the candidate
+  traj::IndexRange range;
+};
+
+// Segment tasks compressed through one operator, bucket by bucket. `rows`
+// stacks the per-bucket outputs; row_of maps a task index to its row.
+// The packed inputs are kept per bucket because they double as the padded
+// decode targets of the mirrored decompression pass.
+struct CompressedBank {
+  nn::Variable rows;  // [num_tasks x h]
+  std::vector<int> row_of;
+  std::vector<LengthBucket> buckets;
+  std::vector<nn::StepBatch> packed;
+};
+
+CompressedBank CompressSegments(const CompressionOperator& op,
+                                const std::vector<CandidateBatchItem>& items,
+                                const std::vector<SegmentTask>& tasks) {
+  CompressedBank bank;
+  if (tasks.empty()) {
+    return bank;
+  }
+  std::vector<int> lengths;
+  lengths.reserve(tasks.size());
+  for (const SegmentTask& task : tasks) {
+    lengths.push_back(task.range.size());
+  }
+  bank.buckets = BucketByLength(lengths, kSegmentMaxBatch, kSegmentMaxPadding);
+  bank.row_of.resize(tasks.size());
+  std::vector<nn::Variable> outputs;
+  outputs.reserve(bank.buckets.size());
+  int next_row = 0;
+  for (const LengthBucket& bucket : bank.buckets) {
+    std::vector<nn::SeqView> views;
+    views.reserve(bucket.items.size());
+    for (int ti : bucket.items) {
+      const SegmentTask& task = tasks[ti];
+      views.push_back({nn::SeqSpan{&items[task.item].pt->features,
+                                   task.range.begin, task.range.size()}});
+      bank.row_of[ti] = next_row++;
+    }
+    nn::StepBatch packed = nn::PackViews(views);
+    outputs.push_back(op.ForwardBatch(packed));
+    bank.packed.push_back(std::move(packed));
+  }
+  bank.rows = nn::ConcatRows(outputs);
+  return bank;
+}
+
+// Sum of masked squared errors between decoded steps and the padded
+// targets they were packed from, weighted per row; accumulated onto
+// `*loss` as a [1 x 1] scalar. weight row b carries
+// 1 / (item_elements * batch_items), which turns the global sum into the
+// mean of per-item MSE losses.
+void AccumulateDecodeLoss(const std::vector<nn::Variable>& decoded,
+                          const nn::StepBatch& targets,
+                          const nn::Variable& weights, nn::Variable* loss) {
+  nn::Variable col_sum;
+  for (int t = 0; t < targets.max_len(); ++t) {
+    const nn::Variable diff = nn::Sub(decoded[t], targets.steps[t]);
+    nn::Variable col = nn::RowSum(nn::Mul(diff, diff));  // [B x 1]
+    if (targets.ragged()) {
+      col = nn::Mul(col, targets.masks[t]);
+    }
+    col_sum = col_sum.defined() ? nn::Add(col_sum, col) : col;
+  }
+  const nn::Variable contrib = nn::Sum(nn::Mul(col_sum, weights));
+  *loss = loss->defined() ? nn::Add(*loss, contrib) : contrib;
+}
+
+// [B x 1] constant with the per-row loss weights of a bucket's members.
+nn::Variable BucketWeights(const std::vector<int>& bucket_items,
+                           const std::vector<float>& item_weight,
+                           const std::vector<SegmentTask>* tasks) {
+  nn::Matrix w(static_cast<int>(bucket_items.size()), 1);
+  for (size_t i = 0; i < bucket_items.size(); ++i) {
+    const int item =
+        tasks ? (*tasks)[bucket_items[i]].item : bucket_items[i];
+    w.at(static_cast<int>(i), 0) = item_weight[item];
+  }
+  return nn::Variable::Constant(std::move(w));
+}
+
+}  // namespace
 
 CompressionOperator::CompressionOperator(int input_dims, int hidden,
                                          int output_dims, bool use_attention,
@@ -33,6 +134,17 @@ nn::Variable CompressionOperator::Forward(const nn::Variable& seq) const {
   return nn::Tanh(fc2_.Forward(fc1_.Forward(aggregated)));
 }
 
+nn::Variable CompressionOperator::ForwardBatch(
+    const nn::StepBatch& input) const {
+  const std::vector<nn::Variable> hidden = lstm_.ForwardSequenceSteps(input);
+  // The masked recurrence freezes finished rows, so hidden.back() row b is
+  // row b's state at its own last valid step.
+  const nn::Variable aggregated = use_attention_
+                                      ? attention_->ForwardSteps(hidden, input)
+                                      : hidden.back();
+  return nn::Tanh(fc2_.Forward(fc1_.Forward(aggregated)));
+}
+
 DecompressionOperator::DecompressionOperator(int input_dims, int hidden,
                                              int output_dims, Rng* rng)
     : lstm_(input_dims, hidden, rng),
@@ -47,6 +159,18 @@ nn::Variable DecompressionOperator::Forward(const nn::Variable& v,
                                             int steps) const {
   const nn::Variable hidden_states = lstm_.ForwardConstantInput(v, steps);
   return nn::Tanh(fc2_.Forward(fc1_.Forward(hidden_states)));
+}
+
+std::vector<nn::Variable> DecompressionOperator::ForwardSteps(
+    const nn::Variable& v, int steps) const {
+  const std::vector<nn::Variable> hidden =
+      lstm_.ForwardConstantInputSteps(v, steps);
+  std::vector<nn::Variable> out;
+  out.reserve(hidden.size());
+  for (const nn::Variable& h : hidden) {
+    out.push_back(nn::Tanh(fc2_.Forward(fc1_.Forward(h))));
+  }
+  return out;
 }
 
 CandidateSegments BuildCandidateSegments(const ProcessedTrajectory& pt,
@@ -222,6 +346,295 @@ nn::Variable HierarchicalAutoencoder::ReconstructionLoss(
     }
   }
   return nn::MseLoss(nn::ConcatRows(decoded_parts), original);
+}
+
+nn::Variable HierarchicalAutoencoder::ForwardBatchHierarchical(
+    const std::vector<CandidateBatchItem>& items, nn::Variable* loss) const {
+  const int num_items = static_cast<int>(items.size());
+  const int h = options_.hidden;
+
+  // Per-item segment tasks. sp_ids / mp_ids keep each item's task indices
+  // in position order; an mp id of -1 marks an empty move slot.
+  std::vector<SegmentTask> sp_tasks;
+  std::vector<SegmentTask> mp_tasks;
+  std::vector<std::vector<int>> sp_ids(num_items);
+  std::vector<std::vector<int>> mp_ids(num_items);
+  std::vector<float> item_weight(num_items);
+  bool any_empty_move = false;
+  // In the encode-only path a segment shared by several candidates of the
+  // same trajectory is compressed once (the batched form of the "once
+  // forward computation" sharing of §VI-B); GatherRows scatter-adds make
+  // the repeated rows safe. The loss path keeps tasks 1:1 with
+  // (item, position) because every item decodes its own copy.
+  const bool share_segments = (loss == nullptr);
+  std::map<std::tuple<const void*, int, int>, int> sp_seen;
+  std::map<std::tuple<const void*, int, int>, int> mp_seen;
+  auto intern = [&](std::map<std::tuple<const void*, int, int>, int>* seen,
+                    std::vector<SegmentTask>* tasks, int item, int pos,
+                    const nn::Matrix* features, traj::IndexRange range) {
+    const int fresh = static_cast<int>(tasks->size());
+    if (share_segments) {
+      auto [it, inserted] = seen->try_emplace(
+          std::make_tuple(static_cast<const void*>(features), range.begin,
+                          range.end),
+          fresh);
+      if (!inserted) return it->second;
+    }
+    tasks->push_back({item, pos, range});
+    return fresh;
+  };
+  for (int i = 0; i < num_items; ++i) {
+    const traj::Segmentation& seg = items[i].pt->segmentation;
+    const traj::Candidate& c = items[i].candidate;
+    LEAD_CHECK_GE(c.start_sp, 0);
+    LEAD_CHECK_LT(c.start_sp, c.end_sp);
+    LEAD_CHECK_LT(c.end_sp, seg.num_stays());
+    int flat_rows = 0;
+    for (int s = c.start_sp; s <= c.end_sp; ++s) {
+      sp_ids[i].push_back(intern(&sp_seen, &sp_tasks, i, s - c.start_sp,
+                                 &items[i].pt->features, seg.stays[s].range));
+      flat_rows += seg.stays[s].range.size();
+    }
+    for (int m = c.start_sp + 1; m <= c.end_sp; ++m) {
+      const traj::MoveSegment& move = seg.moves[m];
+      if (move.has_points) {
+        mp_ids[i].push_back(intern(&mp_seen, &mp_tasks, i, m - c.start_sp - 1,
+                                   &items[i].pt->features, move.range));
+        flat_rows += move.range.size();
+      } else {
+        mp_ids[i].push_back(-1);
+        any_empty_move = true;
+      }
+    }
+    item_weight[i] = 1.0f / (static_cast<float>(flat_rows) *
+                             static_cast<float>(options_.feature_dims) *
+                             static_cast<float>(num_items));
+  }
+
+  // Phase-1 compression, bucketed by segment length.
+  const CompressedBank sp_bank = CompressSegments(*comp_sp1_, items, sp_tasks);
+  CompressedBank mp_bank = CompressSegments(*comp_mp1_, items, mp_tasks);
+  // Zero mp-c-vec row for empty move slots (the CompressMove convention).
+  int zero_row = static_cast<int>(mp_tasks.size());
+  if (!mp_bank.rows.defined()) {
+    mp_bank.rows = nn::Variable::Constant(nn::Matrix::Zeros(1, h));
+    zero_row = 0;
+  } else if (any_empty_move) {
+    mp_bank.rows = nn::ConcatRows(
+        {mp_bank.rows, nn::Variable::Constant(nn::Matrix::Zeros(1, h))});
+  }
+
+  // Phase-2 compression over the c-vec sequences. Items are bucketed with
+  // max_padding 0, so every bucket is a uniform (maskless) batch.
+  std::vector<int> num_sps(num_items);
+  for (int i = 0; i < num_items; ++i) {
+    num_sps[i] = static_cast<int>(sp_ids[i].size());
+  }
+  const std::vector<LengthBucket> item_buckets = BucketByLength(num_sps, 0, 0);
+  std::vector<nn::Variable> bucket_cvecs;
+  std::vector<nn::Variable> bucket_sp_cvec;
+  std::vector<nn::Variable> bucket_mp_cvec;
+  std::vector<int> concat_order;
+  concat_order.reserve(num_items);
+  for (const LengthBucket& bucket : item_buckets) {
+    const int len = bucket.max_len;
+    const int b = static_cast<int>(bucket.items.size());
+    std::vector<nn::Variable> sp_steps;
+    std::vector<nn::Variable> mp_steps;
+    sp_steps.reserve(len);
+    mp_steps.reserve(len - 1);
+    for (int t = 0; t < len; ++t) {
+      std::vector<int> rows;
+      rows.reserve(b);
+      for (int item : bucket.items) {
+        rows.push_back(sp_bank.row_of[sp_ids[item][t]]);
+      }
+      sp_steps.push_back(nn::GatherRows(sp_bank.rows, std::move(rows)));
+    }
+    for (int t = 0; t < len - 1; ++t) {
+      std::vector<int> rows;
+      rows.reserve(b);
+      for (int item : bucket.items) {
+        const int id = mp_ids[item][t];
+        rows.push_back(id < 0 ? zero_row : mp_bank.row_of[id]);
+      }
+      mp_steps.push_back(nn::GatherRows(mp_bank.rows, std::move(rows)));
+    }
+    nn::StepBatch sp_in;
+    sp_in.steps = std::move(sp_steps);
+    sp_in.lengths.assign(b, len);
+    nn::StepBatch mp_in;
+    mp_in.steps = std::move(mp_steps);
+    mp_in.lengths.assign(b, len - 1);
+    const nn::Variable sp_cvec = comp_sp2_->ForwardBatch(sp_in);
+    const nn::Variable mp_cvec = comp_mp2_->ForwardBatch(mp_in);
+    bucket_cvecs.push_back(nn::ConcatCols({sp_cvec, mp_cvec}));
+    bucket_sp_cvec.push_back(sp_cvec);
+    bucket_mp_cvec.push_back(mp_cvec);
+    concat_order.insert(concat_order.end(), bucket.items.begin(),
+                        bucket.items.end());
+  }
+  std::vector<int> row_in_concat(num_items);
+  for (int i = 0; i < num_items; ++i) {
+    row_in_concat[concat_order[i]] = i;
+  }
+  const nn::Variable cvecs =
+      nn::GatherRows(nn::ConcatRows(bucket_cvecs), std::move(row_in_concat));
+  if (loss == nullptr) {
+    return cvecs;
+  }
+
+  // Phase 1 of the decompressor per item bucket; the per-step outputs are
+  // flattened into banks so the segment decoders below can regroup rows by
+  // segment-length bucket.
+  std::vector<nn::Variable> sp_dec_parts;
+  std::vector<nn::Variable> mp_dec_parts;
+  std::vector<std::vector<int>> sp_dec_row(num_items);
+  std::vector<std::vector<int>> mp_dec_row(num_items);
+  for (int i = 0; i < num_items; ++i) {
+    sp_dec_row[i].resize(num_sps[i]);
+    mp_dec_row[i].resize(num_sps[i] - 1);
+  }
+  int next_sp = 0;
+  int next_mp = 0;
+  for (size_t kb = 0; kb < item_buckets.size(); ++kb) {
+    const LengthBucket& bucket = item_buckets[kb];
+    const int len = bucket.max_len;
+    const std::vector<nn::Variable> sp_seq =
+        dec_sp2_->ForwardSteps(bucket_sp_cvec[kb], len);
+    const std::vector<nn::Variable> mp_seq =
+        dec_mp2_->ForwardSteps(bucket_mp_cvec[kb], len - 1);
+    for (int t = 0; t < len; ++t) {
+      sp_dec_parts.push_back(sp_seq[t]);
+      for (size_t j = 0; j < bucket.items.size(); ++j) {
+        sp_dec_row[bucket.items[j]][t] = next_sp + static_cast<int>(j);
+      }
+      next_sp += static_cast<int>(bucket.items.size());
+    }
+    for (int t = 0; t < len - 1; ++t) {
+      mp_dec_parts.push_back(mp_seq[t]);
+      for (size_t j = 0; j < bucket.items.size(); ++j) {
+        mp_dec_row[bucket.items[j]][t] = next_mp + static_cast<int>(j);
+      }
+      next_mp += static_cast<int>(bucket.items.size());
+    }
+  }
+  const nn::Variable sp_dec_bank = nn::ConcatRows(sp_dec_parts);
+  const nn::Variable mp_dec_bank = nn::ConcatRows(mp_dec_parts);
+
+  // Phase 2 of the decompressor: each segment back to its padded feature
+  // sequence, reusing the phase-1 buckets (same lengths) and their packed
+  // inputs as masked MSE targets. Empty move slots have no task, matching
+  // the per-item path, which never decodes them.
+  for (size_t kb = 0; kb < sp_bank.buckets.size(); ++kb) {
+    const LengthBucket& bucket = sp_bank.buckets[kb];
+    std::vector<int> rows;
+    rows.reserve(bucket.items.size());
+    for (int ti : bucket.items) {
+      rows.push_back(sp_dec_row[sp_tasks[ti].item][sp_tasks[ti].pos]);
+    }
+    const std::vector<nn::Variable> decoded = dec_sp1_->ForwardSteps(
+        nn::GatherRows(sp_dec_bank, std::move(rows)), bucket.max_len);
+    AccumulateDecodeLoss(decoded, sp_bank.packed[kb],
+                         BucketWeights(bucket.items, item_weight, &sp_tasks),
+                         loss);
+  }
+  for (size_t kb = 0; kb < mp_bank.buckets.size(); ++kb) {
+    const LengthBucket& bucket = mp_bank.buckets[kb];
+    std::vector<int> rows;
+    rows.reserve(bucket.items.size());
+    for (int ti : bucket.items) {
+      rows.push_back(mp_dec_row[mp_tasks[ti].item][mp_tasks[ti].pos]);
+    }
+    const std::vector<nn::Variable> decoded = dec_mp1_->ForwardSteps(
+        nn::GatherRows(mp_dec_bank, std::move(rows)), bucket.max_len);
+    AccumulateDecodeLoss(decoded, mp_bank.packed[kb],
+                         BucketWeights(bucket.items, item_weight, &mp_tasks),
+                         loss);
+  }
+  return cvecs;
+}
+
+nn::Variable HierarchicalAutoencoder::ForwardBatchFlat(
+    const std::vector<CandidateBatchItem>& items, nn::Variable* loss) const {
+  const int num_items = static_cast<int>(items.size());
+  std::vector<nn::SeqView> views(num_items);
+  std::vector<int> lengths(num_items);
+  std::vector<float> item_weight(num_items);
+  for (int i = 0; i < num_items; ++i) {
+    const traj::Segmentation& seg = items[i].pt->segmentation;
+    const traj::Candidate& c = items[i].candidate;
+    LEAD_CHECK_GE(c.start_sp, 0);
+    LEAD_CHECK_LT(c.start_sp, c.end_sp);
+    LEAD_CHECK_LT(c.end_sp, seg.num_stays());
+    nn::SeqView& view = views[i];
+    int rows = 0;
+    // Stay/move interleaving mirrors FlatSequence.
+    for (int s = c.start_sp; s <= c.end_sp; ++s) {
+      const traj::IndexRange r = seg.stays[s].range;
+      view.push_back({&items[i].pt->features, r.begin, r.size()});
+      rows += r.size();
+      if (s < c.end_sp && seg.moves[s + 1].has_points) {
+        const traj::IndexRange mr = seg.moves[s + 1].range;
+        view.push_back({&items[i].pt->features, mr.begin, mr.size()});
+        rows += mr.size();
+      }
+    }
+    lengths[i] = rows;
+    item_weight[i] = 1.0f / (static_cast<float>(rows) *
+                             static_cast<float>(options_.feature_dims) *
+                             static_cast<float>(num_items));
+  }
+
+  const std::vector<LengthBucket> buckets =
+      BucketByLength(lengths, kSegmentMaxBatch, kSegmentMaxPadding);
+  std::vector<nn::Variable> bucket_cvecs;
+  std::vector<int> concat_order;
+  concat_order.reserve(num_items);
+  for (const LengthBucket& bucket : buckets) {
+    std::vector<nn::SeqView> bucket_views;
+    bucket_views.reserve(bucket.items.size());
+    for (int item : bucket.items) {
+      bucket_views.push_back(views[item]);
+    }
+    const nn::StepBatch packed = nn::PackViews(bucket_views);
+    const nn::Variable cvec = comp_flat_->ForwardBatch(packed);
+    if (loss != nullptr) {
+      const std::vector<nn::Variable> decoded =
+          dec_flat_->ForwardSteps(cvec, packed.max_len());
+      AccumulateDecodeLoss(decoded, packed,
+                           BucketWeights(bucket.items, item_weight, nullptr),
+                           loss);
+    }
+    bucket_cvecs.push_back(cvec);
+    concat_order.insert(concat_order.end(), bucket.items.begin(),
+                        bucket.items.end());
+  }
+  std::vector<int> row_in_concat(num_items);
+  for (int i = 0; i < num_items; ++i) {
+    row_in_concat[concat_order[i]] = i;
+  }
+  return nn::GatherRows(nn::ConcatRows(bucket_cvecs),
+                        std::move(row_in_concat));
+}
+
+nn::Variable HierarchicalAutoencoder::EncodeCandidateBatch(
+    const std::vector<CandidateBatchItem>& items) const {
+  LEAD_CHECK(!items.empty());
+  return options_.hierarchical ? ForwardBatchHierarchical(items, nullptr)
+                               : ForwardBatchFlat(items, nullptr);
+}
+
+nn::Variable HierarchicalAutoencoder::ReconstructionLossBatch(
+    const std::vector<CandidateBatchItem>& items) const {
+  LEAD_CHECK(!items.empty());
+  nn::Variable loss;
+  if (options_.hierarchical) {
+    ForwardBatchHierarchical(items, &loss);
+  } else {
+    ForwardBatchFlat(items, &loss);
+  }
+  return loss;
 }
 
 }  // namespace lead::core

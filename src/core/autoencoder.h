@@ -49,6 +49,12 @@ class CompressionOperator : public nn::Module {
   // seq: [T x input_dims] with T >= 1 -> [1 x output_dims].
   nn::Variable Forward(const nn::Variable& seq) const;
 
+  // Batch-major forward over packed step inputs -> [B x output_dims].
+  // Ragged batches rely on the masked LSTM freezing finished rows, so both
+  // the attention query and the last-hidden fallback see each row's state
+  // at its own final valid step.
+  nn::Variable ForwardBatch(const nn::StepBatch& input) const;
+
   int output_dims() const { return output_dims_; }
 
  private:
@@ -70,6 +76,11 @@ class DecompressionOperator : public nn::Module {
   // v: [1 x input_dims] -> [steps x output_dims].
   nn::Variable Forward(const nn::Variable& v, int steps) const;
 
+  // Batched unroll: v is [B x input_dims] (one compressed vector per row);
+  // returns `steps` outputs, [B x output_dims] each.
+  std::vector<nn::Variable> ForwardSteps(const nn::Variable& v,
+                                         int steps) const;
+
  private:
   nn::LstmCell lstm_;
   nn::Linear fc1_;
@@ -88,6 +99,13 @@ struct CandidateSegments {
 // Builds the candidate's segment features from a processed trajectory.
 CandidateSegments BuildCandidateSegments(const ProcessedTrajectory& pt,
                                          const traj::Candidate& candidate);
+
+// One candidate of a mini-batch. Items of the same batch may come from
+// different trajectories; `pt` must outlive the batched call.
+struct CandidateBatchItem {
+  const ProcessedTrajectory* pt = nullptr;
+  traj::Candidate candidate;
+};
 
 // Phase-1 compression of every segment of a whole trajectory, computed
 // once and shared by all candidates ("once forward computation", §VI-B).
@@ -121,9 +139,29 @@ class HierarchicalAutoencoder : public nn::Module {
   nn::Variable ReconstructionLoss(const ProcessedTrajectory& pt,
                                   const traj::Candidate& c) const;
 
+  // Batch-major encoding of many candidates at once: row i of the
+  // [B x cvec_dims()] result is the c-vec of items[i]. Segments are
+  // bucketed by length (core/batching.h) and run through the operators as
+  // true [B x d] mini-batches.
+  nn::Variable EncodeCandidateBatch(
+      const std::vector<CandidateBatchItem>& items) const;
+
+  // Mean of the per-candidate reconstruction losses over the batch
+  // ([1 x 1]). Matches the mean of per-item ReconstructionLoss values up
+  // to floating-point summation order.
+  nn::Variable ReconstructionLossBatch(
+      const std::vector<CandidateBatchItem>& items) const;
+
  private:
   nn::Variable EncodeHierarchical(const CandidateSegments& segments) const;
   nn::Variable EncodeFlat(const CandidateSegments& segments) const;
+  // Shared batched forward: returns [B x cvec_dims()] c-vecs and, when
+  // `loss` is non-null, also decodes and stores the mean reconstruction
+  // loss there.
+  nn::Variable ForwardBatchHierarchical(
+      const std::vector<CandidateBatchItem>& items, nn::Variable* loss) const;
+  nn::Variable ForwardBatchFlat(const std::vector<CandidateBatchItem>& items,
+                                nn::Variable* loss) const;
   // Compresses a possibly-undefined (empty) move sequence.
   nn::Variable CompressMove(const nn::Variable& seq) const;
   // Flat [T x F] feature sequence of a candidate, segments in order.

@@ -1,0 +1,35 @@
+#include "core/batching.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace lead::core {
+
+std::vector<LengthBucket> BucketByLength(const std::vector<int>& lengths,
+                                         int max_batch, int max_padding) {
+  std::vector<int> order(lengths.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return lengths[a] > lengths[b];
+  });
+
+  std::vector<LengthBucket> buckets;
+  for (int idx : order) {
+    LEAD_CHECK_GT(lengths[idx], 0);
+    const bool fits =
+        !buckets.empty() &&
+        (max_batch <= 0 ||
+         static_cast<int>(buckets.back().items.size()) < max_batch) &&
+        (max_padding < 0 ||
+         buckets.back().max_len - lengths[idx] <= max_padding);
+    if (!fits) {
+      buckets.push_back(LengthBucket{{}, lengths[idx]});
+    }
+    buckets.back().items.push_back(idx);
+  }
+  return buckets;
+}
+
+}  // namespace lead::core

@@ -1,0 +1,32 @@
+// Length bucketing for batch-major execution (DESIGN.md §"Batch-major
+// execution").
+//
+// Variable-length sequences are grouped into buckets whose members run as
+// one [B x d] batch through the nn step kernels. Members shorter than the
+// bucket's longest sequence are zero-padded and masked (nn/batch.h), so
+// `max_padding` bounds how much padded compute a bucket may buy in
+// exchange for a bigger batch.
+#ifndef LEAD_CORE_BATCHING_H_
+#define LEAD_CORE_BATCHING_H_
+
+#include <vector>
+
+namespace lead::core {
+
+struct LengthBucket {
+  std::vector<int> items;  // indices into the caller's list, longest first
+  int max_len = 0;
+};
+
+// Groups the indices of `lengths` into buckets of at most `max_batch`
+// members (<= 0: unbounded) where every member's padding
+// (max_len - length) is at most `max_padding` (< 0: unbounded, i.e. one
+// bucket per max_batch regardless of length spread; 0: exact-length
+// buckets). Deterministic: buckets are ordered longest-first and members
+// keep ascending index order within equal lengths.
+std::vector<LengthBucket> BucketByLength(const std::vector<int>& lengths,
+                                         int max_batch, int max_padding);
+
+}  // namespace lead::core
+
+#endif  // LEAD_CORE_BATCHING_H_

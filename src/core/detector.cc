@@ -33,6 +33,24 @@ nn::Variable StackedBiLstmDetector::ScoreSubgroup(
   return nn::Transpose(scores);                         // [1 x T]
 }
 
+nn::Variable StackedBiLstmDetector::ScoreSubgroupsBatch(
+    const nn::StepBatch& input) const {
+  nn::StepBatch current = input;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    std::vector<nn::Variable> hidden = layers_[l]->ForwardSteps(current);
+    for (nn::Variable& h : hidden) {
+      h = projections_[l]->Forward(h);  // [B x 2H] -> [B x H]
+    }
+    current = current.WithSteps(std::move(hidden));
+  }
+  std::vector<nn::Variable> score_cols;
+  score_cols.reserve(current.steps.size());
+  for (const nn::Variable& step : current.steps) {
+    score_cols.push_back(score_->Forward(step));  // [B x 1]
+  }
+  return nn::ConcatCols(score_cols);  // [B x max_len]
+}
+
 nn::Variable StackedBiLstmDetector::ForwardGroup(
     const std::vector<nn::Variable>& subgroups) const {
   std::vector<nn::Variable> parts;

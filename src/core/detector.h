@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "nn/batch.h"
 #include "nn/linear.h"
 #include "nn/lstm.h"
 #include "nn/module.h"
@@ -42,6 +43,13 @@ class StackedBiLstmDetector : public nn::Module {
   // Convenience: scores every subgroup and applies the global softmax;
   // output is [1 x sum(T_i)] in the given subgroup order.
   nn::Variable ForwardGroup(const std::vector<nn::Variable>& subgroups) const;
+
+  // Batch-major scoring of many subgroups at once: input row b is subgroup
+  // b (one c-vec per step), the [B x max_len] result holds its raw scores.
+  // Columns at t >= lengths[b] of a ragged batch are padding garbage —
+  // masked updates keep them out of every valid score, but callers must
+  // slice row b to its first lengths[b] columns before the softmax.
+  nn::Variable ScoreSubgroupsBatch(const nn::StepBatch& input) const;
 
   const DetectorOptions& options() const { return options_; }
 

@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <cstdint>
 #include <fstream>
+#include <functional>
 #include <numeric>
 #include <sstream>
 #include <utility>
 
 #include "common/check.h"
+#include "core/batching.h"
 #include "core/grouping.h"
+#include "nn/batch.h"
 #include "nn/early_stopping.h"
 #include "nn/scheduler.h"
 #include "nn/ops.h"
@@ -16,6 +19,13 @@
 
 namespace lead::core {
 namespace {
+
+// Detector-training subgroup buckets: subgroups of a mini-batch are
+// packed into [B x cvec] step batches of at most this many members, with
+// at most this much padding per member (padded scores are sliced away
+// before the softmax, so padding only costs compute).
+constexpr int kSubgroupMaxBatch = 128;
+constexpr int kSubgroupMaxPadding = 2;
 
 // Captures / restores module weights so early stopping can keep the best
 // validation epoch (paper uses early stopping; restoring the best weights
@@ -216,19 +226,25 @@ void LeadModel::TrainAutoencoder(
     rng.Shuffle(&samples);
 
     double epoch_loss = 0.0;
-    int since_step = 0;
     const float inv_b = 1.0f / static_cast<float>(topt.batch_size);
-    for (const auto& [traj_index, candidate] : samples) {
-      const nn::Variable loss =
-          autoencoder_->ReconstructionLoss(training[traj_index].pt, candidate);
-      epoch_loss += loss.value().at(0, 0);
-      nn::Backward(nn::ScalarMul(loss, inv_b));
-      if (++since_step == topt.batch_size) {
-        optimizer.StepAndZeroGrad();
-        since_step = 0;
+    for (size_t begin = 0; begin < samples.size();
+         begin += static_cast<size_t>(topt.batch_size)) {
+      const size_t end = std::min(
+          samples.size(), begin + static_cast<size_t>(topt.batch_size));
+      std::vector<CandidateBatchItem> batch;
+      batch.reserve(end - begin);
+      for (size_t i = begin; i < end; ++i) {
+        batch.push_back({&training[samples[i].first].pt, samples[i].second});
       }
+      const float chunk = static_cast<float>(batch.size());
+      const nn::Variable loss = autoencoder_->ReconstructionLossBatch(batch);
+      epoch_loss += static_cast<double>(loss.value().at(0, 0)) * chunk;
+      // chunk / batch_size rescales the chunk mean back to a per-sample
+      // weight of 1/batch_size, so a partial final chunk contributes the
+      // same gradient as the retired sample-at-a-time loop.
+      nn::Backward(nn::ScalarMul(loss, chunk * inv_b));
+      optimizer.StepAndZeroGrad();
     }
-    if (since_step > 0) optimizer.StepAndZeroGrad();
     const float train_mse =
         samples.empty() ? 0.0f
                         : static_cast<float>(epoch_loss / samples.size());
@@ -241,11 +257,16 @@ void LeadModel::TrainAutoencoder(
       double total = 0.0;
       int count = 0;
       for (const PreparedSample& s : validation) {
+        std::vector<CandidateBatchItem> batch;
         for (const traj::Candidate& c : sample_candidates(s, &val_rng)) {
-          total +=
-              autoencoder_->ReconstructionLoss(s.pt, c).value().at(0, 0);
-          ++count;
+          batch.push_back({&s.pt, c});
         }
+        if (batch.empty()) continue;
+        total += static_cast<double>(autoencoder_->ReconstructionLossBatch(batch)
+                                         .value()
+                                         .at(0, 0)) *
+                 static_cast<double>(batch.size());
+        count += static_cast<int>(batch.size());
       }
       val_mse = count > 0 ? static_cast<float>(total / count) : train_mse;
     }
@@ -271,23 +292,45 @@ void LeadModel::TrainDetectors(const std::vector<PreparedSample>& training,
   const TrainOptions& topt = options_.train;
 
   // Freeze the compressor and cache every candidate's c-vec (paper: the
-  // trained compressor produces the detection component's inputs).
+  // trained compressor produces the detection component's inputs). For
+  // the grouped detectors every subgroup's member c-vecs are materialized
+  // as one contiguous [T x cvec] matrix, so mini-batches can pack them as
+  // SeqSpans without per-step copies.
   struct CachedSample {
     int num_stays = 0;
     traj::Candidate loaded;
-    std::vector<nn::Matrix> cvecs;  // forward flatten order
+    nn::Matrix cvecs;                    // [NumCandidates x cvec], flat order
+    std::vector<nn::Matrix> fwd_groups;  // per forward subgroup [T x cvec]
+    std::vector<nn::Matrix> bwd_groups;  // per backward subgroup
+  };
+  auto subgroup_matrices = [](const nn::Matrix& cvecs, int n,
+                              const std::vector<Subgroup>& groups) {
+    std::vector<nn::Matrix> out;
+    out.reserve(groups.size());
+    for (const Subgroup& g : groups) {
+      nn::Matrix m(static_cast<int>(g.members.size()), cvecs.cols());
+      for (size_t j = 0; j < g.members.size(); ++j) {
+        const float* src =
+            cvecs.row(traj::CandidateFlatIndex(n, g.members[j]));
+        std::copy(src, src + cvecs.cols(), m.row(static_cast<int>(j)));
+      }
+      out.push_back(std::move(m));
+    }
+    return out;
   };
   auto cache = [&](const std::vector<PreparedSample>& samples) {
-    nn::NoGradGuard no_grad;
     std::vector<CachedSample> cached;
     cached.reserve(samples.size());
     for (const PreparedSample& s : samples) {
       CachedSample c;
       c.num_stays = s.pt.num_stays();
       c.loaded = s.loaded;
-      c.cvecs.reserve(s.pt.candidates.size());
-      for (nn::Matrix& m : EncodeCandidates(s.pt)) {
-        c.cvecs.push_back(std::move(m));
+      c.cvecs = EncodeCandidates(s.pt);
+      if (options_.use_grouping) {
+        c.fwd_groups = subgroup_matrices(c.cvecs, c.num_stays,
+                                         ForwardGroups(c.num_stays));
+        c.bwd_groups = subgroup_matrices(c.cvecs, c.num_stays,
+                                         BackwardGroups(c.num_stays));
       }
       cached.push_back(std::move(c));
     }
@@ -296,31 +339,91 @@ void LeadModel::TrainDetectors(const std::vector<PreparedSample>& training,
   const std::vector<CachedSample> train_cached = cache(training);
   const std::vector<CachedSample> val_cached = cache(validation);
 
-  // Builds the flat output distribution of one detector for one sample
-  // (global softmax over all subgroup scores).
-  auto distribution = [&](const StackedBiLstmDetector& detector,
-                          const CachedSample& s, bool forward) {
-    const std::vector<Subgroup> groups = forward
-                                             ? ForwardGroups(s.num_stays)
-                                             : BackwardGroups(s.num_stays);
-    std::vector<nn::Variable> inputs;
-    inputs.reserve(groups.size());
-    for (const Subgroup& g : groups) {
-      std::vector<nn::Variable> rows;
-      rows.reserve(g.members.size());
-      for (const traj::Candidate& c : g.members) {
-        rows.push_back(nn::Variable::Constant(
-            s.cvecs[traj::CandidateFlatIndex(s.num_stays, c)]));
+  // Sum of the chunk's per-sample KLD losses against one detector. Every
+  // subgroup of the chunk is scored in length-bucketed [B x cvec] batches;
+  // the per-sample distributions are then sliced back out for the global
+  // softmax and the KLD against the smoothed label.
+  auto group_chunk_loss = [&](const StackedBiLstmDetector& detector,
+                              bool forward,
+                              const std::vector<const CachedSample*>& chunk) {
+    std::vector<const nn::Matrix*> mats;
+    std::vector<int> lengths;
+    for (const CachedSample* s : chunk) {
+      const std::vector<nn::Matrix>& groups =
+          forward ? s->fwd_groups : s->bwd_groups;
+      for (const nn::Matrix& g : groups) {
+        mats.push_back(&g);
+        lengths.push_back(g.rows());
       }
-      inputs.push_back(nn::ConcatRows(rows));
     }
-    return detector.ForwardGroup(inputs);  // [1 x NumCandidates]
+    const std::vector<LengthBucket> buckets =
+        BucketByLength(lengths, kSubgroupMaxBatch, kSubgroupMaxPadding);
+    std::vector<nn::Variable> scores(buckets.size());
+    std::vector<std::pair<int, int>> where(mats.size());  // (bucket, row)
+    for (size_t kb = 0; kb < buckets.size(); ++kb) {
+      const LengthBucket& bucket = buckets[kb];
+      std::vector<nn::SeqView> views;
+      views.reserve(bucket.items.size());
+      for (size_t j = 0; j < bucket.items.size(); ++j) {
+        const int pi = bucket.items[j];
+        views.push_back({nn::SeqSpan{mats[pi], 0, lengths[pi]}});
+        where[pi] = {static_cast<int>(kb), static_cast<int>(j)};
+      }
+      scores[kb] = detector.ScoreSubgroupsBatch(nn::PackViews(views));
+    }
+    nn::Variable total;
+    int pair_index = 0;
+    for (const CachedSample* s : chunk) {
+      const std::vector<nn::Matrix>& groups =
+          forward ? s->fwd_groups : s->bwd_groups;
+      std::vector<nn::Variable> parts;
+      parts.reserve(groups.size());
+      for (const nn::Matrix& g : groups) {
+        const auto [kb, row] = where[pair_index++];
+        parts.push_back(
+            nn::SliceCols(nn::SliceRows(scores[kb], row, 1), 0, g.rows()));
+      }
+      const nn::Variable label = nn::Variable::Constant(nn::Matrix::RowVector(
+          forward ? ForwardLabel(s->num_stays, s->loaded, topt.label_epsilon)
+                  : BackwardLabel(s->num_stays, s->loaded,
+                                  topt.label_epsilon)));
+      const nn::Variable kld =
+          nn::KlDivergence(label, nn::SoftmaxRows(nn::ConcatCols(parts)));
+      total = total.defined() ? nn::Add(total, kld) : kld;
+    }
+    return total;
   };
 
-  // Generic simulated-batch training loop with early stopping.
+  // Sum of the chunk's per-sample BCE losses: one MLP forward over the
+  // chunk's stacked c-vecs, then per-sample row slices.
+  auto mlp_chunk_loss = [&](const std::vector<const CachedSample*>& chunk) {
+    std::vector<nn::Variable> rows;
+    rows.reserve(chunk.size());
+    for (const CachedSample* s : chunk) {
+      rows.push_back(nn::Variable::Constant(s->cvecs));
+    }
+    const nn::Variable probs = mlp_scorer_->Forward(nn::ConcatRows(rows));
+    nn::Variable total;
+    int row = 0;
+    for (const CachedSample* s : chunk) {
+      const int num_candidates = s->cvecs.rows();
+      nn::Matrix one_hot(num_candidates, 1);
+      one_hot.at(traj::CandidateFlatIndex(s->num_stays, s->loaded), 0) = 1.0f;
+      const nn::Variable bce =
+          BinaryCrossEntropy(nn::SliceRows(probs, row, num_candidates),
+                             nn::Variable::Constant(std::move(one_hot)));
+      total = total.defined() ? nn::Add(total, bce) : bce;
+      row += num_candidates;
+    }
+    return total;
+  };
+
+  // Mini-batch training loop with early stopping. chunk_loss returns the
+  // SUM of the chunk's per-sample losses; scaling by 1/batch_size keeps
+  // the per-sample gradient weight of the retired simulated-batch loop.
   auto run = [&](nn::Module* module,
-                 const std::function<nn::Variable(const CachedSample&)>&
-                     sample_loss,
+                 const std::function<nn::Variable(
+                     const std::vector<const CachedSample*>&)>& chunk_loss,
                  std::vector<float>* train_curve,
                  std::vector<float>* val_curve, const char* tag) {
     Rng rng(topt.seed ^ 0xde0001);
@@ -339,17 +442,20 @@ void LeadModel::TrainDetectors(const std::vector<PreparedSample>& training,
       optimizer.set_learning_rate(lr_schedule.LearningRate(epoch));
       rng.Shuffle(&order);
       double epoch_loss = 0.0;
-      int since_step = 0;
-      for (int idx : order) {
-        const nn::Variable loss = sample_loss(train_cached[idx]);
+      for (size_t begin = 0; begin < order.size();
+           begin += static_cast<size_t>(topt.batch_size)) {
+        const size_t end = std::min(
+            order.size(), begin + static_cast<size_t>(topt.batch_size));
+        std::vector<const CachedSample*> chunk;
+        chunk.reserve(end - begin);
+        for (size_t i = begin; i < end; ++i) {
+          chunk.push_back(&train_cached[order[i]]);
+        }
+        const nn::Variable loss = chunk_loss(chunk);
         epoch_loss += loss.value().at(0, 0);
         nn::Backward(nn::ScalarMul(loss, inv_b));
-        if (++since_step == topt.batch_size) {
-          optimizer.StepAndZeroGrad();
-          since_step = 0;
-        }
+        optimizer.StepAndZeroGrad();
       }
-      if (since_step > 0) optimizer.StepAndZeroGrad();
       const float train_loss =
           train_cached.empty()
               ? 0.0f
@@ -359,8 +465,16 @@ void LeadModel::TrainDetectors(const std::vector<PreparedSample>& training,
       if (!val_cached.empty()) {
         nn::NoGradGuard no_grad;
         double total = 0.0;
-        for (const CachedSample& s : val_cached) {
-          total += sample_loss(s).value().at(0, 0);
+        for (size_t begin = 0; begin < val_cached.size();
+             begin += static_cast<size_t>(topt.batch_size)) {
+          const size_t end = std::min(
+              val_cached.size(), begin + static_cast<size_t>(topt.batch_size));
+          std::vector<const CachedSample*> chunk;
+          chunk.reserve(end - begin);
+          for (size_t i = begin; i < end; ++i) {
+            chunk.push_back(&val_cached[i]);
+          }
+          total += chunk_loss(chunk).value().at(0, 0);
         }
         val_loss = static_cast<float>(total / val_cached.size());
       }
@@ -381,12 +495,9 @@ void LeadModel::TrainDetectors(const std::vector<PreparedSample>& training,
     if (forward_detector_ != nullptr) {
       run(
           forward_detector_.get(),
-          [&](const CachedSample& s) {
-            const nn::Variable label = nn::Variable::Constant(
-                nn::Matrix::RowVector(ForwardLabel(s.num_stays, s.loaded,
-                                                   topt.label_epsilon)));
-            return nn::KlDivergence(
-                label, distribution(*forward_detector_, s, /*forward=*/true));
+          [&](const std::vector<const CachedSample*>& chunk) {
+            return group_chunk_loss(*forward_detector_, /*forward=*/true,
+                                    chunk);
           },
           log != nullptr ? &log->forward_kld : nullptr,
           log != nullptr ? &log->forward_val_kld : nullptr, "fwd");
@@ -394,33 +505,15 @@ void LeadModel::TrainDetectors(const std::vector<PreparedSample>& training,
     if (backward_detector_ != nullptr) {
       run(
           backward_detector_.get(),
-          [&](const CachedSample& s) {
-            const nn::Variable label = nn::Variable::Constant(
-                nn::Matrix::RowVector(BackwardLabel(s.num_stays, s.loaded,
-                                                    topt.label_epsilon)));
-            return nn::KlDivergence(
-                label,
-                distribution(*backward_detector_, s, /*forward=*/false));
+          [&](const std::vector<const CachedSample*>& chunk) {
+            return group_chunk_loss(*backward_detector_, /*forward=*/false,
+                                    chunk);
           },
           log != nullptr ? &log->backward_kld : nullptr,
           log != nullptr ? &log->backward_val_kld : nullptr, "bwd");
     }
   } else {
-    run(
-        mlp_scorer_.get(),
-        [&](const CachedSample& s) {
-          std::vector<nn::Variable> rows;
-          rows.reserve(s.cvecs.size());
-          for (const nn::Matrix& m : s.cvecs) {
-            rows.push_back(nn::Variable::Constant(m));
-          }
-          nn::Matrix one_hot(static_cast<int>(s.cvecs.size()), 1);
-          one_hot.at(traj::CandidateFlatIndex(s.num_stays, s.loaded), 0) =
-              1.0f;
-          return BinaryCrossEntropy(
-              mlp_scorer_->Forward(nn::ConcatRows(rows)),
-              nn::Variable::Constant(std::move(one_hot)));
-        },
+    run(mlp_scorer_.get(), mlp_chunk_loss,
         log != nullptr ? &log->nogro_bce : nullptr,
         log != nullptr ? &log->nogro_val_bce : nullptr, "mlp");
   }
@@ -434,24 +527,16 @@ StatusOr<ProcessedTrajectory> LeadModel::Preprocess(
   return ProcessTrajectory(raw, poi_index, options_.pipeline, &normalizer_);
 }
 
-std::vector<nn::Matrix> LeadModel::EncodeCandidates(
-    const ProcessedTrajectory& pt) const {
+nn::Matrix LeadModel::EncodeCandidates(const ProcessedTrajectory& pt) const {
   nn::NoGradGuard no_grad;
-  std::vector<nn::Matrix> cvecs;
-  cvecs.reserve(pt.candidates.size());
-  if (options_.autoencoder.hierarchical) {
-    // Phase-1 segment compression shared across candidates.
-    const TrajectoryEncoding enc = autoencoder_->EncodeSegments(pt);
-    for (const traj::Candidate& c : pt.candidates) {
-      cvecs.push_back(
-          autoencoder_->EncodeCandidateFromSegments(enc, c).value());
-    }
-  } else {
-    for (const traj::Candidate& c : pt.candidates) {
-      cvecs.push_back(autoencoder_->EncodeCandidate(pt, c).value());
-    }
+  std::vector<CandidateBatchItem> items;
+  items.reserve(pt.candidates.size());
+  for (const traj::Candidate& c : pt.candidates) {
+    items.push_back({&pt, c});
   }
-  return cvecs;
+  // The encode-only batch path compresses each shared segment once, the
+  // batched analogue of the retired EncodeSegments sharing.
+  return autoencoder_->EncodeCandidateBatch(items).value();
 }
 
 StatusOr<Detection> LeadModel::DetectProcessed(
@@ -461,8 +546,8 @@ StatusOr<Detection> LeadModel::DetectProcessed(
   }
   nn::NoGradGuard no_grad;
   const int n = pt.num_stays();
-  const std::vector<nn::Matrix> cvecs = EncodeCandidates(pt);
-  const int num_candidates = static_cast<int>(cvecs.size());
+  const nn::Matrix cvecs = EncodeCandidates(pt);
+  const int num_candidates = cvecs.rows();
   LEAD_CHECK_EQ(num_candidates, traj::NumCandidates(n));
 
   std::vector<float> merged(num_candidates, 0.0f);
@@ -471,20 +556,37 @@ StatusOr<Detection> LeadModel::DetectProcessed(
                           bool forward) {
       const std::vector<Subgroup> groups =
           forward ? ForwardGroups(n) : BackwardGroups(n);
-      std::vector<nn::Variable> inputs;
-      std::vector<const traj::Candidate*> order;
-      inputs.reserve(groups.size());
+      // Materialize every subgroup's member c-vecs contiguously, then
+      // score all n-1 subgroups of the trajectory as one ragged batch.
+      int total_rows = 0;
       for (const Subgroup& g : groups) {
-        std::vector<nn::Variable> rows;
-        rows.reserve(g.members.size());
+        total_rows += static_cast<int>(g.members.size());
+      }
+      nn::Matrix grouped(total_rows, cvecs.cols());
+      std::vector<nn::SeqView> views;
+      std::vector<const traj::Candidate*> order;
+      views.reserve(groups.size());
+      order.reserve(total_rows);
+      int row = 0;
+      for (const Subgroup& g : groups) {
+        views.push_back({nn::SeqSpan{&grouped, row,
+                                     static_cast<int>(g.members.size())}});
         for (const traj::Candidate& c : g.members) {
-          rows.push_back(nn::Variable::Constant(
-              cvecs[traj::CandidateFlatIndex(n, c)]));
+          const float* src = cvecs.row(traj::CandidateFlatIndex(n, c));
+          std::copy(src, src + cvecs.cols(), grouped.row(row++));
           order.push_back(&c);
         }
-        inputs.push_back(nn::ConcatRows(rows));
       }
-      const nn::Variable probs = detector.ForwardGroup(inputs);
+      const nn::Variable scores =
+          detector.ScoreSubgroupsBatch(nn::PackViews(views));
+      std::vector<nn::Variable> parts;
+      parts.reserve(groups.size());
+      for (size_t gi = 0; gi < groups.size(); ++gi) {
+        parts.push_back(nn::SliceCols(
+            nn::SliceRows(scores, static_cast<int>(gi), 1), 0,
+            static_cast<int>(groups[gi].members.size())));
+      }
+      const nn::Variable probs = nn::SoftmaxRows(nn::ConcatCols(parts));
       for (size_t i = 0; i < order.size(); ++i) {
         merged[traj::CandidateFlatIndex(n, *order[i])] +=
             probs.value().at(0, static_cast<int>(i));
@@ -497,12 +599,8 @@ StatusOr<Detection> LeadModel::DetectProcessed(
       accumulate(*backward_detector_, /*forward=*/false);
     }
   } else {
-    std::vector<nn::Variable> rows;
-    rows.reserve(cvecs.size());
-    for (const nn::Matrix& m : cvecs) {
-      rows.push_back(nn::Variable::Constant(m));
-    }
-    const nn::Variable probs = mlp_scorer_->Forward(nn::ConcatRows(rows));
+    const nn::Variable probs =
+        mlp_scorer_->Forward(nn::Variable::Constant(cvecs));
     for (int i = 0; i < num_candidates; ++i) {
       merged[i] = probs.value().at(i, 0);
     }

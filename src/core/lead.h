@@ -43,8 +43,9 @@ struct TrainOptions {
   int autoencoder_epochs = 14;
   int detector_epochs = 25;
   float learning_rate = 1e-4f;  // paper: Adam, scheduled lr 1e-4
-  // Simulated batch size B: the average loss of B consecutive samples is
-  // backpropagated per optimizer step (paper §VI-A).
+  // Mini-batch size B: each optimizer step backpropagates the average
+  // loss of B samples, computed as one batch-major [B x d] forward
+  // (paper §VI-A; see DESIGN.md §"Batch-major execution").
   int batch_size = 64;
   int early_stopping_patience = 3;
   // Minimum validation-loss improvement that resets patience.
@@ -137,10 +138,10 @@ class LeadModel {
   StatusOr<ProcessedTrajectory> Preprocess(
       const traj::RawTrajectory& raw, const poi::PoiIndex& poi_index) const;
 
-  // Candidate c-vecs of a processed trajectory by forward flatten index
-  // (inference mode, shared phase-1 encoding).
-  std::vector<nn::Matrix> EncodeCandidates(
-      const ProcessedTrajectory& pt) const;
+  // Candidate c-vecs of a processed trajectory as one
+  // [NumCandidates x cvec_dims] matrix, row per forward flatten index
+  // (inference mode; one batched forward with shared phase-1 segments).
+  nn::Matrix EncodeCandidates(const ProcessedTrajectory& pt) const;
 
   Status Save(const std::string& path) const;
   Status Load(const std::string& path);

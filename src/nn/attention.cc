@@ -29,4 +29,42 @@ Variable LastQueryAttention::Forward(const Variable& hidden_states) const {
   return MatMul(scores, hidden_states);                          // [1 x hid]
 }
 
+Variable LastQueryAttention::ForwardSteps(
+    const std::vector<Variable>& hidden_states, const StepBatch& input) const {
+  const int steps = static_cast<int>(hidden_states.size());
+  LEAD_CHECK_GT(steps, 0);
+  const int batch = input.batch();
+  const Variable last = hidden_states.back();               // [B x hid]
+  const Variable q = Add(MatMul(last, w_q_), b_q_);         // [B x dk]
+  // Per-step dot products q . k_t replace the [1 x T] score matmul of the
+  // single-sequence path; same sums, batch-major layout.
+  std::vector<Variable> score_cols;
+  score_cols.reserve(steps);
+  for (int t = 0; t < steps; ++t) {
+    const Variable k_t = Add(MatMul(hidden_states[t], w_k_), b_k_);
+    score_cols.push_back(RowSum(Mul(q, k_t)));              // [B x 1]
+  }
+  const float scale = 1.0f / std::sqrt(static_cast<float>(key_size_));
+  Variable scores = ScalarMul(ConcatCols(score_cols), scale);  // [B x T]
+  if (input.ragged()) {
+    // Padded positions get a large negative bias so their softmax weight
+    // is exactly zero after exp().
+    Matrix bias(batch, steps);
+    for (int b = 0; b < batch; ++b) {
+      for (int t = input.lengths[b]; t < steps; ++t) {
+        bias.at(b, t) = -1e30f;
+      }
+    }
+    scores = Add(scores, Variable::Constant(std::move(bias)));
+  }
+  const Variable weights = SoftmaxRows(scores);             // [B x T]
+  Variable aggregated;
+  for (int t = 0; t < steps; ++t) {
+    const Variable term =
+        ScaleRows(hidden_states[t], SliceCols(weights, t, 1));
+    aggregated = aggregated.defined() ? Add(aggregated, term) : term;
+  }
+  return aggregated;                                        // [B x hid]
+}
+
 }  // namespace lead::nn

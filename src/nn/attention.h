@@ -8,7 +8,10 @@
 #ifndef LEAD_NN_ATTENTION_H_
 #define LEAD_NN_ATTENTION_H_
 
+#include <vector>
+
 #include "common/rng.h"
+#include "nn/batch.h"
 #include "nn/module.h"
 #include "nn/ops.h"
 
@@ -21,6 +24,13 @@ class LastQueryAttention : public Module {
 
   // hidden_states: [T x hidden]. Returns the aggregated vector [1 x hidden].
   Variable Forward(const Variable& hidden_states) const;
+
+  // Batch-major aggregation over time-major hidden states ([B x hidden]
+  // per step, from a masked batched LSTM so hidden_states.back() holds
+  // each row's final valid state — the per-row query). Padded steps of a
+  // ragged batch are excluded from the softmax. Returns [B x hidden].
+  Variable ForwardSteps(const std::vector<Variable>& hidden_states,
+                        const StepBatch& input) const;
 
   int hidden_size() const { return hidden_size_; }
 

@@ -1,0 +1,64 @@
+// Batch-major execution support: time-major packing of sequence batches.
+//
+// All batched step kernels (lstm.h, gru.h, attention.h) consume a
+// StepBatch: `steps[t]` is the [B x d] matrix holding step t of every
+// sequence in the batch (row b belongs to sequence b throughout). Ragged
+// batches are padded to the longest member; `masks[t]` / `inv_masks[t]`
+// are then [B x 1] validity columns (1 while t < lengths[b], else 0) that
+// the kernels use to freeze finished rows, so a row's final state is
+// always its state at its own last valid step.
+//
+// PackViews builds the step constants directly from backing matrices
+// (feature banks, cached c-vecs); stages whose inputs are differentiable
+// Variables assemble the `steps` vector themselves (e.g. with GatherRows)
+// and attach it via WithSteps.
+#ifndef LEAD_NN_BATCH_H_
+#define LEAD_NN_BATCH_H_
+
+#include <vector>
+
+#include "nn/variable.h"
+
+namespace lead::nn {
+
+// One contiguous row range of a backing matrix.
+struct SeqSpan {
+  const Matrix* source;
+  int row_begin = 0;
+  int rows = 0;
+};
+
+// A sequence as a list of row spans, concatenated in order (a candidate's
+// flat feature sequence interleaves stay and move ranges, so one span is
+// not enough in general).
+using SeqView = std::vector<SeqSpan>;
+
+int SeqViewRows(const SeqView& view);
+
+struct StepBatch {
+  std::vector<Variable> steps;      // max_len entries, each [B x d]
+  std::vector<Variable> masks;      // empty when uniform; else [B x 1] each
+  std::vector<Variable> inv_masks;  // 1 - masks, same layout
+  std::vector<int> lengths;         // B entries
+
+  int batch() const { return static_cast<int>(lengths.size()); }
+  int max_len() const { return static_cast<int>(steps.size()); }
+  bool ragged() const { return !masks.empty(); }
+
+  // Same batch geometry (masks/lengths) over a different per-step payload;
+  // used by stacked layers whose step width changes layer to layer.
+  StepBatch WithSteps(std::vector<Variable> new_steps) const;
+};
+
+// Packs B sequences (all with the same column count, every length >= 1)
+// into time-major step constants; builds masks only when lengths differ.
+StepBatch PackViews(const std::vector<SeqView>& views);
+
+// Masked state update: fresh where mask is 1, prev where it is 0
+// (rowwise). Shorthand for Add(ScaleRows(fresh, m), ScaleRows(prev, im)).
+Variable MaskedUpdate(const Variable& fresh, const Variable& prev,
+                      const Variable& mask, const Variable& inv_mask);
+
+}  // namespace lead::nn
+
+#endif  // LEAD_NN_BATCH_H_

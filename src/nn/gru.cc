@@ -41,4 +41,31 @@ Variable GruCell::ForwardSequence(const Variable& x) const {
   return ConcatRows(hidden_states);
 }
 
+std::vector<Variable> GruCell::ForwardSequenceSteps(
+    const StepBatch& input) const {
+  const int steps = input.max_len();
+  LEAD_CHECK_GT(steps, 0);
+  const int h = hidden_size_;
+  Variable hidden = Variable::Constant(Matrix::Zeros(input.batch(), h));
+  std::vector<Variable> hidden_states;
+  hidden_states.reserve(steps);
+  for (int t = 0; t < steps; ++t) {
+    LEAD_CHECK_EQ(input.steps[t].cols(), input_size_);
+    const Variable xp = Add(MatMul(input.steps[t], w_ih_), b_ih_);
+    const Variable hp = Add(MatMul(hidden, w_hh_), b_hh_);  // [B x 3H]
+    const Variable z = Sigmoid(Add(SliceCols(xp, 0, h), SliceCols(hp, 0, h)));
+    const Variable r = Sigmoid(Add(SliceCols(xp, h, h), SliceCols(hp, h, h)));
+    const Variable n = Tanh(
+        Add(SliceCols(xp, 2 * h, h), Mul(r, SliceCols(hp, 2 * h, h))));
+    const Variable one_minus_z = AddScalar(ScalarMul(z, -1.0f), 1.0f);
+    Variable next = Add(Mul(one_minus_z, n), Mul(z, hidden));
+    if (input.ragged()) {
+      next = MaskedUpdate(next, hidden, input.masks[t], input.inv_masks[t]);
+    }
+    hidden = next;
+    hidden_states.push_back(hidden);
+  }
+  return hidden_states;
+}
+
 }  // namespace lead::nn

@@ -2,7 +2,10 @@
 #ifndef LEAD_NN_GRU_H_
 #define LEAD_NN_GRU_H_
 
+#include <vector>
+
 #include "common/rng.h"
+#include "nn/batch.h"
 #include "nn/module.h"
 #include "nn/ops.h"
 
@@ -14,8 +17,14 @@ class GruCell : public Module {
   GruCell(int input_size, int hidden_size, Rng* rng);
 
   // Runs the cell over x [T x input_size]; returns all hidden states
-  // [T x H].
+  // [T x H]. (Single-sequence reference path.)
   Variable ForwardSequence(const Variable& x) const;
+
+  // Batch-major sequence forward over time-major packed steps ([B x in]
+  // each); returns every step's hidden state ([B x H] each). Finished
+  // rows of a ragged batch are frozen via masked updates, so back().row(b)
+  // is sequence b's final hidden state.
+  std::vector<Variable> ForwardSequenceSteps(const StepBatch& input) const;
 
   int input_size() const { return input_size_; }
   int hidden_size() const { return hidden_size_; }

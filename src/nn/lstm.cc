@@ -19,9 +19,9 @@ LstmCell::LstmCell(int input_size, int hidden_size, Rng* rng)
   bias_ = RegisterParameter("bias", std::move(bias));
 }
 
-LstmCell::State LstmCell::InitialState() const {
-  return State{Variable::Constant(Matrix::Zeros(1, hidden_size_)),
-               Variable::Constant(Matrix::Zeros(1, hidden_size_))};
+LstmCell::State LstmCell::InitialState(int batch) const {
+  return State{Variable::Constant(Matrix::Zeros(batch, hidden_size_)),
+               Variable::Constant(Matrix::Zeros(batch, hidden_size_))};
 }
 
 LstmCell::State LstmCell::ApplyGates(const Variable& preact,
@@ -61,6 +61,73 @@ Variable LstmCell::ForwardSequence(const Variable& x) const {
   return ConcatRows(hidden_states);
 }
 
+std::vector<Variable> LstmCell::ForwardSequenceSteps(
+    const StepBatch& input) const {
+  const int steps = input.max_len();
+  LEAD_CHECK_GT(steps, 0);
+  State state = InitialState(input.batch());
+  std::vector<Variable> hidden_states;
+  hidden_states.reserve(steps);
+  for (int t = 0; t < steps; ++t) {
+    LEAD_CHECK_EQ(input.steps[t].cols(), input_size_);
+    const Variable preact = Add(
+        Add(MatMul(input.steps[t], w_ih_), MatMul(state.h, w_hh_)), bias_);
+    State next = ApplyGates(preact, state);
+    if (input.ragged()) {
+      next.h = MaskedUpdate(next.h, state.h, input.masks[t],
+                            input.inv_masks[t]);
+      next.c = MaskedUpdate(next.c, state.c, input.masks[t],
+                            input.inv_masks[t]);
+    }
+    state = next;
+    hidden_states.push_back(state.h);
+  }
+  return hidden_states;
+}
+
+std::vector<Variable> LstmCell::ForwardSequenceStepsReversed(
+    const StepBatch& input) const {
+  const int steps = input.max_len();
+  LEAD_CHECK_GT(steps, 0);
+  // Same masked recurrence over the reversed step order. A ragged row's
+  // padded steps come first in this order, so the masks keep its state at
+  // zero until its real last step enters the window.
+  State state = InitialState(input.batch());
+  std::vector<Variable> hidden_states(steps);
+  for (int t = steps - 1; t >= 0; --t) {
+    LEAD_CHECK_EQ(input.steps[t].cols(), input_size_);
+    const Variable preact = Add(
+        Add(MatMul(input.steps[t], w_ih_), MatMul(state.h, w_hh_)), bias_);
+    State next = ApplyGates(preact, state);
+    if (input.ragged()) {
+      next.h = MaskedUpdate(next.h, state.h, input.masks[t],
+                            input.inv_masks[t]);
+      next.c = MaskedUpdate(next.c, state.c, input.masks[t],
+                            input.inv_masks[t]);
+    }
+    state = next;
+    hidden_states[t] = state.h;
+  }
+  return hidden_states;
+}
+
+std::vector<Variable> LstmCell::ForwardConstantInputSteps(const Variable& v,
+                                                          int steps) const {
+  LEAD_CHECK_EQ(v.cols(), input_size_);
+  LEAD_CHECK_GT(steps, 0);
+  const Variable input_proj = MatMul(v, w_ih_);  // [B x 4H], reused
+  State state = InitialState(v.rows());
+  std::vector<Variable> hidden_states;
+  hidden_states.reserve(steps);
+  for (int t = 0; t < steps; ++t) {
+    const Variable preact =
+        Add(Add(input_proj, MatMul(state.h, w_hh_)), bias_);
+    state = ApplyGates(preact, state);
+    hidden_states.push_back(state.h);
+  }
+  return hidden_states;
+}
+
 Variable LstmCell::ForwardConstantInput(const Variable& v, int steps) const {
   LEAD_CHECK_EQ(v.rows(), 1);
   LEAD_CHECK_EQ(v.cols(), input_size_);
@@ -90,6 +157,20 @@ Variable BiLstm::Forward(const Variable& x) const {
   const Variable bwd_out =
       ReverseRows(backward_.ForwardSequence(ReverseRows(x)));
   return ConcatCols({fwd_out, bwd_out});
+}
+
+std::vector<Variable> BiLstm::ForwardSteps(const StepBatch& input) const {
+  const int steps = input.max_len();
+  LEAD_CHECK_GT(steps, 0);
+  const std::vector<Variable> fwd = forward_.ForwardSequenceSteps(input);
+  const std::vector<Variable> bwd =
+      backward_.ForwardSequenceStepsReversed(input);
+  std::vector<Variable> out;
+  out.reserve(steps);
+  for (int t = 0; t < steps; ++t) {
+    out.push_back(ConcatCols({fwd[t], bwd[t]}));
+  }
+  return out;
 }
 
 }  // namespace lead::nn

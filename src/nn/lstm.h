@@ -4,7 +4,10 @@
 #ifndef LEAD_NN_LSTM_H_
 #define LEAD_NN_LSTM_H_
 
+#include <vector>
+
 #include "common/rng.h"
+#include "nn/batch.h"
 #include "nn/module.h"
 #include "nn/ops.h"
 
@@ -13,36 +16,58 @@ namespace lead::nn {
 // Single LSTM cell with combined gate weights. Gate layout along the 4H
 // axis: [input, forget, cell-candidate, output]. Forget-gate bias is
 // initialized to 1 (standard trick for gradient flow).
+//
+// All step inputs and states are batch-major: a step is [B x input_size]
+// and carries one sequence per row (B == 1 is the single-sequence case).
 class LstmCell : public Module {
  public:
   LstmCell(int input_size, int hidden_size, Rng* rng);
 
   struct State {
-    Variable h;  // [1 x H]
-    Variable c;  // [1 x H]
+    Variable h;  // [B x H]
+    Variable c;  // [B x H]
   };
 
-  State InitialState() const;
+  State InitialState(int batch = 1) const;
 
-  // One recurrence step; x_t is [1 x input_size].
+  // One recurrence step; x_t is [B x input_size].
   State Step(const Variable& x_t, const State& prev) const;
 
   // Runs the cell over a whole sequence x [T x input_size] and returns all
   // hidden states [T x H]. The input projection for all steps is computed
-  // as one matmul.
+  // as one matmul. (Single-sequence reference path; the batched path is
+  // ForwardSequenceSteps.)
   Variable ForwardSequence(const Variable& x) const;
+
+  // Batch-major sequence forward over time-major packed steps. Returns the
+  // hidden state of every step ([B x H] each). Finished rows of a ragged
+  // batch are frozen via masked updates, so back().row(b) is sequence b's
+  // hidden state at its own last valid step.
+  std::vector<Variable> ForwardSequenceSteps(const StepBatch& input) const;
+
+  // Same recurrence iterated over the packed steps in reverse order;
+  // out[t] is the state after consuming steps max_len-1 .. t (the
+  // backward half of a BiLSTM). Ragged rows stay zero until their own
+  // last step enters the window.
+  std::vector<Variable> ForwardSequenceStepsReversed(
+      const StepBatch& input) const;
 
   // Runs the cell `steps` times feeding the same input vector v [1 x in]
   // at every step — the paper's decompression operator (Eq. 5), which
   // unrolls a compressed vector into a sequence. Returns [steps x H].
   Variable ForwardConstantInput(const Variable& v, int steps) const;
 
+  // Batched constant-input unroll: v is [B x in] (one compressed vector
+  // per row); returns `steps` hidden states, [B x H] each.
+  std::vector<Variable> ForwardConstantInputSteps(const Variable& v,
+                                                  int steps) const;
+
   int input_size() const { return input_size_; }
   int hidden_size() const { return hidden_size_; }
 
  private:
   // Shared epilogue: applies gate nonlinearities to preactivations
-  // [1 x 4H] and advances the state.
+  // [B x 4H] and advances the state.
   State ApplyGates(const Variable& preact, const State& prev) const;
 
   int input_size_;
@@ -59,6 +84,12 @@ class BiLstm : public Module {
   BiLstm(int input_size, int hidden_size, Rng* rng);
 
   Variable Forward(const Variable& x) const;
+
+  // Batch-major bidirectional forward: per-step concatenation of the
+  // forward and backward hidden states, [B x 2H] each. The backward
+  // direction iterates the packed steps in reverse; masked updates keep a
+  // ragged row's state zero until its own last step enters the window.
+  std::vector<Variable> ForwardSteps(const StepBatch& input) const;
 
   int hidden_size() const { return forward_.hidden_size(); }
 

@@ -35,8 +35,56 @@ void MatMulAccumulate(const Matrix& a, const Matrix& b, Matrix* out) {
   const int m = a.rows();
   const int k = a.cols();
   const int n = b.cols();
-  // i-k-j loop order keeps the inner loop streaming over contiguous rows
-  // of b and out.
+  // Register-blocked i-k-j: 4 rows of a share one streaming pass over b,
+  // so each b row is loaded once per 4 output rows instead of once per
+  // output row. The inner loop is branch-free (the old `a_ip == 0`
+  // shortcut is an unpredictable branch on dense operands; see
+  // MatMulAccumulateSparseA).
+  int i = 0;
+  for (; i + 4 <= m; i += 4) {
+    const float* a0 = a.row(i);
+    const float* a1 = a.row(i + 1);
+    const float* a2 = a.row(i + 2);
+    const float* a3 = a.row(i + 3);
+    float* o0 = out->row(i);
+    float* o1 = out->row(i + 1);
+    float* o2 = out->row(i + 2);
+    float* o3 = out->row(i + 3);
+    for (int p = 0; p < k; ++p) {
+      const float a0p = a0[p];
+      const float a1p = a1[p];
+      const float a2p = a2[p];
+      const float a3p = a3[p];
+      const float* b_row = b.row(p);
+      for (int j = 0; j < n; ++j) {
+        const float bj = b_row[j];
+        o0[j] += a0p * bj;
+        o1[j] += a1p * bj;
+        o2[j] += a2p * bj;
+        o3[j] += a3p * bj;
+      }
+    }
+  }
+  for (; i < m; ++i) {
+    const float* a_row = a.row(i);
+    float* out_row = out->row(i);
+    for (int p = 0; p < k; ++p) {
+      const float a_ip = a_row[p];
+      const float* b_row = b.row(p);
+      for (int j = 0; j < n; ++j) {
+        out_row[j] += a_ip * b_row[j];
+      }
+    }
+  }
+}
+
+void MatMulAccumulateSparseA(const Matrix& a, const Matrix& b, Matrix* out) {
+  LEAD_CHECK_EQ(a.cols(), b.rows());
+  LEAD_CHECK_EQ(out->rows(), a.rows());
+  LEAD_CHECK_EQ(out->cols(), b.cols());
+  const int m = a.rows();
+  const int k = a.cols();
+  const int n = b.cols();
   for (int i = 0; i < m; ++i) {
     const float* a_row = a.row(i);
     float* out_row = out->row(i);
@@ -59,12 +107,34 @@ void MatMulTransposeAAccumulate(const Matrix& a, const Matrix& b,
   const int k = a.rows();
   const int m = a.cols();
   const int n = b.cols();
-  for (int p = 0; p < k; ++p) {
+  // Blocked over 4 shared rows of a/b per sweep so each out row is
+  // loaded/stored once per 4 accumulated rank-1 updates.
+  int p = 0;
+  for (; p + 4 <= k; p += 4) {
+    const float* a0 = a.row(p);
+    const float* a1 = a.row(p + 1);
+    const float* a2 = a.row(p + 2);
+    const float* a3 = a.row(p + 3);
+    const float* b0 = b.row(p);
+    const float* b1 = b.row(p + 1);
+    const float* b2 = b.row(p + 2);
+    const float* b3 = b.row(p + 3);
+    for (int i = 0; i < m; ++i) {
+      const float a0i = a0[i];
+      const float a1i = a1[i];
+      const float a2i = a2[i];
+      const float a3i = a3[i];
+      float* out_row = out->row(i);
+      for (int j = 0; j < n; ++j) {
+        out_row[j] += a0i * b0[j] + a1i * b1[j] + a2i * b2[j] + a3i * b3[j];
+      }
+    }
+  }
+  for (; p < k; ++p) {
     const float* a_row = a.row(p);
     const float* b_row = b.row(p);
     for (int i = 0; i < m; ++i) {
       const float a_pi = a_row[i];
-      if (a_pi == 0.0f) continue;
       float* out_row = out->row(i);
       for (int j = 0; j < n; ++j) {
         out_row[j] += a_pi * b_row[j];
@@ -81,10 +151,30 @@ void MatMulTransposeBAccumulate(const Matrix& a, const Matrix& b,
   const int m = a.rows();
   const int k = a.cols();
   const int n = b.rows();
+  // 4 dot products per pass over a_row: one load of a feeds 4 outputs.
   for (int i = 0; i < m; ++i) {
     const float* a_row = a.row(i);
     float* out_row = out->row(i);
-    for (int j = 0; j < n; ++j) {
+    int j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const float* b0 = b.row(j);
+      const float* b1 = b.row(j + 1);
+      const float* b2 = b.row(j + 2);
+      const float* b3 = b.row(j + 3);
+      float d0 = 0.0f, d1 = 0.0f, d2 = 0.0f, d3 = 0.0f;
+      for (int p = 0; p < k; ++p) {
+        const float av = a_row[p];
+        d0 += av * b0[p];
+        d1 += av * b1[p];
+        d2 += av * b2[p];
+        d3 += av * b3[p];
+      }
+      out_row[j] += d0;
+      out_row[j + 1] += d1;
+      out_row[j + 2] += d2;
+      out_row[j + 3] += d3;
+    }
+    for (; j < n; ++j) {
       const float* b_row = b.row(j);
       float dot = 0.0f;
       for (int p = 0; p < k; ++p) {

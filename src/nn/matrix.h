@@ -62,8 +62,15 @@ class Matrix {
 };
 
 // out += a * b (row-major GEMM accumulate). Shapes: a [m x k], b [k x n],
-// out [m x n].
+// out [m x n]. Register-blocked over rows of a (4 rows per sweep of b), so
+// batch-major [B x d] operands amortize every load of b; dense inner loop
+// with no data-dependent branches.
 void MatMulAccumulate(const Matrix& a, const Matrix& b, Matrix* out);
+// Sparse-aware variant of MatMulAccumulate: skips zero entries of `a`.
+// Only worth it when a is mostly zeros (e.g. one-hot rows); the branch is
+// a net loss on dense operands (see BM_GemmSparseAware in
+// bench/micro_substrates.cc).
+void MatMulAccumulateSparseA(const Matrix& a, const Matrix& b, Matrix* out);
 // out += a^T * b. Shapes: a [k x m], b [k x n], out [m x n].
 void MatMulTransposeAAccumulate(const Matrix& a, const Matrix& b,
                                 Matrix* out);

@@ -448,6 +448,85 @@ Variable Mean(const Variable& a) {
   return ScalarMul(Sum(a), 1.0f / static_cast<float>(a.value().size()));
 }
 
+Variable RowSum(const Variable& a) {
+  const int m = a.rows();
+  const int n = a.cols();
+  Matrix out(m, 1);
+  for (int r = 0; r < m; ++r) {
+    const float* arow = a.value().row(r);
+    float total = 0.0f;
+    for (int c = 0; c < n; ++c) total += arow[c];
+    out.at(r, 0) = total;
+  }
+  Node* an = a.node();
+  return Variable::FromOp(std::move(out), {a}, [an, n](const Matrix& g) {
+    if (!an->requires_grad) return;
+    an->EnsureGrad();
+    for (int r = 0; r < g.rows(); ++r) {
+      const float go = g.at(r, 0);
+      float* arow = an->grad.row(r);
+      for (int c = 0; c < n; ++c) arow[c] += go;
+    }
+  });
+}
+
+Variable ScaleRows(const Variable& a, const Variable& s) {
+  LEAD_CHECK_EQ(s.rows(), a.rows());
+  LEAD_CHECK_EQ(s.cols(), 1);
+  Matrix out = a.value();
+  for (int r = 0; r < out.rows(); ++r) {
+    const float sv = s.value().at(r, 0);
+    float* row = out.row(r);
+    for (int c = 0; c < out.cols(); ++c) row[c] *= sv;
+  }
+  Node* an = a.node();
+  Node* sn = s.node();
+  return Variable::FromOp(
+      std::move(out), {a, s}, [an, sn](const Matrix& g) {
+        if (an->requires_grad) {
+          an->EnsureGrad();
+          for (int r = 0; r < g.rows(); ++r) {
+            const float sv = sn->value.at(r, 0);
+            const float* grow = g.row(r);
+            float* arow = an->grad.row(r);
+            for (int c = 0; c < g.cols(); ++c) arow[c] += grow[c] * sv;
+          }
+        }
+        if (sn->requires_grad) {
+          sn->EnsureGrad();
+          for (int r = 0; r < g.rows(); ++r) {
+            const float* grow = g.row(r);
+            const float* arow = an->value.row(r);
+            float dot = 0.0f;
+            for (int c = 0; c < g.cols(); ++c) dot += grow[c] * arow[c];
+            sn->grad.at(r, 0) += dot;
+          }
+        }
+      });
+}
+
+Variable GatherRows(const Variable& a, std::vector<int> rows) {
+  const int n = a.cols();
+  Matrix out(static_cast<int>(rows.size()), n);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    LEAD_CHECK_GE(rows[i], 0);
+    LEAD_CHECK_LT(rows[i], a.rows());
+    const float* src = a.value().row(rows[i]);
+    std::copy(src, src + n, out.row(static_cast<int>(i)));
+  }
+  Node* an = a.node();
+  return Variable::FromOp(
+      std::move(out), {a}, [an, rows = std::move(rows)](const Matrix& g) {
+        if (!an->requires_grad) return;
+        an->EnsureGrad();
+        for (size_t i = 0; i < rows.size(); ++i) {
+          const float* grow = g.row(static_cast<int>(i));
+          float* arow = an->grad.row(rows[i]);
+          for (int c = 0; c < g.cols(); ++c) arow[c] += grow[c];
+        }
+      });
+}
+
 Variable MseLoss(const Variable& prediction, const Variable& target) {
   LEAD_CHECK(prediction.value().SameShape(target.value()));
   const int n = prediction.value().size();

@@ -56,6 +56,20 @@ Variable ReverseRows(const Variable& a);
 Variable Sum(const Variable& a);
 Variable Mean(const Variable& a);
 
+// Per-row sum over columns: [m x n] -> [m x 1].
+Variable RowSum(const Variable& a);
+
+// Scales every row of a [m x n] by the matching scalar of s [m x 1]:
+// out[r][c] = a[r][c] * s[r][0]. The column-broadcast complement of the
+// row-broadcast in Add; used for per-sequence masking/weighting in
+// batch-major kernels (batch.h).
+Variable ScaleRows(const Variable& a, const Variable& s);
+
+// Rows of a selected by index, in order: out[i] = a[rows[i]]. Indices may
+// repeat; the backward pass scatter-adds. This is how batch-major stages
+// regroup per-sequence rows between bucketed kernel launches.
+Variable GatherRows(const Variable& a, std::vector<int> rows);
+
 // Mean squared error between prediction and a target of the same shape
 // (Eq. 8). Gradients flow to both inputs if required.
 Variable MseLoss(const Variable& prediction, const Variable& target);

@@ -1,0 +1,506 @@
+// Tests for the batch-major execution path: length bucketing, time-major
+// packing, batched step kernels vs their per-row reference forwards, and
+// gradient checks through the batched graphs.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/autoencoder.h"
+#include "core/batching.h"
+#include "core/detector.h"
+#include "gradcheck.h"
+#include "nn/attention.h"
+#include "nn/batch.h"
+#include "nn/gru.h"
+#include "nn/lstm.h"
+#include "nn/ops.h"
+
+namespace lead {
+namespace {
+
+// ---- BucketByLength. ----
+
+TEST(BucketingTest, ExactLengthBuckets) {
+  const std::vector<core::LengthBucket> buckets =
+      core::BucketByLength({3, 5, 3, 5, 2}, /*max_batch=*/0,
+                           /*max_padding=*/0);
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_EQ(buckets[0].max_len, 5);
+  EXPECT_EQ(buckets[0].items, (std::vector<int>{1, 3}));
+  EXPECT_EQ(buckets[1].max_len, 3);
+  EXPECT_EQ(buckets[1].items, (std::vector<int>{0, 2}));
+  EXPECT_EQ(buckets[2].max_len, 2);
+  EXPECT_EQ(buckets[2].items, (std::vector<int>{4}));
+}
+
+TEST(BucketingTest, MaxPaddingBoundsLengthSpread) {
+  const std::vector<core::LengthBucket> buckets =
+      core::BucketByLength({10, 9, 5}, /*max_batch=*/0, /*max_padding=*/1);
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_EQ(buckets[0].items, (std::vector<int>{0, 1}));
+  EXPECT_EQ(buckets[0].max_len, 10);
+  EXPECT_EQ(buckets[1].items, (std::vector<int>{2}));
+}
+
+TEST(BucketingTest, MaxBatchCapsBucketSize) {
+  const std::vector<core::LengthBucket> buckets =
+      core::BucketByLength({4, 4, 4, 4, 4}, /*max_batch=*/2,
+                           /*max_padding=*/0);
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_EQ(buckets[0].items.size(), 2u);
+  EXPECT_EQ(buckets[1].items.size(), 2u);
+  EXPECT_EQ(buckets[2].items.size(), 1u);
+}
+
+TEST(BucketingTest, UnboundedPaddingYieldsOneBucket) {
+  const std::vector<core::LengthBucket> buckets =
+      core::BucketByLength({1, 7, 3}, /*max_batch=*/0, /*max_padding=*/-1);
+  ASSERT_EQ(buckets.size(), 1u);
+  EXPECT_EQ(buckets[0].max_len, 7);
+  EXPECT_EQ(buckets[0].items.size(), 3u);
+}
+
+TEST(BucketingTest, EveryIndexAppearsExactlyOnce) {
+  const std::vector<int> lengths = {8, 1, 5, 5, 2, 9, 3, 8, 8, 1};
+  const std::vector<core::LengthBucket> buckets =
+      core::BucketByLength(lengths, /*max_batch=*/3, /*max_padding=*/2);
+  std::vector<int> seen(lengths.size(), 0);
+  for (const core::LengthBucket& bucket : buckets) {
+    for (int item : bucket.items) {
+      ASSERT_GE(item, 0);
+      ASSERT_LT(item, static_cast<int>(lengths.size()));
+      ++seen[item];
+      EXPECT_LE(bucket.max_len - lengths[item], 2);
+      EXPECT_GE(bucket.max_len, lengths[item]);
+    }
+    EXPECT_LE(bucket.items.size(), 3u);
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+// ---- PackViews. ----
+
+TEST(PackViewsTest, UniformBatchHasNoMasks) {
+  Rng rng(1);
+  const nn::Matrix a = nn::Matrix::Uniform(3, 4, 1.0f, &rng);
+  const nn::Matrix b = nn::Matrix::Uniform(3, 4, 1.0f, &rng);
+  const nn::StepBatch batch = nn::PackViews(
+      {{nn::SeqSpan{&a, 0, 3}}, {nn::SeqSpan{&b, 0, 3}}});
+  EXPECT_EQ(batch.batch(), 2);
+  EXPECT_EQ(batch.max_len(), 3);
+  EXPECT_FALSE(batch.ragged());
+  for (int t = 0; t < 3; ++t) {
+    for (int c = 0; c < 4; ++c) {
+      EXPECT_EQ(batch.steps[t].value().at(0, c), a.at(t, c));
+      EXPECT_EQ(batch.steps[t].value().at(1, c), b.at(t, c));
+    }
+  }
+}
+
+TEST(PackViewsTest, RaggedBatchMasksAndZeroPads) {
+  Rng rng(2);
+  const nn::Matrix a = nn::Matrix::Uniform(4, 3, 1.0f, &rng);
+  const nn::Matrix b = nn::Matrix::Uniform(2, 3, 1.0f, &rng);
+  const nn::StepBatch batch = nn::PackViews(
+      {{nn::SeqSpan{&a, 0, 4}}, {nn::SeqSpan{&b, 0, 2}}});
+  EXPECT_TRUE(batch.ragged());
+  ASSERT_EQ(batch.masks.size(), 4u);
+  EXPECT_EQ(batch.lengths, (std::vector<int>{4, 2}));
+  for (int t = 0; t < 4; ++t) {
+    EXPECT_EQ(batch.masks[t].value().at(0, 0), 1.0f);
+    EXPECT_EQ(batch.masks[t].value().at(1, 0), t < 2 ? 1.0f : 0.0f);
+    EXPECT_EQ(batch.inv_masks[t].value().at(1, 0), t < 2 ? 0.0f : 1.0f);
+    if (t >= 2) {
+      for (int c = 0; c < 3; ++c) {
+        EXPECT_EQ(batch.steps[t].value().at(1, c), 0.0f);
+      }
+    }
+  }
+}
+
+TEST(PackViewsTest, MultiSpanViewConcatenatesInOrder) {
+  Rng rng(3);
+  const nn::Matrix bank = nn::Matrix::Uniform(10, 2, 1.0f, &rng);
+  // One sequence assembled from rows [6,8) followed by rows [1,3).
+  const nn::StepBatch batch = nn::PackViews(
+      {{nn::SeqSpan{&bank, 6, 2}, nn::SeqSpan{&bank, 1, 2}}});
+  ASSERT_EQ(batch.max_len(), 4);
+  const int source_rows[] = {6, 7, 1, 2};
+  for (int t = 0; t < 4; ++t) {
+    for (int c = 0; c < 2; ++c) {
+      EXPECT_EQ(batch.steps[t].value().at(0, c), bank.at(source_rows[t], c));
+    }
+  }
+}
+
+// ---- Batched kernels vs per-row reference forwards. ----
+
+// Packs rows of the given matrices (one sequence each) into a StepBatch.
+nn::StepBatch PackMatrices(const std::vector<nn::Matrix>& seqs) {
+  std::vector<nn::SeqView> views;
+  views.reserve(seqs.size());
+  for (const nn::Matrix& m : seqs) {
+    views.push_back({nn::SeqSpan{&m, 0, m.rows()}});
+  }
+  return nn::PackViews(views);
+}
+
+std::vector<nn::Matrix> RaggedSequences(int cols, Rng* rng) {
+  std::vector<nn::Matrix> seqs;
+  for (int len : {5, 3, 4, 1}) {
+    seqs.push_back(nn::Matrix::Uniform(len, cols, 1.0f, rng));
+  }
+  return seqs;
+}
+
+TEST(BatchedKernelTest, LstmMatchesPerRowForward) {
+  Rng rng(4);
+  nn::LstmCell lstm(3, 6, &rng);
+  const std::vector<nn::Matrix> seqs = RaggedSequences(3, &rng);
+  nn::NoGradGuard no_grad;
+  const nn::StepBatch batch = PackMatrices(seqs);
+  const std::vector<nn::Variable> hidden = lstm.ForwardSequenceSteps(batch);
+  for (size_t b = 0; b < seqs.size(); ++b) {
+    const nn::Variable ref =
+        lstm.ForwardSequence(nn::Variable::Constant(seqs[b]));
+    const int len = seqs[b].rows();
+    for (int t = 0; t < batch.max_len(); ++t) {
+      // Valid steps match the reference; finished rows stay frozen at
+      // their own last valid state.
+      const int ref_t = std::min(t, len - 1);
+      for (int c = 0; c < 6; ++c) {
+        EXPECT_NEAR(hidden[t].value().at(static_cast<int>(b), c),
+                    ref.value().at(ref_t, c), 1e-5)
+            << "row " << b << " step " << t << " dim " << c;
+      }
+    }
+  }
+}
+
+TEST(BatchedKernelTest, GruMatchesPerRowForward) {
+  Rng rng(5);
+  nn::GruCell gru(3, 5, &rng);
+  const std::vector<nn::Matrix> seqs = RaggedSequences(3, &rng);
+  nn::NoGradGuard no_grad;
+  const std::vector<nn::Variable> hidden =
+      gru.ForwardSequenceSteps(PackMatrices(seqs));
+  for (size_t b = 0; b < seqs.size(); ++b) {
+    const nn::Variable ref =
+        gru.ForwardSequence(nn::Variable::Constant(seqs[b]));
+    for (int c = 0; c < 5; ++c) {
+      EXPECT_NEAR(hidden.back().value().at(static_cast<int>(b), c),
+                  ref.value().at(seqs[b].rows() - 1, c), 1e-5)
+          << "row " << b << " dim " << c;
+    }
+  }
+}
+
+TEST(BatchedKernelTest, BiLstmMatchesPerRowForwardUniform) {
+  Rng rng(6);
+  nn::BiLstm bilstm(4, 5, &rng);
+  std::vector<nn::Matrix> seqs;
+  for (int b = 0; b < 3; ++b) {
+    seqs.push_back(nn::Matrix::Uniform(6, 4, 1.0f, &rng));
+  }
+  nn::NoGradGuard no_grad;
+  const std::vector<nn::Variable> steps =
+      bilstm.ForwardSteps(PackMatrices(seqs));
+  ASSERT_EQ(steps.size(), 6u);
+  for (size_t b = 0; b < seqs.size(); ++b) {
+    const nn::Variable ref = bilstm.Forward(nn::Variable::Constant(seqs[b]));
+    for (int t = 0; t < 6; ++t) {
+      for (int c = 0; c < 10; ++c) {
+        EXPECT_NEAR(steps[t].value().at(static_cast<int>(b), c),
+                    ref.value().at(t, c), 1e-5)
+            << "row " << b << " step " << t << " dim " << c;
+      }
+    }
+  }
+}
+
+TEST(BatchedKernelTest, AttentionMatchesPerRowForward) {
+  Rng rng(7);
+  nn::LstmCell lstm(3, 6, &rng);
+  nn::LastQueryAttention attention(6, 4, &rng);
+  const std::vector<nn::Matrix> seqs = RaggedSequences(3, &rng);
+  nn::NoGradGuard no_grad;
+  const nn::StepBatch batch = PackMatrices(seqs);
+  const nn::Variable batched =
+      attention.ForwardSteps(lstm.ForwardSequenceSteps(batch), batch);
+  for (size_t b = 0; b < seqs.size(); ++b) {
+    const nn::Variable ref = attention.Forward(
+        lstm.ForwardSequence(nn::Variable::Constant(seqs[b])));
+    for (int c = 0; c < 6; ++c) {
+      EXPECT_NEAR(batched.value().at(static_cast<int>(b), c),
+                  ref.value().at(0, c), 1e-5)
+          << "row " << b << " dim " << c;
+    }
+  }
+}
+
+// ---- Gradient checks through the batched graphs (ragged batches). ----
+
+TEST(BatchedGradTest, LstmSequenceSteps) {
+  Rng rng(8);
+  nn::LstmCell lstm(3, 4, &rng);
+  const std::vector<nn::Matrix> seqs = RaggedSequences(3, &rng);
+  const nn::Variable target = nn::Variable::Constant(
+      nn::Matrix::Uniform(static_cast<int>(seqs.size()), 4, 1.0f, &rng));
+  lead::testing::ExpectGradientsMatch(
+      &lstm,
+      [&] {
+        const std::vector<nn::Variable> hidden =
+            lstm.ForwardSequenceSteps(PackMatrices(seqs));
+        return nn::MseLoss(hidden.back(), target);
+      },
+      /*checks_per_param=*/3);
+}
+
+TEST(BatchedGradTest, GruSequenceSteps) {
+  Rng rng(9);
+  nn::GruCell gru(3, 4, &rng);
+  const std::vector<nn::Matrix> seqs = RaggedSequences(3, &rng);
+  const nn::Variable target = nn::Variable::Constant(
+      nn::Matrix::Uniform(static_cast<int>(seqs.size()), 4, 1.0f, &rng));
+  lead::testing::ExpectGradientsMatch(
+      &gru,
+      [&] {
+        const std::vector<nn::Variable> hidden =
+            gru.ForwardSequenceSteps(PackMatrices(seqs));
+        return nn::MseLoss(hidden.back(), target);
+      },
+      /*checks_per_param=*/3);
+}
+
+TEST(BatchedGradTest, AttentionSteps) {
+  Rng rng(10);
+  nn::LstmCell lstm(3, 4, &rng);
+  nn::LastQueryAttention attention(4, 3, &rng);
+  const std::vector<nn::Matrix> seqs = RaggedSequences(3, &rng);
+  const nn::Variable target = nn::Variable::Constant(
+      nn::Matrix::Uniform(static_cast<int>(seqs.size()), 4, 1.0f, &rng));
+  lead::testing::ExpectGradientsMatch(
+      &attention,
+      [&] {
+        const nn::StepBatch batch = PackMatrices(seqs);
+        return nn::MseLoss(
+            attention.ForwardSteps(lstm.ForwardSequenceSteps(batch), batch),
+            target);
+      },
+      /*checks_per_param=*/3);
+}
+
+TEST(BatchedGradTest, BiLstmSteps) {
+  Rng rng(11);
+  nn::BiLstm bilstm(3, 3, &rng);
+  const std::vector<nn::Matrix> seqs = RaggedSequences(3, &rng);
+  lead::testing::ExpectGradientsMatch(
+      &bilstm,
+      [&] {
+        const std::vector<nn::Variable> steps =
+            bilstm.ForwardSteps(PackMatrices(seqs));
+        nn::Variable loss;
+        for (const nn::Variable& s : steps) {
+          const nn::Variable term = nn::Sum(nn::Mul(s, s));
+          loss = loss.defined() ? nn::Add(loss, term) : term;
+        }
+        return nn::ScalarMul(loss, 0.05f);
+      },
+      /*checks_per_param=*/2);
+}
+
+// ---- Batched autoencoder / detector vs single-item reference. ----
+
+constexpr geo::LatLng kOrigin{32.0, 120.9};
+
+core::ProcessedTrajectory TinyProcessed(int num_stays, int stay_len,
+                                        int move_len, uint64_t seed) {
+  core::ProcessedTrajectory pt;
+  Rng rng(seed);
+  int index = 0;
+  int64_t time = 1'600'000'000;
+  auto push_points = [&](int count) {
+    traj::IndexRange range{index, index + count - 1};
+    for (int i = 0; i < count; ++i) {
+      pt.cleaned.points.push_back(
+          {geo::OffsetMeters(kOrigin, rng.Uniform(-50, 50),
+                             rng.Uniform(-50, 50)),
+           time});
+      time += 120;
+      ++index;
+    }
+    return range;
+  };
+  for (int s = 0; s < num_stays; ++s) {
+    if (s > 0 && move_len > 0) {
+      traj::MoveSegment move;
+      move.has_points = true;
+      move.range = push_points(move_len);
+      pt.segmentation.moves.push_back(move);
+    } else {
+      pt.segmentation.moves.push_back(traj::MoveSegment{});
+    }
+    traj::StayPoint sp;
+    sp.range = push_points(stay_len);
+    pt.segmentation.stays.push_back(sp);
+  }
+  pt.segmentation.moves.push_back(traj::MoveSegment{});
+  pt.candidates = traj::GenerateCandidates(num_stays);
+  pt.features = nn::Matrix(index, core::kFeatureDims);
+  for (int i = 0; i < pt.features.size(); ++i) {
+    pt.features.data()[i] = static_cast<float>(rng.Gaussian(0.0, 0.6));
+  }
+  return pt;
+}
+
+core::AutoencoderOptions SmallAeOptions(bool attention = true,
+                                        bool hierarchical = true) {
+  core::AutoencoderOptions options;
+  options.hidden = 8;
+  options.use_attention = attention;
+  options.hierarchical = hierarchical;
+  return options;
+}
+
+TEST(BatchedAutoencoderTest, SingleItemBatchMatchesPerCandidate) {
+  Rng rng(12);
+  core::HierarchicalAutoencoder ae(SmallAeOptions(), &rng);
+  const core::ProcessedTrajectory pt = TinyProcessed(4, 4, 3, 21);
+  nn::NoGradGuard no_grad;
+  const traj::Candidate c{0, 2};
+  const nn::Variable batched = ae.EncodeCandidateBatch({{&pt, c}});
+  const nn::Variable ref = ae.EncodeCandidate(pt, c);
+  ASSERT_EQ(batched.rows(), 1);
+  ASSERT_EQ(batched.cols(), ref.cols());
+  for (int i = 0; i < ref.cols(); ++i) {
+    EXPECT_NEAR(batched.value().at(0, i), ref.value().at(0, i), 1e-5);
+  }
+  const float batched_loss =
+      ae.ReconstructionLossBatch({{&pt, c}}).value().at(0, 0);
+  const float ref_loss = ae.ReconstructionLoss(pt, c).value().at(0, 0);
+  EXPECT_NEAR(batched_loss, ref_loss,
+              1e-4f * std::max(1.0f, std::fabs(ref_loss)));
+}
+
+TEST(BatchedAutoencoderTest, BatchRowsMatchPerCandidateEncodings) {
+  Rng rng(13);
+  core::HierarchicalAutoencoder ae(SmallAeOptions(), &rng);
+  // Two trajectories in one batch: items may mix sources.
+  const core::ProcessedTrajectory pt1 = TinyProcessed(4, 4, 3, 22);
+  const core::ProcessedTrajectory pt2 = TinyProcessed(3, 5, 2, 23);
+  std::vector<core::CandidateBatchItem> items;
+  for (const traj::Candidate& c : pt1.candidates) items.push_back({&pt1, c});
+  for (const traj::Candidate& c : pt2.candidates) items.push_back({&pt2, c});
+  nn::NoGradGuard no_grad;
+  const nn::Variable batched = ae.EncodeCandidateBatch(items);
+  ASSERT_EQ(batched.rows(), static_cast<int>(items.size()));
+  float loss_sum = 0.0f;
+  for (size_t i = 0; i < items.size(); ++i) {
+    const nn::Variable ref =
+        ae.EncodeCandidate(*items[i].pt, items[i].candidate);
+    for (int k = 0; k < ref.cols(); ++k) {
+      EXPECT_NEAR(batched.value().at(static_cast<int>(i), k),
+                  ref.value().at(0, k), 1e-5)
+          << "item " << i << " dim " << k;
+    }
+    loss_sum +=
+        ae.ReconstructionLoss(*items[i].pt, items[i].candidate).value().at(0,
+                                                                           0);
+  }
+  const float batched_loss =
+      ae.ReconstructionLossBatch(items).value().at(0, 0);
+  const float mean_ref = loss_sum / static_cast<float>(items.size());
+  EXPECT_NEAR(batched_loss, mean_ref,
+              1e-4f * std::max(1.0f, std::fabs(mean_ref)));
+}
+
+TEST(BatchedAutoencoderTest, FlatVariantBatchMatchesPerCandidate) {
+  Rng rng(14);
+  core::HierarchicalAutoencoder ae(
+      SmallAeOptions(true, /*hierarchical=*/false), &rng);
+  const core::ProcessedTrajectory pt = TinyProcessed(4, 4, 3, 24);
+  std::vector<core::CandidateBatchItem> items;
+  for (const traj::Candidate& c : pt.candidates) items.push_back({&pt, c});
+  nn::NoGradGuard no_grad;
+  const nn::Variable batched = ae.EncodeCandidateBatch(items);
+  for (size_t i = 0; i < items.size(); ++i) {
+    const nn::Variable ref = ae.EncodeCandidate(pt, items[i].candidate);
+    for (int k = 0; k < ref.cols(); ++k) {
+      EXPECT_NEAR(batched.value().at(static_cast<int>(i), k),
+                  ref.value().at(0, k), 1e-5);
+    }
+  }
+}
+
+TEST(BatchedAutoencoderTest, GradCheckReconstructionLossBatch) {
+  Rng rng(15);
+  core::HierarchicalAutoencoder ae(SmallAeOptions(), &rng);
+  const core::ProcessedTrajectory pt = TinyProcessed(3, 3, 2, 25);
+  std::vector<core::CandidateBatchItem> items = {
+      {&pt, {0, 1}}, {&pt, {0, 2}}, {&pt, {1, 2}}};
+  lead::testing::ExpectGradientsMatch(
+      &ae, [&] { return ae.ReconstructionLossBatch(items); },
+      /*checks_per_param=*/2);
+}
+
+TEST(BatchedDetectorTest, ScoresMatchPerSubgroup) {
+  Rng rng(16);
+  core::DetectorOptions options;
+  options.input_dims = 8;
+  options.hidden = 6;
+  options.num_layers = 2;
+  core::StackedBiLstmDetector detector(options, &rng);
+  const std::vector<nn::Matrix> subgroups = {
+      nn::Matrix::Uniform(4, 8, 1.0f, &rng),
+      nn::Matrix::Uniform(2, 8, 1.0f, &rng),
+      nn::Matrix::Uniform(3, 8, 1.0f, &rng),
+  };
+  nn::NoGradGuard no_grad;
+  const nn::Variable scores =
+      detector.ScoreSubgroupsBatch(PackMatrices(subgroups));
+  for (size_t b = 0; b < subgroups.size(); ++b) {
+    const nn::Variable ref =
+        detector.ScoreSubgroup(nn::Variable::Constant(subgroups[b]));
+    // Only columns < lengths[b] are meaningful; padded tails are sliced
+    // away by the callers before softmax.
+    for (int t = 0; t < subgroups[b].rows(); ++t) {
+      EXPECT_NEAR(scores.value().at(static_cast<int>(b), t),
+                  ref.value().at(0, t), 1e-5)
+          << "subgroup " << b << " member " << t;
+    }
+  }
+}
+
+TEST(BatchedDetectorTest, GradCheckBatchedGroupLoss) {
+  Rng rng(17);
+  core::DetectorOptions options;
+  options.input_dims = 6;
+  options.hidden = 4;
+  options.num_layers = 2;
+  core::StackedBiLstmDetector detector(options, &rng);
+  const std::vector<nn::Matrix> subgroups = {
+      nn::Matrix::Uniform(3, 6, 1.0f, &rng),
+      nn::Matrix::Uniform(1, 6, 1.0f, &rng),
+  };
+  const nn::Variable label =
+      nn::Variable::Constant(nn::Matrix::RowVector({0.7f, 0.1f, 0.1f, 0.1f}));
+  lead::testing::ExpectGradientsMatch(
+      &detector,
+      [&] {
+        const nn::Variable scores =
+            detector.ScoreSubgroupsBatch(PackMatrices(subgroups));
+        std::vector<nn::Variable> valid;
+        for (size_t b = 0; b < subgroups.size(); ++b) {
+          valid.push_back(nn::SliceCols(
+              nn::SliceRows(scores, static_cast<int>(b), 1), 0,
+              subgroups[b].rows()));
+        }
+        return nn::KlDivergence(label,
+                                nn::SoftmaxRows(nn::ConcatCols(valid)));
+      },
+      /*checks_per_param=*/2);
+}
+
+}  // namespace
+}  // namespace lead

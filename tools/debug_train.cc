@@ -39,14 +39,15 @@ int main(int argc, char** argv) {
 
   // c-vec dispersion on one test trajectory
   auto pt = model.Preprocess(data->split.test[0].raw, data->world->poi_index());
-  auto cvecs = model.EncodeCandidates(*pt);
+  auto cvecs = model.EncodeCandidates(*pt);  // [N x d]
   double mean_norm=0, mean_pair_dist=0; int pairs=0;
-  for (auto& m : cvecs) { double n2=0; for (int i=0;i<m.size();++i) n2+=m.data()[i]*m.data()[i]; mean_norm+=sqrt(n2); }
-  mean_norm/=cvecs.size();
-  for (size_t i=0;i<cvecs.size();++i) for (size_t j=i+1;j<cvecs.size();++j) {
-    double d2=0; for (int k=0;k<cvecs[i].size();++k){double d=cvecs[i].data()[k]-cvecs[j].data()[k]; d2+=d*d;} mean_pair_dist+=sqrt(d2); ++pairs; }
+  const int nc = cvecs.rows(), d = cvecs.cols();
+  for (int i=0;i<nc;++i) { double n2=0; for (int k=0;k<d;++k) n2+=cvecs.at(i,k)*cvecs.at(i,k); mean_norm+=sqrt(n2); }
+  mean_norm/=nc;
+  for (int i=0;i<nc;++i) for (int j=i+1;j<nc;++j) {
+    double d2=0; for (int k=0;k<d;++k){double df=cvecs.at(i,k)-cvecs.at(j,k); d2+=df*df;} mean_pair_dist+=sqrt(d2); ++pairs; }
   mean_pair_dist/=pairs;
-  printf("cvec mean norm %.3f  mean pairwise dist %.3f (n=%zu)\n", mean_norm, mean_pair_dist, cvecs.size());
+  printf("cvec mean norm %.3f  mean pairwise dist %.3f (n=%d)\n", mean_norm, mean_pair_dist, nc);
 
   auto result = eval::EvaluateMethod("LEAD", data->split.test, [&](const traj::RawTrajectory& raw) -> StatusOr<traj::Candidate> {
     auto d = model.Detect(raw, data->world->poi_index());
