@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Repo CI: tier-1 verify (full build + ctest) followed by an
-# ASan/UBSan-instrumented build of the nn-layer tests (the batched step
-# kernels and autograd are where memory bugs would hide).
+# Repo CI: tier-1 verify (full build + ctest), a fault-injection pass
+# (explicit -DLEAD_FAULT_INJECTION=ON build running the robustness
+# suites), and an ASan/UBSan-instrumented build of the nn-layer and
+# io/serialize tests (the batched step kernels, autograd, and binary
+# checkpoint parsing are where memory bugs would hide).
 #
 # Usage: ./ci.sh [--skip-sanitizers]
 set -euo pipefail
@@ -15,6 +17,15 @@ cmake -B build -S . >/dev/null
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
+echo "=== fault injection: robustness suites with LEAD_FAULT_INJECTION=ON ==="
+cmake -B build-fault -S . -DLEAD_FAULT_INJECTION=ON >/dev/null
+FAULT_TESTS=(serialize_robustness_test resilience_test io_test gpx_test)
+cmake --build build-fault -j --target "${FAULT_TESTS[@]}"
+for t in "${FAULT_TESTS[@]}"; do
+  echo "--- $t (fault injection) ---"
+  "./build-fault/tests/$t"
+done
+
 if [[ "$SKIP_SAN" == "1" ]]; then
   echo "=== sanitizers skipped ==="
   exit 0
@@ -27,7 +38,8 @@ cmake -B build-asan -S . \
   -DCMAKE_CXX_FLAGS="$SAN_FLAGS" \
   -DCMAKE_EXE_LINKER_FLAGS="$SAN_FLAGS" >/dev/null
 NN_TESTS=(matrix_test autograd_test layers_test optim_test optim2_test \
-          ops_reference_test batch_test)
+          ops_reference_test batch_test io_test gpx_test \
+          serialize_robustness_test)
 cmake --build build-asan -j --target "${NN_TESTS[@]}"
 for t in "${NN_TESTS[@]}"; do
   echo "--- $t (ASan/UBSan) ---"

@@ -1,14 +1,15 @@
 #include "baselines/sp_rnn.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <numeric>
 #include <utility>
 
 #include "common/check.h"
 #include "core/batching.h"
-#include "nn/adam.h"
+#include "core/train_loop.h"
 #include "nn/batch.h"
-#include "nn/early_stopping.h"
 #include "nn/gru.h"
 #include "nn/linear.h"
 #include "nn/lstm.h"
@@ -156,10 +157,6 @@ Status SpRnnBaseline::Train(
 
   const core::TrainOptions& topt = options_.train;
   Rng rng(topt.seed ^ 0x5b5b5b);
-  nn::Adam optimizer(network_->Parameters(),
-                     {.learning_rate = topt.learning_rate,
-                      .clip_grad_norm = 5.0f});
-  nn::EarlyStopping stopper(topt.early_stopping_patience);
   std::vector<int> order(train_samples->size());
   std::iota(order.begin(), order.end(), 0);
   const float inv_b = 1.0f / static_cast<float>(topt.batch_size);
@@ -191,7 +188,7 @@ Status SpRnnBaseline::Train(
     return total;
   };
 
-  for (int epoch = 0; epoch < topt.detector_epochs; ++epoch) {
+  auto train_epoch = [&](nn::Optimizer* optimizer) -> float {
     rng.Shuffle(&order);
     double epoch_loss = 0.0;
     for (size_t begin = 0; begin < order.size();
@@ -204,40 +201,53 @@ Status SpRnnBaseline::Train(
         chunk.push_back(&(*train_samples)[order[i]]);
       }
       const nn::Variable loss = chunk_loss(chunk);
-      epoch_loss += loss.value().at(0, 0);
-      nn::Backward(nn::ScalarMul(loss, inv_b));
-      optimizer.StepAndZeroGrad();
-    }
-    const float train_loss =
-        static_cast<float>(epoch_loss / std::max<size_t>(1, order.size()));
-
-    float val_loss = train_loss;
-    if (!val_samples->empty()) {
-      nn::NoGradGuard no_grad;
-      double total = 0.0;
-      for (size_t begin = 0; begin < val_samples->size();
-           begin += static_cast<size_t>(topt.batch_size)) {
-        const size_t end = std::min(
-            val_samples->size(), begin + static_cast<size_t>(topt.batch_size));
-        std::vector<const StaySample*> chunk;
-        chunk.reserve(end - begin);
-        for (size_t i = begin; i < end; ++i) {
-          chunk.push_back(&(*val_samples)[i]);
-        }
-        total += chunk_loss(chunk).value().at(0, 0);
+      const float chunk_sum = loss.value().at(0, 0);
+      if (!std::isfinite(chunk_sum)) {
+        return std::numeric_limits<float>::quiet_NaN();
       }
-      val_loss = static_cast<float>(total / val_samples->size());
+      epoch_loss += static_cast<double>(chunk_sum);
+      nn::Backward(nn::ScalarMul(loss, inv_b));
+      optimizer->StepAndZeroGrad();
     }
-    if (loss_curve != nullptr) loss_curve->push_back(train_loss);
-    if (val_loss_curve != nullptr) val_loss_curve->push_back(val_loss);
-    if (topt.verbose) {
-      std::fprintf(stderr, "[%s] epoch %d train=%.4f val=%.4f\n",
-                   RnnCellTypeName(options_.cell), epoch, train_loss,
-                   val_loss);
+    return static_cast<float>(epoch_loss / std::max<size_t>(1, order.size()));
+  };
+
+  auto validation_loss = [&](float train_loss) -> float {
+    if (val_samples->empty()) return train_loss;
+    nn::NoGradGuard no_grad;
+    double total = 0.0;
+    for (size_t begin = 0; begin < val_samples->size();
+         begin += static_cast<size_t>(topt.batch_size)) {
+      const size_t end = std::min(
+          val_samples->size(), begin + static_cast<size_t>(topt.batch_size));
+      std::vector<const StaySample*> chunk;
+      chunk.reserve(end - begin);
+      for (size_t i = begin; i < end; ++i) {
+        chunk.push_back(&(*val_samples)[i]);
+      }
+      total += chunk_loss(chunk).value().at(0, 0);
     }
-    if (!stopper.Report(val_loss)) break;
-  }
-  return Status::Ok();
+    return static_cast<float>(total / val_samples->size());
+  };
+
+  core::StageOptions sopt;
+  sopt.tag = RnnCellTypeName(options_.cell);
+  sopt.stage_name = "sp-rnn";
+  sopt.epochs = topt.detector_epochs;
+  sopt.learning_rate = topt.learning_rate;
+  sopt.clip_grad_norm = 5.0f;
+  sopt.lr_decay_gamma = topt.lr_decay_gamma;
+  sopt.lr_decay_epochs = topt.lr_decay_epochs;
+  sopt.early_stopping_patience = topt.early_stopping_patience;
+  sopt.early_stopping_min_delta = topt.early_stopping_min_delta;
+  sopt.max_recoveries = topt.max_recoveries;
+  sopt.recovery_lr_backoff = topt.recovery_lr_backoff;
+  sopt.divergence_factor = topt.divergence_factor;
+  sopt.verbose = topt.verbose;
+  return core::RunTrainingStage(network_.get(), sopt, train_epoch,
+                                validation_loss, loss_curve, val_loss_curve,
+                                /*recoveries=*/nullptr,
+                                /*checkpoint=*/{});
 }
 
 StatusOr<BaselineDetection> SpRnnBaseline::Detect(

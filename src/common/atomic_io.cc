@@ -1,0 +1,28 @@
+#include "common/atomic_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace lead {
+
+Status WriteFileAtomic(const std::string& path, std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return IoError("cannot open for write: " + tmp);
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
+    if (!out.good()) {
+      out.close();
+      std::remove(tmp.c_str());
+      return IoError("failed writing " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return IoError("failed renaming " + tmp + " over " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace lead

@@ -1,0 +1,45 @@
+// CRC-32 (IEEE 802.3 reflected polynomial 0xEDB88320), used as the
+// integrity footer of binary checkpoints (see nn/serialize.h).
+#ifndef LEAD_COMMON_CRC32_H_
+#define LEAD_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <istream>
+
+namespace lead {
+
+// Extends a running CRC with `size` bytes; seed a fresh computation with
+// crc = 0.
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t size);
+
+inline uint32_t Crc32(const void* data, size_t size) {
+  return Crc32Update(0, data, size);
+}
+
+// Reads from a stream while accumulating the CRC of everything read —
+// lets loaders verify a trailing CRC footer without buffering the whole
+// section.
+class Crc32Reader {
+ public:
+  explicit Crc32Reader(std::istream* in) : in_(in) {}
+
+  // Reads exactly `size` bytes; false on short read or stream failure.
+  bool Read(void* data, size_t size) {
+    in_->read(static_cast<char*>(data), static_cast<std::streamsize>(size));
+    if (in_->fail()) return false;
+    crc_ = Crc32Update(crc_, data, size);
+    return true;
+  }
+
+  uint32_t crc() const { return crc_; }
+  std::istream& stream() { return *in_; }
+
+ private:
+  std::istream* in_;
+  uint32_t crc_ = 0;
+};
+
+}  // namespace lead
+
+#endif  // LEAD_COMMON_CRC32_H_

@@ -1,0 +1,146 @@
+#include "common/fault.h"
+
+#include <cmath>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace lead::fault {
+namespace {
+
+enum class Kind { kFail, kNonFinite, kCorrupt };
+
+struct PointState {
+  Kind kind = Kind::kFail;
+  int nth = 1;
+  bool use_inf = false;
+  uint8_t xor_mask = 0xff;
+  size_t byte_offset = 0;
+  bool armed = true;
+  int hits = 0;
+  int fires = 0;
+};
+
+// The registry is mutex-protected; the disarmed hot path never takes the
+// lock (see AnyArmed in the header).
+std::mutex& RegistryMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+std::unordered_map<std::string, PointState>& Registry() {
+  static auto* registry = new std::unordered_map<std::string, PointState>();
+  return *registry;
+}
+
+void ArmImpl(std::string_view point, PointState state) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto [it, inserted] = Registry().try_emplace(std::string(point), state);
+  if (inserted || !it->second.armed) {
+    internal::g_armed.fetch_add(1, std::memory_order_relaxed);
+  }
+  it->second = state;  // re-arming overwrites and resets counters
+}
+
+// Counts a hit of `point` for `kind`; returns the state when this hit is
+// the armed one (the point disarms itself), nullptr otherwise.
+const PointState* HitImpl(std::string_view point, Kind kind,
+                          PointState* out) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto it = Registry().find(std::string(point));
+  if (it == Registry().end()) return nullptr;
+  PointState& state = it->second;
+  if (!state.armed || state.kind != kind) return nullptr;
+  ++state.hits;
+  if (state.hits < state.nth) return nullptr;
+  state.armed = false;
+  ++state.fires;
+  internal::g_armed.fetch_sub(1, std::memory_order_relaxed);
+  *out = state;
+  return out;
+}
+
+}  // namespace
+
+void ArmFail(std::string_view point, int nth) {
+  PointState state;
+  state.kind = Kind::kFail;
+  state.nth = nth;
+  ArmImpl(point, state);
+}
+
+void ArmNonFinite(std::string_view point, int nth, bool use_inf) {
+  PointState state;
+  state.kind = Kind::kNonFinite;
+  state.nth = nth;
+  state.use_inf = use_inf;
+  ArmImpl(point, state);
+}
+
+void ArmCorrupt(std::string_view point, int nth, uint8_t xor_mask,
+                size_t byte_offset) {
+  PointState state;
+  state.kind = Kind::kCorrupt;
+  state.nth = nth;
+  state.xor_mask = xor_mask;
+  state.byte_offset = byte_offset;
+  ArmImpl(point, state);
+}
+
+void Disarm(std::string_view point) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto it = Registry().find(std::string(point));
+  if (it == Registry().end()) return;
+  if (it->second.armed) {
+    internal::g_armed.fetch_sub(1, std::memory_order_relaxed);
+  }
+  Registry().erase(it);
+}
+
+void DisarmAll() {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  Registry().clear();
+  internal::g_armed.store(0, std::memory_order_relaxed);
+}
+
+int Hits(std::string_view point) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto it = Registry().find(std::string(point));
+  return it == Registry().end() ? 0 : it->second.hits;
+}
+
+int Fires(std::string_view point) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto it = Registry().find(std::string(point));
+  return it == Registry().end() ? 0 : it->second.fires;
+}
+
+namespace internal {
+
+std::atomic<int> g_armed{0};
+
+bool FireFail(std::string_view point) {
+  PointState state;
+  return HitImpl(point, Kind::kFail, &state) != nullptr;
+}
+
+bool FireNonFinite(std::string_view point, float* value) {
+  PointState state;
+  if (HitImpl(point, Kind::kNonFinite, &state) == nullptr) return false;
+  *value = state.use_inf ? std::numeric_limits<float>::infinity()
+                         : std::numeric_limits<float>::quiet_NaN();
+  return true;
+}
+
+bool FireCorrupt(std::string_view point, char* data, size_t size) {
+  PointState state;
+  if (HitImpl(point, Kind::kCorrupt, &state) == nullptr) return false;
+  if (size == 0) return false;
+  data[state.byte_offset % size] ^=
+      static_cast<char>(state.xor_mask == 0 ? 0xff : state.xor_mask);
+  return true;
+}
+
+}  // namespace internal
+}  // namespace lead::fault

@@ -1,0 +1,105 @@
+// Fault-injection framework for resilience testing.
+//
+// Production code declares *named fault points* with the LEAD_FAULT_*
+// macros; tests arm a point to fire at its Nth upcoming hit:
+//
+//   fault::ArmFail("serialize.write", /*nth=*/1);
+//   Status s = nn::SaveParameters(model, out);   // fails at the point
+//
+// A point fires exactly once and then disarms itself. Three fault kinds
+// exist: kFail (the point reports failure and the caller maps it to a
+// Status), kNonFinite (a float is overwritten with NaN or +Inf), and
+// kCorrupt (one byte of a buffer is XOR-flipped).
+//
+// Cost model: when the build sets LEAD_FAULT_INJECTION=OFF the macros
+// compile to nothing. When compiled in but no point is armed, a hit costs
+// one relaxed atomic load and a branch; the registry lookup only happens
+// while at least one point is armed. Hit/fire counters are therefore only
+// maintained while a point is armed.
+#ifndef LEAD_COMMON_FAULT_H_
+#define LEAD_COMMON_FAULT_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace lead::fault {
+
+// True when this build compiled the fault points in; fault-driven tests
+// GTEST_SKIP when false.
+constexpr bool Enabled() {
+#if defined(LEAD_FAULT_INJECTION)
+  return true;
+#else
+  return false;
+#endif
+}
+
+// Arms `point` to fire at the `nth` upcoming hit (1-based). Re-arming a
+// point overwrites its previous setting and resets its counters.
+void ArmFail(std::string_view point, int nth);
+void ArmNonFinite(std::string_view point, int nth, bool use_inf = false);
+// On fire, XORs `xor_mask` into the byte at `byte_offset` (taken modulo
+// the buffer size at the hit site).
+void ArmCorrupt(std::string_view point, int nth, uint8_t xor_mask,
+                size_t byte_offset);
+void Disarm(std::string_view point);
+void DisarmAll();
+
+// Hits / fires recorded at `point` since it was last armed.
+int Hits(std::string_view point);
+int Fires(std::string_view point);
+
+namespace internal {
+
+extern std::atomic<int> g_armed;  // number of currently armed points
+
+inline bool AnyArmed() {
+  return g_armed.load(std::memory_order_relaxed) != 0;
+}
+
+// Each returns true when the point fired at this hit.
+bool FireFail(std::string_view point);
+bool FireNonFinite(std::string_view point, float* value);
+bool FireCorrupt(std::string_view point, char* data, size_t size);
+
+}  // namespace internal
+}  // namespace lead::fault
+
+#if defined(LEAD_FAULT_INJECTION)
+
+// True when `point` is armed as kFail and this hit is the armed one.
+#define LEAD_FAULT_FIRED(point)           \
+  (::lead::fault::internal::AnyArmed() && \
+   ::lead::fault::internal::FireFail(point))
+
+// Overwrites *(float_ptr) with NaN/Inf when the armed hit arrives.
+#define LEAD_FAULT_POISON(point, float_ptr)                        \
+  do {                                                             \
+    if (::lead::fault::internal::AnyArmed()) {                     \
+      ::lead::fault::internal::FireNonFinite((point), (float_ptr)); \
+    }                                                              \
+  } while (false)
+
+// XOR-flips one byte of data[0..size) when the armed hit arrives.
+#define LEAD_FAULT_CORRUPT(point, data, size)                          \
+  do {                                                                 \
+    if (::lead::fault::internal::AnyArmed()) {                         \
+      ::lead::fault::internal::FireCorrupt((point), (data), (size));   \
+    }                                                                  \
+  } while (false)
+
+#else  // !LEAD_FAULT_INJECTION
+
+#define LEAD_FAULT_FIRED(point) false
+#define LEAD_FAULT_POISON(point, float_ptr) \
+  do {                                      \
+  } while (false)
+#define LEAD_FAULT_CORRUPT(point, data, size) \
+  do {                                        \
+  } while (false)
+
+#endif  // LEAD_FAULT_INJECTION
+
+#endif  // LEAD_COMMON_FAULT_H_

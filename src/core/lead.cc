@@ -1,19 +1,23 @@
 #include "core/lead.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <functional>
+#include <limits>
 #include <numeric>
 #include <sstream>
 #include <utility>
 
+#include "common/atomic_io.h"
 #include "common/check.h"
+#include "common/crc32.h"
+#include "common/fault.h"
 #include "core/batching.h"
 #include "core/grouping.h"
 #include "nn/batch.h"
-#include "nn/early_stopping.h"
-#include "nn/scheduler.h"
 #include "nn/ops.h"
 #include "nn/serialize.h"
 
@@ -27,30 +31,31 @@ namespace {
 constexpr int kSubgroupMaxBatch = 128;
 constexpr int kSubgroupMaxPadding = 2;
 
-// Captures / restores module weights so early stopping can keep the best
-// validation epoch (paper uses early stopping; restoring the best weights
-// is the standard realization).
-class WeightSnapshot {
- public:
-  void Capture(const nn::Module& module) {
-    values_.clear();
-    for (const nn::Variable& p : module.Parameters()) {
-      values_.push_back(p.value());
-    }
-  }
-  void Restore(nn::Module* module) const {
-    if (values_.empty()) return;
-    std::vector<nn::Variable> params = module->Parameters();
-    LEAD_CHECK_EQ(params.size(), values_.size());
-    for (size_t i = 0; i < params.size(); ++i) {
-      params[i].mutable_value() = values_[i];
-    }
-  }
-  bool captured() const { return !values_.empty(); }
+// Checkpoint stage cursor: which training stage a durable checkpoint's
+// model state belongs to, and therefore where a resumed Train() restarts.
+// Forward/backward apply to grouped variants, mlp to LEAD-NoGro; a cursor
+// past the variant's last stage means "all training finished".
+constexpr int kStageAutoencoder = 0;
+constexpr int kStageForward = 1;
+constexpr int kStageBackward = 2;
+constexpr int kStageMlp = 3;
+constexpr int kMaxStage = 4;
 
- private:
-  std::vector<nn::Matrix> values_;
-};
+// Train-checkpoint header (its own CRC; the model body that follows has
+// per-section CRCs from SerializeModel).
+constexpr char kTrainCkptMagic[8] = {'L', 'E', 'A', 'D',
+                                     'T', 'R', 'N', 'C'};
+constexpr uint32_t kTrainCkptVersion = 1;
+
+// Model-file header (v2 added the magic and the CRC-protected
+// normalizer section; v1 files started with a bare dims word and are no
+// longer readable).
+constexpr char kModelMagic[8] = {'L', 'E', 'A', 'D', 'M', 'O', 'D', 'L'};
+constexpr uint32_t kModelVersion = 2;
+
+void AppendU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
 
 // Binary cross-entropy of independent candidate probabilities against a
 // one-hot target (LEAD-NoGro training objective).
@@ -177,30 +182,113 @@ Status LeadModel::Train(const std::vector<LabeledRawTrajectory>& training,
                         const std::vector<LabeledRawTrajectory>& validation,
                         const poi::PoiIndex& poi_index, TrainingLog* log) {
   if (training.empty()) return InvalidArgumentError("empty training set");
+
+  std::string ckpt_path;
+  int start_stage = 0;
+  int start_epoch = 0;
+  bool resumed = false;
+  TrainCheckpointFn checkpoint;  // stays empty without a checkpoint dir
+  if (!options_.train.checkpoint_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options_.train.checkpoint_dir, ec);
+    if (ec) {
+      return IoError("cannot create checkpoint directory " +
+                     options_.train.checkpoint_dir + ": " + ec.message());
+    }
+    ckpt_path = options_.train.checkpoint_dir + "/lead_train.ckpt";
+    if (std::filesystem::exists(ckpt_path)) {
+      const Status loaded =
+          TryResumeFromCheckpoint(ckpt_path, &start_stage, &start_epoch);
+      if (loaded.ok()) {
+        resumed = true;
+        if (log != nullptr) {
+          log->recoveries.push_back(RecoveryEvent{
+              "train", start_stage, 1.0f,
+              "resumed from checkpoint (stage " +
+                  std::to_string(start_stage) + ", epoch " +
+                  std::to_string(start_epoch) + ")"});
+        }
+      } else {
+        // A checkpoint that fails validation (truncated, bit rot, other
+        // model architecture) must not stop a fresh run.
+        start_stage = 0;
+        start_epoch = 0;
+        if (log != nullptr) {
+          log->recoveries.push_back(RecoveryEvent{
+              "train", 0, 1.0f,
+              "checkpoint discarded: " + loaded.ToString()});
+        }
+      }
+    }
+    checkpoint = [this, ckpt_path](int stage, int next_epoch) -> Status {
+      LEAD_RETURN_IF_ERROR(WriteTrainCheckpoint(ckpt_path, stage,
+                                                next_epoch));
+      // Fault "train.epoch": the process dies right after a durable
+      // checkpoint; the next Train() call must resume from it.
+      if (LEAD_FAULT_FIRED("train.epoch")) {
+        return InternalError("injected fault: train.epoch");
+      }
+      return Status::Ok();
+    };
+  }
+
   std::vector<PreparedSample> train_samples;
   std::vector<PreparedSample> val_samples;
-  LEAD_RETURN_IF_ERROR(
-      Prepare(training, poi_index, /*fit_normalizer=*/true, &train_samples));
+  // On resume the normalizer must stay the checkpoint's: the saved
+  // weights were trained against its standardization.
+  LEAD_RETURN_IF_ERROR(Prepare(training, poi_index,
+                               /*fit_normalizer=*/!resumed, &train_samples));
   LEAD_RETURN_IF_ERROR(Prepare(validation, poi_index,
                                /*fit_normalizer=*/false, &val_samples));
-  TrainAutoencoder(train_samples, val_samples, log);
-  TrainDetectors(train_samples, val_samples, log);
+  if (start_stage <= kStageAutoencoder) {
+    LEAD_RETURN_IF_ERROR(TrainAutoencoder(
+        train_samples, val_samples,
+        start_stage == kStageAutoencoder ? start_epoch : 0, log,
+        checkpoint));
+  }
+  LEAD_RETURN_IF_ERROR(TrainDetectors(train_samples, val_samples,
+                                      start_stage, start_epoch, log,
+                                      checkpoint));
+  if (!ckpt_path.empty()) {
+    std::error_code ec;
+    std::filesystem::remove(ckpt_path, ec);  // best effort
+  }
   return Status::Ok();
 }
 
-void LeadModel::TrainAutoencoder(
+namespace {
+
+// Maps TrainOptions onto the resilient stage harness.
+StageOptions MakeStageOptions(const TrainOptions& topt, const char* tag,
+                              const char* stage_name, int stage_index,
+                              int epochs, int start_epoch) {
+  StageOptions sopt;
+  sopt.tag = tag;
+  sopt.stage_name = stage_name;
+  sopt.stage_index = stage_index;
+  sopt.epochs = epochs;
+  sopt.start_epoch = start_epoch;
+  sopt.learning_rate = topt.learning_rate;
+  sopt.clip_grad_norm = 5.0f;
+  sopt.lr_decay_gamma = topt.lr_decay_gamma;
+  sopt.lr_decay_epochs = topt.lr_decay_epochs;
+  sopt.early_stopping_patience = topt.early_stopping_patience;
+  sopt.early_stopping_min_delta = topt.early_stopping_min_delta;
+  sopt.max_recoveries = topt.max_recoveries;
+  sopt.recovery_lr_backoff = topt.recovery_lr_backoff;
+  sopt.divergence_factor = topt.divergence_factor;
+  sopt.verbose = topt.verbose;
+  return sopt;
+}
+
+}  // namespace
+
+Status LeadModel::TrainAutoencoder(
     const std::vector<PreparedSample>& training,
-    const std::vector<PreparedSample>& validation, TrainingLog* log) {
+    const std::vector<PreparedSample>& validation, int start_epoch,
+    TrainingLog* log, const TrainCheckpointFn& checkpoint) {
   const TrainOptions& topt = options_.train;
   Rng rng(topt.seed ^ 0xae0001);
-  nn::Adam optimizer(autoencoder_->Parameters(),
-                     {.learning_rate = topt.learning_rate,
-                      .clip_grad_norm = 5.0f});
-  const nn::StepDecayLr lr_schedule(topt.learning_rate, topt.lr_decay_gamma,
-                                    topt.lr_decay_epochs);
-  nn::EarlyStopping stopper(topt.early_stopping_patience,
-                            topt.early_stopping_min_delta);
-  WeightSnapshot best;
 
   // Candidate subsampler (see TrainOptions::max_candidates_per_trajectory).
   auto sample_candidates = [&](const PreparedSample& s, Rng* r) {
@@ -213,8 +301,7 @@ void LeadModel::TrainAutoencoder(
     return cands;
   };
 
-  for (int epoch = 0; epoch < topt.autoencoder_epochs; ++epoch) {
-    optimizer.set_learning_rate(lr_schedule.LearningRate(epoch));
+  auto train_epoch = [&](nn::Optimizer* optimizer) -> float {
     // Collect this epoch's (trajectory, candidate) pairs and shuffle them
     // across trajectories (paper: all f-seqs are shuffled for training).
     std::vector<std::pair<int, traj::Candidate>> samples;
@@ -238,57 +325,59 @@ void LeadModel::TrainAutoencoder(
       }
       const float chunk = static_cast<float>(batch.size());
       const nn::Variable loss = autoencoder_->ReconstructionLossBatch(batch);
-      epoch_loss += static_cast<double>(loss.value().at(0, 0)) * chunk;
+      const float chunk_mse = loss.value().at(0, 0);
+      // A poisoned chunk loss means the weights are already bad; skip the
+      // rest of the epoch and let the sentinel roll back.
+      if (!std::isfinite(chunk_mse)) {
+        return std::numeric_limits<float>::quiet_NaN();
+      }
+      epoch_loss += static_cast<double>(chunk_mse) * chunk;
       // chunk / batch_size rescales the chunk mean back to a per-sample
       // weight of 1/batch_size, so a partial final chunk contributes the
       // same gradient as the retired sample-at-a-time loop.
       nn::Backward(nn::ScalarMul(loss, chunk * inv_b));
-      optimizer.StepAndZeroGrad();
+      optimizer->StepAndZeroGrad();
     }
-    const float train_mse =
-        samples.empty() ? 0.0f
-                        : static_cast<float>(epoch_loss / samples.size());
+    return samples.empty() ? 0.0f
+                           : static_cast<float>(epoch_loss / samples.size());
+  };
 
-    // Validation MSE (same subsampling policy, deterministic).
-    float val_mse = train_mse;
-    if (!validation.empty()) {
-      nn::NoGradGuard no_grad;
-      Rng val_rng(topt.seed ^ 0xae0002);
-      double total = 0.0;
-      int count = 0;
-      for (const PreparedSample& s : validation) {
-        std::vector<CandidateBatchItem> batch;
-        for (const traj::Candidate& c : sample_candidates(s, &val_rng)) {
-          batch.push_back({&s.pt, c});
-        }
-        if (batch.empty()) continue;
-        total += static_cast<double>(autoencoder_->ReconstructionLossBatch(batch)
-                                         .value()
-                                         .at(0, 0)) *
-                 static_cast<double>(batch.size());
-        count += static_cast<int>(batch.size());
+  // Validation MSE (same subsampling policy, deterministic).
+  auto validation_loss = [&](float train_mse) -> float {
+    if (validation.empty()) return train_mse;
+    nn::NoGradGuard no_grad;
+    Rng val_rng(topt.seed ^ 0xae0002);
+    double total = 0.0;
+    int count = 0;
+    for (const PreparedSample& s : validation) {
+      std::vector<CandidateBatchItem> batch;
+      for (const traj::Candidate& c : sample_candidates(s, &val_rng)) {
+        batch.push_back({&s.pt, c});
       }
-      val_mse = count > 0 ? static_cast<float>(total / count) : train_mse;
+      if (batch.empty()) continue;
+      total += static_cast<double>(autoencoder_->ReconstructionLossBatch(batch)
+                                       .value()
+                                       .at(0, 0)) *
+               static_cast<double>(batch.size());
+      count += static_cast<int>(batch.size());
     }
+    return count > 0 ? static_cast<float>(total / count) : train_mse;
+  };
 
-    if (log != nullptr) {
-      log->autoencoder_mse.push_back(train_mse);
-      log->autoencoder_val_mse.push_back(val_mse);
-    }
-    if (topt.verbose) {
-      std::fprintf(stderr, "[AE] epoch %d train_mse=%.4f val_mse=%.4f\n",
-                   epoch, train_mse, val_mse);
-    }
-    const bool keep_going = stopper.Report(val_mse);
-    if (stopper.improved_last_report()) best.Capture(*autoencoder_);
-    if (!keep_going) break;
-  }
-  best.Restore(autoencoder_.get());
+  return RunTrainingStage(
+      autoencoder_.get(),
+      MakeStageOptions(topt, "AE", "autoencoder", kStageAutoencoder,
+                       topt.autoencoder_epochs, start_epoch),
+      train_epoch, validation_loss,
+      log != nullptr ? &log->autoencoder_mse : nullptr,
+      log != nullptr ? &log->autoencoder_val_mse : nullptr,
+      log != nullptr ? &log->recoveries : nullptr, checkpoint);
 }
 
-void LeadModel::TrainDetectors(const std::vector<PreparedSample>& training,
-                               const std::vector<PreparedSample>& validation,
-                               TrainingLog* log) {
+Status LeadModel::TrainDetectors(
+    const std::vector<PreparedSample>& training,
+    const std::vector<PreparedSample>& validation, int start_stage,
+    int start_epoch, TrainingLog* log, const TrainCheckpointFn& checkpoint) {
   const TrainOptions& topt = options_.train;
 
   // Freeze the compressor and cache every candidate's c-vec (paper: the
@@ -418,28 +507,23 @@ void LeadModel::TrainDetectors(const std::vector<PreparedSample>& training,
     return total;
   };
 
-  // Mini-batch training loop with early stopping. chunk_loss returns the
-  // SUM of the chunk's per-sample losses; scaling by 1/batch_size keeps
-  // the per-sample gradient weight of the retired simulated-batch loop.
+  // Mini-batch training loop via the resilient stage harness. chunk_loss
+  // returns the SUM of the chunk's per-sample losses; scaling by
+  // 1/batch_size keeps the per-sample gradient weight of the retired
+  // simulated-batch loop.
   auto run = [&](nn::Module* module,
                  const std::function<nn::Variable(
                      const std::vector<const CachedSample*>&)>& chunk_loss,
                  std::vector<float>* train_curve,
-                 std::vector<float>* val_curve, const char* tag) {
+                 std::vector<float>* val_curve, const char* tag,
+                 const char* stage_name, int stage_index,
+                 int stage_start_epoch) -> Status {
     Rng rng(topt.seed ^ 0xde0001);
-    nn::Adam optimizer(module->Parameters(),
-                       {.learning_rate = topt.learning_rate,
-                        .clip_grad_norm = 5.0f});
-    const nn::StepDecayLr lr_schedule(
-        topt.learning_rate, topt.lr_decay_gamma, topt.lr_decay_epochs);
-    nn::EarlyStopping stopper(topt.early_stopping_patience,
-                              topt.early_stopping_min_delta);
-    WeightSnapshot best;
     std::vector<int> order(train_cached.size());
     std::iota(order.begin(), order.end(), 0);
     const float inv_b = 1.0f / static_cast<float>(topt.batch_size);
-    for (int epoch = 0; epoch < topt.detector_epochs; ++epoch) {
-      optimizer.set_learning_rate(lr_schedule.LearningRate(epoch));
+
+    auto train_epoch = [&](nn::Optimizer* optimizer) -> float {
       rng.Shuffle(&order);
       double epoch_loss = 0.0;
       for (size_t begin = 0; begin < order.size();
@@ -452,71 +536,78 @@ void LeadModel::TrainDetectors(const std::vector<PreparedSample>& training,
           chunk.push_back(&train_cached[order[i]]);
         }
         const nn::Variable loss = chunk_loss(chunk);
-        epoch_loss += loss.value().at(0, 0);
-        nn::Backward(nn::ScalarMul(loss, inv_b));
-        optimizer.StepAndZeroGrad();
-      }
-      const float train_loss =
-          train_cached.empty()
-              ? 0.0f
-              : static_cast<float>(epoch_loss / train_cached.size());
-
-      float val_loss = train_loss;
-      if (!val_cached.empty()) {
-        nn::NoGradGuard no_grad;
-        double total = 0.0;
-        for (size_t begin = 0; begin < val_cached.size();
-             begin += static_cast<size_t>(topt.batch_size)) {
-          const size_t end = std::min(
-              val_cached.size(), begin + static_cast<size_t>(topt.batch_size));
-          std::vector<const CachedSample*> chunk;
-          chunk.reserve(end - begin);
-          for (size_t i = begin; i < end; ++i) {
-            chunk.push_back(&val_cached[i]);
-          }
-          total += chunk_loss(chunk).value().at(0, 0);
+        const float chunk_sum = loss.value().at(0, 0);
+        if (!std::isfinite(chunk_sum)) {
+          return std::numeric_limits<float>::quiet_NaN();
         }
-        val_loss = static_cast<float>(total / val_cached.size());
+        epoch_loss += static_cast<double>(chunk_sum);
+        nn::Backward(nn::ScalarMul(loss, inv_b));
+        optimizer->StepAndZeroGrad();
       }
-      if (train_curve != nullptr) train_curve->push_back(train_loss);
-      if (val_curve != nullptr) val_curve->push_back(val_loss);
-      if (topt.verbose) {
-        std::fprintf(stderr, "[%s] epoch %d train=%.4f val=%.4f\n", tag,
-                     epoch, train_loss, val_loss);
+      return train_cached.empty()
+                 ? 0.0f
+                 : static_cast<float>(epoch_loss / train_cached.size());
+    };
+
+    auto validation_loss = [&](float train_loss) -> float {
+      if (val_cached.empty()) return train_loss;
+      nn::NoGradGuard no_grad;
+      double total = 0.0;
+      for (size_t begin = 0; begin < val_cached.size();
+           begin += static_cast<size_t>(topt.batch_size)) {
+        const size_t end = std::min(
+            val_cached.size(), begin + static_cast<size_t>(topt.batch_size));
+        std::vector<const CachedSample*> chunk;
+        chunk.reserve(end - begin);
+        for (size_t i = begin; i < end; ++i) {
+          chunk.push_back(&val_cached[i]);
+        }
+        total += chunk_loss(chunk).value().at(0, 0);
       }
-      const bool keep_going = stopper.Report(val_loss);
-      if (stopper.improved_last_report()) best.Capture(*module);
-      if (!keep_going) break;
-    }
-    best.Restore(module);
+      return static_cast<float>(total / val_cached.size());
+    };
+
+    return RunTrainingStage(
+        module,
+        MakeStageOptions(topt, tag, stage_name, stage_index,
+                         topt.detector_epochs, stage_start_epoch),
+        train_epoch, validation_loss, train_curve, val_curve,
+        log != nullptr ? &log->recoveries : nullptr, checkpoint);
   };
 
   if (options_.use_grouping) {
-    if (forward_detector_ != nullptr) {
-      run(
+    if (forward_detector_ != nullptr && start_stage <= kStageForward) {
+      LEAD_RETURN_IF_ERROR(run(
           forward_detector_.get(),
           [&](const std::vector<const CachedSample*>& chunk) {
             return group_chunk_loss(*forward_detector_, /*forward=*/true,
                                     chunk);
           },
           log != nullptr ? &log->forward_kld : nullptr,
-          log != nullptr ? &log->forward_val_kld : nullptr, "fwd");
+          log != nullptr ? &log->forward_val_kld : nullptr, "fwd",
+          "forward", kStageForward,
+          start_stage == kStageForward ? start_epoch : 0));
     }
-    if (backward_detector_ != nullptr) {
-      run(
+    if (backward_detector_ != nullptr && start_stage <= kStageBackward) {
+      LEAD_RETURN_IF_ERROR(run(
           backward_detector_.get(),
           [&](const std::vector<const CachedSample*>& chunk) {
             return group_chunk_loss(*backward_detector_, /*forward=*/false,
                                     chunk);
           },
           log != nullptr ? &log->backward_kld : nullptr,
-          log != nullptr ? &log->backward_val_kld : nullptr, "bwd");
+          log != nullptr ? &log->backward_val_kld : nullptr, "bwd",
+          "backward", kStageBackward,
+          start_stage == kStageBackward ? start_epoch : 0));
     }
-  } else {
-    run(mlp_scorer_.get(), mlp_chunk_loss,
-        log != nullptr ? &log->nogro_bce : nullptr,
-        log != nullptr ? &log->nogro_val_bce : nullptr, "mlp");
+  } else if (start_stage <= kStageMlp) {
+    LEAD_RETURN_IF_ERROR(
+        run(mlp_scorer_.get(), mlp_chunk_loss,
+            log != nullptr ? &log->nogro_bce : nullptr,
+            log != nullptr ? &log->nogro_val_bce : nullptr, "mlp", "mlp",
+            kStageMlp, start_stage == kStageMlp ? start_epoch : 0));
   }
+  return Status::Ok();
 }
 
 StatusOr<ProcessedTrajectory> LeadModel::Preprocess(
@@ -544,8 +635,14 @@ StatusOr<Detection> LeadModel::DetectProcessed(
   if (!normalizer_.fitted()) {
     return FailedPreconditionError("model is not trained");
   }
-  nn::NoGradGuard no_grad;
   const int n = pt.num_stays();
+  if (n < 2 || pt.candidates.empty()) {
+    // Degenerate input (e.g. a hand-built ProcessedTrajectory): no
+    // loading/unloading pair exists, so there is nothing to rank.
+    return InvalidArgumentError(
+        "trajectory has fewer than 2 stay points; no candidates to score");
+  }
+  nn::NoGradGuard no_grad;
   const nn::Matrix cvecs = EncodeCandidates(pt);
   const int num_candidates = cvecs.rows();
   LEAD_CHECK_EQ(num_candidates, traj::NumCandidates(n));
@@ -611,6 +708,11 @@ StatusOr<Detection> LeadModel::DetectProcessed(
       std::minmax_element(merged.begin(), merged.end());
   const float lo = *min_it;
   const float hi = *max_it;
+  if (!std::isfinite(lo) || !std::isfinite(hi)) {
+    return InternalError(
+        "detector produced non-finite probabilities (corrupt weights or "
+        "degenerate features)");
+  }
   if (hi > lo) {
     for (float& p : merged) p = (p - lo) / (hi - lo);
   }
@@ -652,18 +754,22 @@ std::vector<std::pair<traj::Candidate, float>> TopKCandidates(
   return top;
 }
 
-Status LeadModel::Save(const std::string& path) const {
-  if (!normalizer_.fitted()) {
-    return FailedPreconditionError("model is not trained");
-  }
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return IoError("cannot open for write: " + path);
+Status LeadModel::SerializeModel(std::ostream& out) const {
+  // CRC-protected normalizer header, then one self-delimiting
+  // (CRC-footed) nn::SaveParameters section per module.
+  std::string header;
+  header.append(kModelMagic, sizeof(kModelMagic));
+  AppendU32(&header, kModelVersion);
   const uint32_t dims = static_cast<uint32_t>(normalizer_.dims());
-  out.write(reinterpret_cast<const char*>(&dims), sizeof(dims));
-  out.write(reinterpret_cast<const char*>(normalizer_.mean().data()),
-            dims * sizeof(float));
-  out.write(reinterpret_cast<const char*>(normalizer_.std().data()),
-            dims * sizeof(float));
+  AppendU32(&header, dims);
+  header.append(reinterpret_cast<const char*>(normalizer_.mean().data()),
+                dims * sizeof(float));
+  header.append(reinterpret_cast<const char*>(normalizer_.std().data()),
+                dims * sizeof(float));
+  const uint32_t crc = Crc32(header.data(), header.size());
+  out.write(header.data(), static_cast<std::streamsize>(header.size()));
+  out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  if (!out.good()) return IoError("failed writing model header");
   LEAD_RETURN_IF_ERROR(nn::SaveParameters(*autoencoder_, out));
   if (forward_detector_ != nullptr) {
     LEAD_RETURN_IF_ERROR(nn::SaveParameters(*forward_detector_, out));
@@ -674,8 +780,118 @@ Status LeadModel::Save(const std::string& path) const {
   if (mlp_scorer_ != nullptr) {
     LEAD_RETURN_IF_ERROR(nn::SaveParameters(*mlp_scorer_, out));
   }
-  if (!out.good()) return IoError("failed writing model file");
+  if (!out.good()) return IoError("failed writing model stream");
   return Status::Ok();
+}
+
+Status LeadModel::DeserializeModel(std::istream& in) {
+  Crc32Reader reader(&in);
+  char magic[8];
+  if (!reader.Read(magic, sizeof(magic)) ||
+      !std::equal(magic, magic + 8, kModelMagic)) {
+    return IoError("bad model file magic");
+  }
+  uint32_t version = 0;
+  uint32_t dims = 0;
+  if (!reader.Read(&version, sizeof(version)) || version != kModelVersion) {
+    return IoError("unsupported model file version");
+  }
+  if (!reader.Read(&dims, sizeof(dims)) || dims == 0 || dims > 4096) {
+    return IoError("bad model file header");
+  }
+  std::vector<float> mean(dims);
+  std::vector<float> std_dev(dims);
+  if (!reader.Read(mean.data(), dims * sizeof(float)) ||
+      !reader.Read(std_dev.data(), dims * sizeof(float))) {
+    return IoError("truncated model file header");
+  }
+  const uint32_t computed = reader.crc();
+  uint32_t stored = 0;
+  in.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+  if (in.fail()) return IoError("truncated model header CRC");
+  if (stored != computed) {
+    return IoError("model header CRC mismatch (corrupted file)");
+  }
+  normalizer_ =
+      nn::ZScoreNormalizer::FromMoments(std::move(mean), std::move(std_dev));
+  LEAD_RETURN_IF_ERROR(nn::LoadParameters(autoencoder_.get(), in));
+  if (forward_detector_ != nullptr) {
+    LEAD_RETURN_IF_ERROR(nn::LoadParameters(forward_detector_.get(), in));
+  }
+  if (backward_detector_ != nullptr) {
+    LEAD_RETURN_IF_ERROR(nn::LoadParameters(backward_detector_.get(), in));
+  }
+  if (mlp_scorer_ != nullptr) {
+    LEAD_RETURN_IF_ERROR(nn::LoadParameters(mlp_scorer_.get(), in));
+  }
+  return Status::Ok();
+}
+
+Status LeadModel::WriteTrainCheckpoint(const std::string& path, int stage,
+                                       int next_epoch) const {
+  std::string header;
+  header.append(kTrainCkptMagic, sizeof(kTrainCkptMagic));
+  AppendU32(&header, kTrainCkptVersion);
+  AppendU32(&header, static_cast<uint32_t>(stage));
+  AppendU32(&header, static_cast<uint32_t>(next_epoch));
+  const uint32_t crc = Crc32(header.data(), header.size());
+  std::ostringstream buffer;
+  buffer.write(header.data(), static_cast<std::streamsize>(header.size()));
+  buffer.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  LEAD_RETURN_IF_ERROR(SerializeModel(buffer));
+  return WriteFileAtomic(path, buffer.str());
+}
+
+Status LeadModel::TryResumeFromCheckpoint(const std::string& path,
+                                          int* stage, int* next_epoch) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return IoError("cannot open checkpoint: " + path);
+  Crc32Reader reader(&in);
+  char magic[8];
+  if (!reader.Read(magic, sizeof(magic)) ||
+      !std::equal(magic, magic + 8, kTrainCkptMagic)) {
+    return IoError("bad training-checkpoint magic");
+  }
+  uint32_t version = 0;
+  uint32_t raw_stage = 0;
+  uint32_t raw_epoch = 0;
+  if (!reader.Read(&version, sizeof(version)) ||
+      version != kTrainCkptVersion) {
+    return IoError("unsupported training-checkpoint version");
+  }
+  if (!reader.Read(&raw_stage, sizeof(raw_stage)) ||
+      !reader.Read(&raw_epoch, sizeof(raw_epoch)) ||
+      raw_stage > kMaxStage || raw_epoch > 1000000) {
+    return IoError("bad training-checkpoint cursor");
+  }
+  const uint32_t computed = reader.crc();
+  uint32_t stored = 0;
+  in.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+  if (in.fail()) return IoError("truncated training-checkpoint header");
+  if (stored != computed) {
+    return IoError("training-checkpoint CRC mismatch (corrupted file)");
+  }
+  // Deserialize into a scratch model so a file that fails mid-load (bit
+  // rot in a later section) cannot leave *this half-overwritten.
+  LeadModel scratch(options_);
+  LEAD_RETURN_IF_ERROR(scratch.DeserializeModel(in));
+  normalizer_ = std::move(scratch.normalizer_);
+  autoencoder_ = std::move(scratch.autoencoder_);
+  forward_detector_ = std::move(scratch.forward_detector_);
+  backward_detector_ = std::move(scratch.backward_detector_);
+  mlp_scorer_ = std::move(scratch.mlp_scorer_);
+  *stage = static_cast<int>(raw_stage);
+  *next_epoch = static_cast<int>(raw_epoch);
+  return Status::Ok();
+}
+
+Status LeadModel::Save(const std::string& path) const {
+  if (!normalizer_.fitted()) {
+    return FailedPreconditionError("model is not trained");
+  }
+  std::ostringstream buffer;
+  LEAD_RETURN_IF_ERROR(SerializeModel(buffer));
+  return WriteFileAtomic(path, buffer.str());
 }
 
 Status LeadModel::CopyEncoderFrom(const LeadModel& other) {
@@ -702,28 +918,15 @@ Status LeadModel::CopyEncoderFrom(const LeadModel& other) {
 Status LeadModel::Load(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return IoError("cannot open for read: " + path);
-  uint32_t dims = 0;
-  in.read(reinterpret_cast<char*>(&dims), sizeof(dims));
-  if (!in.good() || dims == 0 || dims > 4096) {
-    return IoError("bad model file header");
-  }
-  std::vector<float> mean(dims);
-  std::vector<float> std_dev(dims);
-  in.read(reinterpret_cast<char*>(mean.data()), dims * sizeof(float));
-  in.read(reinterpret_cast<char*>(std_dev.data()), dims * sizeof(float));
-  if (!in.good()) return IoError("truncated model file");
-  normalizer_ =
-      nn::ZScoreNormalizer::FromMoments(std::move(mean), std::move(std_dev));
-  LEAD_RETURN_IF_ERROR(nn::LoadParameters(autoencoder_.get(), in));
-  if (forward_detector_ != nullptr) {
-    LEAD_RETURN_IF_ERROR(nn::LoadParameters(forward_detector_.get(), in));
-  }
-  if (backward_detector_ != nullptr) {
-    LEAD_RETURN_IF_ERROR(nn::LoadParameters(backward_detector_.get(), in));
-  }
-  if (mlp_scorer_ != nullptr) {
-    LEAD_RETURN_IF_ERROR(nn::LoadParameters(mlp_scorer_.get(), in));
-  }
+  // Load through a scratch model so a corrupt file never leaves *this
+  // with a half-overwritten normalizer or weight set.
+  LeadModel scratch(options_);
+  LEAD_RETURN_IF_ERROR(scratch.DeserializeModel(in));
+  normalizer_ = std::move(scratch.normalizer_);
+  autoencoder_ = std::move(scratch.autoencoder_);
+  forward_detector_ = std::move(scratch.forward_detector_);
+  backward_detector_ = std::move(scratch.backward_detector_);
+  mlp_scorer_ = std::move(scratch.mlp_scorer_);
   return Status::Ok();
 }
 

@@ -27,6 +27,7 @@
 #include "core/detector.h"
 #include "core/labels.h"
 #include "core/pipeline.h"
+#include "core/train_loop.h"
 #include "nn/adam.h"
 
 namespace lead::core {
@@ -62,6 +63,19 @@ struct TrainOptions {
   int max_candidates_per_trajectory = 6;
   uint64_t seed = 42;
   bool verbose = false;
+  // Resilience knobs (see DESIGN.md §"Failure model and recovery"): an
+  // epoch whose loss goes non-finite or diverges rolls the stage back to
+  // its last good weights and retries with the learning rate multiplied
+  // by recovery_lr_backoff, at most max_recoveries times per stage.
+  int max_recoveries = 3;
+  float recovery_lr_backoff = 0.5f;
+  // A good epoch's validation loss above
+  // divergence_factor * (best_so_far + 1) counts as divergence.
+  float divergence_factor = 100.0f;
+  // When non-empty, Train() writes a durable checkpoint into this
+  // directory after every epoch (atomic write, CRC-verified on load) and
+  // resumes from it when one exists; the file is removed on success.
+  std::string checkpoint_dir;
 };
 
 struct LeadOptions {
@@ -99,6 +113,8 @@ struct TrainingLog {
   std::vector<float> backward_val_kld;
   std::vector<float> nogro_bce;             // only for LEAD-NoGro
   std::vector<float> nogro_val_bce;
+  // Sentinel rollbacks, checkpoint resumes, and discarded checkpoints.
+  std::vector<RecoveryEvent> recoveries;
 };
 
 // The online-stage output for one raw trajectory.
@@ -120,7 +136,9 @@ class LeadModel {
   explicit LeadModel(const LeadOptions& options);
 
   // Offline stage. `validation` drives early stopping; `log` (optional)
-  // receives loss curves.
+  // receives loss curves and recovery events. With
+  // TrainOptions::checkpoint_dir set, training checkpoints durably after
+  // every epoch and a rerun resumes where the previous attempt died.
   Status Train(const std::vector<LabeledRawTrajectory>& training,
                const std::vector<LabeledRawTrajectory>& validation,
                const poi::PoiIndex& poi_index, TrainingLog* log);
@@ -168,12 +186,31 @@ class LeadModel {
   Status Prepare(const std::vector<LabeledRawTrajectory>& labeled,
                  const poi::PoiIndex& poi_index, bool fit_normalizer,
                  std::vector<PreparedSample>* out);
-  void TrainAutoencoder(const std::vector<PreparedSample>& training,
+  // Both stages report sentinel rollbacks through log->recoveries and
+  // fail with kInternal once the recovery budget is exhausted.
+  // `start_epoch` / `start_stage` are non-zero only when resuming from a
+  // durable checkpoint; `checkpoint` may be empty.
+  Status TrainAutoencoder(const std::vector<PreparedSample>& training,
+                          const std::vector<PreparedSample>& validation,
+                          int start_epoch, TrainingLog* log,
+                          const TrainCheckpointFn& checkpoint);
+  Status TrainDetectors(const std::vector<PreparedSample>& training,
                         const std::vector<PreparedSample>& validation,
-                        TrainingLog* log);
-  void TrainDetectors(const std::vector<PreparedSample>& training,
-                      const std::vector<PreparedSample>& validation,
-                      TrainingLog* log);
+                        int start_stage, int start_epoch, TrainingLog* log,
+                        const TrainCheckpointFn& checkpoint);
+  // Full model state (normalizer header + per-module parameter sections),
+  // each section CRC-32 protected.
+  Status SerializeModel(std::ostream& out) const;
+  Status DeserializeModel(std::istream& in);
+  // Durable training checkpoint: stage/epoch cursor + full model state,
+  // written atomically.
+  Status WriteTrainCheckpoint(const std::string& path, int stage,
+                              int next_epoch) const;
+  // Loads a training checkpoint into *this (via a scratch model, so a
+  // corrupt file cannot leave half-loaded weights) and returns the
+  // (stage, next_epoch) cursor through the out parameters.
+  Status TryResumeFromCheckpoint(const std::string& path, int* stage,
+                                 int* next_epoch);
 
   LeadOptions options_;
   nn::ZScoreNormalizer normalizer_;

@@ -14,6 +14,7 @@ StatusOr<ProcessedTrajectory> ProcessTrajectory(
     return InvalidArgumentError("empty trajectory: " + raw.trajectory_id);
   }
   LEAD_RETURN_IF_ERROR(traj::ValidateChronological(raw));
+  LEAD_RETURN_IF_ERROR(traj::ValidateCoordinates(raw));
 
   ProcessedTrajectory out;
   out.cleaned = traj::FilterNoise(raw, options.noise).cleaned;

@@ -1,0 +1,151 @@
+#include "core/train_loop.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <memory>
+
+#include "common/check.h"
+#include "nn/adam.h"
+#include "nn/early_stopping.h"
+#include "nn/scheduler.h"
+
+namespace lead::core {
+
+void WeightSnapshot::Capture(const nn::Module& module) {
+  values_.clear();
+  for (const nn::Variable& p : module.Parameters()) {
+    values_.push_back(p.value());
+  }
+}
+
+void WeightSnapshot::Restore(nn::Module* module) const {
+  if (values_.empty()) return;
+  std::vector<nn::Variable> params = module->Parameters();
+  LEAD_CHECK_EQ(params.size(), values_.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i].mutable_value() = values_[i];
+  }
+}
+
+namespace {
+
+// A NaN stepped into the weights by the epoch's last optimizer update
+// would evade the loss sentinels (the loss was computed before the
+// step), so good epochs also verify the weights themselves.
+bool WeightsFinite(const nn::Module& module) {
+  for (const nn::Variable& p : module.Parameters()) {
+    const nn::Matrix& m = p.value();
+    const float* d = m.data();
+    for (int i = 0; i < m.size(); ++i) {
+      if (!std::isfinite(d[i])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Status RunTrainingStage(
+    nn::Module* module, const StageOptions& options,
+    const std::function<float(nn::Optimizer*)>& train_epoch,
+    const std::function<float(float train_loss)>& validation_loss,
+    std::vector<float>* train_curve, std::vector<float>* val_curve,
+    std::vector<RecoveryEvent>* recoveries,
+    const TrainCheckpointFn& checkpoint) {
+  LEAD_CHECK(module != nullptr);
+  const nn::StepDecayLr schedule(options.learning_rate,
+                                 options.lr_decay_gamma,
+                                 options.lr_decay_epochs);
+  float lr_scale = 1.0f;
+  auto make_optimizer = [&] {
+    nn::AdamOptions aopt;
+    aopt.learning_rate = options.learning_rate * lr_scale;
+    aopt.clip_grad_norm = options.clip_grad_norm;
+    return std::make_unique<nn::Adam>(module->Parameters(), aopt);
+  };
+  std::unique_ptr<nn::Adam> optimizer = make_optimizer();
+  nn::EarlyStopping stopper(options.early_stopping_patience,
+                            options.early_stopping_min_delta);
+  WeightSnapshot last_good;  // sentinel rollback target
+  WeightSnapshot best;       // early-stopping restore target
+  last_good.Capture(*module);
+  float last_good_val = std::numeric_limits<float>::infinity();
+  int recoveries_used = 0;
+
+  for (int epoch = options.start_epoch; epoch < options.epochs;) {
+    optimizer->set_learning_rate(schedule.LearningRate(epoch) * lr_scale);
+    const float train_loss = train_epoch(optimizer.get());
+    const float val_loss = std::isfinite(train_loss)
+                               ? validation_loss(train_loss)
+                               : train_loss;
+
+    const bool diverged =
+        std::isfinite(val_loss) && std::isfinite(last_good_val) &&
+        val_loss > options.divergence_factor * (last_good_val + 1.0f);
+    const bool poisoned = std::isfinite(train_loss) &&
+                          std::isfinite(val_loss) && !diverged &&
+                          !WeightsFinite(*module);
+    if (!std::isfinite(train_loss) || !std::isfinite(val_loss) || diverged ||
+        poisoned) {
+      if (recoveries_used >= options.max_recoveries) {
+        return InternalError(
+            std::string(options.stage_name) +
+            " training diverged and exhausted its recovery budget");
+      }
+      ++recoveries_used;
+      lr_scale *= options.recovery_lr_backoff;
+      last_good.Restore(module);
+      optimizer = make_optimizer();  // moments may be poisoned too
+      const char* reason = poisoned ? "non-finite weights after epoch"
+                           : diverged ? "diverging validation loss"
+                                      : "non-finite epoch loss";
+      if (recoveries != nullptr) {
+        recoveries->push_back(
+            RecoveryEvent{options.stage_name, epoch, lr_scale, reason});
+      }
+      if (options.verbose) {
+        std::fprintf(stderr,
+                     "[%s] epoch %d: %s; rolled back, lr scale now %g "
+                     "(recovery %d/%d)\n",
+                     options.tag, epoch, reason,
+                     static_cast<double>(lr_scale), recoveries_used,
+                     options.max_recoveries);
+      }
+      continue;  // retry the same epoch with backed-off LR
+    }
+
+    last_good.Capture(*module);
+    last_good_val = std::min(last_good_val, val_loss);
+    if (train_curve != nullptr) train_curve->push_back(train_loss);
+    if (val_curve != nullptr) val_curve->push_back(val_loss);
+    if (options.verbose) {
+      std::fprintf(stderr, "[%s] epoch %d/%d train %.6f val %.6f\n",
+                   options.tag, epoch + 1, options.epochs,
+                   static_cast<double>(train_loss),
+                   static_cast<double>(val_loss));
+    }
+    const bool keep_going = stopper.Report(val_loss);
+    if (stopper.improved_last_report()) best.Capture(*module);
+    if (checkpoint) {
+      LEAD_RETURN_IF_ERROR(checkpoint(options.stage_index, epoch + 1));
+    }
+    ++epoch;
+    if (!keep_going) {
+      if (options.verbose) {
+        std::fprintf(stderr, "[%s] early stopping at epoch %d\n",
+                     options.tag, epoch);
+      }
+      break;
+    }
+  }
+
+  if (best.captured()) best.Restore(module);
+  if (checkpoint) {
+    LEAD_RETURN_IF_ERROR(checkpoint(options.stage_index + 1, 0));
+  }
+  return Status::Ok();
+}
+
+}  // namespace lead::core

@@ -1,0 +1,88 @@
+// Resilient training-loop harness shared by the LEAD training stages and
+// the SP-RNN baseline.
+//
+// RunTrainingStage drives one stage's epoch loop with non-finite /
+// divergence sentinels: an epoch whose training or validation loss is
+// NaN/Inf, or whose validation loss explodes past a divergence factor,
+// rolls the module back to the last good weights, multiplies the
+// learning rate by a backoff factor, resets the optimizer moments (they
+// may be poisoned too) and retries the epoch — up to a bounded recovery
+// budget, after which the stage fails with kInternal. Good epochs may be
+// checkpointed through a caller-supplied callback (see
+// TrainOptions::checkpoint_dir), enabling resume after a crash.
+#ifndef LEAD_CORE_TRAIN_LOOP_H_
+#define LEAD_CORE_TRAIN_LOOP_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "nn/matrix.h"
+#include "nn/module.h"
+#include "nn/optimizer.h"
+
+namespace lead::core {
+
+// Captures / restores module weights. Early stopping keeps the best
+// validation epoch; the sentinels keep the last good epoch.
+class WeightSnapshot {
+ public:
+  void Capture(const nn::Module& module);
+  void Restore(nn::Module* module) const;
+  bool captured() const { return !values_.empty(); }
+
+ private:
+  std::vector<nn::Matrix> values_;
+};
+
+// One sentinel-triggered recovery (or checkpoint-resume note) recorded
+// during training; surfaced in TrainingLog::recoveries.
+struct RecoveryEvent {
+  std::string stage;      // "autoencoder", "forward", "backward", ...
+  int epoch = 0;          // epoch the event happened at
+  float lr_scale = 1.0f;  // cumulative LR backoff after the event
+  std::string reason;
+};
+
+// Durable-checkpoint hook: called with (next_stage, next_epoch) after
+// every good epoch and with (stage + 1, 0) at stage end. An empty
+// function disables checkpointing; a returned error aborts training.
+using TrainCheckpointFn = std::function<Status(int stage, int next_epoch)>;
+
+struct StageOptions {
+  const char* tag = "";         // verbose-log prefix, e.g. "AE"
+  const char* stage_name = "";  // RecoveryEvent::stage
+  int stage_index = 0;          // checkpoint stage id
+  int epochs = 0;
+  int start_epoch = 0;  // > 0 when resuming from a checkpoint
+  float learning_rate = 1e-4f;
+  float clip_grad_norm = 5.0f;
+  float lr_decay_gamma = 1.0f;
+  int lr_decay_epochs = 10;
+  int early_stopping_patience = 3;
+  float early_stopping_min_delta = 0.0f;
+  int max_recoveries = 3;
+  float recovery_lr_backoff = 0.5f;
+  float divergence_factor = 100.0f;
+  bool verbose = false;
+};
+
+// Runs one training stage over `module`. `train_epoch` performs one
+// epoch of optimization with the given optimizer and returns the epoch's
+// mean training loss (returning NaN early is the idiom for "this epoch
+// is poisoned, stop wasting compute"); `validation_loss` maps the train
+// loss to the watched validation metric (returning the train loss when
+// there is no validation set). Curve / recovery pointers may be null;
+// `checkpoint` may be empty.
+Status RunTrainingStage(
+    nn::Module* module, const StageOptions& options,
+    const std::function<float(nn::Optimizer*)>& train_epoch,
+    const std::function<float(float train_loss)>& validation_loss,
+    std::vector<float>* train_curve, std::vector<float>* val_curve,
+    std::vector<RecoveryEvent>* recoveries,
+    const TrainCheckpointFn& checkpoint);
+
+}  // namespace lead::core
+
+#endif  // LEAD_CORE_TRAIN_LOOP_H_

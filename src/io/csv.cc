@@ -1,13 +1,28 @@
 #include "io/csv.h"
 
 #include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
 
+#include "common/fault.h"
+
 namespace lead::io {
 namespace {
+
+// Timestamp sanity ceiling: 2100-01-01T00:00:00Z. Readers reject rows
+// outside [0, kMaxTimestamp]; real HCT feeds occasionally emit garbage
+// epochs and a single bad row must not poison downstream duration math.
+constexpr int64_t kMaxTimestamp = 4102444800;
+
+// std::from_chars happily parses "nan" and "inf", so coordinate fields
+// need explicit finiteness and WGS84 range checks.
+bool ValidLatLng(double lat, double lng) {
+  return std::isfinite(lat) && std::isfinite(lng) && lat >= -90.0 &&
+         lat <= 90.0 && lng >= -180.0 && lng <= 180.0;
+}
 
 // Splits one CSV line on commas (fields in these formats never contain
 // commas or quotes).
@@ -81,11 +96,22 @@ StatusOr<std::vector<traj::RawTrajectory>> ReadTrajectories(
     if (line.empty()) continue;
     const std::vector<std::string> fields = SplitCsvLine(line);
     if (fields.size() != 5) return BadRow("expected 5 fields", line_number);
+    // Fault "csv.row": a row that fails to parse (tests drive the BadRow
+    // diagnostics through this without crafting bad bytes).
+    if (LEAD_FAULT_FIRED("csv.row")) {
+      return BadRow("injected fault: csv.row", line_number);
+    }
     traj::GpsPoint point;
     if (!ParseDouble(fields[2], &point.pos.lat) ||
         !ParseDouble(fields[3], &point.pos.lng) ||
         !ParseInt64(fields[4], &point.t)) {
       return BadRow("unparsable coordinates/timestamp", line_number);
+    }
+    if (!ValidLatLng(point.pos.lat, point.pos.lng)) {
+      return BadRow("non-finite or out-of-range coordinates", line_number);
+    }
+    if (point.t < 0 || point.t > kMaxTimestamp) {
+      return BadRow("timestamp out of range", line_number);
     }
     const std::string& id = fields[0];
     auto [it, inserted] = by_id.emplace(id, trajectories.size());
@@ -136,6 +162,9 @@ StatusOr<std::vector<poi::Poi>> ReadPois(std::istream& in) {
         !ParseDouble(fields[2], &p.pos.lat) ||
         !ParseDouble(fields[3], &p.pos.lng)) {
       return BadRow("unparsable POI row", line_number);
+    }
+    if (!ValidLatLng(p.pos.lat, p.pos.lng)) {
+      return BadRow("non-finite or out-of-range coordinates", line_number);
     }
     auto category = CategoryFromName(fields[1]);
     if (!category.ok()) return BadRow("unknown category", line_number);

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <ctime>
 #include <fstream>
@@ -140,6 +141,13 @@ StatusOr<std::vector<traj::RawTrajectory>> ReadGpx(std::istream& in) {
       if (!ParseDouble(lat_text, &point.pos.lat) ||
           !ParseDouble(lon_text, &point.pos.lng)) {
         return InvalidArgumentError("unparsable lat/lon in <trkpt>");
+      }
+      // from_chars accepts "nan"/"inf"; reject them and off-planet values.
+      if (!std::isfinite(point.pos.lat) || !std::isfinite(point.pos.lng) ||
+          point.pos.lat < -90.0 || point.pos.lat > 90.0 ||
+          point.pos.lng < -180.0 || point.pos.lng > 180.0) {
+        return InvalidArgumentError(
+            "non-finite or out-of-range lat/lon in <trkpt>");
       }
       const size_t time_begin = body.find("<time>");
       const size_t time_end = body.find("</time>");

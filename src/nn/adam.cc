@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/fault.h"
 
 namespace lead::nn {
 
@@ -18,8 +19,17 @@ Adam::Adam(std::vector<Variable> parameters, const AdamOptions& options)
 }
 
 void Adam::Step() {
-  ++step_count_;
   const float scale = ClipScale(options_.clip_grad_norm);
+  if (scale == 0.0f) return;  // non-finite gradients: skip the update
+  if constexpr (fault::Enabled()) {
+    // Fault point "adam.grad": gradient corruption that slips in after
+    // the clip-norm guard (models a torn write between the norm check
+    // and the update; exercises the training sentinels' rollback path).
+    if (!parameters_.empty() && parameters_[0].grad().size() > 0) {
+      LEAD_FAULT_POISON("adam.grad", parameters_[0].node()->grad.data());
+    }
+  }
+  ++step_count_;
   const float bias1 =
       1.0f - std::pow(options_.beta1, static_cast<float>(step_count_));
   const float bias2 =

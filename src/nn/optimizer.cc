@@ -1,6 +1,7 @@
 #include "nn/optimizer.h"
 
 #include <cmath>
+#include <cstdio>
 #include <utility>
 
 #include "common/check.h"
@@ -35,9 +36,17 @@ float Optimizer::GradNorm() const {
   return static_cast<float>(std::sqrt(total));
 }
 
-float Optimizer::ClipScale(float clip_grad_norm) const {
-  if (clip_grad_norm <= 0.0f) return 1.0f;
+float Optimizer::ClipScale(float clip_grad_norm) {
   const float norm = GradNorm();
+  if (!std::isfinite(norm)) {
+    ++skipped_steps_;
+    if (skipped_steps_ == 1) {
+      std::fprintf(stderr,
+                   "[optimizer] non-finite gradient norm; skipping step\n");
+    }
+    return 0.0f;
+  }
+  if (clip_grad_norm <= 0.0f) return 1.0f;
   return norm > clip_grad_norm ? clip_grad_norm / norm : 1.0f;
 }
 

@@ -16,7 +16,9 @@ class Optimizer {
   Optimizer(const Optimizer&) = delete;
   Optimizer& operator=(const Optimizer&) = delete;
 
-  // Applies one update from the accumulated gradients.
+  // Applies one update from the accumulated gradients. A step whose
+  // global gradient norm is non-finite is skipped entirely (scaling
+  // cannot repair a NaN) and counted in skipped_steps().
   virtual void Step() = 0;
 
   void ZeroGrad();
@@ -25,15 +27,24 @@ class Optimizer {
   // Global L2 norm of all parameter gradients.
   float GradNorm() const;
 
+  // Number of Step() calls skipped because the gradient norm was
+  // non-finite (NaN/Inf in at least one gradient).
+  int skipped_steps() const { return skipped_steps_; }
+
   virtual float learning_rate() const = 0;
   virtual void set_learning_rate(float lr) = 0;
 
  protected:
   // Scale factor implementing global gradient-norm clipping; 1.0 when
-  // disabled or under the threshold.
-  float ClipScale(float clip_grad_norm) const;
+  // disabled or under the threshold, 0.0 when the norm is non-finite —
+  // implementations must then skip the whole update (a NaN gradient
+  // times 0 is still NaN).
+  float ClipScale(float clip_grad_norm);
 
   std::vector<Variable> parameters_;
+
+ private:
+  int skipped_steps_ = 0;
 };
 
 }  // namespace lead::nn

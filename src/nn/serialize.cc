@@ -4,61 +4,78 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
+#include <string>
 #include <unordered_map>
+
+#include "common/atomic_io.h"
+#include "common/check.h"
+#include "common/crc32.h"
+#include "common/fault.h"
 
 namespace lead::nn {
 namespace {
 
 constexpr char kMagic[8] = {'L', 'E', 'A', 'D', 'C', 'K', 'P', 'T'};
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersion = 2;  // v2 added the CRC-32 footer
 
-void WriteU32(std::ostream& out, uint32_t v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+void AppendU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
 }
-void WriteU64(std::ostream& out, uint64_t v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+void AppendU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
 }
-bool ReadU32(std::istream& in, uint32_t* v) {
-  in.read(reinterpret_cast<char*>(v), sizeof(*v));
-  return in.good();
-}
-bool ReadU64(std::istream& in, uint64_t* v) {
-  in.read(reinterpret_cast<char*>(v), sizeof(*v));
-  return in.good();
-}
+
+bool ReadU32(Crc32Reader& in, uint32_t* v) { return in.Read(v, sizeof(*v)); }
+bool ReadU64(Crc32Reader& in, uint64_t* v) { return in.Read(v, sizeof(*v)); }
 
 }  // namespace
 
 Status SaveParameters(const Module& module, std::ostream& out) {
   const std::vector<NamedParameter> params = module.NamedParameters();
-  out.write(kMagic, sizeof(kMagic));
-  WriteU32(out, kVersion);
-  WriteU64(out, params.size());
+  std::string payload;
+  payload.append(kMagic, sizeof(kMagic));
+  AppendU32(&payload, kVersion);
+  AppendU64(&payload, params.size());
   for (const NamedParameter& p : params) {
-    WriteU32(out, static_cast<uint32_t>(p.name.size()));
-    out.write(p.name.data(), static_cast<std::streamsize>(p.name.size()));
+    AppendU32(&payload, static_cast<uint32_t>(p.name.size()));
+    payload.append(p.name);
     const Matrix& m = p.variable.value();
-    WriteU32(out, static_cast<uint32_t>(m.rows()));
-    WriteU32(out, static_cast<uint32_t>(m.cols()));
-    out.write(reinterpret_cast<const char*>(m.data()),
-              static_cast<std::streamsize>(m.size() * sizeof(float)));
+    AppendU32(&payload, static_cast<uint32_t>(m.rows()));
+    AppendU32(&payload, static_cast<uint32_t>(m.cols()));
+    payload.append(reinterpret_cast<const char*>(m.data()),
+                   m.size() * sizeof(float));
   }
+  // Fault "serialize.write": a write error mid-stream; half the payload
+  // lands, as a torn write would, and the caller sees a Status.
+  if (LEAD_FAULT_FIRED("serialize.write")) {
+    out.write(payload.data(),
+              static_cast<std::streamsize>(payload.size() / 2));
+    return IoError("injected fault: serialize.write");
+  }
+  const uint32_t crc = Crc32(payload.data(), payload.size());
+  // Fault "serialize.body": silent bit rot after the CRC was computed;
+  // the save succeeds and the corruption is caught at load time.
+  LEAD_FAULT_CORRUPT("serialize.body", payload.data(), payload.size());
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
   if (!out.good()) return IoError("failed writing checkpoint stream");
   return Status::Ok();
 }
 
 Status LoadParameters(Module* module, std::istream& in) {
+  Crc32Reader reader(&in);
   char magic[8];
-  in.read(magic, sizeof(magic));
-  if (!in.good() || !std::equal(magic, magic + 8, kMagic)) {
+  if (!reader.Read(magic, sizeof(magic)) ||
+      !std::equal(magic, magic + 8, kMagic)) {
     return IoError("bad checkpoint magic");
   }
   uint32_t version = 0;
-  if (!ReadU32(in, &version) || version != kVersion) {
+  if (!ReadU32(reader, &version) || version < 1 || version > kVersion) {
     return IoError("unsupported checkpoint version");
   }
   uint64_t count = 0;
-  if (!ReadU64(in, &count)) return IoError("truncated checkpoint header");
+  if (!ReadU64(reader, &count)) return IoError("truncated checkpoint header");
 
   std::vector<NamedParameter> params = module->NamedParameters();
   std::unordered_map<std::string, Variable*> by_name;
@@ -70,12 +87,16 @@ Status LoadParameters(Module* module, std::istream& in) {
 
   for (uint64_t k = 0; k < count; ++k) {
     uint32_t name_len = 0;
-    if (!ReadU32(in, &name_len)) return IoError("truncated checkpoint");
+    if (!ReadU32(reader, &name_len) || name_len > 4096) {
+      return IoError("truncated checkpoint");
+    }
     std::string name(name_len, '\0');
-    in.read(name.data(), name_len);
+    if (!reader.Read(name.data(), name_len)) {
+      return IoError("truncated checkpoint");
+    }
     uint32_t rows = 0;
     uint32_t cols = 0;
-    if (!in.good() || !ReadU32(in, &rows) || !ReadU32(in, &cols)) {
+    if (!ReadU32(reader, &rows) || !ReadU32(reader, &cols)) {
       return IoError("truncated checkpoint");
     }
     const auto it = by_name.find(name);
@@ -87,17 +108,26 @@ Status LoadParameters(Module* module, std::istream& in) {
         target.cols() != static_cast<int>(cols)) {
       return InvalidArgumentError("shape mismatch for parameter: " + name);
     }
-    in.read(reinterpret_cast<char*>(target.data()),
-            static_cast<std::streamsize>(target.size() * sizeof(float)));
-    if (!in.good()) return IoError("truncated checkpoint data");
+    if (!reader.Read(target.data(), target.size() * sizeof(float))) {
+      return IoError("truncated checkpoint data");
+    }
+  }
+  if (version >= 2) {
+    const uint32_t computed = reader.crc();
+    uint32_t stored = 0;
+    in.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+    if (in.fail()) return IoError("truncated checkpoint CRC footer");
+    if (stored != computed) {
+      return IoError("checkpoint CRC mismatch (corrupted file)");
+    }
   }
   return Status::Ok();
 }
 
 Status SaveParametersToFile(const Module& module, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return IoError("cannot open for write: " + path);
-  return SaveParameters(module, out);
+  std::ostringstream buffer;
+  LEAD_RETURN_IF_ERROR(SaveParameters(module, buffer));
+  return WriteFileAtomic(path, buffer.str());
 }
 
 Status LoadParametersFromFile(Module* module, const std::string& path) {

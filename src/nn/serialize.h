@@ -1,10 +1,21 @@
 // Binary checkpointing of module parameters.
 //
-// Format: magic "LEADCKPT", u32 version, u64 count, then per parameter:
-// u32 name length, name bytes, u32 rows, u32 cols, f32 data (row-major,
-// little-endian). Loading matches by name and shape and fails with a
-// Status on any mismatch, so checkpoints are robust to reordering but not
-// to architecture changes.
+// Format (version 2): magic "LEADCKPT", u32 version, u64 count, then per
+// parameter: u32 name length, name bytes, u32 rows, u32 cols, f32 data
+// (row-major, little-endian), followed by a u32 CRC-32 footer covering
+// every byte from the magic through the last parameter. Loading matches
+// by name and shape, recomputes the CRC while reading, and fails with a
+// descriptive Status on any mismatch — so checkpoints are robust to
+// reordering and detect truncation and bit rot, but not architecture
+// changes. Sections are self-delimiting: several checkpoints may be
+// concatenated in one stream (LeadModel::Save does this).
+//
+// SaveParametersToFile writes atomically (temp file + rename), so a
+// crash mid-save never destroys the previous checkpoint.
+//
+// Fault points (common/fault.h): "serialize.write" makes the save fail
+// after a torn half-write; "serialize.body" flips a payload byte after
+// the CRC was computed, which the next load must catch.
 #ifndef LEAD_NN_SERIALIZE_H_
 #define LEAD_NN_SERIALIZE_H_
 
@@ -19,7 +30,7 @@ namespace lead::nn {
 Status SaveParameters(const Module& module, std::ostream& out);
 Status LoadParameters(Module* module, std::istream& in);
 
-// File-path convenience wrappers.
+// File-path convenience wrappers; the save is atomic.
 Status SaveParametersToFile(const Module& module, const std::string& path);
 Status LoadParametersFromFile(Module* module, const std::string& path);
 

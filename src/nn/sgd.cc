@@ -14,6 +14,7 @@ Sgd::Sgd(std::vector<Variable> parameters, const SgdOptions& options)
 
 void Sgd::Step() {
   const float scale = ClipScale(options_.clip_grad_norm);
+  if (scale == 0.0f) return;  // non-finite gradients: skip the update
   for (size_t k = 0; k < parameters_.size(); ++k) {
     Variable& p = parameters_[k];
     const float* g = p.grad().data();

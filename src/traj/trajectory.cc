@@ -1,5 +1,6 @@
 #include "traj/trajectory.h"
 
+#include <cmath>
 #include <limits>
 #include <string>
 
@@ -13,6 +14,20 @@ Status ValidateChronological(const RawTrajectory& trajectory) {
       return InvalidArgumentError(
           "trajectory " + trajectory.trajectory_id +
           ": non-increasing timestamp at index " + std::to_string(i));
+    }
+  }
+  return Status::Ok();
+}
+
+Status ValidateCoordinates(const RawTrajectory& trajectory) {
+  for (int i = 0; i < trajectory.size(); ++i) {
+    const geo::LatLng& p = trajectory.points[i].pos;
+    if (!std::isfinite(p.lat) || !std::isfinite(p.lng) || p.lat < -90.0 ||
+        p.lat > 90.0 || p.lng < -180.0 || p.lng > 180.0) {
+      return InvalidArgumentError(
+          "trajectory " + trajectory.trajectory_id +
+          ": non-finite or out-of-range coordinate at index " +
+          std::to_string(i));
     }
   }
   return Status::Ok();

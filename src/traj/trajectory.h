@@ -46,6 +46,11 @@ struct RawTrajectory {
 // Verifies Definition 1's invariant: timestamps strictly increase.
 Status ValidateChronological(const RawTrajectory& trajectory);
 
+// Verifies every fix has finite, in-range WGS84 coordinates (lat in
+// [-90, 90], lng in [-180, 180]). A NaN coordinate would otherwise
+// silently poison distances, stay-point extraction, and features.
+Status ValidateCoordinates(const RawTrajectory& trajectory);
+
 // Average speed between two GPS fixes in km/h; returns +inf for zero or
 // negative time delta (callers treat such pairs as noise).
 double SpeedKmh(const GpsPoint& from, const GpsPoint& to);

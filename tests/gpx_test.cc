@@ -1,5 +1,8 @@
 // Tests for GPX ingestion/export and ISO-8601 parsing.
 #include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -87,6 +90,21 @@ TEST(GpxTest, RejectsMalformedDocuments) {
   EXPECT_FALSE(ReadGpx(no_coords).ok());
   std::stringstream unterminated("<gpx><trk><trkseg>");
   EXPECT_FALSE(ReadGpx(unterminated).ok());
+}
+
+TEST(GpxTest, RejectsNonFiniteAndOutOfRangeCoordinates) {
+  for (const auto& [lat, lon] :
+       std::vector<std::pair<const char*, const char*>>{
+           {"nan", "120.9"}, {"32.0", "inf"}, {"90.5", "120.9"},
+           {"32.0", "180.5"}}) {
+    std::stringstream in(std::string("<gpx><trk><trkseg><trkpt lat=\"") +
+                         lat + "\" lon=\"" + lon +
+                         "\"><time>2020-09-01T08:00:00Z</time></trkpt>"
+                         "</trkseg></trk></gpx>");
+    const auto result = ReadGpx(in);
+    ASSERT_FALSE(result.ok()) << lat << "," << lon;
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  }
 }
 
 TEST(GpxTest, WriteReadRoundTrip) {

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/fault.h"
 #include "io/csv.h"
 
 namespace lead::io {
@@ -73,6 +74,60 @@ TEST(TrajectoryCsvTest, RejectsGarbageFields) {
   EXPECT_FALSE(ReadTrajectories(missing).ok());
 }
 
+TEST(TrajectoryCsvTest, RejectsNonFiniteAndOffPlanetCoordinates) {
+  // from_chars parses "nan"/"inf", so the reader must reject them
+  // explicitly, with the offending line number in the diagnostic.
+  for (const char* row :
+       {"t1,a,nan,120.9,100", "t1,a,32.0,inf,100", "t1,a,91.0,120.9,100",
+        "t1,a,32.0,-180.5,100"}) {
+    std::stringstream buffer(std::string("trajectory_id,truck_id,lat,lng,t\n") +
+                             row + "\n");
+    const auto result = ReadTrajectories(buffer);
+    ASSERT_FALSE(result.ok()) << row;
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(result.status().message().find("line 2"), std::string::npos)
+        << result.status();
+  }
+}
+
+TEST(TrajectoryCsvTest, RejectsOutOfRangeTimestamps) {
+  for (const char* row : {"t1,a,32.0,120.9,-5", "t1,a,32.0,120.9,9999999999"}) {
+    std::stringstream buffer(std::string("trajectory_id,truck_id,lat,lng,t\n") +
+                             row + "\n");
+    const auto result = ReadTrajectories(buffer);
+    ASSERT_FALSE(result.ok()) << row;
+    EXPECT_NE(result.status().message().find("timestamp out of range"),
+              std::string::npos)
+        << result.status();
+  }
+}
+
+TEST(TrajectoryCsvTest, InjectedRowFaultSurfacesBadRowDiagnostic) {
+  if (!fault::Enabled()) GTEST_SKIP() << "fault injection compiled out";
+  fault::ArmFail("csv.row", 2);  // second data row
+  std::stringstream buffer(
+      "trajectory_id,truck_id,lat,lng,t\n"
+      "t1,a,32.0,120.9,100\n"
+      "t1,a,32.1,120.9,200\n"
+      "t1,a,32.2,120.9,300\n");
+  const auto result = ReadTrajectories(buffer);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("injected fault: csv.row"),
+            std::string::npos)
+      << result.status();
+  EXPECT_NE(result.status().message().find("line 3"), std::string::npos)
+      << result.status();
+  EXPECT_EQ(fault::Fires("csv.row"), 1);
+  fault::DisarmAll();
+  // Disarmed, the same stream parses cleanly.
+  std::stringstream clean(
+      "trajectory_id,truck_id,lat,lng,t\n"
+      "t1,a,32.0,120.9,100\n"
+      "t1,a,32.1,120.9,200\n"
+      "t1,a,32.2,120.9,300\n");
+  EXPECT_TRUE(ReadTrajectories(clean).ok());
+}
+
 TEST(PoiCsvTest, RoundTrips) {
   std::vector<poi::Poi> pois = {
       {7, poi::Category::kChemicalFactory, {32.01, 120.98}},
@@ -87,6 +142,16 @@ TEST(PoiCsvTest, RoundTrips) {
   EXPECT_EQ((*loaded)[0].category, poi::Category::kChemicalFactory);
   EXPECT_EQ((*loaded)[1].category, poi::Category::kRestaurant);
   EXPECT_NEAR((*loaded)[1].pos.lng, 120.91, 1e-6);
+}
+
+TEST(PoiCsvTest, RejectsNonFiniteCoordinates) {
+  std::stringstream buffer(
+      "id,category,lat,lng\n"
+      "1,gas_station,inf,120.9\n");
+  const auto result = ReadPois(buffer);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("line 2"), std::string::npos)
+      << result.status();
 }
 
 TEST(PoiCsvTest, RejectsUnknownCategory) {

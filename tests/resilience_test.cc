@@ -1,0 +1,263 @@
+// Training & inference resilience: NaN-gradient detection with rollback
+// and LR backoff, durable checkpoint/resume after a simulated kill, and
+// clean Status handling of degenerate Detect inputs.
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/fault.h"
+#include "common/rng.h"
+#include "core/lead.h"
+#include "eval/harness.h"
+#include "nn/adam.h"
+#include "nn/linear.h"
+
+namespace lead {
+namespace {
+
+// One small corpus for the whole binary; each test trains only a few
+// epochs on it.
+class ResilienceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    eval::ExperimentConfig config = eval::DefaultConfig(1.0);
+    config.world.num_background_pois = 1500;
+    config.world.num_loading_facilities = 8;
+    config.world.num_unloading_facilities = 12;
+    config.world.num_rest_areas = 12;
+    config.world.num_depots = 6;
+    config.dataset.num_trajectories = 40;
+    config.dataset.num_trucks = 20;
+    config.sim.sample_interval_mean_s = 240.0;
+    config.lead.train.autoencoder_epochs = 3;
+    config.lead.train.detector_epochs = 4;
+    config.lead.train.max_candidates_per_trajectory = 4;
+    config.lead.train.batch_size = 8;
+    config.lead.train.learning_rate = 1e-3f;
+    config_ = new eval::ExperimentConfig(config);
+    auto data = eval::BuildExperiment(config);
+    ASSERT_TRUE(data.ok()) << data.status();
+    data_ = new eval::ExperimentData(std::move(data).value());
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    delete config_;
+    data_ = nullptr;
+    config_ = nullptr;
+  }
+  void TearDown() override { fault::DisarmAll(); }
+
+  static eval::ExperimentConfig* config_;
+  static eval::ExperimentData* data_;
+};
+
+eval::ExperimentConfig* ResilienceTest::config_ = nullptr;
+eval::ExperimentData* ResilienceTest::data_ = nullptr;
+
+TEST_F(ResilienceTest, NanGradientTriggersRollbackAndTrainingCompletes) {
+  if (!fault::Enabled()) GTEST_SKIP() << "fault injection compiled out";
+  // Poison one gradient a few optimizer steps into the autoencoder
+  // stage: the epoch loss goes non-finite (or the weights do), the
+  // sentinel must roll back to the last good snapshot, back off the
+  // learning rate, and finish training successfully.
+  fault::ArmNonFinite("adam.grad", /*nth=*/3);
+  core::LeadModel model(config_->lead);
+  core::TrainingLog log;
+  const Status status = model.Train(data_->TrainLabeled(),
+                                    data_->ValLabeled(),
+                                    data_->world->poi_index(), &log);
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_EQ(fault::Fires("adam.grad"), 1);
+  ASSERT_FALSE(log.recoveries.empty());
+  EXPECT_EQ(log.recoveries[0].stage, "autoencoder");
+  EXPECT_LT(log.recoveries[0].lr_scale, 1.0f);  // LR was backed off
+  // Recovered training still produces a working detector.
+  auto detection =
+      model.Detect(data_->split.test[0].raw, data_->world->poi_index());
+  ASSERT_TRUE(detection.ok()) << detection.status();
+  for (float p : detection->probabilities) EXPECT_TRUE(std::isfinite(p));
+}
+
+TEST_F(ResilienceTest, ExhaustedRecoveryBudgetFailsWithStatus) {
+  if (!fault::Enabled()) GTEST_SKIP() << "fault injection compiled out";
+  core::LeadOptions options = config_->lead;
+  options.train.max_recoveries = 0;  // first rollback already exceeds it
+  core::LeadModel model(options);
+  fault::ArmNonFinite("adam.grad", /*nth=*/3);
+  const Status status = model.Train(data_->TrainLabeled(),
+                                    data_->ValLabeled(),
+                                    data_->world->poi_index(), nullptr);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+}
+
+TEST_F(ResilienceTest, KillAndResumeProducesLoadableModel) {
+  if (!fault::Enabled()) GTEST_SKIP() << "fault injection compiled out";
+  const std::string dir = ::testing::TempDir() + "/lead_resume_ckpt";
+  std::filesystem::remove_all(dir);
+  core::LeadOptions options = config_->lead;
+  options.train.checkpoint_dir = dir;
+  const std::string ckpt = dir + "/lead_train.ckpt";
+
+  // First attempt dies right after the third durable checkpoint write
+  // (mid-autoencoder), as a kill -9 between epochs would.
+  {
+    fault::ArmFail("train.epoch", /*nth=*/3);
+    core::LeadModel model(options);
+    core::TrainingLog log;
+    const Status status = model.Train(data_->TrainLabeled(),
+                                      data_->ValLabeled(),
+                                      data_->world->poi_index(), &log);
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("injected fault"), std::string::npos)
+        << status;
+  }
+  ASSERT_TRUE(std::filesystem::exists(ckpt));
+
+  // Second attempt (a fresh process: new model object) must resume from
+  // the checkpoint, skip the finished epochs, and complete.
+  core::LeadModel model(options);
+  core::TrainingLog log;
+  const Status status = model.Train(data_->TrainLabeled(),
+                                    data_->ValLabeled(),
+                                    data_->world->poi_index(), &log);
+  ASSERT_TRUE(status.ok()) << status;
+  ASSERT_FALSE(log.recoveries.empty());
+  EXPECT_NE(log.recoveries[0].reason.find("resumed from checkpoint"),
+            std::string::npos);
+  // The first attempt checkpointed all 3 AE epochs, so the resumed run
+  // retrains none of them but still trains the detectors.
+  EXPECT_TRUE(log.autoencoder_mse.empty());
+  EXPECT_FALSE(log.forward_kld.empty());
+  // Success removes the checkpoint cursor.
+  EXPECT_FALSE(std::filesystem::exists(ckpt));
+
+  // The resumed model saves, reloads, and detects.
+  const std::string model_path = dir + "/resumed_model.bin";
+  ASSERT_TRUE(model.Save(model_path).ok());
+  core::LeadModel reloaded(options);
+  ASSERT_TRUE(reloaded.Load(model_path).ok());
+  auto detection = reloaded.Detect(data_->split.test[0].raw,
+                                   data_->world->poi_index());
+  ASSERT_TRUE(detection.ok()) << detection.status();
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ResilienceTest, CorruptedResumeCheckpointStartsFresh) {
+  const std::string dir = ::testing::TempDir() + "/lead_corrupt_ckpt";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream garbage(dir + "/lead_train.ckpt", std::ios::binary);
+    garbage << "this is not a checkpoint";
+  }
+  core::LeadOptions options = config_->lead;
+  options.train.checkpoint_dir = dir;
+  core::LeadModel model(options);
+  core::TrainingLog log;
+  const Status status = model.Train(data_->TrainLabeled(),
+                                    data_->ValLabeled(),
+                                    data_->world->poi_index(), &log);
+  ASSERT_TRUE(status.ok()) << status;
+  ASSERT_FALSE(log.recoveries.empty());
+  EXPECT_NE(log.recoveries[0].reason.find("checkpoint discarded"),
+            std::string::npos)
+      << log.recoveries[0].reason;
+  // Fresh training ran in full.
+  EXPECT_FALSE(log.autoencoder_mse.empty());
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ResilienceTest, TruncatedModelFileRejectedByLoad) {
+  // Train quickly, save, then clip the file: Load must return a clean
+  // Status (CRC/truncation), never crash or accept the prefix.
+  core::LeadModel model(config_->lead);
+  ASSERT_TRUE(model
+                  .Train(data_->TrainLabeled(), data_->ValLabeled(),
+                         data_->world->poi_index(), nullptr)
+                  .ok());
+  const std::string path = ::testing::TempDir() + "/truncated_model.bin";
+  ASSERT_TRUE(model.Save(path).ok());
+  const auto full_size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full_size / 2);
+  core::LeadModel reloaded(config_->lead);
+  const Status status = reloaded.Load(path);
+  EXPECT_FALSE(status.ok());
+  // A failed load must not leave a half-trained impostor behind.
+  EXPECT_FALSE(reloaded.trained());
+  std::remove(path.c_str());
+}
+
+TEST_F(ResilienceTest, DegenerateDetectInputsReturnStatusNotCrash) {
+  core::LeadModel model(config_->lead);
+  ASSERT_TRUE(model
+                  .Train(data_->TrainLabeled(), data_->ValLabeled(),
+                         data_->world->poi_index(), nullptr)
+                  .ok());
+  const poi::PoiIndex& pois = data_->world->poi_index();
+
+  traj::RawTrajectory empty;
+  empty.trajectory_id = "empty";
+  EXPECT_EQ(model.Detect(empty, pois).status().code(),
+            StatusCode::kInvalidArgument);
+
+  traj::RawTrajectory single;
+  single.trajectory_id = "single";
+  single.points = {{{32.0, 120.9}, 1000}};
+  EXPECT_EQ(model.Detect(single, pois).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  // Physically impossible jumps: every move is filtered as noise, so no
+  // two stay points survive.
+  traj::RawTrajectory noise;
+  noise.trajectory_id = "all_noise";
+  for (int i = 0; i < 10; ++i) {
+    noise.points.push_back({{32.0 + (i % 2), 120.9}, 1000 + i});
+  }
+  EXPECT_FALSE(model.Detect(noise, pois).ok());
+
+  traj::RawTrajectory bad_coords;
+  bad_coords.trajectory_id = "nan_coords";
+  bad_coords.points = {
+      {{32.0, 120.9}, 1000},
+      {{std::numeric_limits<double>::quiet_NaN(), 120.9}, 1100},
+  };
+  EXPECT_EQ(model.Detect(bad_coords, pois).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // A hand-built processed trajectory without stays is refused too.
+  core::ProcessedTrajectory hollow;
+  EXPECT_EQ(model.DetectProcessed(hollow).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(OptimizerSentinelTest, NonFiniteGradientSkipsTheStep) {
+  Rng rng(11);
+  nn::Linear layer(3, 2, &rng);
+  std::vector<nn::Variable> params = layer.Parameters();
+  const nn::Matrix before = params[0].value();
+  nn::Adam optimizer(layer.Parameters(), {.learning_rate = 0.1f});
+  params[0].node()->grad.data()[0] =
+      std::numeric_limits<float>::quiet_NaN();
+  optimizer.Step();
+  EXPECT_EQ(optimizer.skipped_steps(), 1);
+  const nn::Matrix& after = params[0].value();
+  for (int i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before.data()[i], after.data()[i]) << "weights moved";
+  }
+  // A finite gradient afterwards steps normally.
+  optimizer.ZeroGrad();
+  params[0].node()->grad.data()[0] = 1.0f;
+  optimizer.Step();
+  EXPECT_EQ(optimizer.skipped_steps(), 1);
+  EXPECT_NE(params[0].value().data()[0], before.data()[0]);
+}
+
+}  // namespace
+}  // namespace lead
