@@ -5,6 +5,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -50,6 +51,18 @@ inline std::unique_ptr<core::LeadModel> TrainLead(
   std::printf("[train] LEAD wall-clock %.1fs (batch_size=%d)\n", seconds,
               options.train.batch_size);
   return model;
+}
+
+// Appends one JSON object as a single line to `path`. The BENCH_*.json
+// files are JSON-lines logs: successive bench runs accumulate records
+// instead of overwriting each other.
+inline void AppendJsonLine(const std::string& path, const std::string& json) {
+  std::ofstream out(path, std::ios::app);
+  if (!out.good()) {
+    std::fprintf(stderr, "warning: cannot append to %s\n", path.c_str());
+    return;
+  }
+  out << json << "\n";
 }
 
 inline eval::DetectFn LeadDetectFn(const core::LeadModel& model,

@@ -75,5 +75,50 @@ int main() {
       "\nPaper Figure 8 (V100 + Python, seconds): LEAD ~12-25s, SP-GRU and\n"
       "SP-LSTM ~14-33s, SP-R ~33-86s; LEAD fastest in every bucket and the\n"
       "gap widens with more stay points. Compare orderings, not absolutes.\n");
+
+  // Thread sweep for the parallel Detect path: the same trained weights
+  // reloaded with detect.threads in {1, 2, 4, 8}, end-to-end wall-clock
+  // over the full test split, speedup relative to the serial run.
+  // Outputs are bit-identical across thread counts (parallel_parity_test
+  // proves this), so only the wall-clock varies. Records append to
+  // BENCH_parallel.json as JSON lines.
+  const std::string snapshot = "fig8_lead_model_snapshot.bin";
+  if (const Status s = lead_model->Save(snapshot); !s.ok()) {
+    std::fprintf(stderr, "model snapshot failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nParallel Detect sweep (same weights, --threads varied):\n");
+  double serial_seconds = 0.0;
+  for (const int threads : {1, 2, 4, 8}) {
+    core::LeadOptions options = config.lead;
+    options.detect.threads = threads;
+    core::LeadModel model(options);
+    if (const Status s = model.Load(snapshot); !s.ok()) {
+      std::fprintf(stderr, "model reload failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    int detected = 0;
+    const auto start = std::chrono::steady_clock::now();
+    for (const sim::SimulatedDay& day : data.split.test) {
+      auto detection = model.Detect(day.raw, data.world->poi_index());
+      if (detection.ok()) ++detected;
+    }
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    if (threads == 1) serial_seconds = seconds;
+    const double speedup = seconds > 0.0 ? serial_seconds / seconds : 0.0;
+    std::printf("  threads=%d  %6.2fs over %d trajectories  speedup x%.2f\n",
+                threads, seconds, detected, speedup);
+    char record[256];
+    std::snprintf(record, sizeof(record),
+                  "{\"bench\": \"fig8_detect\", \"threads\": %d, "
+                  "\"seconds\": %.4f, \"trajectories\": %d, "
+                  "\"speedup_vs_serial\": %.3f, \"scale\": %.2f}",
+                  threads, seconds, detected, speedup, scale);
+    bench::AppendJsonLine("BENCH_parallel.json", record);
+  }
+  std::remove(snapshot.c_str());
   return 0;
 }

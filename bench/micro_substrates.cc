@@ -5,9 +5,13 @@
 // phase-1 encoding is covered by ablation_shared_encoding).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "core/pipeline.h"
 #include "nn/batch.h"
 #include "nn/lstm.h"
@@ -284,6 +288,64 @@ void BM_LstmTrainBatched(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * batch * kSteps);
 }
 BENCHMARK(BM_LstmTrainBatched)->Arg(16)->Arg(64);
+
+// Thread sweep for the per-trajectory parallel Preprocess path: the full
+// pipeline (noise filter -> stay points -> segmentation -> features with
+// POI radius counts) over a fixed batch of trajectories, fanned out on
+// the shared pool with Arg = lanes; Arg(1) is the serial baseline. The
+// serial per-item time is cached from the Arg(1) run so later args can
+// report speedup, and each run appends a JSON-lines record to
+// BENCH_parallel.json alongside the fig8 Detect sweep.
+void BM_ParallelPreprocess(benchmark::State& state) {
+  const int lanes = static_cast<int>(state.range(0));
+  static const std::vector<traj::RawTrajectory>* batch = [] {
+    auto* trajectories = new std::vector<traj::RawTrajectory>();
+    const sim::TruckSimulator simulator(&TestWorld(), sim::SimOptions(),
+                                        traj::NoiseFilterOptions(),
+                                        traj::StayPointOptions());
+    Rng rng(71);
+    for (int i = 0; i < 16; ++i) {
+      auto day = simulator.SimulateDay("bench", "bench", i, &rng);
+      if (day.has_value()) trajectories->push_back(day->raw);
+    }
+    return trajectories;
+  }();
+  static double serial_per_item = 0.0;
+  const core::PipelineOptions options;
+  double elapsed = 0.0;
+  int64_t items = 0;
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    ThreadPool::Global().ParallelFor(
+        static_cast<int64_t>(batch->size()), lanes, [&](int64_t i) {
+          auto pt = core::ProcessTrajectory(
+              (*batch)[i], TestWorld().poi_index(), options, nullptr);
+          benchmark::DoNotOptimize(pt);
+        });
+    elapsed +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    items += static_cast<int64_t>(batch->size());
+  }
+  const double per_item = items > 0 ? elapsed / static_cast<double>(items)
+                                    : 0.0;
+  if (lanes == 1) serial_per_item = per_item;
+  const double speedup =
+      per_item > 0.0 && serial_per_item > 0.0 ? serial_per_item / per_item
+                                              : 0.0;
+  state.counters["speedup_vs_serial"] = speedup;
+  char record[256];
+  std::snprintf(record, sizeof(record),
+                "{\"bench\": \"micro_preprocess\", \"threads\": %d, "
+                "\"seconds_per_trajectory\": %.6f, "
+                "\"speedup_vs_serial\": %.3f}",
+                lanes, per_item, speedup);
+  std::ofstream("BENCH_parallel.json", std::ios::app) << record << "\n";
+  state.SetItemsProcessed(items);
+}
+BENCHMARK(BM_ParallelPreprocess)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_FullProcessingPipeline(benchmark::State& state) {
   const traj::RawTrajectory& raw = TestTrajectory();

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Repo CI: tier-1 verify (full build + ctest), a fault-injection pass
 # (explicit -DLEAD_FAULT_INJECTION=ON build running the robustness
-# suites), and an ASan/UBSan-instrumented build of the nn-layer and
+# suites), an ASan/UBSan-instrumented build of the nn-layer and
 # io/serialize tests (the batched step kernels, autograd, and binary
-# checkpoint parsing are where memory bugs would hide).
+# checkpoint parsing are where memory bugs would hide), and a TSan build
+# of the multi-threaded suites (parallel parity, resilience under
+# parallel training, and the end-to-end lead tests).
 #
 # Usage: ./ci.sh [--skip-sanitizers]
 set -euo pipefail
@@ -19,7 +21,8 @@ cmake --build build -j
 
 echo "=== fault injection: robustness suites with LEAD_FAULT_INJECTION=ON ==="
 cmake -B build-fault -S . -DLEAD_FAULT_INJECTION=ON >/dev/null
-FAULT_TESTS=(serialize_robustness_test resilience_test io_test gpx_test)
+FAULT_TESTS=(serialize_robustness_test resilience_test parallel_parity_test \
+             io_test gpx_test)
 cmake --build build-fault -j --target "${FAULT_TESTS[@]}"
 for t in "${FAULT_TESTS[@]}"; do
   echo "--- $t (fault injection) ---"
@@ -44,5 +47,22 @@ cmake --build build-asan -j --target "${NN_TESTS[@]}"
 for t in "${NN_TESTS[@]}"; do
   echo "--- $t (ASan/UBSan) ---"
   "./build-asan/tests/$t"
+done
+
+echo "=== sanitizers: TSan build of the multi-threaded suites ==="
+# -O1 keeps TSan's ~10x slowdown tolerable on the training-heavy suites;
+# fault injection stays ON so the rollback/checkpoint paths run under the
+# race detector too. halt_on_error turns any report into a hard failure.
+TSAN_FLAGS="-fsanitize=thread -O1 -g -fno-omit-frame-pointer"
+cmake -B build-tsan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DLEAD_FAULT_INJECTION=ON \
+  -DCMAKE_CXX_FLAGS="$TSAN_FLAGS" \
+  -DCMAKE_EXE_LINKER_FLAGS="$TSAN_FLAGS" >/dev/null
+TSAN_TESTS=(parallel_parity_test resilience_test poi_test lead_test)
+cmake --build build-tsan -j --target "${TSAN_TESTS[@]}"
+for t in "${TSAN_TESTS[@]}"; do
+  echo "--- $t (TSan) ---"
+  TSAN_OPTIONS="halt_on_error=1" "./build-tsan/tests/$t"
 done
 echo "=== ci.sh: all green ==="

@@ -4,10 +4,11 @@
 //       Generates a synthetic HCT corpus (trajectories.csv, pois.csv,
 //       labels.csv) into DIR.
 //   lead_cli train --data DIR --model FILE [--ae-epochs N]
-//       [--det-epochs N] [--lr X] [--seed S]
+//       [--det-epochs N] [--lr X] [--seed S] [--threads N]
 //       Trains a LEAD model on the corpus in DIR (truck-disjoint 8:1:1
-//       split) and writes the checkpoint to FILE.
-//   lead_cli detect --data DIR --model FILE [--trajectory ID]
+//       split) and writes the checkpoint to FILE. --threads 0 (default)
+//       uses all hardware threads; any value gives bit-identical results.
+//   lead_cli detect --data DIR --model FILE [--trajectory ID] [--threads N]
 //       Detects the loaded trajectory of one trajectory (default: the
 //       first) and prints the candidate distribution.
 //   lead_cli evaluate --data DIR --model FILE
@@ -168,6 +169,10 @@ core::LeadOptions CliLeadOptions(const Flags& flags) {
   options.train.seed =
       std::strtoull(FlagOr(flags, "seed", "42").c_str(), nullptr, 10);
   options.train.verbose = FlagOr(flags, "verbose", "0") == "1";
+  // <= 0 (the default) resolves to hardware_concurrency; results are
+  // bit-identical for every thread count.
+  options.train.threads = std::atoi(FlagOr(flags, "threads", "0").c_str());
+  options.detect.threads = options.train.threads;
   return options;
 }
 

@@ -60,12 +60,34 @@ class Rng {
   // perturb this stream.
   Rng Split() { return Rng(engine_()); }
 
+  // Derives the stream for item `index` of the domain identified by
+  // `seed` via SplitMix64. Unlike Split(), the result depends only on
+  // (seed, index) — never on how many draws other code made before —
+  // so per-item streams stay stable under reordering or parallel
+  // execution (DESIGN.md §"Parallel execution and determinism").
+  static Rng ForStream(uint64_t seed, uint64_t index);
+
   std::mt19937_64& engine() { return engine_; }
 
  private:
   std::mt19937_64 engine_;
 };
 
+// SplitMix64 finalizer (Steele et al., "Fast splittable pseudorandom
+// number generators"): bijective avalanche mix used to derive unrelated
+// seeds from structured inputs like (base_seed, item_index).
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+inline Rng Rng::ForStream(uint64_t seed, uint64_t index) {
+  return Rng(SplitMix64(SplitMix64(seed) ^ SplitMix64(index)));
+}
+
 }  // namespace lead
 
 #endif  // LEAD_COMMON_RNG_H_
+

@@ -1,0 +1,126 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/check.h"
+
+namespace lead {
+
+namespace {
+// Set while the thread is executing a block on behalf of some
+// ParallelFor; nested parallel calls run inline instead of re-entering
+// the queue (which could deadlock when every worker is a waiter).
+thread_local bool in_parallel_region = false;
+}  // namespace
+
+ThreadPool::ThreadPool(int num_workers) {
+  LEAD_CHECK_GE(num_workers, 0);
+  workers_.reserve(num_workers);
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = [] {
+    const int hw = static_cast<int>(std::thread::hardware_concurrency());
+    // At least 8 lanes so thread-count sweeps (parity tests, benches)
+    // exercise real cross-thread execution on any machine.
+    return new ThreadPool(std::max(hw - 1, 7));
+  }();
+  return *pool;
+}
+
+bool ThreadPool::OnWorkerThread() const { return in_parallel_region; }
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    in_parallel_region = true;
+    task();
+    in_parallel_region = false;
+  }
+}
+
+void ThreadPool::ParallelForBlocks(
+    int64_t n, int lanes,
+    const std::function<void(int64_t begin, int64_t end, int lane)>& fn) {
+  if (n <= 0) return;
+  lanes = std::clamp<int64_t>(lanes, 1, n);
+  if (lanes == 1 || in_parallel_region) {
+    fn(0, n, 0);
+    return;
+  }
+
+  // One completion latch per call; blocks signal it as they retire.
+  struct Latch {
+    std::mutex m;
+    std::condition_variable done;
+    int remaining;
+  };
+  Latch latch;
+  latch.remaining = lanes - 1;
+
+  auto block_bounds = [n, lanes](int lane) {
+    return std::pair<int64_t, int64_t>{n * lane / lanes,
+                                       n * (lane + 1) / lanes};
+  };
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (int lane = 1; lane < lanes; ++lane) {
+      const auto [begin, end] = block_bounds(lane);
+      queue_.push_back([&fn, &latch, begin, end, lane] {
+        fn(begin, end, lane);
+        // Notify while holding the latch mutex: the waiter destroys the
+        // stack-allocated latch as soon as it observes remaining == 0,
+        // which it cannot do before this thread releases the lock.
+        std::lock_guard<std::mutex> lock(latch.m);
+        --latch.remaining;
+        latch.done.notify_one();
+      });
+    }
+  }
+  work_ready_.notify_all();
+
+  const auto [begin, end] = block_bounds(0);
+  const bool was_in_region = in_parallel_region;
+  in_parallel_region = true;  // nested calls from lane 0 also run inline
+  fn(begin, end, 0);
+  in_parallel_region = was_in_region;
+
+  std::unique_lock<std::mutex> lock(latch.m);
+  latch.done.wait(lock, [&latch] { return latch.remaining == 0; });
+}
+
+void ThreadPool::ParallelFor(int64_t n, int lanes,
+                             const std::function<void(int64_t i)>& fn) {
+  ParallelForBlocks(n, lanes,
+                    [&fn](int64_t begin, int64_t end, int /*lane*/) {
+                      for (int64_t i = begin; i < end; ++i) fn(i);
+                    });
+}
+
+int ResolveThreads(int requested) {
+  if (requested > 0) return requested;
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  return std::max(hw, 1);
+}
+
+}  // namespace lead

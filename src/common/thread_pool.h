@@ -1,0 +1,82 @@
+// Fixed-size thread pool with deterministic parallel-for.
+//
+// Design constraints (DESIGN.md §"Parallel execution and determinism"):
+//  - No work stealing: ParallelFor splits [0, n) into `lanes` contiguous
+//    blocks, block b = [b*n/lanes, (b+1)*n/lanes). Lane 0 always runs on
+//    the calling thread; lanes 1.. are submitted to the shared pool as
+//    whole blocks. Which OS thread executes a block never affects the
+//    result because blocks only write lane- or index-private state;
+//    reductions happen on the calling thread in a fixed order.
+//  - lanes <= 1 (or n <= 1, or a call from inside a pool worker) runs
+//    inline on the caller with zero synchronization, so `threads = 1`
+//    degenerates to the serial code path exactly.
+//  - The pool is a process-wide singleton of fixed size, created on first
+//    use. Its size caps how many blocks can run concurrently, not the
+//    number of blocks: a ParallelFor with more lanes than workers still
+//    completes (excess blocks queue in FIFO submission order).
+#ifndef LEAD_COMMON_THREAD_POOL_H_
+#define LEAD_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lead {
+
+class ThreadPool {
+ public:
+  // Spawns `num_workers` worker threads (>= 0). The caller participates
+  // in every ParallelFor as lane 0, so the effective parallelism of a
+  // call is min(lanes, num_workers + 1).
+  explicit ThreadPool(int num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  // Process-wide pool. Sized so that parity tests can exercise real
+  // cross-thread execution even on small machines: at least 7 workers
+  // (8 lanes) and at least hardware_concurrency - 1. Idle workers cost
+  // nothing but a blocked thread.
+  static ThreadPool& Global();
+
+  // Invokes fn(begin, end, lane) once per lane over the contiguous block
+  // partition of [0, n). Lane 0 runs on the calling thread; the call
+  // returns after every lane finished. `lanes` is clamped to [1, n].
+  // fn must not throw.
+  void ParallelForBlocks(
+      int64_t n, int lanes,
+      const std::function<void(int64_t begin, int64_t end, int lane)>& fn);
+
+  // Element-wise convenience: fn(i) for every i in [0, n), same block
+  // partition and execution rules as ParallelForBlocks.
+  void ParallelFor(int64_t n, int lanes,
+                   const std::function<void(int64_t i)>& fn);
+
+  // True when the calling thread is one of this pool's workers (nested
+  // ParallelFor calls then run inline to avoid deadlock).
+  bool OnWorkerThread() const;
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+// Resolves a user-facing thread-count knob: <= 0 means "use the
+// hardware", otherwise the value itself.
+int ResolveThreads(int requested);
+
+}  // namespace lead
+
+#endif  // LEAD_COMMON_THREAD_POOL_H_

@@ -1,15 +1,19 @@
 #include "core/features.h"
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace lead::core {
 
 std::vector<std::vector<float>> ExtractPointFeatures(
     const traj::RawTrajectory& trajectory, const poi::PoiIndex& poi_index,
     const FeatureOptions& options) {
-  std::vector<std::vector<float>> rows;
-  rows.reserve(trajectory.points.size());
-  for (const traj::GpsPoint& p : trajectory.points) {
+  const int n = static_cast<int>(trajectory.points.size());
+  std::vector<std::vector<float>> rows(n);
+  // PoiIndex is immutable after construction, so the radius queries are
+  // safe to issue concurrently; each lane fills a disjoint row range.
+  ThreadPool::Global().ParallelFor(n, options.threads, [&](int64_t i) {
+    const traj::GpsPoint& p = trajectory.points[i];
     std::vector<float> row(kFeatureDims, 0.0f);
     row[0] = static_cast<float>(p.pos.lat);
     row[1] = static_cast<float>(p.pos.lng);
@@ -21,8 +25,8 @@ std::vector<std::vector<float>> ExtractPointFeatures(
         row[kSpatioTemporalDims + c] = static_cast<float>(counts[c]);
       }
     }
-    rows.push_back(std::move(row));
-  }
+    rows[i] = std::move(row);
+  });
   return rows;
 }
 

@@ -24,6 +24,10 @@ struct FeatureOptions {
   // LEAD-NoPoi: replace the POI block with zero padding, keeping the
   // feature dimension constant (paper §VI-A variant 1).
   bool use_poi = true;
+  // Lanes for the per-point POI radius queries (the dominant cost). Each
+  // point's row is written to its own slot, so any thread count produces
+  // identical output. 1 = fully serial.
+  int threads = 1;
 };
 
 // Raw (unnormalized) feature rows for every point of a trajectory.

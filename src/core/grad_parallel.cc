@@ -1,0 +1,118 @@
+#include "core/grad_parallel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+
+namespace lead::core {
+namespace {
+
+void AddInto(nn::Matrix* dst, const nn::Matrix& src) {
+  LEAD_CHECK(dst->SameShape(src));
+  float* d = dst->data();
+  const float* s = src.data();
+  for (int i = 0; i < dst->size(); ++i) d[i] += s[i];
+}
+
+// Copies the master's parameter values into the replica (shapes are
+// identical by construction: same options, same registration order).
+void SyncWeights(const nn::Module& master, nn::Module* replica) {
+  const std::vector<nn::Variable> src = master.Parameters();
+  std::vector<nn::Variable> dst = replica->Parameters();
+  LEAD_CHECK_EQ(src.size(), dst.size());
+  for (size_t i = 0; i < src.size(); ++i) {
+    dst[i].mutable_value() = src[i].value();
+  }
+}
+
+}  // namespace
+
+ShardedGradAccumulator::ShardedGradAccumulator(
+    nn::Module* master,
+    std::function<std::unique_ptr<nn::Module>()> make_replica)
+    : master_(master), make_replica_(std::move(make_replica)) {
+  LEAD_CHECK(master_ != nullptr);
+}
+
+ShardedGradAccumulator::~ShardedGradAccumulator() = default;
+
+std::vector<float> ShardedGradAccumulator::AccumulateGrads(
+    int num_samples, int threads,
+    const std::function<nn::Variable(nn::Module* m, int begin, int end)>&
+        shard_loss) {
+  LEAD_CHECK_GT(num_samples, 0);
+  const int num_shards =
+      (num_samples + kGradShardSize - 1) / kGradShardSize;
+
+  // Single shard: the batch is small enough that the decomposition is the
+  // identity; run the plain backward the serial code always ran.
+  if (num_shards == 1) {
+    const nn::Variable loss = shard_loss(master_, 0, num_samples);
+    const float value = loss.value().at(0, 0);
+    if (std::isfinite(value)) nn::Backward(loss);
+    return {value};
+  }
+
+  const int lanes = std::clamp(threads, 1, num_shards);
+  while (static_cast<int>(replicas_.size()) < lanes - 1) {
+    replicas_.push_back(make_replica_());
+  }
+  for (int lane = 1; lane < lanes; ++lane) {
+    SyncWeights(*master_, replicas_[lane - 1].get());
+  }
+
+  std::vector<nn::Variable> master_params = master_->Parameters();
+  std::vector<std::vector<nn::Matrix>> shard_grads(num_shards);
+  std::vector<float> shard_values(num_shards);
+
+  ThreadPool::Global().ParallelForBlocks(
+      num_shards, lanes, [&](int64_t s_begin, int64_t s_end, int lane) {
+        nn::Module* m =
+            lane == 0 ? master_ : replicas_[lane - 1].get();
+        const std::vector<nn::Variable> params = m->Parameters();
+        for (int64_t s = s_begin; s < s_end; ++s) {
+          const int begin = static_cast<int>(s) * kGradShardSize;
+          const int end =
+              std::min(num_samples, begin + kGradShardSize);
+          const nn::Variable loss = shard_loss(m, begin, end);
+          const float value = loss.value().at(0, 0);
+          shard_values[s] = value;
+          std::vector<nn::Matrix>& grads = shard_grads[s];
+          grads.reserve(params.size());
+          if (std::isfinite(value)) {
+            nn::Backward(loss);
+            for (const nn::Variable& p : params) {
+              grads.push_back(p.grad());
+            }
+            m->ZeroGrad();
+          } else {
+            // Poisoned shard: a zero contribution keeps the reduction
+            // shape uniform; the caller aborts the epoch on the value.
+            for (const nn::Variable& p : params) {
+              grads.push_back(
+                  nn::Matrix::Zeros(p.rows(), p.cols()));
+            }
+          }
+        }
+      });
+
+  // Fixed-order pairwise tree reduction over shard index: stride
+  // doubling sums shard s+stride into shard s. The order depends only on
+  // num_shards, so every thread count produces identical bits.
+  for (int stride = 1; stride < num_shards; stride *= 2) {
+    for (int s = 0; s + stride < num_shards; s += 2 * stride) {
+      for (size_t p = 0; p < master_params.size(); ++p) {
+        AddInto(&shard_grads[s][p], shard_grads[s + stride][p]);
+      }
+    }
+  }
+  for (size_t p = 0; p < master_params.size(); ++p) {
+    master_params[p].mutable_grad() = std::move(shard_grads[0][p]);
+  }
+  return shard_values;
+}
+
+}  // namespace lead::core

@@ -1,0 +1,70 @@
+// Data-parallel gradient accumulation with a fixed-order tree reduction.
+//
+// One optimizer step's mini-batch is decomposed into fixed-size shards
+// (the decomposition depends only on the sample count, never on the
+// thread count). Each shard's loss graph is built and differentiated in
+// isolation — on the master module for lane 0, on an
+// architecture-identical replica for every other lane — and the per-shard
+// parameter gradients are captured into private buffers. The buffers are
+// then summed by a pairwise tree in shard order on the calling thread and
+// installed into the master's parameter gradients, so the final gradient
+// is bit-identical for every thread count, including 1
+// (DESIGN.md §"Parallel execution and determinism").
+//
+// The single-shard case short-circuits: backward runs directly on the
+// master and produces the exact bits the capture + reduce path would
+// (backward accumulates into zeroed gradients in graph order either way).
+#ifndef LEAD_CORE_GRAD_PARALLEL_H_
+#define LEAD_CORE_GRAD_PARALLEL_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nn/matrix.h"
+#include "nn/module.h"
+
+namespace lead::core {
+
+// Mini-batch samples per gradient shard. Fixed (never derived from the
+// thread count) so the shard decomposition — and therefore every float —
+// is identical no matter how many threads execute it. Batches of at most
+// this many samples keep the seed code path's exact numerics.
+inline constexpr int kGradShardSize = 16;
+
+// Drives sharded backward passes for one training stage. The factory is
+// invoked lazily, once per extra lane ever used; replicas are reused
+// across steps and re-synced to the master's weights at every step.
+class ShardedGradAccumulator {
+ public:
+  // `master` must outlive the accumulator. `make_replica` constructs an
+  // architecture-identical module (its init weights are irrelevant; they
+  // are overwritten by the per-step sync).
+  ShardedGradAccumulator(
+      nn::Module* master,
+      std::function<std::unique_ptr<nn::Module>()> make_replica);
+  ~ShardedGradAccumulator();
+
+  // Computes the gradient of
+  //     sum over shards s of shard_loss(module, begin_s, end_s)
+  // where [begin_s, end_s) tiles [0, num_samples) in kGradShardSize
+  // chunks, leaving the reduced gradient in the master's parameters
+  // (which must hold zero gradients on entry, as after StepAndZeroGrad).
+  // Returns each shard's scalar loss value in shard order. A non-finite
+  // shard loss contributes no gradient (its backward is skipped); the
+  // caller detects poisoning from the returned values. `threads` bounds
+  // the lanes used; 1 runs everything inline on the caller.
+  std::vector<float> AccumulateGrads(
+      int num_samples, int threads,
+      const std::function<nn::Variable(nn::Module* m, int begin, int end)>&
+          shard_loss);
+
+ private:
+  nn::Module* master_;
+  std::function<std::unique_ptr<nn::Module>()> make_replica_;
+  std::vector<std::unique_ptr<nn::Module>> replicas_;  // replicas_[lane-1]
+};
+
+}  // namespace lead::core
+
+#endif  // LEAD_CORE_GRAD_PARALLEL_H_

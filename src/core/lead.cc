@@ -15,7 +15,9 @@
 #include "common/check.h"
 #include "common/crc32.h"
 #include "common/fault.h"
+#include "common/thread_pool.h"
 #include "core/batching.h"
+#include "core/grad_parallel.h"
 #include "core/grouping.h"
 #include "nn/batch.h"
 #include "nn/ops.h"
@@ -138,22 +140,46 @@ Status LeadModel::Prepare(const std::vector<LabeledRawTrajectory>& labeled,
                           const poi::PoiIndex& poi_index,
                           bool fit_normalizer,
                           std::vector<PreparedSample>* out) {
-  // First pass: pipeline without normalization.
-  out->clear();
-  out->reserve(labeled.size());
-  for (const LabeledRawTrajectory& sample : labeled) {
-    auto processed = ProcessTrajectory(sample.raw, poi_index,
-                                       options_.pipeline, nullptr);
-    if (!processed.ok()) return processed.status();
+  const int threads = ResolveThreads(options_.train.threads);
+  PipelineOptions popt = options_.pipeline;
+  // Within one trajectory the per-point POI queries parallelize too; the
+  // nested ParallelFor runs inline on whichever lane processes the
+  // trajectory, so the two levels never oversubscribe the pool.
+  popt.features.threads = threads;
+  const int n = static_cast<int>(labeled.size());
+
+  // First pass: pipeline without normalization. Trajectories are
+  // independent, so lanes fill indexed slots; the first failure in sample
+  // order wins, matching the serial loop's error.
+  std::vector<std::unique_ptr<ProcessedTrajectory>> slots(n);
+  std::vector<Status> statuses(n);
+  ThreadPool::Global().ParallelFor(n, threads, [&](int64_t i) {
+    const LabeledRawTrajectory& sample = labeled[i];
+    auto processed = ProcessTrajectory(sample.raw, poi_index, popt, nullptr);
+    if (!processed.ok()) {
+      statuses[i] = processed.status();
+      return;
+    }
     if (sample.loaded.end_sp >= processed->num_stays()) {
-      return InvalidArgumentError(
+      statuses[i] = InvalidArgumentError(
           "label stay index out of range for trajectory " +
           sample.raw.trajectory_id +
           " (label derived with different pipeline options?)");
+      return;
     }
-    out->push_back(PreparedSample{*std::move(processed), sample.loaded});
+    slots[i] = std::make_unique<ProcessedTrajectory>(*std::move(processed));
+  });
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+  out->clear();
+  out->reserve(n);
+  for (int i = 0; i < n; ++i) {
+    out->push_back(PreparedSample{std::move(*slots[i]), labeled[i].loaded});
   }
   if (fit_normalizer) {
+    // Moment accumulation stays serial and in sample order so the fitted
+    // statistics are bit-identical for every thread count.
     std::vector<std::vector<float>> rows;
     for (const PreparedSample& s : *out) {
       for (int r = 0; r < s.pt.features.rows(); ++r) {
@@ -166,15 +192,16 @@ Status LeadModel::Prepare(const std::vector<LabeledRawTrajectory>& labeled,
   if (!normalizer_.fitted()) {
     return FailedPreconditionError("normalizer not fitted");
   }
-  // Second pass: standardize in place.
-  for (PreparedSample& s : *out) {
+  // Second pass: standardize in place (disjoint per-sample writes).
+  ThreadPool::Global().ParallelFor(n, threads, [&](int64_t i) {
+    PreparedSample& s = (*out)[i];
     for (int r = 0; r < s.pt.features.rows(); ++r) {
       std::vector<float> row(s.pt.features.row(r),
                              s.pt.features.row(r) + s.pt.features.cols());
       normalizer_.Apply(&row);
       std::copy(row.begin(), row.end(), s.pt.features.row(r));
     }
-  }
+  });
   return Status::Ok();
 }
 
@@ -288,29 +315,52 @@ Status LeadModel::TrainAutoencoder(
     const std::vector<PreparedSample>& validation, int start_epoch,
     TrainingLog* log, const TrainCheckpointFn& checkpoint) {
   const TrainOptions& topt = options_.train;
-  Rng rng(topt.seed ^ 0xae0001);
+  const int threads = ResolveThreads(topt.threads);
 
   // Candidate subsampler (see TrainOptions::max_candidates_per_trajectory).
-  auto sample_candidates = [&](const PreparedSample& s, Rng* r) {
+  // Each (domain, trajectory-index) pair owns a SplitMix64-derived stream,
+  // so the selection depends only on the seed and the indices — never on
+  // how many draws other trajectories made — and stays stable under
+  // reordering or parallel execution.
+  auto sample_candidates = [&](const PreparedSample& s, uint64_t domain,
+                               uint64_t index) {
     std::vector<traj::Candidate> cands = s.pt.candidates;
     const int cap = topt.max_candidates_per_trajectory;
     if (cap > 0 && static_cast<int>(cands.size()) > cap) {
-      r->Shuffle(&cands);
+      Rng r = Rng::ForStream(domain, index);
+      r.Shuffle(&cands);
       cands.resize(cap);
     }
     return cands;
   };
 
+  ShardedGradAccumulator accumulator(
+      autoencoder_.get(), [this]() -> std::unique_ptr<nn::Module> {
+        Rng init(0);  // replica init weights are overwritten by the sync
+        return std::make_unique<HierarchicalAutoencoder>(
+            options_.autoencoder, &init);
+      });
+
+  // Counts train_epoch invocations (including sentinel retries) so every
+  // epoch attempt draws fresh subsample/shuffle streams; starting at the
+  // resume cursor keeps a resumed run on the uninterrupted run's streams.
+  int epoch_ticket = start_epoch;
+
   auto train_epoch = [&](nn::Optimizer* optimizer) -> float {
     // Collect this epoch's (trajectory, candidate) pairs and shuffle them
     // across trajectories (paper: all f-seqs are shuffled for training).
+    const uint64_t epoch_domain =
+        SplitMix64(topt.seed ^ 0xae0001) +
+        static_cast<uint64_t>(epoch_ticket++);
     std::vector<std::pair<int, traj::Candidate>> samples;
     for (int i = 0; i < static_cast<int>(training.size()); ++i) {
-      for (const traj::Candidate& c : sample_candidates(training[i], &rng)) {
+      for (const traj::Candidate& c :
+           sample_candidates(training[i], epoch_domain, i)) {
         samples.emplace_back(i, c);
       }
     }
-    rng.Shuffle(&samples);
+    Rng shuffle_rng = Rng::ForStream(epoch_domain, 0xffffffffull);
+    shuffle_rng.Shuffle(&samples);
 
     double epoch_loss = 0.0;
     const float inv_b = 1.0f / static_cast<float>(topt.batch_size);
@@ -318,48 +368,78 @@ Status LeadModel::TrainAutoencoder(
          begin += static_cast<size_t>(topt.batch_size)) {
       const size_t end = std::min(
           samples.size(), begin + static_cast<size_t>(topt.batch_size));
-      std::vector<CandidateBatchItem> batch;
-      batch.reserve(end - begin);
-      for (size_t i = begin; i < end; ++i) {
-        batch.push_back({&training[samples[i].first].pt, samples[i].second});
+      const int chunk_n = static_cast<int>(end - begin);
+      const int num_shards =
+          (chunk_n + kGradShardSize - 1) / kGradShardSize;
+      std::vector<float> shard_mse(num_shards);
+      accumulator.AccumulateGrads(
+          chunk_n, threads,
+          [&](nn::Module* m, int s_begin, int s_end) {
+            auto* ae = static_cast<HierarchicalAutoencoder*>(m);
+            std::vector<CandidateBatchItem> batch;
+            batch.reserve(s_end - s_begin);
+            for (int i = s_begin; i < s_end; ++i) {
+              const auto& [ti, cand] = samples[begin + i];
+              batch.push_back({&training[ti].pt, cand});
+            }
+            const nn::Variable loss = ae->ReconstructionLossBatch(batch);
+            shard_mse[s_begin / kGradShardSize] = loss.value().at(0, 0);
+            // shard / batch_size rescales the shard mean back to a
+            // per-sample weight of 1/batch_size, so a partial final shard
+            // contributes the same gradient as a full one.
+            return nn::ScalarMul(
+                loss, static_cast<float>(s_end - s_begin) * inv_b);
+          });
+      // A poisoned shard loss means the weights are already bad; drop the
+      // accumulated gradient, skip the rest of the epoch, and let the
+      // sentinel roll back.
+      bool poisoned = false;
+      for (int s = 0; s < num_shards; ++s) {
+        if (!std::isfinite(shard_mse[s])) poisoned = true;
       }
-      const float chunk = static_cast<float>(batch.size());
-      const nn::Variable loss = autoencoder_->ReconstructionLossBatch(batch);
-      const float chunk_mse = loss.value().at(0, 0);
-      // A poisoned chunk loss means the weights are already bad; skip the
-      // rest of the epoch and let the sentinel roll back.
-      if (!std::isfinite(chunk_mse)) {
+      if (poisoned) {
+        autoencoder_->ZeroGrad();
         return std::numeric_limits<float>::quiet_NaN();
       }
-      epoch_loss += static_cast<double>(chunk_mse) * chunk;
-      // chunk / batch_size rescales the chunk mean back to a per-sample
-      // weight of 1/batch_size, so a partial final chunk contributes the
-      // same gradient as the retired sample-at-a-time loop.
-      nn::Backward(nn::ScalarMul(loss, chunk * inv_b));
+      for (int s = 0; s < num_shards; ++s) {
+        const int shard_n = std::min(chunk_n, (s + 1) * kGradShardSize) -
+                            s * kGradShardSize;
+        epoch_loss += static_cast<double>(shard_mse[s]) * shard_n;
+      }
       optimizer->StepAndZeroGrad();
     }
     return samples.empty() ? 0.0f
                            : static_cast<float>(epoch_loss / samples.size());
   };
 
-  // Validation MSE (same subsampling policy, deterministic).
+  // Validation MSE (same subsampling policy, deterministic). Samples are
+  // scored concurrently into indexed slots and reduced in sample order,
+  // so the result is bit-identical for every thread count.
   auto validation_loss = [&](float train_mse) -> float {
     if (validation.empty()) return train_mse;
-    nn::NoGradGuard no_grad;
-    Rng val_rng(topt.seed ^ 0xae0002);
-    double total = 0.0;
-    int count = 0;
-    for (const PreparedSample& s : validation) {
+    const uint64_t val_domain = topt.seed ^ 0xae0002;
+    const int vn = static_cast<int>(validation.size());
+    std::vector<double> totals(vn, 0.0);
+    std::vector<int> counts(vn, 0);
+    ThreadPool::Global().ParallelFor(vn, threads, [&](int64_t i) {
+      nn::NoGradGuard no_grad;  // thread-local: every lane needs its own
+      const PreparedSample& s = validation[i];
       std::vector<CandidateBatchItem> batch;
-      for (const traj::Candidate& c : sample_candidates(s, &val_rng)) {
+      for (const traj::Candidate& c : sample_candidates(s, val_domain, i)) {
         batch.push_back({&s.pt, c});
       }
-      if (batch.empty()) continue;
-      total += static_cast<double>(autoencoder_->ReconstructionLossBatch(batch)
-                                       .value()
-                                       .at(0, 0)) *
-               static_cast<double>(batch.size());
-      count += static_cast<int>(batch.size());
+      if (batch.empty()) return;
+      totals[i] = static_cast<double>(
+                      autoencoder_->ReconstructionLossBatch(batch).value().at(
+                          0, 0)) *
+                  static_cast<double>(batch.size());
+      counts[i] = static_cast<int>(batch.size());
+    });
+    double total = 0.0;
+    int count = 0;
+    for (int i = 0; i < vn; ++i) {
+      total += totals[i];
+      count += counts[i];
     }
     return count > 0 ? static_cast<float>(total / count) : train_mse;
   };
@@ -407,22 +487,27 @@ Status LeadModel::TrainDetectors(
     }
     return out;
   };
+  const int threads = ResolveThreads(topt.threads);
   auto cache = [&](const std::vector<PreparedSample>& samples) {
-    std::vector<CachedSample> cached;
-    cached.reserve(samples.size());
-    for (const PreparedSample& s : samples) {
-      CachedSample c;
-      c.num_stays = s.pt.num_stays();
-      c.loaded = s.loaded;
-      c.cvecs = EncodeCandidates(s.pt);
-      if (options_.use_grouping) {
-        c.fwd_groups = subgroup_matrices(c.cvecs, c.num_stays,
-                                         ForwardGroups(c.num_stays));
-        c.bwd_groups = subgroup_matrices(c.cvecs, c.num_stays,
-                                         BackwardGroups(c.num_stays));
-      }
-      cached.push_back(std::move(c));
-    }
+    // Frozen-compressor inference per sample; samples are independent and
+    // fill indexed slots (EncodeCandidates installs its own NoGradGuard
+    // on whichever lane runs it).
+    std::vector<CachedSample> cached(samples.size());
+    ThreadPool::Global().ParallelFor(
+        static_cast<int64_t>(samples.size()), threads, [&](int64_t i) {
+          const PreparedSample& s = samples[i];
+          CachedSample c;
+          c.num_stays = s.pt.num_stays();
+          c.loaded = s.loaded;
+          c.cvecs = EncodeCandidates(s.pt);
+          if (options_.use_grouping) {
+            c.fwd_groups = subgroup_matrices(c.cvecs, c.num_stays,
+                                             ForwardGroups(c.num_stays));
+            c.bwd_groups = subgroup_matrices(c.cvecs, c.num_stays,
+                                             BackwardGroups(c.num_stays));
+          }
+          cached[i] = std::move(c);
+        });
     return cached;
   };
   const std::vector<CachedSample> train_cached = cache(training);
@@ -485,13 +570,14 @@ Status LeadModel::TrainDetectors(
 
   // Sum of the chunk's per-sample BCE losses: one MLP forward over the
   // chunk's stacked c-vecs, then per-sample row slices.
-  auto mlp_chunk_loss = [&](const std::vector<const CachedSample*>& chunk) {
+  auto mlp_chunk_loss = [&](MlpScorer* scorer,
+                            const std::vector<const CachedSample*>& chunk) {
     std::vector<nn::Variable> rows;
     rows.reserve(chunk.size());
     for (const CachedSample* s : chunk) {
       rows.push_back(nn::Variable::Constant(s->cvecs));
     }
-    const nn::Variable probs = mlp_scorer_->Forward(nn::ConcatRows(rows));
+    const nn::Variable probs = scorer->Forward(nn::ConcatRows(rows));
     nn::Variable total;
     int row = 0;
     for (const CachedSample* s : chunk) {
@@ -508,11 +594,15 @@ Status LeadModel::TrainDetectors(
   };
 
   // Mini-batch training loop via the resilient stage harness. chunk_loss
-  // returns the SUM of the chunk's per-sample losses; scaling by
+  // returns the SUM of the chunk's per-sample losses against the given
+  // module (the master or a gradient-shard replica); scaling by
   // 1/batch_size keeps the per-sample gradient weight of the retired
   // simulated-batch loop.
   auto run = [&](nn::Module* module,
+                 const std::function<std::unique_ptr<nn::Module>()>&
+                     make_replica,
                  const std::function<nn::Variable(
+                     nn::Module*,
                      const std::vector<const CachedSample*>&)>& chunk_loss,
                  std::vector<float>* train_curve,
                  std::vector<float>* val_curve, const char* tag,
@@ -522,6 +612,7 @@ Status LeadModel::TrainDetectors(
     std::vector<int> order(train_cached.size());
     std::iota(order.begin(), order.end(), 0);
     const float inv_b = 1.0f / static_cast<float>(topt.batch_size);
+    ShardedGradAccumulator accumulator(module, make_replica);
 
     auto train_epoch = [&](nn::Optimizer* optimizer) -> float {
       rng.Shuffle(&order);
@@ -530,18 +621,33 @@ Status LeadModel::TrainDetectors(
            begin += static_cast<size_t>(topt.batch_size)) {
         const size_t end = std::min(
             order.size(), begin + static_cast<size_t>(topt.batch_size));
-        std::vector<const CachedSample*> chunk;
-        chunk.reserve(end - begin);
-        for (size_t i = begin; i < end; ++i) {
-          chunk.push_back(&train_cached[order[i]]);
+        const int chunk_n = static_cast<int>(end - begin);
+        const int num_shards =
+            (chunk_n + kGradShardSize - 1) / kGradShardSize;
+        std::vector<float> shard_sum(num_shards);
+        accumulator.AccumulateGrads(
+            chunk_n, threads,
+            [&](nn::Module* m, int s_begin, int s_end) {
+              std::vector<const CachedSample*> shard;
+              shard.reserve(s_end - s_begin);
+              for (int i = s_begin; i < s_end; ++i) {
+                shard.push_back(&train_cached[order[begin + i]]);
+              }
+              const nn::Variable loss = chunk_loss(m, shard);
+              shard_sum[s_begin / kGradShardSize] = loss.value().at(0, 0);
+              return nn::ScalarMul(loss, inv_b);
+            });
+        bool poisoned = false;
+        for (int s = 0; s < num_shards; ++s) {
+          if (!std::isfinite(shard_sum[s])) poisoned = true;
         }
-        const nn::Variable loss = chunk_loss(chunk);
-        const float chunk_sum = loss.value().at(0, 0);
-        if (!std::isfinite(chunk_sum)) {
+        if (poisoned) {
+          module->ZeroGrad();
           return std::numeric_limits<float>::quiet_NaN();
         }
-        epoch_loss += static_cast<double>(chunk_sum);
-        nn::Backward(nn::ScalarMul(loss, inv_b));
+        for (int s = 0; s < num_shards; ++s) {
+          epoch_loss += static_cast<double>(shard_sum[s]);
+        }
         optimizer->StepAndZeroGrad();
       }
       return train_cached.empty()
@@ -549,21 +655,27 @@ Status LeadModel::TrainDetectors(
                  : static_cast<float>(epoch_loss / train_cached.size());
     };
 
+    // Chunks are scored concurrently against the frozen master (read-only
+    // forwards under per-lane NoGradGuards) and reduced in chunk order.
     auto validation_loss = [&](float train_loss) -> float {
       if (val_cached.empty()) return train_loss;
-      nn::NoGradGuard no_grad;
-      double total = 0.0;
-      for (size_t begin = 0; begin < val_cached.size();
-           begin += static_cast<size_t>(topt.batch_size)) {
-        const size_t end = std::min(
-            val_cached.size(), begin + static_cast<size_t>(topt.batch_size));
+      const size_t b = static_cast<size_t>(topt.batch_size);
+      const int64_t num_chunks =
+          static_cast<int64_t>((val_cached.size() + b - 1) / b);
+      std::vector<double> chunk_totals(num_chunks, 0.0);
+      ThreadPool::Global().ParallelFor(num_chunks, threads, [&](int64_t k) {
+        nn::NoGradGuard no_grad;
+        const size_t begin = static_cast<size_t>(k) * b;
+        const size_t end = std::min(val_cached.size(), begin + b);
         std::vector<const CachedSample*> chunk;
         chunk.reserve(end - begin);
         for (size_t i = begin; i < end; ++i) {
           chunk.push_back(&val_cached[i]);
         }
-        total += chunk_loss(chunk).value().at(0, 0);
-      }
+        chunk_totals[k] = chunk_loss(module, chunk).value().at(0, 0);
+      });
+      double total = 0.0;
+      for (int64_t k = 0; k < num_chunks; ++k) total += chunk_totals[k];
       return static_cast<float>(total / val_cached.size());
     };
 
@@ -575,13 +687,17 @@ Status LeadModel::TrainDetectors(
         log != nullptr ? &log->recoveries : nullptr, checkpoint);
   };
 
+  const auto make_detector_replica = [this]() -> std::unique_ptr<nn::Module> {
+    Rng init(0);  // replica init weights are overwritten by the sync
+    return std::make_unique<StackedBiLstmDetector>(options_.detector, &init);
+  };
   if (options_.use_grouping) {
     if (forward_detector_ != nullptr && start_stage <= kStageForward) {
       LEAD_RETURN_IF_ERROR(run(
-          forward_detector_.get(),
-          [&](const std::vector<const CachedSample*>& chunk) {
-            return group_chunk_loss(*forward_detector_, /*forward=*/true,
-                                    chunk);
+          forward_detector_.get(), make_detector_replica,
+          [&](nn::Module* m, const std::vector<const CachedSample*>& chunk) {
+            return group_chunk_loss(*static_cast<StackedBiLstmDetector*>(m),
+                                    /*forward=*/true, chunk);
           },
           log != nullptr ? &log->forward_kld : nullptr,
           log != nullptr ? &log->forward_val_kld : nullptr, "fwd",
@@ -590,10 +706,10 @@ Status LeadModel::TrainDetectors(
     }
     if (backward_detector_ != nullptr && start_stage <= kStageBackward) {
       LEAD_RETURN_IF_ERROR(run(
-          backward_detector_.get(),
-          [&](const std::vector<const CachedSample*>& chunk) {
-            return group_chunk_loss(*backward_detector_, /*forward=*/false,
-                                    chunk);
+          backward_detector_.get(), make_detector_replica,
+          [&](nn::Module* m, const std::vector<const CachedSample*>& chunk) {
+            return group_chunk_loss(*static_cast<StackedBiLstmDetector*>(m),
+                                    /*forward=*/false, chunk);
           },
           log != nullptr ? &log->backward_kld : nullptr,
           log != nullptr ? &log->backward_val_kld : nullptr, "bwd",
@@ -601,11 +717,19 @@ Status LeadModel::TrainDetectors(
           start_stage == kStageBackward ? start_epoch : 0));
     }
   } else if (start_stage <= kStageMlp) {
-    LEAD_RETURN_IF_ERROR(
-        run(mlp_scorer_.get(), mlp_chunk_loss,
-            log != nullptr ? &log->nogro_bce : nullptr,
-            log != nullptr ? &log->nogro_val_bce : nullptr, "mlp", "mlp",
-            kStageMlp, start_stage == kStageMlp ? start_epoch : 0));
+    LEAD_RETURN_IF_ERROR(run(
+        mlp_scorer_.get(),
+        [this]() -> std::unique_ptr<nn::Module> {
+          Rng init(0);
+          return std::make_unique<MlpScorer>(options_.autoencoder.cvec_dims(),
+                                             &init);
+        },
+        [&](nn::Module* m, const std::vector<const CachedSample*>& chunk) {
+          return mlp_chunk_loss(static_cast<MlpScorer*>(m), chunk);
+        },
+        log != nullptr ? &log->nogro_bce : nullptr,
+        log != nullptr ? &log->nogro_val_bce : nullptr, "mlp", "mlp",
+        kStageMlp, start_stage == kStageMlp ? start_epoch : 0));
   }
   return Status::Ok();
 }
@@ -615,7 +739,9 @@ StatusOr<ProcessedTrajectory> LeadModel::Preprocess(
   if (!normalizer_.fitted()) {
     return FailedPreconditionError("model is not trained");
   }
-  return ProcessTrajectory(raw, poi_index, options_.pipeline, &normalizer_);
+  PipelineOptions popt = options_.pipeline;
+  popt.features.threads = ResolveThreads(options_.detect.threads);
+  return ProcessTrajectory(raw, poi_index, popt, &normalizer_);
 }
 
 nn::Matrix LeadModel::EncodeCandidates(const ProcessedTrajectory& pt) const {
@@ -647,14 +773,14 @@ StatusOr<Detection> LeadModel::DetectProcessed(
   const int num_candidates = cvecs.rows();
   LEAD_CHECK_EQ(num_candidates, traj::NumCandidates(n));
 
+  const int threads = ResolveThreads(options_.detect.threads);
   std::vector<float> merged(num_candidates, 0.0f);
   if (options_.use_grouping) {
     auto accumulate = [&](const StackedBiLstmDetector& detector,
                           bool forward) {
       const std::vector<Subgroup> groups =
           forward ? ForwardGroups(n) : BackwardGroups(n);
-      // Materialize every subgroup's member c-vecs contiguously, then
-      // score all n-1 subgroups of the trajectory as one ragged batch.
+      // Materialize every subgroup's member c-vecs contiguously.
       int total_rows = 0;
       for (const Subgroup& g : groups) {
         total_rows += static_cast<int>(g.members.size());
@@ -662,25 +788,55 @@ StatusOr<Detection> LeadModel::DetectProcessed(
       nn::Matrix grouped(total_rows, cvecs.cols());
       std::vector<nn::SeqView> views;
       std::vector<const traj::Candidate*> order;
+      std::vector<int> lengths;
       views.reserve(groups.size());
+      lengths.reserve(groups.size());
       order.reserve(total_rows);
       int row = 0;
       for (const Subgroup& g : groups) {
         views.push_back({nn::SeqSpan{&grouped, row,
                                      static_cast<int>(g.members.size())}});
+        lengths.push_back(static_cast<int>(g.members.size()));
         for (const traj::Candidate& c : g.members) {
           const float* src = cvecs.row(traj::CandidateFlatIndex(n, c));
           std::copy(src, src + cvecs.cols(), grouped.row(row++));
           order.push_back(&c);
         }
       }
-      const nn::Variable scores =
-          detector.ScoreSubgroupsBatch(nn::PackViews(views));
+      // Score the n-1 subgroups in length buckets. The split depends only
+      // on the subgroup lengths, so it is identical for every thread
+      // count; buckets run concurrently against the read-only detector
+      // (per-row values are independent of batch composition, so the
+      // bucketed scores match the retired single-ragged-batch path), and
+      // the softmax/merge below reassembles them in subgroup order.
+      const std::vector<LengthBucket> buckets =
+          BucketByLength(lengths, kSubgroupMaxBatch, kSubgroupMaxPadding);
+      std::vector<nn::Variable> scores(buckets.size());
+      std::vector<std::pair<int, int>> where(groups.size());  // (bucket,row)
+      for (size_t kb = 0; kb < buckets.size(); ++kb) {
+        for (size_t j = 0; j < buckets[kb].items.size(); ++j) {
+          where[buckets[kb].items[j]] = {static_cast<int>(kb),
+                                         static_cast<int>(j)};
+        }
+      }
+      ThreadPool::Global().ParallelFor(
+          static_cast<int64_t>(buckets.size()), threads, [&](int64_t kb) {
+            nn::NoGradGuard no_grad;  // thread-local: lanes need their own
+            const LengthBucket& bucket = buckets[kb];
+            std::vector<nn::SeqView> bucket_views;
+            bucket_views.reserve(bucket.items.size());
+            for (const int pi : bucket.items) {
+              bucket_views.push_back(views[pi]);
+            }
+            scores[kb] =
+                detector.ScoreSubgroupsBatch(nn::PackViews(bucket_views));
+          });
       std::vector<nn::Variable> parts;
       parts.reserve(groups.size());
       for (size_t gi = 0; gi < groups.size(); ++gi) {
+        const auto [kb, brow] = where[gi];
         parts.push_back(nn::SliceCols(
-            nn::SliceRows(scores, static_cast<int>(gi), 1), 0,
+            nn::SliceRows(scores[kb], brow, 1), 0,
             static_cast<int>(groups[gi].members.size())));
       }
       const nn::Variable probs = nn::SoftmaxRows(nn::ConcatCols(parts));

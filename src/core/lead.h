@@ -76,6 +76,18 @@ struct TrainOptions {
   // directory after every epoch (atomic write, CRC-verified on load) and
   // resumes from it when one exists; the file is removed on success.
   std::string checkpoint_dir;
+  // Worker lanes for preprocessing and sharded gradient accumulation.
+  // <= 0 resolves to std::thread::hardware_concurrency(). Every thread
+  // count produces bit-identical results (DESIGN.md §"Parallel execution
+  // and determinism"); 1 degenerates to the serial code path.
+  int threads = 0;
+};
+
+// Online-stage knobs.
+struct DetectOptions {
+  // Worker lanes for Preprocess and the bucketed batch scoring inside
+  // Detect/DetectProcessed. Same semantics as TrainOptions::threads.
+  int threads = 0;
 };
 
 struct LeadOptions {
@@ -83,6 +95,7 @@ struct LeadOptions {
   AutoencoderOptions autoencoder;
   DetectorOptions detector;
   TrainOptions train;
+  DetectOptions detect;
   // Variant switches (paper §VI-A). use_grouping=false replaces both
   // detectors with the independent MLP scorer (LEAD-NoGro).
   bool use_grouping = true;

@@ -60,6 +60,9 @@ class Variable {
   // Mutable access for optimizers and in-place parameter loading.
   Matrix& mutable_value() { return node_->value; }
   const Matrix& grad() const { return node_->grad; }
+  // Mutable access for the sharded gradient reducer (core/grad_parallel),
+  // which installs externally-accumulated gradients before a Step().
+  Matrix& mutable_grad() { return node_->grad; }
   bool requires_grad() const { return node_ && node_->requires_grad; }
 
   int rows() const { return node_->value.rows(); }

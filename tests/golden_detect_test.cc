@@ -1,0 +1,138 @@
+// Golden-file regression test for the Detect probability pipeline.
+//
+// A fixed simulated corpus and a fixed-seed model (0 training epochs: the
+// normalizer is fitted, the weights stay at their seeded init) make the
+// merged candidate probabilities a pure deterministic function of the
+// code. The expected values live in tests/golden/detect_probs.txt; any
+// numeric drift — an op reordered, a reduction changed, a normalizer
+// tweak — fails with a per-line diff.
+//
+// To regenerate after an intentional change:
+//   LEAD_UPDATE_GOLDEN=1 ./build/tests/golden_detect_test
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/lead.h"
+#include "eval/harness.h"
+
+namespace lead {
+namespace {
+
+#ifndef LEAD_GOLDEN_DIR
+#error "build must define LEAD_GOLDEN_DIR"
+#endif
+
+constexpr int kMaxTrajectories = 6;
+
+std::string GoldenPath() {
+  return std::string(LEAD_GOLDEN_DIR) + "/detect_probs.txt";
+}
+
+// One line per candidate: "<trajectory_id> <flat_index> <probability>".
+// %.9g round-trips a float exactly, so string equality is bit equality.
+std::vector<std::string> CurrentLines() {
+  eval::ExperimentConfig config = eval::DefaultConfig(1.0);
+  config.world.num_background_pois = 1500;
+  config.world.num_loading_facilities = 8;
+  config.world.num_unloading_facilities = 12;
+  config.world.num_rest_areas = 12;
+  config.world.num_depots = 6;
+  config.dataset.num_trajectories = 40;
+  config.dataset.num_trucks = 20;
+  config.sim.sample_interval_mean_s = 240.0;
+  config.lead.train.autoencoder_epochs = 0;
+  config.lead.train.detector_epochs = 0;
+  auto data = eval::BuildExperiment(config);
+  EXPECT_TRUE(data.ok()) << data.status();
+
+  core::LeadModel model(config.lead);
+  const Status trained =
+      model.Train(data->TrainLabeled(), data->ValLabeled(),
+                  data->world->poi_index(), nullptr);
+  EXPECT_TRUE(trained.ok()) << trained;
+
+  std::vector<std::string> lines;
+  int used = 0;
+  for (const sim::SimulatedDay& day : data->split.test) {
+    if (used >= kMaxTrajectories) break;
+    auto detection = model.Detect(day.raw, data->world->poi_index());
+    if (!detection.ok()) continue;
+    ++used;
+    for (size_t i = 0; i < detection->probabilities.size(); ++i) {
+      char buf[128];
+      std::snprintf(buf, sizeof(buf), "%s %zu %.9g",
+                    day.raw.trajectory_id.c_str(), i,
+                    static_cast<double>(detection->probabilities[i]));
+      lines.emplace_back(buf);
+    }
+  }
+  EXPECT_GT(used, 0);
+  return lines;
+}
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+TEST(GoldenDetectTest, ProbabilitiesMatchGoldenFile) {
+  const std::vector<std::string> actual = CurrentLines();
+  ASSERT_FALSE(actual.empty());
+
+  if (std::getenv("LEAD_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(GoldenPath());
+    ASSERT_TRUE(out.good()) << "cannot write " << GoldenPath();
+    out << "# Expected Detect probabilities for the golden corpus.\n"
+        << "# Format: <trajectory_id> <candidate_flat_index> <probability>\n"
+        << "# Regenerate: LEAD_UPDATE_GOLDEN=1 ./golden_detect_test\n";
+    for (const std::string& line : actual) out << line << "\n";
+    GTEST_SKIP() << "golden file regenerated with " << actual.size()
+                 << " lines at " << GoldenPath();
+  }
+
+  const std::vector<std::string> expected = ReadLines(GoldenPath());
+  ASSERT_FALSE(expected.empty())
+      << "no golden fixture at " << GoldenPath()
+      << "; run with LEAD_UPDATE_GOLDEN=1 to create it";
+
+  // Readable diff: report every drifted line, not just the first.
+  std::ostringstream diff;
+  int mismatches = 0;
+  const size_t n = std::max(expected.size(), actual.size());
+  for (size_t i = 0; i < n; ++i) {
+    const std::string& want =
+        i < expected.size() ? expected[i] : "<missing>";
+    const std::string& got = i < actual.size() ? actual[i] : "<missing>";
+    if (want != got) {
+      ++mismatches;
+      if (mismatches <= 20) {
+        diff << "  line " << (i + 1) << ": expected \"" << want
+             << "\" got \"" << got << "\"\n";
+      }
+    }
+  }
+  EXPECT_EQ(mismatches, 0)
+      << "Detect probabilities drifted from " << GoldenPath() << ":\n"
+      << diff.str()
+      << (mismatches > 20 ? "  ...and " + std::to_string(mismatches - 20) +
+                                " more\n"
+                          : "")
+      << "If the change is intentional, regenerate with "
+         "LEAD_UPDATE_GOLDEN=1.";
+}
+
+}  // namespace
+}  // namespace lead

@@ -1,0 +1,280 @@
+// Serial-parity tests for the multi-core execution layer: every
+// user-visible output (Preprocess features, Detect probabilities, trained
+// weights) must be bit-identical for every thread count, the thread pool's
+// block partition must be deterministic, and the resilience harness
+// (sentinel rollback) must keep working under parallel training.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/lead.h"
+#include "eval/harness.h"
+
+namespace lead {
+namespace {
+
+const int kThreadCounts[] = {1, 2, 4, 7};
+
+// One small corpus for the whole binary (building it is the slow part).
+class ParallelParityTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    eval::ExperimentConfig config = eval::DefaultConfig(1.0);
+    config.world.num_background_pois = 1500;
+    config.world.num_loading_facilities = 8;
+    config.world.num_unloading_facilities = 12;
+    config.world.num_rest_areas = 12;
+    config.world.num_depots = 6;
+    config.dataset.num_trajectories = 40;
+    config.dataset.num_trucks = 20;
+    config.sim.sample_interval_mean_s = 240.0;
+    config.lead.train.max_candidates_per_trajectory = 4;
+    // A large mini-batch makes every chunk span multiple gradient shards,
+    // so the fixed-order tree reduction actually reduces.
+    config.lead.train.batch_size = 64;
+    config.lead.train.learning_rate = 1e-3f;
+    config_ = new eval::ExperimentConfig(config);
+    auto data = eval::BuildExperiment(config);
+    ASSERT_TRUE(data.ok()) << data.status();
+    data_ = new eval::ExperimentData(std::move(data).value());
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    delete config_;
+    data_ = nullptr;
+    config_ = nullptr;
+  }
+  void TearDown() override { fault::DisarmAll(); }
+
+  static core::LeadOptions OptionsWithThreads(int threads, int ae_epochs,
+                                              int det_epochs) {
+    core::LeadOptions options = config_->lead;
+    options.train.autoencoder_epochs = ae_epochs;
+    options.train.detector_epochs = det_epochs;
+    options.train.threads = threads;
+    options.detect.threads = threads;
+    return options;
+  }
+
+  // Trains a model with the given thread count (0 epochs = fit the
+  // normalizer only; weights stay at their seeded init).
+  static std::unique_ptr<core::LeadModel> TrainedModel(int threads,
+                                                       int ae_epochs,
+                                                       int det_epochs) {
+    auto model = std::make_unique<core::LeadModel>(
+        OptionsWithThreads(threads, ae_epochs, det_epochs));
+    const Status status =
+        model->Train(data_->TrainLabeled(), data_->ValLabeled(),
+                     data_->world->poi_index(), nullptr);
+    EXPECT_TRUE(status.ok()) << status;
+    return model;
+  }
+
+  static eval::ExperimentConfig* config_;
+  static eval::ExperimentData* data_;
+};
+
+eval::ExperimentConfig* ParallelParityTest::config_ = nullptr;
+eval::ExperimentData* ParallelParityTest::data_ = nullptr;
+
+bool SameBytes(const nn::Matrix& a, const nn::Matrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data(), b.data(),
+                     sizeof(float) * static_cast<size_t>(a.size())) == 0;
+}
+
+std::string FileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  return bytes;
+}
+
+TEST_F(ParallelParityTest, ThreadPoolPartitionIsDeterministicAndComplete) {
+  ThreadPool& pool = ThreadPool::Global();
+  ASSERT_GE(pool.num_workers(), 7) << "parity tests need real cross-thread "
+                                      "execution even on small machines";
+  for (const int lanes : {1, 2, 4, 7, 8, 13}) {
+    for (const int64_t n : {0, 1, 5, 64, 1000}) {
+      std::vector<int> touched(static_cast<size_t>(n), 0);
+      pool.ParallelFor(n, lanes, [&](int64_t i) { ++touched[i]; });
+      for (int64_t i = 0; i < n; ++i) {
+        ASSERT_EQ(touched[i], 1) << "n=" << n << " lanes=" << lanes
+                                 << " index " << i;
+      }
+      // The block partition is a function of (n, lanes) alone.
+      std::vector<std::pair<int64_t, int64_t>> blocks(
+          static_cast<size_t>(std::max<int64_t>(
+              1, std::min<int64_t>(n, lanes))));
+      pool.ParallelForBlocks(n, lanes,
+                             [&](int64_t begin, int64_t end, int lane) {
+                               blocks[lane] = {begin, end};
+                             });
+      int64_t expect_begin = 0;
+      for (size_t b = 0; b < blocks.size(); ++b) {
+        EXPECT_EQ(blocks[b].first, expect_begin);
+        expect_begin = blocks[b].second;
+      }
+      if (n > 0) {
+        EXPECT_EQ(expect_begin, n);
+      }
+    }
+  }
+  // Nested ParallelFor runs inline instead of deadlocking on the pool.
+  std::vector<int> nested(64, 0);
+  pool.ParallelFor(8, 8, [&](int64_t outer) {
+    pool.ParallelFor(8, 8,
+                     [&](int64_t inner) { ++nested[outer * 8 + inner]; });
+  });
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(nested[i], 1);
+}
+
+TEST_F(ParallelParityTest, RngForStreamIgnoresDrawOrder) {
+  // The stream for (seed, index) must not depend on draws made elsewhere.
+  Rng a = Rng::ForStream(42, 7);
+  Rng burn = Rng::ForStream(42, 3);
+  for (int i = 0; i < 100; ++i) burn.Uniform(0.0, 1.0);
+  Rng b = Rng::ForStream(42, 7);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(a.engine()(), b.engine()());
+  }
+  // Distinct indices and seeds give distinct streams.
+  EXPECT_NE(Rng::ForStream(42, 7).engine()(),
+            Rng::ForStream(42, 8).engine()());
+  EXPECT_NE(Rng::ForStream(42, 7).engine()(),
+            Rng::ForStream(43, 7).engine()());
+}
+
+TEST_F(ParallelParityTest, PreprocessIsBitIdenticalAcrossThreadCounts) {
+  const auto reference = TrainedModel(/*threads=*/1, 0, 0);
+  for (const int threads : kThreadCounts) {
+    if (threads == 1) continue;
+    const auto model = TrainedModel(threads, 0, 0);
+    for (const sim::SimulatedDay& day : data_->split.test) {
+      auto a = reference->Preprocess(day.raw, data_->world->poi_index());
+      auto b = model->Preprocess(day.raw, data_->world->poi_index());
+      ASSERT_TRUE(a.ok()) << a.status();
+      ASSERT_TRUE(b.ok()) << b.status();
+      EXPECT_EQ(a->num_stays(), b->num_stays());
+      ASSERT_EQ(a->candidates.size(), b->candidates.size());
+      for (size_t i = 0; i < a->candidates.size(); ++i) {
+        EXPECT_EQ(a->candidates[i], b->candidates[i]);
+      }
+      EXPECT_TRUE(SameBytes(a->features, b->features))
+          << day.raw.trajectory_id << " with " << threads << " threads";
+    }
+  }
+}
+
+TEST_F(ParallelParityTest, DetectIsBitIdenticalAcrossThreadCounts) {
+  const auto reference = TrainedModel(/*threads=*/1, 0, 0);
+  for (const int threads : kThreadCounts) {
+    if (threads == 1) continue;
+    const auto model = TrainedModel(threads, 0, 0);
+    int compared = 0;
+    for (const sim::SimulatedDay& day : data_->split.test) {
+      auto a = reference->Detect(day.raw, data_->world->poi_index());
+      auto b = model->Detect(day.raw, data_->world->poi_index());
+      ASSERT_EQ(a.ok(), b.ok());
+      if (!a.ok()) continue;
+      EXPECT_EQ(a->loaded, b->loaded);
+      ASSERT_EQ(a->probabilities.size(), b->probabilities.size());
+      for (size_t i = 0; i < a->probabilities.size(); ++i) {
+        // Bitwise float equality, deliberately.
+        EXPECT_EQ(a->probabilities[i], b->probabilities[i])
+            << day.raw.trajectory_id << " candidate " << i << " with "
+            << threads << " threads";
+      }
+      ++compared;
+    }
+    EXPECT_GT(compared, 0);
+  }
+}
+
+TEST_F(ParallelParityTest, OneEpochTrainingIsBitIdenticalAcrossThreadCounts) {
+  const std::string dir = ::testing::TempDir() + "/parallel_parity";
+  std::filesystem::create_directories(dir);
+  const auto reference = TrainedModel(/*threads=*/1, 1, 1);
+  const std::string ref_path = dir + "/model_t1.bin";
+  ASSERT_TRUE(reference->Save(ref_path).ok());
+  const std::string ref_bytes = FileBytes(ref_path);
+  ASSERT_FALSE(ref_bytes.empty());
+  for (const int threads : kThreadCounts) {
+    if (threads == 1) continue;
+    const auto model = TrainedModel(threads, 1, 1);
+    const std::string path =
+        dir + "/model_t" + std::to_string(threads) + ".bin";
+    ASSERT_TRUE(model->Save(path).ok());
+    // The serialized model (normalizer moments + every weight of every
+    // module) must match the serial run byte for byte.
+    EXPECT_EQ(FileBytes(path), ref_bytes)
+        << "training with " << threads
+        << " threads produced different weights";
+    std::remove(path.c_str());
+  }
+  std::remove(ref_path.c_str());
+}
+
+TEST_F(ParallelParityTest, RollbackConvergesUnderParallelTraining) {
+  if (!fault::Enabled()) GTEST_SKIP() << "fault injection compiled out";
+  // Poison a gradient a few optimizer steps in while training with
+  // threads > 1: the sentinel must roll back, back off the LR, and finish
+  // training with finite weights — same contract as the serial path.
+  fault::ArmNonFinite("adam.grad", /*nth=*/3);
+  core::LeadOptions options = OptionsWithThreads(/*threads=*/4, 2, 2);
+  core::LeadModel model(options);
+  core::TrainingLog log;
+  const Status status =
+      model.Train(data_->TrainLabeled(), data_->ValLabeled(),
+                  data_->world->poi_index(), &log);
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_EQ(fault::Fires("adam.grad"), 1);
+  ASSERT_FALSE(log.recoveries.empty());
+  EXPECT_LT(log.recoveries[0].lr_scale, 1.0f);
+  auto detection =
+      model.Detect(data_->split.test[0].raw, data_->world->poi_index());
+  ASSERT_TRUE(detection.ok()) << detection.status();
+  for (float p : detection->probabilities) EXPECT_TRUE(std::isfinite(p));
+}
+
+TEST_F(ParallelParityTest, CheckpointResumeWorksWithParallelTraining) {
+  if (!fault::Enabled()) GTEST_SKIP() << "fault injection compiled out";
+  const std::string dir = ::testing::TempDir() + "/parallel_resume_ckpt";
+  std::filesystem::remove_all(dir);
+  core::LeadOptions options = OptionsWithThreads(/*threads=*/4, 2, 2);
+  options.train.checkpoint_dir = dir;
+  {
+    fault::ArmFail("train.epoch", /*nth=*/2);
+    core::LeadModel model(options);
+    const Status status =
+        model.Train(data_->TrainLabeled(), data_->ValLabeled(),
+                    data_->world->poi_index(), nullptr);
+    ASSERT_FALSE(status.ok());
+  }
+  fault::DisarmAll();
+  ASSERT_TRUE(std::filesystem::exists(dir + "/lead_train.ckpt"));
+  core::LeadModel model(options);
+  core::TrainingLog log;
+  const Status status =
+      model.Train(data_->TrainLabeled(), data_->ValLabeled(),
+                  data_->world->poi_index(), &log);
+  ASSERT_TRUE(status.ok()) << status;
+  ASSERT_FALSE(log.recoveries.empty());
+  EXPECT_NE(log.recoveries[0].reason.find("resumed from checkpoint"),
+            std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace lead

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "poi/poi.h"
 #include "poi/poi_index.h"
 
@@ -110,6 +111,53 @@ TEST(PoiIndexTest, QueryWithinReturnsCorrectIds) {
 TEST(PoiIndexTest, NegativeRadiusIsEmpty) {
   const PoiIndex index(RandomPois(10, 500, 3));
   EXPECT_TRUE(index.QueryWithin(kOrigin, -1.0).empty());
+}
+
+TEST(PoiIndexTest, ConcurrentRadiusQueriesMatchSerialResults) {
+  // The index is immutable after construction, so the parallel feature
+  // extractor issues radius queries from every pool lane concurrently.
+  // Hammer it from all lanes and check each answer against a serial
+  // baseline computed up front; under TSan this doubles as the race
+  // detector for the read path.
+  const int kQueries = 2000;
+  const double kExtent = 5000.0;
+  const PoiIndex index(RandomPois(1500, kExtent, 1234));
+  std::vector<geo::LatLng> centers;
+  std::vector<double> radii;
+  Rng rng(77);
+  centers.reserve(kQueries);
+  radii.reserve(kQueries);
+  for (int q = 0; q < kQueries; ++q) {
+    centers.push_back(geo::OffsetMeters(kOrigin,
+                                        rng.Uniform(-kExtent, kExtent),
+                                        rng.Uniform(-kExtent, kExtent)));
+    radii.push_back(rng.Uniform(50.0, 800.0));
+  }
+  std::vector<CategoryCounts> serial(kQueries);
+  std::vector<int> serial_within(kQueries);
+  for (int q = 0; q < kQueries; ++q) {
+    serial[q] = index.CountByCategory(centers[q], radii[q]);
+    serial_within[q] =
+        static_cast<int>(index.QueryWithin(centers[q], radii[q]).size());
+  }
+  for (const int lanes : {2, 4, 8}) {
+    std::vector<int> mismatches(kQueries, 0);
+    ThreadPool::Global().ParallelFor(kQueries, lanes, [&](int64_t q) {
+      const CategoryCounts counts =
+          index.CountByCategory(centers[q], radii[q]);
+      const int within =
+          static_cast<int>(index.QueryWithin(centers[q], radii[q]).size());
+      const bool any = index.AnyWithin(centers[q], radii[q]);
+      if (counts != serial[q] || within != serial_within[q] ||
+          any != (serial_within[q] > 0)) {
+        mismatches[q] = 1;
+      }
+    });
+    for (int q = 0; q < kQueries; ++q) {
+      EXPECT_EQ(mismatches[q], 0) << "query " << q << " with " << lanes
+                                  << " lanes";
+    }
+  }
 }
 
 }  // namespace
