@@ -37,14 +37,15 @@ std::vector<float> TrainAutoencoderWith(
       const nn::Variable loss =
           autoencoder->ReconstructionLoss(processed[index], candidate);
       total += loss.value().at(0, 0);
-      nn::Backward(nn::ScalarMul(loss, 1.0f / batch));
+      nn::Backward(nn::ScalarMul(loss, 1.0f / static_cast<float>(batch)));
       if (++since_step == batch) {
         optimizer->StepAndZeroGrad();
         since_step = 0;
       }
     }
     if (since_step > 0) optimizer->StepAndZeroGrad();
-    curve.push_back(static_cast<float>(total / samples.size()));
+    curve.push_back(
+        static_cast<float>(total / static_cast<double>(samples.size())));
     std::printf("  epoch %2d  mse %.4f\n", epoch + 1, curve.back());
   }
   return curve;

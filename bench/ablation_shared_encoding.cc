@@ -24,7 +24,9 @@ struct Fixture {
 // Builds a processed trajectory with exactly `target_stays` stay points
 // by retrying simulation.
 const Fixture& GetFixture(int target_stays) {
-  static std::map<int, Fixture>* fixtures = new std::map<int, Fixture>();
+  // Leaked on purpose: bench fixtures must outlive static teardown.
+  static std::map<int, Fixture>* fixtures =
+      new std::map<int, Fixture>();  // lead-lint: allow(raw-new)
   auto it = fixtures->find(target_stays);
   if (it != fixtures->end()) return it->second;
 

@@ -1,7 +1,6 @@
 // Shared helpers for the bench binaries: method construction, training and
 // paper-reference tables.
-#ifndef LEAD_BENCH_BENCH_UTIL_H_
-#define LEAD_BENCH_BENCH_UTIL_H_
+#pragma once
 
 #include <chrono>
 #include <cstdio>
@@ -132,4 +131,3 @@ inline void PrintPaperTable4() {
 
 }  // namespace lead::bench
 
-#endif  // LEAD_BENCH_BENCH_UTIL_H_

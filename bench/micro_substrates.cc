@@ -45,7 +45,8 @@ const traj::RawTrajectory& TestTrajectory() {
     Rng rng(21);
     auto day = simulator.SimulateDay("bench", "bench", 0, &rng);
     LEAD_CHECK(day.has_value());
-    return new traj::RawTrajectory(day->raw);
+    // Leaked on purpose (function-local singleton).
+    return new traj::RawTrajectory(day->raw);  // lead-lint: allow(raw-new)
   }();
   return *trajectory;
 }
@@ -299,7 +300,9 @@ BENCHMARK(BM_LstmTrainBatched)->Arg(16)->Arg(64);
 void BM_ParallelPreprocess(benchmark::State& state) {
   const int lanes = static_cast<int>(state.range(0));
   static const std::vector<traj::RawTrajectory>* batch = [] {
-    auto* trajectories = new std::vector<traj::RawTrajectory>();
+    // Leaked on purpose (function-local singleton).
+    auto* trajectories =
+        new std::vector<traj::RawTrajectory>();  // lead-lint: allow(raw-new)
     const sim::TruckSimulator simulator(&TestWorld(), sim::SimOptions(),
                                         traj::NoiseFilterOptions(),
                                         traj::StayPointOptions());

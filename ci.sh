@@ -1,11 +1,16 @@
 #!/usr/bin/env bash
-# Repo CI: tier-1 verify (full build + ctest), a fault-injection pass
-# (explicit -DLEAD_FAULT_INJECTION=ON build running the robustness
-# suites), an ASan/UBSan-instrumented build of the nn-layer and
-# io/serialize tests (the batched step kernels, autograd, and binary
-# checkpoint parsing are where memory bugs would hide), and a TSan build
-# of the multi-threaded suites (parallel parity, resilience under
-# parallel training, and the end-to-end lead tests).
+# Repo CI: tier-1 verify (full build + ctest, which includes the
+# lead_lint tree scan and the lint fixture tests), a static-analysis
+# stage (lead_lint over the tree, a -DLEAD_WERROR=ON configure that
+# promotes -Wshadow/-Wconversion to errors, and clang-tidy when it is on
+# PATH), a -DLEAD_CHECK_SHAPES=ON build running the nn/batch/autograd
+# suites plus the contract death tests, a fault-injection pass (explicit
+# -DLEAD_FAULT_INJECTION=ON build running the robustness suites), an
+# ASan/UBSan-instrumented build of the nn-layer and io/serialize tests
+# (the batched step kernels, autograd, and binary checkpoint parsing are
+# where memory bugs would hide), and a TSan build of the multi-threaded
+# suites (parallel parity, resilience under parallel training, and the
+# end-to-end lead tests).
 #
 # Usage: ./ci.sh [--skip-sanitizers]
 set -euo pipefail
@@ -18,6 +23,37 @@ echo "=== tier-1: configure + build + ctest ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
+
+echo "=== static analysis: lead_lint over the source tree ==="
+cmake --build build -j --target lead_lint >/dev/null
+./build/tools/lead_lint src tests bench cli tools
+
+echo "=== static analysis: LEAD_WERROR build (-Wshadow/-Wconversion as errors) ==="
+cmake -B build-werror -S . -DLEAD_WERROR=ON >/dev/null
+cmake --build build-werror -j
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "=== static analysis: clang-tidy (bugprone/performance/concurrency) ==="
+  # Tidy the library sources against the tier-1 compile database.
+  cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  find src -name '*.cc' -print0 |
+    xargs -0 -P "$(nproc)" -n 8 clang-tidy -p build --quiet
+else
+  echo "=== static analysis: clang-tidy not on PATH; skipped ==="
+fi
+
+echo "=== contracts: LEAD_CHECK_SHAPES build of the nn/batch/autograd suites ==="
+# RelWithDebInfo minus -DNDEBUG so LEAD_DCHECK index checks are live too.
+cmake -B build-shapes -S . -DLEAD_CHECK_SHAPES=ON \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS_RELWITHDEBINFO="-O2 -g" >/dev/null
+SHAPE_TESTS=(matrix_test autograd_test layers_test optim_test optim2_test \
+             ops_reference_test batch_test autoencoder_test contract_test)
+cmake --build build-shapes -j --target "${SHAPE_TESTS[@]}"
+for t in "${SHAPE_TESTS[@]}"; do
+  echo "--- $t (LEAD_CHECK_SHAPES) ---"
+  "./build-shapes/tests/$t"
+done
 
 echo "=== fault injection: robustness suites with LEAD_FAULT_INJECTION=ON ==="
 cmake -B build-fault -S . -DLEAD_FAULT_INJECTION=ON >/dev/null

@@ -74,7 +74,7 @@ int main() {
         "mean %.0f km/h, %s)\n",
         day.raw.trajectory_id.c_str(), path.c_str(),
         writer.feature_count(), stats.path_length_m / 1000.0,
-        stats.duration_s / 60.0, stats.mean_speed_kmh,
+        static_cast<double>(stats.duration_s) / 60.0, stats.mean_speed_kmh,
         detection->loaded == day.loaded_label ? "HIT" : "MISS");
     ++written;
   }

@@ -5,8 +5,7 @@
 // point is the loading stay point and the latest is the unloading one.
 // With fewer than two l/u stay points the result is the default loaded
 // trajectory (first extracted stay point -> last extracted stay point).
-#ifndef LEAD_BASELINES_BASELINE_H_
-#define LEAD_BASELINES_BASELINE_H_
+#pragma once
 
 #include <vector>
 
@@ -27,4 +26,3 @@ BaselineDetection GreedyDetect(const std::vector<bool>& is_lu_stay);
 
 }  // namespace lead::baselines
 
-#endif  // LEAD_BASELINES_BASELINE_H_

@@ -209,7 +209,8 @@ Status SpRnnBaseline::Train(
       nn::Backward(nn::ScalarMul(loss, inv_b));
       optimizer->StepAndZeroGrad();
     }
-    return static_cast<float>(epoch_loss / std::max<size_t>(1, order.size()));
+    return static_cast<float>(
+        epoch_loss / static_cast<double>(std::max<size_t>(1, order.size())));
   };
 
   auto validation_loss = [&](float train_loss) -> float {
@@ -227,7 +228,8 @@ Status SpRnnBaseline::Train(
       }
       total += chunk_loss(chunk).value().at(0, 0);
     }
-    return static_cast<float>(total / val_samples->size());
+    return static_cast<float>(total /
+                              static_cast<double>(val_samples->size()));
   };
 
   core::StageOptions sopt;

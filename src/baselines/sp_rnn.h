@@ -5,8 +5,7 @@
 // endpoint strategy then assembles the detection. Unlike LEAD, these
 // baselines see only staying behaviour — no move points, no candidate
 // relationships.
-#ifndef LEAD_BASELINES_SP_RNN_H_
-#define LEAD_BASELINES_SP_RNN_H_
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -60,4 +59,3 @@ class SpRnnBaseline {
 
 }  // namespace lead::baselines
 
-#endif  // LEAD_BASELINES_SP_RNN_H_

@@ -5,8 +5,7 @@
 // white-list location lies within the search radius, deliberately
 // traversing the whole list per stay point (the paper attributes SP-R's
 // slowness to exactly this scan).
-#ifndef LEAD_BASELINES_SP_RULE_H_
-#define LEAD_BASELINES_SP_RULE_H_
+#pragma once
 
 #include <vector>
 
@@ -44,4 +43,3 @@ class SpRuleBaseline {
 
 }  // namespace lead::baselines
 
-#endif  // LEAD_BASELINES_SP_RULE_H_

@@ -1,8 +1,7 @@
 // Atomic whole-file writes: content lands under a temporary sibling name
 // and is rename()d over the target, so readers never observe a partially
 // written file and a crash mid-write leaves the previous version intact.
-#ifndef LEAD_COMMON_ATOMIC_IO_H_
-#define LEAD_COMMON_ATOMIC_IO_H_
+#pragma once
 
 #include <string>
 #include <string_view>
@@ -15,4 +14,3 @@ Status WriteFileAtomic(const std::string& path, std::string_view contents);
 
 }  // namespace lead
 
-#endif  // LEAD_COMMON_ATOMIC_IO_H_

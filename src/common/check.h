@@ -2,8 +2,7 @@
 //
 // LEAD_CHECK* abort the process on failure and are reserved for programming
 // errors; recoverable conditions use Status (see status.h).
-#ifndef LEAD_COMMON_CHECK_H_
-#define LEAD_COMMON_CHECK_H_
+#pragma once
 
 #include <cstdio>
 #include <cstdlib>
@@ -26,6 +25,22 @@ namespace lead::internal_check {
       ::lead::internal_check::DieCheckFailure(__FILE__, __LINE__, #expr); \
     }                                                                    \
   } while (false)
+
+// Debug-only checks for hot paths (accessor bounds and the like): active
+// in !NDEBUG builds, compiled to nothing in release so the checked
+// accessors stay free where they are called per element.
+#ifdef NDEBUG
+#define LEAD_DCHECK(expr) \
+  do {                    \
+  } while (false)
+#else
+#define LEAD_DCHECK(expr) LEAD_CHECK(expr)
+#endif
+
+#define LEAD_DCHECK_EQ(a, b) LEAD_DCHECK((a) == (b))
+#define LEAD_DCHECK_LT(a, b) LEAD_DCHECK((a) < (b))
+#define LEAD_DCHECK_LE(a, b) LEAD_DCHECK((a) <= (b))
+#define LEAD_DCHECK_GE(a, b) LEAD_DCHECK((a) >= (b))
 
 #define LEAD_CHECK_EQ(a, b) LEAD_CHECK((a) == (b))
 #define LEAD_CHECK_NE(a, b) LEAD_CHECK((a) != (b))
@@ -55,4 +70,3 @@ namespace lead::internal_check {
 #define LEAD_STATUS_MACRO_CONCAT_INNER_(x, y) x##y
 #define LEAD_STATUS_MACRO_CONCAT_(x, y) LEAD_STATUS_MACRO_CONCAT_INNER_(x, y)
 
-#endif  // LEAD_COMMON_CHECK_H_

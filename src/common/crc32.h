@@ -1,7 +1,6 @@
 // CRC-32 (IEEE 802.3 reflected polynomial 0xEDB88320), used as the
 // integrity footer of binary checkpoints (see nn/serialize.h).
-#ifndef LEAD_COMMON_CRC32_H_
-#define LEAD_COMMON_CRC32_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -42,4 +41,3 @@ class Crc32Reader {
 
 }  // namespace lead
 
-#endif  // LEAD_COMMON_CRC32_H_

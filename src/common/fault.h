@@ -16,8 +16,7 @@
 // one relaxed atomic load and a branch; the registry lookup only happens
 // while at least one point is armed. Hit/fire counters are therefore only
 // maintained while a point is armed.
-#ifndef LEAD_COMMON_FAULT_H_
-#define LEAD_COMMON_FAULT_H_
+#pragma once
 
 #include <atomic>
 #include <cstddef>
@@ -102,4 +101,3 @@ bool FireCorrupt(std::string_view point, char* data, size_t size);
 
 #endif  // LEAD_FAULT_INJECTION
 
-#endif  // LEAD_COMMON_FAULT_H_

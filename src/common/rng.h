@@ -3,8 +3,7 @@
 // All stochastic behaviour in the library (simulator, weight init, data
 // shuffles) flows through an explicitly seeded Rng so experiments are
 // reproducible bit-for-bit.
-#ifndef LEAD_COMMON_RNG_H_
-#define LEAD_COMMON_RNG_H_
+#pragma once
 
 #include <algorithm>
 #include <cstdint>
@@ -88,6 +87,4 @@ inline Rng Rng::ForStream(uint64_t seed, uint64_t index) {
 }
 
 }  // namespace lead
-
-#endif  // LEAD_COMMON_RNG_H_
 

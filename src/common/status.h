@@ -3,8 +3,7 @@
 // The library does not use C++ exceptions. Fallible operations return
 // `Status`, or `StatusOr<T>` when they also produce a value. Programming
 // errors (broken invariants) abort via the LEAD_CHECK macros in check.h.
-#ifndef LEAD_COMMON_STATUS_H_
-#define LEAD_COMMON_STATUS_H_
+#pragma once
 
 #include <ostream>
 #include <string>
@@ -29,7 +28,12 @@ enum class StatusCode {
 const char* StatusCodeName(StatusCode code);
 
 // Value-semantic success-or-error result. Cheap to copy when OK.
-class Status {
+//
+// The class itself is [[nodiscard]]: any call returning a Status (or a
+// StatusOr below) must consume the result — propagate it, branch on it,
+// or cast it to void with a written reason. Dropped results are also
+// caught by lead_lint's discarded-status rule.
+class [[nodiscard]] Status {
  public:
   // Default-constructed status is OK.
   Status() : code_(StatusCode::kOk) {}
@@ -65,7 +69,7 @@ Status IoError(std::string message);
 // Accessing value() on a non-OK StatusOr aborts; call ok() first or use
 // the LEAD_ASSIGN_OR_RETURN macro in check.h.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   // Implicit construction from a value or an error status keeps call sites
   // terse: `return result;` / `return InvalidArgumentError(...)`.
@@ -116,4 +120,3 @@ void StatusOr<T>::AbortIfError() const {
 
 }  // namespace lead
 
-#endif  // LEAD_COMMON_STATUS_H_

@@ -36,7 +36,9 @@ ThreadPool& ThreadPool::Global() {
     const int hw = static_cast<int>(std::thread::hardware_concurrency());
     // At least 8 lanes so thread-count sweeps (parity tests, benches)
     // exercise real cross-thread execution on any machine.
-    return new ThreadPool(std::max(hw - 1, 7));
+    // Leaked on purpose: joining workers during static teardown would
+    // deadlock if any worker still holds work.
+    return new ThreadPool(std::max(hw - 1, 7));  // lead-lint: allow(raw-new)
   }();
   return *pool;
 }
@@ -63,7 +65,7 @@ void ThreadPool::ParallelForBlocks(
     int64_t n, int lanes,
     const std::function<void(int64_t begin, int64_t end, int lane)>& fn) {
   if (n <= 0) return;
-  lanes = std::clamp<int64_t>(lanes, 1, n);
+  lanes = static_cast<int>(std::clamp<int64_t>(lanes, 1, n));
   if (lanes == 1 || in_parallel_region) {
     fn(0, n, 0);
     return;
@@ -91,7 +93,7 @@ void ThreadPool::ParallelForBlocks(
         // Notify while holding the latch mutex: the waiter destroys the
         // stack-allocated latch as soon as it observes remaining == 0,
         // which it cannot do before this thread releases the lock.
-        std::lock_guard<std::mutex> lock(latch.m);
+        std::lock_guard<std::mutex> latch_lock(latch.m);
         --latch.remaining;
         latch.done.notify_one();
       });

@@ -14,8 +14,7 @@
 //    use. Its size caps how many blocks can run concurrently, not the
 //    number of blocks: a ParallelFor with more lanes than workers still
 //    completes (excess blocks queue in FIFO submission order).
-#ifndef LEAD_COMMON_THREAD_POOL_H_
-#define LEAD_COMMON_THREAD_POOL_H_
+#pragma once
 
 #include <condition_variable>
 #include <cstdint>
@@ -79,4 +78,3 @@ int ResolveThreads(int requested);
 
 }  // namespace lead
 
-#endif  // LEAD_COMMON_THREAD_POOL_H_

@@ -14,8 +14,7 @@
 //    state instead of the attention aggregate.
 //  - hierarchical=false (LEAD-NoHie): a single compression and a single
 //    decompression operator process the flat feature sequence.
-#ifndef LEAD_CORE_AUTOENCODER_H_
-#define LEAD_CORE_AUTOENCODER_H_
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -184,4 +183,3 @@ class HierarchicalAutoencoder : public nn::Module {
 
 }  // namespace lead::core
 
-#endif  // LEAD_CORE_AUTOENCODER_H_

@@ -6,8 +6,7 @@
 // bucket's longest sequence are zero-padded and masked (nn/batch.h), so
 // `max_padding` bounds how much padded compute a bucket may buy in
 // exchange for a bigger batch.
-#ifndef LEAD_CORE_BATCHING_H_
-#define LEAD_CORE_BATCHING_H_
+#pragma once
 
 #include <vector>
 
@@ -29,4 +28,3 @@ std::vector<LengthBucket> BucketByLength(const std::vector<int>& lengths,
 
 }  // namespace lead::core
 
-#endif  // LEAD_CORE_BATCHING_H_

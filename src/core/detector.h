@@ -11,8 +11,7 @@
 // per-subgroup softmax would sum to n-1 and make the KLD against the
 // global label ill-formed, and would degenerate to probability 1 on
 // single-member subgroups).
-#ifndef LEAD_CORE_DETECTOR_H_
-#define LEAD_CORE_DETECTOR_H_
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -79,4 +78,3 @@ class MlpScorer : public nn::Module {
 
 }  // namespace lead::core
 
-#endif  // LEAD_CORE_DETECTOR_H_

@@ -4,8 +4,7 @@
 // the spatiotemporal features plus the counts of each POI category within
 // a 100 m radius. Features are Z-score normalized with statistics fitted
 // on the training split (nn::ZScoreNormalizer).
-#ifndef LEAD_CORE_FEATURES_H_
-#define LEAD_CORE_FEATURES_H_
+#pragma once
 
 #include <vector>
 
@@ -44,4 +43,3 @@ nn::Matrix PackFeatures(const std::vector<std::vector<float>>& rows,
 
 }  // namespace lead::core
 
-#endif  // LEAD_CORE_FEATURES_H_

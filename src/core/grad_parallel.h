@@ -14,8 +14,7 @@
 // The single-shard case short-circuits: backward runs directly on the
 // master and produces the exact bits the capture + reduce path would
 // (backward accumulates into zeroed gradients in graph order either way).
-#ifndef LEAD_CORE_GRAD_PARALLEL_H_
-#define LEAD_CORE_GRAD_PARALLEL_H_
+#pragma once
 
 #include <functional>
 #include <memory>
@@ -67,4 +66,3 @@ class ShardedGradAccumulator {
 
 }  // namespace lead::core
 
-#endif  // LEAD_CORE_GRAD_PARALLEL_H_

@@ -10,8 +10,7 @@
 //  forward  - subgroups g_0..g_{n-2} concatenated, i.e. lexicographic
 //             (start asc, end asc) == traj::GenerateCandidates order;
 //  backward - subgroups gb_1..gb_{n-1} concatenated.
-#ifndef LEAD_CORE_GROUPING_H_
-#define LEAD_CORE_GROUPING_H_
+#pragma once
 
 #include <vector>
 
@@ -35,4 +34,3 @@ int BackwardFlatIndex(int num_stays, const traj::Candidate& candidate);
 
 }  // namespace lead::core
 
-#endif  // LEAD_CORE_GROUPING_H_

@@ -5,8 +5,7 @@
 // loss (Eqs. 11-12) undefined at log(0), so each zero probability is
 // replaced with a small eps and the hot entry becomes 1 - k*eps, keeping
 // the vector a valid distribution.
-#ifndef LEAD_CORE_LABELS_H_
-#define LEAD_CORE_LABELS_H_
+#pragma once
 
 #include <vector>
 
@@ -30,4 +29,3 @@ std::vector<float> BackwardLabel(int num_stays,
 
 }  // namespace lead::core
 
-#endif  // LEAD_CORE_LABELS_H_

@@ -408,8 +408,10 @@ Status LeadModel::TrainAutoencoder(
       }
       optimizer->StepAndZeroGrad();
     }
-    return samples.empty() ? 0.0f
-                           : static_cast<float>(epoch_loss / samples.size());
+    return samples.empty()
+               ? 0.0f
+               : static_cast<float>(
+                     epoch_loss / static_cast<double>(samples.size()));
   };
 
   // Validation MSE (same subsampling policy, deterministic). Samples are
@@ -652,7 +654,8 @@ Status LeadModel::TrainDetectors(
       }
       return train_cached.empty()
                  ? 0.0f
-                 : static_cast<float>(epoch_loss / train_cached.size());
+                 : static_cast<float>(epoch_loss /
+                                       static_cast<double>(train_cached.size()));
     };
 
     // Chunks are scored concurrently against the frozen master (read-only
@@ -676,7 +679,8 @@ Status LeadModel::TrainDetectors(
       });
       double total = 0.0;
       for (int64_t k = 0; k < num_chunks; ++k) total += chunk_totals[k];
-      return static_cast<float>(total / val_cached.size());
+      return static_cast<float>(total /
+                                static_cast<double>(val_cached.size()));
     };
 
     return RunTrainingStage(
@@ -821,7 +825,7 @@ StatusOr<Detection> LeadModel::DetectProcessed(
       }
       ThreadPool::Global().ParallelFor(
           static_cast<int64_t>(buckets.size()), threads, [&](int64_t kb) {
-            nn::NoGradGuard no_grad;  // thread-local: lanes need their own
+            nn::NoGradGuard lane_no_grad;  // thread-local: lanes need their own
             const LengthBucket& bucket = buckets[kb];
             std::vector<nn::SeqView> bucket_views;
             bucket_views.reserve(bucket.items.size());

@@ -14,8 +14,7 @@
 //
 // All six ablation variants of §VI-A are configuration switches; see
 // MakeVariantOptions.
-#ifndef LEAD_CORE_LEAD_H_
-#define LEAD_CORE_LEAD_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -235,4 +234,3 @@ class LeadModel {
 
 }  // namespace lead::core
 
-#endif  // LEAD_CORE_LEAD_H_

@@ -2,8 +2,7 @@
 //
 // noise filter -> stay-point extraction -> stay/move segmentation ->
 // candidate generation -> per-point feature matrix.
-#ifndef LEAD_CORE_PIPELINE_H_
-#define LEAD_CORE_PIPELINE_H_
+#pragma once
 
 #include <vector>
 
@@ -49,4 +48,3 @@ nn::Variable SegmentFeatures(const ProcessedTrajectory& trajectory,
 
 }  // namespace lead::core
 
-#endif  // LEAD_CORE_PIPELINE_H_

@@ -10,8 +10,7 @@
 // budget, after which the stage fails with kInternal. Good epochs may be
 // checkpointed through a caller-supplied callback (see
 // TrainOptions::checkpoint_dir), enabling resume after a crash.
-#ifndef LEAD_CORE_TRAIN_LOOP_H_
-#define LEAD_CORE_TRAIN_LOOP_H_
+#pragma once
 
 #include <functional>
 #include <string>
@@ -85,4 +84,3 @@ Status RunTrainingStage(
 
 }  // namespace lead::core
 
-#endif  // LEAD_CORE_TRAIN_LOOP_H_

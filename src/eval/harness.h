@@ -1,8 +1,7 @@
 // Shared experiment harness: builds the simulated corpus, converts it to
 // training samples, evaluates detection methods and formats the paper's
 // tables. Every bench binary is a thin wrapper over this module.
-#ifndef LEAD_EVAL_HARNESS_H_
-#define LEAD_EVAL_HARNESS_H_
+#pragma once
 
 #include <functional>
 #include <memory>
@@ -83,4 +82,3 @@ std::string FormatLossCurve(const std::string& name,
 
 }  // namespace lead::eval
 
-#endif  // LEAD_EVAL_HARNESS_H_

@@ -1,7 +1,6 @@
 // Evaluation metric (paper Eq. 14) and the stay-point-count buckets used
 // throughout §VI: 3-5, 6-8, 9-11, 12-14 and the 3-14 overall column.
-#ifndef LEAD_EVAL_METRICS_H_
-#define LEAD_EVAL_METRICS_H_
+#pragma once
 
 #include <array>
 #include <string>
@@ -83,4 +82,3 @@ class TimingTable {
 
 }  // namespace lead::eval
 
-#endif  // LEAD_EVAL_METRICS_H_

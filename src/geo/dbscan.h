@@ -4,8 +4,7 @@
 // endpoints (paper §I motivation (1); the ICFinder system the paper cites
 // clusters truck stay locations the same way). Distances are haversine
 // meters; the neighbour search uses a uniform grid like poi::PoiIndex.
-#ifndef LEAD_GEO_DBSCAN_H_
-#define LEAD_GEO_DBSCAN_H_
+#pragma once
 
 #include <vector>
 
@@ -42,4 +41,3 @@ DbscanResult Dbscan(const std::vector<LatLng>& points,
 
 }  // namespace lead::geo
 
-#endif  // LEAD_GEO_DBSCAN_H_

@@ -1,7 +1,6 @@
 // WGS84 geodesy primitives: coordinates, great-circle distance, and local
 // metric offsets used by the trajectory and simulation substrates.
-#ifndef LEAD_GEO_LATLNG_H_
-#define LEAD_GEO_LATLNG_H_
+#pragma once
 
 #include <cmath>
 #include <ostream>
@@ -65,4 +64,3 @@ BoundingBox Expand(const BoundingBox& box, double margin_m);
 
 }  // namespace lead::geo
 
-#endif  // LEAD_GEO_LATLNG_H_

@@ -8,8 +8,7 @@
 // Rows of one trajectory must be contiguous and chronologically ordered;
 // readers validate both. These files are how real deployments would feed
 // government GPS archives into the library.
-#ifndef LEAD_IO_CSV_H_
-#define LEAD_IO_CSV_H_
+#pragma once
 
 #include <iosfwd>
 #include <string>
@@ -57,4 +56,3 @@ StatusOr<poi::Category> CategoryFromName(const std::string& name);
 
 }  // namespace lead::io
 
-#endif  // LEAD_IO_CSV_H_

@@ -4,8 +4,7 @@
 // Writers emit a FeatureCollection. Detection exports color the loaded
 // subtrajectory differently from the empty phases and mark the
 // loading/unloading stay points, mirroring the paper's Figure 1.
-#ifndef LEAD_IO_GEOJSON_H_
-#define LEAD_IO_GEOJSON_H_
+#pragma once
 
 #include <iosfwd>
 #include <string>
@@ -59,4 +58,3 @@ std::string JsonEscape(const std::string& raw);
 
 }  // namespace lead::io
 
-#endif  // LEAD_IO_GEOJSON_H_

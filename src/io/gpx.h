@@ -7,8 +7,7 @@
 // segments are concatenated). The parser is a small, forgiving
 // subset-of-XML scanner: attributes on trkpt and ISO-8601 UTC times are
 // required, everything else is ignored.
-#ifndef LEAD_IO_GPX_H_
-#define LEAD_IO_GPX_H_
+#pragma once
 
 #include <iosfwd>
 #include <string>
@@ -37,4 +36,3 @@ std::string FormatIso8601Utc(int64_t unix_seconds);
 
 }  // namespace lead::io
 
-#endif  // LEAD_IO_GPX_H_

@@ -20,7 +20,8 @@ Adam::Adam(std::vector<Variable> parameters, const AdamOptions& options)
 
 void Adam::Step() {
   const float scale = ClipScale(options_.clip_grad_norm);
-  if (scale == 0.0f) return;  // non-finite gradients: skip the update
+  // ClipScale returns the exact sentinel 0.0f for non-finite gradients.
+  if (scale == 0.0f) return;  // lead-lint: allow(float-eq)
   if constexpr (fault::Enabled()) {
     // Fault point "adam.grad": gradient corruption that slips in after
     // the clip-norm guard (models a torn write between the norm check

@@ -1,6 +1,5 @@
 // Adam optimizer (Kingma & Ba 2014), the paper's optimizer (lr 1e-4).
-#ifndef LEAD_NN_ADAM_H_
-#define LEAD_NN_ADAM_H_
+#pragma once
 
 #include <vector>
 
@@ -38,4 +37,3 @@ class Adam : public Optimizer {
 
 }  // namespace lead::nn
 
-#endif  // LEAD_NN_ADAM_H_

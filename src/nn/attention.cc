@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "nn/contract.h"
 #include "nn/init.h"
 
 namespace lead::nn {
@@ -17,6 +18,9 @@ LastQueryAttention::LastQueryAttention(int hidden_size, int key_size,
 }
 
 Variable LastQueryAttention::Forward(const Variable& hidden_states) const {
+  contract::RequireDims("LastQueryAttention::Forward", hidden_states.value(),
+                        -1, hidden_size_,
+                        "hidden states must be [T x hidden_size]");
   LEAD_CHECK_EQ(hidden_states.cols(), hidden_size_);
   const int steps = hidden_states.rows();
   LEAD_CHECK_GT(steps, 0);

@@ -5,8 +5,7 @@
 // single vector. The value matrix is the hidden states themselves, per
 // the paper ("the value matrix includes the hidden states output by
 // LSTM").
-#ifndef LEAD_NN_ATTENTION_H_
-#define LEAD_NN_ATTENTION_H_
+#pragma once
 
 #include <vector>
 
@@ -45,4 +44,3 @@ class LastQueryAttention : public Module {
 
 }  // namespace lead::nn
 
-#endif  // LEAD_NN_ATTENTION_H_

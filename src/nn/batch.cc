@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "nn/contract.h"
 #include "nn/ops.h"
 
 namespace lead::nn {
@@ -16,6 +17,12 @@ int SeqViewRows(const SeqView& view) {
 
 StepBatch StepBatch::WithSteps(std::vector<Variable> new_steps) const {
   LEAD_CHECK_EQ(new_steps.size(), steps.size());
+  if (contract::kEnabled && !new_steps.empty()) {
+    for (const Variable& s : new_steps) {
+      contract::RequireDims("StepBatch::WithSteps", s.value(), batch(), -1,
+                            "replacement steps must keep the batch rows");
+    }
+  }
   StepBatch out;
   out.steps = std::move(new_steps);
   out.masks = masks;
@@ -52,6 +59,9 @@ StepBatch PackViews(const std::vector<SeqView>& views) {
   for (int b = 0; b < batch; ++b) {
     int t = 0;
     for (const SeqSpan& span : views[b]) {
+      contract::Require("PackViews", span.source->cols() == dims,
+                        "all spans must share the feature width",
+                        *views[0][0].source, *span.source);
       LEAD_CHECK_EQ(span.source->cols(), dims);
       for (int r = 0; r < span.rows; ++r, ++t) {
         const float* src = span.source->row(span.row_begin + r);
@@ -82,6 +92,12 @@ StepBatch PackViews(const std::vector<SeqView>& views) {
 
 Variable MaskedUpdate(const Variable& fresh, const Variable& prev,
                       const Variable& mask, const Variable& inv_mask) {
+  contract::RequireSameShape("MaskedUpdate", fresh.value(), prev.value());
+  contract::Require("MaskedUpdate",
+                    mask.rows() == fresh.rows() && mask.cols() == 1 &&
+                        inv_mask.rows() == fresh.rows() &&
+                        inv_mask.cols() == 1,
+                    "masks must be [B x 1]", fresh.value(), mask.value());
   return Add(ScaleRows(fresh, mask), ScaleRows(prev, inv_mask));
 }
 

@@ -12,8 +12,7 @@
 // (feature banks, cached c-vecs); stages whose inputs are differentiable
 // Variables assemble the `steps` vector themselves (e.g. with GatherRows)
 // and attach it via WithSteps.
-#ifndef LEAD_NN_BATCH_H_
-#define LEAD_NN_BATCH_H_
+#pragma once
 
 #include <vector>
 
@@ -33,7 +32,7 @@ struct SeqSpan {
 // not enough in general).
 using SeqView = std::vector<SeqSpan>;
 
-int SeqViewRows(const SeqView& view);
+[[nodiscard]] int SeqViewRows(const SeqView& view);
 
 struct StepBatch {
   std::vector<Variable> steps;      // max_len entries, each [B x d]
@@ -41,24 +40,23 @@ struct StepBatch {
   std::vector<Variable> inv_masks;  // 1 - masks, same layout
   std::vector<int> lengths;         // B entries
 
-  int batch() const { return static_cast<int>(lengths.size()); }
-  int max_len() const { return static_cast<int>(steps.size()); }
-  bool ragged() const { return !masks.empty(); }
+  [[nodiscard]] int batch() const { return static_cast<int>(lengths.size()); }
+  [[nodiscard]] int max_len() const { return static_cast<int>(steps.size()); }
+  [[nodiscard]] bool ragged() const { return !masks.empty(); }
 
   // Same batch geometry (masks/lengths) over a different per-step payload;
   // used by stacked layers whose step width changes layer to layer.
-  StepBatch WithSteps(std::vector<Variable> new_steps) const;
+  [[nodiscard]] StepBatch WithSteps(std::vector<Variable> new_steps) const;
 };
 
 // Packs B sequences (all with the same column count, every length >= 1)
 // into time-major step constants; builds masks only when lengths differ.
-StepBatch PackViews(const std::vector<SeqView>& views);
+[[nodiscard]] StepBatch PackViews(const std::vector<SeqView>& views);
 
 // Masked state update: fresh where mask is 1, prev where it is 0
 // (rowwise). Shorthand for Add(ScaleRows(fresh, m), ScaleRows(prev, im)).
-Variable MaskedUpdate(const Variable& fresh, const Variable& prev,
+[[nodiscard]] Variable MaskedUpdate(const Variable& fresh, const Variable& prev,
                       const Variable& mask, const Variable& inv_mask);
 
 }  // namespace lead::nn
 
-#endif  // LEAD_NN_BATCH_H_

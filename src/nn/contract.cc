@@ -1,0 +1,32 @@
+#include "nn/contract.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lead::nn::contract {
+
+void Fail(const char* op, const char* requirement, int a_rows, int a_cols,
+          int b_rows, int b_cols) {
+  std::fprintf(stderr,
+               "LEAD_CHECK_SHAPES: op %s: %s: lhs [%d x %d] vs rhs "
+               "[%d x %d]\n",
+               op, requirement, a_rows, a_cols, b_rows, b_cols);
+  std::abort();
+}
+
+void TapeFail(const char* op, const char* what) {
+  std::fprintf(stderr, "LEAD_CHECK_SHAPES: tape violation at op %s: %s\n", op,
+               what);
+  std::abort();
+}
+
+void NonFiniteFail(const char* op, const char* what, int row, int col,
+                   float value) {
+  std::fprintf(stderr,
+               "LEAD_CHECK_SHAPES: op %s: first non-finite %s at [%d, %d] "
+               "(%f)\n",
+               op, what, row, col, static_cast<double>(value));
+  std::abort();
+}
+
+}  // namespace lead::nn::contract

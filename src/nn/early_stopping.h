@@ -1,6 +1,5 @@
 // Early stopping on a validation metric (paper cites Caruana et al. 2000).
-#ifndef LEAD_NN_EARLY_STOPPING_H_
-#define LEAD_NN_EARLY_STOPPING_H_
+#pragma once
 
 #include <limits>
 
@@ -40,4 +39,3 @@ class EarlyStopping {
 
 }  // namespace lead::nn
 
-#endif  // LEAD_NN_EARLY_STOPPING_H_

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "nn/contract.h"
 #include "nn/init.h"
 
 namespace lead::nn {
@@ -18,6 +19,8 @@ GruCell::GruCell(int input_size, int hidden_size, Rng* rng)
 }
 
 Variable GruCell::ForwardSequence(const Variable& x) const {
+  contract::RequireDims("GruCell::ForwardSequence", x.value(), -1,
+                        input_size_, "sequence must be [T x input_size]");
   LEAD_CHECK_EQ(x.cols(), input_size_);
   const int steps = x.rows();
   LEAD_CHECK_GT(steps, 0);
@@ -50,6 +53,9 @@ std::vector<Variable> GruCell::ForwardSequenceSteps(
   std::vector<Variable> hidden_states;
   hidden_states.reserve(steps);
   for (int t = 0; t < steps; ++t) {
+    contract::RequireDims("GruCell::ForwardSequenceSteps",
+                          input.steps[t].value(), input.batch(), input_size_,
+                          "step payload must be [B x input_size]");
     LEAD_CHECK_EQ(input.steps[t].cols(), input_size_);
     const Variable xp = Add(MatMul(input.steps[t], w_ih_), b_ih_);
     const Variable hp = Add(MatMul(hidden, w_hh_), b_hh_);  // [B x 3H]

@@ -1,6 +1,5 @@
 // GRU cell (Chung et al. 2014), used by the SP-GRU baseline classifier.
-#ifndef LEAD_NN_GRU_H_
-#define LEAD_NN_GRU_H_
+#pragma once
 
 #include <vector>
 
@@ -40,4 +39,3 @@ class GruCell : public Module {
 
 }  // namespace lead::nn
 
-#endif  // LEAD_NN_GRU_H_

@@ -1,6 +1,5 @@
 // Weight initialization schemes.
-#ifndef LEAD_NN_INIT_H_
-#define LEAD_NN_INIT_H_
+#pragma once
 
 #include "common/rng.h"
 #include "nn/matrix.h"
@@ -16,4 +15,3 @@ Matrix XavierUniform(int fan_in, int fan_out, Rng* rng);
 
 }  // namespace lead::nn
 
-#endif  // LEAD_NN_INIT_H_

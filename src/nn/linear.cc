@@ -1,6 +1,7 @@
 #include "nn/linear.h"
 
 #include "nn/init.h"
+#include "nn/contract.h"
 
 namespace lead::nn {
 
@@ -12,6 +13,8 @@ Linear::Linear(int in_features, int out_features, Rng* rng)
 }
 
 Variable Linear::Forward(const Variable& x) const {
+  contract::RequireDims("Linear::Forward", x.value(), -1, in_features_,
+                        "input must be [B x in_features]");
   return Add(MatMul(x, weight_), bias_);
 }
 

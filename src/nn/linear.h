@@ -1,6 +1,5 @@
 // Fully connected layer: y = x W + b.
-#ifndef LEAD_NN_LINEAR_H_
-#define LEAD_NN_LINEAR_H_
+#pragma once
 
 #include "common/rng.h"
 #include "nn/module.h"
@@ -27,4 +26,3 @@ class Linear : public Module {
 
 }  // namespace lead::nn
 
-#endif  // LEAD_NN_LINEAR_H_

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "nn/contract.h"
 #include "nn/init.h"
 
 namespace lead::nn {
@@ -38,12 +39,16 @@ LstmCell::State LstmCell::ApplyGates(const Variable& preact,
 
 LstmCell::State LstmCell::Step(const Variable& x_t,
                                const State& prev) const {
+  contract::RequireDims("LstmCell::Step", x_t.value(), prev.h.rows(),
+                        input_size_, "x_t must be [batch(prev) x input_size]");
   const Variable preact =
       Add(Add(MatMul(x_t, w_ih_), MatMul(prev.h, w_hh_)), bias_);
   return ApplyGates(preact, prev);
 }
 
 Variable LstmCell::ForwardSequence(const Variable& x) const {
+  contract::RequireDims("LstmCell::ForwardSequence", x.value(), -1,
+                        input_size_, "sequence must be [T x input_size]");
   LEAD_CHECK_EQ(x.cols(), input_size_);
   const int steps = x.rows();
   LEAD_CHECK_GT(steps, 0);
@@ -69,6 +74,9 @@ std::vector<Variable> LstmCell::ForwardSequenceSteps(
   std::vector<Variable> hidden_states;
   hidden_states.reserve(steps);
   for (int t = 0; t < steps; ++t) {
+    contract::RequireDims("LstmCell::ForwardSequenceSteps",
+                          input.steps[t].value(), input.batch(), input_size_,
+                          "step payload must be [B x input_size]");
     LEAD_CHECK_EQ(input.steps[t].cols(), input_size_);
     const Variable preact = Add(
         Add(MatMul(input.steps[t], w_ih_), MatMul(state.h, w_hh_)), bias_);
@@ -95,6 +103,9 @@ std::vector<Variable> LstmCell::ForwardSequenceStepsReversed(
   State state = InitialState(input.batch());
   std::vector<Variable> hidden_states(steps);
   for (int t = steps - 1; t >= 0; --t) {
+    contract::RequireDims("LstmCell::ForwardSequenceStepsReversed",
+                          input.steps[t].value(), input.batch(), input_size_,
+                          "step payload must be [B x input_size]");
     LEAD_CHECK_EQ(input.steps[t].cols(), input_size_);
     const Variable preact = Add(
         Add(MatMul(input.steps[t], w_ih_), MatMul(state.h, w_hh_)), bias_);
@@ -113,6 +124,8 @@ std::vector<Variable> LstmCell::ForwardSequenceStepsReversed(
 
 std::vector<Variable> LstmCell::ForwardConstantInputSteps(const Variable& v,
                                                           int steps) const {
+  contract::RequireDims("LstmCell::ForwardConstantInputSteps", v.value(), -1,
+                        input_size_, "constant input must be [B x input_size]");
   LEAD_CHECK_EQ(v.cols(), input_size_);
   LEAD_CHECK_GT(steps, 0);
   const Variable input_proj = MatMul(v, w_ih_);  // [B x 4H], reused
@@ -129,6 +142,8 @@ std::vector<Variable> LstmCell::ForwardConstantInputSteps(const Variable& v,
 }
 
 Variable LstmCell::ForwardConstantInput(const Variable& v, int steps) const {
+  contract::RequireDims("LstmCell::ForwardConstantInput", v.value(), 1,
+                        input_size_, "constant input must be [1 x input_size]");
   LEAD_CHECK_EQ(v.rows(), 1);
   LEAD_CHECK_EQ(v.cols(), input_size_);
   LEAD_CHECK_GT(steps, 0);

@@ -1,8 +1,7 @@
 // LSTM primitives (Hochreiter & Schmidhuber 1997), the recurrent backbone
 // of the paper's compression/decompression operators (Eq. 2, 5) and the
 // BiLSTM detectors (Eq. 9).
-#ifndef LEAD_NN_LSTM_H_
-#define LEAD_NN_LSTM_H_
+#pragma once
 
 #include <vector>
 
@@ -100,4 +99,3 @@ class BiLstm : public Module {
 
 }  // namespace lead::nn
 
-#endif  // LEAD_NN_LSTM_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <utility>
+#include "nn/contract.h"
 
 namespace lead::nn {
 
@@ -29,6 +30,7 @@ void Matrix::Fill(float value) {
 }
 
 void MatMulAccumulate(const Matrix& a, const Matrix& b, Matrix* out) {
+  contract::RequireInner("MatMulAccumulate", a, b);
   LEAD_CHECK_EQ(a.cols(), b.rows());
   LEAD_CHECK_EQ(out->rows(), a.rows());
   LEAD_CHECK_EQ(out->cols(), b.cols());
@@ -90,7 +92,9 @@ void MatMulAccumulateSparseA(const Matrix& a, const Matrix& b, Matrix* out) {
     float* out_row = out->row(i);
     for (int p = 0; p < k; ++p) {
       const float a_ip = a_row[p];
-      if (a_ip == 0.0f) continue;
+      // Exact-zero skip: only multiplications by literal 0 are elided,
+      // so the result is bit-identical to the dense loop.
+      if (a_ip == 0.0f) continue;  // lead-lint: allow(float-eq)
       const float* b_row = b.row(p);
       for (int j = 0; j < n; ++j) {
         out_row[j] += a_ip * b_row[j];

@@ -3,8 +3,7 @@
 // All tensors in this library are rank-2; vectors are [1 x n] rows and
 // scalars are [1 x 1]. Sequences are either matrices ([T x d], one row per
 // step) or std::vector<Variable> at the layer level.
-#ifndef LEAD_NN_MATRIX_H_
-#define LEAD_NN_MATRIX_H_
+#pragma once
 
 #include <vector>
 
@@ -17,45 +16,69 @@ class Matrix {
  public:
   Matrix() : rows_(0), cols_(0) {}
   Matrix(int rows, int cols)
-      : rows_(rows), cols_(cols),
-        data_(static_cast<size_t>(rows) * cols, 0.0f) {
-    LEAD_CHECK_GE(rows, 0);
-    LEAD_CHECK_GE(cols, 0);
-  }
+      : rows_(rows), cols_(cols), data_(CheckedSize(rows, cols), 0.0f) {}
   Matrix(int rows, int cols, std::vector<float> data)
       : rows_(rows), cols_(cols), data_(std::move(data)) {
-    LEAD_CHECK_EQ(static_cast<size_t>(rows) * cols, data_.size());
+    LEAD_CHECK_GE(rows, 0);
+    LEAD_CHECK_GE(cols, 0);
+    LEAD_CHECK_EQ(static_cast<size_t>(rows) * static_cast<size_t>(cols),
+                  data_.size());
   }
 
-  static Matrix Zeros(int rows, int cols) { return Matrix(rows, cols); }
-  static Matrix Full(int rows, int cols, float value);
+  [[nodiscard]] static Matrix Zeros(int rows, int cols) {
+    return Matrix(rows, cols);
+  }
+  [[nodiscard]] static Matrix Full(int rows, int cols, float value);
   // A single row vector from values.
-  static Matrix RowVector(std::vector<float> values);
+  [[nodiscard]] static Matrix RowVector(std::vector<float> values);
   // Uniform random entries in [-bound, bound].
-  static Matrix Uniform(int rows, int cols, float bound, Rng* rng);
+  [[nodiscard]] static Matrix Uniform(int rows, int cols, float bound,
+                                      Rng* rng);
 
-  int rows() const { return rows_; }
-  int cols() const { return cols_; }
-  int size() const { return rows_ * cols_; }
-  bool empty() const { return data_.empty(); }
+  [[nodiscard]] int rows() const { return rows_; }
+  [[nodiscard]] int cols() const { return cols_; }
+  [[nodiscard]] int size() const { return rows_ * cols_; }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
 
-  float& at(int r, int c) { return data_[static_cast<size_t>(r) * cols_ + c]; }
-  float at(int r, int c) const {
-    return data_[static_cast<size_t>(r) * cols_ + c];
-  }
+  // Element/row accessors bounds-check under LEAD_DCHECK (debug builds
+  // only; release indexing stays branch-free).
+  float& at(int r, int c) { return data_[Index(r, c)]; }
+  [[nodiscard]] float at(int r, int c) const { return data_[Index(r, c)]; }
   float* data() { return data_.data(); }
-  const float* data() const { return data_.data(); }
-  float* row(int r) { return data_.data() + static_cast<size_t>(r) * cols_; }
-  const float* row(int r) const {
-    return data_.data() + static_cast<size_t>(r) * cols_;
+  [[nodiscard]] const float* data() const { return data_.data(); }
+  float* row(int r) { return data_.data() + RowOffset(r); }
+  [[nodiscard]] const float* row(int r) const {
+    return data_.data() + RowOffset(r);
   }
 
   void Fill(float value);
-  bool SameShape(const Matrix& other) const {
+  [[nodiscard]] bool SameShape(const Matrix& other) const {
     return rows_ == other.rows_ && cols_ == other.cols_;
   }
 
  private:
+  // Validates the sign of a requested shape before the allocation size is
+  // computed, so a negative dimension aborts instead of wrapping around to
+  // a near-SIZE_MAX allocation.
+  static size_t CheckedSize(int rows, int cols) {
+    LEAD_CHECK_GE(rows, 0);
+    LEAD_CHECK_GE(cols, 0);
+    return static_cast<size_t>(rows) * static_cast<size_t>(cols);
+  }
+
+  // All index arithmetic goes through these two so the signed->size_t
+  // conversion happens exactly once, after the sign has been checked.
+  size_t Index(int r, int c) const {
+    LEAD_DCHECK(r >= 0 && r < rows_);
+    LEAD_DCHECK(c >= 0 && c < cols_);
+    return static_cast<size_t>(r) * static_cast<size_t>(cols_) +
+           static_cast<size_t>(c);
+  }
+  size_t RowOffset(int r) const {
+    LEAD_DCHECK(r >= 0 && r < rows_);
+    return static_cast<size_t>(r) * static_cast<size_t>(cols_);
+  }
+
   int rows_;
   int cols_;
   std::vector<float> data_;
@@ -80,4 +103,3 @@ void MatMulTransposeBAccumulate(const Matrix& a, const Matrix& b,
 
 }  // namespace lead::nn
 
-#endif  // LEAD_NN_MATRIX_H_

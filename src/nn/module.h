@@ -1,7 +1,6 @@
 // Base class for trainable components: a named-parameter registry used by
 // optimizers and (de)serialization.
-#ifndef LEAD_NN_MODULE_H_
-#define LEAD_NN_MODULE_H_
+#pragma once
 
 #include <string>
 #include <utility>
@@ -52,4 +51,3 @@ class Module {
 
 }  // namespace lead::nn
 
-#endif  // LEAD_NN_MODULE_H_

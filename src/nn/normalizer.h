@@ -3,8 +3,7 @@
 // Fit on training-set feature vectors; Apply standardizes each dimension
 // to zero mean / unit variance. Constant dimensions pass through centered
 // (std clamped to a minimum) to avoid division blow-ups.
-#ifndef LEAD_NN_NORMALIZER_H_
-#define LEAD_NN_NORMALIZER_H_
+#pragma once
 
 #include <vector>
 
@@ -43,4 +42,3 @@ class ZScoreNormalizer {
 
 }  // namespace lead::nn
 
-#endif  // LEAD_NN_NORMALIZER_H_

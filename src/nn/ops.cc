@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "nn/contract.h"
 
 namespace lead::nn {
 namespace {
@@ -26,6 +27,10 @@ void AccumulateGrad(Node* node, const Matrix& src) {
 Variable Add(const Variable& a, const Variable& b) {
   const bool broadcast =
       b.rows() == 1 && a.rows() != 1 && b.cols() == a.cols();
+  contract::Require("Add",
+                    broadcast || a.value().SameShape(b.value()),
+                    "operands must match or rhs must be a [1 x n] row",
+                    a.value(), b.value());
   LEAD_CHECK(broadcast ||
              (a.rows() == b.rows() && a.cols() == b.cols()));
   Matrix out = a.value();
@@ -56,10 +61,12 @@ Variable Add(const Variable& a, const Variable& b) {
         } else {
           AccumulateGrad(bn, g);
         }
-      });
+      },
+      "Add");
 }
 
 Variable Sub(const Variable& a, const Variable& b) {
+  contract::RequireSameShape("Sub", a.value(), b.value());
   LEAD_CHECK(a.value().SameShape(b.value()));
   Matrix out = a.value();
   const float* bd = b.value().data();
@@ -77,10 +84,12 @@ Variable Sub(const Variable& a, const Variable& b) {
                             for (int i = 0; i < g.size(); ++i) {
                               bg[i] -= gd[i];
                             }
-                          });
+                          },
+      "Sub");
 }
 
 Variable Mul(const Variable& a, const Variable& b) {
+  contract::RequireSameShape("Mul", a.value(), b.value());
   LEAD_CHECK(a.value().SameShape(b.value()));
   Matrix out = a.value();
   const float* bd = b.value().data();
@@ -104,7 +113,8 @@ Variable Mul(const Variable& a, const Variable& b) {
           const float* av = an->value.data();
           for (int i = 0; i < g.size(); ++i) bg[i] += gd[i] * av[i];
         }
-      });
+      },
+      "Mul");
 }
 
 Variable ScalarMul(const Variable& a, float s) {
@@ -118,10 +128,12 @@ Variable ScalarMul(const Variable& a, float s) {
     float* ag = an->grad.data();
     const float* gd = g.data();
     for (int i = 0; i < g.size(); ++i) ag[i] += gd[i] * s;
-  });
+  },
+      "ScalarMul");
 }
 
 Variable MatMul(const Variable& a, const Variable& b) {
+  contract::RequireInner("MatMul", a.value(), b.value());
   LEAD_CHECK_EQ(a.cols(), b.rows());
   Matrix out(a.rows(), b.cols());
   MatMulAccumulate(a.value(), b.value(), &out);
@@ -137,7 +149,8 @@ Variable MatMul(const Variable& a, const Variable& b) {
           bn->EnsureGrad();
           MatMulTransposeAAccumulate(an->value, g, &bn->grad);
         }
-      });
+      },
+      "MatMul");
 }
 
 Variable Transpose(const Variable& a) {
@@ -156,13 +169,14 @@ Variable Transpose(const Variable& a) {
         an->grad.at(c, r) += g.at(r, c);
       }
     }
-  });
+  },
+      "Transpose");
 }
 
 namespace {
 
 template <typename ForwardFn, typename DerivFromOutputFn>
-Variable ElementwiseOp(const Variable& a, ForwardFn fwd,
+Variable ElementwiseOp(const char* name, const Variable& a, ForwardFn fwd,
                        DerivFromOutputFn deriv) {
   Matrix out = a.value();
   float* od = out.data();
@@ -182,26 +196,27 @@ Variable ElementwiseOp(const Variable& a, ForwardFn fwd,
         for (int i = 0; i < g.size(); ++i) {
           ag[i] += gd[i] * deriv(ov[i]);
         }
-      });
+      },
+      name);
 }
 
 }  // namespace
 
 Variable Tanh(const Variable& a) {
   return ElementwiseOp(
-      a, [](float x) { return std::tanh(x); },
+      "Tanh", a, [](float x) { return std::tanh(x); },
       [](float y) { return 1.0f - y * y; });
 }
 
 Variable Sigmoid(const Variable& a) {
   return ElementwiseOp(
-      a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      "Sigmoid", a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
       [](float y) { return y * (1.0f - y); });
 }
 
 Variable Relu(const Variable& a) {
   return ElementwiseOp(
-      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      "Relu", a, [](float x) { return x > 0.0f ? x : 0.0f; },
       [](float y) { return y > 0.0f ? 1.0f : 0.0f; });
 }
 
@@ -225,7 +240,8 @@ Variable Log(const Variable& a, float eps) {
         const float* gd = g.data();
         const float* cv = clamped_in.data();
         for (int i = 0; i < g.size(); ++i) ag[i] += gd[i] / cv[i];
-      });
+      },
+      "Log");
 }
 
 Variable SoftmaxRows(const Variable& a) {
@@ -258,7 +274,8 @@ Variable SoftmaxRows(const Variable& a) {
             arow[c] += (grow[c] - dot) * yrow[c];
           }
         }
-      });
+      },
+      "SoftmaxRows");
 }
 
 Variable AddScalar(const Variable& a, float s) {
@@ -268,10 +285,13 @@ Variable AddScalar(const Variable& a, float s) {
   Node* an = a.node();
   return Variable::FromOp(std::move(out), {a}, [an](const Matrix& g) {
     AccumulateGrad(an, g);
-  });
+  },
+      "AddScalar");
 }
 
 Variable SliceCols(const Variable& a, int start, int len) {
+  contract::RequireSpan("SliceCols", a.value(), start, len, a.cols(),
+                        "column slice [start, start+len) out of range");
   LEAD_CHECK_GE(start, 0);
   LEAD_CHECK_GE(len, 1);
   LEAD_CHECK_LE(start + len, a.cols());
@@ -292,10 +312,13 @@ Variable SliceCols(const Variable& a, int start, int len) {
                                 arow[c] += grow[c];
                               }
                             }
-                          });
+                          },
+      "SliceCols");
 }
 
 Variable SliceRows(const Variable& a, int start, int len) {
+  contract::RequireSpan("SliceRows", a.value(), start, len, a.rows(),
+                        "row slice [start, start+len) out of range");
   LEAD_CHECK_GE(start, 0);
   LEAD_CHECK_GE(len, 1);
   LEAD_CHECK_LE(start + len, a.rows());
@@ -316,7 +339,8 @@ Variable SliceRows(const Variable& a, int start, int len) {
                                 arow[c] += grow[c];
                               }
                             }
-                          });
+                          },
+      "SliceRows");
 }
 
 Variable ConcatRows(const std::vector<Variable>& parts) {
@@ -324,6 +348,9 @@ Variable ConcatRows(const std::vector<Variable>& parts) {
   const int cols = parts[0].cols();
   int rows = 0;
   for (const Variable& p : parts) {
+    contract::Require("ConcatRows", p.cols() == cols,
+                      "parts must share the column count", parts[0].value(),
+                      p.value());
     LEAD_CHECK_EQ(p.cols(), cols);
     rows += p.rows();
   }
@@ -361,7 +388,8 @@ Variable ConcatRows(const std::vector<Variable>& parts) {
             for (int c = 0; c < g.cols(); ++c) nrow[c] += grow[c];
           }
         }
-      });
+      },
+      "ConcatRows");
 }
 
 Variable ConcatCols(const std::vector<Variable>& parts) {
@@ -369,6 +397,9 @@ Variable ConcatCols(const std::vector<Variable>& parts) {
   const int rows = parts[0].rows();
   int cols = 0;
   for (const Variable& p : parts) {
+    contract::Require("ConcatCols", p.rows() == rows,
+                      "parts must share the row count", parts[0].value(),
+                      p.value());
     LEAD_CHECK_EQ(p.rows(), rows);
     cols += p.cols();
   }
@@ -405,7 +436,8 @@ Variable ConcatCols(const std::vector<Variable>& parts) {
             for (int c = 0; c < widths[k]; ++c) nrow[c] += grow[c];
           }
         }
-      });
+      },
+      "ConcatCols");
 }
 
 Variable ReverseRows(const Variable& a) {
@@ -423,7 +455,8 @@ Variable ReverseRows(const Variable& a) {
       float* arow = an->grad.row(g.rows() - 1 - r);
       for (int c = 0; c < g.cols(); ++c) arow[c] += grow[c];
     }
-  });
+  },
+      "ReverseRows");
 }
 
 Variable Sum(const Variable& a) {
@@ -440,7 +473,8 @@ Variable Sum(const Variable& a) {
                             for (int i = 0; i < an->grad.size(); ++i) {
                               ag[i] += go;
                             }
-                          });
+                          },
+      "Sum");
 }
 
 Variable Mean(const Variable& a) {
@@ -467,10 +501,14 @@ Variable RowSum(const Variable& a) {
       float* arow = an->grad.row(r);
       for (int c = 0; c < n; ++c) arow[c] += go;
     }
-  });
+  },
+      "RowSum");
 }
 
 Variable ScaleRows(const Variable& a, const Variable& s) {
+  contract::Require("ScaleRows", s.rows() == a.rows() && s.cols() == 1,
+                    "scale operand must be [rows(a) x 1]", a.value(),
+                    s.value());
   LEAD_CHECK_EQ(s.rows(), a.rows());
   LEAD_CHECK_EQ(s.cols(), 1);
   Matrix out = a.value();
@@ -502,13 +540,16 @@ Variable ScaleRows(const Variable& a, const Variable& s) {
             sn->grad.at(r, 0) += dot;
           }
         }
-      });
+      },
+      "ScaleRows");
 }
 
 Variable GatherRows(const Variable& a, std::vector<int> rows) {
   const int n = a.cols();
   Matrix out(static_cast<int>(rows.size()), n);
   for (size_t i = 0; i < rows.size(); ++i) {
+    contract::RequireIndex("GatherRows", a.value(), rows[i], a.rows(),
+                           "gather row index out of range");
     LEAD_CHECK_GE(rows[i], 0);
     LEAD_CHECK_LT(rows[i], a.rows());
     const float* src = a.value().row(rows[i]);
@@ -524,10 +565,12 @@ Variable GatherRows(const Variable& a, std::vector<int> rows) {
           float* arow = an->grad.row(rows[i]);
           for (int c = 0; c < g.cols(); ++c) arow[c] += grow[c];
         }
-      });
+      },
+      "GatherRows");
 }
 
 Variable MseLoss(const Variable& prediction, const Variable& target) {
+  contract::RequireSameShape("MseLoss", prediction.value(), target.value());
   LEAD_CHECK(prediction.value().SameShape(target.value()));
   const int n = prediction.value().size();
   LEAD_CHECK_GT(n, 0);
@@ -561,13 +604,15 @@ Variable MseLoss(const Variable& prediction, const Variable& target) {
             tg[i] -= go * 2.0f * (pv[i] - tv[i]) * inv_n;
           }
         }
-      });
+      },
+      "MseLoss");
 }
 
 Variable Dropout(const Variable& a, float p, Rng* rng) {
   LEAD_CHECK_GE(p, 0.0f);
   LEAD_CHECK_LT(p, 1.0f);
-  if (p == 0.0f || internal::NoGradEnabled()) return a;
+  // p == 0 exactly means dropout is disabled; any nonzero p drops.
+  if (p == 0.0f || internal::NoGradEnabled()) return a;  // lead-lint: allow(float-eq)
   const float keep_scale = 1.0f / (1.0f - p);
   Matrix mask(a.rows(), a.cols());
   for (int i = 0; i < mask.size(); ++i) {
@@ -578,6 +623,8 @@ Variable Dropout(const Variable& a, float p, Rng* rng) {
 
 Variable KlDivergence(const Variable& label, const Variable& prediction,
                       float eps) {
+  contract::RequireSameShape("KlDivergence", label.value(),
+                             prediction.value());
   LEAD_CHECK(label.value().SameShape(prediction.value()));
   const int n = label.value().size();
   float total = 0.0f;
@@ -595,14 +642,15 @@ Variable KlDivergence(const Variable& label, const Variable& prediction,
         if (!pn->requires_grad) return;
         pn->EnsureGrad();
         const float go = g.at(0, 0);
-        const float* lv = ln->value.data();
-        const float* pv = pn->value.data();
+        const float* lvd = ln->value.data();
+        const float* pvd = pn->value.data();
         float* pg = pn->grad.data();
         for (int i = 0; i < n; ++i) {
-          if (lv[i] <= 0.0f) continue;
-          pg[i] -= go * lv[i] / std::max(pv[i], eps);
+          if (lvd[i] <= 0.0f) continue;
+          pg[i] -= go * lvd[i] / std::max(pvd[i], eps);
         }
-      });
+      },
+      "KlDivergence");
 }
 
 }  // namespace lead::nn

@@ -3,8 +3,7 @@
 // Every function returns a new Variable; gradients flow to inputs that
 // require them. Shapes are validated with LEAD_CHECK (shape errors are
 // programming errors).
-#ifndef LEAD_NN_OPS_H_
-#define LEAD_NN_OPS_H_
+#pragma once
 
 #include <vector>
 
@@ -15,77 +14,76 @@ namespace lead::nn {
 
 // Elementwise a + b. b may also be a [1 x cols] row vector, broadcast over
 // a's rows (the bias pattern).
-Variable Add(const Variable& a, const Variable& b);
+[[nodiscard]] Variable Add(const Variable& a, const Variable& b);
 // Elementwise a - b (same shape).
-Variable Sub(const Variable& a, const Variable& b);
+[[nodiscard]] Variable Sub(const Variable& a, const Variable& b);
 // Elementwise (Hadamard) a * b (same shape).
-Variable Mul(const Variable& a, const Variable& b);
+[[nodiscard]] Variable Mul(const Variable& a, const Variable& b);
 // a * s for a scalar constant s.
-Variable ScalarMul(const Variable& a, float s);
+[[nodiscard]] Variable ScalarMul(const Variable& a, float s);
 
 // Matrix product [m x k] * [k x n] -> [m x n].
-Variable MatMul(const Variable& a, const Variable& b);
+[[nodiscard]] Variable MatMul(const Variable& a, const Variable& b);
 // Transpose [m x n] -> [n x m].
-Variable Transpose(const Variable& a);
+[[nodiscard]] Variable Transpose(const Variable& a);
 
 // Elementwise nonlinearities.
-Variable Tanh(const Variable& a);
-Variable Sigmoid(const Variable& a);
-Variable Relu(const Variable& a);
+[[nodiscard]] Variable Tanh(const Variable& a);
+[[nodiscard]] Variable Sigmoid(const Variable& a);
+[[nodiscard]] Variable Relu(const Variable& a);
 // Elementwise natural log; inputs are clamped to >= eps for stability.
-Variable Log(const Variable& a, float eps = 1e-12f);
+[[nodiscard]] Variable Log(const Variable& a, float eps = 1e-12f);
 
 // Row-wise softmax.
-Variable SoftmaxRows(const Variable& a);
+[[nodiscard]] Variable SoftmaxRows(const Variable& a);
 
 // a + s elementwise for a scalar constant s.
-Variable AddScalar(const Variable& a, float s);
+[[nodiscard]] Variable AddScalar(const Variable& a, float s);
 
 // Rows [start, start+len) of a, as a [len x cols] matrix.
-Variable SliceRows(const Variable& a, int start, int len);
+[[nodiscard]] Variable SliceRows(const Variable& a, int start, int len);
 // Columns [start, start+len) of a, as a [rows x len] matrix.
-Variable SliceCols(const Variable& a, int start, int len);
+[[nodiscard]] Variable SliceCols(const Variable& a, int start, int len);
 // Vertically stacks parts (equal cols).
-Variable ConcatRows(const std::vector<Variable>& parts);
+[[nodiscard]] Variable ConcatRows(const std::vector<Variable>& parts);
 // Horizontally concatenates parts (equal rows).
-Variable ConcatCols(const std::vector<Variable>& parts);
+[[nodiscard]] Variable ConcatCols(const std::vector<Variable>& parts);
 // Reverses the row order (sequence reversal for backward LSTMs).
-Variable ReverseRows(const Variable& a);
+[[nodiscard]] Variable ReverseRows(const Variable& a);
 
 // Sum / mean over all elements -> [1 x 1].
-Variable Sum(const Variable& a);
-Variable Mean(const Variable& a);
+[[nodiscard]] Variable Sum(const Variable& a);
+[[nodiscard]] Variable Mean(const Variable& a);
 
 // Per-row sum over columns: [m x n] -> [m x 1].
-Variable RowSum(const Variable& a);
+[[nodiscard]] Variable RowSum(const Variable& a);
 
 // Scales every row of a [m x n] by the matching scalar of s [m x 1]:
 // out[r][c] = a[r][c] * s[r][0]. The column-broadcast complement of the
 // row-broadcast in Add; used for per-sequence masking/weighting in
 // batch-major kernels (batch.h).
-Variable ScaleRows(const Variable& a, const Variable& s);
+[[nodiscard]] Variable ScaleRows(const Variable& a, const Variable& s);
 
 // Rows of a selected by index, in order: out[i] = a[rows[i]]. Indices may
 // repeat; the backward pass scatter-adds. This is how batch-major stages
 // regroup per-sequence rows between bucketed kernel launches.
-Variable GatherRows(const Variable& a, std::vector<int> rows);
+[[nodiscard]] Variable GatherRows(const Variable& a, std::vector<int> rows);
 
 // Mean squared error between prediction and a target of the same shape
 // (Eq. 8). Gradients flow to both inputs if required.
-Variable MseLoss(const Variable& prediction, const Variable& target);
+[[nodiscard]] Variable MseLoss(const Variable& prediction, const Variable& target);
 
 // Inverted dropout: during training (outside NoGradGuard) zeroes each
 // element with probability p and scales survivors by 1/(1-p); identity
 // in inference mode. p in [0, 1).
-Variable Dropout(const Variable& a, float p, Rng* rng);
+[[nodiscard]] Variable Dropout(const Variable& a, float p, Rng* rng);
 
 // Kullback-Leibler divergence sum_i label_i * log(label_i / pred_i)
 // (Eqs. 11-12). `label` is a probability distribution (typically an
 // eps-smoothed constant); gradients flow to `prediction` only.
 // Predictions are clamped to >= eps inside the log.
-Variable KlDivergence(const Variable& label, const Variable& prediction,
+[[nodiscard]] Variable KlDivergence(const Variable& label, const Variable& prediction,
                       float eps = 1e-12f);
 
 }  // namespace lead::nn
 
-#endif  // LEAD_NN_OPS_H_

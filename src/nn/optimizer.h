@@ -1,6 +1,5 @@
 // Optimizer interface shared by Adam and SGD.
-#ifndef LEAD_NN_OPTIMIZER_H_
-#define LEAD_NN_OPTIMIZER_H_
+#pragma once
 
 #include <vector>
 
@@ -49,4 +48,3 @@ class Optimizer {
 
 }  // namespace lead::nn
 
-#endif  // LEAD_NN_OPTIMIZER_H_

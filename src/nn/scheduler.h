@@ -1,8 +1,7 @@
 // Learning-rate schedules (the paper trains Adam with a "scheduled
 // learning rate"). A scheduler maps an epoch index to a rate; trainers
 // apply it via Optimizer::set_learning_rate at each epoch boundary.
-#ifndef LEAD_NN_SCHEDULER_H_
-#define LEAD_NN_SCHEDULER_H_
+#pragma once
 
 #include <algorithm>
 #include <cmath>
@@ -51,7 +50,8 @@ class CosineDecayLr {
   }
   float LearningRate(int epoch) const {
     const float t =
-        std::min(1.0f, static_cast<float>(epoch) / total_epochs_);
+        std::min(1.0f, static_cast<float>(epoch) /
+                           static_cast<float>(total_epochs_));
     return min_lr_ + 0.5f * (initial_lr_ - min_lr_) *
                          (1.0f + std::cos(t * static_cast<float>(M_PI)));
   }
@@ -64,4 +64,3 @@ class CosineDecayLr {
 
 }  // namespace lead::nn
 
-#endif  // LEAD_NN_SCHEDULER_H_

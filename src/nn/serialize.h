@@ -16,8 +16,7 @@
 // Fault points (common/fault.h): "serialize.write" makes the save fail
 // after a torn half-write; "serialize.body" flips a payload byte after
 // the CRC was computed, which the next load must catch.
-#ifndef LEAD_NN_SERIALIZE_H_
-#define LEAD_NN_SERIALIZE_H_
+#pragma once
 
 #include <iosfwd>
 #include <string>
@@ -36,4 +35,3 @@ Status LoadParametersFromFile(Module* module, const std::string& path);
 
 }  // namespace lead::nn
 
-#endif  // LEAD_NN_SERIALIZE_H_

@@ -14,7 +14,8 @@ Sgd::Sgd(std::vector<Variable> parameters, const SgdOptions& options)
 
 void Sgd::Step() {
   const float scale = ClipScale(options_.clip_grad_norm);
-  if (scale == 0.0f) return;  // non-finite gradients: skip the update
+  // ClipScale returns the exact sentinel 0.0f for non-finite gradients.
+  if (scale == 0.0f) return;  // lead-lint: allow(float-eq)
   for (size_t k = 0; k < parameters_.size(); ++k) {
     Variable& p = parameters_[k];
     const float* g = p.grad().data();

@@ -1,7 +1,6 @@
 // SGD with momentum — comparison optimizer for the design-choice
 // ablation benches (the paper uses Adam).
-#ifndef LEAD_NN_SGD_H_
-#define LEAD_NN_SGD_H_
+#pragma once
 
 #include <vector>
 
@@ -35,4 +34,3 @@ class Sgd : public Optimizer {
 
 }  // namespace lead::nn
 
-#endif  // LEAD_NN_SGD_H_

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "nn/contract.h"
 
 namespace lead::nn {
 
@@ -37,9 +38,24 @@ bool NoGradEnabled() { return no_grad_mode; }
 
 Variable Variable::FromOp(
     Matrix value, std::vector<Variable> parents,
-    std::function<void(const Matrix& out_grad)> backward) {
+    std::function<void(const Matrix& out_grad)> backward,
+    const char* op_name) {
+#ifdef LEAD_CHECK_SHAPES
+  // First-NaN-origin: the op whose forward output first goes non-finite
+  // is the bug's true location; report it here rather than letting the
+  // value poison a loss 40 ops downstream.
+  contract::RequireFinite(op_name, "output value", value);
+  for (const Variable& p : parents) {
+    if (!p.defined()) contract::TapeFail(op_name, "undefined input Variable");
+  }
+#endif
   auto node = std::make_shared<internal::Node>();
   node->value = std::move(value);
+#ifdef LEAD_CHECK_SHAPES
+  node->op_name = op_name;
+#else
+  (void)op_name;
+#endif
   if (no_grad_mode) return Variable(std::move(node));
   for (const Variable& p : parents) {
     if (p.requires_grad()) {
@@ -100,6 +116,33 @@ void Backward(const Variable& root) {
   // after all of its consumers have contributed to its gradient.
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     internal::Node* node = *it;
+#ifdef LEAD_CHECK_SHAPES
+    // Dangling node: requires grad and has retained parents, but the op
+    // never installed a closure — its parents would silently receive no
+    // gradient.
+    if (!node->backward && !node->parents.empty()) {
+      contract::TapeFail(node->op_name,
+                         "node with parents has no backward closure");
+    }
+    if (node->backward) {
+      if (node->backward_consumed) {
+        contract::TapeFail(
+            node->op_name,
+            "double Backward() through the same graph; rebuild the forward "
+            "pass (gradients would be double-counted)");
+      }
+      node->backward_consumed = true;
+      if (!node->grad.SameShape(node->value)) {
+        contract::Fail(node->op_name,
+                       "gradient shape must match value shape",
+                       node->grad.rows(), node->grad.cols(),
+                       node->value.rows(), node->value.cols());
+      }
+      // First-NaN-origin on the backward pass: name the op whose output
+      // gradient first went non-finite.
+      contract::RequireFinite(node->op_name, "output gradient", node->grad);
+    }
+#endif
     if (node->backward) node->backward(node->grad);
   }
 }

@@ -7,8 +7,7 @@
 //
 // When no input of an op requires gradients the op produces a leaf
 // constant, so pure inference builds no graph and allocates no closures.
-#ifndef LEAD_NN_VARIABLE_H_
-#define LEAD_NN_VARIABLE_H_
+#pragma once
 
 #include <functional>
 #include <memory>
@@ -28,6 +27,13 @@ struct Node {
   // Scatters `out_grad` (same shape as value) into the parents' grads.
   // Null for leaves.
   std::function<void(const Matrix& out_grad)> backward;
+#ifdef LEAD_CHECK_SHAPES
+  // Contract-checking metadata (contract.h): the op that produced this
+  // node (static-storage string) and whether Backward() already consumed
+  // its closure, which catches double-backward through a stale graph.
+  const char* op_name = "leaf";
+  bool backward_consumed = false;
+#endif
 
   void EnsureGrad() {
     if (!grad.SameShape(value)) {
@@ -44,29 +50,32 @@ class Variable {
   Variable() = default;
 
   // A leaf that does not require gradients.
-  static Variable Constant(Matrix value);
+  [[nodiscard]] static Variable Constant(Matrix value);
   // A trainable leaf; gradients accumulate across Backward() calls until
   // ZeroGrad().
-  static Variable Parameter(Matrix value);
+  [[nodiscard]] static Variable Parameter(Matrix value);
   // Used by ops: a node computed from `parents` with the given backward
   // closure. Requires grad iff any parent does; the closure may be empty
-  // when it does not.
-  static Variable FromOp(Matrix value,
-                         std::vector<Variable> parents,
-                         std::function<void(const Matrix& out_grad)> backward);
+  // when it does not. `op_name` must point at static storage; under
+  // LEAD_CHECK_SHAPES it names the op in contract-violation reports and
+  // the output value is scanned for the first non-finite element.
+  [[nodiscard]] static Variable FromOp(
+      Matrix value, std::vector<Variable> parents,
+      std::function<void(const Matrix& out_grad)> backward,
+      const char* op_name = "unnamed-op");
 
-  bool defined() const { return node_ != nullptr; }
-  const Matrix& value() const { return node_->value; }
+  [[nodiscard]] bool defined() const { return node_ != nullptr; }
+  [[nodiscard]] const Matrix& value() const { return node_->value; }
   // Mutable access for optimizers and in-place parameter loading.
   Matrix& mutable_value() { return node_->value; }
-  const Matrix& grad() const { return node_->grad; }
+  [[nodiscard]] const Matrix& grad() const { return node_->grad; }
   // Mutable access for the sharded gradient reducer (core/grad_parallel),
   // which installs externally-accumulated gradients before a Step().
   Matrix& mutable_grad() { return node_->grad; }
-  bool requires_grad() const { return node_ && node_->requires_grad; }
+  [[nodiscard]] bool requires_grad() const { return node_ && node_->requires_grad; }
 
-  int rows() const { return node_->value.rows(); }
-  int cols() const { return node_->value.cols(); }
+  [[nodiscard]] int rows() const { return node_->value.rows(); }
+  [[nodiscard]] int cols() const { return node_->value.cols(); }
 
   // Zeroes the accumulated gradient (allocating it if needed).
   void ZeroGrad();
@@ -107,4 +116,3 @@ bool NoGradEnabled();
 
 }  // namespace lead::nn
 
-#endif  // LEAD_NN_VARIABLE_H_

@@ -4,8 +4,7 @@
 // per-GPS-point POI features are category counts within a 100 m radius.
 // This module defines the 29-category taxonomy and the POI value type; the
 // spatial index lives in poi_index.h.
-#ifndef LEAD_POI_POI_H_
-#define LEAD_POI_POI_H_
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -69,4 +68,3 @@ using CategoryCounts = std::array<int, kNumCategories>;
 
 }  // namespace lead::poi
 
-#endif  // LEAD_POI_POI_H_

@@ -40,7 +40,8 @@ PoiIndex::PoiIndex(std::vector<Poi> pois, double cell_size_m)
     buckets[PackKey(c.x, c.y)].push_back(i);
   }
   cells_.reserve(buckets.size());
-  for (auto& [key, ids] : buckets) {
+  // Bucket visit order cannot leak: cells_ is sorted by key below.
+  for (auto& [key, ids] : buckets) {  // lead-lint: allow(unordered-iter)
     cells_.emplace_back(key, std::move(ids));
   }
   std::sort(cells_.begin(), cells_.end(),

@@ -6,8 +6,7 @@
 // Cells are sized in meters at the corpus centroid; each query inspects
 // only the cells overlapping the query disc and then exact-filters by
 // haversine distance.
-#ifndef LEAD_POI_POI_INDEX_H_
-#define LEAD_POI_POI_INDEX_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -64,4 +63,3 @@ class PoiIndex {
 
 }  // namespace lead::poi
 
-#endif  // LEAD_POI_POI_INDEX_H_

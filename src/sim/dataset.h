@@ -4,8 +4,7 @@
 // over two months, split 8:1:1 with no truck overlap between training and
 // validation/test. This module reproduces that protocol over simulated
 // days.
-#ifndef LEAD_SIM_DATASET_H_
-#define LEAD_SIM_DATASET_H_
+#pragma once
 
 #include <vector>
 
@@ -47,4 +46,3 @@ DatasetSplit SplitByTruck(Dataset dataset, const DatasetOptions& options);
 
 }  // namespace lead::sim
 
-#endif  // LEAD_SIM_DATASET_H_

@@ -11,8 +11,7 @@
 // canonical processing pipeline (noise filter + stay-point extraction),
 // the loading/unloading stay points are located by time overlap with the
 // simulated service intervals and returned as a Candidate label.
-#ifndef LEAD_SIM_TRUCK_SIM_H_
-#define LEAD_SIM_TRUCK_SIM_H_
+#pragma once
 
 #include <optional>
 #include <string>
@@ -131,4 +130,3 @@ class TruckSimulator {
 
 }  // namespace lead::sim
 
-#endif  // LEAD_SIM_TRUCK_SIM_H_

@@ -84,7 +84,8 @@ std::unique_ptr<World> World::Generate(const WorldOptions& options) {
   LEAD_CHECK_GT(options.num_industrial_zones, 0);
   LEAD_CHECK_GT(options.num_urban_centers, 0);
   Rng rng(options.seed);
-  auto world = std::unique_ptr<World>(new World());
+  // make_unique cannot reach the private ctor; ownership is immediate.
+  auto world = std::unique_ptr<World>(new World());  // lead-lint: allow(raw-new)
   world->bounds_ = options.bounds;
 
   // Zone anchors. Shrink the sampling box so zone clusters stay inside.

@@ -8,8 +8,7 @@
 //  (2) numerous loading/unloading locations — facilities are drawn from a
 //      large pool spread over several industrial zones, so no white list
 //      derived from a training split covers them all.
-#ifndef LEAD_SIM_WORLD_H_
-#define LEAD_SIM_WORLD_H_
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -99,4 +98,3 @@ class World {
 
 }  // namespace lead::sim
 
-#endif  // LEAD_SIM_WORLD_H_

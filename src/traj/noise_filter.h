@@ -4,8 +4,7 @@
 // precursor; points whose speed exceeds V_max are dropped as sensor
 // outliers. This is the speed-threshold heuristic of Zheng, "Trajectory
 // Data Mining: An Overview" (TIST 2015), as cited by the paper.
-#ifndef LEAD_TRAJ_NOISE_FILTER_H_
-#define LEAD_TRAJ_NOISE_FILTER_H_
+#pragma once
 
 #include <vector>
 
@@ -32,4 +31,3 @@ NoiseFilterResult FilterNoise(const RawTrajectory& trajectory,
 
 }  // namespace lead::traj
 
-#endif  // LEAD_TRAJ_NOISE_FILTER_H_

@@ -11,8 +11,7 @@
 //   move[n]    - points after the last stay point (paper's mp_n).
 // A candidate trajectory <sp_a --> sp_b> covers stays a..b and the
 // interior moves a+1..b.
-#ifndef LEAD_TRAJ_SEGMENTATION_H_
-#define LEAD_TRAJ_SEGMENTATION_H_
+#pragma once
 
 #include <vector>
 
@@ -76,4 +75,3 @@ using LoadedTrajectoryLabel = Candidate;
 
 }  // namespace lead::traj
 
-#endif  // LEAD_TRAJ_SEGMENTATION_H_

@@ -3,8 +3,7 @@
 // Supporting utilities for storage, visualization and analysis of HCT
 // tracks: raw one-day trajectories at 2-minute sampling carry hundreds of
 // points; dashboards and GeoJSON exports want a faithful subset.
-#ifndef LEAD_TRAJ_SIMPLIFY_H_
-#define LEAD_TRAJ_SIMPLIFY_H_
+#pragma once
 
 #include <vector>
 
@@ -36,4 +35,3 @@ TrackStats ComputeStats(const std::vector<GpsPoint>& points,
 
 }  // namespace lead::traj
 
-#endif  // LEAD_TRAJ_SIMPLIFY_H_

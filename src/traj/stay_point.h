@@ -5,8 +5,7 @@
 // al., "Mining user similarity based on location history" (GIS 2008), the
 // method the paper cites: extracted stay points are temporally consecutive
 // and non-overlapping, which makes stay-point numbering well defined.
-#ifndef LEAD_TRAJ_STAY_POINT_H_
-#define LEAD_TRAJ_STAY_POINT_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -44,4 +43,3 @@ std::vector<StayPoint> ExtractStayPoints(
 
 }  // namespace lead::traj
 
-#endif  // LEAD_TRAJ_STAY_POINT_H_

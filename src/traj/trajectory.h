@@ -3,8 +3,7 @@
 // A raw trajectory is the chronologically ordered GPS track of one HCT
 // truck over one day. All downstream structures (stay points, move points,
 // candidate trajectories) are index ranges into a raw trajectory.
-#ifndef LEAD_TRAJ_TRAJECTORY_H_
-#define LEAD_TRAJ_TRAJECTORY_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -68,4 +67,3 @@ geo::LatLng Centroid(const std::vector<GpsPoint>& points, IndexRange range);
 
 }  // namespace lead::traj
 
-#endif  // LEAD_TRAJ_TRAJECTORY_H_

@@ -148,8 +148,10 @@ TEST(AutoencoderTest, TrainingReducesReconstructionLoss) {
   // Structured (compressible) features: smooth per-dimension waves.
   for (int r = 0; r < pt.features.rows(); ++r) {
     for (int c = 0; c < pt.features.cols(); ++c) {
+      const auto fr = static_cast<float>(r);
+      const auto fc = static_cast<float>(c);
       pt.features.at(r, c) =
-          0.5f * std::sin(0.3f * r + 0.8f * c) + 0.1f * c / 32.0f;
+          0.5f * std::sin(0.3f * fr + 0.8f * fc) + 0.1f * fc / 32.0f;
     }
   }
   nn::Adam adam(ae.Parameters(), {.learning_rate = 3e-3f});

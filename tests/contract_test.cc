@@ -1,0 +1,89 @@
+// LEAD_CHECK_SHAPES contract death tests: a shape-mismatched op must
+// abort naming the offending op and both shapes, double Backward()
+// through one graph must be caught, and the first op to produce a
+// non-finite value must be named. In builds without the flag the whole
+// suite skips (the contracts compile to empty inline functions there).
+#include <limits>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/batch.h"
+#include "nn/linear.h"
+#include "nn/lstm.h"
+#include "nn/matrix.h"
+#include "nn/ops.h"
+#include "nn/variable.h"
+
+namespace lead::nn {
+namespace {
+
+#ifndef LEAD_CHECK_SHAPES
+
+TEST(ContractTest, SkippedWithoutCheckShapes) {
+  GTEST_SKIP() << "build with -DLEAD_CHECK_SHAPES=ON to run contract "
+                  "death tests";
+}
+
+#else
+
+using ContractDeathTest = ::testing::Test;
+
+TEST(ContractDeathTest, MatMulMismatchNamesOpAndBothShapes) {
+  const Variable a = Variable::Constant(Matrix::Zeros(2, 3));
+  const Variable b = Variable::Constant(Matrix::Zeros(4, 5));
+  EXPECT_DEATH((void)MatMul(a, b),
+               "op MatMul: inner dimensions must agree: "
+               "lhs \\[2 x 3\\] vs rhs \\[4 x 5\\]");
+}
+
+TEST(ContractDeathTest, AddMismatchNamesOpAndBothShapes) {
+  const Variable a = Variable::Constant(Matrix::Zeros(2, 3));
+  const Variable b = Variable::Constant(Matrix::Zeros(3, 2));
+  EXPECT_DEATH((void)Add(a, b),
+               "op Add: .*lhs \\[2 x 3\\] vs rhs \\[3 x 2\\]");
+}
+
+TEST(ContractDeathTest, SliceColsOutOfRangeNamesOp) {
+  const Variable a = Variable::Constant(Matrix::Zeros(2, 4));
+  EXPECT_DEATH((void)SliceCols(a, 3, 2), "op SliceCols");
+}
+
+TEST(ContractDeathTest, LinearLayerBoundaryNamesLayer) {
+  Rng rng(1);
+  const Linear layer(/*in_features=*/4, /*out_features=*/2, &rng);
+  const Variable x = Variable::Constant(Matrix::Zeros(1, 3));
+  EXPECT_DEATH((void)layer.Forward(x),
+               "op Linear::Forward: .*lhs \\[1 x 3\\]");
+}
+
+TEST(ContractDeathTest, LstmSequenceBoundaryNamesLayer) {
+  Rng rng(1);
+  const LstmCell cell(/*input_size=*/4, /*hidden_size=*/3, &rng);
+  const Variable x = Variable::Constant(Matrix::Zeros(5, 2));
+  EXPECT_DEATH((void)cell.ForwardSequence(x),
+               "op LstmCell::ForwardSequence");
+}
+
+TEST(ContractDeathTest, DoubleBackwardThroughOneGraphIsCaught) {
+  Variable x = Variable::Parameter(Matrix::Full(1, 1, 2.0f));
+  const Variable y = Mul(x, x);
+  Backward(y);
+  EXPECT_DEATH(Backward(y), "double Backward\\(\\)");
+}
+
+TEST(ContractDeathTest, FirstNaNOriginNamesTheOp) {
+  Matrix poisoned(1, 2);
+  poisoned.at(0, 1) = std::numeric_limits<float>::quiet_NaN();
+  // Constant() builds a leaf without a forward scan; the first *op* to
+  // emit the non-finite value is Tanh, and it must be the one named.
+  const Variable x = Variable::Constant(std::move(poisoned));
+  EXPECT_DEATH((void)Tanh(x),
+               "op Tanh: first non-finite output value at \\[0, 1\\]");
+}
+
+#endif  // LEAD_CHECK_SHAPES
+
+}  // namespace
+}  // namespace lead::nn

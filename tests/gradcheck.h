@@ -1,6 +1,5 @@
 // Central-difference gradient checking utilities for nn tests.
-#ifndef LEAD_TESTS_GRADCHECK_H_
-#define LEAD_TESTS_GRADCHECK_H_
+#pragma once
 
 #include <cmath>
 #include <functional>
@@ -51,4 +50,3 @@ inline void ExpectGradientsMatch(nn::Module* module,
 
 }  // namespace lead::testing
 
-#endif  // LEAD_TESTS_GRADCHECK_H_

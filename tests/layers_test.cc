@@ -149,12 +149,15 @@ TEST(AttentionTest, OutputIsConvexCombinationOfHiddenStates) {
   // Hidden states all equal -> the weighted aggregate must equal them.
   Matrix h(3, 4);
   for (int r = 0; r < 3; ++r) {
-    for (int c = 0; c < 4; ++c) h.at(r, c) = 0.5f - 0.1f * c;
+    for (int c = 0; c < 4; ++c) {
+      h.at(r, c) = 0.5f - 0.1f * static_cast<float>(c);
+    }
   }
   const Variable out = attention.Forward(Variable::Constant(h));
   EXPECT_EQ(out.rows(), 1);
   for (int c = 0; c < 4; ++c) {
-    EXPECT_NEAR(out.value().at(0, c), 0.5f - 0.1f * c, 1e-5);
+    EXPECT_NEAR(out.value().at(0, c), 0.5f - 0.1f * static_cast<float>(c),
+                1e-5);
   }
 }
 

@@ -31,24 +31,22 @@ class LeadEndToEnd : public ::testing::Test {
     config.lead.train.max_candidates_per_trajectory = 4;
     config.lead.train.batch_size = 8;
     config.lead.train.learning_rate = 1e-3f;
-    config_ = new eval::ExperimentConfig(config);
+    config_ = std::make_unique<eval::ExperimentConfig>(config);
     auto data = eval::BuildExperiment(config);
     ASSERT_TRUE(data.ok()) << data.status();
-    data_ = new eval::ExperimentData(std::move(data).value());
+    data_ = std::make_unique<eval::ExperimentData>(std::move(data).value());
   }
   static void TearDownTestSuite() {
-    delete data_;
-    delete config_;
-    data_ = nullptr;
-    config_ = nullptr;
+    data_.reset();
+    config_.reset();
   }
 
-  static eval::ExperimentConfig* config_;
-  static eval::ExperimentData* data_;
+  static std::unique_ptr<eval::ExperimentConfig> config_;
+  static std::unique_ptr<eval::ExperimentData> data_;
 };
 
-eval::ExperimentConfig* LeadEndToEnd::config_ = nullptr;
-eval::ExperimentData* LeadEndToEnd::data_ = nullptr;
+std::unique_ptr<eval::ExperimentConfig> LeadEndToEnd::config_;
+std::unique_ptr<eval::ExperimentData> LeadEndToEnd::data_;
 
 double EvaluateAccuracy(const eval::ExperimentData& data,
                         const eval::DetectFn& detect) {

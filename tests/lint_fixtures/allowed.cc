@@ -1,0 +1,11 @@
+// Fixture: every violation here carries an allow-marker, so the file
+// must lint clean.
+#include <cstdlib>
+
+int Roll() { return rand() % 6; }  // lead-lint: allow(rand)
+
+bool IsUnit(float x) {
+  return x == 1.0f;  // lead-lint: allow(float-eq)
+}
+
+int* Make() { return new int(7); }  // lead-lint: allow(raw-new)

@@ -1,0 +1,5 @@
+// Fixture: std::cout in library code must be flagged when linted with
+// --lib (rule: cout-in-lib).
+#include <iostream>
+
+void Report(int n) { std::cout << n << "\n"; }

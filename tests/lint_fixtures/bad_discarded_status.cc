@@ -1,0 +1,10 @@
+// Fixture: a dropped Status result must be flagged (rule:
+// discarded-status). The declaration below is what teaches the linter
+// that SaveModel returns a Status.
+struct Status {};
+
+Status SaveModel(const char* path);
+
+void Checkpoint() {
+  SaveModel("/tmp/model.bin");
+}

@@ -1,0 +1,5 @@
+// Fixture: exit() in library code must be flagged when linted with
+// --lib (rule: exit-in-lib).
+#include <cstdlib>
+
+void Bail() { exit(1); }

@@ -1,0 +1,3 @@
+// Fixture: exact floating-point equality must be flagged (rule:
+// float-eq).
+bool IsUnit(float x) { return x == 1.0f; }

@@ -1,0 +1,8 @@
+// Fixture: a header without #pragma once must be flagged (rule:
+// pragma-once).
+#ifndef LINT_FIXTURES_BAD_PRAGMA_ONCE_H_
+#define LINT_FIXTURES_BAD_PRAGMA_ONCE_H_
+
+int LegacyGuardedFunction();
+
+#endif  // LINT_FIXTURES_BAD_PRAGMA_ONCE_H_

@@ -1,0 +1,4 @@
+// Fixture: libc rand() must be flagged (rule: rand).
+#include <cstdlib>
+
+int Roll() { return rand() % 6; }

@@ -1,0 +1,2 @@
+// Fixture: raw delete must be flagged (rule: raw-delete).
+void Destroy(int* p) { delete p; }

@@ -1,0 +1,2 @@
+// Fixture: raw new must be flagged (rule: raw-new).
+int* Make() { return new int(7); }

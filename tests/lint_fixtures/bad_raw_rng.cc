@@ -1,0 +1,8 @@
+// Fixture: direct <random> engine construction outside common/rng.h must
+// be flagged (rule: raw-rng).
+#include <random>
+
+int Draw() {
+  std::mt19937 engine(42);
+  return static_cast<int>(engine());
+}

@@ -1,0 +1,12 @@
+// Fixture: range-for over an unordered container must be flagged
+// (rule: unordered-iter).
+#include <string>
+#include <unordered_map>
+
+int Total(const std::unordered_map<std::string, int>& counts) {
+  int total = 0;
+  for (const auto& [key, value] : counts) {
+    total += value;
+  }
+  return total;
+}

@@ -1,0 +1,4 @@
+// Fixture: wall-clock seeding must be flagged (rule: wall-clock).
+#include <ctime>
+
+long Now() { return static_cast<long>(time(nullptr)); }

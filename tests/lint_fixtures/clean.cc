@@ -1,0 +1,26 @@
+// Fixture: idiomatic project code; must produce no findings, including
+// strings and comments that merely mention rand(), new, or time(nullptr).
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+// A comment that says rand() and delete must not trip the lexer.
+std::string Describe() { return "call rand() at time(nullptr)"; }
+
+int Sum(const std::map<std::string, int>& counts) {
+  int total = 0;
+  for (const auto& [key, value] : counts) {
+    total += value;
+  }
+  return total;
+}
+
+std::unique_ptr<std::vector<int>> MakeBuffer(int n) {
+  return std::make_unique<std::vector<int>>(static_cast<size_t>(n));
+}
+
+bool Close(float a, float b) {
+  const float diff = a > b ? a - b : b - a;
+  return diff < 1e-6f;
+}

@@ -1,0 +1,120 @@
+// lead_lint end-to-end: every rule fires on its seeded fixture, the
+// allow-marker suppresses, clean code passes, and the real source tree
+// is lint-clean. Exercised through the real binary (path injected by
+// CMake), same pattern as cli_test.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+#ifndef LEAD_LINT_PATH
+#define LEAD_LINT_PATH ""
+#endif
+#ifndef LEAD_LINT_FIXTURE_DIR
+#define LEAD_LINT_FIXTURE_DIR ""
+#endif
+#ifndef LEAD_LINT_SOURCE_DIR
+#define LEAD_LINT_SOURCE_DIR ""
+#endif
+
+std::string LintPath() { return LEAD_LINT_PATH; }
+std::string FixtureDir() { return LEAD_LINT_FIXTURE_DIR; }
+std::string SourceDir() { return LEAD_LINT_SOURCE_DIR; }
+
+// Runs a command, captures combined stdout/stderr, returns exit code.
+int RunCommand(const std::string& command, std::string* output) {
+  output->clear();
+  FILE* pipe = popen((command + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) return -1;
+  char buffer[512];
+  while (fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+    *output += buffer;
+  }
+  const int status = pclose(pipe);
+  return WEXITSTATUS(status);
+}
+
+class LintTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_FALSE(LintPath().empty()) << "LEAD_LINT_PATH not configured";
+    ASSERT_FALSE(FixtureDir().empty())
+        << "LEAD_LINT_FIXTURE_DIR not configured";
+  }
+
+  // Lints one fixture; returns the exit code and fills `output`.
+  int LintFixture(const std::string& fixture, std::string* output,
+                  const std::string& flags = "") {
+    const std::string cmd =
+        LintPath() + " " + flags + " " + FixtureDir() + "/" + fixture;
+    return RunCommand(cmd, output);
+  }
+
+  // A violating fixture must exit 1 and report `rule` at `line` in a
+  // machine-readable "file:line rule message" finding.
+  void ExpectViolation(const std::string& fixture, const std::string& rule,
+                       int line, const std::string& flags = "") {
+    std::string out;
+    EXPECT_EQ(LintFixture(fixture, &out, flags), 1) << out;
+    const std::string expected =
+        fixture + ":" + std::to_string(line) + " " + rule + " ";
+    EXPECT_NE(out.find(expected), std::string::npos)
+        << "expected finding '" << expected << "' in:\n"
+        << out;
+  }
+};
+
+TEST_F(LintTest, EveryRuleFiresOnItsFixture) {
+  ExpectViolation("bad_rand.cc", "rand", 4);
+  ExpectViolation("bad_raw_rng.cc", "raw-rng", 6);
+  ExpectViolation("bad_wall_clock.cc", "wall-clock", 4);
+  ExpectViolation("bad_unordered_iter.cc", "unordered-iter", 8);
+  ExpectViolation("bad_discarded_status.cc", "discarded-status", 9);
+  ExpectViolation("bad_raw_new.cc", "raw-new", 2);
+  ExpectViolation("bad_raw_delete.cc", "raw-delete", 2);
+  ExpectViolation("bad_float_eq.cc", "float-eq", 3);
+  ExpectViolation("bad_pragma_once.h", "pragma-once", 1);
+}
+
+TEST_F(LintTest, LibOnlyRulesNeedTheLibFlag) {
+  ExpectViolation("bad_cout_in_lib.cc", "cout-in-lib", 5, "--lib");
+  ExpectViolation("bad_exit_in_lib.cc", "exit-in-lib", 5, "--lib");
+  // Without --lib the same files are treated as tool/test code and pass.
+  std::string out;
+  EXPECT_EQ(LintFixture("bad_cout_in_lib.cc", &out), 0) << out;
+  EXPECT_EQ(LintFixture("bad_exit_in_lib.cc", &out), 0) << out;
+}
+
+TEST_F(LintTest, AllowMarkerSuppressesFindings) {
+  std::string out;
+  EXPECT_EQ(LintFixture("allowed.cc", &out), 0) << out;
+}
+
+TEST_F(LintTest, CleanFixturePasses) {
+  std::string out;
+  EXPECT_EQ(LintFixture("clean.cc", &out), 0) << out;
+}
+
+TEST_F(LintTest, ListRulesCoversEveryRule) {
+  std::string out;
+  ASSERT_EQ(RunCommand(LintPath() + " --list-rules", &out), 0) << out;
+  for (const char* rule :
+       {"rand", "raw-rng", "wall-clock", "unordered-iter",
+        "discarded-status", "raw-new", "raw-delete", "float-eq",
+        "cout-in-lib", "exit-in-lib", "pragma-once"}) {
+    EXPECT_NE(out.find(rule), std::string::npos) << "missing rule " << rule;
+  }
+}
+
+TEST_F(LintTest, RealSourceTreeIsClean) {
+  ASSERT_FALSE(SourceDir().empty()) << "LEAD_LINT_SOURCE_DIR not configured";
+  std::string out;
+  const std::string cmd = "cd " + SourceDir() + " && " + LintPath() +
+                          " src tests bench cli tools";
+  EXPECT_EQ(RunCommand(cmd, &out), 0) << out;
+}
+
+}  // namespace

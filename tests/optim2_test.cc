@@ -88,7 +88,8 @@ TEST(DropoutTest, ZeroesAndRescales) {
   double sum = 0.0;
   for (int i = 0; i < dropped.value().size(); ++i) {
     const float v = dropped.value().data()[i];
-    if (v == 0.0f) {
+    // Dropout writes exact 0.0f into masked slots.
+    if (v == 0.0f) {  // lead-lint: allow(float-eq)
       ++zeros;
     } else {
       EXPECT_NEAR(v, 1.0f / 0.6f, 1e-5);
@@ -109,7 +110,8 @@ TEST(DropoutTest, GradientFlowsThroughMask) {
   for (int i = 0; i < 100; ++i) {
     const float v = dropped.value().data()[i];
     const float g = x.grad().data()[i];
-    if (v == 0.0f) {
+    // Dropout writes exact 0.0f into masked slots.
+    if (v == 0.0f) {  // lead-lint: allow(float-eq)
       EXPECT_FLOAT_EQ(g, 0.0f);
     } else {
       EXPECT_NEAR(g, 2.0f, 1e-5);

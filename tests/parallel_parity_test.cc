@@ -43,16 +43,14 @@ class ParallelParityTest : public ::testing::Test {
     // so the fixed-order tree reduction actually reduces.
     config.lead.train.batch_size = 64;
     config.lead.train.learning_rate = 1e-3f;
-    config_ = new eval::ExperimentConfig(config);
+    config_ = std::make_unique<eval::ExperimentConfig>(config);
     auto data = eval::BuildExperiment(config);
     ASSERT_TRUE(data.ok()) << data.status();
-    data_ = new eval::ExperimentData(std::move(data).value());
+    data_ = std::make_unique<eval::ExperimentData>(std::move(data).value());
   }
   static void TearDownTestSuite() {
-    delete data_;
-    delete config_;
-    data_ = nullptr;
-    config_ = nullptr;
+    data_.reset();
+    config_.reset();
   }
   void TearDown() override { fault::DisarmAll(); }
 
@@ -80,12 +78,12 @@ class ParallelParityTest : public ::testing::Test {
     return model;
   }
 
-  static eval::ExperimentConfig* config_;
-  static eval::ExperimentData* data_;
+  static std::unique_ptr<eval::ExperimentConfig> config_;
+  static std::unique_ptr<eval::ExperimentData> data_;
 };
 
-eval::ExperimentConfig* ParallelParityTest::config_ = nullptr;
-eval::ExperimentData* ParallelParityTest::data_ = nullptr;
+std::unique_ptr<eval::ExperimentConfig> ParallelParityTest::config_;
+std::unique_ptr<eval::ExperimentData> ParallelParityTest::data_;
 
 bool SameBytes(const nn::Matrix& a, const nn::Matrix& b) {
   return a.rows() == b.rows() && a.cols() == b.cols() &&
@@ -228,6 +226,13 @@ TEST_F(ParallelParityTest, OneEpochTrainingIsBitIdenticalAcrossThreadCounts) {
 
 TEST_F(ParallelParityTest, RollbackConvergesUnderParallelTraining) {
   if (!fault::Enabled()) GTEST_SKIP() << "fault injection compiled out";
+#ifdef LEAD_CHECK_SHAPES
+  // This test deliberately injects a non-finite gradient; under
+  // LEAD_CHECK_SHAPES the first-NaN-origin contract aborts before the
+  // sentinel can observe and roll back, which is the contract working as
+  // intended — the recovery path is covered by the non-contract builds.
+  GTEST_SKIP() << "NaN injection conflicts with first-NaN-origin contracts";
+#endif
   // Poison a gradient a few optimizer steps in while training with
   // threads > 1: the sentinel must roll back, back off the LR, and finish
   // training with finite weights — same contract as the serial path.

@@ -50,20 +50,20 @@ int main(int argc, char** argv) {
   printf("cvec mean norm %.3f  mean pairwise dist %.3f (n=%d)\n", mean_norm, mean_pair_dist, nc);
 
   auto result = eval::EvaluateMethod("LEAD", data->split.test, [&](const traj::RawTrajectory& raw) -> StatusOr<traj::Candidate> {
-    auto d = model.Detect(raw, data->world->poi_index());
-    if (!d.ok()) return d.status();
-    return d->loaded;
+    auto det = model.Detect(raw, data->world->poi_index());
+    if (!det.ok()) return det.status();
+    return det->loaded;
   });
   printf("test acc = %.1f%%  (errors %d)\n", result.accuracy.overall().accuracy_pct(), result.errors);
   // also print distribution of detected candidates vs label
   int first_last=0, zero_one=0;
   for (auto& day : data->split.test) {
-    auto d = model.Detect(day.raw, data->world->poi_index());
-    if (!d.ok()) continue;
-    int n = d->num_stays;
-    if (d->loaded.start_sp==n-2 && d->loaded.end_sp==n-1) first_last++;
-    if (d->loaded.start_sp==0 && d->loaded.end_sp==1) zero_one++;
-    printf("  n=%2d label=(%d,%d) detected=(%d,%d)\n", n, day.loaded_label.start_sp, day.loaded_label.end_sp, d->loaded.start_sp, d->loaded.end_sp);
+    auto det = model.Detect(day.raw, data->world->poi_index());
+    if (!det.ok()) continue;
+    int n = det->num_stays;
+    if (det->loaded.start_sp==n-2 && det->loaded.end_sp==n-1) first_last++;
+    if (det->loaded.start_sp==0 && det->loaded.end_sp==1) zero_one++;
+    printf("  n=%2d label=(%d,%d) detected=(%d,%d)\n", n, day.loaded_label.start_sp, day.loaded_label.end_sp, det->loaded.start_sp, det->loaded.end_sp);
   }
   printf("structural picks: (n-2,n-1)=%d (0,1)=%d of %zu\n", first_last, zero_one, data->split.test.size());
 
@@ -71,9 +71,9 @@ int main(int argc, char** argv) {
   baselines::SpRuleBaseline sp_r(config.lead.pipeline, {});
   if (sp_r.Train(data->TrainLabeled()).ok()) {
     auto r = eval::EvaluateMethod("SP-R", data->split.test, [&](const traj::RawTrajectory& raw) -> StatusOr<traj::Candidate> {
-      auto d = sp_r.Detect(raw);
-      if (!d.ok()) return d.status();
-      return d->loaded;
+      auto det = sp_r.Detect(raw);
+      if (!det.ok()) return det.status();
+      return det->loaded;
     });
     printf("SP-R   acc = %.1f%%\n", r.accuracy.overall().accuracy_pct());
   }
@@ -84,9 +84,9 @@ int main(int argc, char** argv) {
   baselines::SpRnnBaseline sp_lstm(config.lead.pipeline, ropt);
   if (sp_lstm.Train(data->TrainLabeled(), data->ValLabeled(), data->world->poi_index(), nullptr, nullptr).ok()) {
     auto r = eval::EvaluateMethod("SP-LSTM", data->split.test, [&](const traj::RawTrajectory& raw) -> StatusOr<traj::Candidate> {
-      auto d = sp_lstm.Detect(raw, data->world->poi_index());
-      if (!d.ok()) return d.status();
-      return d->loaded;
+      auto det = sp_lstm.Detect(raw, data->world->poi_index());
+      if (!det.ok()) return det.status();
+      return det->loaded;
     });
     printf("SP-LSTM acc = %.1f%%\n", r.accuracy.overall().accuracy_pct());
   }

@@ -1,0 +1,725 @@
+// lead_lint: project-invariant static analysis for the LEAD tree.
+//
+// A standalone tokenizer-based linter (no libclang): it lexes C++ source,
+// strips comments and literals, and pattern-matches token streams against
+// the project invariants that the test suite can only probe indirectly —
+// determinism hazards, silently dropped Status results, raw ownership,
+// exact float comparison, and I/O or process-exit calls inside library
+// code. It is deliberately heuristic: the goal is catching the bug class
+// cheaply at build time, not full semantic analysis. Findings that are
+// provably fine are suppressed per line with an allow marker naming the
+// rules, e.g.
+//
+//     if (scale == 0.0f) return;  // lead-lint: allow(float-eq)
+//
+// Usage:
+//   lead_lint [--lib] [--list-rules] <file-or-dir>...
+//
+// Directories are scanned recursively for .h/.cc/.hpp/.cpp/.cxx files;
+// directories named lint_fixtures, golden, or build* are skipped unless
+// named explicitly. Rules gated to library code apply to paths under a
+// src/ component, or to every input when --lib is given. Output is one
+// `file:line rule message` line per violation; exit status is 0 when
+// clean, 1 when violations were found, 2 on usage or I/O errors.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+struct RuleInfo {
+  const char* name;
+  const char* summary;
+};
+
+constexpr RuleInfo kRules[] = {
+    {"rand", "rand()/srand() instead of the seeded lead::Rng"},
+    {"raw-rng",
+     "std:: random engine outside src/common/rng.h breaks determinism"},
+    {"wall-clock", "time(nullptr)-style wall-clock seeding is nondeterministic"},
+    {"unordered-iter",
+     "iteration order of an unordered container is nondeterministic"},
+    {"discarded-status", "result of a Status/StatusOr-returning call dropped"},
+    {"raw-new", "raw new; use make_unique/make_shared or a container"},
+    {"raw-delete", "raw delete; prefer scoped ownership"},
+    {"float-eq", "exact floating-point ==/!= comparison"},
+    {"cout-in-lib", "std::cout in library code; return data or use Status"},
+    {"exit-in-lib", "exit() in library code; return Status instead"},
+    {"pragma-once", "header is missing #pragma once"},
+};
+
+bool IsKnownRule(const std::string& name) {
+  for (const RuleInfo& r : kRules) {
+    if (name == r.name) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+struct Token {
+  enum Kind { kIdent, kNumber, kPunct };
+  Kind kind;
+  std::string text;
+  int line;
+  bool is_float = false;  // numbers only
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  // line -> rules allowed on that line via an allow-marker comment.
+  std::map<int, std::set<std::string>> allowed;
+  bool has_pragma_once = false;
+};
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+// Parses an allow marker (kMarker below) out of a comment's text.
+void ParseAllowMarker(const std::string& comment, int line, LexedFile* out) {
+  const std::string kMarker = "lead-lint: allow(";
+  size_t pos = comment.find(kMarker);
+  if (pos == std::string::npos) return;
+  size_t begin = pos + kMarker.size();
+  size_t end = comment.find(')', begin);
+  if (end == std::string::npos) return;
+  std::string list = comment.substr(begin, end - begin);
+  std::string name;
+  std::stringstream ss(list);
+  while (std::getline(ss, name, ',')) {
+    size_t a = name.find_first_not_of(" \t");
+    size_t b = name.find_last_not_of(" \t");
+    if (a == std::string::npos) continue;
+    out->allowed[line].insert(name.substr(a, b - a + 1));
+  }
+}
+
+// Tokenizes `content`, stripping comments, string/char literals, and
+// preprocessor directives (tracked separately for #pragma once). Comment
+// text is scanned for suppression markers.
+LexedFile Lex(const std::string& content) {
+  LexedFile out;
+  const size_t n = content.size();
+  size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;  // only whitespace seen since the newline
+
+  auto advance = [&](size_t count) {
+    for (size_t k = 0; k < count && i < n; ++k, ++i) {
+      if (content[i] == '\n') {
+        ++line;
+        at_line_start = true;
+      } else if (!std::isspace(static_cast<unsigned char>(content[i]))) {
+        at_line_start = false;
+      }
+    }
+  };
+
+  while (i < n) {
+    char c = content[i];
+    // Preprocessor directive: skip to end of line (honoring \-continuations).
+    if (c == '#' && at_line_start) {
+      std::string directive;
+      while (i < n) {
+        if (content[i] == '\\' && i + 1 < n && content[i + 1] == '\n') {
+          advance(2);
+          continue;
+        }
+        if (content[i] == '\n') break;
+        directive.push_back(content[i]);
+        advance(1);
+      }
+      // Normalize interior whitespace before matching.
+      std::string squeezed;
+      for (char d : directive) {
+        if (std::isspace(static_cast<unsigned char>(d))) {
+          if (!squeezed.empty() && squeezed.back() != ' ')
+            squeezed.push_back(' ');
+        } else {
+          squeezed.push_back(d);
+        }
+      }
+      if (squeezed == "#pragma once" || squeezed == "# pragma once")
+        out.has_pragma_once = true;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+      size_t eol = content.find('\n', i);
+      if (eol == std::string::npos) eol = n;
+      ParseAllowMarker(content.substr(i, eol - i), line, &out);
+      advance(eol - i);
+      continue;
+    }
+    if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+      size_t end = content.find("*/", i + 2);
+      if (end == std::string::npos) end = n;
+      ParseAllowMarker(content.substr(i, end - i), line, &out);
+      advance(end == n ? n - i : end + 2 - i);
+      continue;
+    }
+    // Raw string literal R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && content[i + 1] == '"' &&
+        (i == 0 || !IsIdentChar(content[i - 1]))) {
+      size_t delim_end = content.find('(', i + 2);
+      if (delim_end != std::string::npos) {
+        std::string close =
+            ")" + content.substr(i + 2, delim_end - i - 2) + "\"";
+        size_t end = content.find(close, delim_end + 1);
+        if (end == std::string::npos) {
+          advance(n - i);
+        } else {
+          advance(end + close.size() - i);
+        }
+        continue;
+      }
+    }
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      advance(1);
+      while (i < n && content[i] != quote) {
+        if (content[i] == '\\' && i + 1 < n) advance(2);
+        else advance(1);
+      }
+      advance(1);  // closing quote
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(content[j])) ++j;
+      out.tokens.push_back(
+          {Token::kIdent, content.substr(i, j - i), line, false});
+      advance(j - i);
+      continue;
+    }
+    if (IsDigit(c) || (c == '.' && i + 1 < n && IsDigit(content[i + 1]))) {
+      size_t j = i;
+      bool is_hex = (content[j] == '0' && j + 1 < n &&
+                     (content[j + 1] == 'x' || content[j + 1] == 'X'));
+      bool saw_dot = false;
+      bool saw_exp = false;
+      bool float_suffix = false;
+      while (j < n) {
+        char d = content[j];
+        if (IsDigit(d) || (is_hex && std::isxdigit(static_cast<unsigned char>(d)))) {
+          ++j;
+        } else if (d == '.') {
+          saw_dot = true;
+          ++j;
+        } else if (!is_hex && (d == 'e' || d == 'E') && j + 1 < n &&
+                   (IsDigit(content[j + 1]) || content[j + 1] == '+' ||
+                    content[j + 1] == '-')) {
+          saw_exp = true;
+          j += 2;
+        } else if (d == 'f' || d == 'F') {
+          if (!is_hex) float_suffix = true;
+          ++j;
+        } else if (IsIdentChar(d) || d == 'x' || d == 'X') {
+          ++j;  // suffixes like u, l, 0x prefix
+        } else {
+          break;
+        }
+      }
+      Token tok{Token::kNumber, content.substr(i, j - i), line, false};
+      tok.is_float = !is_hex && (saw_dot || saw_exp || float_suffix);
+      out.tokens.push_back(tok);
+      advance(j - i);
+      continue;
+    }
+    // Punctuation; combine only the pairs the rules care about.
+    static const char* kPairs[] = {"::", "==", "!=", "->"};
+    std::string punct(1, c);
+    if (i + 1 < n) {
+      std::string two = content.substr(i, 2);
+      for (const char* p : kPairs) {
+        if (two == p) {
+          punct = two;
+          break;
+        }
+      }
+    }
+    out.tokens.push_back({Token::kPunct, punct, line, false});
+    advance(punct.size());
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Analysis helpers
+// ---------------------------------------------------------------------------
+
+struct Violation {
+  std::string file;
+  int line;
+  std::string rule;
+  std::string message;
+};
+
+class FileLinter {
+ public:
+  FileLinter(std::string path, const LexedFile* lexed, bool lib_rules,
+             bool rng_exempt, const std::set<std::string>* status_fns,
+             std::vector<Violation>* out)
+      : path_(std::move(path)),
+        lexed_(lexed),
+        lib_rules_(lib_rules),
+        rng_exempt_(rng_exempt),
+        status_fns_(status_fns),
+        out_(out) {}
+
+  void Run() {
+    const std::vector<Token>& toks = lexed_->tokens;
+    CollectUnorderedNames();
+    for (size_t i = 0; i < toks.size(); ++i) {
+      CheckRand(i);
+      CheckRawRng(i);
+      CheckWallClock(i);
+      CheckUnorderedIter(i);
+      CheckDiscardedStatus(i);
+      CheckRawNewDelete(i);
+      CheckFloatEq(i);
+      if (lib_rules_) CheckLibOnly(i);
+    }
+    if (IsHeader() && !lexed_->has_pragma_once) {
+      Report(1, "pragma-once", "header file has no #pragma once");
+    }
+  }
+
+ private:
+  bool IsHeader() const {
+    return path_.size() > 2 && (path_.rfind(".h") == path_.size() - 2 ||
+                                path_.rfind(".hpp") == path_.size() - 4);
+  }
+
+  const Token& Tok(size_t i) const { return lexed_->tokens[i]; }
+  size_t Size() const { return lexed_->tokens.size(); }
+  bool Is(size_t i, const char* text) const {
+    return i < Size() && Tok(i).text == text;
+  }
+  bool PrevIs(size_t i, const char* text) const {
+    return i > 0 && Tok(i - 1).text == text;
+  }
+  bool IsMemberAccess(size_t i) const {
+    return i > 0 && (Tok(i - 1).text == "." || Tok(i - 1).text == "->");
+  }
+
+  void Report(int line, const std::string& rule, const std::string& message) {
+    auto it = lexed_->allowed.find(line);
+    if (it != lexed_->allowed.end() && it->second.count(rule)) return;
+    out_->push_back({path_, line, rule, message});
+  }
+
+  // Index of the matching closer for the opener at `i`, or Size().
+  size_t MatchingClose(size_t i, const char* open, const char* close) const {
+    int depth = 0;
+    for (size_t j = i; j < Size(); ++j) {
+      if (Tok(j).text == open) ++depth;
+      else if (Tok(j).text == close && --depth == 0) return j;
+    }
+    return Size();
+  }
+
+  // --- determinism -------------------------------------------------------
+
+  void CheckRand(size_t i) {
+    static const std::set<std::string> kBad = {"rand", "srand", "rand_r",
+                                              "drand48", "srandom", "random"};
+    if (Tok(i).kind != Token::kIdent || !kBad.count(Tok(i).text)) return;
+    if (!Is(i + 1, "(") || IsMemberAccess(i)) return;
+    // `random` only as std::random / ::random — too many idents named random.
+    if (Tok(i).text == "random" && !PrevIs(i, "::")) return;
+    Report(Tok(i).line, "rand",
+           Tok(i).text + "() is unseeded; draw from lead::Rng instead");
+  }
+
+  void CheckRawRng(size_t i) {
+    static const std::set<std::string> kEngines = {
+        "random_device", "mt19937",      "mt19937_64", "default_random_engine",
+        "minstd_rand",   "minstd_rand0", "ranlux24",   "ranlux48",
+        "knuth_b"};
+    if (rng_exempt_) return;
+    if (Tok(i).kind != Token::kIdent || !kEngines.count(Tok(i).text)) return;
+    if (IsMemberAccess(i)) return;
+    Report(Tok(i).line, "raw-rng",
+           "std::" + Tok(i).text +
+               " outside src/common/rng.h; all randomness flows through "
+               "lead::Rng");
+  }
+
+  void CheckWallClock(size_t i) {
+    if (Tok(i).kind != Token::kIdent || Tok(i).text != "time") return;
+    if (IsMemberAccess(i) || !Is(i + 1, "(")) return;
+    if ((Is(i + 2, "nullptr") || Is(i + 2, "NULL") || Is(i + 2, "0")) &&
+        Is(i + 3, ")")) {
+      Report(Tok(i).line, "wall-clock",
+             "time(" + Tok(i + 2).text +
+                 ") is wall-clock-dependent; seed from configuration");
+    }
+  }
+
+  // Variables (and type aliases) whose declared type is an unordered
+  // container. A tokenizer cannot do real type inference; this catches the
+  // declaration patterns the tree actually uses.
+  void CollectUnorderedNames() {
+    static const std::set<std::string> kContainers = {
+        "unordered_map", "unordered_set", "unordered_multimap",
+        "unordered_multiset"};
+    for (size_t i = 0; i + 1 < Size(); ++i) {
+      bool container_type =
+          kContainers.count(Tok(i).text) || unordered_aliases_.count(Tok(i).text);
+      if (Tok(i).kind != Token::kIdent || !container_type) continue;
+      size_t j = i + 1;
+      if (Is(j, "<")) {
+        j = MatchingClose(j, "<", ">");
+        if (j == Size()) continue;
+        ++j;
+      } else if (kContainers.count(Tok(i).text)) {
+        continue;  // bare mention (e.g. in a using-declaration's target)
+      }
+      while (Is(j, "&") || Is(j, "*")) ++j;
+      if (j >= Size() || Tok(j).kind != Token::kIdent) continue;
+      // `using Alias = std::unordered_map<...>;` names the alias earlier.
+      unordered_vars_.insert(Tok(j).text);
+    }
+    // Aliases: using X = ... unordered_map ... ;
+    for (size_t i = 0; i + 3 < Size(); ++i) {
+      if (!Is(i, "using") || Tok(i + 1).kind != Token::kIdent ||
+          !Is(i + 2, "=")) {
+        continue;
+      }
+      for (size_t j = i + 3; j < Size() && !Is(j, ";"); ++j) {
+        if (kContainers.count(Tok(j).text)) {
+          unordered_aliases_.insert(Tok(i + 1).text);
+          break;
+        }
+      }
+    }
+  }
+
+  void CheckUnorderedIter(size_t i) {
+    if (!Is(i, "for") || !Is(i + 1, "(")) return;
+    size_t close = MatchingClose(i + 1, "(", ")");
+    if (close == Size()) return;
+    // Find the range-for colon at paren depth 1.
+    size_t colon = Size();
+    int depth = 0;
+    for (size_t j = i + 1; j < close; ++j) {
+      if (Tok(j).text == "(") ++depth;
+      else if (Tok(j).text == ")") --depth;
+      else if (Tok(j).text == ":" && depth == 1) {
+        colon = j;
+        break;
+      }
+    }
+    if (colon == Size()) return;
+    for (size_t j = colon + 1; j < close; ++j) {
+      if (Tok(j).kind != Token::kIdent) continue;
+      if (unordered_vars_.count(Tok(j).text) ||
+          unordered_aliases_.count(Tok(j).text) ||
+          Tok(j).text == "unordered_map" || Tok(j).text == "unordered_set") {
+        Report(Tok(i).line, "unordered-iter",
+               "range-for over unordered container '" + Tok(j).text +
+                   "' has nondeterministic order; iterate a sorted view or "
+                   "annotate why order cannot matter");
+        return;
+      }
+    }
+  }
+
+  // --- dropped results ----------------------------------------------------
+
+  void CheckDiscardedStatus(size_t i) {
+    // Statement start: first token, or right after one of these.
+    if (i > 0) {
+      const std::string& p = Tok(i - 1).text;
+      if (p != ";" && p != "{" && p != "}" && p != "else" && p != ")" &&
+          p != ":") {
+        return;
+      }
+    }
+    static const std::set<std::string> kKeywords = {
+        "return",  "if",     "while",  "for",      "switch", "do",
+        "case",    "new",    "delete", "co_await", "goto",   "using",
+        "typedef", "static", "const",  "constexpr"};
+    if (Tok(i).kind != Token::kIdent || kKeywords.count(Tok(i).text)) return;
+    // Parse an identifier chain `a::b.c->Fn` ending right before `(`.
+    size_t j = i;
+    std::string callee;
+    while (j < Size()) {
+      if (Tok(j).kind == Token::kIdent) {
+        callee = Tok(j).text;
+        ++j;
+        if (Is(j, "::") || Is(j, ".") || Is(j, "->")) {
+          ++j;
+          continue;
+        }
+        break;
+      }
+      return;
+    }
+    if (!Is(j, "(")) return;
+    size_t close = MatchingClose(j, "(", ")");
+    if (close == Size() || !Is(close + 1, ";")) return;
+    if (!status_fns_->count(callee)) return;
+    Report(Tok(i).line, "discarded-status",
+           "result of Status-returning call '" + callee +
+               "' is discarded; handle it, LEAD_RETURN_IF_ERROR it, or cast "
+               "to void with a reason");
+  }
+
+  // --- ownership ----------------------------------------------------------
+
+  void CheckRawNewDelete(size_t i) {
+    if (Tok(i).kind != Token::kIdent) return;
+    if (Tok(i).text == "new") {
+      if (PrevIs(i, "operator")) return;
+      Report(Tok(i).line, "raw-new",
+             "raw new; use std::make_unique/make_shared or a container");
+    } else if (Tok(i).text == "delete") {
+      if (PrevIs(i, "=") || PrevIs(i, "operator")) return;
+      Report(Tok(i).line, "raw-delete",
+             "raw delete; prefer scoped ownership (unique_ptr)");
+    }
+  }
+
+  // --- float comparison ---------------------------------------------------
+
+  void CheckFloatEq(size_t i) {
+    if (Tok(i).kind != Token::kPunct ||
+        (Tok(i).text != "==" && Tok(i).text != "!=")) {
+      return;
+    }
+    bool prev_float = i > 0 && Tok(i - 1).kind == Token::kNumber &&
+                      Tok(i - 1).is_float;
+    bool next_float = i + 1 < Size() && Tok(i + 1).kind == Token::kNumber &&
+                      Tok(i + 1).is_float;
+    if (!prev_float && !next_float) return;
+    Report(Tok(i).line, "float-eq",
+           "exact floating-point " + Tok(i).text +
+               " comparison; use a tolerance or annotate why exactness is "
+               "intended");
+  }
+
+  // --- library-only rules -------------------------------------------------
+
+  void CheckLibOnly(size_t i) {
+    if (Tok(i).kind != Token::kIdent) return;
+    if (Tok(i).text == "cout" && !IsMemberAccess(i)) {
+      Report(Tok(i).line, "cout-in-lib",
+             "std::cout in library code; return data to the caller instead");
+    } else if (Tok(i).text == "exit" && Is(i + 1, "(") && !IsMemberAccess(i)) {
+      Report(Tok(i).line, "exit-in-lib",
+             "exit() in library code; return a Status and let the caller "
+             "decide");
+    }
+  }
+
+  std::string path_;
+  const LexedFile* lexed_;
+  bool lib_rules_;
+  bool rng_exempt_;
+  const std::set<std::string>* status_fns_;
+  std::vector<Violation>* out_;
+
+  std::set<std::string> unordered_vars_;
+  std::set<std::string> unordered_aliases_;
+};
+
+// Collects names of functions declared to return Status or StatusOr<...>:
+// the pattern `Status <ident> (` or `StatusOr < ... > <ident> (`.
+void CollectStatusFunctions(const LexedFile& lexed,
+                            std::set<std::string>* out) {
+  const std::vector<Token>& toks = lexed.tokens;
+  for (size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (toks[i].kind != Token::kIdent) continue;
+    if (i > 0 && (toks[i - 1].text == "class" || toks[i - 1].text == "struct" ||
+                  toks[i - 1].text == "enum" || toks[i - 1].text == "return" ||
+                  toks[i - 1].text == "." || toks[i - 1].text == "->")) {
+      continue;
+    }
+    size_t j = 0;
+    if (toks[i].text == "Status") {
+      j = i + 1;
+    } else if (toks[i].text == "StatusOr" && toks[i + 1].text == "<") {
+      int depth = 0;
+      size_t k = i + 1;
+      for (; k < toks.size(); ++k) {
+        if (toks[k].text == "<") ++depth;
+        else if (toks[k].text == ">" && --depth == 0) break;
+      }
+      if (k == toks.size()) continue;
+      j = k + 1;
+    } else {
+      continue;
+    }
+    if (j + 1 < toks.size() && toks[j].kind == Token::kIdent &&
+        toks[j + 1].text == "(") {
+      out->insert(toks[j].text);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+bool HasSourceExtension(const fs::path& p) {
+  std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".hpp" || ext == ".cpp" ||
+         ext == ".cxx";
+}
+
+bool SkippedDirectory(const fs::path& p) {
+  std::string name = p.filename().string();
+  return name == "lint_fixtures" || name == "golden" ||
+         name.rfind("build", 0) == 0 || (!name.empty() && name[0] == '.');
+}
+
+// Normalized generic path string (forward slashes) for category matching.
+std::string Generic(const fs::path& p) { return p.generic_string(); }
+
+bool UnderSrc(const std::string& path) {
+  return path.rfind("src/", 0) == 0 || path.find("/src/") != std::string::npos;
+}
+
+bool RngExempt(const std::string& path) {
+  const std::string suffix = "common/rng.h";
+  return path.size() >= suffix.size() &&
+         path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: lead_lint [--lib] [--list-rules] <file-or-dir>...\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool force_lib = false;
+  std::vector<fs::path> inputs;
+  for (int a = 1; a < argc; ++a) {
+    std::string arg = argv[a];
+    if (arg == "--lib") {
+      force_lib = true;
+    } else if (arg == "--list-rules") {
+      for (const RuleInfo& r : kRules) {
+        std::printf("%-17s %s\n", r.name, r.summary);
+      }
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    } else {
+      inputs.emplace_back(arg);
+    }
+  }
+  if (inputs.empty()) return Usage();
+
+  std::vector<fs::path> files;
+  for (const fs::path& input : inputs) {
+    std::error_code ec;
+    if (fs::is_directory(input, ec)) {
+      fs::recursive_directory_iterator it(input, ec), end;
+      if (ec) {
+        std::fprintf(stderr, "lead_lint: cannot read %s: %s\n",
+                     input.string().c_str(), ec.message().c_str());
+        return 2;
+      }
+      for (; it != end; ++it) {
+        if (it->is_directory() && SkippedDirectory(it->path())) {
+          it.disable_recursion_pending();
+          continue;
+        }
+        if (it->is_regular_file() && HasSourceExtension(it->path())) {
+          files.push_back(it->path());
+        }
+      }
+    } else if (fs::is_regular_file(input, ec)) {
+      files.push_back(input);
+    } else {
+      std::fprintf(stderr, "lead_lint: no such file or directory: %s\n",
+                   input.string().c_str());
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  // Pass 1: lex everything and learn the Status-returning function names,
+  // so pass 2 can flag dropped results of project APIs by name.
+  std::vector<LexedFile> lexed(files.size());
+  std::set<std::string> status_fns;
+  for (size_t f = 0; f < files.size(); ++f) {
+    std::ifstream in(files[f], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "lead_lint: cannot open %s\n",
+                   files[f].string().c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    lexed[f] = Lex(buf.str());
+    CollectStatusFunctions(lexed[f], &status_fns);
+  }
+  // `Ok` would make `status.Ok();`-style false positives too easy; the
+  // factory itself is side-effect free and never worth flagging.
+  status_fns.erase("Ok");
+
+  std::vector<Violation> violations;
+  std::set<std::string> unknown_allows;
+  for (size_t f = 0; f < files.size(); ++f) {
+    std::string path = Generic(files[f]);
+    FileLinter linter(path, &lexed[f], force_lib || UnderSrc(path),
+                      RngExempt(path), &status_fns, &violations);
+    linter.Run();
+    for (const auto& [line, rules] : lexed[f].allowed) {
+      for (const std::string& rule : rules) {
+        if (!IsKnownRule(rule)) {
+          unknown_allows.insert(path + ":" + std::to_string(line) + " '" +
+                                rule + "'");
+        }
+      }
+    }
+  }
+
+  for (const Violation& v : violations) {
+    std::printf("%s:%d %s %s\n", v.file.c_str(), v.line, v.rule.c_str(),
+                v.message.c_str());
+  }
+  for (const std::string& u : unknown_allows) {
+    std::fprintf(stderr, "lead_lint: warning: unknown rule in allow(): %s\n",
+                 u.c_str());
+  }
+  if (!violations.empty()) {
+    std::fprintf(stderr, "lead_lint: %zu violation(s) in %zu file(s)\n",
+                 violations.size(), files.size());
+    return 1;
+  }
+  std::fprintf(stderr, "lead_lint: clean (%zu file(s))\n", files.size());
+  return 0;
+}
