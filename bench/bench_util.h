@@ -2,7 +2,6 @@
 // paper-reference tables.
 #pragma once
 
-#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -13,6 +12,7 @@
 #include "baselines/sp_rule.h"
 #include "core/lead.h"
 #include "eval/harness.h"
+#include "obs/trace.h"
 
 namespace lead::bench {
 
@@ -36,7 +36,9 @@ inline std::unique_ptr<core::LeadModel> TrainLead(
     const core::LeadOptions& options, const eval::ExperimentData& data,
     core::TrainingLog* log) {
   auto model = std::make_unique<core::LeadModel>(options);
-  const auto start = std::chrono::steady_clock::now();
+  // obs::Stopwatch so bench tables read the same clock as trace spans and
+  // metrics timers (ISSUE 5 satellite: one clock source).
+  const obs::Stopwatch watch;
   const Status status = model->Train(data.TrainLabeled(), data.ValLabeled(),
                                      data.world->poi_index(), log);
   if (!status.ok()) {
@@ -44,11 +46,8 @@ inline std::unique_ptr<core::LeadModel> TrainLead(
                  status.ToString().c_str());
     std::exit(1);
   }
-  const double seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
-  std::printf("[train] LEAD wall-clock %.1fs (batch_size=%d)\n", seconds,
-              options.train.batch_size);
+  std::printf("[train] LEAD wall-clock %.1fs (batch_size=%d)\n",
+              watch.ElapsedSeconds(), options.train.batch_size);
   return model;
 }
 

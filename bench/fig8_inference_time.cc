@@ -98,15 +98,12 @@ int main() {
       return 1;
     }
     int detected = 0;
-    const auto start = std::chrono::steady_clock::now();
+    const obs::Stopwatch watch;
     for (const sim::SimulatedDay& day : data.split.test) {
       auto detection = model.Detect(day.raw, data.world->poi_index());
       if (detection.ok()) ++detected;
     }
-    const double seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      start)
-            .count();
+    const double seconds = watch.ElapsedSeconds();
     if (threads == 1) serial_seconds = seconds;
     const double speedup = seconds > 0.0 ? serial_seconds / seconds : 0.0;
     std::printf("  threads=%d  %6.2fs over %d trajectories  speedup x%.2f\n",

@@ -13,6 +13,7 @@
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "core/pipeline.h"
+#include "obs/trace.h"
 #include "nn/batch.h"
 #include "nn/lstm.h"
 #include "nn/ops.h"
@@ -349,6 +350,33 @@ void BM_ParallelPreprocess(benchmark::State& state) {
 }
 BENCHMARK(BM_ParallelPreprocess)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
+
+// Disabled-path cost of the span macro — the acceptance bar for leaving
+// LEAD_TRACE_SCOPE in hot library code. With no sink attached this must
+// be a relaxed atomic load plus a branch: low single-digit ns, no
+// allocation, no lock, no clock read.
+void BM_TraceOverhead(benchmark::State& state) {
+  LEAD_CHECK(!obs::Tracer::Global().enabled());
+  for (auto _ : state) {
+    LEAD_TRACE_SCOPE(obs::kCatPool, "bm_span");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceOverhead);
+
+// Enabled-path cost: two clock reads plus one buffer append per span.
+// The per-thread buffer fills after kEventsPerThread iterations, so long
+// runs measure a mix of append and counted-drop; both are the "tracing
+// on" steady-state costs.
+void BM_TraceOverheadEnabled(benchmark::State& state) {
+  obs::Tracer::Global().Start();
+  for (auto _ : state) {
+    LEAD_TRACE_SCOPE(obs::kCatPool, "bm_span");
+  }
+  obs::Tracer::Global().Stop();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceOverheadEnabled);
 
 void BM_FullProcessingPipeline(benchmark::State& state) {
   const traj::RawTrajectory& raw = TestTrajectory();

@@ -6,7 +6,11 @@
 # PATH), a -DLEAD_CHECK_SHAPES=ON build running the nn/batch/autograd
 # suites plus the contract death tests, a fault-injection pass (explicit
 # -DLEAD_FAULT_INJECTION=ON build running the robustness suites), an
-# ASan/UBSan-instrumented build of the nn-layer and io/serialize tests
+# observability pass (the lead and parity suites traced via the
+# LEAD_TRACE_OUT/LEAD_METRICS_OUT env autostart, with the emitted trace
+# checked for every pipeline category and the disabled-span overhead
+# benchmark), an ASan/UBSan-instrumented build of the nn-layer and
+# io/serialize tests
 # (the batched step kernels, autograd, and binary checkpoint parsing are
 # where memory bugs would hide), and a TSan build of the multi-threaded
 # suites (parallel parity, resilience under parallel training, and the
@@ -65,6 +69,33 @@ for t in "${FAULT_TESTS[@]}"; do
   "./build-fault/tests/$t"
 done
 
+echo "=== observability: traced suites via LEAD_TRACE_OUT/LEAD_METRICS_OUT ==="
+# The env autostart must leave a Chrome-format trace covering the
+# pipeline categories and a metrics snapshot with the loss series, and
+# tracing must not change any test outcome (the suites assert their own
+# bit-parity). BM_TraceOverhead guards the disabled-span cost.
+OBS_DIR="build/obs-ci"
+mkdir -p "$OBS_DIR"
+LEAD_TRACE_OUT="$OBS_DIR/lead_trace.json" \
+  LEAD_METRICS_OUT="$OBS_DIR/lead_metrics.json" \
+  ./build/tests/lead_test --gtest_filter='LeadEndToEnd.TrainedLeadBeatsChance'
+LEAD_TRACE_OUT="$OBS_DIR/parity_trace.json" \
+  LEAD_METRICS_OUT="$OBS_DIR/parity_metrics.json" \
+  ./build/tests/parallel_parity_test
+for cat in preprocess poi batch ae det infer; do
+  grep -q "\"cat\":\"$cat\"" "$OBS_DIR/lead_trace.json" ||
+    { echo "trace is missing category '$cat'" >&2; exit 1; }
+done
+# Pool spans only exist on the multi-lane path; the parity suite forces
+# threads > 1 even on single-core machines.
+grep -q '"cat":"pool"' "$OBS_DIR/parity_trace.json" ||
+  { echo "parity trace is missing category 'pool'" >&2; exit 1; }
+grep -q '"train.autoencoder.loss"' "$OBS_DIR/lead_metrics.json" ||
+  { echo "metrics are missing the training loss series" >&2; exit 1; }
+cmake --build build -j --target micro_substrates >/dev/null
+./build/bench/micro_substrates --benchmark_filter='BM_TraceOverhead' \
+  --benchmark_min_time=0.05
+
 if [[ "$SKIP_SAN" == "1" ]]; then
   echo "=== sanitizers skipped ==="
   exit 0
@@ -95,7 +126,7 @@ cmake -B build-tsan -S . \
   -DLEAD_FAULT_INJECTION=ON \
   -DCMAKE_CXX_FLAGS="$TSAN_FLAGS" \
   -DCMAKE_EXE_LINKER_FLAGS="$TSAN_FLAGS" >/dev/null
-TSAN_TESTS=(parallel_parity_test resilience_test poi_test lead_test)
+TSAN_TESTS=(obs_test parallel_parity_test resilience_test poi_test lead_test)
 cmake --build build-tsan -j --target "${TSAN_TESTS[@]}"
 for t in "${TSAN_TESTS[@]}"; do
   echo "--- $t (TSan) ---"

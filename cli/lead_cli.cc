@@ -15,6 +15,12 @@
 //       Evaluates detection accuracy per stay-count bucket on the
 //       held-out test split.
 //
+// train/detect/evaluate accept observability flags (DESIGN.md
+// §"Observability"): --trace-out FILE writes a Chrome trace-event JSON
+// (open in Perfetto or chrome://tracing), --metrics-out FILE writes the
+// metrics-registry JSON, --log-level error|warn|info|debug sets the
+// library log threshold. Tracing never changes results.
+//
 // A real deployment replaces `simulate` with government GPS archives in
 // the same CSV formats (see src/io/csv.h).
 #include <cstdio>
@@ -26,6 +32,8 @@
 #include "core/lead.h"
 #include "eval/harness.h"
 #include "io/csv.h"
+#include "obs/log.h"
+#include "obs/trace.h"
 
 using namespace lead;
 
@@ -173,7 +181,25 @@ core::LeadOptions CliLeadOptions(const Flags& flags) {
   // bit-identical for every thread count.
   options.train.threads = std::atoi(FlagOr(flags, "threads", "0").c_str());
   options.detect.threads = options.train.threads;
+  options.train.trace_out = FlagOr(flags, "trace-out", "");
+  options.train.metrics_out = FlagOr(flags, "metrics-out", "");
+  options.train.log_level = FlagOr(flags, "log-level", "");
+  options.detect.trace_out = options.train.trace_out;
+  options.detect.metrics_out = options.train.metrics_out;
+  options.detect.log_level = options.train.log_level;
   return options;
+}
+
+// Applies --log-level for the commands whose collection session lives in
+// the CLI (detect/evaluate; train applies it inside LeadModel::Train).
+int ApplyLogLevel(const std::string& log_level) {
+  if (log_level.empty()) return 0;
+  obs::LogLevel level;
+  if (!obs::ParseLogLevel(log_level, &level)) {
+    return Fail(InvalidArgumentError("bad log level: " + log_level));
+  }
+  obs::SetLogLevel(level);
+  return 0;
 }
 
 int RunTrain(const Flags& flags) {
@@ -181,6 +207,11 @@ int RunTrain(const Flags& flags) {
   const std::string model_path = FlagOr(flags, "model", "");
   if (data_dir.empty() || model_path.empty()) return Usage();
   const core::LeadOptions options = CliLeadOptions(flags);
+  // Reject a bad --log-level before the corpus load; Train() re-applies
+  // the same option for callers that bypass the CLI.
+  if (const int rc = ApplyLogLevel(options.train.log_level); rc != 0) {
+    return rc;
+  }
   auto corpus = LoadCorpus(data_dir, options.train.seed);
   if (!corpus.ok()) return Fail(corpus.status());
   const poi::PoiIndex poi_index(std::move(corpus->pois));
@@ -212,6 +243,9 @@ int RunDetect(const Flags& flags) {
   const poi::PoiIndex poi_index(std::move(corpus->pois));
   core::LeadModel model(CliLeadOptions(flags));
   if (const Status s = model.Load(model_path); !s.ok()) return Fail(s);
+  const core::DetectOptions& dopt = model.options().detect;
+  if (const int rc = ApplyLogLevel(dopt.log_level); rc != 0) return rc;
+  obs::ScopedCollection collection(dopt.trace_out, dopt.metrics_out);
 
   const std::string wanted = FlagOr(flags, "trajectory", "");
   const sim::SimulatedDay* day = nullptr;
@@ -255,6 +289,9 @@ int RunEvaluate(const Flags& flags) {
   const poi::PoiIndex poi_index(std::move(corpus->pois));
   core::LeadModel model(CliLeadOptions(flags));
   if (const Status s = model.Load(model_path); !s.ok()) return Fail(s);
+  const core::DetectOptions& dopt = model.options().detect;
+  if (const int rc = ApplyLogLevel(dopt.log_level); rc != 0) return rc;
+  obs::ScopedCollection collection(dopt.trace_out, dopt.metrics_out);
 
   const eval::MethodResult result = eval::EvaluateMethod(
       "LEAD", corpus->split.test,

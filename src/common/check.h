@@ -13,7 +13,9 @@ namespace lead::internal_check {
 
 [[noreturn]] inline void DieCheckFailure(const char* file, int line,
                                          const char* expr) {
-  std::fprintf(stderr, "%s:%d: LEAD_CHECK failed: %s\n", file, line, expr);
+  // Abort path: must not depend on the logger.
+  std::fprintf(stderr,  // lead-lint: allow(stderr)
+               "%s:%d: LEAD_CHECK failed: %s\n", file, line, expr);
   std::abort();
 }
 

@@ -61,7 +61,9 @@ Status IoError(std::string message) {
 namespace internal_status {
 
 void DieBadStatusAccess(const Status& status) {
-  std::fprintf(stderr, "StatusOr::value() called on error status: %s\n",
+  // Abort path: must not depend on the logger.
+  std::fprintf(stderr,  // lead-lint: allow(stderr)
+               "StatusOr::value() called on error status: %s\n",
                status.ToString().c_str());
   std::abort();
 }

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <string>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace lead {
 
@@ -12,13 +15,64 @@ namespace {
 // ParallelFor; nested parallel calls run inline instead of re-entering
 // the queue (which could deadlock when every worker is a waiter).
 thread_local bool in_parallel_region = false;
+
+// Per-lane busy-time attribution. Lanes at or beyond kTrackedLanes fold
+// into the last slot so the metric set stays bounded.
+constexpr int kTrackedLanes = 16;
+
+struct LaneMetrics {
+  obs::Counter* busy_us;
+  obs::Gauge* utilization;
+};
+
+LaneMetrics& LaneMetric(int lane) {
+  static LaneMetrics metrics[kTrackedLanes] = {};
+  static std::once_flag once;
+  std::call_once(once, [] {
+    for (int i = 0; i < kTrackedLanes; ++i) {
+      const std::string prefix = "pool.lane" + std::to_string(i);
+      metrics[i].busy_us = &obs::GetCounter(prefix + ".busy_us");
+      metrics[i].utilization = &obs::GetGauge(prefix + ".utilization");
+    }
+  });
+  return metrics[std::min(lane, kTrackedLanes - 1)];
+}
+
+// Runs one contiguous block under a pool-category span and charges its
+// wall time to the lane's busy counter / utilization gauge. Called once
+// per block (never per element), and only from the multi-lane path, so
+// the serial path stays untouched.
+void RunBlock(
+    const std::function<void(int64_t begin, int64_t end, int lane)>& fn,
+    int64_t begin, int64_t end, int lane) {
+  const uint64_t t0 = obs::NowMicros();
+  {
+    obs::ScopedSpan span(obs::kCatPool, "block");
+    span.Arg("lane", static_cast<double>(lane));
+    span.Arg("items", static_cast<double>(end - begin));
+    fn(begin, end, lane);
+  }
+  LaneMetrics& lane_metrics = LaneMetric(lane);
+  lane_metrics.busy_us->Add(
+      static_cast<int64_t>(obs::NowMicros() - t0));
+  const uint64_t uptime = obs::MetricsRegistry::Global().UptimeMicros();
+  if (uptime > 0) {
+    lane_metrics.utilization->Set(
+        static_cast<double>(lane_metrics.busy_us->Value()) /
+        static_cast<double>(uptime));
+  }
+}
 }  // namespace
 
 ThreadPool::ThreadPool(int num_workers) {
   LEAD_CHECK_GE(num_workers, 0);
   workers_.reserve(num_workers);
   for (int i = 0; i < num_workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] {
+      obs::Tracer::Global().SetCurrentThreadName(
+          "pool-worker-" + std::to_string(i));
+      WorkerLoop();
+    });
   }
 }
 
@@ -46,6 +100,8 @@ ThreadPool& ThreadPool::Global() {
 bool ThreadPool::OnWorkerThread() const { return in_parallel_region; }
 
 void ThreadPool::WorkerLoop() {
+  static obs::Gauge& queue_depth = obs::GetGauge("pool.queue_depth");
+  static obs::Counter& tasks = obs::GetCounter("pool.tasks");
   for (;;) {
     std::function<void()> task;
     {
@@ -54,7 +110,9 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // shutdown
       task = std::move(queue_.front());
       queue_.pop_front();
+      queue_depth.Set(static_cast<double>(queue_.size()));
     }
+    tasks.Increment();
     in_parallel_region = true;
     task();
     in_parallel_region = false;
@@ -89,7 +147,7 @@ void ThreadPool::ParallelForBlocks(
     for (int lane = 1; lane < lanes; ++lane) {
       const auto [begin, end] = block_bounds(lane);
       queue_.push_back([&fn, &latch, begin, end, lane] {
-        fn(begin, end, lane);
+        RunBlock(fn, begin, end, lane);
         // Notify while holding the latch mutex: the waiter destroys the
         // stack-allocated latch as soon as it observes remaining == 0,
         // which it cannot do before this thread releases the lock.
@@ -98,13 +156,15 @@ void ThreadPool::ParallelForBlocks(
         latch.done.notify_one();
       });
     }
+    static obs::Gauge& queue_depth = obs::GetGauge("pool.queue_depth");
+    queue_depth.Set(static_cast<double>(queue_.size()));
   }
   work_ready_.notify_all();
 
   const auto [begin, end] = block_bounds(0);
   const bool was_in_region = in_parallel_region;
   in_parallel_region = true;  // nested calls from lane 0 also run inline
-  fn(begin, end, 0);
+  RunBlock(fn, begin, end, 0);
   in_parallel_region = was_in_region;
 
   std::unique_lock<std::mutex> lock(latch.m);

@@ -4,11 +4,13 @@
 #include <numeric>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace lead::core {
 
 std::vector<LengthBucket> BucketByLength(const std::vector<int>& lengths,
                                          int max_batch, int max_padding) {
+  LEAD_TRACE_SCOPE(obs::kCatBatch, "bucket_by_length");
   std::vector<int> order(lengths.size());
   std::iota(order.begin(), order.end(), 0);
   std::stable_sort(order.begin(), order.end(), [&](int a, int b) {

@@ -2,6 +2,7 @@
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 
 namespace lead::core {
 
@@ -9,6 +10,8 @@ std::vector<std::vector<float>> ExtractPointFeatures(
     const traj::RawTrajectory& trajectory, const poi::PoiIndex& poi_index,
     const FeatureOptions& options) {
   const int n = static_cast<int>(trajectory.points.size());
+  obs::ScopedSpan span(obs::kCatPoi, "point_features");
+  span.Arg("points", static_cast<double>(n));
   std::vector<std::vector<float>> rows(n);
   // PoiIndex is immutable after construction, so the radius queries are
   // safe to issue concurrently; each lane fills a disjoint row range.

@@ -22,6 +22,9 @@
 #include "nn/batch.h"
 #include "nn/ops.h"
 #include "nn/serialize.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace lead::core {
 namespace {
@@ -140,6 +143,8 @@ Status LeadModel::Prepare(const std::vector<LabeledRawTrajectory>& labeled,
                           const poi::PoiIndex& poi_index,
                           bool fit_normalizer,
                           std::vector<PreparedSample>* out) {
+  obs::ScopedSpan span(obs::kCatPreprocess, "prepare");
+  span.Arg("trajectories", static_cast<double>(labeled.size()));
   const int threads = ResolveThreads(options_.train.threads);
   PipelineOptions popt = options_.pipeline;
   // Within one trajectory the per-point POI queries parallelize too; the
@@ -209,6 +214,20 @@ Status LeadModel::Train(const std::vector<LabeledRawTrajectory>& training,
                         const std::vector<LabeledRawTrajectory>& validation,
                         const poi::PoiIndex& poi_index, TrainingLog* log) {
   if (training.empty()) return InvalidArgumentError("empty training set");
+
+  if (!options_.train.log_level.empty()) {
+    obs::LogLevel level;
+    if (!obs::ParseLogLevel(options_.train.log_level, &level)) {
+      return InvalidArgumentError("bad log level: " +
+                                  options_.train.log_level);
+    }
+    obs::SetLogLevel(level);
+  }
+  // Starts tracing when trace_out is set and writes the trace / metrics
+  // files when Train() returns on any path. Tracing never feeds back into
+  // the computation, so results are bit-identical either way.
+  obs::ScopedCollection collection(options_.train.trace_out,
+                                   options_.train.metrics_out);
 
   std::string ckpt_path;
   int start_stage = 0;
@@ -305,6 +324,8 @@ StageOptions MakeStageOptions(const TrainOptions& topt, const char* tag,
   sopt.recovery_lr_backoff = topt.recovery_lr_backoff;
   sopt.divergence_factor = topt.divergence_factor;
   sopt.verbose = topt.verbose;
+  sopt.trace_category =
+      stage_index == kStageAutoencoder ? obs::kCatAe : obs::kCatDet;
   return sopt;
 }
 
@@ -749,6 +770,8 @@ StatusOr<ProcessedTrajectory> LeadModel::Preprocess(
 }
 
 nn::Matrix LeadModel::EncodeCandidates(const ProcessedTrajectory& pt) const {
+  obs::ScopedSpan span(obs::kCatInfer, "encode_candidates");
+  span.Arg("candidates", static_cast<double>(pt.candidates.size()));
   nn::NoGradGuard no_grad;
   std::vector<CandidateBatchItem> items;
   items.reserve(pt.candidates.size());
@@ -765,6 +788,10 @@ StatusOr<Detection> LeadModel::DetectProcessed(
   if (!normalizer_.fitted()) {
     return FailedPreconditionError("model is not trained");
   }
+  static obs::Histogram& detect_us = obs::GetHistogram("stage.detect.us");
+  obs::ScopedTimerUs timer(&detect_us);
+  obs::ScopedSpan span(obs::kCatInfer, "detect");
+  span.Arg("candidates", static_cast<double>(pt.candidates.size()));
   const int n = pt.num_stays();
   if (n < 2 || pt.candidates.empty()) {
     // Degenerate input (e.g. a hand-built ProcessedTrajectory): no
@@ -827,6 +854,12 @@ StatusOr<Detection> LeadModel::DetectProcessed(
           static_cast<int64_t>(buckets.size()), threads, [&](int64_t kb) {
             nn::NoGradGuard lane_no_grad;  // thread-local: lanes need their own
             const LengthBucket& bucket = buckets[kb];
+            // Emitted on whichever lane scores the bucket, so the trace
+            // shows the real per-thread schedule of bucket work.
+            obs::ScopedSpan bucket_span(obs::kCatDet, "score_bucket");
+            bucket_span.Arg("subgroups",
+                            static_cast<double>(bucket.items.size()));
+            bucket_span.Arg("max_len", static_cast<double>(bucket.max_len));
             std::vector<nn::SeqView> bucket_views;
             bucket_views.reserve(bucket.items.size());
             for (const int pi : bucket.items) {
@@ -989,6 +1022,11 @@ Status LeadModel::DeserializeModel(std::istream& in) {
 
 Status LeadModel::WriteTrainCheckpoint(const std::string& path, int stage,
                                        int next_epoch) const {
+  obs::ScopedSpan span(obs::kCatIo, "checkpoint_write");
+  span.Arg("stage", static_cast<double>(stage));
+  span.Arg("next_epoch", static_cast<double>(next_epoch));
+  static obs::Counter& writes = obs::GetCounter("checkpoint.writes");
+  writes.Increment();
   std::string header;
   header.append(kTrainCkptMagic, sizeof(kTrainCkptMagic));
   AppendU32(&header, kTrainCkptVersion);
@@ -1049,6 +1087,7 @@ Status LeadModel::Save(const std::string& path) const {
   if (!normalizer_.fitted()) {
     return FailedPreconditionError("model is not trained");
   }
+  LEAD_TRACE_SCOPE(obs::kCatIo, "model_save");
   std::ostringstream buffer;
   LEAD_RETURN_IF_ERROR(SerializeModel(buffer));
   return WriteFileAtomic(path, buffer.str());

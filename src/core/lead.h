@@ -80,6 +80,14 @@ struct TrainOptions {
   // count produces bit-identical results (DESIGN.md §"Parallel execution
   // and determinism"); 1 degenerates to the serial code path.
   int threads = 0;
+  // Observability sinks (see DESIGN.md §"Observability"). When non-empty,
+  // Train() records a Chrome trace-event JSON / metrics JSON of the run
+  // into these paths. Tracing never changes results: outputs stay
+  // bit-identical with sinks on or off.
+  std::string trace_out;
+  std::string metrics_out;
+  // "error" | "warn" | "info" | "debug"; empty keeps the process level.
+  std::string log_level;
 };
 
 // Online-stage knobs.
@@ -87,6 +95,12 @@ struct DetectOptions {
   // Worker lanes for Preprocess and the bucketed batch scoring inside
   // Detect/DetectProcessed. Same semantics as TrainOptions::threads.
   int threads = 0;
+  // Observability sinks; same semantics as the TrainOptions fields. The
+  // library does not scope a collection session per Detect() call (they
+  // are sub-millisecond); the CLI owns the session for detect runs.
+  std::string trace_out;
+  std::string metrics_out;
+  std::string log_level;
 };
 
 struct LeadOptions {

@@ -4,12 +4,18 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace lead::core {
 
 StatusOr<ProcessedTrajectory> ProcessTrajectory(
     const traj::RawTrajectory& raw, const poi::PoiIndex& poi_index,
     const PipelineOptions& options, const nn::ZScoreNormalizer* normalizer) {
+  static obs::Histogram& stage_us = obs::GetHistogram("stage.preprocess.us");
+  obs::ScopedTimerUs timer(&stage_us);
+  obs::ScopedSpan span(obs::kCatPreprocess, "process_trajectory");
+  span.Arg("points", static_cast<double>(raw.points.size()));
   if (raw.empty()) {
     return InvalidArgumentError("empty trajectory: " + raw.trajectory_id);
   }
@@ -17,19 +23,32 @@ StatusOr<ProcessedTrajectory> ProcessTrajectory(
   LEAD_RETURN_IF_ERROR(traj::ValidateCoordinates(raw));
 
   ProcessedTrajectory out;
-  out.cleaned = traj::FilterNoise(raw, options.noise).cleaned;
-  std::vector<traj::StayPoint> stays =
-      traj::ExtractStayPoints(out.cleaned, options.stay);
+  {
+    LEAD_TRACE_SCOPE(obs::kCatPreprocess, "noise_filter");
+    out.cleaned = traj::FilterNoise(raw, options.noise).cleaned;
+  }
+  std::vector<traj::StayPoint> stays;
+  {
+    LEAD_TRACE_SCOPE(obs::kCatPreprocess, "stay_points");
+    stays = traj::ExtractStayPoints(out.cleaned, options.stay);
+  }
   if (stays.size() < 2) {
     return FailedPreconditionError(
         "trajectory " + raw.trajectory_id +
         " has fewer than 2 stay points; no candidate trajectory exists");
   }
-  out.segmentation = traj::Segment(out.cleaned, std::move(stays));
-  out.candidates = traj::GenerateCandidates(out.segmentation.num_stays());
-  out.features = PackFeatures(
-      ExtractPointFeatures(out.cleaned, poi_index, options.features),
-      normalizer);
+  {
+    LEAD_TRACE_SCOPE(obs::kCatPreprocess, "segment");
+    out.segmentation = traj::Segment(out.cleaned, std::move(stays));
+    out.candidates = traj::GenerateCandidates(out.segmentation.num_stays());
+  }
+  {
+    LEAD_TRACE_SCOPE(obs::kCatPreprocess, "features");
+    out.features = PackFeatures(
+        ExtractPointFeatures(out.cleaned, poi_index, options.features),
+        normalizer);
+  }
+  span.Arg("candidates", static_cast<double>(out.candidates.size()));
   return out;
 }
 

@@ -2,14 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
 #include <limits>
 #include <memory>
+#include <string>
 
 #include "common/check.h"
 #include "nn/adam.h"
 #include "nn/early_stopping.h"
 #include "nn/scheduler.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
 
 namespace lead::core {
 
@@ -74,12 +76,28 @@ Status RunTrainingStage(
   float last_good_val = std::numeric_limits<float>::infinity();
   int recoveries_used = 0;
 
+  static obs::Histogram& epoch_us = obs::GetHistogram("stage.train_epoch.us");
+  static obs::Counter& recovery_count = obs::GetCounter("train.recoveries");
+  obs::Series& loss_series =
+      obs::GetSeries("train." + std::string(options.stage_name) + ".loss");
+  obs::Series& val_series = obs::GetSeries(
+      "train." + std::string(options.stage_name) + ".val_loss");
+
   for (int epoch = options.start_epoch; epoch < options.epochs;) {
-    optimizer->set_learning_rate(schedule.LearningRate(epoch) * lr_scale);
+    obs::ScopedTimerUs epoch_timer(&epoch_us);
+    obs::ScopedSpan span(options.trace_category, "epoch");
+    const float lr = schedule.LearningRate(epoch) * lr_scale;
+    optimizer->set_learning_rate(lr);
     const float train_loss = train_epoch(optimizer.get());
     const float val_loss = std::isfinite(train_loss)
                                ? validation_loss(train_loss)
                                : train_loss;
+    span.Arg("epoch", static_cast<double>(epoch));
+    span.Arg("lr", static_cast<double>(lr));
+    span.Arg("train_loss", static_cast<double>(train_loss));
+    span.Arg("val_loss", static_cast<double>(val_loss));
+    span.Arg("skipped_steps",
+             static_cast<double>(optimizer->skipped_steps()));
 
     const bool diverged =
         std::isfinite(val_loss) && std::isfinite(last_good_val) &&
@@ -105,14 +123,12 @@ Status RunTrainingStage(
         recoveries->push_back(
             RecoveryEvent{options.stage_name, epoch, lr_scale, reason});
       }
-      if (options.verbose) {
-        std::fprintf(stderr,
-                     "[%s] epoch %d: %s; rolled back, lr scale now %g "
-                     "(recovery %d/%d)\n",
-                     options.tag, epoch, reason,
-                     static_cast<double>(lr_scale), recoveries_used,
-                     options.max_recoveries);
-      }
+      recovery_count.Increment();
+      span.Arg("recovery", 1.0);
+      LEAD_LOG(WARN) << "[" << options.tag << "] epoch " << epoch << ": "
+                     << reason << "; rolled back, lr scale now " << lr_scale
+                     << " (recovery " << recoveries_used << "/"
+                     << options.max_recoveries << ")";
       continue;  // retry the same epoch with backed-off LR
     }
 
@@ -120,11 +136,12 @@ Status RunTrainingStage(
     last_good_val = std::min(last_good_val, val_loss);
     if (train_curve != nullptr) train_curve->push_back(train_loss);
     if (val_curve != nullptr) val_curve->push_back(val_loss);
+    loss_series.Append(static_cast<double>(train_loss));
+    val_series.Append(static_cast<double>(val_loss));
     if (options.verbose) {
-      std::fprintf(stderr, "[%s] epoch %d/%d train %.6f val %.6f\n",
-                   options.tag, epoch + 1, options.epochs,
-                   static_cast<double>(train_loss),
-                   static_cast<double>(val_loss));
+      LEAD_LOG(INFO) << "[" << options.tag << "] epoch " << epoch + 1 << "/"
+                     << options.epochs << " train " << train_loss << " val "
+                     << val_loss;
     }
     const bool keep_going = stopper.Report(val_loss);
     if (stopper.improved_last_report()) best.Capture(*module);
@@ -134,8 +151,8 @@ Status RunTrainingStage(
     ++epoch;
     if (!keep_going) {
       if (options.verbose) {
-        std::fprintf(stderr, "[%s] early stopping at epoch %d\n",
-                     options.tag, epoch);
+        LEAD_LOG(INFO) << "[" << options.tag << "] early stopping at epoch "
+                       << epoch;
       }
       break;
     }

@@ -20,6 +20,7 @@
 #include "nn/matrix.h"
 #include "nn/module.h"
 #include "nn/optimizer.h"
+#include "obs/trace.h"
 
 namespace lead::core {
 
@@ -65,6 +66,9 @@ struct StageOptions {
   float recovery_lr_backoff = 0.5f;
   float divergence_factor = 100.0f;
   bool verbose = false;
+  // Trace category for the stage's epoch spans (obs::kCatAe for the
+  // autoencoder stage, obs::kCatDet for detector stages).
+  const char* trace_category = obs::kCatDet;
 };
 
 // Runs one training stage over `module`. `train_epoch` performs one

@@ -1,12 +1,13 @@
 #include "eval/harness.h"
 
-#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <utility>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace lead::eval {
 
@@ -90,11 +91,14 @@ MethodResult EvaluateMethod(const std::string& name,
                             const DetectFn& detect) {
   MethodResult result;
   result.name = name;
+  // obs clock for both the timing table and the metrics registry, so
+  // Figure-8 JSON and --metrics-out report consistent latencies.
+  static obs::Histogram& detect_hist = obs::GetHistogram("eval.detect.us");
   for (const sim::SimulatedDay& day : test) {
-    const auto start = std::chrono::steady_clock::now();
+    const obs::Stopwatch watch;
     const StatusOr<traj::Candidate> detected = detect(day.raw);
-    const std::chrono::duration<double> elapsed =
-        std::chrono::steady_clock::now() - start;
+    const double elapsed_us = static_cast<double>(watch.ElapsedMicros());
+    detect_hist.Observe(elapsed_us);
     bool hit = false;
     if (detected.ok()) {
       hit = *detected == day.loaded_label;
@@ -105,7 +109,7 @@ MethodResult EvaluateMethod(const std::string& name,
       ++result.errors;
     }
     result.accuracy.Add(day.num_stay_points, hit);
-    result.timing.Add(day.num_stay_points, elapsed.count());
+    result.timing.Add(day.num_stay_points, elapsed_us * 1e-6);
   }
   return result;
 }

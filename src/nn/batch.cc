@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "nn/contract.h"
 #include "nn/ops.h"
+#include "obs/trace.h"
 
 namespace lead::nn {
 
@@ -33,6 +34,8 @@ StepBatch StepBatch::WithSteps(std::vector<Variable> new_steps) const {
 
 StepBatch PackViews(const std::vector<SeqView>& views) {
   LEAD_CHECK(!views.empty());
+  obs::ScopedSpan trace_span(obs::kCatBatch, "pack_views");
+  trace_span.Arg("batch", static_cast<double>(views.size()));
   const int batch = static_cast<int>(views.size());
   int dims = 0;
   for (const SeqSpan& span : views[0]) {

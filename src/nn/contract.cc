@@ -7,7 +7,7 @@ namespace lead::nn::contract {
 
 void Fail(const char* op, const char* requirement, int a_rows, int a_cols,
           int b_rows, int b_cols) {
-  std::fprintf(stderr,
+  std::fprintf(stderr,  // lead-lint: allow(stderr)
                "LEAD_CHECK_SHAPES: op %s: %s: lhs [%d x %d] vs rhs "
                "[%d x %d]\n",
                op, requirement, a_rows, a_cols, b_rows, b_cols);
@@ -15,14 +15,14 @@ void Fail(const char* op, const char* requirement, int a_rows, int a_cols,
 }
 
 void TapeFail(const char* op, const char* what) {
-  std::fprintf(stderr, "LEAD_CHECK_SHAPES: tape violation at op %s: %s\n", op,
-               what);
+  std::fprintf(stderr,  // lead-lint: allow(stderr)
+               "LEAD_CHECK_SHAPES: tape violation at op %s: %s\n", op, what);
   std::abort();
 }
 
 void NonFiniteFail(const char* op, const char* what, int row, int col,
                    float value) {
-  std::fprintf(stderr,
+  std::fprintf(stderr,  // lead-lint: allow(stderr)
                "LEAD_CHECK_SHAPES: op %s: first non-finite %s at [%d, %d] "
                "(%f)\n",
                op, what, row, col, static_cast<double>(value));

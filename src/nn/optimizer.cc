@@ -1,10 +1,11 @@
 #include "nn/optimizer.h"
 
 #include <cmath>
-#include <cstdio>
 #include <utility>
 
 #include "common/check.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
 
 namespace lead::nn {
 
@@ -40,9 +41,10 @@ float Optimizer::ClipScale(float clip_grad_norm) {
   const float norm = GradNorm();
   if (!std::isfinite(norm)) {
     ++skipped_steps_;
-    if (skipped_steps_ == 1) {
-      std::fprintf(stderr,
-                   "[optimizer] non-finite gradient norm; skipping step\n");
+    static obs::Counter& skipped = obs::GetCounter("optimizer.skipped_steps");
+    skipped.Increment();
+    if (skipped_steps_ == 1) {  // once per optimizer, not per step
+      LEAD_LOG(WARN) << "[optimizer] non-finite gradient norm; skipping step";
     }
     return 0.0f;
   }

@@ -1,0 +1,89 @@
+#include "obs/log.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/trace.h"
+
+namespace lead::obs {
+
+namespace internal {
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+}  // namespace internal
+
+namespace {
+
+std::atomic<LogSink> g_sink{nullptr};
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash == nullptr ? path : slash + 1;
+}
+
+void DefaultSink(LogLevel level, const char* file, int line,
+                 const char* message) {
+  const double uptime_s = static_cast<double>(NowMicros()) * 1e-6;
+  std::fprintf(stderr, "[%s %.3fs %s:%d] %s\n",  // lead-lint: allow(stderr)
+               LogLevelName(level), uptime_s, Basename(file), line,
+               message);
+}
+
+// LEAD_LOG_LEVEL environment override, applied at static-init time so it
+// also covers logging from other static initializers that run later.
+struct EnvLogLevel {
+  EnvLogLevel() {
+    const char* env = std::getenv("LEAD_LOG_LEVEL");
+    if (env == nullptr) return;
+    LogLevel level;
+    if (ParseLogLevel(env, &level)) SetLogLevel(level);
+  }
+};
+const EnvLogLevel g_env_log_level;
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kDebug: return "DEBUG";
+  }
+  return "?";
+}
+
+bool ParseLogLevel(const std::string& text, LogLevel* out) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "error") {
+    *out = LogLevel::kError;
+  } else if (lower == "warn" || lower == "warning") {
+    *out = LogLevel::kWarn;
+  } else if (lower == "info") {
+    *out = LogLevel::kInfo;
+  } else if (lower == "debug") {
+    *out = LogLevel::kDebug;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void SetLogSink(LogSink sink) {
+  g_sink.store(sink, std::memory_order_relaxed);
+}
+
+LogMessage::~LogMessage() {
+  const std::string message = stream_.str();
+  LogSink sink = g_sink.load(std::memory_order_relaxed);
+  if (sink == nullptr) sink = &DefaultSink;
+  sink(level_, file_, line_, message.c_str());
+}
+
+}  // namespace lead::obs

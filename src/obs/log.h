@@ -1,0 +1,105 @@
+// Leveled streaming logger with a pluggable sink.
+//
+//   LEAD_LOG(WARN) << "rollback at epoch " << epoch;
+//
+// Severities order ERROR < WARN < INFO < DEBUG; a message is emitted when
+// its severity is at or above the current level (SetLogLevel /
+// --log-level / LEAD_LOG_LEVEL env, default INFO). The macro guards with
+// a cheap level check BEFORE constructing the message, so stream
+// arguments of filtered-out messages are never evaluated.
+//
+// The default sink writes one line to stderr:
+//   [WARN 12.345s optimizer.cc:44] non-finite gradient; step skipped
+// Library code must log through this header instead of touching stderr
+// directly (enforced by the lead-lint `stderr` rule); tests install a
+// capturing sink via SetLogSink.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace lead::obs {
+
+enum class LogLevel : int {
+  kError = 0,
+  kWarn = 1,
+  kInfo = 2,
+  kDebug = 3,
+};
+
+// Severity constants in their own namespace so the LEAD_LOG(INFO) macro
+// can paste bare severity names.
+namespace log_severity {
+inline constexpr LogLevel ERROR = LogLevel::kError;
+inline constexpr LogLevel WARN = LogLevel::kWarn;
+inline constexpr LogLevel INFO = LogLevel::kInfo;
+inline constexpr LogLevel DEBUG = LogLevel::kDebug;
+}  // namespace log_severity
+
+namespace internal {
+extern std::atomic<int> g_log_level;
+}  // namespace internal
+
+inline LogLevel CurrentLogLevel() {
+  return static_cast<LogLevel>(
+      internal::g_log_level.load(std::memory_order_relaxed));
+}
+
+inline void SetLogLevel(LogLevel level) {
+  internal::g_log_level.store(static_cast<int>(level),
+                              std::memory_order_relaxed);
+}
+
+inline bool LogLevelEnabled(LogLevel severity) {
+  return static_cast<int>(severity) <=
+         internal::g_log_level.load(std::memory_order_relaxed);
+}
+
+// Parses "error" / "warn" / "info" / "debug" (case-insensitive).
+// Returns false (and leaves `out` untouched) on anything else.
+bool ParseLogLevel(const std::string& text, LogLevel* out);
+
+const char* LogLevelName(LogLevel level);
+
+// Sink receives fully formatted message bodies (no trailing newline).
+// nullptr restores the default stderr sink.
+using LogSink = void (*)(LogLevel level, const char* file, int line,
+                         const char* message);
+void SetLogSink(LogSink sink);
+
+// One in-flight log statement; flushes to the sink on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage();
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+// Makes the ternary in LEAD_LOG type-check: `&` binds looser than `<<`,
+// so the whole streaming expression collapses to void.
+struct LogVoidify {
+  void operator&(std::ostream&) {}
+};
+
+#define LEAD_LOG(severity)                                          \
+  (!::lead::obs::LogLevelEnabled(                                   \
+      ::lead::obs::log_severity::severity))                         \
+      ? (void)0                                                     \
+      : ::lead::obs::LogVoidify() &                                 \
+            ::lead::obs::LogMessage(                                \
+                ::lead::obs::log_severity::severity, __FILE__,      \
+                __LINE__)                                           \
+                .stream()
+
+}  // namespace lead::obs

@@ -1,0 +1,349 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+
+namespace lead::obs {
+
+namespace internal {
+
+int ThreadStripe() {
+  static std::atomic<int> next{0};
+  thread_local const int stripe =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricStripes;
+  return stripe;
+}
+
+}  // namespace internal
+
+namespace {
+
+void AppendJsonNumber(std::string* out, double v) {
+  if (!std::isfinite(v)) {
+    out->append("null");
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  out->append(buf);
+}
+
+void AppendJsonKey(std::string* out, const std::string& name) {
+  out->push_back('"');
+  for (char c : name) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->append("\":");
+}
+
+}  // namespace
+
+int64_t Counter::Value() const {
+  int64_t total = 0;
+  for (const Slot& slot : slots_) {
+    total += slot.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (Slot& slot : slots_) {
+    slot.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)) {
+  const size_t buckets = bounds_.size() + 1;
+  for (Stripe& stripe : stripes_) {
+    stripe.buckets = std::make_unique<std::atomic<int64_t>[]>(buckets);
+    for (size_t b = 0; b < buckets; ++b) {
+      stripe.buckets[b].store(0, std::memory_order_relaxed);
+    }
+    stripe.min.store(std::numeric_limits<double>::infinity(),
+                     std::memory_order_relaxed);
+    stripe.max.store(-std::numeric_limits<double>::infinity(),
+                     std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Observe(double v) {
+  Stripe& stripe = stripes_[internal::ThreadStripe()];
+  size_t bucket = 0;
+  while (bucket < bounds_.size() && v > bounds_[bucket]) ++bucket;
+  stripe.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  stripe.count.fetch_add(1, std::memory_order_relaxed);
+  stripe.sum.fetch_add(v, std::memory_order_relaxed);
+  // Several threads can share a stripe, so min/max still CAS.
+  double seen = stripe.min.load(std::memory_order_relaxed);
+  while (v < seen && !stripe.min.compare_exchange_weak(
+                         seen, v, std::memory_order_relaxed)) {
+  }
+  seen = stripe.max.load(std::memory_order_relaxed);
+  while (v > seen && !stripe.max.compare_exchange_weak(
+                         seen, v, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::Snap() const {
+  Snapshot snap;
+  snap.bounds = bounds_;
+  snap.bucket_counts.assign(bounds_.size() + 1, 0);
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const Stripe& stripe : stripes_) {
+    for (size_t b = 0; b < snap.bucket_counts.size(); ++b) {
+      snap.bucket_counts[b] +=
+          stripe.buckets[b].load(std::memory_order_relaxed);
+    }
+    snap.count += stripe.count.load(std::memory_order_relaxed);
+    snap.sum += stripe.sum.load(std::memory_order_relaxed);
+    lo = std::min(lo, stripe.min.load(std::memory_order_relaxed));
+    hi = std::max(hi, stripe.max.load(std::memory_order_relaxed));
+  }
+  if (snap.count > 0) {
+    snap.min = lo;
+    snap.max = hi;
+  }
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (Stripe& stripe : stripes_) {
+    for (size_t b = 0; b < bounds_.size() + 1; ++b) {
+      stripe.buckets[b].store(0, std::memory_order_relaxed);
+    }
+    stripe.count.store(0, std::memory_order_relaxed);
+    stripe.sum.store(0.0, std::memory_order_relaxed);
+    stripe.min.store(std::numeric_limits<double>::infinity(),
+                     std::memory_order_relaxed);
+    stripe.max.store(-std::numeric_limits<double>::infinity(),
+                     std::memory_order_relaxed);
+  }
+}
+
+void Series::Append(double v) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (values_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  values_.push_back(v);
+}
+
+std::vector<double> Series::Values() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return values_;
+}
+
+size_t Series::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+void Series::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  values_.clear();
+  dropped_ = 0;
+}
+
+std::vector<double> DefaultLatencyBoundsUs() {
+  return {10.0, 100.0, 1e3, 1e4, 1e5, 1e6, 1e7};
+}
+
+MetricsRegistry::MetricsRegistry() {
+  epoch_us_.store(NowMicros(), std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked on purpose (see Tracer::Global).
+  static MetricsRegistry* registry =
+      new MetricsRegistry();  // lead-lint: allow(raw-new)
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) {
+    if (bounds.empty()) bounds = DefaultLatencyBoundsUs();
+    slot = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return *slot;
+}
+
+Series& MetricsRegistry::GetSeries(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Series>& slot = series_[name];
+  if (slot == nullptr) slot = std::make_unique<Series>();
+  return *slot;
+}
+
+uint64_t MetricsRegistry::UptimeMicros() const {
+  return NowMicros() - epoch_us_.load(std::memory_order_relaxed);
+}
+
+void MetricsRegistry::ResetValues() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, counter] : counters_) counter->Reset();
+  for (const auto& [name, gauge] : gauges_) gauge->Reset();
+  for (const auto& [name, histogram] : histograms_) histogram->Reset();
+  for (const auto& [name, s] : series_) s->Reset();
+  epoch_us_.store(NowMicros(), std::memory_order_relaxed);
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"uptime_us\":";
+  out.append(std::to_string(UptimeMicros()));
+  out.append(",\"counters\":{");
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonKey(&out, name);
+    out.append(std::to_string(counter->Value()));
+  }
+  out.append("},\"gauges\":{");
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonKey(&out, name);
+    AppendJsonNumber(&out, gauge->Value());
+  }
+  out.append("},\"histograms\":{");
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonKey(&out, name);
+    const Histogram::Snapshot snap = histogram->Snap();
+    out.append("{\"count\":");
+    out.append(std::to_string(snap.count));
+    out.append(",\"sum\":");
+    AppendJsonNumber(&out, snap.sum);
+    out.append(",\"min\":");
+    AppendJsonNumber(&out, snap.min);
+    out.append(",\"max\":");
+    AppendJsonNumber(&out, snap.max);
+    out.append(",\"bounds\":[");
+    for (size_t b = 0; b < snap.bounds.size(); ++b) {
+      if (b > 0) out.push_back(',');
+      AppendJsonNumber(&out, snap.bounds[b]);
+    }
+    out.append("],\"buckets\":[");
+    for (size_t b = 0; b < snap.bucket_counts.size(); ++b) {
+      if (b > 0) out.push_back(',');
+      out.append(std::to_string(snap.bucket_counts[b]));
+    }
+    out.append("]}");
+  }
+  out.append("},\"series\":{");
+  first = true;
+  for (const auto& [name, s] : series_) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonKey(&out, name);
+    out.push_back('[');
+    const std::vector<double> values = s->Values();
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      AppendJsonNumber(&out, values[i]);
+    }
+    out.append("]");
+  }
+  out.append("}}");
+  return out;
+}
+
+std::string MetricsRegistry::ToTable() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-9s %-40s %s\n", "kind", "name",
+                "value");
+  out.append(line);
+  for (const auto& [name, counter] : counters_) {
+    std::snprintf(line, sizeof(line), "%-9s %-40s %lld\n", "counter",
+                  name.c_str(),
+                  static_cast<long long>(counter->Value()));
+    out.append(line);
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    std::snprintf(line, sizeof(line), "%-9s %-40s %.6g\n", "gauge",
+                  name.c_str(), gauge->Value());
+    out.append(line);
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const Histogram::Snapshot snap = histogram->Snap();
+    const double mean =
+        snap.count > 0 ? snap.sum / static_cast<double>(snap.count) : 0.0;
+    std::snprintf(line, sizeof(line),
+                  "%-9s %-40s count=%lld mean=%.6g min=%.6g max=%.6g\n",
+                  "histogram", name.c_str(),
+                  static_cast<long long>(snap.count), mean, snap.min,
+                  snap.max);
+    out.append(line);
+  }
+  for (const auto& [name, s] : series_) {
+    const std::vector<double> values = s->Values();
+    std::snprintf(line, sizeof(line), "%-9s %-40s n=%zu last=%.6g\n",
+                  "series", name.c_str(), values.size(),
+                  values.empty() ? 0.0 : values.back());
+    out.append(line);
+  }
+  return out;
+}
+
+bool MetricsRegistry::WriteJson(const std::string& path,
+                                std::string* error) const {
+  const std::string json = ToJson();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.good()) {
+    if (error != nullptr) *error = "cannot open for write: " + path;
+    return false;
+  }
+  out.write(json.data(), static_cast<std::streamsize>(json.size()));
+  out.flush();
+  if (!out.good()) {
+    if (error != nullptr) *error = "failed writing metrics: " + path;
+    return false;
+  }
+  return true;
+}
+
+Counter& GetCounter(const std::string& name) {
+  return MetricsRegistry::Global().GetCounter(name);
+}
+Gauge& GetGauge(const std::string& name) {
+  return MetricsRegistry::Global().GetGauge(name);
+}
+Histogram& GetHistogram(const std::string& name,
+                        std::vector<double> bounds) {
+  return MetricsRegistry::Global().GetHistogram(name, std::move(bounds));
+}
+Series& GetSeries(const std::string& name) {
+  return MetricsRegistry::Global().GetSeries(name);
+}
+
+}  // namespace lead::obs

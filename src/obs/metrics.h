@@ -1,0 +1,187 @@
+// Process-wide metrics registry: counters, gauges, fixed-bucket
+// histograms, and bounded series.
+//
+// Hot-path updates touch per-thread-striped padded atomics (threads hash
+// to a stripe by a stable per-thread index) with relaxed ordering; the
+// stripes are merged only at snapshot time, so concurrent increments
+// never contend on one cache line and never lock. Lookups by name take
+// the registry mutex — call sites on hot paths cache the returned
+// reference in a function-local static (registered metrics are never
+// destroyed or moved, so references stay valid for the process
+// lifetime).
+//
+// Snapshots export as JSON (MetricsRegistry::ToJson / WriteJson) and as
+// a human-readable table (ToTable). The LEAD_METRICS_OUT environment
+// variable writes the JSON at process exit (see obs/trace.h).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace lead::obs {
+
+// Stripes per metric. More stripes than typical worker counts keeps
+// collisions rare; padded to a cache line each.
+inline constexpr int kMetricStripes = 16;
+
+namespace internal {
+// Stable stripe index of the calling thread in [0, kMetricStripes).
+int ThreadStripe();
+}  // namespace internal
+
+// Monotonically increasing integer (events, queries, retries).
+class Counter {
+ public:
+  void Add(int64_t delta) {
+    slots_[internal::ThreadStripe()].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+  int64_t Value() const;
+  void Reset();
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<int64_t> value{0};
+  };
+  Slot slots_[kMetricStripes];
+};
+
+// Last-write-wins floating-point level (queue depth, utilization).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Fixed-bucket histogram: `bounds` are ascending upper bounds, with an
+// implicit +inf bucket appended. Observations update the calling
+// thread's stripe; Snap() merges stripes.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+  void Observe(double v);
+
+  struct Snapshot {
+    int64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;  // meaningful only when count > 0
+    double max = 0.0;
+    std::vector<double> bounds;
+    std::vector<int64_t> bucket_counts;  // bounds.size() + 1 entries
+  };
+  Snapshot Snap() const;
+  void Reset();
+
+ private:
+  struct alignas(64) Stripe {
+    std::unique_ptr<std::atomic<int64_t>[]> buckets;
+    std::atomic<int64_t> count{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> min{0.0};  // set to +/-inf in the constructor
+    std::atomic<double> max{0.0};
+  };
+  std::vector<double> bounds_;
+  Stripe stripes_[kMetricStripes];
+};
+
+// Bounded append-only value log (per-epoch loss curves). Appends beyond
+// the capacity are dropped and counted.
+class Series {
+ public:
+  explicit Series(size_t capacity = 4096) : capacity_(capacity) {}
+  void Append(double v);
+  std::vector<double> Values() const;
+  size_t dropped() const;
+  void Reset();
+
+ private:
+  mutable std::mutex mutex_;
+  size_t capacity_;
+  std::vector<double> values_;
+  size_t dropped_ = 0;
+};
+
+// Default Histogram bounds for microsecond latencies: 10 us .. 10 s,
+// decade-spaced.
+std::vector<double> DefaultLatencyBoundsUs();
+
+class MetricsRegistry {
+ public:
+  // Leaked singleton; see Tracer::Global.
+  static MetricsRegistry& Global();
+
+  // Find-or-create by name. References stay valid forever. A histogram's
+  // bounds are fixed by its first GetHistogram call (empty bounds mean
+  // DefaultLatencyBoundsUs()).
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name,
+                          std::vector<double> bounds = {});
+  Series& GetSeries(const std::string& name);
+
+  // JSON document: uptime plus one sorted name->value object per metric
+  // kind. Non-finite values export as null.
+  std::string ToJson() const;
+  // Human-readable fixed-width table of the same snapshot.
+  std::string ToTable() const;
+  bool WriteJson(const std::string& path, std::string* error) const;
+
+  // Zeroes every registered metric and restarts the uptime epoch
+  // (deterministic unit tests; metrics names persist).
+  void ResetValues();
+  // Microseconds since construction or the last ResetValues; exported so
+  // consumers can turn busy-time counters into utilization.
+  uint64_t UptimeMicros() const;
+
+ private:
+  MetricsRegistry();
+
+  mutable std::mutex mutex_;
+  // std::map: deterministic (sorted) export order.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<Series>> series_;
+  std::atomic<uint64_t> epoch_us_{0};
+};
+
+// Global-registry conveniences; cache the result at hot call sites:
+//   static obs::Counter& queries = obs::GetCounter("poi.radius_queries");
+Counter& GetCounter(const std::string& name);
+Gauge& GetGauge(const std::string& name);
+Histogram& GetHistogram(const std::string& name,
+                        std::vector<double> bounds = {});
+Series& GetSeries(const std::string& name);
+
+// Observes the scope's elapsed microseconds into a histogram.
+class ScopedTimerUs {
+ public:
+  explicit ScopedTimerUs(Histogram* histogram)
+      : histogram_(histogram), start_us_(NowMicros()) {}
+  ~ScopedTimerUs() {
+    histogram_->Observe(static_cast<double>(NowMicros() - start_us_));
+  }
+  ScopedTimerUs(const ScopedTimerUs&) = delete;
+  ScopedTimerUs& operator=(const ScopedTimerUs&) = delete;
+
+ private:
+  Histogram* histogram_;
+  uint64_t start_us_;
+};
+
+}  // namespace lead::obs

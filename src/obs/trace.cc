@@ -1,0 +1,288 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+
+namespace lead::obs {
+
+namespace internal {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace internal
+
+uint64_t NowMicros() {
+  // First call anchors the epoch; all timestamps are relative offsets on
+  // the monotonic clock, so trace ts values stay small and comparable.
+  static const std::chrono::steady_clock::time_point anchor =
+      std::chrono::steady_clock::now();
+  const auto elapsed = std::chrono::steady_clock::now() - anchor;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+          .count());
+}
+
+namespace {
+
+// Events per thread buffer. At ~120 B per event this is ~4 MB per
+// emitting thread, allocated lazily on the thread's first span.
+constexpr size_t kEventsPerThread = size_t{1} << 15;
+
+// Formats a double as JSON (non-finite values become null, which keeps
+// the document parseable when a traced loss goes NaN).
+void AppendJsonNumber(std::string* out, double v) {
+  if (!std::isfinite(v)) {
+    out->append("null");
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  out->append(buf);
+}
+
+void AppendJsonEscaped(std::string* out, const std::string& text) {
+  for (char c : text) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\n': out->append("\\n"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+}  // namespace
+
+// One thread's event buffer. Only the owning thread writes slots and the
+// head; readers acquire the head, which publishes every slot below it.
+// Published slots are never rewritten within a session (a full buffer
+// drops the newest event), so snapshot reads race with nothing.
+struct Tracer::ThreadBuffer {
+  int tid = 0;  // stable lane id (registration order)
+  std::string name;
+  std::vector<TraceEvent> slots;  // sized on first append
+  std::atomic<uint64_t> head{0};
+  std::atomic<uint64_t> dropped{0};
+
+  void Append(const TraceEvent& event) {
+    if (slots.empty()) slots.resize(kEventsPerThread);
+    const uint64_t h = head.load(std::memory_order_relaxed);
+    if (h >= slots.size()) {
+      dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    slots[h] = event;
+    head.store(h + 1, std::memory_order_release);
+  }
+};
+
+Tracer& Tracer::Global() {
+  // Leaked on purpose: thread_local buffer pointers on pool workers must
+  // outlive static teardown.
+  static Tracer* tracer = new Tracer();  // lead-lint: allow(raw-new)
+  return *tracer;
+}
+
+Tracer::ThreadBuffer* Tracer::CurrentBuffer() {
+  thread_local ThreadBuffer* cached = nullptr;
+  if (cached == nullptr) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto buffer = std::make_unique<ThreadBuffer>();
+    buffer->tid = static_cast<int>(buffers_.size());
+    cached = buffer.get();
+    buffers_.push_back(std::move(buffer));
+  }
+  return cached;
+}
+
+void Tracer::Append(const TraceEvent& event) {
+  CurrentBuffer()->Append(event);
+}
+
+void Tracer::Start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::unique_ptr<ThreadBuffer>& buffer : buffers_) {
+    buffer->head.store(0, std::memory_order_relaxed);
+    buffer->dropped.store(0, std::memory_order_relaxed);
+  }
+  internal::g_trace_enabled.store(true, std::memory_order_release);
+}
+
+void Tracer::Stop() {
+  internal::g_trace_enabled.store(false, std::memory_order_release);
+}
+
+uint64_t Tracer::EventCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t total = 0;
+  for (const std::unique_ptr<ThreadBuffer>& buffer : buffers_) {
+    total += buffer->head.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+uint64_t Tracer::DroppedCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t total = 0;
+  for (const std::unique_ptr<ThreadBuffer>& buffer : buffers_) {
+    total += buffer->dropped.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Tracer::SetCurrentThreadName(const std::string& name) {
+  CurrentBuffer()->name = name;
+}
+
+std::string Tracer::ToJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  out.reserve(size_t{1} << 16);
+  out.append("{\"traceEvents\":[");
+  out.append(
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"lead\"}}");
+  uint64_t dropped_total = 0;
+  for (const std::unique_ptr<ThreadBuffer>& buffer : buffers_) {
+    dropped_total += buffer->dropped.load(std::memory_order_relaxed);
+    char meta[96];
+    std::snprintf(meta, sizeof(meta),
+                  ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                  "\"tid\":%d,\"args\":{\"name\":\"",
+                  buffer->tid);
+    out.append(meta);
+    AppendJsonEscaped(&out, buffer->name.empty()
+                               ? "thread-" + std::to_string(buffer->tid)
+                               : buffer->name);
+    out.append("\"}}");
+    const uint64_t head = buffer->head.load(std::memory_order_acquire);
+    for (uint64_t e = 0; e < head; ++e) {
+      const TraceEvent& event = buffer->slots[e];
+      char prefix[160];
+      std::snprintf(prefix, sizeof(prefix),
+                    ",{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                    "\"pid\":1,\"tid\":%d,\"ts\":%llu,\"dur\":%llu",
+                    event.name, event.category, buffer->tid,
+                    static_cast<unsigned long long>(event.ts_us),
+                    static_cast<unsigned long long>(event.dur_us));
+      out.append(prefix);
+      if (event.num_args > 0) {
+        out.append(",\"args\":{");
+        for (int32_t a = 0; a < event.num_args; ++a) {
+          if (a > 0) out.push_back(',');
+          out.push_back('"');
+          out.append(event.args[a].key);
+          out.append("\":");
+          AppendJsonNumber(&out, event.args[a].value);
+        }
+        out.push_back('}');
+      }
+      out.push_back('}');
+    }
+  }
+  out.append("],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped\":");
+  out.append(std::to_string(dropped_total));
+  out.append("}}");
+  return out;
+}
+
+bool Tracer::WriteJson(const std::string& path, std::string* error) const {
+  const std::string json = ToJson();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.good()) {
+    if (error != nullptr) *error = "cannot open for write: " + path;
+    return false;
+  }
+  out.write(json.data(), static_cast<std::streamsize>(json.size()));
+  out.flush();
+  if (!out.good()) {
+    if (error != nullptr) *error = "failed writing trace: " + path;
+    return false;
+  }
+  return true;
+}
+
+void ScopedSpan::Begin(const char* category, const char* name) {
+  event_.name = name;
+  event_.category = category;
+  event_.num_args = 0;
+  event_.dur_us = 0;
+  event_.ts_us = NowMicros();
+  active_ = true;
+}
+
+void ScopedSpan::Finish() {
+  // A span that straddled Stop() is dropped: after Stop the snapshot may
+  // be read concurrently, and published slots must stay frozen.
+  if (!internal::TracingEnabled()) return;
+  event_.dur_us = NowMicros() - event_.ts_us;
+  Tracer::Global().Append(event_);
+}
+
+ScopedCollection::ScopedCollection(std::string trace_out,
+                                   std::string metrics_out)
+    : trace_out_(std::move(trace_out)), metrics_out_(std::move(metrics_out)) {
+  if (!trace_out_.empty() && !Tracer::Global().enabled()) {
+    Tracer::Global().Start();
+    started_ = true;
+  }
+}
+
+ScopedCollection::~ScopedCollection() {
+  if (started_) Tracer::Global().Stop();
+  std::string error;
+  if (!trace_out_.empty() &&
+      !Tracer::Global().WriteJson(trace_out_, &error)) {
+    LEAD_LOG(ERROR) << "trace not written: " << error;
+  }
+  if (!metrics_out_.empty() &&
+      !MetricsRegistry::Global().WriteJson(metrics_out_, &error)) {
+    LEAD_LOG(ERROR) << "metrics not written: " << error;
+  }
+}
+
+namespace {
+
+// LEAD_TRACE_OUT / LEAD_METRICS_OUT environment autostart (see header).
+struct EnvCollection {
+  EnvCollection() {
+    const char* trace = std::getenv("LEAD_TRACE_OUT");
+    const char* metrics = std::getenv("LEAD_METRICS_OUT");
+    if (trace != nullptr && trace[0] != '\0') trace_out = trace;
+    if (metrics != nullptr && metrics[0] != '\0') metrics_out = metrics;
+    if (!trace_out.empty()) Tracer::Global().Start();
+  }
+  ~EnvCollection() {
+    std::string error;
+    if (!trace_out.empty()) {
+      Tracer::Global().Stop();
+      if (!Tracer::Global().WriteJson(trace_out, &error)) {
+        LEAD_LOG(ERROR) << "LEAD_TRACE_OUT not written: " << error;
+      }
+    }
+    if (!metrics_out.empty() &&
+        !MetricsRegistry::Global().WriteJson(metrics_out, &error)) {
+      LEAD_LOG(ERROR) << "LEAD_METRICS_OUT not written: " << error;
+    }
+  }
+  std::string trace_out;
+  std::string metrics_out;
+};
+
+const EnvCollection g_env_collection;
+
+}  // namespace
+
+}  // namespace lead::obs

@@ -1,0 +1,185 @@
+// Scoped-span tracing with Chrome trace-event JSON output.
+//
+// The tracer records closed spans ("X" phase events with pid/tid/ts/dur
+// and numeric args) into fixed-capacity per-thread buffers and serializes
+// them as chrome://tracing / Perfetto-loadable JSON. Each thread owns its
+// buffer exclusively: a span emitted on a worker lane lands in that
+// lane's buffer, so traces carry true per-thread attribution. Events are
+// published with a release store on the buffer head and read back with an
+// acquire load, so a snapshot taken after Stop() observes every event
+// without locking the hot path; a full buffer drops (and counts) the
+// newest events instead of overwriting published slots.
+//
+// When no sink is active, LEAD_TRACE_SCOPE costs one relaxed atomic load
+// and a branch — no allocation, no lock, no clock read (guarded by
+// bench/micro_substrates.cc BM_TraceOverhead). Tracing never feeds back
+// into the computation: results are bit-identical with tracing on or off.
+//
+// Environment autostart: defining LEAD_TRACE_OUT=<file> (and optionally
+// LEAD_METRICS_OUT=<file>) starts a process-wide session at static-init
+// time and writes the files at exit, so any test or bench binary can be
+// traced without code changes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace lead::obs {
+
+// Category tags: every span belongs to one of these, so traces group
+// predictably in the viewer and tools can filter by pipeline stage.
+inline constexpr const char kCatPreprocess[] = "preprocess";
+inline constexpr const char kCatPoi[] = "poi";
+inline constexpr const char kCatBatch[] = "batch";
+inline constexpr const char kCatAe[] = "ae";
+inline constexpr const char kCatDet[] = "det";
+inline constexpr const char kCatInfer[] = "infer";
+inline constexpr const char kCatPool[] = "pool";
+inline constexpr const char kCatIo[] = "io";
+
+// Microseconds since the process-wide monotonic anchor (first call).
+// Every obs timestamp — trace events, metrics timers, bench tables —
+// reads this one clock.
+uint64_t NowMicros();
+
+// Monotonic elapsed-time helper over NowMicros().
+class Stopwatch {
+ public:
+  Stopwatch() : start_us_(NowMicros()) {}
+  void Reset() { start_us_ = NowMicros(); }
+  uint64_t ElapsedMicros() const { return NowMicros() - start_us_; }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedMicros()) * 1e-6;
+  }
+
+ private:
+  uint64_t start_us_;
+};
+
+struct TraceArg {
+  const char* key;  // static string
+  double value;
+};
+
+inline constexpr int kMaxTraceArgs = 6;
+
+struct TraceEvent {
+  const char* name;      // static string
+  const char* category;  // static string (one of the kCat* tags)
+  uint64_t ts_us;
+  uint64_t dur_us;
+  int32_t num_args;
+  TraceArg args[kMaxTraceArgs];
+};
+
+namespace internal {
+// Single global enable flag so the disabled span path is one relaxed
+// load; owned by Tracer::Start/Stop.
+extern std::atomic<bool> g_trace_enabled;
+inline bool TracingEnabled() {
+  return g_trace_enabled.load(std::memory_order_relaxed);
+}
+}  // namespace internal
+
+class Tracer {
+ public:
+  // Leaked singleton (like ThreadPool::Global): worker threads may hold
+  // cached buffer pointers past static teardown.
+  static Tracer& Global();
+
+  // Clears every per-thread buffer and enables span recording. Must not
+  // be called while traced work is in flight on other threads.
+  void Start();
+  // Disables recording. Spans already open finish as no-ops.
+  void Stop();
+  bool enabled() const { return internal::TracingEnabled(); }
+
+  // Chrome trace-event JSON of everything recorded since Start(). Call
+  // with no traced work in flight (normally after Stop()).
+  std::string ToJson() const;
+  // Writes ToJson() to `path`; on failure returns false and fills
+  // `error` (obs is layered below common, so no Status here).
+  bool WriteJson(const std::string& path, std::string* error) const;
+
+  // Published events / events dropped to full buffers, summed over all
+  // thread buffers.
+  uint64_t EventCount() const;
+  uint64_t DroppedCount() const;
+
+  // Names the calling thread's lane in the trace viewer (emitted as an
+  // "M" thread_name metadata event). Safe to call with tracing off.
+  void SetCurrentThreadName(const std::string& name);
+
+ private:
+  friend class ScopedSpan;
+  struct ThreadBuffer;
+
+  Tracer() = default;
+  // The calling thread's buffer, registering it on first use. The
+  // returned pointer stays valid for the process lifetime.
+  ThreadBuffer* CurrentBuffer();
+  void Append(const TraceEvent& event);
+
+  mutable std::mutex mutex_;  // guards registration and serialization
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+// Records one "X" trace event from construction to destruction. With
+// tracing disabled the constructor is a relaxed load plus a branch.
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* category, const char* name) {
+    if (internal::TracingEnabled()) Begin(category, name);
+  }
+  ~ScopedSpan() {
+    if (active_) Finish();
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  // Attaches a numeric argument (shown in the viewer's detail pane).
+  // No-op when tracing is off; at most kMaxTraceArgs stick.
+  void Arg(const char* key, double value) {
+    if (active_ && event_.num_args < kMaxTraceArgs) {
+      event_.args[event_.num_args++] = TraceArg{key, value};
+    }
+  }
+
+ private:
+  void Begin(const char* category, const char* name);
+  void Finish();
+
+  TraceEvent event_;  // only initialized when active_
+  bool active_ = false;
+};
+
+#define LEAD_OBS_CONCAT_INNER(a, b) a##b
+#define LEAD_OBS_CONCAT(a, b) LEAD_OBS_CONCAT_INNER(a, b)
+
+// Declares an anonymous scoped span covering the rest of the block.
+#define LEAD_TRACE_SCOPE(category, name)                               \
+  ::lead::obs::ScopedSpan LEAD_OBS_CONCAT(lead_trace_scope_, __LINE__)( \
+      (category), (name))
+
+// RAII collection session: starts the tracer when `trace_out` is
+// non-empty (and not already running) and writes the trace / metrics
+// files on destruction. Empty paths are inert, so callers can pass
+// option fields through unconditionally.
+class ScopedCollection {
+ public:
+  ScopedCollection(std::string trace_out, std::string metrics_out);
+  ~ScopedCollection();
+  ScopedCollection(const ScopedCollection&) = delete;
+  ScopedCollection& operator=(const ScopedCollection&) = delete;
+
+ private:
+  std::string trace_out_;
+  std::string metrics_out_;
+  bool started_ = false;
+};
+
+}  // namespace lead::obs

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace lead::poi {
 namespace {
@@ -82,6 +83,10 @@ void PoiIndex::ForEachWithin(const geo::LatLng& center, double radius_m,
 
 CategoryCounts PoiIndex::CountByCategory(const geo::LatLng& center,
                                          double radius_m) const {
+  // Cached reference: this runs once per GPS point, per-span tracing here
+  // would swamp the trace, so the query volume is a counter instead.
+  static obs::Counter& queries = obs::GetCounter("poi.radius_queries");
+  queries.Increment();
   CategoryCounts counts{};
   ForEachWithin(center, radius_m, [&](int i) {
     ++counts[static_cast<int>(pois_[i].category)];

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -26,6 +27,13 @@ int RunCommand(const std::string& command, std::string* output) {
   }
   const int status = pclose(pipe);
   return WEXITSTATUS(status);
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
 }
 
 class CliEndToEnd : public ::testing::Test {
@@ -54,13 +62,28 @@ TEST_F(CliEndToEnd, SimulateTrainEvaluateDetect) {
   EXPECT_TRUE(std::filesystem::exists(dir_ + "/labels.csv"));
 
   const std::string model = dir_ + "/model.bin";
+  const std::string trace = dir_ + "/trace.json";
+  const std::string metrics = dir_ + "/metrics.json";
   ASSERT_EQ(RunCommand(CliPath() + " train --data " + dir_ + " --model " + model +
-                    " --ae-epochs 1 --det-epochs 2",
+                    " --ae-epochs 1 --det-epochs 2 --trace-out " + trace +
+                    " --metrics-out " + metrics + " --log-level warn",
                 &out),
             0)
       << out;
   EXPECT_NE(out.find("model written"), std::string::npos) << out;
   EXPECT_TRUE(std::filesystem::exists(model));
+  // The observability flags must leave behind a Chrome-format trace and a
+  // metrics snapshot that carries the training loss series.
+  ASSERT_TRUE(std::filesystem::exists(trace));
+  ASSERT_TRUE(std::filesystem::exists(metrics));
+  const std::string trace_json = ReadFile(trace);
+  EXPECT_NE(trace_json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace_json.find("\"cat\":\"preprocess\""), std::string::npos);
+  EXPECT_NE(trace_json.find("\"cat\":\"ae\""), std::string::npos);
+  EXPECT_NE(trace_json.find("\"cat\":\"det\""), std::string::npos);
+  const std::string metrics_json = ReadFile(metrics);
+  EXPECT_NE(metrics_json.find("train.autoencoder.loss"), std::string::npos);
+  EXPECT_NE(metrics_json.find("stage.preprocess.us"), std::string::npos);
 
   ASSERT_EQ(RunCommand(CliPath() + " evaluate --data " + dir_ + " --model " + model,
                 &out),
@@ -84,6 +107,12 @@ TEST_F(CliEndToEnd, UsageAndErrorPaths) {
   EXPECT_NE(RunCommand(CliPath() + " frobnicate", &out), 0);
   // Train without data: usage error.
   EXPECT_NE(RunCommand(CliPath() + " train --model /tmp/x.bin", &out), 0);
+  // Unknown log level: rejected up front, before any training work.
+  EXPECT_NE(RunCommand(CliPath() + " train --data /tmp --model /tmp/x.bin" +
+                           " --log-level shouty",
+                       &out),
+            0);
+  EXPECT_NE(out.find("bad log level"), std::string::npos) << out;
   // Detect with a missing model file: IO error surfaced.
   ASSERT_EQ(RunCommand(CliPath() + " simulate --out " + dir_ +
                     " --trajectories 12 --trucks 6",

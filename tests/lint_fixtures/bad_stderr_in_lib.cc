@@ -1,0 +1,7 @@
+// Fixture: direct stderr output in library code must be flagged when
+// linted with --lib (rule: stderr); obs/log.h is the sanctioned path.
+#include <cstdio>
+#include <iostream>
+
+void Warn(int n) { std::fprintf(stderr, "n = %d\n", n); }
+void Cry(int n) { std::cerr << n << "\n"; }

@@ -82,10 +82,13 @@ TEST_F(LintTest, EveryRuleFiresOnItsFixture) {
 TEST_F(LintTest, LibOnlyRulesNeedTheLibFlag) {
   ExpectViolation("bad_cout_in_lib.cc", "cout-in-lib", 5, "--lib");
   ExpectViolation("bad_exit_in_lib.cc", "exit-in-lib", 5, "--lib");
+  ExpectViolation("bad_stderr_in_lib.cc", "stderr", 6, "--lib");
+  ExpectViolation("bad_stderr_in_lib.cc", "stderr", 7, "--lib");
   // Without --lib the same files are treated as tool/test code and pass.
   std::string out;
   EXPECT_EQ(LintFixture("bad_cout_in_lib.cc", &out), 0) << out;
   EXPECT_EQ(LintFixture("bad_exit_in_lib.cc", &out), 0) << out;
+  EXPECT_EQ(LintFixture("bad_stderr_in_lib.cc", &out), 0) << out;
 }
 
 TEST_F(LintTest, AllowMarkerSuppressesFindings) {
@@ -104,7 +107,7 @@ TEST_F(LintTest, ListRulesCoversEveryRule) {
   for (const char* rule :
        {"rand", "raw-rng", "wall-clock", "unordered-iter",
         "discarded-status", "raw-new", "raw-delete", "float-eq",
-        "cout-in-lib", "exit-in-lib", "pragma-once"}) {
+        "cout-in-lib", "exit-in-lib", "stderr", "pragma-once"}) {
     EXPECT_NE(out.find(rule), std::string::npos) << "missing rule " << rule;
   }
 }

@@ -1,0 +1,577 @@
+// Observability layer tests: the emitted Chrome trace JSON must be
+// well-formed and round-trip span args, concurrent span emission from
+// eight threads must lose and tear nothing, striped metrics must merge
+// exactly, and the logger must filter by level without evaluating the
+// stream arguments of suppressed messages.
+//
+// The repo has no JSON reader (geojson.h is a writer), so this file
+// carries a minimal recursive-descent parser — strict enough to reject
+// malformed output, small enough to audit.
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace lead {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value + parser.
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool Has(const std::string& key) const {
+    return type == Type::kObject && object.count(key) > 0;
+  }
+  const JsonValue& At(const std::string& key) const {
+    static const JsonValue kNullValue;
+    auto it = object.find(key);
+    return it == object.end() ? kNullValue : it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    SkipSpace();
+    if (!ParseValue(out)) return false;
+    SkipSpace();
+    return pos_ == text_.size();  // no trailing garbage
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool Literal(const char* word, size_t len) {
+    if (text_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return ParseObject(out);
+      case '[': return ParseArray(out);
+      case '"':
+        out->type = JsonValue::Type::kString;
+        return ParseString(&out->string);
+      case 't':
+        out->type = JsonValue::Type::kBool;
+        out->bool_value = true;
+        return Literal("true", 4);
+      case 'f':
+        out->type = JsonValue::Type::kBool;
+        out->bool_value = false;
+        return Literal("false", 5);
+      case 'n':
+        out->type = JsonValue::Type::kNull;
+        return Literal("null", 4);
+      default: return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->type = JsonValue::Type::kObject;
+    ++pos_;  // '{'
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipSpace();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      ++pos_;
+      SkipSpace();
+      if (!ParseValue(&out->object[key])) return false;
+      SkipSpace();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->type = JsonValue::Type::kArray;
+    ++pos_;  // '['
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipSpace();
+      out->array.emplace_back();
+      if (!ParseValue(&out->array.back())) return false;
+      SkipSpace();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return false;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u':
+          if (pos_ + 4 > text_.size()) return false;
+          pos_ += 4;          // tests only need structure, not the code
+          out->push_back('?');  // point itself
+          break;
+        default: return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    out->type = JsonValue::Type::kNumber;
+    out->number = std::strtod(start, &end);
+    if (end == start) return false;
+    pos_ += static_cast<size_t>(end - start);
+    return true;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+bool ParseJson(const std::string& text, JsonValue* out) {
+  return JsonParser(text).Parse(out);
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+// Parses the tracer's current JSON and returns the traceEvents array.
+std::vector<JsonValue> TraceEvents() {
+  const std::string json = obs::Tracer::Global().ToJson();
+  JsonValue doc;
+  EXPECT_TRUE(ParseJson(json, &doc)) << json.substr(0, 400);
+  EXPECT_EQ(doc.At("displayTimeUnit").string, "ms");
+  EXPECT_TRUE(doc.Has("otherData"));
+  return doc.At("traceEvents").array;
+}
+
+// ---------------------------------------------------------------------------
+// Tracer.
+
+TEST(TraceTest, DisabledScopeRecordsNothing) {
+  obs::Tracer& tracer = obs::Tracer::Global();
+  ASSERT_FALSE(tracer.enabled());
+  const uint64_t before = tracer.EventCount();
+  for (int i = 0; i < 100; ++i) {
+    LEAD_TRACE_SCOPE(obs::kCatPool, "disabled_span");
+  }
+  EXPECT_EQ(tracer.EventCount(), before);
+}
+
+TEST(TraceTest, JsonIsValidAndRoundTripsArgs) {
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.Start();
+  {
+    obs::ScopedSpan span(obs::kCatIo, "unit_span");
+    span.Arg("answer", 42.0);
+    span.Arg("half", 0.5);
+  }
+  tracer.Stop();
+  EXPECT_EQ(tracer.EventCount(), 1u);
+  EXPECT_EQ(tracer.DroppedCount(), 0u);
+
+  const std::vector<JsonValue> events = TraceEvents();
+  bool found_process_name = false;
+  const JsonValue* span_event = nullptr;
+  for (const JsonValue& event : events) {
+    if (event.At("ph").string == "M" &&
+        event.At("name").string == "process_name") {
+      found_process_name = true;
+      EXPECT_EQ(event.At("args").At("name").string, "lead");
+    }
+    if (event.At("name").string == "unit_span") span_event = &event;
+  }
+  EXPECT_TRUE(found_process_name);
+  ASSERT_NE(span_event, nullptr);
+  EXPECT_EQ(span_event->At("ph").string, "X");
+  EXPECT_EQ(span_event->At("cat").string, obs::kCatIo);
+  EXPECT_EQ(span_event->At("pid").number, 1.0);
+  EXPECT_TRUE(span_event->Has("tid"));
+  EXPECT_TRUE(span_event->Has("ts"));
+  EXPECT_TRUE(span_event->Has("dur"));
+  EXPECT_GE(span_event->At("dur").number, 0.0);
+  EXPECT_EQ(span_event->At("args").At("answer").number, 42.0);
+  EXPECT_EQ(span_event->At("args").At("half").number, 0.5);
+}
+
+TEST(TraceTest, EightThreadsLoseAndTearNothing) {
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 512;
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.Start();
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      obs::Tracer::Global().SetCurrentThreadName("obs-test-" +
+                                                 std::to_string(t));
+      for (int j = 0; j < kSpansPerThread; ++j) {
+        obs::ScopedSpan span(obs::kCatPool, "worker_span");
+        span.Arg("t", t);
+        span.Arg("j", j);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  tracer.Stop();
+  EXPECT_EQ(tracer.EventCount(),
+            static_cast<uint64_t>(kThreads) * kSpansPerThread);
+  EXPECT_EQ(tracer.DroppedCount(), 0u);
+
+  // Every span must come back complete: right name/cat, both args, and a
+  // (t, j) pair seen exactly once — a torn or overwritten slot would
+  // duplicate or corrupt one.
+  const std::vector<JsonValue> events = TraceEvents();
+  std::map<int, std::set<int>> seen;       // t -> {j}
+  std::map<int, std::set<double>> lanes;   // t -> {tid}
+  std::set<std::string> thread_names;
+  for (const JsonValue& event : events) {
+    if (event.At("ph").string == "M" &&
+        event.At("name").string == "thread_name") {
+      thread_names.insert(event.At("args").At("name").string);
+    }
+    if (event.At("name").string != "worker_span") continue;
+    EXPECT_EQ(event.At("ph").string, "X");
+    EXPECT_EQ(event.At("cat").string, obs::kCatPool);
+    const int t = static_cast<int>(event.At("args").At("t").number);
+    const int j = static_cast<int>(event.At("args").At("j").number);
+    ASSERT_GE(t, 0);
+    ASSERT_LT(t, kThreads);
+    ASSERT_GE(j, 0);
+    ASSERT_LT(j, kSpansPerThread);
+    EXPECT_TRUE(seen[t].insert(j).second)
+        << "duplicate span t=" << t << " j=" << j;
+    lanes[t].insert(event.At("tid").number);
+  }
+  ASSERT_EQ(seen.size(), static_cast<size_t>(kThreads));
+  std::set<double> distinct_tids;
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(seen[t].size(), static_cast<size_t>(kSpansPerThread))
+        << "lost spans from thread " << t;
+    // True per-thread attribution: one lane per emitting thread.
+    ASSERT_EQ(lanes[t].size(), 1u);
+    distinct_tids.insert(*lanes[t].begin());
+    EXPECT_EQ(thread_names.count("obs-test-" + std::to_string(t)), 1u);
+  }
+  EXPECT_EQ(distinct_tids.size(), static_cast<size_t>(kThreads));
+}
+
+TEST(TraceTest, SpanStraddlingStopIsDropped) {
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.Start();
+  {
+    obs::ScopedSpan span(obs::kCatIo, "straddler");
+    tracer.Stop();
+  }  // finishes with tracing off; must not touch published slots
+  EXPECT_EQ(tracer.EventCount(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics.
+
+TEST(MetricsTest, CounterMergesConcurrentIncrements) {
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 4096;
+  obs::Counter& counter = obs::GetCounter("obs_test.counter");
+  counter.Reset();
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kIncrements; ++i) counter.Increment();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.Value(), int64_t{kThreads} * kIncrements);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0);
+}
+
+TEST(MetricsTest, HistogramMergesStripesAndBuckets) {
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 100;
+  obs::Histogram& hist =
+      obs::GetHistogram("obs_test.hist", {1.0, 10.0, 100.0});
+  hist.Reset();
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist] {
+      for (int i = 0; i < kRounds; ++i) {
+        hist.Observe(0.5);
+        hist.Observe(5.0);
+        hist.Observe(50.0);
+        hist.Observe(500.0);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const obs::Histogram::Snapshot snap = hist.Snap();
+  const int64_t per_bucket = int64_t{kThreads} * kRounds;
+  EXPECT_EQ(snap.count, 4 * per_bucket);
+  ASSERT_EQ(snap.bounds.size(), 3u);
+  ASSERT_EQ(snap.bucket_counts.size(), 4u);
+  for (int b = 0; b < 4; ++b) {
+    EXPECT_EQ(snap.bucket_counts[b], per_bucket) << "bucket " << b;
+  }
+  // All observed values are exactly representable, so the merged sum and
+  // extrema are exact regardless of interleaving.
+  EXPECT_EQ(snap.min, 0.5);
+  EXPECT_EQ(snap.max, 500.0);
+  EXPECT_EQ(snap.sum, 555.5 * static_cast<double>(per_bucket));
+}
+
+TEST(MetricsTest, GaugeAndSeriesBasics) {
+  obs::Gauge& gauge = obs::GetGauge("obs_test.gauge");
+  gauge.Set(2.5);
+  gauge.Add(1.5);
+  EXPECT_EQ(gauge.Value(), 4.0);
+  gauge.Reset();
+  EXPECT_EQ(gauge.Value(), 0.0);
+
+  obs::Series series(/*capacity=*/4);
+  for (int i = 0; i < 6; ++i) series.Append(i);
+  const std::vector<double> values = series.Values();
+  ASSERT_EQ(values.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(values[i], i);
+  EXPECT_EQ(series.dropped(), 2u);
+  series.Reset();
+  EXPECT_TRUE(series.Values().empty());
+  EXPECT_EQ(series.dropped(), 0u);
+}
+
+TEST(MetricsTest, JsonExportParsesAndCarriesValues) {
+  obs::GetCounter("obs_test.json.counter").Reset();
+  obs::GetCounter("obs_test.json.counter").Add(3);
+  obs::GetGauge("obs_test.json.gauge").Set(2.5);
+  obs::Histogram& hist = obs::GetHistogram("obs_test.json.hist", {10.0});
+  hist.Reset();
+  hist.Observe(4.0);
+  obs::Series& series = obs::GetSeries("obs_test.json.series");
+  series.Reset();
+  series.Append(1.0);
+  series.Append(2.0);
+
+  JsonValue doc;
+  ASSERT_TRUE(ParseJson(obs::MetricsRegistry::Global().ToJson(), &doc));
+  EXPECT_GE(doc.At("uptime_us").number, 0.0);
+  EXPECT_EQ(doc.At("counters").At("obs_test.json.counter").number, 3.0);
+  EXPECT_EQ(doc.At("gauges").At("obs_test.json.gauge").number, 2.5);
+  const JsonValue& h = doc.At("histograms").At("obs_test.json.hist");
+  EXPECT_EQ(h.At("count").number, 1.0);
+  EXPECT_EQ(h.At("sum").number, 4.0);
+  ASSERT_EQ(h.At("bounds").array.size(), 1u);
+  ASSERT_EQ(h.At("buckets").array.size(), 2u);
+  EXPECT_EQ(h.At("buckets").array[0].number, 1.0);
+  EXPECT_EQ(h.At("buckets").array[1].number, 0.0);
+  const JsonValue& s = doc.At("series").At("obs_test.json.series");
+  ASSERT_EQ(s.array.size(), 2u);
+  EXPECT_EQ(s.array[0].number, 1.0);
+  EXPECT_EQ(s.array[1].number, 2.0);
+
+  // The human table carries the same names.
+  const std::string table = obs::MetricsRegistry::Global().ToTable();
+  EXPECT_NE(table.find("obs_test.json.counter"), std::string::npos);
+  EXPECT_NE(table.find("obs_test.json.hist"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Logging.
+
+struct CapturedLog {
+  obs::LogLevel level;
+  std::string file;
+  int line;
+  std::string message;
+};
+std::vector<CapturedLog>& Captured() {
+  static std::vector<CapturedLog> logs;
+  return logs;
+}
+void CaptureSink(obs::LogLevel level, const char* file, int line,
+                 const char* message) {
+  Captured().push_back(CapturedLog{level, file, line, message});
+}
+
+// Restores the default sink and level even when a test fails mid-way.
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Captured().clear();
+    obs::SetLogSink(&CaptureSink);
+  }
+  void TearDown() override {
+    obs::SetLogSink(nullptr);
+    obs::SetLogLevel(obs::LogLevel::kInfo);
+  }
+};
+
+TEST_F(LogTest, FiltersBySeverity) {
+  obs::SetLogLevel(obs::LogLevel::kWarn);
+  LEAD_LOG(DEBUG) << "hidden debug";
+  LEAD_LOG(INFO) << "hidden info";
+  LEAD_LOG(WARN) << "warned " << 7;
+  LEAD_LOG(ERROR) << "boom";
+  ASSERT_EQ(Captured().size(), 2u);
+  EXPECT_EQ(Captured()[0].level, obs::LogLevel::kWarn);
+  EXPECT_EQ(Captured()[0].message, "warned 7");
+  EXPECT_NE(Captured()[0].file.find("obs_test"), std::string::npos);
+  EXPECT_GT(Captured()[0].line, 0);
+  EXPECT_EQ(Captured()[1].level, obs::LogLevel::kError);
+  EXPECT_EQ(Captured()[1].message, "boom");
+}
+
+int Bump(int* calls) {
+  ++*calls;
+  return *calls;
+}
+
+TEST_F(LogTest, FilteredMessagesDoNotEvaluateArguments) {
+  obs::SetLogLevel(obs::LogLevel::kInfo);
+  int calls = 0;
+  LEAD_LOG(DEBUG) << "value " << Bump(&calls);
+  EXPECT_EQ(calls, 0);
+  obs::SetLogLevel(obs::LogLevel::kDebug);
+  LEAD_LOG(DEBUG) << "value " << Bump(&calls);
+  EXPECT_EQ(calls, 1);
+  ASSERT_EQ(Captured().size(), 1u);
+  EXPECT_EQ(Captured()[0].message, "value 1");
+}
+
+TEST_F(LogTest, ParseLogLevelAcceptsNamesAndRejectsGarbage) {
+  obs::LogLevel level = obs::LogLevel::kError;
+  EXPECT_TRUE(obs::ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, obs::LogLevel::kDebug);
+  EXPECT_TRUE(obs::ParseLogLevel("WARN", &level));
+  EXPECT_EQ(level, obs::LogLevel::kWarn);
+  EXPECT_TRUE(obs::ParseLogLevel("warning", &level));
+  EXPECT_EQ(level, obs::LogLevel::kWarn);
+  EXPECT_TRUE(obs::ParseLogLevel("Info", &level));
+  EXPECT_EQ(level, obs::LogLevel::kInfo);
+  EXPECT_TRUE(obs::ParseLogLevel("error", &level));
+  EXPECT_EQ(level, obs::LogLevel::kError);
+  level = obs::LogLevel::kDebug;
+  EXPECT_FALSE(obs::ParseLogLevel("verbose", &level));
+  EXPECT_FALSE(obs::ParseLogLevel("", &level));
+  EXPECT_EQ(level, obs::LogLevel::kDebug) << "failed parse must not write";
+  EXPECT_STREQ(obs::LogLevelName(obs::LogLevel::kWarn), "WARN");
+}
+
+// ---------------------------------------------------------------------------
+// Collection session.
+
+TEST(ScopedCollectionTest, WritesTraceAndMetricsFiles) {
+  const std::string dir = ::testing::TempDir() + "/obs_collection";
+  std::filesystem::create_directories(dir);
+  const std::string trace_path = dir + "/trace.json";
+  const std::string metrics_path = dir + "/metrics.json";
+  {
+    obs::ScopedCollection collection(trace_path, metrics_path);
+    EXPECT_TRUE(obs::Tracer::Global().enabled());
+    LEAD_TRACE_SCOPE(obs::kCatIo, "collected_span");
+    obs::GetCounter("obs_test.collected").Increment();
+  }
+  EXPECT_FALSE(obs::Tracer::Global().enabled());
+
+  JsonValue trace_doc;
+  const std::string trace_json = ReadFile(trace_path);
+  ASSERT_TRUE(ParseJson(trace_json, &trace_doc));
+  bool found = false;
+  for (const JsonValue& event : trace_doc.At("traceEvents").array) {
+    if (event.At("name").string == "collected_span") found = true;
+  }
+  EXPECT_TRUE(found);
+
+  JsonValue metrics_doc;
+  ASSERT_TRUE(ParseJson(ReadFile(metrics_path), &metrics_doc));
+  EXPECT_GE(metrics_doc.At("counters").At("obs_test.collected").number, 1.0);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ScopedCollectionTest, EmptyPathsAreInert) {
+  ASSERT_FALSE(obs::Tracer::Global().enabled());
+  {
+    obs::ScopedCollection collection("", "");
+    EXPECT_FALSE(obs::Tracer::Global().enabled());
+  }
+  EXPECT_FALSE(obs::Tracer::Global().enabled());
+}
+
+}  // namespace
+}  // namespace lead

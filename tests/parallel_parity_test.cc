@@ -19,6 +19,7 @@
 #include "common/thread_pool.h"
 #include "core/lead.h"
 #include "eval/harness.h"
+#include "obs/trace.h"
 
 namespace lead {
 namespace {
@@ -197,6 +198,42 @@ TEST_F(ParallelParityTest, DetectIsBitIdenticalAcrossThreadCounts) {
       ++compared;
     }
     EXPECT_GT(compared, 0);
+  }
+}
+
+TEST_F(ParallelParityTest, DetectWithTracingEnabledIsBitIdentical) {
+  // Observability must never feed back into the computation: detect with
+  // the tracer recording has to produce the same bits as detect with it
+  // off, for serial and parallel runs alike.
+  const auto model = TrainedModel(/*threads=*/1, 0, 0);
+  std::vector<std::vector<float>> baseline;
+  for (const sim::SimulatedDay& day : data_->split.test) {
+    auto result = model->Detect(day.raw, data_->world->poi_index());
+    baseline.push_back(result.ok() ? result->probabilities
+                                   : std::vector<float>());
+  }
+  for (const int threads : {1, 4}) {
+    auto traced = TrainedModel(threads, 0, 0);
+    obs::Tracer::Global().Start();
+    std::vector<std::vector<float>> probabilities;
+    for (const sim::SimulatedDay& day : data_->split.test) {
+      auto result = traced->Detect(day.raw, data_->world->poi_index());
+      probabilities.push_back(result.ok() ? result->probabilities
+                                          : std::vector<float>());
+    }
+    obs::Tracer::Global().Stop();
+    EXPECT_GT(obs::Tracer::Global().EventCount(), 0u)
+        << "tracing was on; detect spans must have been recorded";
+    ASSERT_EQ(probabilities.size(), baseline.size());
+    for (size_t d = 0; d < baseline.size(); ++d) {
+      ASSERT_EQ(probabilities[d].size(), baseline[d].size());
+      for (size_t i = 0; i < baseline[d].size(); ++i) {
+        // Bitwise float equality, deliberately.
+        EXPECT_EQ(probabilities[d][i], baseline[d][i])
+            << "day " << d << " candidate " << i << " with " << threads
+            << " threads and tracing enabled";
+      }
+    }
   }
 }
 

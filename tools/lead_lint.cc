@@ -59,6 +59,7 @@ constexpr RuleInfo kRules[] = {
     {"float-eq", "exact floating-point ==/!= comparison"},
     {"cout-in-lib", "std::cout in library code; return data or use Status"},
     {"exit-in-lib", "exit() in library code; return Status instead"},
+    {"stderr", "direct stderr output in library code; log via obs/log.h"},
     {"pragma-once", "header is missing #pragma once"},
 };
 
@@ -535,6 +536,15 @@ class FileLinter {
       Report(Tok(i).line, "exit-in-lib",
              "exit() in library code; return a Status and let the caller "
              "decide");
+    } else if (Tok(i).text == "cerr" && !IsMemberAccess(i)) {
+      Report(Tok(i).line, "stderr",
+             "std::cerr in library code; log via obs/log.h (LEAD_LOG)");
+    } else if (Tok(i).text == "fprintf" && !IsMemberAccess(i) &&
+               Is(i + 1, "(") && i + 2 < Size() &&
+               Tok(i + 2).text == "stderr") {
+      Report(Tok(i).line, "stderr",
+             "fprintf(stderr, ...) in library code; log via obs/log.h "
+             "(LEAD_LOG)");
     }
   }
 
