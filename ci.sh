@@ -126,7 +126,8 @@ cmake -B build-tsan -S . \
   -DLEAD_FAULT_INJECTION=ON \
   -DCMAKE_CXX_FLAGS="$TSAN_FLAGS" \
   -DCMAKE_EXE_LINKER_FLAGS="$TSAN_FLAGS" >/dev/null
-TSAN_TESTS=(obs_test parallel_parity_test resilience_test poi_test lead_test)
+TSAN_TESTS=(obs_test parallel_parity_test resilience_test poi_test lead_test
+  plan_test)
 cmake --build build-tsan -j --target "${TSAN_TESTS[@]}"
 for t in "${TSAN_TESTS[@]}"; do
   echo "--- $t (TSan) ---"

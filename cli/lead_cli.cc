@@ -9,8 +9,11 @@
 //       split) and writes the checkpoint to FILE. --threads 0 (default)
 //       uses all hardware threads; any value gives bit-identical results.
 //   lead_cli detect --data DIR --model FILE [--trajectory ID] [--threads N]
+//       [--exec-mode eager|plan]
 //       Detects the loaded trajectory of one trajectory (default: the
-//       first) and prints the candidate distribution.
+//       first) and prints the candidate distribution. --exec-mode plan
+//       replays compiled per-shape execution plans (bit-identical to
+//       eager, allocation-free once warm).
 //   lead_cli evaluate --data DIR --model FILE
 //       Evaluates detection accuracy per stay-count bucket on the
 //       held-out test split.
@@ -187,6 +190,16 @@ core::LeadOptions CliLeadOptions(const Flags& flags) {
   options.detect.trace_out = options.train.trace_out;
   options.detect.metrics_out = options.train.metrics_out;
   options.detect.log_level = options.train.log_level;
+  // --exec-mode=plan compiles per-shape execution plans for inference
+  // (bit-identical to eager; see DESIGN.md §"Execution plans and memory
+  // planning").
+  const std::string exec_mode = FlagOr(flags, "exec-mode", "eager");
+  if (exec_mode == "plan") {
+    options.detect.exec_mode = core::ExecMode::kPlan;
+  } else if (exec_mode != "eager") {
+    std::fprintf(stderr, "warning: unknown --exec-mode '%s'; using eager\n",
+                 exec_mode.c_str());
+  }
   return options;
 }
 

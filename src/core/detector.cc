@@ -1,9 +1,27 @@
 #include "core/detector.h"
 
+#include <utility>
+
 #include "common/check.h"
+#include "core/batching.h"
+#include "core/grouping.h"
 #include "nn/ops.h"
 
 namespace lead::core {
+
+GroupScoringLayout BuildGroupScoringLayout(int num_stays, bool forward) {
+  const std::vector<Subgroup> groups =
+      forward ? ForwardGroups(num_stays) : BackwardGroups(num_stays);
+  GroupScoringLayout layout;
+  layout.lengths.reserve(groups.size());
+  for (const Subgroup& g : groups) {
+    layout.lengths.push_back(static_cast<int>(g.members.size()));
+    for (const traj::Candidate& c : g.members) {
+      layout.member_rows.push_back(traj::CandidateFlatIndex(num_stays, c));
+    }
+  }
+  return layout;
+}
 
 StackedBiLstmDetector::StackedBiLstmDetector(const DetectorOptions& options,
                                              Rng* rng)
@@ -49,6 +67,46 @@ nn::Variable StackedBiLstmDetector::ScoreSubgroupsBatch(
     score_cols.push_back(score_->Forward(step));  // [B x 1]
   }
   return nn::ConcatCols(score_cols);  // [B x max_len]
+}
+
+nn::Variable StackedBiLstmDetector::ScoreGrouped(
+    const nn::Variable& cvecs, const GroupScoringLayout& layout) const {
+  LEAD_CHECK(!layout.lengths.empty());
+  // Materialize the subgroup members contiguously; spans below view this
+  // one matrix, so a plan recording resolves them all to the gather's
+  // output slot.
+  const nn::Variable grouped = nn::GatherRows(cvecs, layout.member_rows);
+  std::vector<nn::SeqView> views;
+  views.reserve(layout.lengths.size());
+  int row = 0;
+  for (const int len : layout.lengths) {
+    views.push_back({nn::SeqSpan{&grouped.value(), row, len}});
+    row += len;
+  }
+  // Same deterministic bucket split as the parallel eager path; buckets
+  // run serially here so the whole pass is one recordable op sequence.
+  const std::vector<LengthBucket> buckets =
+      BucketByLength(layout.lengths, kSubgroupMaxBatch, kSubgroupMaxPadding);
+  std::vector<nn::Variable> scores(buckets.size());
+  std::vector<std::pair<int, int>> where(layout.lengths.size());
+  for (size_t kb = 0; kb < buckets.size(); ++kb) {
+    const LengthBucket& bucket = buckets[kb];
+    std::vector<nn::SeqView> bucket_views;
+    bucket_views.reserve(bucket.items.size());
+    for (size_t j = 0; j < bucket.items.size(); ++j) {
+      bucket_views.push_back(views[bucket.items[j]]);
+      where[bucket.items[j]] = {static_cast<int>(kb), static_cast<int>(j)};
+    }
+    scores[kb] = ScoreSubgroupsBatch(nn::PackViews(bucket_views));
+  }
+  std::vector<nn::Variable> parts;
+  parts.reserve(layout.lengths.size());
+  for (size_t gi = 0; gi < layout.lengths.size(); ++gi) {
+    const auto [kb, brow] = where[gi];
+    parts.push_back(nn::SliceCols(nn::SliceRows(scores[kb], brow, 1), 0,
+                                  layout.lengths[gi]));
+  }
+  return nn::SoftmaxRows(nn::ConcatCols(parts));
 }
 
 nn::Variable StackedBiLstmDetector::ForwardGroup(

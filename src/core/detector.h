@@ -30,6 +30,28 @@ struct DetectorOptions {
   int num_layers = 4;   // paper: best L = 4
 };
 
+// Subgroup length-bucketing knobs shared by detector training and
+// inference: subgroups are packed into [B x cvec] step batches of at most
+// this many members, with at most this much padding per member (padded
+// scores are sliced away before the softmax, so padding only costs
+// compute).
+inline constexpr int kSubgroupMaxBatch = 128;
+inline constexpr int kSubgroupMaxPadding = 2;
+
+// Gather layout of one detector pass over a trajectory's candidate
+// c-vecs: `member_rows` lists each grouped row's forward flatten index in
+// subgroup-concatenation order, `lengths` the subgroup sizes. The layout
+// depends only on (num_stays, direction), so it doubles as the cached
+// metadata of a compiled scoring plan (nn/plan.h).
+struct GroupScoringLayout {
+  std::vector<int> member_rows;
+  std::vector<int> lengths;
+};
+
+// Layout of the forward (or backward) subgroup pass for `num_stays` stay
+// points (core/grouping.h order).
+GroupScoringLayout BuildGroupScoringLayout(int num_stays, bool forward);
+
 class StackedBiLstmDetector : public nn::Module {
  public:
   StackedBiLstmDetector(const DetectorOptions& options, Rng* rng);
@@ -49,6 +71,15 @@ class StackedBiLstmDetector : public nn::Module {
   // masked updates keep them out of every valid score, but callers must
   // slice row b to its first lengths[b] columns before the softmax.
   nn::Variable ScoreSubgroupsBatch(const nn::StepBatch& input) const;
+
+  // Whole-pass scoring used by inference: gathers the subgroup members
+  // out of the [NumCandidates x cvec] matrix, scores every subgroup in
+  // deterministic length buckets, and applies the global softmax. Column
+  // i of the [1 x sum(T_g)] result is the probability of the candidate at
+  // layout.member_rows[i]. The pass is one recordable op graph, so it can
+  // be compiled into an execution plan (nn/plan.h) keyed on the layout.
+  nn::Variable ScoreGrouped(const nn::Variable& cvecs,
+                            const GroupScoringLayout& layout) const;
 
   const DetectorOptions& options() const { return options_; }
 

@@ -29,13 +29,6 @@
 namespace lead::core {
 namespace {
 
-// Detector-training subgroup buckets: subgroups of a mini-batch are
-// packed into [B x cvec] step batches of at most this many members, with
-// at most this much padding per member (padded scores are sliced away
-// before the softmax, so padding only costs compute).
-constexpr int kSubgroupMaxBatch = 128;
-constexpr int kSubgroupMaxPadding = 2;
-
 // Checkpoint stage cursor: which training stage a durable checkpoint's
 // model state belongs to, and therefore where a resumed Train() restarts.
 // Forward/backward apply to grouped variants, mlp to LEAD-NoGro; a cursor
@@ -137,6 +130,7 @@ LeadModel::LeadModel(const LeadOptions& options) : options_(options) {
     mlp_scorer_ =
         std::make_unique<MlpScorer>(options_.autoencoder.cvec_dims(), &rng);
   }
+  plan_cache_ = std::make_unique<nn::PlanCache>();
 }
 
 Status LeadModel::Prepare(const std::vector<LabeledRawTrajectory>& labeled,
@@ -773,6 +767,10 @@ nn::Matrix LeadModel::EncodeCandidates(const ProcessedTrajectory& pt) const {
   obs::ScopedSpan span(obs::kCatInfer, "encode_candidates");
   span.Arg("candidates", static_cast<double>(pt.candidates.size()));
   nn::NoGradGuard no_grad;
+  if (options_.detect.exec_mode == ExecMode::kPlan && plan_cache_ != nullptr &&
+      !pt.candidates.empty()) {
+    return autoencoder_->EncodeCandidatesPlanned(pt, plan_cache_.get());
+  }
   std::vector<CandidateBatchItem> items;
   items.reserve(pt.candidates.size());
   for (const traj::Candidate& c : pt.candidates) {
@@ -807,6 +805,49 @@ StatusOr<Detection> LeadModel::DetectProcessed(
   const int threads = ResolveThreads(options_.detect.threads);
   std::vector<float> merged(num_candidates, 0.0f);
   if (options_.use_grouping) {
+    // Plan-mode detector pass: look up (or record) the compiled grouped
+    // scoring plan for this (detector, direction, shape) and replay it
+    // against the c-vec matrix. Returns false when no plan is available
+    // for the signature, in which case the eager path below runs.
+    auto accumulate_planned = [&](const StackedBiLstmDetector& detector,
+                                  bool forward) -> bool {
+      if (options_.detect.exec_mode != ExecMode::kPlan ||
+          plan_cache_ == nullptr) {
+        return false;
+      }
+      // The outer guard belongs to this scope either way; recording
+      // additionally requires it on the recorder's thread.
+      nn::NoGradGuard plan_no_grad;
+      std::string key = nn::PlanKeyRoot("det_groups", &detector);
+      nn::AppendKeyInt(&key, forward ? 1 : 0);
+      nn::AppendKeyInt(&key, n);
+      nn::AppendKeyInt(&key, cvecs.rows());
+      nn::AppendKeyInt(&key, cvecs.cols());
+      bool was_hit = false;
+      nn::Matrix probs;
+      const std::shared_ptr<const nn::PlanCache::Entry> entry =
+          plan_cache_->GetOrRecord(
+              key,
+              [&](std::vector<int>* meta) -> nn::Variable {
+                const GroupScoringLayout layout =
+                    BuildGroupScoringLayout(n, forward);
+                *meta = layout.member_rows;
+                const nn::Variable cv =
+                    nn::PlanRecorder::Active()->MakeInput(cvecs);
+                return detector.ScoreGrouped(cv, layout);
+              },
+              &probs, &was_hit);
+      if (entry == nullptr) return false;
+      if (was_hit) entry->plan->Execute({&cvecs}, &probs);
+      // The cached layout doubles as the merge map, so a hit also skips
+      // re-deriving the subgroup packing.
+      const std::vector<int>& member_rows = entry->meta;
+      LEAD_CHECK_EQ(probs.cols(), static_cast<int>(member_rows.size()));
+      for (size_t i = 0; i < member_rows.size(); ++i) {
+        merged[member_rows[i]] += probs.at(0, static_cast<int>(i));
+      }
+      return true;
+    };
     auto accumulate = [&](const StackedBiLstmDetector& detector,
                           bool forward) {
       const std::vector<Subgroup> groups =
@@ -883,10 +924,14 @@ StatusOr<Detection> LeadModel::DetectProcessed(
       }
     };
     if (options_.use_forward && forward_detector_ != nullptr) {
-      accumulate(*forward_detector_, /*forward=*/true);
+      if (!accumulate_planned(*forward_detector_, /*forward=*/true)) {
+        accumulate(*forward_detector_, /*forward=*/true);
+      }
     }
     if (options_.use_backward && backward_detector_ != nullptr) {
-      accumulate(*backward_detector_, /*forward=*/false);
+      if (!accumulate_planned(*backward_detector_, /*forward=*/false)) {
+        accumulate(*backward_detector_, /*forward=*/false);
+      }
     }
   } else {
     const nn::Variable probs =
@@ -1078,6 +1123,7 @@ Status LeadModel::TryResumeFromCheckpoint(const std::string& path,
   forward_detector_ = std::move(scratch.forward_detector_);
   backward_detector_ = std::move(scratch.backward_detector_);
   mlp_scorer_ = std::move(scratch.mlp_scorer_);
+  if (plan_cache_ != nullptr) plan_cache_->Clear();  // module pointers changed
   *stage = static_cast<int>(raw_stage);
   *next_epoch = static_cast<int>(raw_epoch);
   return Status::Ok();
@@ -1111,6 +1157,7 @@ Status LeadModel::CopyEncoderFrom(const LeadModel& other) {
   LEAD_RETURN_IF_ERROR(nn::SaveParameters(*other.autoencoder_, buffer));
   LEAD_RETURN_IF_ERROR(nn::LoadParameters(autoencoder_.get(), buffer));
   normalizer_ = other.normalizer_;
+  if (plan_cache_ != nullptr) plan_cache_->Clear();
   return Status::Ok();
 }
 
@@ -1126,6 +1173,7 @@ Status LeadModel::Load(const std::string& path) {
   forward_detector_ = std::move(scratch.forward_detector_);
   backward_detector_ = std::move(scratch.backward_detector_);
   mlp_scorer_ = std::move(scratch.mlp_scorer_);
+  if (plan_cache_ != nullptr) plan_cache_->Clear();  // module pointers changed
   return Status::Ok();
 }
 

@@ -28,8 +28,19 @@
 #include "core/pipeline.h"
 #include "core/train_loop.h"
 #include "nn/adam.h"
+#include "nn/plan.h"
 
 namespace lead::core {
+
+// Inference execution modes (see DESIGN.md §"Execution plans and memory
+// planning"): kEager walks the autograd tape per call; kPlan compiles one
+// eager pass per (module, shape-signature) into a static schedule with an
+// arena-planned memory layout and replays it allocation-free. Both modes
+// are bit-identical; kEager remains the parity oracle.
+enum class ExecMode {
+  kEager,
+  kPlan,
+};
 
 // One supervised sample: a raw trajectory plus its archived loaded
 // trajectory, expressed as the (loading, unloading) stay-point pair the
@@ -95,6 +106,11 @@ struct DetectOptions {
   // Worker lanes for Preprocess and the bucketed batch scoring inside
   // Detect/DetectProcessed. Same semantics as TrainOptions::threads.
   int threads = 0;
+  // kPlan caches a compiled execution plan per encode/score shape
+  // signature and replays it with zero steady-state tensor allocations;
+  // results are bit-identical to kEager (which stays the default and the
+  // parity oracle). Unsupported shapes fall back to eager per signature.
+  ExecMode exec_mode = ExecMode::kEager;
   // Observability sinks; same semantics as the TrainOptions fields. The
   // library does not scope a collection session per Detect() call (they
   // are sub-millisecond); the CLI owns the session for detect runs.
@@ -244,6 +260,10 @@ class LeadModel {
   std::unique_ptr<StackedBiLstmDetector> forward_detector_;
   std::unique_ptr<StackedBiLstmDetector> backward_detector_;
   std::unique_ptr<MlpScorer> mlp_scorer_;
+  // Compiled-plan cache for ExecMode::kPlan (mutable: Detect is const and
+  // caching is semantically transparent). Cleared whenever the module
+  // objects are replaced, since plan keys pin module identities.
+  mutable std::unique_ptr<nn::PlanCache> plan_cache_;
 };
 
 }  // namespace lead::core

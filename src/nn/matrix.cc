@@ -3,8 +3,13 @@
 #include <algorithm>
 #include <utility>
 #include "nn/contract.h"
+#include "nn/simd_gemm.h"
 
 namespace lead::nn {
+
+namespace internal {
+thread_local int64_t tensor_allocs = 0;
+}  // namespace internal
 
 Matrix Matrix::Full(int rows, int cols, float value) {
   Matrix m(rows, cols);
@@ -29,35 +34,41 @@ void Matrix::Fill(float value) {
   std::fill(data_.begin(), data_.end(), value);
 }
 
-void MatMulAccumulate(const Matrix& a, const Matrix& b, Matrix* out) {
-  contract::RequireInner("MatMulAccumulate", a, b);
-  LEAD_CHECK_EQ(a.cols(), b.rows());
-  LEAD_CHECK_EQ(out->rows(), a.rows());
-  LEAD_CHECK_EQ(out->cols(), b.cols());
-  const int m = a.rows();
-  const int k = a.cols();
-  const int n = b.cols();
+void GemmAccumulateRaw(const float* a, const float* b, float* out, int m,
+                       int k, int n) {
   // Register-blocked i-k-j: 4 rows of a share one streaming pass over b,
   // so each b row is loaded once per 4 output rows instead of once per
   // output row. The inner loop is branch-free (the old `a_ip == 0`
   // shortcut is an unpredictable branch on dense operands; see
-  // MatMulAccumulateSparseA).
+  // MatMulAccumulateSparseA). On AVX2-capable CPUs the same blocking runs
+  // 8 lanes wide with identical per-element rounding (simd_gemm.h).
+  if (internal::GemmAvx512Available()) {
+    internal::GemmAccumulateRawAvx512(a, b, out, m, k, n);
+    return;
+  }
+  if (internal::GemmAvx2Available()) {
+    internal::GemmAccumulateRawAvx2(a, b, out, m, k, n);
+    return;
+  }
+  auto row_of = [](const float* base, int r, int stride) {
+    return base + static_cast<size_t>(r) * static_cast<size_t>(stride);
+  };
   int i = 0;
   for (; i + 4 <= m; i += 4) {
-    const float* a0 = a.row(i);
-    const float* a1 = a.row(i + 1);
-    const float* a2 = a.row(i + 2);
-    const float* a3 = a.row(i + 3);
-    float* o0 = out->row(i);
-    float* o1 = out->row(i + 1);
-    float* o2 = out->row(i + 2);
-    float* o3 = out->row(i + 3);
+    const float* a0 = row_of(a, i, k);
+    const float* a1 = row_of(a, i + 1, k);
+    const float* a2 = row_of(a, i + 2, k);
+    const float* a3 = row_of(a, i + 3, k);
+    float* o0 = out + static_cast<size_t>(i) * static_cast<size_t>(n);
+    float* o1 = o0 + n;
+    float* o2 = o1 + n;
+    float* o3 = o2 + n;
     for (int p = 0; p < k; ++p) {
       const float a0p = a0[p];
       const float a1p = a1[p];
       const float a2p = a2[p];
       const float a3p = a3[p];
-      const float* b_row = b.row(p);
+      const float* b_row = row_of(b, p, n);
       for (int j = 0; j < n; ++j) {
         const float bj = b_row[j];
         o0[j] += a0p * bj;
@@ -68,16 +79,95 @@ void MatMulAccumulate(const Matrix& a, const Matrix& b, Matrix* out) {
     }
   }
   for (; i < m; ++i) {
-    const float* a_row = a.row(i);
-    float* out_row = out->row(i);
+    const float* a_row = row_of(a, i, k);
+    float* out_row = out + static_cast<size_t>(i) * static_cast<size_t>(n);
     for (int p = 0; p < k; ++p) {
       const float a_ip = a_row[p];
-      const float* b_row = b.row(p);
+      const float* b_row = row_of(b, p, n);
       for (int j = 0; j < n; ++j) {
         out_row[j] += a_ip * b_row[j];
       }
     }
   }
+}
+
+void GemmOverwriteRaw(const float* a, const float* b, float* out, int m,
+                      int k, int n) {
+  if (internal::GemmAvx512Available()) {
+    internal::GemmOverwriteRawAvx512(a, b, out, m, k, n);
+    return;
+  }
+  if (internal::GemmAvx2Available()) {
+    internal::GemmOverwriteRawAvx2(a, b, out, m, k, n);
+    return;
+  }
+  // Scalar fallback: zero-fill then accumulate — the reference sequence
+  // the SIMD overwrite variants reproduce with register accumulators.
+  std::fill(out, out + static_cast<size_t>(m) * static_cast<size_t>(n),
+            0.0f);
+  GemmAccumulateRaw(a, b, out, m, k, n);
+}
+
+void EwAddRaw(const float* a, const float* b, float* out, int n) {
+  if (internal::GemmAvx512Available()) {
+    internal::EwAddAvx512(a, b, out, n);
+  } else if (internal::GemmAvx2Available()) {
+    internal::EwAddAvx2(a, b, out, n);
+  } else {
+    for (int i = 0; i < n; ++i) out[i] = a[i] + b[i];
+  }
+}
+
+void EwAddBiasRowRaw(const float* a, const float* brow, float* out,
+                     int rows, int cols) {
+  if (internal::GemmAvx512Available()) {
+    internal::EwAddBiasRowAvx512(a, brow, out, rows, cols);
+  } else if (internal::GemmAvx2Available()) {
+    internal::EwAddBiasRowAvx2(a, brow, out, rows, cols);
+  } else {
+    for (int r = 0; r < rows; ++r) {
+      const float* arow =
+          a + static_cast<size_t>(r) * static_cast<size_t>(cols);
+      float* orow = out + static_cast<size_t>(r) * static_cast<size_t>(cols);
+      for (int c = 0; c < cols; ++c) orow[c] = arow[c] + brow[c];
+    }
+  }
+}
+
+void EwMulRaw(const float* a, const float* b, float* out, int n) {
+  if (internal::GemmAvx512Available()) {
+    internal::EwMulAvx512(a, b, out, n);
+  } else if (internal::GemmAvx2Available()) {
+    internal::EwMulAvx2(a, b, out, n);
+  } else {
+    for (int i = 0; i < n; ++i) out[i] = a[i] * b[i];
+  }
+}
+
+void EwScaleRowsRaw(const float* a, const float* s, float* out, int rows,
+                    int cols) {
+  if (internal::GemmAvx512Available()) {
+    internal::EwScaleRowsAvx512(a, s, out, rows, cols);
+  } else if (internal::GemmAvx2Available()) {
+    internal::EwScaleRowsAvx2(a, s, out, rows, cols);
+  } else {
+    for (int r = 0; r < rows; ++r) {
+      const float* arow =
+          a + static_cast<size_t>(r) * static_cast<size_t>(cols);
+      float* orow = out + static_cast<size_t>(r) * static_cast<size_t>(cols);
+      const float sv = s[r];
+      for (int c = 0; c < cols; ++c) orow[c] = arow[c] * sv;
+    }
+  }
+}
+
+void MatMulAccumulate(const Matrix& a, const Matrix& b, Matrix* out) {
+  contract::RequireInner("MatMulAccumulate", a, b);
+  LEAD_CHECK_EQ(a.cols(), b.rows());
+  LEAD_CHECK_EQ(out->rows(), a.rows());
+  LEAD_CHECK_EQ(out->cols(), b.cols());
+  GemmAccumulateRaw(a.data(), b.data(), out->data(), a.rows(), a.cols(),
+                    b.cols());
 }
 
 void MatMulAccumulateSparseA(const Matrix& a, const Matrix& b, Matrix* out) {

@@ -5,6 +5,7 @@
 // step) or std::vector<Variable> at the layer level.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "common/check.h"
@@ -12,18 +13,49 @@
 
 namespace lead::nn {
 
+namespace internal {
+// Thread-local count of tensor-storage acquisitions: Matrix constructions
+// and copies that take (or would take) a fresh heap block. plan.cc turns
+// deltas into the nn.plan.allocs metric and bench/fig8_inference_time.cc
+// reports per-detect totals, so the "allocation-free steady state" claim
+// is measured rather than asserted.
+extern thread_local int64_t tensor_allocs;
+inline void NoteTensorAlloc() { ++tensor_allocs; }
+}  // namespace internal
+
+// Tensor-storage allocations observed on the calling thread so far.
+inline int64_t TensorAllocsThisThread() { return internal::tensor_allocs; }
+
 class Matrix {
  public:
   Matrix() : rows_(0), cols_(0) {}
   Matrix(int rows, int cols)
-      : rows_(rows), cols_(cols), data_(CheckedSize(rows, cols), 0.0f) {}
+      : rows_(rows), cols_(cols), data_(CheckedSize(rows, cols), 0.0f) {
+    if (!data_.empty()) internal::NoteTensorAlloc();
+  }
   Matrix(int rows, int cols, std::vector<float> data)
       : rows_(rows), cols_(cols), data_(std::move(data)) {
     LEAD_CHECK_GE(rows, 0);
     LEAD_CHECK_GE(cols, 0);
     LEAD_CHECK_EQ(static_cast<size_t>(rows) * static_cast<size_t>(cols),
                   data_.size());
+    if (!data_.empty()) internal::NoteTensorAlloc();
   }
+
+  Matrix(const Matrix& other)
+      : rows_(other.rows_), cols_(other.cols_), data_(other.data_) {
+    if (!data_.empty()) internal::NoteTensorAlloc();
+  }
+  Matrix& operator=(const Matrix& other) {
+    if (this == &other) return *this;
+    if (data_.capacity() < other.data_.size()) internal::NoteTensorAlloc();
+    rows_ = other.rows_;
+    cols_ = other.cols_;
+    data_ = other.data_;
+    return *this;
+  }
+  Matrix(Matrix&&) noexcept = default;
+  Matrix& operator=(Matrix&&) noexcept = default;
 
   [[nodiscard]] static Matrix Zeros(int rows, int cols) {
     return Matrix(rows, cols);
@@ -100,6 +132,36 @@ void MatMulTransposeAAccumulate(const Matrix& a, const Matrix& b,
 // out += a * b^T. Shapes: a [m x k], b [n x k], out [m x n].
 void MatMulTransposeBAccumulate(const Matrix& a, const Matrix& b,
                                 Matrix* out);
+
+// Raw row-major core of MatMulAccumulate, shared by the Matrix wrapper
+// above and the registered MatMul plan kernel (op_kernels.cc), which
+// operates on arena-backed views rather than Matrix storage. Runs the
+// identical register-blocked loop, so results are bit-identical to the
+// wrapper. Shapes: a [m x k], b [k x n], out [m x n]; no zero-fill.
+void GemmAccumulateRaw(const float* a, const float* b, float* out, int m,
+                       int k, int n);
+
+// out = a * b (overwrite). Bit-identical to zero-filling `out` and then
+// calling GemmAccumulateRaw — each output element accumulates the same
+// ordered mul-then-add sequence starting from 0 — but the SIMD paths
+// start their register accumulators at zero instead of storing and
+// reloading a zero-filled buffer. Shapes as above.
+void GemmOverwriteRaw(const float* a, const float* b, float* out, int m,
+                      int k, int n);
+
+// Runtime-dispatched elementwise loops used by the registered Add / Mul /
+// ScaleRows kernels (op_kernels.cc). Pure lane operations: every vector
+// width produces the scalar loop's bits, so dispatch cannot affect
+// parity. out[i] = a[i] + b[i].
+void EwAddRaw(const float* a, const float* b, float* out, int n);
+// out row r = a row r + brow (a [rows x cols], brow [1 x cols]).
+void EwAddBiasRowRaw(const float* a, const float* brow, float* out,
+                     int rows, int cols);
+// out[i] = a[i] * b[i].
+void EwMulRaw(const float* a, const float* b, float* out, int n);
+// out row r = a row r * s[r] (s [rows x 1]).
+void EwScaleRowsRaw(const float* a, const float* s, float* out, int rows,
+                    int cols);
 
 }  // namespace lead::nn
 

@@ -1,0 +1,54 @@
+#include "nn/op_registry.h"
+
+#include "common/check.h"
+
+namespace lead::nn {
+
+namespace {
+// Touching the anchor from this TU (which every eager op call site pulls
+// in via OpRegistry::Get) forces op_kernels.o out of the static library.
+const int g_op_kernels_anchor = internal::OpKernelsAnchor();
+}  // namespace
+
+OpRegistry& OpRegistry::Get() {
+  // Leaked Meyers singleton: static registrars in other translation units
+  // run during dynamic initialization, so the registry must be
+  // constructed on first use, not in any fixed TU order.
+  static OpRegistry* registry = new OpRegistry();  // lead-lint: allow(raw-new)
+  return *registry;
+}
+
+void OpRegistry::Register(const char* name, OpKernel kernel) {
+  LEAD_CHECK(kernel != nullptr);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const bool inserted = kernels_.emplace(name, kernel).second;
+  LEAD_CHECK(inserted);  // duplicate registration under one name
+}
+
+OpKernel OpRegistry::Find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = kernels_.find(name);
+  return it == kernels_.end() ? nullptr : it->second;
+}
+
+OpKernel OpRegistry::MustFind(const char* name) const {
+  OpKernel kernel = Find(name);
+  // A missing kernel here is a build wiring bug (op added without a
+  // kernel, or op_kernels.o dropped despite the anchor).
+  LEAD_CHECK(kernel != nullptr && g_op_kernels_anchor == 0);
+  return kernel;
+}
+
+std::vector<std::string> OpRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(kernels_.size());
+  for (const auto& [name, kernel] : kernels_) names.push_back(name);
+  return names;
+}
+
+OpRegistration::OpRegistration(const char* name, OpKernel kernel) {
+  OpRegistry::Get().Register(name, kernel);
+}
+
+}  // namespace lead::nn

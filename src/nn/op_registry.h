@@ -1,0 +1,98 @@
+// Named-operator registry: the kernel substrate of the execution-plan
+// layer (plan.h).
+//
+// Every forward computation of the eager autograd ops (ops.cc) is
+// implemented by a registered kernel that reads raw tensor views and
+// writes one raw output buffer. The eager path looks its kernel up once
+// (function-local static) and runs it against Matrix storage; the plan
+// compiler replays the same kernels against arena-backed slots, which is
+// why plan execution is bit-identical to eager execution by construction.
+//
+// Kernels never allocate and never touch Matrix: inputs arrive as
+// TensorViews, the output is a preallocated buffer the kernel must fully
+// overwrite (arena slots are reused, not zeroed). lead-lint enforces the
+// no-Matrix rule for OpCall-taking function bodies (rule matrix-in-kernel).
+//
+// Registration uses the static-registrar idiom (caffe2 registry.h): a
+// translation-unit-local object whose constructor inserts into the
+// process-wide registry. op_registry.cc anchors op_kernels.o against
+// linker dead-stripping.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace lead::nn {
+
+// Read-only view of a rank-2 row-major float tensor.
+struct TensorView {
+  const float* data = nullptr;
+  int rows = 0;
+  int cols = 0;
+};
+
+// Immediate attributes of one operator application. A deliberately flat
+// bag: f0/i0 carry the single scalar most ops need (broadcast flag, slice
+// start, clamp epsilon), `ints` carries index lists (GatherRows rows,
+// PackRows source rows where -1 means "padding, write a zero row").
+struct OpAttrs {
+  float f0 = 0.0f;
+  int i0 = 0;
+  std::vector<int> ints;
+};
+
+// One kernel invocation: `num_in` input views, one output buffer of
+// out_rows x out_cols floats. The kernel must write every output element.
+struct OpCall {
+  const TensorView* in = nullptr;
+  int num_in = 0;
+  float* out = nullptr;
+  int out_rows = 0;
+  int out_cols = 0;
+  const OpAttrs* attrs = nullptr;
+};
+
+using OpKernel = void (*)(const OpCall&);
+
+class OpRegistry {
+ public:
+  static OpRegistry& Get();
+
+  // Registers `kernel` under `name`; duplicate names abort. `name` must
+  // point at static storage.
+  void Register(const char* name, OpKernel kernel);
+  // The kernel registered under `name`, or nullptr.
+  [[nodiscard]] OpKernel Find(const std::string& name) const;
+  // Find() that aborts on a missing name; use at eager call sites where a
+  // missing kernel is a build wiring bug, not a recoverable condition.
+  [[nodiscard]] OpKernel MustFind(const char* name) const;
+  // Registered names in sorted order (introspection and tests).
+  [[nodiscard]] std::vector<std::string> Names() const;
+
+ private:
+  OpRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, OpKernel> kernels_;
+};
+
+// Static registrar: LEAD_REGISTER_OP(Name, fn) at namespace scope inserts
+// `fn` under "Name" before main().
+struct OpRegistration {
+  OpRegistration(const char* name, OpKernel kernel);
+};
+
+#define LEAD_REGISTER_OP(name, kernel)                      \
+  static const ::lead::nn::OpRegistration                   \
+      lead_op_registration_##name { #name, (kernel) }
+
+namespace internal {
+// Defined in op_kernels.cc; referenced from op_registry.cc so the linker
+// cannot drop the kernel translation unit (and with it every static
+// registrar) when linking from the static library.
+int OpKernelsAnchor();
+}  // namespace internal
+
+}  // namespace lead::nn

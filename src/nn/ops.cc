@@ -2,15 +2,25 @@
 
 #include <algorithm>
 #include <cmath>
+#include <initializer_list>
 #include <utility>
 
 #include "common/check.h"
 #include "nn/contract.h"
+#include "nn/op_registry.h"
+#include "nn/plan.h"
 
+// Every op here follows one shape: compute the forward value through the
+// registered kernel (the same kernel a compiled plan replays, so eager
+// and plan modes are bit-identical by construction), install the backward
+// closure on the tape exactly as before, then hand the application to the
+// plan recorder when one is active on this thread (plan.h).
 namespace lead::nn {
 namespace {
 
 using internal::Node;
+
+const OpAttrs kNoAttrs;
 
 // Accumulates `src` into node's grad if the node requires it.
 void AccumulateGrad(Node* node, const Matrix& src) {
@@ -20,6 +30,27 @@ void AccumulateGrad(Node* node, const Matrix& src) {
   float* dst = node->grad.data();
   const float* s = src.data();
   for (int i = 0; i < src.size(); ++i) dst[i] += s[i];
+}
+
+TensorView View(const Variable& v) {
+  return TensorView{v.value().data(), v.rows(), v.cols()};
+}
+
+void RunKernel(OpKernel kernel, const TensorView* in, int num_in,
+               Matrix* out, const OpAttrs& attrs) {
+  OpCall call;
+  call.in = in;
+  call.num_in = num_in;
+  call.out = out->data();
+  call.out_rows = out->rows();
+  call.out_cols = out->cols();
+  call.attrs = &attrs;
+  kernel(call);
+}
+
+void RunKernel(OpKernel kernel, std::initializer_list<TensorView> in,
+               Matrix* out, const OpAttrs& attrs) {
+  RunKernel(kernel, in.begin(), static_cast<int>(in.size()), out, attrs);
 }
 
 }  // namespace
@@ -33,21 +64,14 @@ Variable Add(const Variable& a, const Variable& b) {
                     a.value(), b.value());
   LEAD_CHECK(broadcast ||
              (a.rows() == b.rows() && a.cols() == b.cols()));
-  Matrix out = a.value();
-  if (broadcast) {
-    for (int r = 0; r < out.rows(); ++r) {
-      float* row = out.row(r);
-      const float* brow = b.value().row(0);
-      for (int c = 0; c < out.cols(); ++c) row[c] += brow[c];
-    }
-  } else {
-    const float* bd = b.value().data();
-    float* od = out.data();
-    for (int i = 0; i < out.size(); ++i) od[i] += bd[i];
-  }
+  static const OpKernel kernel = OpRegistry::Get().MustFind("Add");
+  OpAttrs attrs;
+  attrs.i0 = broadcast ? 1 : 0;
+  Matrix out(a.rows(), a.cols());
+  RunKernel(kernel, {View(a), View(b)}, &out, attrs);
   Node* an = a.node();
   Node* bn = b.node();
-  return Variable::FromOp(
+  Variable result = Variable::FromOp(
       std::move(out), {a, b}, [an, bn, broadcast](const Matrix& g) {
         AccumulateGrad(an, g);
         if (!bn->requires_grad) return;
@@ -63,18 +87,19 @@ Variable Add(const Variable& a, const Variable& b) {
         }
       },
       "Add");
+  plan_internal::MaybeRecord("Add", {&a, &b}, result, attrs);
+  return result;
 }
 
 Variable Sub(const Variable& a, const Variable& b) {
   contract::RequireSameShape("Sub", a.value(), b.value());
   LEAD_CHECK(a.value().SameShape(b.value()));
-  Matrix out = a.value();
-  const float* bd = b.value().data();
-  float* od = out.data();
-  for (int i = 0; i < out.size(); ++i) od[i] -= bd[i];
+  static const OpKernel kernel = OpRegistry::Get().MustFind("Sub");
+  Matrix out(a.rows(), a.cols());
+  RunKernel(kernel, {View(a), View(b)}, &out, kNoAttrs);
   Node* an = a.node();
   Node* bn = b.node();
-  return Variable::FromOp(std::move(out), {a, b},
+  Variable result = Variable::FromOp(std::move(out), {a, b},
                           [an, bn](const Matrix& g) {
                             AccumulateGrad(an, g);
                             if (!bn->requires_grad) return;
@@ -86,18 +111,19 @@ Variable Sub(const Variable& a, const Variable& b) {
                             }
                           },
       "Sub");
+  plan_internal::MaybeRecord("Sub", {&a, &b}, result, kNoAttrs);
+  return result;
 }
 
 Variable Mul(const Variable& a, const Variable& b) {
   contract::RequireSameShape("Mul", a.value(), b.value());
   LEAD_CHECK(a.value().SameShape(b.value()));
-  Matrix out = a.value();
-  const float* bd = b.value().data();
-  float* od = out.data();
-  for (int i = 0; i < out.size(); ++i) od[i] *= bd[i];
+  static const OpKernel kernel = OpRegistry::Get().MustFind("Mul");
+  Matrix out(a.rows(), a.cols());
+  RunKernel(kernel, {View(a), View(b)}, &out, kNoAttrs);
   Node* an = a.node();
   Node* bn = b.node();
-  return Variable::FromOp(
+  Variable result = Variable::FromOp(
       std::move(out), {a, b}, [an, bn](const Matrix& g) {
         if (an->requires_grad) {
           an->EnsureGrad();
@@ -115,14 +141,19 @@ Variable Mul(const Variable& a, const Variable& b) {
         }
       },
       "Mul");
+  plan_internal::MaybeRecord("Mul", {&a, &b}, result, kNoAttrs);
+  return result;
 }
 
 Variable ScalarMul(const Variable& a, float s) {
-  Matrix out = a.value();
-  float* od = out.data();
-  for (int i = 0; i < out.size(); ++i) od[i] *= s;
+  static const OpKernel kernel = OpRegistry::Get().MustFind("ScalarMul");
+  OpAttrs attrs;
+  attrs.f0 = s;
+  Matrix out(a.rows(), a.cols());
+  RunKernel(kernel, {View(a)}, &out, attrs);
   Node* an = a.node();
-  return Variable::FromOp(std::move(out), {a}, [an, s](const Matrix& g) {
+  Variable result =
+      Variable::FromOp(std::move(out), {a}, [an, s](const Matrix& g) {
     if (!an->requires_grad) return;
     an->EnsureGrad();
     float* ag = an->grad.data();
@@ -130,16 +161,19 @@ Variable ScalarMul(const Variable& a, float s) {
     for (int i = 0; i < g.size(); ++i) ag[i] += gd[i] * s;
   },
       "ScalarMul");
+  plan_internal::MaybeRecord("ScalarMul", {&a}, result, attrs);
+  return result;
 }
 
 Variable MatMul(const Variable& a, const Variable& b) {
   contract::RequireInner("MatMul", a.value(), b.value());
   LEAD_CHECK_EQ(a.cols(), b.rows());
+  static const OpKernel kernel = OpRegistry::Get().MustFind("MatMul");
   Matrix out(a.rows(), b.cols());
-  MatMulAccumulate(a.value(), b.value(), &out);
+  RunKernel(kernel, {View(a), View(b)}, &out, kNoAttrs);
   Node* an = a.node();
   Node* bn = b.node();
-  return Variable::FromOp(
+  Variable result = Variable::FromOp(
       std::move(out), {a, b}, [an, bn](const Matrix& g) {
         if (an->requires_grad) {
           an->EnsureGrad();
@@ -151,17 +185,17 @@ Variable MatMul(const Variable& a, const Variable& b) {
         }
       },
       "MatMul");
+  plan_internal::MaybeRecord("MatMul", {&a, &b}, result, kNoAttrs);
+  return result;
 }
 
 Variable Transpose(const Variable& a) {
+  static const OpKernel kernel = OpRegistry::Get().MustFind("Transpose");
   Matrix out(a.cols(), a.rows());
-  for (int r = 0; r < a.rows(); ++r) {
-    for (int c = 0; c < a.cols(); ++c) {
-      out.at(c, r) = a.value().at(r, c);
-    }
-  }
+  RunKernel(kernel, {View(a)}, &out, kNoAttrs);
   Node* an = a.node();
-  return Variable::FromOp(std::move(out), {a}, [an](const Matrix& g) {
+  Variable result =
+      Variable::FromOp(std::move(out), {a}, [an](const Matrix& g) {
     if (!an->requires_grad) return;
     an->EnsureGrad();
     for (int r = 0; r < g.rows(); ++r) {
@@ -171,21 +205,22 @@ Variable Transpose(const Variable& a) {
     }
   },
       "Transpose");
+  plan_internal::MaybeRecord("Transpose", {&a}, result, kNoAttrs);
+  return result;
 }
 
 namespace {
 
-template <typename ForwardFn, typename DerivFromOutputFn>
-Variable ElementwiseOp(const char* name, const Variable& a, ForwardFn fwd,
+template <typename DerivFromOutputFn>
+Variable ElementwiseOp(const char* name, OpKernel kernel, const Variable& a,
                        DerivFromOutputFn deriv) {
-  Matrix out = a.value();
-  float* od = out.data();
-  for (int i = 0; i < out.size(); ++i) od[i] = fwd(od[i]);
+  Matrix out(a.rows(), a.cols());
+  RunKernel(kernel, {View(a)}, &out, kNoAttrs);
   Node* an = a.node();
   // The derivative is computed from the op's output value, so the closure
   // snapshots the output matrix.
   Matrix out_copy = out;
-  return Variable::FromOp(
+  Variable result = Variable::FromOp(
       std::move(out), {a},
       [an, deriv, out_copy = std::move(out_copy)](const Matrix& g) {
         if (!an->requires_grad) return;
@@ -198,40 +233,44 @@ Variable ElementwiseOp(const char* name, const Variable& a, ForwardFn fwd,
         }
       },
       name);
+  plan_internal::MaybeRecord(name, {&a}, result, kNoAttrs);
+  return result;
 }
 
 }  // namespace
 
 Variable Tanh(const Variable& a) {
-  return ElementwiseOp(
-      "Tanh", a, [](float x) { return std::tanh(x); },
-      [](float y) { return 1.0f - y * y; });
+  static const OpKernel kernel = OpRegistry::Get().MustFind("Tanh");
+  return ElementwiseOp("Tanh", kernel, a,
+                       [](float y) { return 1.0f - y * y; });
 }
 
 Variable Sigmoid(const Variable& a) {
-  return ElementwiseOp(
-      "Sigmoid", a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
-      [](float y) { return y * (1.0f - y); });
+  static const OpKernel kernel = OpRegistry::Get().MustFind("Sigmoid");
+  return ElementwiseOp("Sigmoid", kernel, a,
+                       [](float y) { return y * (1.0f - y); });
 }
 
 Variable Relu(const Variable& a) {
-  return ElementwiseOp(
-      "Relu", a, [](float x) { return x > 0.0f ? x : 0.0f; },
-      [](float y) { return y > 0.0f ? 1.0f : 0.0f; });
+  static const OpKernel kernel = OpRegistry::Get().MustFind("Relu");
+  return ElementwiseOp("Relu", kernel, a,
+                       [](float y) { return y > 0.0f ? 1.0f : 0.0f; });
 }
 
 Variable Log(const Variable& a, float eps) {
-  // Derivative needs the (clamped) input, not the output; handle directly.
-  Matrix out = a.value();
+  static const OpKernel kernel = OpRegistry::Get().MustFind("Log");
+  OpAttrs attrs;
+  attrs.f0 = eps;
+  Matrix out(a.rows(), a.cols());
+  RunKernel(kernel, {View(a)}, &out, attrs);
+  // Derivative needs the (clamped) input, not the output.
   Matrix clamped_in = a.value();
   float* cd = clamped_in.data();
-  float* od = out.data();
-  for (int i = 0; i < out.size(); ++i) {
+  for (int i = 0; i < clamped_in.size(); ++i) {
     cd[i] = std::max(cd[i], eps);
-    od[i] = std::log(cd[i]);
   }
   Node* an = a.node();
-  return Variable::FromOp(
+  Variable result = Variable::FromOp(
       std::move(out), {a},
       [an, clamped_in = std::move(clamped_in)](const Matrix& g) {
         if (!an->requires_grad) return;
@@ -242,24 +281,17 @@ Variable Log(const Variable& a, float eps) {
         for (int i = 0; i < g.size(); ++i) ag[i] += gd[i] / cv[i];
       },
       "Log");
+  plan_internal::MaybeRecord("Log", {&a}, result, attrs);
+  return result;
 }
 
 Variable SoftmaxRows(const Variable& a) {
-  Matrix out = a.value();
-  for (int r = 0; r < out.rows(); ++r) {
-    float* row = out.row(r);
-    float max_v = row[0];
-    for (int c = 1; c < out.cols(); ++c) max_v = std::max(max_v, row[c]);
-    float sum = 0.0f;
-    for (int c = 0; c < out.cols(); ++c) {
-      row[c] = std::exp(row[c] - max_v);
-      sum += row[c];
-    }
-    for (int c = 0; c < out.cols(); ++c) row[c] /= sum;
-  }
+  static const OpKernel kernel = OpRegistry::Get().MustFind("SoftmaxRows");
+  Matrix out(a.rows(), a.cols());
+  RunKernel(kernel, {View(a)}, &out, kNoAttrs);
   Node* an = a.node();
   Matrix out_copy = out;
-  return Variable::FromOp(
+  Variable result = Variable::FromOp(
       std::move(out), {a},
       [an, out_copy = std::move(out_copy)](const Matrix& g) {
         if (!an->requires_grad) return;
@@ -276,17 +308,24 @@ Variable SoftmaxRows(const Variable& a) {
         }
       },
       "SoftmaxRows");
+  plan_internal::MaybeRecord("SoftmaxRows", {&a}, result, kNoAttrs);
+  return result;
 }
 
 Variable AddScalar(const Variable& a, float s) {
-  Matrix out = a.value();
-  float* od = out.data();
-  for (int i = 0; i < out.size(); ++i) od[i] += s;
+  static const OpKernel kernel = OpRegistry::Get().MustFind("AddScalar");
+  OpAttrs attrs;
+  attrs.f0 = s;
+  Matrix out(a.rows(), a.cols());
+  RunKernel(kernel, {View(a)}, &out, attrs);
   Node* an = a.node();
-  return Variable::FromOp(std::move(out), {a}, [an](const Matrix& g) {
+  Variable result =
+      Variable::FromOp(std::move(out), {a}, [an](const Matrix& g) {
     AccumulateGrad(an, g);
   },
       "AddScalar");
+  plan_internal::MaybeRecord("AddScalar", {&a}, result, attrs);
+  return result;
 }
 
 Variable SliceCols(const Variable& a, int start, int len) {
@@ -295,13 +334,13 @@ Variable SliceCols(const Variable& a, int start, int len) {
   LEAD_CHECK_GE(start, 0);
   LEAD_CHECK_GE(len, 1);
   LEAD_CHECK_LE(start + len, a.cols());
+  static const OpKernel kernel = OpRegistry::Get().MustFind("SliceCols");
+  OpAttrs attrs;
+  attrs.i0 = start;
   Matrix out(a.rows(), len);
-  for (int r = 0; r < a.rows(); ++r) {
-    const float* src = a.value().row(r) + start;
-    std::copy(src, src + len, out.row(r));
-  }
+  RunKernel(kernel, {View(a)}, &out, attrs);
   Node* an = a.node();
-  return Variable::FromOp(std::move(out), {a},
+  Variable result = Variable::FromOp(std::move(out), {a},
                           [an, start](const Matrix& g) {
                             if (!an->requires_grad) return;
                             an->EnsureGrad();
@@ -314,6 +353,8 @@ Variable SliceCols(const Variable& a, int start, int len) {
                             }
                           },
       "SliceCols");
+  plan_internal::MaybeRecord("SliceCols", {&a}, result, attrs);
+  return result;
 }
 
 Variable SliceRows(const Variable& a, int start, int len) {
@@ -322,13 +363,13 @@ Variable SliceRows(const Variable& a, int start, int len) {
   LEAD_CHECK_GE(start, 0);
   LEAD_CHECK_GE(len, 1);
   LEAD_CHECK_LE(start + len, a.rows());
+  static const OpKernel kernel = OpRegistry::Get().MustFind("SliceRows");
+  OpAttrs attrs;
+  attrs.i0 = start;
   Matrix out(len, a.cols());
-  for (int r = 0; r < len; ++r) {
-    const float* src = a.value().row(start + r);
-    std::copy(src, src + a.cols(), out.row(r));
-  }
+  RunKernel(kernel, {View(a)}, &out, attrs);
   Node* an = a.node();
-  return Variable::FromOp(std::move(out), {a},
+  Variable result = Variable::FromOp(std::move(out), {a},
                           [an, start](const Matrix& g) {
                             if (!an->requires_grad) return;
                             an->EnsureGrad();
@@ -341,6 +382,8 @@ Variable SliceRows(const Variable& a, int start, int len) {
                             }
                           },
       "SliceRows");
+  plan_internal::MaybeRecord("SliceRows", {&a}, result, attrs);
+  return result;
 }
 
 Variable ConcatRows(const std::vector<Variable>& parts) {
@@ -354,15 +397,13 @@ Variable ConcatRows(const std::vector<Variable>& parts) {
     LEAD_CHECK_EQ(p.cols(), cols);
     rows += p.rows();
   }
+  static const OpKernel kernel = OpRegistry::Get().MustFind("ConcatRows");
+  std::vector<TensorView> views;
+  views.reserve(parts.size());
+  for (const Variable& p : parts) views.push_back(View(p));
   Matrix out(rows, cols);
-  int r0 = 0;
-  for (const Variable& p : parts) {
-    for (int r = 0; r < p.rows(); ++r) {
-      const float* src = p.value().row(r);
-      std::copy(src, src + cols, out.row(r0 + r));
-    }
-    r0 += p.rows();
-  }
+  RunKernel(kernel, views.data(), static_cast<int>(views.size()), &out,
+            kNoAttrs);
   std::vector<Node*> nodes;
   std::vector<int> offsets;
   std::vector<int> sizes;
@@ -374,7 +415,7 @@ Variable ConcatRows(const std::vector<Variable>& parts) {
     sizes.push_back(p.rows());
     off += p.rows();
   }
-  return Variable::FromOp(
+  Variable result = Variable::FromOp(
       std::move(out), parts,
       [nodes = std::move(nodes), offsets = std::move(offsets),
        sizes = std::move(sizes)](const Matrix& g) {
@@ -390,6 +431,8 @@ Variable ConcatRows(const std::vector<Variable>& parts) {
         }
       },
       "ConcatRows");
+  plan_internal::MaybeRecordMany("ConcatRows", parts, result, kNoAttrs);
+  return result;
 }
 
 Variable ConcatCols(const std::vector<Variable>& parts) {
@@ -403,15 +446,13 @@ Variable ConcatCols(const std::vector<Variable>& parts) {
     LEAD_CHECK_EQ(p.rows(), rows);
     cols += p.cols();
   }
+  static const OpKernel kernel = OpRegistry::Get().MustFind("ConcatCols");
+  std::vector<TensorView> views;
+  views.reserve(parts.size());
+  for (const Variable& p : parts) views.push_back(View(p));
   Matrix out(rows, cols);
-  int c0 = 0;
-  for (const Variable& p : parts) {
-    for (int r = 0; r < rows; ++r) {
-      const float* src = p.value().row(r);
-      std::copy(src, src + p.cols(), out.row(r) + c0);
-    }
-    c0 += p.cols();
-  }
+  RunKernel(kernel, views.data(), static_cast<int>(views.size()), &out,
+            kNoAttrs);
   std::vector<Node*> nodes;
   std::vector<int> offsets;
   std::vector<int> widths;
@@ -422,7 +463,7 @@ Variable ConcatCols(const std::vector<Variable>& parts) {
     widths.push_back(p.cols());
     off += p.cols();
   }
-  return Variable::FromOp(
+  Variable result = Variable::FromOp(
       std::move(out), parts,
       [nodes = std::move(nodes), offsets = std::move(offsets),
        widths = std::move(widths), rows](const Matrix& g) {
@@ -438,16 +479,17 @@ Variable ConcatCols(const std::vector<Variable>& parts) {
         }
       },
       "ConcatCols");
+  plan_internal::MaybeRecordMany("ConcatCols", parts, result, kNoAttrs);
+  return result;
 }
 
 Variable ReverseRows(const Variable& a) {
+  static const OpKernel kernel = OpRegistry::Get().MustFind("ReverseRows");
   Matrix out(a.rows(), a.cols());
-  for (int r = 0; r < a.rows(); ++r) {
-    const float* src = a.value().row(a.rows() - 1 - r);
-    std::copy(src, src + a.cols(), out.row(r));
-  }
+  RunKernel(kernel, {View(a)}, &out, kNoAttrs);
   Node* an = a.node();
-  return Variable::FromOp(std::move(out), {a}, [an](const Matrix& g) {
+  Variable result =
+      Variable::FromOp(std::move(out), {a}, [an](const Matrix& g) {
     if (!an->requires_grad) return;
     an->EnsureGrad();
     for (int r = 0; r < g.rows(); ++r) {
@@ -457,14 +499,16 @@ Variable ReverseRows(const Variable& a) {
     }
   },
       "ReverseRows");
+  plan_internal::MaybeRecord("ReverseRows", {&a}, result, kNoAttrs);
+  return result;
 }
 
 Variable Sum(const Variable& a) {
-  float total = 0.0f;
-  const float* ad = a.value().data();
-  for (int i = 0; i < a.value().size(); ++i) total += ad[i];
+  static const OpKernel kernel = OpRegistry::Get().MustFind("Sum");
+  Matrix out(1, 1);
+  RunKernel(kernel, {View(a)}, &out, kNoAttrs);
   Node* an = a.node();
-  return Variable::FromOp(Matrix(1, 1, {total}), {a},
+  Variable result = Variable::FromOp(std::move(out), {a},
                           [an](const Matrix& g) {
                             if (!an->requires_grad) return;
                             an->EnsureGrad();
@@ -475,6 +519,8 @@ Variable Sum(const Variable& a) {
                             }
                           },
       "Sum");
+  plan_internal::MaybeRecord("Sum", {&a}, result, kNoAttrs);
+  return result;
 }
 
 Variable Mean(const Variable& a) {
@@ -483,17 +529,13 @@ Variable Mean(const Variable& a) {
 }
 
 Variable RowSum(const Variable& a) {
-  const int m = a.rows();
+  static const OpKernel kernel = OpRegistry::Get().MustFind("RowSum");
   const int n = a.cols();
-  Matrix out(m, 1);
-  for (int r = 0; r < m; ++r) {
-    const float* arow = a.value().row(r);
-    float total = 0.0f;
-    for (int c = 0; c < n; ++c) total += arow[c];
-    out.at(r, 0) = total;
-  }
+  Matrix out(a.rows(), 1);
+  RunKernel(kernel, {View(a)}, &out, kNoAttrs);
   Node* an = a.node();
-  return Variable::FromOp(std::move(out), {a}, [an, n](const Matrix& g) {
+  Variable result =
+      Variable::FromOp(std::move(out), {a}, [an, n](const Matrix& g) {
     if (!an->requires_grad) return;
     an->EnsureGrad();
     for (int r = 0; r < g.rows(); ++r) {
@@ -503,6 +545,8 @@ Variable RowSum(const Variable& a) {
     }
   },
       "RowSum");
+  plan_internal::MaybeRecord("RowSum", {&a}, result, kNoAttrs);
+  return result;
 }
 
 Variable ScaleRows(const Variable& a, const Variable& s) {
@@ -511,15 +555,12 @@ Variable ScaleRows(const Variable& a, const Variable& s) {
                     s.value());
   LEAD_CHECK_EQ(s.rows(), a.rows());
   LEAD_CHECK_EQ(s.cols(), 1);
-  Matrix out = a.value();
-  for (int r = 0; r < out.rows(); ++r) {
-    const float sv = s.value().at(r, 0);
-    float* row = out.row(r);
-    for (int c = 0; c < out.cols(); ++c) row[c] *= sv;
-  }
+  static const OpKernel kernel = OpRegistry::Get().MustFind("ScaleRows");
+  Matrix out(a.rows(), a.cols());
+  RunKernel(kernel, {View(a), View(s)}, &out, kNoAttrs);
   Node* an = a.node();
   Node* sn = s.node();
-  return Variable::FromOp(
+  Variable result = Variable::FromOp(
       std::move(out), {a, s}, [an, sn](const Matrix& g) {
         if (an->requires_grad) {
           an->EnsureGrad();
@@ -542,22 +583,32 @@ Variable ScaleRows(const Variable& a, const Variable& s) {
         }
       },
       "ScaleRows");
+  plan_internal::MaybeRecord("ScaleRows", {&a, &s}, result, kNoAttrs);
+  return result;
 }
 
 Variable GatherRows(const Variable& a, std::vector<int> rows) {
   const int n = a.cols();
-  Matrix out(static_cast<int>(rows.size()), n);
-  for (size_t i = 0; i < rows.size(); ++i) {
-    contract::RequireIndex("GatherRows", a.value(), rows[i], a.rows(),
+  static const OpKernel kernel = OpRegistry::Get().MustFind("GatherRows");
+  OpAttrs attrs;
+  attrs.ints = std::move(rows);
+  for (size_t i = 0; i < attrs.ints.size(); ++i) {
+    contract::RequireIndex("GatherRows", a.value(), attrs.ints[i], a.rows(),
                            "gather row index out of range");
-    LEAD_CHECK_GE(rows[i], 0);
-    LEAD_CHECK_LT(rows[i], a.rows());
-    const float* src = a.value().row(rows[i]);
-    std::copy(src, src + n, out.row(static_cast<int>(i)));
+    LEAD_CHECK_GE(attrs.ints[i], 0);
+    LEAD_CHECK_LT(attrs.ints[i], a.rows());
   }
+  Matrix out(static_cast<int>(attrs.ints.size()), n);
+  RunKernel(kernel, {View(a)}, &out, attrs);
   Node* an = a.node();
-  return Variable::FromOp(
-      std::move(out), {a}, [an, rows = std::move(rows)](const Matrix& g) {
+  // Under NoGrad the closure is discarded by FromOp, so the row list must
+  // survive in `attrs` for the recorder; with gradients enabled the
+  // recorder is necessarily inactive and the list moves into the closure.
+  Variable result = Variable::FromOp(
+      std::move(out), {a},
+      [an, rows = internal::NoGradEnabled() ? std::vector<int>()
+                                            : std::move(attrs.ints)](
+          const Matrix& g) {
         if (!an->requires_grad) return;
         an->EnsureGrad();
         for (size_t i = 0; i < rows.size(); ++i) {
@@ -567,6 +618,8 @@ Variable GatherRows(const Variable& a, std::vector<int> rows) {
         }
       },
       "GatherRows");
+  plan_internal::MaybeRecord("GatherRows", {&a}, result, attrs);
+  return result;
 }
 
 Variable MseLoss(const Variable& prediction, const Variable& target) {
@@ -574,18 +627,14 @@ Variable MseLoss(const Variable& prediction, const Variable& target) {
   LEAD_CHECK(prediction.value().SameShape(target.value()));
   const int n = prediction.value().size();
   LEAD_CHECK_GT(n, 0);
-  float total = 0.0f;
-  const float* pd = prediction.value().data();
-  const float* td = target.value().data();
-  for (int i = 0; i < n; ++i) {
-    const float d = pd[i] - td[i];
-    total += d * d;
-  }
+  static const OpKernel kernel = OpRegistry::Get().MustFind("MseLoss");
+  Matrix out(1, 1);
+  RunKernel(kernel, {View(prediction), View(target)}, &out, kNoAttrs);
   Node* pn = prediction.node();
   Node* tn = target.node();
   const float inv_n = 1.0f / static_cast<float>(n);
-  return Variable::FromOp(
-      Matrix(1, 1, {total * inv_n}), {prediction, target},
+  Variable result = Variable::FromOp(
+      std::move(out), {prediction, target},
       [pn, tn, inv_n, n](const Matrix& g) {
         const float go = g.at(0, 0);
         const float* pv = pn->value.data();
@@ -606,12 +655,17 @@ Variable MseLoss(const Variable& prediction, const Variable& target) {
         }
       },
       "MseLoss");
+  plan_internal::MaybeRecord("MseLoss", {&prediction, &target}, result,
+                             kNoAttrs);
+  return result;
 }
 
 Variable Dropout(const Variable& a, float p, Rng* rng) {
   LEAD_CHECK_GE(p, 0.0f);
   LEAD_CHECK_LT(p, 1.0f);
-  // p == 0 exactly means dropout is disabled; any nonzero p drops.
+  // p == 0 exactly means dropout is disabled; any nonzero p drops. Under
+  // NoGrad (and therefore under recording) this is the identity, so plans
+  // never contain a dropout step.
   if (p == 0.0f || internal::NoGradEnabled()) return a;  // lead-lint: allow(float-eq)
   const float keep_scale = 1.0f / (1.0f - p);
   Matrix mask(a.rows(), a.cols());
@@ -627,17 +681,15 @@ Variable KlDivergence(const Variable& label, const Variable& prediction,
                              prediction.value());
   LEAD_CHECK(label.value().SameShape(prediction.value()));
   const int n = label.value().size();
-  float total = 0.0f;
-  const float* lv = label.value().data();
-  const float* pv = prediction.value().data();
-  for (int i = 0; i < n; ++i) {
-    if (lv[i] <= 0.0f) continue;
-    total += lv[i] * (std::log(lv[i]) - std::log(std::max(pv[i], eps)));
-  }
+  static const OpKernel kernel = OpRegistry::Get().MustFind("KlDivergence");
+  OpAttrs attrs;
+  attrs.f0 = eps;
+  Matrix out(1, 1);
+  RunKernel(kernel, {View(label), View(prediction)}, &out, attrs);
   Node* pn = prediction.node();
   Node* ln = label.node();
-  return Variable::FromOp(
-      Matrix(1, 1, {total}), {label, prediction},
+  Variable result = Variable::FromOp(
+      std::move(out), {label, prediction},
       [pn, ln, eps, n](const Matrix& g) {
         if (!pn->requires_grad) return;
         pn->EnsureGrad();
@@ -651,6 +703,9 @@ Variable KlDivergence(const Variable& label, const Variable& prediction,
         }
       },
       "KlDivergence");
+  plan_internal::MaybeRecord("KlDivergence", {&label, &prediction}, result,
+                             attrs);
+  return result;
 }
 
 }  // namespace lead::nn

@@ -1,0 +1,548 @@
+#include "nn/plan.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace lead::nn {
+
+namespace plan_internal {
+thread_local PlanRecorder* g_active_recorder = nullptr;
+}  // namespace plan_internal
+
+// ---------------------------------------------------------------------------
+// Plan execution
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<Plan::ExecContext> Plan::AcquireContext() const {
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    if (!pool_.empty()) {
+      std::unique_ptr<ExecContext> context = std::move(pool_.back());
+      pool_.pop_back();
+      return context;
+    }
+  }
+  return std::make_unique<ExecContext>();
+}
+
+void Plan::ReleaseContext(std::unique_ptr<ExecContext> context) const {
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  pool_.push_back(std::move(context));
+}
+
+void Plan::Execute(const std::vector<const Matrix*>& inputs,
+                   Matrix* out) const {
+  LEAD_CHECK_EQ(static_cast<int>(inputs.size()), num_inputs_);
+  LEAD_CHECK_GE(root_slot_, 0);
+  static obs::Counter& executions = obs::GetCounter("nn.plan.executions");
+  static obs::Counter& exec_allocs = obs::GetCounter("nn.plan.allocs");
+  obs::ScopedSpan span(obs::kCatInfer, "plan_execute");
+  span.Arg("steps", static_cast<double>(stats_.num_steps));
+  span.Arg("arena_bytes", static_cast<double>(stats_.arena_bytes));
+
+  const int64_t allocs_before = TensorAllocsThisThread();
+  std::unique_ptr<ExecContext> context = AcquireContext();
+  if (!context->initialized) {
+    // Warm-up: the only allocations this context will ever make. Temp and
+    // const step inputs resolve to fixed addresses here, once; only
+    // input/param entries are touched again (per call, via in_patches_).
+    context->arena.assign(arena_floats_, 0.0f);
+    context->views.resize(slots_.size());
+    for (size_t s = 0; s < slots_.size(); ++s) {
+      const Slot& slot = slots_[s];
+      if (slot.kind == SlotKind::kConst) {
+        const Matrix& value = consts_[static_cast<size_t>(slot.index)];
+        context->views[s] = TensorView{value.data(), slot.rows, slot.cols};
+      } else if (slot.kind == SlotKind::kTemp) {
+        context->views[s] = TensorView{context->arena.data() + slot.offset,
+                                       slot.rows, slot.cols};
+      }
+    }
+    context->step_in.resize(flat_in_slots_.size());
+    for (size_t f = 0; f < flat_in_slots_.size(); ++f) {
+      context->step_in[f] =
+          context->views[static_cast<size_t>(flat_in_slots_[f])];
+    }
+    context->initialized = true;
+  }
+  // Inputs and params are re-viewed every call: callers pass fresh input
+  // matrices, and optimizers / weight loads replace param values in place.
+  for (const int s : refresh_slots_) {
+    const Slot& slot = slots_[static_cast<size_t>(s)];
+    if (slot.kind == SlotKind::kInput) {
+      const Matrix* input = inputs[static_cast<size_t>(slot.index)];
+      LEAD_CHECK(input != nullptr);
+      LEAD_CHECK(input->rows() == slot.rows && input->cols() == slot.cols);
+      context->views[static_cast<size_t>(s)] =
+          TensorView{input->data(), slot.rows, slot.cols};
+    } else {
+      const Matrix& value = slot.param->value;
+      LEAD_CHECK(value.rows() == slot.rows && value.cols() == slot.cols);
+      context->views[static_cast<size_t>(s)] =
+          TensorView{value.data(), slot.rows, slot.cols};
+    }
+  }
+
+  for (const InPatch& patch : in_patches_) {
+    context->step_in[static_cast<size_t>(patch.flat_index)] =
+        context->views[static_cast<size_t>(patch.slot)];
+  }
+
+  const TensorView* step_in = context->step_in.data();
+  float* arena = context->arena.data();
+  for (const StepExec& step : exec_steps_) {
+    OpCall call;
+    call.in = step_in + step.in_offset;
+    call.num_in = step.num_in;
+    call.out = arena + step.out_offset;
+    call.out_rows = step.out_rows;
+    call.out_cols = step.out_cols;
+    call.attrs = step.attrs;
+    step.kernel(call);
+  }
+
+  const Slot& root = slots_[static_cast<size_t>(root_slot_)];
+  const float* root_data =
+      context->views[static_cast<size_t>(root_slot_)].data;
+  if (out->rows() != root.rows || out->cols() != root.cols) {
+    *out = Matrix(root.rows, root.cols);
+  }
+  std::copy(root_data,
+            root_data + static_cast<size_t>(root.rows) *
+                            static_cast<size_t>(root.cols),
+            out->data());
+  ReleaseContext(std::move(context));
+  exec_allocs.Add(TensorAllocsThisThread() - allocs_before);
+  executions.Increment();
+}
+
+// ---------------------------------------------------------------------------
+// Recording
+// ---------------------------------------------------------------------------
+
+PlanRecorder* PlanRecorder::Active() {
+  return plan_internal::g_active_recorder;
+}
+
+PlanRecorder::PlanRecorder() : plan_(std::unique_ptr<Plan>(new Plan())) {  // lead-lint: allow(raw-new)
+  // Recording is an inference pass over existing op implementations;
+  // nesting recorders would interleave two tapes on one thread.
+  LEAD_CHECK(internal::NoGradEnabled());
+  LEAD_CHECK(plan_internal::g_active_recorder == nullptr);
+  plan_internal::g_active_recorder = this;
+}
+
+PlanRecorder::~PlanRecorder() {
+  LEAD_CHECK(plan_internal::g_active_recorder == this);
+  plan_internal::g_active_recorder = nullptr;
+}
+
+int PlanRecorder::NewSlot(Plan::Slot slot) {
+  const int id = static_cast<int>(plan_->slots_.size());
+  plan_->slots_.push_back(std::move(slot));
+  def_step_.push_back(-1);
+  last_step_.push_back(-1);
+  return id;
+}
+
+int PlanRecorder::RegisterInputMatrix(const Matrix* matrix) {
+  LEAD_CHECK(matrix != nullptr);
+  Plan::Slot slot;
+  slot.kind = Plan::SlotKind::kInput;
+  slot.rows = matrix->rows();
+  slot.cols = matrix->cols();
+  slot.index = plan_->num_inputs_++;
+  const int id = NewSlot(std::move(slot));
+  matrix_slots_[matrix] = id;
+  return plan_->slots_[static_cast<size_t>(id)].index;
+}
+
+Variable PlanRecorder::MakeInput(const Matrix& matrix) {
+  Plan::Slot slot;
+  slot.kind = Plan::SlotKind::kInput;
+  slot.rows = matrix.rows();
+  slot.cols = matrix.cols();
+  slot.index = plan_->num_inputs_++;
+  const int id = NewSlot(std::move(slot));
+  matrix_slots_[&matrix] = id;
+  // Ops consuming the wrapper Variable (and spans over either the wrapper
+  // value or the original backing matrix) all resolve to this input slot.
+  Variable v = Variable::Constant(matrix);
+  node_slots_[v.node()] = id;
+  matrix_slots_[&v.node()->value] = id;
+  retained_.push_back(v.shared_node());
+  return v;
+}
+
+void PlanRecorder::SetRoot(const Variable& root) {
+  if (failed_) return;
+  auto it = node_slots_.find(root.node());
+  if (it == node_slots_.end()) {
+    Invalidate("root value was not recorded");
+    return;
+  }
+  plan_->root_slot_ = it->second;
+}
+
+void PlanRecorder::Invalidate(const char* reason) {
+  if (failed_) return;
+  failed_ = true;
+  fail_reason_ = reason;
+}
+
+int PlanRecorder::SlotOfValue(const Variable& v) {
+  auto it = node_slots_.find(v.node());
+  if (it != node_slots_.end()) return it->second;
+  // Unknown leaf: a module weight (re-viewed per Execute) or a recording
+  // constant (captured by value; the cache key pins everything that
+  // determined it).
+  Plan::Slot slot;
+  slot.rows = v.rows();
+  slot.cols = v.cols();
+  if (v.requires_grad()) {
+    slot.kind = Plan::SlotKind::kParam;
+    slot.param = v.shared_node();
+  } else {
+    slot.kind = Plan::SlotKind::kConst;
+    slot.index = static_cast<int>(plan_->consts_.size());
+    plan_->consts_.push_back(v.value());
+  }
+  const int id = NewSlot(std::move(slot));
+  node_slots_[v.node()] = id;
+  matrix_slots_[&v.node()->value] = id;
+  retained_.push_back(v.shared_node());
+  return id;
+}
+
+void PlanRecorder::AppendStep(const char* name, std::vector<int> in_slots,
+                              const Variable& out, OpAttrs attrs) {
+  OpKernel kernel = OpRegistry::Get().Find(name);
+  if (kernel == nullptr) {
+    Invalidate("op without a registered kernel");
+    return;
+  }
+  const int step_index = static_cast<int>(plan_->steps_.size());
+  for (const int s : in_slots) {
+    last_step_[static_cast<size_t>(s)] = step_index;
+  }
+  Plan::Slot out_slot;
+  out_slot.kind = Plan::SlotKind::kTemp;
+  out_slot.rows = out.rows();
+  out_slot.cols = out.cols();
+  const int out_id = NewSlot(std::move(out_slot));
+  def_step_[static_cast<size_t>(out_id)] = step_index;
+  last_step_[static_cast<size_t>(out_id)] = step_index;
+  node_slots_[out.node()] = out_id;
+  matrix_slots_[&out.node()->value] = out_id;
+  retained_.push_back(out.shared_node());
+
+  Plan::Step step;
+  step.kernel = kernel;
+  step.name = name;
+  step.inputs = std::move(in_slots);
+  step.output = out_id;
+  step.attrs = std::move(attrs);
+  plan_->steps_.push_back(std::move(step));
+}
+
+void PlanRecorder::RecordOp(const char* name, const Variable* const* inputs,
+                            int num_inputs, const Variable& out,
+                            const OpAttrs& attrs) {
+  if (failed_) return;
+  std::vector<int> in_slots;
+  in_slots.reserve(static_cast<size_t>(num_inputs));
+  for (int i = 0; i < num_inputs; ++i) {
+    in_slots.push_back(SlotOfValue(*inputs[i]));
+  }
+  AppendStep(name, std::move(in_slots), out, attrs);
+}
+
+void PlanRecorder::RecordPack(const Matrix* source, std::vector<int> rows,
+                              const Variable& out) {
+  if (failed_) return;
+  auto it = matrix_slots_.find(source);
+  if (it == matrix_slots_.end()) {
+    Invalidate("pack source is not a recorded or registered matrix");
+    return;
+  }
+  OpAttrs attrs;
+  attrs.ints = std::move(rows);
+  AppendStep("PackRows", {it->second}, out, std::move(attrs));
+}
+
+std::shared_ptr<const Plan> PlanRecorder::Finish() {
+  if (failed_ || plan_->root_slot_ < 0 || plan_->steps_.empty()) {
+    return nullptr;
+  }
+  const size_t num_slots = plan_->slots_.size();
+  // The root outlives the schedule.
+  last_step_[static_cast<size_t>(plan_->root_slot_)] =
+      std::numeric_limits<int>::max();
+
+  // Greedy interval coloring over record order (memonger idiom): walk the
+  // schedule, free a temp's buffer one step after its last consumer ran
+  // (never at its own definition step, so a step's output cannot alias
+  // its inputs), and serve each new output from the best-fitting free
+  // buffer, growing the largest one when none fits.
+  struct Buffer {
+    size_t capacity = 0;
+  };
+  std::vector<Buffer> buffers;
+  std::vector<int> slot_buffer(num_slots, -1);
+  // expires_at[s]: temps whose buffer becomes reusable before step s runs.
+  std::map<int, std::vector<int>> expires_before;
+  for (size_t s = 0; s < num_slots; ++s) {
+    if (plan_->slots_[s].kind != Plan::SlotKind::kTemp) continue;
+    if (last_step_[s] == std::numeric_limits<int>::max()) continue;
+    expires_before[last_step_[s] + 1].push_back(static_cast<int>(s));
+  }
+  std::vector<int> free_buffers;
+  const int num_steps = static_cast<int>(plan_->steps_.size());
+  for (int step = 0; step < num_steps; ++step) {
+    auto expired = expires_before.find(step);
+    if (expired != expires_before.end()) {
+      for (const int s : expired->second) {
+        free_buffers.push_back(slot_buffer[static_cast<size_t>(s)]);
+      }
+    }
+    const int out_id = plan_->steps_[static_cast<size_t>(step)].output;
+    Plan::Slot& slot = plan_->slots_[static_cast<size_t>(out_id)];
+    const size_t need = static_cast<size_t>(slot.rows) *
+                        static_cast<size_t>(slot.cols);
+    // Best fit: smallest free buffer that holds `need`; else grow the
+    // largest free buffer; else open a new one.
+    int chosen = -1;
+    size_t chosen_cap = std::numeric_limits<size_t>::max();
+    int largest = -1;
+    size_t largest_cap = 0;
+    for (size_t f = 0; f < free_buffers.size(); ++f) {
+      const size_t cap = buffers[static_cast<size_t>(free_buffers[f])].capacity;
+      if (cap >= need && cap < chosen_cap) {
+        chosen = static_cast<int>(f);
+        chosen_cap = cap;
+      }
+      if (cap >= largest_cap) {
+        largest = static_cast<int>(f);
+        largest_cap = cap;
+      }
+    }
+    if (chosen < 0 && largest >= 0) {
+      chosen = largest;
+      buffers[static_cast<size_t>(free_buffers[static_cast<size_t>(largest)])]
+          .capacity = need;
+    }
+    int buffer_id;
+    if (chosen >= 0) {
+      buffer_id = free_buffers[static_cast<size_t>(chosen)];
+      free_buffers.erase(free_buffers.begin() + chosen);
+    } else {
+      buffer_id = static_cast<int>(buffers.size());
+      buffers.push_back(Buffer{need});
+    }
+    slot_buffer[static_cast<size_t>(out_id)] = buffer_id;
+  }
+
+  // Lay the buffers out back to back, 64-byte aligned, and resolve each
+  // temp slot to its buffer's offset.
+  std::vector<size_t> buffer_offsets(buffers.size(), 0);
+  size_t offset = 0;
+  constexpr size_t kAlignFloats = 16;  // 64 bytes
+  for (size_t b = 0; b < buffers.size(); ++b) {
+    buffer_offsets[b] = offset;
+    const size_t padded =
+        (buffers[b].capacity + kAlignFloats - 1) / kAlignFloats * kAlignFloats;
+    offset += padded;
+  }
+  plan_->arena_floats_ = offset;
+  int num_temps = 0;
+  for (size_t s = 0; s < num_slots; ++s) {
+    Plan::Slot& slot = plan_->slots_[s];
+    if (slot.kind == Plan::SlotKind::kTemp) {
+      ++num_temps;
+      slot.offset = buffer_offsets[static_cast<size_t>(slot_buffer[s])];
+    } else if (slot.kind == Plan::SlotKind::kInput ||
+               slot.kind == Plan::SlotKind::kParam) {
+      plan_->refresh_slots_.push_back(static_cast<int>(s));
+    }
+  }
+
+  // Flatten the schedule for the Execute hot loop: one POD entry per
+  // step, all input slot ids concatenated, and a patch list for the
+  // entries whose views change per call (inputs/params). Safe to take
+  // attrs addresses here: steps_ is never resized again and the Plan
+  // object itself does not move when the unique_ptr is released below.
+  plan_->exec_steps_.reserve(plan_->steps_.size());
+  for (const Plan::Step& step : plan_->steps_) {
+    const Plan::Slot& out_slot =
+        plan_->slots_[static_cast<size_t>(step.output)];
+    Plan::StepExec exec;
+    exec.kernel = step.kernel;
+    exec.in_offset = static_cast<int>(plan_->flat_in_slots_.size());
+    exec.num_in = static_cast<int>(step.inputs.size());
+    exec.out_rows = out_slot.rows;
+    exec.out_cols = out_slot.cols;
+    exec.out_offset = out_slot.offset;
+    exec.attrs = &step.attrs;
+    for (const int s : step.inputs) plan_->flat_in_slots_.push_back(s);
+    plan_->exec_steps_.push_back(exec);
+  }
+  for (size_t f = 0; f < plan_->flat_in_slots_.size(); ++f) {
+    const Plan::Slot& slot =
+        plan_->slots_[static_cast<size_t>(plan_->flat_in_slots_[f])];
+    if (slot.kind == Plan::SlotKind::kInput ||
+        slot.kind == Plan::SlotKind::kParam) {
+      plan_->in_patches_.push_back(
+          {static_cast<int>(f), plan_->flat_in_slots_[f]});
+    }
+  }
+
+  plan_->stats_.arena_bytes = plan_->arena_floats_ * sizeof(float);
+  plan_->stats_.num_steps = num_steps;
+  plan_->stats_.num_slots = static_cast<int>(num_slots);
+  plan_->stats_.num_temps = num_temps;
+  plan_->stats_.num_buffers = static_cast<int>(buffers.size());
+  plan_->stats_.num_inputs = plan_->num_inputs_;
+  return std::shared_ptr<const Plan>(std::move(plan_));
+}
+
+// ---------------------------------------------------------------------------
+// Cache
+// ---------------------------------------------------------------------------
+
+void AppendKeyInt(std::string* key, int64_t value) {
+  for (int b = 0; b < 8; ++b) {
+    key->push_back(
+        static_cast<char>((static_cast<uint64_t>(value) >> (8 * b)) & 0xff));
+  }
+}
+
+std::string PlanKeyRoot(const char* tag, const void* module) {
+  std::string key(tag);
+  key.push_back('\0');
+  AppendKeyInt(&key, static_cast<int64_t>(reinterpret_cast<uintptr_t>(module)));
+  return key;
+}
+
+std::shared_ptr<const PlanCache::Entry> PlanCache::GetOrRecord(
+    const std::string& key, const RecordFn& record, Matrix* recorded_out,
+    bool* was_hit) {
+  static obs::Counter& hits = obs::GetCounter("nn.plan.cache_hits");
+  static obs::Counter& misses = obs::GetCounter("nn.plan.cache_misses");
+  static obs::Counter& failures = obs::GetCounter("nn.plan.record_failures");
+  static obs::Gauge& arena_gauge = obs::GetGauge("nn.plan.arena_bytes");
+
+  *was_hit = false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (failed_keys_.count(key) != 0) return nullptr;
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    hits.Increment();
+    *was_hit = true;
+    return it->second;
+  }
+  misses.Increment();
+
+  auto entry = std::make_shared<Entry>();
+  {
+    obs::ScopedSpan span(obs::kCatInfer, "plan_record");
+    PlanRecorder recorder;
+    Variable root = record(&entry->meta);
+    recorder.SetRoot(root);
+    entry->plan = recorder.Finish();
+    // Recording is passive: even when compilation fails, the eager pass
+    // inside `record` produced the correct value.
+    *recorded_out = root.value();
+  }
+  if (entry->plan == nullptr) {
+    failures.Increment();
+    failed_keys_.insert(key);
+    return nullptr;
+  }
+  arena_bytes_total_ += entry->plan->stats().arena_bytes;
+  arena_gauge.Set(static_cast<double>(arena_bytes_total_));
+  entries_[key] = entry;
+  return entry;
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  failed_keys_.clear();
+  arena_bytes_total_ = 0;
+  obs::GetGauge("nn.plan.arena_bytes").Set(0.0);
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+// ---------------------------------------------------------------------------
+// Hooks
+// ---------------------------------------------------------------------------
+
+namespace plan_internal {
+
+void MaybeRecordMany(const char* name, const std::vector<Variable>& inputs,
+                     const Variable& out, const OpAttrs& attrs) {
+  PlanRecorder* recorder = g_active_recorder;
+  if (recorder == nullptr) return;
+  std::vector<const Variable*> pointers;
+  pointers.reserve(inputs.size());
+  for (const Variable& v : inputs) pointers.push_back(&v);
+  recorder->RecordOp(name, pointers.data(),
+                     static_cast<int>(pointers.size()), out, attrs);
+}
+
+void MaybeRecordPackedBatch(const std::vector<SeqView>& views,
+                            const StepBatch& packed) {
+  PlanRecorder* recorder = g_active_recorder;
+  if (recorder == nullptr || recorder->failed()) return;
+  // Every span must come from one backing matrix: the planned paths pack
+  // either the trajectory feature bank or one recorded gather output.
+  const Matrix* source = nullptr;
+  for (const SeqView& view : views) {
+    for (const SeqSpan& span : view) {
+      if (span.rows <= 0) continue;
+      if (source == nullptr) {
+        source = span.source;
+      } else if (source != span.source) {
+        recorder->Invalidate("packed batch spans multiple source matrices");
+        return;
+      }
+    }
+  }
+  if (source == nullptr) {
+    recorder->Invalidate("packed batch has no source rows");
+    return;
+  }
+  const int batch = static_cast<int>(views.size());
+  std::vector<std::vector<int>> flat_rows(static_cast<size_t>(batch));
+  for (int b = 0; b < batch; ++b) {
+    for (const SeqSpan& span : views[static_cast<size_t>(b)]) {
+      for (int r = 0; r < span.rows; ++r) {
+        flat_rows[static_cast<size_t>(b)].push_back(span.row_begin + r);
+      }
+    }
+  }
+  for (int t = 0; t < packed.max_len(); ++t) {
+    std::vector<int> rows(static_cast<size_t>(batch), -1);
+    for (int b = 0; b < batch; ++b) {
+      const std::vector<int>& seq = flat_rows[static_cast<size_t>(b)];
+      if (t < static_cast<int>(seq.size())) {
+        rows[static_cast<size_t>(b)] = seq[static_cast<size_t>(t)];
+      }
+    }
+    recorder->RecordPack(source, std::move(rows),
+                         packed.steps[static_cast<size_t>(t)]);
+  }
+}
+
+}  // namespace plan_internal
+
+}  // namespace lead::nn

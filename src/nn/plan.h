@@ -1,0 +1,278 @@
+// Compiled execution plans: record once, replay allocation-free.
+//
+// The detection pipeline runs the same module shapes over and over (one
+// plan per length-bucket signature), yet the eager tape re-allocates
+// every activation on every call. This layer compiles one eager forward
+// pass into a static schedule over registered kernels (op_registry.h):
+//
+//   PlanRecorder  - thread-local passive observer. While active, every
+//                   eager op additionally appends a step referencing
+//                   input/param/const/temp slots; the eager result is
+//                   still produced, so recording computes and compiles in
+//                   one pass.
+//   Plan          - immutable compiled artifact: a topologically ordered
+//                   step list (record order is already topological) plus
+//                   a liveness-colored arena layout. Execution contexts
+//                   (arena + view tables) are pooled, so steady-state
+//                   Execute performs no tensor allocations.
+//   PlanCache     - (module, shape-signature) -> Plan, with a negative
+//                   cache for shapes that fail to record and a metadata
+//                   side-channel so callers can also skip re-deriving
+//                   packing layouts on hits.
+//
+// Slot classification during recording:
+//   input - external matrices the caller passes to Execute (registered
+//           explicitly before recording);
+//   param - leaves with requires_grad (module weights); views are
+//           re-read from the live node on every Execute, so in-place
+//           weight loads keep cached plans valid;
+//   const - any other unknown leaf (masks, biases, zero rows). Captured
+//           by value: sound because the cache key pins the full shape
+//           signature that determined them;
+//   temp  - recorded op outputs, placed in the arena by a greedy
+//           interval-coloring pass (memonger idiom): a buffer is reused
+//           as soon as its previous owner's last consumer has run.
+//
+// Parity guarantee: plan replay runs the same registered kernels over the
+// same values in the same order as the eager pass that recorded it, so
+// plan-mode inference is bit-identical to eager mode (golden fixture and
+// plan_test enforce this).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "nn/batch.h"
+#include "nn/op_registry.h"
+#include "nn/variable.h"
+
+namespace lead::nn {
+
+class PlanRecorder;
+
+class Plan {
+ public:
+  struct Stats {
+    size_t arena_bytes = 0;  // pooled temp arena footprint per context
+    int num_steps = 0;
+    int num_slots = 0;
+    int num_temps = 0;    // temp slots sharing...
+    int num_buffers = 0;  // ...this many arena buffers
+    int num_inputs = 0;
+  };
+
+  // Replays the schedule against `inputs` (same order and shapes as
+  // registered at record time) and copies the root value into *out.
+  // Thread-safe; each concurrent call borrows a pooled context.
+  void Execute(const std::vector<const Matrix*>& inputs, Matrix* out) const;
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  friend class PlanRecorder;
+
+  enum class SlotKind : uint8_t { kInput, kParam, kConst, kTemp };
+
+  struct Slot {
+    SlotKind kind = SlotKind::kTemp;
+    int rows = 0;
+    int cols = 0;
+    int index = 0;       // input ordinal / const ordinal
+    size_t offset = 0;   // temp: float offset into the arena
+    // Params keep the weight node alive; its value is re-read per Execute.
+    std::shared_ptr<internal::Node> param;
+  };
+
+  struct Step {
+    OpKernel kernel = nullptr;
+    const char* name = "";  // static storage (op name)
+    std::vector<int> inputs;
+    int output = -1;
+    OpAttrs attrs;
+  };
+
+  // Flattened schedule entry built by Finish: the hot Execute loop reads
+  // only this POD array plus one contiguous per-context input-view table,
+  // so replay pays no nested-vector or per-step view-copy cost.
+  struct StepExec {
+    OpKernel kernel = nullptr;
+    int in_offset = 0;  // into flat_in_slots_ / ExecContext::step_in
+    int num_in = 0;
+    int out_rows = 0;
+    int out_cols = 0;
+    size_t out_offset = 0;           // output's float offset in the arena
+    const OpAttrs* attrs = nullptr;  // borrowed from steps_ (stable)
+  };
+
+  // Per-execution scratch state: the temp arena, the slot-view table, and
+  // the flat per-step input views (temp/const entries are resolved once
+  // at warm-up; input/param entries are patched per call via
+  // in_patches_). Allocated on first use and pooled afterwards.
+  struct ExecContext {
+    std::vector<float> arena;
+    std::vector<TensorView> views;
+    std::vector<TensorView> step_in;  // flat; indexed by StepExec::in_offset
+    bool initialized = false;
+  };
+
+  Plan() = default;
+  std::unique_ptr<ExecContext> AcquireContext() const;
+  void ReleaseContext(std::unique_ptr<ExecContext> context) const;
+
+  // A step_in entry that references a refreshed (input/param) slot and
+  // must be re-pointed on every Execute.
+  struct InPatch {
+    int flat_index = 0;
+    int slot = 0;
+  };
+
+  std::vector<Slot> slots_;
+  std::vector<Step> steps_;
+  std::vector<StepExec> exec_steps_;
+  std::vector<int> flat_in_slots_;  // concatenated step input slot ids
+  std::vector<InPatch> in_patches_;
+  std::vector<Matrix> consts_;
+  std::vector<int> refresh_slots_;  // input/param slots re-viewed per call
+  int num_inputs_ = 0;
+  int root_slot_ = -1;
+  size_t arena_floats_ = 0;
+  Stats stats_;
+
+  mutable std::mutex pool_mutex_;
+  mutable std::vector<std::unique_ptr<ExecContext>> pool_;
+};
+
+// Passive tape observer, active on the constructing thread until
+// destruction. Must be constructed under NoGradGuard (recording is an
+// inference pass) and must not nest.
+class PlanRecorder {
+ public:
+  PlanRecorder();
+  ~PlanRecorder();
+  PlanRecorder(const PlanRecorder&) = delete;
+  PlanRecorder& operator=(const PlanRecorder&) = delete;
+
+  // The recorder active on this thread, or nullptr.
+  static PlanRecorder* Active();
+
+  // Declares an external backing matrix as the next Execute input; spans
+  // packed from it (PackViews) record as PackRows steps. Returns the
+  // input ordinal.
+  int RegisterInputMatrix(const Matrix* matrix);
+  // As above, but also wraps the input in a constant Variable for ops
+  // that consume the matrix directly.
+  Variable MakeInput(const Matrix& matrix);
+
+  // Marks the recorded value that Execute must produce.
+  void SetRoot(const Variable& root);
+
+  // Aborts the recording (unsupported structure); Finish will fail and
+  // the caller falls back to the eager path for this key.
+  void Invalidate(const char* reason);
+  [[nodiscard]] bool failed() const { return failed_; }
+  [[nodiscard]] const char* fail_reason() const { return fail_reason_; }
+
+  // Compiles the recording into an immutable Plan; nullptr when the
+  // recording was invalidated or the root was never set/recorded.
+  std::shared_ptr<const Plan> Finish();
+
+  // Tape hooks (called via plan_internal; not for direct use).
+  void RecordOp(const char* name, const Variable* const* inputs,
+                int num_inputs, const Variable& out, const OpAttrs& attrs);
+  void RecordPack(const Matrix* source, std::vector<int> rows,
+                  const Variable& out);
+
+ private:
+  int SlotOfValue(const Variable& v);
+  int NewSlot(Plan::Slot slot);
+  void AppendStep(const char* name, std::vector<int> in_slots,
+                  const Variable& out, OpAttrs attrs);
+
+  std::unique_ptr<Plan> plan_;
+  std::map<const internal::Node*, int> node_slots_;
+  std::map<const Matrix*, int> matrix_slots_;
+  std::vector<int> def_step_;   // per slot; -1 for non-temps
+  std::vector<int> last_step_;  // per slot; last consuming step
+  // Pins every touched node for the duration of the recording so node /
+  // matrix addresses in the maps above cannot be reused mid-recording.
+  std::vector<std::shared_ptr<internal::Node>> retained_;
+  bool failed_ = false;
+  const char* fail_reason_ = "";
+};
+
+// Key helpers: binary-append signature integers / module pointers onto a
+// std::string key (std::map keys are binary-safe and deterministic).
+void AppendKeyInt(std::string* key, int64_t value);
+std::string PlanKeyRoot(const char* tag, const void* module);
+
+class PlanCache {
+ public:
+  struct Entry {
+    std::shared_ptr<const Plan> plan;
+    // Caller-owned packing metadata captured at record time (e.g. the
+    // detector's subgroup gather order), so cache hits also skip
+    // re-deriving bucket packing.
+    std::vector<int> meta;
+  };
+
+  // Computes the value eagerly under a fresh recorder and returns the
+  // recorded metadata. Must not re-enter the cache.
+  using RecordFn = std::function<Variable(std::vector<int>* meta)>;
+
+  // On a hit: returns the entry, *was_hit = true (recorded_out untouched).
+  // On a miss: runs `record`, fills *recorded_out with the eagerly
+  // computed value, and returns the new entry — or nullptr when the
+  // recording failed (the key is then negative-cached; later calls
+  // return nullptr without running `record` or touching *recorded_out).
+  std::shared_ptr<const Entry> GetOrRecord(const std::string& key,
+                                           const RecordFn& record,
+                                           Matrix* recorded_out,
+                                           bool* was_hit);
+
+  // Drops every cached plan and negative entry. Call whenever module
+  // identities change (model Load / checkpoint resume).
+  void Clear();
+
+  [[nodiscard]] size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<const Entry>> entries_;
+  std::set<std::string> failed_keys_;
+  size_t arena_bytes_total_ = 0;
+};
+
+namespace plan_internal {
+
+extern thread_local PlanRecorder* g_active_recorder;
+
+// One-branch hot-path check used by every eager op.
+inline bool RecorderActive() { return g_active_recorder != nullptr; }
+
+// Appends a recorded step for an eager op application (no-op when no
+// recorder is active on this thread).
+inline void MaybeRecord(const char* name,
+                        std::initializer_list<const Variable*> inputs,
+                        const Variable& out, const OpAttrs& attrs) {
+  if (g_active_recorder == nullptr) return;
+  g_active_recorder->RecordOp(name, inputs.begin(),
+                              static_cast<int>(inputs.size()), out, attrs);
+}
+void MaybeRecordMany(const char* name, const std::vector<Variable>& inputs,
+                     const Variable& out, const OpAttrs& attrs);
+
+// PackViews hook (batch.cc): records the span copies of a packed batch
+// as PackRows steps when every span resolves to one recorder-known
+// source matrix; otherwise invalidates the recording.
+void MaybeRecordPackedBatch(const std::vector<SeqView>& views,
+                            const StepBatch& packed);
+
+}  // namespace plan_internal
+
+}  // namespace lead::nn

@@ -1,0 +1,284 @@
+// AVX2 GEMM microkernels. This file is the only translation unit compiled
+// with -mavx2 (see src/nn/CMakeLists.txt), and with -ffp-contract=off and
+// never -mfma: the scalar reference path rounds each product before
+// accumulating, and a fused multiply-add would change that rounding and
+// break the repo-wide bit-parity contracts (golden fixtures, plan/eager
+// parity). _mm256_mul_ps + _mm256_add_ps reproduce the scalar sequence
+// exactly, lane by lane.
+//
+// Loop order is column-strip-outer: one 8/16-column strip of `b`
+// (k rows x strip width) stays hot in L1 while every output row block
+// accumulates against it. The dominant detector/autoencoder shapes have
+// k*n up to 64x256 (64 KiB), so streaming `b` once per strip instead of
+// once per 4-row block is the difference between L1 and L2 feeding the
+// inner loop. Within one output element nothing reorders: products still
+// accumulate over p = 0..k-1 in sequence, each rounded, then added.
+#include "nn/simd_gemm.h"
+
+#include <cstddef>
+
+#include "common/check.h"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace lead::nn::internal {
+
+#if defined(__AVX2__)
+
+bool GemmAvx2Available() {
+  static const bool supported = __builtin_cpu_supports("avx2") != 0;
+  return supported;
+}
+
+namespace {
+
+// kAccumulate selects out += a*b vs out = a*b. The overwrite variant
+// starts the register accumulators at zero — bit-identical to
+// accumulating into a zero-filled buffer, minus the fill and reload.
+template <bool kAccumulate>
+void GemmAvx2Impl(const float* a, const float* b, float* out, int m, int k,
+                  int n) {
+  auto row_of = [](const float* base, int r, int stride) {
+    return base + static_cast<size_t>(r) * static_cast<size_t>(stride);
+  };
+  int j = 0;
+  for (; j + 16 <= n; j += 16) {
+    int i = 0;
+    for (; i + 4 <= m; i += 4) {
+      const float* a0 = row_of(a, i, k);
+      const float* a1 = row_of(a, i + 1, k);
+      const float* a2 = row_of(a, i + 2, k);
+      const float* a3 = row_of(a, i + 3, k);
+      float* o0 = out + static_cast<size_t>(i) * static_cast<size_t>(n) + j;
+      float* o1 = o0 + n;
+      float* o2 = o1 + n;
+      float* o3 = o2 + n;
+      __m256 c00 = kAccumulate ? _mm256_loadu_ps(o0) : _mm256_setzero_ps();
+      __m256 c01 =
+          kAccumulate ? _mm256_loadu_ps(o0 + 8) : _mm256_setzero_ps();
+      __m256 c10 = kAccumulate ? _mm256_loadu_ps(o1) : _mm256_setzero_ps();
+      __m256 c11 =
+          kAccumulate ? _mm256_loadu_ps(o1 + 8) : _mm256_setzero_ps();
+      __m256 c20 = kAccumulate ? _mm256_loadu_ps(o2) : _mm256_setzero_ps();
+      __m256 c21 =
+          kAccumulate ? _mm256_loadu_ps(o2 + 8) : _mm256_setzero_ps();
+      __m256 c30 = kAccumulate ? _mm256_loadu_ps(o3) : _mm256_setzero_ps();
+      __m256 c31 =
+          kAccumulate ? _mm256_loadu_ps(o3 + 8) : _mm256_setzero_ps();
+      const float* bp = b + j;
+      for (int p = 0; p < k; ++p, bp += n) {
+        const __m256 b0 = _mm256_loadu_ps(bp);
+        const __m256 b1 = _mm256_loadu_ps(bp + 8);
+        __m256 va = _mm256_set1_ps(a0[p]);
+        c00 = _mm256_add_ps(c00, _mm256_mul_ps(va, b0));
+        c01 = _mm256_add_ps(c01, _mm256_mul_ps(va, b1));
+        va = _mm256_set1_ps(a1[p]);
+        c10 = _mm256_add_ps(c10, _mm256_mul_ps(va, b0));
+        c11 = _mm256_add_ps(c11, _mm256_mul_ps(va, b1));
+        va = _mm256_set1_ps(a2[p]);
+        c20 = _mm256_add_ps(c20, _mm256_mul_ps(va, b0));
+        c21 = _mm256_add_ps(c21, _mm256_mul_ps(va, b1));
+        va = _mm256_set1_ps(a3[p]);
+        c30 = _mm256_add_ps(c30, _mm256_mul_ps(va, b0));
+        c31 = _mm256_add_ps(c31, _mm256_mul_ps(va, b1));
+      }
+      _mm256_storeu_ps(o0, c00);
+      _mm256_storeu_ps(o0 + 8, c01);
+      _mm256_storeu_ps(o1, c10);
+      _mm256_storeu_ps(o1 + 8, c11);
+      _mm256_storeu_ps(o2, c20);
+      _mm256_storeu_ps(o2 + 8, c21);
+      _mm256_storeu_ps(o3, c30);
+      _mm256_storeu_ps(o3 + 8, c31);
+    }
+    for (; i < m; ++i) {
+      const float* ai = row_of(a, i, k);
+      float* oi = out + static_cast<size_t>(i) * static_cast<size_t>(n) + j;
+      __m256 c0 = kAccumulate ? _mm256_loadu_ps(oi) : _mm256_setzero_ps();
+      __m256 c1 =
+          kAccumulate ? _mm256_loadu_ps(oi + 8) : _mm256_setzero_ps();
+      const float* bp = b + j;
+      for (int p = 0; p < k; ++p, bp += n) {
+        const __m256 va = _mm256_set1_ps(ai[p]);
+        c0 = _mm256_add_ps(c0, _mm256_mul_ps(va, _mm256_loadu_ps(bp)));
+        c1 = _mm256_add_ps(c1, _mm256_mul_ps(va, _mm256_loadu_ps(bp + 8)));
+      }
+      _mm256_storeu_ps(oi, c0);
+      _mm256_storeu_ps(oi + 8, c1);
+    }
+  }
+  for (; j + 8 <= n; j += 8) {
+    int i = 0;
+    for (; i + 4 <= m; i += 4) {
+      const float* a0 = row_of(a, i, k);
+      const float* a1 = row_of(a, i + 1, k);
+      const float* a2 = row_of(a, i + 2, k);
+      const float* a3 = row_of(a, i + 3, k);
+      float* o0 = out + static_cast<size_t>(i) * static_cast<size_t>(n) + j;
+      float* o1 = o0 + n;
+      float* o2 = o1 + n;
+      float* o3 = o2 + n;
+      __m256 c0 = kAccumulate ? _mm256_loadu_ps(o0) : _mm256_setzero_ps();
+      __m256 c1 = kAccumulate ? _mm256_loadu_ps(o1) : _mm256_setzero_ps();
+      __m256 c2 = kAccumulate ? _mm256_loadu_ps(o2) : _mm256_setzero_ps();
+      __m256 c3 = kAccumulate ? _mm256_loadu_ps(o3) : _mm256_setzero_ps();
+      const float* bp = b + j;
+      for (int p = 0; p < k; ++p, bp += n) {
+        const __m256 bv = _mm256_loadu_ps(bp);
+        c0 = _mm256_add_ps(c0, _mm256_mul_ps(_mm256_set1_ps(a0[p]), bv));
+        c1 = _mm256_add_ps(c1, _mm256_mul_ps(_mm256_set1_ps(a1[p]), bv));
+        c2 = _mm256_add_ps(c2, _mm256_mul_ps(_mm256_set1_ps(a2[p]), bv));
+        c3 = _mm256_add_ps(c3, _mm256_mul_ps(_mm256_set1_ps(a3[p]), bv));
+      }
+      _mm256_storeu_ps(o0, c0);
+      _mm256_storeu_ps(o1, c1);
+      _mm256_storeu_ps(o2, c2);
+      _mm256_storeu_ps(o3, c3);
+    }
+    for (; i < m; ++i) {
+      const float* ai = row_of(a, i, k);
+      float* oi = out + static_cast<size_t>(i) * static_cast<size_t>(n) + j;
+      __m256 c = kAccumulate ? _mm256_loadu_ps(oi) : _mm256_setzero_ps();
+      const float* bp = b + j;
+      for (int p = 0; p < k; ++p, bp += n) {
+        c = _mm256_add_ps(c, _mm256_mul_ps(_mm256_set1_ps(ai[p]),
+                                           _mm256_loadu_ps(bp)));
+      }
+      _mm256_storeu_ps(oi, c);
+    }
+  }
+  for (; j < n; ++j) {
+    int i = 0;
+    for (; i + 4 <= m; i += 4) {
+      const float* a0 = row_of(a, i, k);
+      const float* a1 = row_of(a, i + 1, k);
+      const float* a2 = row_of(a, i + 2, k);
+      const float* a3 = row_of(a, i + 3, k);
+      float* o0 = out + static_cast<size_t>(i) * static_cast<size_t>(n) + j;
+      float* o1 = o0 + n;
+      float* o2 = o1 + n;
+      float* o3 = o2 + n;
+      float c0 = kAccumulate ? *o0 : 0.0f;
+      float c1 = kAccumulate ? *o1 : 0.0f;
+      float c2 = kAccumulate ? *o2 : 0.0f;
+      float c3 = kAccumulate ? *o3 : 0.0f;
+      const float* bp = b + j;
+      for (int p = 0; p < k; ++p, bp += n) {
+        const float bj = *bp;
+        c0 += a0[p] * bj;
+        c1 += a1[p] * bj;
+        c2 += a2[p] * bj;
+        c3 += a3[p] * bj;
+      }
+      *o0 = c0;
+      *o1 = c1;
+      *o2 = c2;
+      *o3 = c3;
+    }
+    for (; i < m; ++i) {
+      const float* ai = row_of(a, i, k);
+      float* oi = out + static_cast<size_t>(i) * static_cast<size_t>(n) + j;
+      float c = kAccumulate ? *oi : 0.0f;
+      const float* bp = b + j;
+      for (int p = 0; p < k; ++p, bp += n) {
+        c += ai[p] * *bp;
+      }
+      *oi = c;
+    }
+  }
+}
+
+}  // namespace
+
+void GemmAccumulateRawAvx2(const float* a, const float* b, float* out,
+                           int m, int k, int n) {
+  GemmAvx2Impl<true>(a, b, out, m, k, n);
+}
+
+void GemmOverwriteRawAvx2(const float* a, const float* b, float* out,
+                          int m, int k, int n) {
+  GemmAvx2Impl<false>(a, b, out, m, k, n);
+}
+
+void EwAddAvx2(const float* a, const float* b, float* out, int n) {
+  int i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(out + i, _mm256_add_ps(_mm256_loadu_ps(a + i),
+                                            _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+void EwAddBiasRowAvx2(const float* a, const float* brow, float* out,
+                      int rows, int cols) {
+  for (int r = 0; r < rows; ++r) {
+    const float* arow = a + static_cast<size_t>(r) * static_cast<size_t>(cols);
+    float* orow = out + static_cast<size_t>(r) * static_cast<size_t>(cols);
+    int c = 0;
+    for (; c + 8 <= cols; c += 8) {
+      _mm256_storeu_ps(orow + c, _mm256_add_ps(_mm256_loadu_ps(arow + c),
+                                               _mm256_loadu_ps(brow + c)));
+    }
+    for (; c < cols; ++c) orow[c] = arow[c] + brow[c];
+  }
+}
+
+void EwMulAvx2(const float* a, const float* b, float* out, int n) {
+  int i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(out + i, _mm256_mul_ps(_mm256_loadu_ps(a + i),
+                                            _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) out[i] = a[i] * b[i];
+}
+
+void EwScaleRowsAvx2(const float* a, const float* s, float* out, int rows,
+                     int cols) {
+  for (int r = 0; r < rows; ++r) {
+    const float* arow = a + static_cast<size_t>(r) * static_cast<size_t>(cols);
+    float* orow = out + static_cast<size_t>(r) * static_cast<size_t>(cols);
+    const __m256 sv = _mm256_set1_ps(s[r]);
+    int c = 0;
+    for (; c + 8 <= cols; c += 8) {
+      _mm256_storeu_ps(orow + c, _mm256_mul_ps(_mm256_loadu_ps(arow + c),
+                                               sv));
+    }
+    for (; c < cols; ++c) orow[c] = arow[c] * s[r];
+  }
+}
+
+#else  // !defined(__AVX2__)
+
+bool GemmAvx2Available() { return false; }
+
+void GemmAccumulateRawAvx2(const float*, const float*, float*, int, int,
+                           int) {
+  LEAD_CHECK(false);  // dispatch bug: called without AVX2 support
+}
+
+void GemmOverwriteRawAvx2(const float*, const float*, float*, int, int,
+                          int) {
+  LEAD_CHECK(false);  // dispatch bug: called without AVX2 support
+}
+
+void EwAddAvx2(const float*, const float*, float*, int) {
+  LEAD_CHECK(false);  // dispatch bug: called without AVX2 support
+}
+
+void EwAddBiasRowAvx2(const float*, const float*, float*, int, int) {
+  LEAD_CHECK(false);  // dispatch bug: called without AVX2 support
+}
+
+void EwMulAvx2(const float*, const float*, float*, int) {
+  LEAD_CHECK(false);  // dispatch bug: called without AVX2 support
+}
+
+void EwScaleRowsAvx2(const float*, const float*, float*, int, int) {
+  LEAD_CHECK(false);  // dispatch bug: called without AVX2 support
+}
+
+#endif
+
+}  // namespace lead::nn::internal

@@ -1,0 +1,61 @@
+// Runtime-dispatched SIMD microkernels for the GEMM accumulate loop.
+//
+// The AVX2 path widens the scalar kernel's inner j-loop to 8 lanes (the
+// AVX-512 path to 16) while keeping bit-identical results: every output
+// element still accumulates its k-products in the same order with the
+// same mul-then-add rounding. Each implementation file is the only
+// translation unit compiled with its ISA flag and never with -mfma, so
+// no contraction can fuse the rounding steps. matrix.cc's
+// GemmAccumulateRaw dispatches here once per process based on cached
+// CPUID checks (widest first); non-x86 builds compile stubs that report
+// the paths unavailable.
+#pragma once
+
+namespace lead::nn::internal {
+
+// True when this build and the running CPU support the AVX2 path.
+bool GemmAvx2Available();
+
+// out[m x n] += a[m x k] * b[k x n], AVX2 8-wide. Call only when
+// GemmAvx2Available() returned true.
+void GemmAccumulateRawAvx2(const float* a, const float* b, float* out,
+                           int m, int k, int n);
+
+// out[m x n] = a[m x k] * b[k x n] (overwrite), AVX2 8-wide. Call only
+// when GemmAvx2Available() returned true.
+void GemmOverwriteRawAvx2(const float* a, const float* b, float* out,
+                          int m, int k, int n);
+
+// True when this build and the running CPU support the AVX-512 path.
+bool GemmAvx512Available();
+
+// out[m x n] += a[m x k] * b[k x n], AVX-512 16-wide. Call only when
+// GemmAvx512Available() returned true.
+void GemmAccumulateRawAvx512(const float* a, const float* b, float* out,
+                             int m, int k, int n);
+
+// out[m x n] = a[m x k] * b[k x n] (overwrite), AVX-512 16-wide. Call
+// only when GemmAvx512Available() returned true.
+void GemmOverwriteRawAvx512(const float* a, const float* b, float* out,
+                            int m, int k, int n);
+
+// Elementwise companions, same dispatch contract as the GEMM paths.
+// These are pure lane operations (no reductions, no reassociation), so
+// any vector width produces the scalar loop's bits. out[i] = a[i] + b[i].
+void EwAddAvx2(const float* a, const float* b, float* out, int n);
+void EwAddAvx512(const float* a, const float* b, float* out, int n);
+// out row r = a row r + brow (a [rows x cols], brow [1 x cols]).
+void EwAddBiasRowAvx2(const float* a, const float* brow, float* out,
+                      int rows, int cols);
+void EwAddBiasRowAvx512(const float* a, const float* brow, float* out,
+                        int rows, int cols);
+// out[i] = a[i] * b[i].
+void EwMulAvx2(const float* a, const float* b, float* out, int n);
+void EwMulAvx512(const float* a, const float* b, float* out, int n);
+// out row r = a row r * s[r] (s [rows x 1]).
+void EwScaleRowsAvx2(const float* a, const float* s, float* out, int rows,
+                     int cols);
+void EwScaleRowsAvx512(const float* a, const float* s, float* out,
+                       int rows, int cols);
+
+}  // namespace lead::nn::internal

@@ -1,0 +1,283 @@
+// AVX-512 GEMM microkernels. This file is the only translation unit
+// compiled with -mavx512f (see src/nn/CMakeLists.txt) so the AVX2 and
+// scalar paths never pick up EVEX encodings. It is also compiled with
+// -ffp-contract=off, which here is not optional hygiene: 512-bit FMA is
+// part of AVX512F itself (no -mfma needed), so without that flag the
+// compiler may contract the mul+add intrinsic pairs below into vfmadd
+// and change rounding, breaking the repo-wide bit-parity contracts.
+// _mm512_mul_ps + _mm512_add_ps reproduce the scalar sequence exactly,
+// lane by lane.
+//
+// Same column-strip-outer loop order as the AVX2 file: one 16/32-column
+// strip of `b` stays hot in L1 while every output row block accumulates
+// against it, and output tiles live in registers from first product to
+// final store.
+#include "nn/simd_gemm.h"
+
+#include <cstddef>
+
+#include "common/check.h"
+
+#if defined(__AVX512F__)
+#include <immintrin.h>
+#endif
+
+namespace lead::nn::internal {
+
+#if defined(__AVX512F__)
+
+bool GemmAvx512Available() {
+  static const bool supported = __builtin_cpu_supports("avx512f") != 0;
+  return supported;
+}
+
+namespace {
+
+// kAccumulate selects out += a*b vs out = a*b. The overwrite variant
+// starts the register accumulators at zero — bit-identical to
+// accumulating into a zero-filled buffer, minus the fill and reload.
+template <bool kAccumulate>
+void GemmAvx512Impl(const float* a, const float* b, float* out, int m,
+                    int k, int n) {
+  auto row_of = [](const float* base, int r, int stride) {
+    return base + static_cast<size_t>(r) * static_cast<size_t>(stride);
+  };
+  int j = 0;
+  for (; j + 32 <= n; j += 32) {
+    int i = 0;
+    for (; i + 4 <= m; i += 4) {
+      const float* a0 = row_of(a, i, k);
+      const float* a1 = row_of(a, i + 1, k);
+      const float* a2 = row_of(a, i + 2, k);
+      const float* a3 = row_of(a, i + 3, k);
+      float* o0 = out + static_cast<size_t>(i) * static_cast<size_t>(n) + j;
+      float* o1 = o0 + n;
+      float* o2 = o1 + n;
+      float* o3 = o2 + n;
+      __m512 c00 = kAccumulate ? _mm512_loadu_ps(o0) : _mm512_setzero_ps();
+      __m512 c01 =
+          kAccumulate ? _mm512_loadu_ps(o0 + 16) : _mm512_setzero_ps();
+      __m512 c10 = kAccumulate ? _mm512_loadu_ps(o1) : _mm512_setzero_ps();
+      __m512 c11 =
+          kAccumulate ? _mm512_loadu_ps(o1 + 16) : _mm512_setzero_ps();
+      __m512 c20 = kAccumulate ? _mm512_loadu_ps(o2) : _mm512_setzero_ps();
+      __m512 c21 =
+          kAccumulate ? _mm512_loadu_ps(o2 + 16) : _mm512_setzero_ps();
+      __m512 c30 = kAccumulate ? _mm512_loadu_ps(o3) : _mm512_setzero_ps();
+      __m512 c31 =
+          kAccumulate ? _mm512_loadu_ps(o3 + 16) : _mm512_setzero_ps();
+      const float* bp = b + j;
+      for (int p = 0; p < k; ++p, bp += n) {
+        const __m512 b0 = _mm512_loadu_ps(bp);
+        const __m512 b1 = _mm512_loadu_ps(bp + 16);
+        __m512 va = _mm512_set1_ps(a0[p]);
+        c00 = _mm512_add_ps(c00, _mm512_mul_ps(va, b0));
+        c01 = _mm512_add_ps(c01, _mm512_mul_ps(va, b1));
+        va = _mm512_set1_ps(a1[p]);
+        c10 = _mm512_add_ps(c10, _mm512_mul_ps(va, b0));
+        c11 = _mm512_add_ps(c11, _mm512_mul_ps(va, b1));
+        va = _mm512_set1_ps(a2[p]);
+        c20 = _mm512_add_ps(c20, _mm512_mul_ps(va, b0));
+        c21 = _mm512_add_ps(c21, _mm512_mul_ps(va, b1));
+        va = _mm512_set1_ps(a3[p]);
+        c30 = _mm512_add_ps(c30, _mm512_mul_ps(va, b0));
+        c31 = _mm512_add_ps(c31, _mm512_mul_ps(va, b1));
+      }
+      _mm512_storeu_ps(o0, c00);
+      _mm512_storeu_ps(o0 + 16, c01);
+      _mm512_storeu_ps(o1, c10);
+      _mm512_storeu_ps(o1 + 16, c11);
+      _mm512_storeu_ps(o2, c20);
+      _mm512_storeu_ps(o2 + 16, c21);
+      _mm512_storeu_ps(o3, c30);
+      _mm512_storeu_ps(o3 + 16, c31);
+    }
+    for (; i < m; ++i) {
+      const float* ai = row_of(a, i, k);
+      float* oi = out + static_cast<size_t>(i) * static_cast<size_t>(n) + j;
+      __m512 c0 = kAccumulate ? _mm512_loadu_ps(oi) : _mm512_setzero_ps();
+      __m512 c1 =
+          kAccumulate ? _mm512_loadu_ps(oi + 16) : _mm512_setzero_ps();
+      const float* bp = b + j;
+      for (int p = 0; p < k; ++p, bp += n) {
+        const __m512 va = _mm512_set1_ps(ai[p]);
+        c0 = _mm512_add_ps(c0, _mm512_mul_ps(va, _mm512_loadu_ps(bp)));
+        c1 = _mm512_add_ps(c1, _mm512_mul_ps(va, _mm512_loadu_ps(bp + 16)));
+      }
+      _mm512_storeu_ps(oi, c0);
+      _mm512_storeu_ps(oi + 16, c1);
+    }
+  }
+  for (; j + 16 <= n; j += 16) {
+    int i = 0;
+    for (; i + 4 <= m; i += 4) {
+      const float* a0 = row_of(a, i, k);
+      const float* a1 = row_of(a, i + 1, k);
+      const float* a2 = row_of(a, i + 2, k);
+      const float* a3 = row_of(a, i + 3, k);
+      float* o0 = out + static_cast<size_t>(i) * static_cast<size_t>(n) + j;
+      float* o1 = o0 + n;
+      float* o2 = o1 + n;
+      float* o3 = o2 + n;
+      __m512 c0 = kAccumulate ? _mm512_loadu_ps(o0) : _mm512_setzero_ps();
+      __m512 c1 = kAccumulate ? _mm512_loadu_ps(o1) : _mm512_setzero_ps();
+      __m512 c2 = kAccumulate ? _mm512_loadu_ps(o2) : _mm512_setzero_ps();
+      __m512 c3 = kAccumulate ? _mm512_loadu_ps(o3) : _mm512_setzero_ps();
+      const float* bp = b + j;
+      for (int p = 0; p < k; ++p, bp += n) {
+        const __m512 bv = _mm512_loadu_ps(bp);
+        c0 = _mm512_add_ps(c0, _mm512_mul_ps(_mm512_set1_ps(a0[p]), bv));
+        c1 = _mm512_add_ps(c1, _mm512_mul_ps(_mm512_set1_ps(a1[p]), bv));
+        c2 = _mm512_add_ps(c2, _mm512_mul_ps(_mm512_set1_ps(a2[p]), bv));
+        c3 = _mm512_add_ps(c3, _mm512_mul_ps(_mm512_set1_ps(a3[p]), bv));
+      }
+      _mm512_storeu_ps(o0, c0);
+      _mm512_storeu_ps(o1, c1);
+      _mm512_storeu_ps(o2, c2);
+      _mm512_storeu_ps(o3, c3);
+    }
+    for (; i < m; ++i) {
+      const float* ai = row_of(a, i, k);
+      float* oi = out + static_cast<size_t>(i) * static_cast<size_t>(n) + j;
+      __m512 c = kAccumulate ? _mm512_loadu_ps(oi) : _mm512_setzero_ps();
+      const float* bp = b + j;
+      for (int p = 0; p < k; ++p, bp += n) {
+        c = _mm512_add_ps(c, _mm512_mul_ps(_mm512_set1_ps(ai[p]),
+                                           _mm512_loadu_ps(bp)));
+      }
+      _mm512_storeu_ps(oi, c);
+    }
+  }
+  for (; j < n; ++j) {
+    int i = 0;
+    for (; i + 4 <= m; i += 4) {
+      const float* a0 = row_of(a, i, k);
+      const float* a1 = row_of(a, i + 1, k);
+      const float* a2 = row_of(a, i + 2, k);
+      const float* a3 = row_of(a, i + 3, k);
+      float* o0 = out + static_cast<size_t>(i) * static_cast<size_t>(n) + j;
+      float* o1 = o0 + n;
+      float* o2 = o1 + n;
+      float* o3 = o2 + n;
+      float c0 = kAccumulate ? *o0 : 0.0f;
+      float c1 = kAccumulate ? *o1 : 0.0f;
+      float c2 = kAccumulate ? *o2 : 0.0f;
+      float c3 = kAccumulate ? *o3 : 0.0f;
+      const float* bp = b + j;
+      for (int p = 0; p < k; ++p, bp += n) {
+        const float bj = *bp;
+        c0 += a0[p] * bj;
+        c1 += a1[p] * bj;
+        c2 += a2[p] * bj;
+        c3 += a3[p] * bj;
+      }
+      *o0 = c0;
+      *o1 = c1;
+      *o2 = c2;
+      *o3 = c3;
+    }
+    for (; i < m; ++i) {
+      const float* ai = row_of(a, i, k);
+      float* oi = out + static_cast<size_t>(i) * static_cast<size_t>(n) + j;
+      float c = kAccumulate ? *oi : 0.0f;
+      const float* bp = b + j;
+      for (int p = 0; p < k; ++p, bp += n) {
+        c += ai[p] * *bp;
+      }
+      *oi = c;
+    }
+  }
+}
+
+}  // namespace
+
+void GemmAccumulateRawAvx512(const float* a, const float* b, float* out,
+                             int m, int k, int n) {
+  GemmAvx512Impl<true>(a, b, out, m, k, n);
+}
+
+void GemmOverwriteRawAvx512(const float* a, const float* b, float* out,
+                            int m, int k, int n) {
+  GemmAvx512Impl<false>(a, b, out, m, k, n);
+}
+
+void EwAddAvx512(const float* a, const float* b, float* out, int n) {
+  int i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(out + i, _mm512_add_ps(_mm512_loadu_ps(a + i),
+                                            _mm512_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+void EwAddBiasRowAvx512(const float* a, const float* brow, float* out,
+                        int rows, int cols) {
+  for (int r = 0; r < rows; ++r) {
+    const float* arow = a + static_cast<size_t>(r) * static_cast<size_t>(cols);
+    float* orow = out + static_cast<size_t>(r) * static_cast<size_t>(cols);
+    int c = 0;
+    for (; c + 16 <= cols; c += 16) {
+      _mm512_storeu_ps(orow + c, _mm512_add_ps(_mm512_loadu_ps(arow + c),
+                                               _mm512_loadu_ps(brow + c)));
+    }
+    for (; c < cols; ++c) orow[c] = arow[c] + brow[c];
+  }
+}
+
+void EwMulAvx512(const float* a, const float* b, float* out, int n) {
+  int i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(out + i, _mm512_mul_ps(_mm512_loadu_ps(a + i),
+                                            _mm512_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) out[i] = a[i] * b[i];
+}
+
+void EwScaleRowsAvx512(const float* a, const float* s, float* out,
+                       int rows, int cols) {
+  for (int r = 0; r < rows; ++r) {
+    const float* arow = a + static_cast<size_t>(r) * static_cast<size_t>(cols);
+    float* orow = out + static_cast<size_t>(r) * static_cast<size_t>(cols);
+    const __m512 sv = _mm512_set1_ps(s[r]);
+    int c = 0;
+    for (; c + 16 <= cols; c += 16) {
+      _mm512_storeu_ps(orow + c, _mm512_mul_ps(_mm512_loadu_ps(arow + c),
+                                               sv));
+    }
+    for (; c < cols; ++c) orow[c] = arow[c] * s[r];
+  }
+}
+
+#else  // !defined(__AVX512F__)
+
+bool GemmAvx512Available() { return false; }
+
+void GemmAccumulateRawAvx512(const float*, const float*, float*, int, int,
+                             int) {
+  LEAD_CHECK(false);  // dispatch bug: called without AVX-512 support
+}
+
+void GemmOverwriteRawAvx512(const float*, const float*, float*, int, int,
+                            int) {
+  LEAD_CHECK(false);  // dispatch bug: called without AVX-512 support
+}
+
+void EwAddAvx512(const float*, const float*, float*, int) {
+  LEAD_CHECK(false);  // dispatch bug: called without AVX-512 support
+}
+
+void EwAddBiasRowAvx512(const float*, const float*, float*, int, int) {
+  LEAD_CHECK(false);  // dispatch bug: called without AVX-512 support
+}
+
+void EwMulAvx512(const float*, const float*, float*, int) {
+  LEAD_CHECK(false);  // dispatch bug: called without AVX-512 support
+}
+
+void EwScaleRowsAvx512(const float*, const float*, float*, int, int) {
+  LEAD_CHECK(false);  // dispatch bug: called without AVX-512 support
+}
+
+#endif
+
+}  // namespace lead::nn::internal

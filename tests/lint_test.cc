@@ -76,7 +76,17 @@ TEST_F(LintTest, EveryRuleFiresOnItsFixture) {
   ExpectViolation("bad_raw_new.cc", "raw-new", 2);
   ExpectViolation("bad_raw_delete.cc", "raw-delete", 2);
   ExpectViolation("bad_float_eq.cc", "float-eq", 3);
+  ExpectViolation("bad_matrix_in_kernel.cc", "matrix-in-kernel", 23);
   ExpectViolation("bad_pragma_once.h", "pragma-once", 1);
+}
+
+TEST_F(LintTest, MatrixInKernelSparesNonKernelsAndAllowedLines) {
+  // The fixture's allow-marked kernel (line 28) and its plain helper
+  // (line 35) must not be reported; only the bare kernel temp is.
+  std::string out;
+  EXPECT_EQ(LintFixture("bad_matrix_in_kernel.cc", &out), 1);
+  EXPECT_EQ(out.find(":28 "), std::string::npos) << out;
+  EXPECT_EQ(out.find(":35 "), std::string::npos) << out;
 }
 
 TEST_F(LintTest, LibOnlyRulesNeedTheLibFlag) {
@@ -107,7 +117,8 @@ TEST_F(LintTest, ListRulesCoversEveryRule) {
   for (const char* rule :
        {"rand", "raw-rng", "wall-clock", "unordered-iter",
         "discarded-status", "raw-new", "raw-delete", "float-eq",
-        "cout-in-lib", "exit-in-lib", "stderr", "pragma-once"}) {
+        "matrix-in-kernel", "cout-in-lib", "exit-in-lib", "stderr",
+        "pragma-once"}) {
     EXPECT_NE(out.find(rule), std::string::npos) << "missing rule " << rule;
   }
 }

@@ -57,6 +57,8 @@ constexpr RuleInfo kRules[] = {
     {"raw-new", "raw new; use make_unique/make_shared or a container"},
     {"raw-delete", "raw delete; prefer scoped ownership"},
     {"float-eq", "exact floating-point ==/!= comparison"},
+    {"matrix-in-kernel",
+     "Matrix temporary inside a registered operator kernel body"},
     {"cout-in-lib", "std::cout in library code; return data or use Status"},
     {"exit-in-lib", "exit() in library code; return Status instead"},
     {"stderr", "direct stderr output in library code; log via obs/log.h"},
@@ -303,6 +305,7 @@ class FileLinter {
       CheckDiscardedStatus(i);
       CheckRawNewDelete(i);
       CheckFloatEq(i);
+      CheckMatrixInKernel(i);
       if (lib_rules_) CheckLibOnly(i);
     }
     if (IsHeader() && !lexed_->has_pragma_once) {
@@ -523,6 +526,41 @@ class FileLinter {
            "exact floating-point " + Tok(i).text +
                " comparison; use a tolerance or annotate why exactness is "
                "intended");
+  }
+
+  // --- operator kernels ---------------------------------------------------
+
+  // Registered operator kernels — functions taking `const OpCall&` — are
+  // replayed by compiled execution plans whose buffers live in a
+  // pre-planned arena. A Matrix temporary constructed inside a kernel
+  // body heap-allocates on every replay and silently defeats the
+  // allocation-free steady state; kernels must write through the
+  // OpCall's TensorViews instead.
+  void CheckMatrixInKernel(size_t i) {
+    if (Tok(i).kind != Token::kIdent || Tok(i).text != "OpCall") return;
+    if (!Is(i + 1, "&")) return;
+    // Scan to the parameter list's closing paren, then require a body.
+    // Declarations and the `using OpKernel = void (*)(const OpCall&);`
+    // alias hit `;` before any `{` and are skipped.
+    size_t close = i + 2;
+    while (close < Size() && !Is(close, ")") && !Is(close, ";") &&
+           !Is(close, "{")) {
+      ++close;
+    }
+    if (!Is(close, ")")) return;
+    size_t j = close + 1;
+    while (Is(j, "const") || Is(j, "noexcept")) ++j;
+    if (!Is(j, "{")) return;
+    const size_t body_end = MatchingClose(j, "{", "}");
+    for (size_t k = j + 1; k < body_end; ++k) {
+      if (Tok(k).kind == Token::kIdent && Tok(k).text == "Matrix" &&
+          !IsMemberAccess(k)) {
+        Report(Tok(k).line, "matrix-in-kernel",
+               "Matrix temporary inside a registered operator kernel; write "
+               "through the OpCall's TensorViews so plan replay stays "
+               "allocation-free");
+      }
+    }
   }
 
   // --- library-only rules -------------------------------------------------
