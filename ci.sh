@@ -5,7 +5,9 @@
 # promotes -Wshadow/-Wconversion to errors, and clang-tidy when it is on
 # PATH), a -DLEAD_CHECK_SHAPES=ON build running the nn/batch/autograd
 # suites plus the contract death tests, a fault-injection pass (explicit
-# -DLEAD_FAULT_INJECTION=ON build running the robustness suites), an
+# -DLEAD_FAULT_INJECTION=ON build running the robustness and chaos
+# suites, then re-running the env-armed degradation test under each
+# LEAD_FAULT chaos point), an
 # observability pass (the lead and parity suites traced via the
 # LEAD_TRACE_OUT/LEAD_METRICS_OUT env autostart, with the emitted trace
 # checked for every pipeline category and the disabled-span overhead
@@ -62,11 +64,22 @@ done
 echo "=== fault injection: robustness suites with LEAD_FAULT_INJECTION=ON ==="
 cmake -B build-fault -S . -DLEAD_FAULT_INJECTION=ON >/dev/null
 FAULT_TESTS=(serialize_robustness_test resilience_test parallel_parity_test \
-             io_test gpx_test)
+             io_test gpx_test chaos_test)
 cmake --build build-fault -j --target "${FAULT_TESTS[@]}"
 for t in "${FAULT_TESTS[@]}"; do
   echo "--- $t (fault injection) ---"
   "./build-fault/tests/$t"
+done
+
+echo "=== chaos: runtime fault activation via LEAD_FAULT ==="
+# End-to-end check of the env-var chaos path (fault.h): each armed point
+# must degrade the batch gracefully — bounded wall clock, coherent
+# partial results — without a rebuild. The ':0' spec arms persistently.
+for point in io.read.stall io.read.stall:0 pool.task.stall alloc.fail; do
+  echo "--- LEAD_FAULT=$point ---"
+  LEAD_FAULT="$point" LEAD_FAULT_STALL_MS=500 \
+    ./build-fault/tests/chaos_test \
+    --gtest_filter='ChaosDetectTest.EnvArmedFaultsDegradeGracefullyWithinBounds'
 done
 
 echo "=== observability: traced suites via LEAD_TRACE_OUT/LEAD_METRICS_OUT ==="
@@ -127,7 +140,7 @@ cmake -B build-tsan -S . \
   -DCMAKE_CXX_FLAGS="$TSAN_FLAGS" \
   -DCMAKE_EXE_LINKER_FLAGS="$TSAN_FLAGS" >/dev/null
 TSAN_TESTS=(obs_test parallel_parity_test resilience_test poi_test lead_test
-  plan_test)
+  plan_test chaos_test)
 cmake --build build-tsan -j --target "${TSAN_TESTS[@]}"
 for t in "${TSAN_TESTS[@]}"; do
   echo "--- $t (TSan) ---"

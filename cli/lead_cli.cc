@@ -9,7 +9,7 @@
 //       split) and writes the checkpoint to FILE. --threads 0 (default)
 //       uses all hardware threads; any value gives bit-identical results.
 //   lead_cli detect --data DIR --model FILE [--trajectory ID] [--threads N]
-//       [--exec-mode eager|plan]
+//       [--exec-mode eager|plan] [--deadline-ms N] [--memory-budget-mb N]
 //       Detects the loaded trajectory of one trajectory (default: the
 //       first) and prints the candidate distribution. --exec-mode plan
 //       replays compiled per-shape execution plans (bit-identical to
@@ -24,6 +24,14 @@
 // metrics-registry JSON, --log-level error|warn|info|debug sets the
 // library log threshold. Tracing never changes results.
 //
+// Robustness flags (DESIGN.md §"Deadlines, cancellation, and budgets"):
+// --deadline-ms N bounds each detect call — on expiry it returns a
+// DEADLINE_EXCEEDED status instead of running to completion.
+// --memory-budget-mb N caps admission-controlled allocations (plan
+// arenas, detect scratch); over-budget work degrades to smaller/slower
+// paths or sheds with RESOURCE_EXHAUSTED rather than OOM-ing. 0 (the
+// default) disables each limit.
+//
 // A real deployment replaces `simulate` with government GPS archives in
 // the same CSV formats (see src/io/csv.h).
 #include <cstdio>
@@ -32,6 +40,7 @@
 #include <map>
 #include <string>
 
+#include "common/budget.h"
 #include "core/lead.h"
 #include "eval/harness.h"
 #include "io/csv.h"
@@ -199,6 +208,15 @@ core::LeadOptions CliLeadOptions(const Flags& flags) {
   } else if (exec_mode != "eager") {
     std::fprintf(stderr, "warning: unknown --exec-mode '%s'; using eager\n",
                  exec_mode.c_str());
+  }
+  // --deadline-ms bounds each detect call; --memory-budget-mb installs
+  // the process-wide admission-control cap. Both default to "off".
+  options.detect.deadline_ms =
+      std::atoll(FlagOr(flags, "deadline-ms", "0").c_str());
+  const int64_t budget_mb =
+      std::atoll(FlagOr(flags, "memory-budget-mb", "0").c_str());
+  if (budget_mb > 0) {
+    MemoryBudget::Global().SetCapBytes(budget_mb * 1024 * 1024);
   }
   return options;
 }

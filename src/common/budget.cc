@@ -1,0 +1,82 @@
+#include "common/budget.h"
+
+#include <string>
+
+#include "common/fault.h"
+#include "obs/metrics.h"
+
+namespace lead {
+namespace {
+
+obs::Gauge& UsedGauge() {
+  static obs::Gauge& gauge = obs::GetGauge("mem.budget.used_bytes");
+  return gauge;
+}
+
+obs::Counter& RejectionCounter() {
+  static obs::Counter& counter =
+      obs::GetCounter("mem.budget.rejections");
+  return counter;
+}
+
+}  // namespace
+
+MemoryBudget& MemoryBudget::Global() {
+  // Leaked: admission may run on detached/worker threads during shutdown.
+  static MemoryBudget* budget = new MemoryBudget();  // lead-lint: allow(raw-new)
+  return *budget;
+}
+
+void MemoryBudget::SetCapBytes(int64_t cap_bytes) {
+  cap_.store(cap_bytes > 0 ? cap_bytes : 0, std::memory_order_relaxed);
+}
+
+Status MemoryBudget::Admit(int64_t bytes, const char* what) {
+  if (bytes < 0) bytes = 0;
+  const int64_t cap = cap_.load(std::memory_order_relaxed);
+  const bool forced = LEAD_FAULT_FIRED("alloc.fail");
+  if (cap > 0 || forced) {
+    const int64_t in_use = used_.load(std::memory_order_relaxed);
+    if (forced || in_use + bytes > cap) {
+      RejectionCounter().Increment();
+      return ResourceExhaustedError(
+          std::string(what) + ": memory budget exceeded (" +
+          std::to_string(in_use) + " + " + std::to_string(bytes) + " > " +
+          std::to_string(forced ? in_use : cap) + " bytes)");
+    }
+  }
+  UsedGauge().Set(static_cast<double>(
+      used_.fetch_add(bytes, std::memory_order_relaxed) + bytes));
+  return Status::Ok();
+}
+
+void MemoryBudget::Release(int64_t bytes) {
+  if (bytes <= 0) return;
+  UsedGauge().Set(static_cast<double>(
+      used_.fetch_sub(bytes, std::memory_order_relaxed) - bytes));
+}
+
+MemoryBudget::Reservation MemoryBudget::Reserve(int64_t bytes,
+                                                const char* what) {
+  Reservation reservation;
+  reservation.status_ = Admit(bytes, what);
+  if (reservation.status_.ok()) reservation.bytes_ = bytes;
+  return reservation;
+}
+
+MemoryBudget::Reservation& MemoryBudget::Reservation::operator=(
+    Reservation&& other) noexcept {
+  if (this != &other) {
+    if (bytes_ > 0) Global().Release(bytes_);
+    bytes_ = other.bytes_;
+    status_ = std::move(other.status_);
+    other.bytes_ = 0;
+  }
+  return *this;
+}
+
+MemoryBudget::Reservation::~Reservation() {
+  if (bytes_ > 0) Global().Release(bytes_);
+}
+
+}  // namespace lead

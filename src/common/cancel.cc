@@ -1,0 +1,332 @@
+#include "common/cancel.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace lead {
+namespace {
+
+constexpr int kCauseNone = static_cast<int>(CancelCause::kNone);
+
+// lead.cancel.<cause> counters. Touched once at startup via
+// RegisterCancelMetrics-style first use so they export (as zeros) in every
+// metrics snapshot, not only after a cancellation fired.
+obs::Counter& CancelCounter(CancelCause cause) {
+  static obs::Counter& deadline = obs::GetCounter("lead.cancel.deadline");
+  static obs::Counter& user = obs::GetCounter("lead.cancel.user");
+  static obs::Counter& budget = obs::GetCounter("lead.cancel.budget");
+  static obs::Counter& fault = obs::GetCounter("lead.cancel.fault");
+  switch (cause) {
+    case CancelCause::kUser:
+      return user;
+    case CancelCause::kBudget:
+      return budget;
+    case CancelCause::kFault:
+      return fault;
+    case CancelCause::kNone:
+    case CancelCause::kDeadline:
+      break;
+  }
+  return deadline;
+}
+
+}  // namespace
+
+const char* CancelCauseName(CancelCause cause) {
+  switch (cause) {
+    case CancelCause::kNone:
+      return "none";
+    case CancelCause::kDeadline:
+      return "deadline";
+    case CancelCause::kUser:
+      return "user";
+    case CancelCause::kBudget:
+      return "budget";
+    case CancelCause::kFault:
+      return "fault";
+  }
+  return "unknown";
+}
+
+struct CancelToken::State {
+  // CancelCause as int; kCauseNone while live. First writer wins via CAS.
+  std::atomic<int> cause{kCauseNone};
+  // Absolute obs::NowMicros() deadline; 0 = no deadline on this node.
+  uint64_t deadline_us = 0;
+  // Set by the first Check() that observes cancellation, so the
+  // lead.cancel.<cause> counter counts cancelled units of work, not polls.
+  mutable std::atomic<bool> reported{false};
+  // Deriving a tighter deadline chains states; ancestors' cancellation is
+  // observed lazily on poll (rule: cancellation is sticky + monotonic).
+  std::shared_ptr<State> parent;
+};
+
+namespace {
+
+// Resolves the effective cause of `state`, lazily tripping its own
+// deadline and adopting an ancestor's cause. Sticky: once non-none, every
+// later call returns the same value.
+int EffectiveCause(CancelToken::State* state) {
+  int cause = state->cause.load(std::memory_order_acquire);
+  if (cause != kCauseNone) return cause;
+  auto trip = [&](int new_cause) {
+    int expected = kCauseNone;
+    state->cause.compare_exchange_strong(expected, new_cause,
+                                         std::memory_order_acq_rel);
+    return state->cause.load(std::memory_order_acquire);
+  };
+  if (state->deadline_us != 0 && obs::NowMicros() >= state->deadline_us) {
+    return trip(static_cast<int>(CancelCause::kDeadline));
+  }
+  if (state->parent != nullptr) {
+    const int parent_cause = EffectiveCause(state->parent.get());
+    if (parent_cause != kCauseNone) return trip(parent_cause);
+  }
+  return kCauseNone;
+}
+
+std::shared_ptr<CancelToken::State> MakeState(uint64_t deadline_us) {
+  auto state = std::make_shared<CancelToken::State>();
+  state->deadline_us = deadline_us;
+  return state;
+}
+
+}  // namespace
+
+CancelToken CancelToken::Cancellable() { return CancelToken(MakeState(0)); }
+
+CancelToken CancelToken::WithDeadlineMillis(int64_t deadline_ms) {
+  const uint64_t now = obs::NowMicros();
+  if (deadline_ms <= 0) return WithDeadlineMicros(now > 0 ? now : 1);
+  return WithDeadlineMicros(now +
+                            static_cast<uint64_t>(deadline_ms) * 1000);
+}
+
+CancelToken CancelToken::WithDeadlineMicros(uint64_t deadline_us) {
+  return CancelToken(MakeState(deadline_us > 0 ? deadline_us : 1));
+}
+
+bool CancelToken::Cancelled() const {
+  return state_ != nullptr && EffectiveCause(state_.get()) != kCauseNone;
+}
+
+CancelCause CancelToken::cause() const {
+  if (state_ == nullptr) return CancelCause::kNone;
+  return static_cast<CancelCause>(EffectiveCause(state_.get()));
+}
+
+Status CancelToken::Check(const char* stage) const {
+  const CancelCause c = cause();
+  if (c == CancelCause::kNone) return Status::Ok();
+  if (!state_->reported.exchange(true, std::memory_order_acq_rel)) {
+    CancelCounter(c).Increment();
+  }
+  std::string what(stage);
+  switch (c) {
+    case CancelCause::kDeadline:
+      return DeadlineExceededError(what + ": deadline exceeded");
+    case CancelCause::kBudget:
+      return ResourceExhaustedError(what + ": resource budget exceeded");
+    case CancelCause::kFault:
+      return CancelledError(what + ": cancelled (fault)");
+    case CancelCause::kUser:
+    case CancelCause::kNone:
+      break;
+  }
+  return CancelledError(what + ": cancelled");
+}
+
+void CancelToken::Cancel(CancelCause cause) const {
+  if (state_ == nullptr || cause == CancelCause::kNone) return;
+  int expected = kCauseNone;
+  state_->cause.compare_exchange_strong(expected, static_cast<int>(cause),
+                                        std::memory_order_acq_rel);
+}
+
+uint64_t CancelToken::RemainingMicros() const {
+  uint64_t deadline = 0;
+  for (const State* s = state_.get(); s != nullptr; s = s->parent.get()) {
+    if (s->deadline_us != 0 &&
+        (deadline == 0 || s->deadline_us < deadline)) {
+      deadline = s->deadline_us;
+    }
+  }
+  if (deadline == 0) return UINT64_MAX;
+  const uint64_t now = obs::NowMicros();
+  return now >= deadline ? 0 : deadline - now;
+}
+
+bool CancelToken::has_deadline() const {
+  for (const State* s = state_.get(); s != nullptr; s = s->parent.get()) {
+    if (s->deadline_us != 0) return true;
+  }
+  return false;
+}
+
+namespace {
+// The ambient token. thread_local so worker lanes can re-install the
+// caller's token (ThreadPool does this) without cross-thread races.
+thread_local CancelToken g_current_cancel;
+}  // namespace
+
+const CancelToken& CurrentCancel() { return g_current_cancel; }
+
+Status PollCancel(const char* stage) {
+  return g_current_cancel.Check(stage);
+}
+
+ScopedCancel::ScopedCancel(CancelToken token)
+    : previous_(g_current_cancel) {
+  g_current_cancel = std::move(token);
+}
+
+ScopedCancel::~ScopedCancel() { g_current_cancel = previous_; }
+
+CancelToken TightenDeadline(const CancelToken& base, int64_t deadline_ms) {
+  if (deadline_ms <= 0) return base;
+  const uint64_t new_deadline =
+      obs::NowMicros() + static_cast<uint64_t>(deadline_ms) * 1000;
+  // If the base already expires no later than the new deadline, deriving
+  // would only add chain-walk cost; reuse it (idempotent double-derive).
+  for (const CancelToken::State* s = base.state_.get(); s != nullptr;
+       s = s->parent.get()) {
+    if (s->deadline_us != 0 && s->deadline_us <= new_deadline) return base;
+  }
+  auto state = MakeState(new_deadline);
+  state->parent = base.state_;
+  return CancelToken(std::move(state));
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct WatchdogRecord {
+  uint64_t thread_key = 0;
+  const char* stage = nullptr;
+  uint64_t start_us = 0;
+  bool warned = false;
+};
+
+struct WatchdogState {
+  std::mutex mutex;
+  std::vector<WatchdogRecord*> active;
+  bool scanner_running = false;
+};
+
+std::atomic<int64_t> g_watchdog_threshold_ms{0};
+
+WatchdogState& Watchdog() {
+  // Leaked: the detached scanner thread may outlive main().
+  static WatchdogState* state = new WatchdogState();  // lead-lint: allow(raw-new)
+  return *state;
+}
+
+uint64_t ThisThreadKey() {
+  static std::atomic<uint64_t> next{1};
+  thread_local const uint64_t key =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return key;
+}
+
+void ScanOnce(int64_t threshold_ms) {
+  static obs::Counter& overruns = obs::GetCounter("lead.watchdog.overruns");
+  const uint64_t now = obs::NowMicros();
+  const uint64_t threshold_us = static_cast<uint64_t>(threshold_ms) * 1000;
+  WatchdogState& wd = Watchdog();
+  std::lock_guard<std::mutex> lock(wd.mutex);
+  for (WatchdogRecord* rec : wd.active) {
+    if (rec->warned || now - rec->start_us < threshold_us) continue;
+    rec->warned = true;
+    overruns.Increment();
+    // The thread's whole stage stack (registration order = nesting order)
+    // gives the "where is it stuck" picture a single name cannot.
+    std::string stack;
+    for (const WatchdogRecord* other : wd.active) {
+      if (other->thread_key != rec->thread_key) continue;
+      if (!stack.empty()) stack += " > ";
+      stack += other->stage;
+    }
+    LEAD_LOG(WARN) << "watchdog: stage '" << rec->stage << "' running "
+                   << (now - rec->start_us) / 1000 << " ms (threshold "
+                   << threshold_ms << " ms); stage stack: " << stack;
+  }
+}
+
+void EnsureScanner() {
+  WatchdogState& wd = Watchdog();
+  std::lock_guard<std::mutex> lock(wd.mutex);
+  if (wd.scanner_running) return;
+  wd.scanner_running = true;
+  std::thread([] {
+    for (;;) {
+      const int64_t threshold =
+          g_watchdog_threshold_ms.load(std::memory_order_relaxed);
+      const int64_t sleep_ms =
+          threshold > 0 ? std::max<int64_t>(threshold / 4, 10) : 200;
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+      if (threshold > 0) ScanOnce(threshold);
+    }
+  }).detach();
+}
+
+// LEAD_WATCHDOG_MS=<n> enables the watchdog for any binary at startup.
+const bool g_watchdog_env_init = [] {
+  if (const char* env = std::getenv("LEAD_WATCHDOG_MS")) {
+    const long long ms = std::atoll(env);
+    if (ms > 0) SetWatchdogThresholdMillis(ms);
+  }
+  return true;
+}();
+
+}  // namespace
+
+void SetWatchdogThresholdMillis(int64_t millis) {
+  g_watchdog_threshold_ms.store(millis > 0 ? millis : 0,
+                                std::memory_order_relaxed);
+  if (millis > 0) EnsureScanner();
+}
+
+int64_t WatchdogThresholdMillis() {
+  return g_watchdog_threshold_ms.load(std::memory_order_relaxed);
+}
+
+WatchdogScope::WatchdogScope(const char* stage) {
+  if (g_watchdog_threshold_ms.load(std::memory_order_relaxed) <= 0) return;
+  // Raw-owned: the record outlives local scope bookkeeping and is freed by
+  // the destructor below; the scanner only borrows it under the mutex.
+  auto* rec = new WatchdogRecord{  // lead-lint: allow(raw-new)
+      ThisThreadKey(), stage, obs::NowMicros(), false};
+  WatchdogState& wd = Watchdog();
+  std::lock_guard<std::mutex> lock(wd.mutex);
+  wd.active.push_back(rec);
+  registered_ = true;
+}
+
+WatchdogScope::~WatchdogScope() {
+  if (!registered_) return;
+  WatchdogState& wd = Watchdog();
+  std::lock_guard<std::mutex> lock(wd.mutex);
+  const uint64_t key = ThisThreadKey();
+  // This thread's scopes destruct LIFO, so ours is its last record.
+  for (auto it = wd.active.rbegin(); it != wd.active.rend(); ++it) {
+    if ((*it)->thread_key == key) {
+      delete *it;  // lead-lint: allow(raw-delete)
+      wd.active.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+}  // namespace lead

@@ -1,0 +1,162 @@
+// Cooperative cancellation, deadlines, and stage watchdogs.
+//
+// The LEAD pipeline has no preemption: a stage that is running keeps
+// running. What this header provides instead is a *cooperative* contract —
+// a `CancelToken` carries an optional monotonic-clock deadline
+// (obs::NowMicros) plus a sticky cancellation cause, and every long-running
+// stage polls it at block boundaries (per trajectory, per epoch, per batch
+// chunk, every N input lines). A stage that observes cancellation unwinds
+// with a typed Status (kDeadlineExceeded / kCancelled / kResourceExhausted)
+// instead of running open-loop.
+//
+// Poll-point rules (see DESIGN.md §"Deadlines, cancellation, and budgets"):
+//   1. Poll only at block boundaries — between trajectories, between
+//      epochs, between bucket batches — never inside a numeric kernel.
+//      Work that completes before the poll is bit-identical to an
+//      uncancelled run, which is what keeps the golden fixture valid.
+//   2. After a ParallelFor, poll *before* touching the result slots:
+//      cancelled lanes skip their blocks, leaving slots unfilled.
+//   3. Cancellation is sticky and monotonic: once Cancelled() is true it
+//      stays true, and the first cause wins.
+//
+// Tokens propagate ambiently: `ScopedCancel` installs a token for the
+// current thread, `CurrentCancel()` reads it, and ThreadPool re-installs
+// the caller's token on worker lanes so nested code polls the right
+// deadline without plumbing a parameter through every signature.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+
+namespace lead {
+
+// Why a stage was cancelled. First cause wins; kNone means live.
+enum class CancelCause : int {
+  kNone = 0,
+  kDeadline,  // monotonic deadline passed -> kDeadlineExceeded
+  kUser,      // explicit Cancel() call     -> kCancelled
+  kBudget,    // resource budget exceeded   -> kResourceExhausted
+  kFault,     // injected fault / internal  -> kCancelled
+};
+
+// Stable lower-case name used in metric keys: lead.cancel.<name>.
+const char* CancelCauseName(CancelCause cause);
+
+// Value-semantic handle on shared cancellation state. Copying a token
+// copies the handle, not the state: all copies observe the same
+// cancellation. The default-constructed token has no state and is never
+// cancelled — it costs one null check per poll, so "no deadline
+// configured" stays effectively free on hot paths.
+class CancelToken {
+ public:
+  // Shared cancellation state; defined in cancel.cc. Public name so the
+  // implementation's free helpers can refer to it; the member is private.
+  struct State;
+
+  CancelToken() = default;
+
+  // A token with no deadline that can only be cancelled explicitly.
+  static CancelToken Cancellable();
+  // A token whose deadline is `deadline_ms` from now (monotonic clock).
+  // deadline_ms <= 0 produces an already-expired token.
+  static CancelToken WithDeadlineMillis(int64_t deadline_ms);
+  // A token expiring at an absolute obs::NowMicros() timestamp.
+  static CancelToken WithDeadlineMicros(uint64_t deadline_us);
+
+  // True once the token is cancelled (sticky). Checks the deadline lazily
+  // against obs::NowMicros() and walks the parent chain, so a child token
+  // derived via TightenDeadline also observes its ancestor's cancellation.
+  bool Cancelled() const;
+
+  // Cause of cancellation, or kNone. Forces the same lazy deadline check
+  // as Cancelled().
+  CancelCause cause() const;
+
+  // OK while live; once cancelled, a typed error naming `stage`:
+  //   kDeadline -> kDeadlineExceeded, kUser/kFault -> kCancelled,
+  //   kBudget -> kResourceExhausted.
+  // The first Check() that observes cancellation bumps the
+  // lead.cancel.<cause> counter (once per token, not per poll).
+  Status Check(const char* stage) const;
+
+  // Explicitly cancel with `cause` (default kUser). No-op on a stateless
+  // token and after any prior cancellation.
+  void Cancel(CancelCause cause = CancelCause::kUser) const;
+
+  // Microseconds until the deadline; 0 if expired. A large sentinel
+  // (~infinity) when the token has no deadline.
+  uint64_t RemainingMicros() const;
+
+  // True when a deadline is configured on this token or an ancestor.
+  bool has_deadline() const;
+
+ private:
+  explicit CancelToken(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+
+  friend CancelToken TightenDeadline(const CancelToken& base,
+                                     int64_t deadline_ms);
+
+  std::shared_ptr<State> state_;
+};
+
+// The ambient token for the current thread (default token when none is
+// installed). Long-running stages poll this; entry points install their
+// request's token with ScopedCancel.
+const CancelToken& CurrentCancel();
+
+// Convenience: CurrentCancel().Check(stage).
+Status PollCancel(const char* stage);
+
+// Installs `token` as the current thread's ambient token for the scope's
+// lifetime and restores the previous one on exit.
+class ScopedCancel {
+ public:
+  explicit ScopedCancel(CancelToken token);
+  ~ScopedCancel();
+  ScopedCancel(const ScopedCancel&) = delete;
+  ScopedCancel& operator=(const ScopedCancel&) = delete;
+
+ private:
+  CancelToken previous_;
+};
+
+// Returns a token at least as strict as `base`: if deadline_ms > 0 and
+// that absolute deadline is earlier than base's, the result is a child of
+// base with the tighter deadline; otherwise base itself. Cancelling base
+// cancels every derived child; deriving twice is idempotent in effect
+// (the tighter deadline still wins).
+CancelToken TightenDeadline(const CancelToken& base, int64_t deadline_ms);
+
+// ---------------------------------------------------------------------------
+// Stage watchdog: wall-clock overrun detection for in-flight stages.
+// ---------------------------------------------------------------------------
+//
+// Cancellation handles the cooperative case; the watchdog covers the
+// uncooperative one — a stage stuck inside a kernel or a syscall that
+// never reaches a poll point. Each thread registers its active stage
+// nesting via WatchdogScope; a lazily spawned scanner thread wakes every
+// ~threshold/4 and logs (WARN) the full stage stack of any scope running
+// past the threshold, once per scope, plus a lead.watchdog.overruns
+// counter. Disabled by default (threshold 0); enable with
+// SetWatchdogThresholdMillis or LEAD_WATCHDOG_MS. Registration when
+// disabled is one relaxed atomic load.
+void SetWatchdogThresholdMillis(int64_t millis);
+int64_t WatchdogThresholdMillis();
+
+class WatchdogScope {
+ public:
+  explicit WatchdogScope(const char* stage);
+  ~WatchdogScope();
+  WatchdogScope(const WatchdogScope&) = delete;
+  WatchdogScope& operator=(const WatchdogScope&) = delete;
+
+ private:
+  bool registered_ = false;
+};
+
+}  // namespace lead

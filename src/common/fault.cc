@@ -1,15 +1,21 @@
 #include "common/fault.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
+
+#include "common/cancel.h"
 
 namespace lead::fault {
 namespace {
 
-enum class Kind { kFail, kNonFinite, kCorrupt };
+enum class Kind { kFail, kNonFinite, kCorrupt, kStall };
 
 struct PointState {
   Kind kind = Kind::kFail;
@@ -17,6 +23,7 @@ struct PointState {
   bool use_inf = false;
   uint8_t xor_mask = 0xff;
   size_t byte_offset = 0;
+  int64_t stall_ms = 0;
   bool armed = true;
   int hits = 0;
   int fires = 0;
@@ -45,8 +52,11 @@ void ArmImpl(std::string_view point, PointState state) {
   it->second = state;  // re-arming overwrites and resets counters
 }
 
-// Counts a hit of `point` for `kind`; returns the state when this hit is
-// the armed one (the point disarms itself), nullptr otherwise.
+// Counts a hit of `point` for `kind`; returns the state when this hit
+// fires, nullptr otherwise. nth >= 1 fires once at the nth hit and then
+// disarms; nth <= 0 is persistent — every hit fires until Disarm (the
+// shape retry tests and chaos runs need: a fault that survives every
+// retry attempt).
 const PointState* HitImpl(std::string_view point, Kind kind,
                           PointState* out) {
   std::lock_guard<std::mutex> lock(RegistryMutex());
@@ -55,10 +65,12 @@ const PointState* HitImpl(std::string_view point, Kind kind,
   PointState& state = it->second;
   if (!state.armed || state.kind != kind) return nullptr;
   ++state.hits;
-  if (state.hits < state.nth) return nullptr;
-  state.armed = false;
+  if (state.nth > 0) {
+    if (state.hits < state.nth) return nullptr;
+    state.armed = false;
+    internal::g_armed.fetch_sub(1, std::memory_order_relaxed);
+  }
   ++state.fires;
-  internal::g_armed.fetch_sub(1, std::memory_order_relaxed);
   *out = state;
   return out;
 }
@@ -87,6 +99,14 @@ void ArmCorrupt(std::string_view point, int nth, uint8_t xor_mask,
   state.nth = nth;
   state.xor_mask = xor_mask;
   state.byte_offset = byte_offset;
+  ArmImpl(point, state);
+}
+
+void ArmStall(std::string_view point, int nth, int64_t stall_ms) {
+  PointState state;
+  state.kind = Kind::kStall;
+  state.nth = nth;
+  state.stall_ms = stall_ms;
   ArmImpl(point, state);
 }
 
@@ -144,5 +164,63 @@ bool FireCorrupt(std::string_view point, char* data, size_t size) {
   return true;
 }
 
+bool FireStall(std::string_view point) {
+  PointState state;
+  if (HitImpl(point, Kind::kStall, &state) == nullptr) return false;
+  // Sleep in slices so a deadline on the ambient CancelToken unsticks the
+  // thread within ~10ms — exactly what the chaos tests assert.
+  int64_t remaining = state.stall_ms;
+  while (remaining > 0) {
+    if (CurrentCancel().Cancelled()) break;
+    const int64_t slice = std::min<int64_t>(remaining, 10);
+    std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+    remaining -= slice;
+  }
+  return true;
+}
+
 }  // namespace internal
+
+#if defined(LEAD_FAULT_INJECTION)
+namespace {
+
+// Runtime activation: LEAD_FAULT=<point>[:<nth>] arms one compile-gated
+// point at process start (see header). Lives behind the same build flag
+// as the points themselves, so release binaries ignore the env var.
+const bool g_env_fault_armed = [] {
+  const char* spec = std::getenv("LEAD_FAULT");
+  if (spec == nullptr || *spec == '\0') return false;
+  std::string text(spec);
+  int nth = 1;
+  const size_t colon = text.rfind(':');
+  if (colon != std::string::npos) {
+    // Accept any integer suffix: positive = fire once at that hit,
+    // <= 0 = persistent (every hit). A non-numeric suffix is part of
+    // the point name (points may themselves contain colons one day).
+    char* end = nullptr;
+    const char* digits = text.c_str() + colon + 1;
+    const long parsed = std::strtol(digits, &end, 10);
+    if (end != digits && *end == '\0') {
+      nth = static_cast<int>(parsed);
+      text.resize(colon);
+    }
+  }
+  const char* stall_env = std::getenv("LEAD_FAULT_STALL_MS");
+  int64_t stall_ms = stall_env != nullptr ? std::atoll(stall_env) : 1000;
+  if (stall_ms <= 0) stall_ms = 1000;
+  constexpr std::string_view kStallSuffix = ".stall";
+  const bool is_stall =
+      text.size() >= kStallSuffix.size() &&
+      std::string_view(text).substr(text.size() - kStallSuffix.size()) ==
+          kStallSuffix;
+  if (is_stall) {
+    ArmStall(text, nth, stall_ms);
+  } else {
+    ArmFail(text, nth);
+  }
+  return true;
+}();
+
+}  // namespace
+#endif  // LEAD_FAULT_INJECTION
 }  // namespace lead::fault

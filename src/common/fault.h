@@ -6,10 +6,24 @@
 //   fault::ArmFail("serialize.write", /*nth=*/1);
 //   Status s = nn::SaveParameters(model, out);   // fails at the point
 //
-// A point fires exactly once and then disarms itself. Three fault kinds
+// With nth > 0 a point fires exactly once and then disarms itself;
+// nth <= 0 arms persistently (every hit fires until Disarm). Four fault kinds
 // exist: kFail (the point reports failure and the caller maps it to a
-// Status), kNonFinite (a float is overwritten with NaN or +Inf), and
-// kCorrupt (one byte of a buffer is XOR-flipped).
+// Status), kNonFinite (a float is overwritten with NaN or +Inf),
+// kCorrupt (one byte of a buffer is XOR-flipped), and kStall (the hitting
+// thread sleeps for the armed duration — interruptible only via the
+// ambient CancelToken, mimicking a stuck read or a pinned worker).
+//
+// Runtime activation (chaos testing without per-point rebuilds): when the
+// build has LEAD_FAULT_INJECTION on, setting
+//
+//   LEAD_FAULT=<point>[:<nth>]       # e.g. LEAD_FAULT=io.read.stall:1
+//   LEAD_FAULT_STALL_MS=<millis>     # stall duration, default 1000
+//
+// arms one point at process start (nth <= 0 arms persistently). Points
+// whose name ends in ".stall" arm as kStall; every other point arms as
+// kFail. Without LEAD_FAULT_INJECTION compiled in, the env vars are
+// ignored.
 //
 // Cost model: when the build sets LEAD_FAULT_INJECTION=OFF the macros
 // compile to nothing. When compiled in but no point is armed, a hit costs
@@ -35,14 +49,20 @@ constexpr bool Enabled() {
 #endif
 }
 
-// Arms `point` to fire at the `nth` upcoming hit (1-based). Re-arming a
-// point overwrites its previous setting and resets its counters.
+// Arms `point` to fire at the `nth` upcoming hit (1-based). nth <= 0
+// arms persistently: every hit fires until Disarm — the shape needed to
+// defeat retry loops or to keep a chaos stall active for a whole run.
+// Re-arming a point overwrites its previous setting and resets its
+// counters.
 void ArmFail(std::string_view point, int nth);
 void ArmNonFinite(std::string_view point, int nth, bool use_inf = false);
 // On fire, XORs `xor_mask` into the byte at `byte_offset` (taken modulo
 // the buffer size at the hit site).
 void ArmCorrupt(std::string_view point, int nth, uint8_t xor_mask,
                 size_t byte_offset);
+// On fire, the hitting thread sleeps ~stall_ms (in slices, polling the
+// ambient CancelToken so a deadline still unsticks it).
+void ArmStall(std::string_view point, int nth, int64_t stall_ms);
 void Disarm(std::string_view point);
 void DisarmAll();
 
@@ -62,6 +82,7 @@ inline bool AnyArmed() {
 bool FireFail(std::string_view point);
 bool FireNonFinite(std::string_view point, float* value);
 bool FireCorrupt(std::string_view point, char* data, size_t size);
+bool FireStall(std::string_view point);
 
 }  // namespace internal
 }  // namespace lead::fault
@@ -89,6 +110,14 @@ bool FireCorrupt(std::string_view point, char* data, size_t size);
     }                                                                  \
   } while (false)
 
+// Blocks the hitting thread for the armed stall duration (cancellable).
+#define LEAD_FAULT_STALL(point)                    \
+  do {                                             \
+    if (::lead::fault::internal::AnyArmed()) {     \
+      ::lead::fault::internal::FireStall(point);   \
+    }                                              \
+  } while (false)
+
 #else  // !LEAD_FAULT_INJECTION
 
 #define LEAD_FAULT_FIRED(point) false
@@ -97,6 +126,9 @@ bool FireCorrupt(std::string_view point, char* data, size_t size);
   } while (false)
 #define LEAD_FAULT_CORRUPT(point, data, size) \
   do {                                        \
+  } while (false)
+#define LEAD_FAULT_STALL(point) \
+  do {                          \
   } while (false)
 
 #endif  // LEAD_FAULT_INJECTION

@@ -1,0 +1,70 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/cancel.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+
+namespace lead {
+namespace {
+
+// FNV-1a over the site name: stable across runs/platforms, so each call
+// site gets its own reproducible jitter stream.
+uint64_t HashSite(const char* what) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (const char* p = what; *p != '\0'; ++p) {
+    h = (h ^ static_cast<unsigned char>(*p)) * 0x100000001b3ull;
+  }
+  return h;
+}
+
+// Sleeps ~millis, polling the ambient CancelToken every slice so a
+// deadline firing mid-backoff is observed within ~10ms.
+Status CancellableSleep(int64_t millis, const char* what) {
+  constexpr int64_t kSliceMs = 10;
+  int64_t remaining = millis;
+  while (remaining > 0) {
+    LEAD_RETURN_IF_ERROR(CurrentCancel().Check(what));
+    const int64_t slice = std::min(remaining, kSliceMs);
+    std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+    remaining -= slice;
+  }
+  return CurrentCancel().Check(what);
+}
+
+}  // namespace
+
+Status RetryWithBackoff(const char* what, const RetryOptions& options,
+                        const std::function<Status()>& op) {
+  static obs::Counter& retries = obs::GetCounter("lead.io.retries");
+  const int attempts = std::max(options.max_attempts, 1);
+  Status last = Status::Ok();
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      double backoff = static_cast<double>(options.initial_backoff_ms);
+      for (int k = 1; k < attempt; ++k) backoff *= options.multiplier;
+      backoff = std::min(backoff,
+                         static_cast<double>(options.max_backoff_ms));
+      Rng jitter = Rng::ForStream(options.seed ^ HashSite(what),
+                                  static_cast<uint64_t>(attempt));
+      const auto millis =
+          static_cast<int64_t>(backoff * jitter.Uniform(0.5, 1.5));
+      retries.Increment();
+      LEAD_LOG(WARN) << what << ": transient I/O error (" << last
+                     << "), retry " << attempt << "/" << (attempts - 1)
+                     << " after " << millis << " ms";
+      LEAD_RETURN_IF_ERROR(CancellableSleep(millis, what));
+    }
+    last = op();
+    // Only kIoError is presumed transient; everything else is permanent.
+    if (last.code() != StatusCode::kIoError) return last;
+  }
+  return last;
+}
+
+}  // namespace lead

@@ -1,0 +1,45 @@
+// Bounded retry with deterministic exponential backoff for transient I/O.
+//
+// Wraps the checkpoint/model read/write paths: a kIoError from the
+// operation is retried up to max_attempts with exponential backoff and
+// jitter. Only kIoError retries — every other code (corruption caught by
+// CRC decodes as kFailedPrecondition/kInvalidArgument, cancellation codes,
+// logic errors) is permanent and returned immediately, so retry composes
+// with the CRC + atomic-rename layer instead of fighting it: a torn write
+// is re-attempted, a corrupt-on-disk file is not re-read in a loop.
+//
+// Jitter is drawn from Rng::ForStream(seed ^ hash(what), attempt), so a
+// fixed seed gives a bit-reproducible backoff schedule — chaos tests can
+// assert timing behavior deterministically. Backoff sleeps poll the
+// ambient CancelToken in ~10ms slices: a deadline firing mid-backoff
+// aborts the retry loop with the typed cancellation status.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/status.h"
+
+namespace lead {
+
+struct RetryOptions {
+  // Total tries, including the first. <=1 means no retry.
+  int max_attempts = 3;
+  // Backoff before retry k (1-based) is
+  // min(initial_backoff_ms * multiplier^(k-1), max_backoff_ms), scaled by
+  // jitter in [0.5, 1.5).
+  int64_t initial_backoff_ms = 10;
+  double multiplier = 2.0;
+  int64_t max_backoff_ms = 1000;
+  // Seed for the deterministic jitter stream.
+  uint64_t seed = 0x1ead;
+};
+
+// Runs `op` until it returns OK, a non-retryable code, the attempt budget
+// is exhausted (returns the last kIoError), or the ambient CancelToken
+// fires mid-backoff (returns the typed cancellation status). Each retry
+// bumps the lead.io.retries counter and logs a WARN naming `what`.
+Status RetryWithBackoff(const char* what, const RetryOptions& options,
+                        const std::function<Status()>& op);
+
+}  // namespace lead

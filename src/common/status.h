@@ -22,6 +22,12 @@ enum class StatusCode {
   kOutOfRange,
   kInternal,
   kIoError,
+  // Cooperative-cancellation codes (common/cancel.h). A stage that observes
+  // its CancelToken at a poll point unwinds with one of these so callers can
+  // distinguish "ran out of time" from "caller gave up" from "over budget".
+  kDeadlineExceeded,
+  kCancelled,
+  kResourceExhausted,
 };
 
 // Returns a stable human-readable name, e.g. "INVALID_ARGUMENT".
@@ -63,6 +69,20 @@ Status FailedPreconditionError(std::string message);
 Status OutOfRangeError(std::string message);
 Status InternalError(std::string message);
 Status IoError(std::string message);
+Status DeadlineExceededError(std::string message);
+Status CancelledError(std::string message);
+Status ResourceExhaustedError(std::string message);
+
+// True for the three cancellation-family codes above. Stages use this to
+// tell "unwind quietly, the caller asked us to stop" apart from real errors.
+inline bool IsCancellation(StatusCode code) {
+  return code == StatusCode::kDeadlineExceeded ||
+         code == StatusCode::kCancelled ||
+         code == StatusCode::kResourceExhausted;
+}
+inline bool IsCancellation(const Status& status) {
+  return IsCancellation(status.code());
+}
 
 // Holds either a value of type T or a non-OK Status.
 //

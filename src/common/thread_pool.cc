@@ -4,7 +4,9 @@
 #include <atomic>
 #include <string>
 
+#include "common/cancel.h"
 #include "common/check.h"
+#include "common/fault.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -50,7 +52,12 @@ void RunBlock(
     obs::ScopedSpan span(obs::kCatPool, "block");
     span.Arg("lane", static_cast<double>(lane));
     span.Arg("items", static_cast<double>(end - begin));
-    fn(begin, end, lane);
+    // Chaos point: pins this lane mid-ParallelFor (cancellable stall).
+    LEAD_FAULT_STALL("pool.task.stall");
+    // A cancelled caller skips remaining blocks entirely: the loop's
+    // result slots stay unfilled, which is why every ParallelFor caller
+    // must poll its token *before* touching results (cancel.h rule 2).
+    if (!CurrentCancel().Cancelled()) fn(begin, end, lane);
   }
   LaneMetrics& lane_metrics = LaneMetric(lane);
   lane_metrics.busy_us->Add(
@@ -142,11 +149,16 @@ void ThreadPool::ParallelForBlocks(
     return std::pair<int64_t, int64_t>{n * lane / lanes,
                                        n * (lane + 1) / lanes};
   };
+  // Workers inherit the caller's cancellation context: each queued lane
+  // re-installs the caller's ambient token so nested polls (readers,
+  // fault stalls, nested loops) observe the same deadline.
+  const CancelToken token = CurrentCancel();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     for (int lane = 1; lane < lanes; ++lane) {
       const auto [begin, end] = block_bounds(lane);
-      queue_.push_back([&fn, &latch, begin, end, lane] {
+      queue_.push_back([&fn, &latch, token, begin, end, lane] {
+        ScopedCancel scoped(token);
         RunBlock(fn, begin, end, lane);
         // Notify while holding the latch mutex: the waiter destroys the
         // stack-allocated latch as soon as it observes remaining == 0,

@@ -14,6 +14,13 @@
 //    use. Its size caps how many blocks can run concurrently, not the
 //    number of blocks: a ParallelFor with more lanes than workers still
 //    completes (excess blocks queue in FIFO submission order).
+//  - Cancellation (common/cancel.h): ParallelFor captures the caller's
+//    ambient CancelToken and re-installs it on every queued lane, so
+//    polls inside fn observe the caller's deadline. Once the token is
+//    cancelled, not-yet-started blocks are skipped (the latch still
+//    retires them, so the call always returns). Callers must poll the
+//    token after the loop, before reading per-index results — skipped
+//    blocks leave their slots unwritten.
 #pragma once
 
 #include <condition_variable>

@@ -12,9 +12,12 @@
 #include <utility>
 
 #include "common/atomic_io.h"
+#include "common/budget.h"
+#include "common/cancel.h"
 #include "common/check.h"
 #include "common/crc32.h"
 #include "common/fault.h"
+#include "common/retry.h"
 #include "common/thread_pool.h"
 #include "core/batching.h"
 #include "core/grad_parallel.h"
@@ -168,6 +171,9 @@ Status LeadModel::Prepare(const std::vector<LabeledRawTrajectory>& labeled,
     }
     slots[i] = std::make_unique<ProcessedTrajectory>(*std::move(processed));
   });
+  // Cancelled lanes skip blocks and leave null slots; poll before reading
+  // them (cancel.h rule 2).
+  LEAD_RETURN_IF_ERROR(PollCancel("prepare"));
   for (const Status& s : statuses) {
     if (!s.ok()) return s;
   }
@@ -201,6 +207,9 @@ Status LeadModel::Prepare(const std::vector<LabeledRawTrajectory>& labeled,
       std::copy(row.begin(), row.end(), s.pt.features.row(r));
     }
   });
+  // Skipped standardization blocks leave raw rows behind; a cancelled
+  // Prepare must not hand them out.
+  LEAD_RETURN_IF_ERROR(PollCancel("prepare"));
   return Status::Ok();
 }
 
@@ -381,6 +390,10 @@ Status LeadModel::TrainAutoencoder(
     const float inv_b = 1.0f / static_cast<float>(topt.batch_size);
     for (size_t begin = 0; begin < samples.size();
          begin += static_cast<size_t>(topt.batch_size)) {
+      // Chunk-boundary poll point: a cancelled epoch stops stepping here
+      // and the stage harness converts the sticky token into a typed
+      // Status right after train_epoch returns.
+      if (CurrentCancel().Cancelled()) break;
       const size_t end = std::min(
           samples.size(), begin + static_cast<size_t>(topt.batch_size));
       const int chunk_n = static_cast<int>(end - begin);
@@ -529,6 +542,9 @@ Status LeadModel::TrainDetectors(
   };
   const std::vector<CachedSample> train_cached = cache(training);
   const std::vector<CachedSample> val_cached = cache(validation);
+  // The cache ParallelFors fill indexed slots; skipped (cancelled) lanes
+  // leave empty matrices behind, so poll before training on them.
+  LEAD_RETURN_IF_ERROR(PollCancel("train_detectors"));
 
   // Sum of the chunk's per-sample KLD losses against one detector. Every
   // subgroup of the chunk is scored in length-bucketed [B x cvec] batches;
@@ -636,6 +652,9 @@ Status LeadModel::TrainDetectors(
       double epoch_loss = 0.0;
       for (size_t begin = 0; begin < order.size();
            begin += static_cast<size_t>(topt.batch_size)) {
+        // Chunk-boundary poll point (same contract as the autoencoder
+        // epoch loop): stop stepping, let the stage harness unwind.
+        if (CurrentCancel().Cancelled()) break;
         const size_t end = std::min(
             order.size(), begin + static_cast<size_t>(topt.batch_size));
         const int chunk_n = static_cast<int>(end - begin);
@@ -787,9 +806,29 @@ StatusOr<Detection> LeadModel::DetectProcessed(
     return FailedPreconditionError("model is not trained");
   }
   static obs::Histogram& detect_us = obs::GetHistogram("stage.detect.us");
+  // Deadline-margin histogram plus the cancellation counter family,
+  // registered eagerly so every --metrics-out snapshot of a detect run
+  // exports them (as zeros) even when nothing fires.
+  static obs::Histogram& margin_us = obs::GetHistogram(
+      "lead.stage.deadline_margin_us", obs::DefaultLatencyBoundsUs());
+  static const bool cancel_metrics_registered = [] {
+    (void)obs::GetCounter("lead.detect.shed");
+    (void)obs::GetCounter("lead.cancel.deadline");
+    (void)obs::GetCounter("lead.cancel.user");
+    (void)obs::GetCounter("lead.cancel.budget");
+    (void)obs::GetCounter("lead.cancel.fault");
+    return true;
+  }();
+  (void)cancel_metrics_registered;
   obs::ScopedTimerUs timer(&detect_us);
   obs::ScopedSpan span(obs::kCatInfer, "detect");
   span.Arg("candidates", static_cast<double>(pt.candidates.size()));
+  // Tighten the ambient token with this call's own deadline (idempotent
+  // when Detect/DetectStream already installed the same one upstream).
+  ScopedCancel scoped_cancel(
+      TightenDeadline(CurrentCancel(), options_.detect.deadline_ms));
+  WatchdogScope watchdog("detect");
+  LEAD_RETURN_IF_ERROR(PollCancel("detect"));
   const int n = pt.num_stays();
   if (n < 2 || pt.candidates.empty()) {
     // Degenerate input (e.g. a hand-built ProcessedTrajectory): no
@@ -797,8 +836,19 @@ StatusOr<Detection> LeadModel::DetectProcessed(
     return InvalidArgumentError(
         "trajectory has fewer than 2 stay points; no candidates to score");
   }
+  // Admission control: the dominant transient allocations are the c-vec
+  // matrix plus (per direction) the grouped member-row matrix, each
+  // [NumCandidates x cvec_dims]. Rejecting here — before any scoring —
+  // means in-flight trajectories are never revoked mid-way.
+  const int64_t score_bytes = 3ll * traj::NumCandidates(n) *
+                              options_.autoencoder.cvec_dims() *
+                              static_cast<int64_t>(sizeof(float));
+  const MemoryBudget::Reservation reservation =
+      MemoryBudget::Global().Reserve(score_bytes, "detect");
+  if (!reservation.ok()) return reservation.status();
   nn::NoGradGuard no_grad;
   const nn::Matrix cvecs = EncodeCandidates(pt);
+  LEAD_RETURN_IF_ERROR(PollCancel("detect.encode"));
   const int num_candidates = cvecs.rows();
   LEAD_CHECK_EQ(num_candidates, traj::NumCandidates(n));
 
@@ -849,7 +899,7 @@ StatusOr<Detection> LeadModel::DetectProcessed(
       return true;
     };
     auto accumulate = [&](const StackedBiLstmDetector& detector,
-                          bool forward) {
+                          bool forward) -> Status {
       const std::vector<Subgroup> groups =
           forward ? ForwardGroups(n) : BackwardGroups(n);
       // Materialize every subgroup's member c-vecs contiguously.
@@ -909,6 +959,10 @@ StatusOr<Detection> LeadModel::DetectProcessed(
             scores[kb] =
                 detector.ScoreSubgroupsBatch(nn::PackViews(bucket_views));
           });
+      // Cancelled lanes skip buckets, leaving undefined score slots; the
+      // softmax below couples every subgroup, so there is no partial
+      // answer inside one trajectory — unwind before touching scores.
+      LEAD_RETURN_IF_ERROR(PollCancel("detect.score"));
       std::vector<nn::Variable> parts;
       parts.reserve(groups.size());
       for (size_t gi = 0; gi < groups.size(); ++gi) {
@@ -922,15 +976,19 @@ StatusOr<Detection> LeadModel::DetectProcessed(
         merged[traj::CandidateFlatIndex(n, *order[i])] +=
             probs.value().at(0, static_cast<int>(i));
       }
+      return Status::Ok();
     };
     if (options_.use_forward && forward_detector_ != nullptr) {
+      LEAD_RETURN_IF_ERROR(PollCancel("detect.forward"));
       if (!accumulate_planned(*forward_detector_, /*forward=*/true)) {
-        accumulate(*forward_detector_, /*forward=*/true);
+        LEAD_RETURN_IF_ERROR(accumulate(*forward_detector_, /*forward=*/true));
       }
     }
     if (options_.use_backward && backward_detector_ != nullptr) {
+      LEAD_RETURN_IF_ERROR(PollCancel("detect.backward"));
       if (!accumulate_planned(*backward_detector_, /*forward=*/false)) {
-        accumulate(*backward_detector_, /*forward=*/false);
+        LEAD_RETURN_IF_ERROR(
+            accumulate(*backward_detector_, /*forward=*/false));
       }
     }
   } else {
@@ -962,14 +1020,111 @@ StatusOr<Detection> LeadModel::DetectProcessed(
       std::max_element(merged.begin(), merged.end()) - merged.begin());
   detection.loaded = pt.candidates[best];
   detection.probabilities = std::move(merged);
+  // How much headroom the stage finished with (deadline runs only).
+  if (CurrentCancel().has_deadline()) {
+    margin_us.Observe(static_cast<double>(CurrentCancel().RemainingMicros()));
+  }
   return detection;
 }
 
 StatusOr<Detection> LeadModel::Detect(const traj::RawTrajectory& raw,
                                       const poi::PoiIndex& poi_index) const {
+  // The deadline covers preprocessing too; DetectProcessed re-tightening
+  // with the same budget is a no-op (the earlier absolute deadline wins).
+  ScopedCancel scoped_cancel(
+      TightenDeadline(CurrentCancel(), options_.detect.deadline_ms));
   auto processed = Preprocess(raw, poi_index);
   if (!processed.ok()) return processed.status();
   return DetectProcessed(*processed);
+}
+
+StatusOr<BatchDetection> LeadModel::DetectStream(
+    int count, const TrajectoryProvider& provider,
+    const poi::PoiIndex& poi_index) const {
+  if (count < 0) return InvalidArgumentError("negative batch count");
+  if (provider == nullptr) {
+    return InvalidArgumentError("null trajectory provider");
+  }
+  static obs::Counter& shed_counter = obs::GetCounter("lead.detect.shed");
+  obs::ScopedSpan span(obs::kCatInfer, "detect_stream");
+  span.Arg("count", static_cast<double>(count));
+  ScopedCancel scoped_cancel(
+      TightenDeadline(CurrentCancel(), options_.detect.deadline_ms));
+  WatchdogScope watchdog("detect_stream");
+  const CancelToken token = CurrentCancel();
+
+  BatchDetection batch;
+  batch.outcomes.resize(static_cast<size_t>(count));
+  auto shed_item = [&](int index, const Status& status,
+                       CancelCause cause) {
+    DetectionOutcome& outcome = batch.outcomes[static_cast<size_t>(index)];
+    outcome.status = status;
+    outcome.degraded = true;
+    shed_counter.Increment();
+    ++batch.shed;
+    if (batch.cause == CancelCause::kNone) batch.cause = cause;
+  };
+
+  int next = 0;
+  Status cancel_status = Status::Ok();
+  for (; next < count; ++next) {
+    // Per-trajectory poll point: the only place the batch gives up work.
+    cancel_status = token.Check("detect_stream");
+    if (!cancel_status.ok()) break;
+    DetectionOutcome& outcome = batch.outcomes[static_cast<size_t>(next)];
+    auto raw = provider(next);
+    if (!raw.ok()) {
+      if (IsCancellation(raw.status()) && token.Cancelled()) {
+        cancel_status = raw.status();
+        break;
+      }
+      if (raw.status().code() == StatusCode::kResourceExhausted) {
+        // Budget rejection is per-item: admission may succeed again once
+        // in-flight work releases its reservation. Shed and move on.
+        shed_item(next, raw.status(), CancelCause::kBudget);
+        continue;
+      }
+      outcome.status = raw.status();
+      continue;
+    }
+    auto detection = Detect(*raw, poi_index);
+    if (!detection.ok()) {
+      if (IsCancellation(detection.status()) && token.Cancelled()) {
+        cancel_status = detection.status();
+        break;
+      }
+      if (detection.status().code() == StatusCode::kResourceExhausted) {
+        shed_item(next, detection.status(), CancelCause::kBudget);
+        continue;
+      }
+      outcome.status = detection.status();
+      continue;
+    }
+    outcome.detection = *std::move(detection);
+    ++batch.completed;
+  }
+  if (!cancel_status.ok()) {
+    // Batch-level cancellation: deadline/user/fault. Either fail the call
+    // or return what completed, marking the remainder shed.
+    if (!options_.detect.partial_results) return cancel_status;
+    const CancelCause cause = token.cause();
+    for (int i = next; i < count; ++i) {
+      shed_item(i, cancel_status,
+                cause != CancelCause::kNone ? cause : CancelCause::kUser);
+    }
+  }
+  return batch;
+}
+
+StatusOr<BatchDetection> LeadModel::DetectBatch(
+    const std::vector<traj::RawTrajectory>& raws,
+    const poi::PoiIndex& poi_index) const {
+  return DetectStream(
+      static_cast<int>(raws.size()),
+      [&raws](int index) -> StatusOr<traj::RawTrajectory> {
+        return raws[static_cast<size_t>(index)];
+      },
+      poi_index);
 }
 
 std::vector<std::pair<traj::Candidate, float>> TopKCandidates(
@@ -1078,11 +1233,18 @@ Status LeadModel::WriteTrainCheckpoint(const std::string& path, int stage,
   AppendU32(&header, static_cast<uint32_t>(stage));
   AppendU32(&header, static_cast<uint32_t>(next_epoch));
   const uint32_t crc = Crc32(header.data(), header.size());
-  std::ostringstream buffer;
-  buffer.write(header.data(), static_cast<std::streamsize>(header.size()));
-  buffer.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
-  LEAD_RETURN_IF_ERROR(SerializeModel(buffer));
-  return WriteFileAtomic(path, buffer.str());
+  // Serialize inside the retried op so a transient serialize-time fault
+  // (e.g. an armed serialize.write that fires once) heals on retry; the
+  // atomic rename keeps every failed attempt invisible on disk.
+  RetryOptions retry;
+  retry.seed = options_.train.seed;
+  return RetryWithBackoff("checkpoint_write", retry, [&] {
+    std::ostringstream buffer;
+    buffer.write(header.data(), static_cast<std::streamsize>(header.size()));
+    buffer.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+    LEAD_RETURN_IF_ERROR(SerializeModel(buffer));
+    return WriteFileAtomic(path, buffer.str());
+  });
 }
 
 Status LeadModel::TryResumeFromCheckpoint(const std::string& path,
@@ -1134,9 +1296,13 @@ Status LeadModel::Save(const std::string& path) const {
     return FailedPreconditionError("model is not trained");
   }
   LEAD_TRACE_SCOPE(obs::kCatIo, "model_save");
-  std::ostringstream buffer;
-  LEAD_RETURN_IF_ERROR(SerializeModel(buffer));
-  return WriteFileAtomic(path, buffer.str());
+  RetryOptions retry;
+  retry.seed = options_.train.seed;
+  return RetryWithBackoff("model_save", retry, [&] {
+    std::ostringstream buffer;
+    LEAD_RETURN_IF_ERROR(SerializeModel(buffer));
+    return WriteFileAtomic(path, buffer.str());
+  });
 }
 
 Status LeadModel::CopyEncoderFrom(const LeadModel& other) {
@@ -1162,12 +1328,18 @@ Status LeadModel::CopyEncoderFrom(const LeadModel& other) {
 }
 
 Status LeadModel::Load(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return IoError("cannot open for read: " + path);
   // Load through a scratch model so a corrupt file never leaves *this
-  // with a half-overwritten normalizer or weight set.
+  // with a half-overwritten normalizer or weight set. Retry covers
+  // transient opens/reads; persistent corruption simply exhausts the
+  // (short) attempt budget and reports the same kIoError it always did.
+  RetryOptions retry;
+  retry.seed = options_.train.seed;
   LeadModel scratch(options_);
-  LEAD_RETURN_IF_ERROR(scratch.DeserializeModel(in));
+  LEAD_RETURN_IF_ERROR(RetryWithBackoff("model_load", retry, [&] {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return IoError("cannot open for read: " + path);
+    return scratch.DeserializeModel(in);
+  }));
   normalizer_ = std::move(scratch.normalizer_);
   autoencoder_ = std::move(scratch.autoencoder_);
   forward_detector_ = std::move(scratch.forward_detector_);

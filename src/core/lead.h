@@ -16,10 +16,13 @@
 // MakeVariantOptions.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "core/autoencoder.h"
@@ -117,6 +120,19 @@ struct DetectOptions {
   std::string trace_out;
   std::string metrics_out;
   std::string log_level;
+  // Wall-clock budget per Detect/DetectStream call, measured from entry on
+  // the monotonic clock; <= 0 means no deadline. Composes with any ambient
+  // CancelToken (the tighter deadline wins). A single Detect past its
+  // deadline returns kDeadlineExceeded; work completed before the poll
+  // point that observed the deadline is bit-identical to an uncancelled
+  // run (DESIGN.md §"Deadlines, cancellation, and budgets").
+  int64_t deadline_ms = 0;
+  // Batch-mode degradation policy (DetectStream/DetectBatch): when true,
+  // cancellation mid-batch returns the trajectories scored so far, marking
+  // the rest `degraded` with a typed per-item status and bumping
+  // lead.detect.shed — never an all-or-nothing failure. When false, the
+  // batch call returns the typed error Status instead.
+  bool partial_results = true;
 };
 
 struct LeadOptions {
@@ -173,6 +189,34 @@ struct Detection {
 std::vector<std::pair<traj::Candidate, float>> TopKCandidates(
     const Detection& detection, int k);
 
+// One entry of a batch detection. Exactly one of these holds: status.ok()
+// with a populated detection, or a non-OK status (degraded = true when the
+// item was shed by cancellation/deadline/budget rather than failed on its
+// own merits).
+struct DetectionOutcome {
+  Status status;
+  bool degraded = false;
+  Detection detection;
+};
+
+// Result of DetectStream/DetectBatch over N trajectories.
+struct BatchDetection {
+  // One outcome per input index, in input order.
+  std::vector<DetectionOutcome> outcomes;
+  int completed = 0;  // outcomes with status.ok()
+  int shed = 0;       // degraded outcomes (also counted in lead.detect.shed)
+  // Why the batch degraded; kNone when every item ran to completion.
+  CancelCause cause = CancelCause::kNone;
+};
+
+// Produces the raw trajectory for batch index `i` — typically a closure
+// over an I/O source, so slow reads are covered by the same deadline as
+// scoring. Returning a non-OK status records it on that item's outcome; a
+// cancellation-family code sheds the rest of the batch per
+// DetectOptions::partial_results.
+using TrajectoryProvider =
+    std::function<StatusOr<traj::RawTrajectory>(int index)>;
+
 class LeadModel {
  public:
   explicit LeadModel(const LeadOptions& options);
@@ -193,6 +237,22 @@ class LeadModel {
   // Detection from an already-processed trajectory (features must have
   // been produced with this model's normalizer).
   StatusOr<Detection> DetectProcessed(const ProcessedTrajectory& pt) const;
+
+  // Batch detection with graceful degradation: processes trajectories
+  // 0..count-1 from `provider` under DetectOptions::deadline_ms. On
+  // cancellation with partial_results set, already-scored items are
+  // returned intact and the remainder is shed (see BatchDetection);
+  // without partial_results the typed error Status is returned. Per-item
+  // non-cancellation errors are recorded on their outcome and the batch
+  // continues.
+  StatusOr<BatchDetection> DetectStream(int count,
+                                        const TrajectoryProvider& provider,
+                                        const poi::PoiIndex& poi_index) const;
+
+  // Convenience over DetectStream for an in-memory batch.
+  StatusOr<BatchDetection> DetectBatch(
+      const std::vector<traj::RawTrajectory>& raws,
+      const poi::PoiIndex& poi_index) const;
 
   // Runs the processing pipeline with this model's fitted normalizer.
   StatusOr<ProcessedTrajectory> Preprocess(

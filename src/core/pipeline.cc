@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/cancel.h"
 #include "common/check.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -42,11 +43,17 @@ StatusOr<ProcessedTrajectory> ProcessTrajectory(
     out.segmentation = traj::Segment(out.cleaned, std::move(stays));
     out.candidates = traj::GenerateCandidates(out.segmentation.num_stays());
   }
+  // Feature extraction walks every point against the POI index — the
+  // most expensive stage here — so poll on either side of it. PackFeatures
+  // LEAD_CHECKs its input shape, so we must unwind *before* handing it a
+  // half-built row set rather than inside.
+  LEAD_RETURN_IF_ERROR(PollCancel("preprocess.features"));
   {
     LEAD_TRACE_SCOPE(obs::kCatPreprocess, "features");
-    out.features = PackFeatures(
-        ExtractPointFeatures(out.cleaned, poi_index, options.features),
-        normalizer);
+    std::vector<std::vector<float>> rows =
+        ExtractPointFeatures(out.cleaned, poi_index, options.features);
+    LEAD_RETURN_IF_ERROR(PollCancel("preprocess.pack"));
+    out.features = PackFeatures(rows, normalizer);
   }
   span.Arg("candidates", static_cast<double>(out.candidates.size()));
   return out;

@@ -6,6 +6,7 @@
 #include <memory>
 #include <string>
 
+#include "common/cancel.h"
 #include "common/check.h"
 #include "nn/adam.h"
 #include "nn/early_stopping.h"
@@ -84,6 +85,12 @@ Status RunTrainingStage(
       "train." + std::string(options.stage_name) + ".val_loss");
 
   for (int epoch = options.start_epoch; epoch < options.epochs;) {
+    // Epoch boundaries are the training loop's poll points: a cancelled
+    // or deadline-expired context stops here with a typed status, after
+    // the last full epoch's checkpoint, never mid-optimizer-step. The
+    // epoch callbacks themselves bail at chunk boundaries (they return a
+    // partial loss which we discard by unwinding before using it).
+    LEAD_RETURN_IF_ERROR(PollCancel(options.stage_name));
     obs::ScopedTimerUs epoch_timer(&epoch_us);
     obs::ScopedSpan span(options.trace_category, "epoch");
     const float lr = schedule.LearningRate(epoch) * lr_scale;

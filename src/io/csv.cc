@@ -7,10 +7,17 @@
 #include <sstream>
 #include <string>
 
+#include "common/cancel.h"
+#include "common/check.h"
 #include "common/fault.h"
 
 namespace lead::io {
 namespace {
+
+// Row loops poll the ambient cancel token every kPollStride lines —
+// often enough that a multi-million-row file honors a deadline within
+// milliseconds, rare enough that the check never shows up in profiles.
+constexpr size_t kPollStride = 1024;
 
 // Timestamp sanity ceiling: 2100-01-01T00:00:00Z. Readers reject rows
 // outside [0, kMaxTimestamp]; real HCT feeds occasionally emit garbage
@@ -30,7 +37,8 @@ std::vector<std::string> SplitCsvLine(const std::string& line) {
   std::vector<std::string> fields;
   std::string field;
   std::stringstream ss(line);
-  while (std::getline(ss, field, ',')) fields.push_back(field);
+  // Bounded by one already-read line, so no poll point needed.
+  while (std::getline(ss, field, ',')) fields.push_back(field);  // lead-lint: allow(io-unbounded-loop)
   if (!line.empty() && line.back() == ',') fields.push_back("");
   return fields;
 }
@@ -49,9 +57,25 @@ bool ParseInt64(const std::string& s, int64_t* out) {
   return ec == std::errc() && ptr == end;
 }
 
-Status BadRow(const char* what, size_t line_number) {
-  return InvalidArgumentError(std::string(what) + " at line " +
+Status BadRow(const char* what, size_t line_number,
+              bool unterminated = false) {
+  std::string message(what);
+  if (unterminated) {
+    message += " (final line has no newline; file truncated mid-record?)";
+  }
+  return InvalidArgumentError(message + " at line " +
                               std::to_string(line_number));
+}
+
+// getline succeeds on a final line with no trailing '\n' and only then
+// sets eofbit; capturing that lets a malformed *unterminated* last row
+// be reported as likely truncation instead of a generic parse error. A
+// well-formed unterminated final line is still accepted — plenty of
+// tools drop the last newline.
+bool ReadRecord(std::istream& in, std::string* line, bool* unterminated) {
+  if (!std::getline(in, *line)) return false;
+  *unterminated = in.eof();
+  return true;
 }
 
 }  // namespace
@@ -91,11 +115,19 @@ StatusOr<std::vector<traj::RawTrajectory>> ReadTrajectories(
   std::vector<traj::RawTrajectory> trajectories;
   std::unordered_map<std::string, size_t> by_id;
   size_t line_number = 1;
-  while (std::getline(in, line)) {
+  bool unterminated = false;
+  while (ReadRecord(in, &line, &unterminated)) {
     ++line_number;
+    if ((line_number % kPollStride) == 0) {
+      LEAD_RETURN_IF_ERROR(PollCancel("io.read_trajectories"));
+    }
+    // Chaos point: a reader that hangs mid-file (slow NFS, dead pipe).
+    LEAD_FAULT_STALL("io.read.stall");
     if (line.empty()) continue;
     const std::vector<std::string> fields = SplitCsvLine(line);
-    if (fields.size() != 5) return BadRow("expected 5 fields", line_number);
+    if (fields.size() != 5) {
+      return BadRow("expected 5 fields", line_number, unterminated);
+    }
     // Fault "csv.row": a row that fails to parse (tests drive the BadRow
     // diagnostics through this without crafting bad bytes).
     if (LEAD_FAULT_FIRED("csv.row")) {
@@ -105,7 +137,8 @@ StatusOr<std::vector<traj::RawTrajectory>> ReadTrajectories(
     if (!ParseDouble(fields[2], &point.pos.lat) ||
         !ParseDouble(fields[3], &point.pos.lng) ||
         !ParseInt64(fields[4], &point.t)) {
-      return BadRow("unparsable coordinates/timestamp", line_number);
+      return BadRow("unparsable coordinates/timestamp", line_number,
+                    unterminated);
     }
     if (!ValidLatLng(point.pos.lat, point.pos.lng)) {
       return BadRow("non-finite or out-of-range coordinates", line_number);
@@ -152,16 +185,23 @@ StatusOr<std::vector<poi::Poi>> ReadPois(std::istream& in) {
   }
   std::vector<poi::Poi> pois;
   size_t line_number = 1;
-  while (std::getline(in, line)) {
+  bool unterminated = false;
+  while (ReadRecord(in, &line, &unterminated)) {
     ++line_number;
+    if ((line_number % kPollStride) == 0) {
+      LEAD_RETURN_IF_ERROR(PollCancel("io.read_pois"));
+    }
+    LEAD_FAULT_STALL("io.read.stall");
     if (line.empty()) continue;
     const std::vector<std::string> fields = SplitCsvLine(line);
-    if (fields.size() != 4) return BadRow("expected 4 fields", line_number);
+    if (fields.size() != 4) {
+      return BadRow("expected 4 fields", line_number, unterminated);
+    }
     poi::Poi p;
     if (!ParseInt64(fields[0], &p.id) ||
         !ParseDouble(fields[2], &p.pos.lat) ||
         !ParseDouble(fields[3], &p.pos.lng)) {
-      return BadRow("unparsable POI row", line_number);
+      return BadRow("unparsable POI row", line_number, unterminated);
     }
     if (!ValidLatLng(p.pos.lat, p.pos.lng)) {
       return BadRow("non-finite or out-of-range coordinates", line_number);
@@ -191,16 +231,23 @@ StatusOr<LabelMap> ReadLabels(std::istream& in) {
   }
   LabelMap labels;
   size_t line_number = 1;
-  while (std::getline(in, line)) {
+  bool unterminated = false;
+  while (ReadRecord(in, &line, &unterminated)) {
     ++line_number;
+    if ((line_number % kPollStride) == 0) {
+      LEAD_RETURN_IF_ERROR(PollCancel("io.read_labels"));
+    }
+    LEAD_FAULT_STALL("io.read.stall");
     if (line.empty()) continue;
     const std::vector<std::string> fields = SplitCsvLine(line);
-    if (fields.size() != 3) return BadRow("expected 3 fields", line_number);
+    if (fields.size() != 3) {
+      return BadRow("expected 3 fields", line_number, unterminated);
+    }
     int64_t start = 0;
     int64_t end = 0;
     if (!ParseInt64(fields[1], &start) || !ParseInt64(fields[2], &end) ||
         start < 0 || end <= start) {
-      return BadRow("invalid stay-point pair", line_number);
+      return BadRow("invalid stay-point pair", line_number, unterminated);
     }
     if (!labels
              .emplace(fields[0], traj::Candidate{static_cast<int>(start),

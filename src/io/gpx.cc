@@ -1,5 +1,6 @@
 #include "io/gpx.h"
 
+#include <algorithm>
 #include <cctype>
 #include <charconv>
 #include <cmath>
@@ -8,8 +9,17 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/cancel.h"
+#include "common/check.h"
+#include "common/fault.h"
+
 namespace lead::io {
 namespace {
+
+// Cancel-poll cadence for the tag-scan loops (same rationale as the CSV
+// readers: cheap enough to never matter, frequent enough that deadlines
+// bind within milliseconds on huge documents).
+constexpr int kPollStride = 1024;
 
 // Days since 1970-01-01 for a Gregorian date (civil-days algorithm).
 int64_t DaysFromCivil(int y, int m, int d) {
@@ -56,6 +66,22 @@ bool ParseDouble(const std::string& s, double* out) {
   return ec == std::errc() && ptr == s.data() + s.size();
 }
 
+// Maps a byte offset in the blob-parsed document back to a 1-based line
+// number so GPX parse errors carry the same "at line N" diagnostics as
+// the CSV readers (the document may be truncated mid-tag, so the offset
+// is clamped).
+size_t LineAt(const std::string& text, size_t offset) {
+  offset = std::min(offset, text.size());
+  return static_cast<size_t>(std::count(text.begin(),
+                                        text.begin() + offset, '\n')) +
+         1;
+}
+
+Status BadGpx(const char* what, const std::string& text, size_t offset) {
+  return InvalidArgumentError(std::string(what) + " at line " +
+                              std::to_string(LineAt(text, offset)));
+}
+
 }  // namespace
 
 StatusOr<int64_t> ParseIso8601Utc(const std::string& text) {
@@ -95,12 +121,21 @@ StatusOr<std::vector<traj::RawTrajectory>> ReadGpx(std::istream& in) {
   std::vector<traj::RawTrajectory> trajectories;
   size_t pos = 0;
   int anonymous_tracks = 0;
+  int track_iterations = 0;
   while (true) {
+    // `pos` strictly advances past each </trk>, so this loop is bounded
+    // by the document size; the stride poll lets a deadline cut a huge
+    // multi-track file short with a typed status.
+    if ((++track_iterations % kPollStride) == 0) {
+      LEAD_RETURN_IF_ERROR(PollCancel("io.read_gpx"));
+    }
+    LEAD_FAULT_STALL("io.read.stall");
     const size_t trk_begin = text.find("<trk>", pos);
     if (trk_begin == std::string::npos) break;
     const size_t trk_end = text.find("</trk>", trk_begin);
     if (trk_end == std::string::npos) {
-      return InvalidArgumentError("unterminated <trk>");
+      return BadGpx("unterminated <trk> (document truncated mid-track?)",
+                    text, trk_begin);
     }
     const std::string trk = text.substr(trk_begin, trk_end - trk_begin);
     pos = trk_end + 6;
@@ -119,13 +154,21 @@ StatusOr<std::vector<traj::RawTrajectory>> ReadGpx(std::istream& in) {
     trajectory.truck_id = trajectory.trajectory_id;
 
     size_t pt_pos = 0;
+    int point_iterations = 0;
     while (true) {
+      // Bounded the same way: pt_pos strictly advances past </trkpt>.
+      if ((++point_iterations % kPollStride) == 0) {
+        LEAD_RETURN_IF_ERROR(PollCancel("io.read_gpx"));
+      }
       const size_t pt_begin = trk.find("<trkpt", pt_pos);
       if (pt_begin == std::string::npos) break;
+      // Absolute document offset of this point, for line diagnostics.
+      const size_t doc_offset = trk_begin + pt_begin;
       const size_t tag_end = trk.find('>', pt_begin);
       const size_t pt_end = trk.find("</trkpt>", pt_begin);
       if (tag_end == std::string::npos || pt_end == std::string::npos) {
-        return InvalidArgumentError("malformed <trkpt>");
+        return BadGpx("malformed <trkpt> (truncated mid-record?)", text,
+                      doc_offset);
       }
       const std::string tag = trk.substr(pt_begin, tag_end - pt_begin);
       const std::string body = trk.substr(tag_end, pt_end - tag_end);
@@ -135,25 +178,25 @@ StatusOr<std::vector<traj::RawTrajectory>> ReadGpx(std::istream& in) {
       std::string lon_text;
       if (!FindAttribute(tag, "lat", &lat_text) ||
           !FindAttribute(tag, "lon", &lon_text)) {
-        return InvalidArgumentError("<trkpt> missing lat/lon");
+        return BadGpx("<trkpt> missing lat/lon", text, doc_offset);
       }
       traj::GpsPoint point;
       if (!ParseDouble(lat_text, &point.pos.lat) ||
           !ParseDouble(lon_text, &point.pos.lng)) {
-        return InvalidArgumentError("unparsable lat/lon in <trkpt>");
+        return BadGpx("unparsable lat/lon in <trkpt>", text, doc_offset);
       }
       // from_chars accepts "nan"/"inf"; reject them and off-planet values.
       if (!std::isfinite(point.pos.lat) || !std::isfinite(point.pos.lng) ||
           point.pos.lat < -90.0 || point.pos.lat > 90.0 ||
           point.pos.lng < -180.0 || point.pos.lng > 180.0) {
-        return InvalidArgumentError(
-            "non-finite or out-of-range lat/lon in <trkpt>");
+        return BadGpx("non-finite or out-of-range lat/lon in <trkpt>",
+                      text, doc_offset);
       }
       const size_t time_begin = body.find("<time>");
       const size_t time_end = body.find("</time>");
       if (time_begin == std::string::npos ||
           time_end == std::string::npos) {
-        return InvalidArgumentError("<trkpt> missing <time>");
+        return BadGpx("<trkpt> missing <time>", text, doc_offset);
       }
       auto t = ParseIso8601Utc(
           body.substr(time_begin + 6, time_end - time_begin - 6));

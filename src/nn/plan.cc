@@ -4,6 +4,7 @@
 #include <limits>
 #include <utility>
 
+#include "common/budget.h"
 #include "common/check.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -463,6 +464,17 @@ std::shared_ptr<const PlanCache::Entry> PlanCache::GetOrRecord(
     failed_keys_.insert(key);
     return nullptr;
   }
+  // Plan arenas are the largest long-lived allocations in the process,
+  // so they go through the memory budget. A rejection is graceful: the
+  // recording already produced the eager result, so we simply decline to
+  // cache this plan and the caller stays on the (slower, smaller) eager
+  // path. Deliberately not in failed_keys_: if budget frees up later the
+  // same key may be admitted.
+  const int64_t arena_bytes =
+      static_cast<int64_t>(entry->plan->stats().arena_bytes);
+  if (!MemoryBudget::Global().Admit(arena_bytes, "plan_arena").ok()) {
+    return nullptr;
+  }
   arena_bytes_total_ += entry->plan->stats().arena_bytes;
   arena_gauge.Set(static_cast<double>(arena_bytes_total_));
   entries_[key] = entry;
@@ -473,6 +485,7 @@ void PlanCache::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   entries_.clear();
   failed_keys_.clear();
+  MemoryBudget::Global().Release(static_cast<int64_t>(arena_bytes_total_));
   arena_bytes_total_ = 0;
   obs::GetGauge("nn.plan.arena_bytes").Set(0.0);
 }

@@ -12,6 +12,7 @@
 #include "common/check.h"
 #include "common/crc32.h"
 #include "common/fault.h"
+#include "common/retry.h"
 
 namespace lead::nn {
 namespace {
@@ -125,15 +126,22 @@ Status LoadParameters(Module* module, std::istream& in) {
 }
 
 Status SaveParametersToFile(const Module& module, const std::string& path) {
-  std::ostringstream buffer;
-  LEAD_RETURN_IF_ERROR(SaveParameters(module, buffer));
-  return WriteFileAtomic(path, buffer.str());
+  // Serialize inside the retried op: a transient write fault (injected or
+  // real) is healed by re-serializing, and the atomic rename means a
+  // failed attempt never leaves a torn file for the retry to trip on.
+  return RetryWithBackoff("nn.save_parameters", RetryOptions(), [&] {
+    std::ostringstream buffer;
+    LEAD_RETURN_IF_ERROR(SaveParameters(module, buffer));
+    return WriteFileAtomic(path, buffer.str());
+  });
 }
 
 Status LoadParametersFromFile(Module* module, const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return IoError("cannot open for read: " + path);
-  return LoadParameters(module, in);
+  return RetryWithBackoff("nn.load_parameters", RetryOptions(), [&] {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return IoError("cannot open for read: " + path);
+    return LoadParameters(module, in);
+  });
 }
 
 }  // namespace lead::nn

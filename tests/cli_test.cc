@@ -92,12 +92,28 @@ TEST_F(CliEndToEnd, SimulateTrainEvaluateDetect) {
   EXPECT_NE(out.find("LEAD"), std::string::npos) << out;
   EXPECT_NE(out.find("3~14"), std::string::npos) << out;
 
-  ASSERT_EQ(RunCommand(CliPath() + " detect --data " + dir_ + " --model " + model,
+  // Detect with a generous deadline: the run must finish normally and
+  // the metrics snapshot must carry the robustness instrumentation
+  // (shed/cancel counters and the deadline-margin histogram are
+  // registered eagerly so dashboards see zeros, not absences).
+  const std::string detect_metrics = dir_ + "/detect_metrics.json";
+  ASSERT_EQ(RunCommand(CliPath() + " detect --data " + dir_ + " --model " +
+                    model + " --deadline-ms 60000 --metrics-out " +
+                    detect_metrics,
                 &out),
             0)
       << out;
   EXPECT_NE(out.find("detected loaded trajectory"), std::string::npos)
       << out;
+  ASSERT_TRUE(std::filesystem::exists(detect_metrics));
+  const std::string detect_json = ReadFile(detect_metrics);
+  EXPECT_NE(detect_json.find("lead.detect.shed"), std::string::npos);
+  EXPECT_NE(detect_json.find("lead.cancel.deadline"), std::string::npos);
+  EXPECT_NE(detect_json.find("lead.cancel.user"), std::string::npos);
+  EXPECT_NE(detect_json.find("lead.cancel.budget"), std::string::npos);
+  EXPECT_NE(detect_json.find("lead.cancel.fault"), std::string::npos);
+  EXPECT_NE(detect_json.find("lead.stage.deadline_margin_us"),
+            std::string::npos);
 }
 
 TEST_F(CliEndToEnd, UsageAndErrorPaths) {

@@ -92,6 +92,50 @@ TEST(GpxTest, RejectsMalformedDocuments) {
   EXPECT_FALSE(ReadGpx(unterminated).ok());
 }
 
+TEST(GpxTest, TruncationErrorsCarryLineNumbers) {
+  // A document cut off mid-track: the diagnostic points at the line of
+  // the unterminated <trk>, not just "parse error somewhere".
+  std::stringstream truncated(
+      "<gpx>\n"
+      "<trk><trkseg>\n"
+      "<trkpt lat=\"32.0\" lon=\"120.9\">"
+      "<time>2020-09-01T08:00:00Z</time></trkpt>\n"
+      "</trkseg>\n");
+  const auto result = ReadGpx(truncated);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("at line 2"), std::string::npos)
+      << result.status().ToString();
+  EXPECT_NE(result.status().message().find("truncated"), std::string::npos)
+      << result.status().ToString();
+
+  // Cut off mid-point: the diagnostic names the <trkpt>'s own line.
+  std::stringstream mid_point(
+      "<gpx>\n"
+      "<trk><trkseg>\n"
+      "<trkpt lat=\"32.0\" lon=\"120.9\"><time>2020-09-01T08:00"
+      "</trkseg></trk></gpx>\n");
+  const auto point_result = ReadGpx(mid_point);
+  ASSERT_FALSE(point_result.ok());
+  EXPECT_NE(point_result.status().message().find("at line 3"),
+            std::string::npos)
+      << point_result.status().ToString();
+}
+
+TEST(GpxTest, BadPointErrorsNameTheOffendingLine) {
+  std::stringstream bad_coords(
+      "<gpx>\n"
+      "<trk><trkseg>\n"
+      "<trkpt lat=\"32.0\" lon=\"120.9\">"
+      "<time>2020-09-01T08:00:00Z</time></trkpt>\n"
+      "<trkpt lat=\"nan\" lon=\"120.9\">"
+      "<time>2020-09-01T08:01:00Z</time></trkpt>\n"
+      "</trkseg></trk></gpx>\n");
+  const auto result = ReadGpx(bad_coords);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("at line 4"), std::string::npos)
+      << result.status().ToString();
+}
+
 TEST(GpxTest, RejectsNonFiniteAndOutOfRangeCoordinates) {
   for (const auto& [lat, lon] :
        std::vector<std::pair<const char*, const char*>>{

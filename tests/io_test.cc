@@ -63,6 +63,34 @@ TEST(TrajectoryCsvTest, RejectsNonIncreasingTimestamps) {
   EXPECT_FALSE(ReadTrajectories(buffer).ok());
 }
 
+TEST(TrajectoryCsvTest, TruncatedFinalRecordIsDiagnosedWithLineNumber) {
+  // A file cut off mid-record (no trailing newline, half the fields):
+  // the error names the line and flags the missing terminator.
+  std::stringstream truncated(
+      "trajectory_id,truck_id,lat,lng,t\n"
+      "t1,a,32.0,120.9,100\n"
+      "t1,a,32.0,120");
+  const auto result = ReadTrajectories(truncated);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("at line 3"), std::string::npos)
+      << result.status().ToString();
+  EXPECT_NE(result.status().message().find("truncated"), std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(TrajectoryCsvTest, WellFormedUnterminatedFinalLineIsAccepted) {
+  // Plenty of tools drop the last newline; a complete final record must
+  // still parse.
+  std::stringstream buffer(
+      "trajectory_id,truck_id,lat,lng,t\n"
+      "t1,a,32.0,120.9,100\n"
+      "t1,a,32.1,120.8,200");
+  const auto result = ReadTrajectories(buffer);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ((*result)[0].points.size(), 2u);
+}
+
 TEST(TrajectoryCsvTest, RejectsGarbageFields) {
   std::stringstream buffer(
       "trajectory_id,truck_id,lat,lng,t\n"
@@ -183,6 +211,19 @@ TEST(LabelCsvTest, RoundTrips) {
   EXPECT_EQ(loaded->size(), 2u);
   EXPECT_EQ(loaded->at("t1"), (traj::Candidate{1, 4}));
   EXPECT_EQ(loaded->at("t2"), (traj::Candidate{0, 2}));
+}
+
+TEST(LabelCsvTest, TruncatedFinalRecordIsDiagnosedWithLineNumber) {
+  std::stringstream truncated(
+      "trajectory_id,loading_sp,unloading_sp\n"
+      "t1,1,3\n"
+      "t2,1");
+  const auto result = ReadLabels(truncated);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("at line 3"), std::string::npos)
+      << result.status().ToString();
+  EXPECT_NE(result.status().message().find("truncated"), std::string::npos)
+      << result.status().ToString();
 }
 
 TEST(LabelCsvTest, RejectsInvalidPairsAndDuplicates) {

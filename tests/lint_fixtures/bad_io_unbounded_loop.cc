@@ -1,0 +1,49 @@
+// Fixture for the io-unbounded-loop rule: reader loops over external
+// input with no cancellation poll. Linted with --lib (stands in for a
+// file under src/io/).
+#include <istream>
+#include <string>
+
+void ScanTags(const std::string& text) {
+  std::size_t pos = 0;
+  while (true) {  // line 9: unbounded tag scan, no poll
+    const std::size_t begin = text.find("<trk>", pos);
+    if (begin == std::string::npos) break;
+    pos = begin + 5;
+  }
+}
+
+int CountRows(std::istream& in) {
+  int rows = 0;
+  std::string line;
+  while (std::getline(in, line)) {  // line 19: row loop, no poll
+    ++rows;
+  }
+  return rows;
+}
+
+// A loop that polls is clean: the identifier is enough for the
+// tokenizer-level heuristic.
+bool PollCancel();
+int CountRowsPolled(std::istream& in) {
+  int rows = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if ((rows % 1024) == 0 && PollCancel()) break;
+    ++rows;
+  }
+  return rows;
+}
+
+// Bounded-by-construction loops carry the allow marker.
+int SplitFields(const std::string& line) {
+  int fields = 0;
+  std::size_t pos = 0;
+  while (true) {  // lead-lint: allow(io-unbounded-loop)
+    const std::size_t comma = line.find(',', pos);
+    ++fields;
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return fields;
+}

@@ -78,6 +78,21 @@ TEST_F(LintTest, EveryRuleFiresOnItsFixture) {
   ExpectViolation("bad_float_eq.cc", "float-eq", 3);
   ExpectViolation("bad_matrix_in_kernel.cc", "matrix-in-kernel", 23);
   ExpectViolation("bad_pragma_once.h", "pragma-once", 1);
+  ExpectViolation("bad_io_unbounded_loop.cc", "io-unbounded-loop", 9,
+                  "--lib");
+}
+
+TEST_F(LintTest, IoUnboundedLoopSparesPolledAndAllowedLoops) {
+  // Both unpolled reader loops fire; the polled loop (line 31) and the
+  // allow-marked bounded split loop (line 41) stay quiet. Like the
+  // lib-only rules, the io gate is off without --lib.
+  std::string out;
+  EXPECT_EQ(LintFixture("bad_io_unbounded_loop.cc", &out, "--lib"), 1);
+  EXPECT_NE(out.find(":9 io-unbounded-loop"), std::string::npos) << out;
+  EXPECT_NE(out.find(":19 io-unbounded-loop"), std::string::npos) << out;
+  EXPECT_EQ(out.find(":31 "), std::string::npos) << out;
+  EXPECT_EQ(out.find(":41 "), std::string::npos) << out;
+  EXPECT_EQ(LintFixture("bad_io_unbounded_loop.cc", &out), 0) << out;
 }
 
 TEST_F(LintTest, MatrixInKernelSparesNonKernelsAndAllowedLines) {
@@ -118,7 +133,7 @@ TEST_F(LintTest, ListRulesCoversEveryRule) {
        {"rand", "raw-rng", "wall-clock", "unordered-iter",
         "discarded-status", "raw-new", "raw-delete", "float-eq",
         "matrix-in-kernel", "cout-in-lib", "exit-in-lib", "stderr",
-        "pragma-once"}) {
+        "pragma-once", "io-unbounded-loop"}) {
     EXPECT_NE(out.find(rule), std::string::npos) << "missing rule " << rule;
   }
 }

@@ -141,14 +141,37 @@ TEST_F(SerializeRobustnessTest, AtomicSavePreservesPreviousCheckpoint) {
   ASSERT_TRUE(nn::SaveParametersToFile(first, path).ok());
 
   // A failed overwrite (torn write into the temp file) must leave the
-  // previous checkpoint byte-identical and loadable.
+  // previous checkpoint byte-identical and loadable. Armed persistently
+  // (nth = 0) so the fault defeats every retry attempt, not just the
+  // first.
   nn::Linear second(4, 3, &rng);
-  fault::ArmFail("serialize.write", 1);
-  EXPECT_FALSE(nn::SaveParametersToFile(second, path).ok());
+  fault::ArmFail("serialize.write", 0);
+  const Status save = nn::SaveParametersToFile(second, path);
+  fault::Disarm("serialize.write");
+  EXPECT_FALSE(save.ok());
+  EXPECT_EQ(save.code(), StatusCode::kIoError);
 
   nn::Linear restored(4, 3, &rng);
   ASSERT_TRUE(nn::LoadParametersFromFile(&restored, path).ok());
   ExpectSameValues(first, restored);
+  std::remove(path.c_str());
+}
+
+TEST_F(SerializeRobustnessTest, TransientTornWriteHealsByRetry) {
+  if (!fault::Enabled()) GTEST_SKIP() << "fault injection compiled out";
+  const std::string path = ::testing::TempDir() + "/healed.ckpt";
+  Rng rng(8);
+  nn::Linear model(4, 3, &rng);
+
+  // One transient torn write (fires once, then disarms): the retry layer
+  // re-serializes and the save succeeds on a later attempt.
+  fault::ArmFail("serialize.write", 1);
+  ASSERT_TRUE(nn::SaveParametersToFile(model, path).ok());
+  EXPECT_EQ(fault::Fires("serialize.write"), 1);
+
+  nn::Linear restored(4, 3, &rng);
+  ASSERT_TRUE(nn::LoadParametersFromFile(&restored, path).ok());
+  ExpectSameValues(model, restored);
   std::remove(path.c_str());
 }
 

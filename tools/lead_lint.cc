@@ -63,6 +63,8 @@ constexpr RuleInfo kRules[] = {
     {"exit-in-lib", "exit() in library code; return Status instead"},
     {"stderr", "direct stderr output in library code; log via obs/log.h"},
     {"pragma-once", "header is missing #pragma once"},
+    {"io-unbounded-loop",
+     "reader loop in src/io with no cancellation poll point"},
 };
 
 bool IsKnownRule(const std::string& name) {
@@ -285,11 +287,13 @@ struct Violation {
 class FileLinter {
  public:
   FileLinter(std::string path, const LexedFile* lexed, bool lib_rules,
-             bool rng_exempt, const std::set<std::string>* status_fns,
+             bool io_rules, bool rng_exempt,
+             const std::set<std::string>* status_fns,
              std::vector<Violation>* out)
       : path_(std::move(path)),
         lexed_(lexed),
         lib_rules_(lib_rules),
+        io_rules_(io_rules),
         rng_exempt_(rng_exempt),
         status_fns_(status_fns),
         out_(out) {}
@@ -307,6 +311,7 @@ class FileLinter {
       CheckFloatEq(i);
       CheckMatrixInKernel(i);
       if (lib_rules_) CheckLibOnly(i);
+      if (io_rules_) CheckIoUnboundedLoop(i);
     }
     if (IsHeader() && !lexed_->has_pragma_once) {
       Report(1, "pragma-once", "header file has no #pragma once");
@@ -563,6 +568,52 @@ class FileLinter {
     }
   }
 
+  // --- io reader loops ----------------------------------------------------
+
+  // Reader loops in src/io walk external input whose size the process
+  // does not control: a `while (true)` tag scan or a `while (getline)`
+  // row loop can spin for the whole file. Each such loop must contain a
+  // cancellation poll (PollCancel / CurrentCancel / Cancelled) so
+  // deadlines bind mid-file (DESIGN.md §"Deadlines, cancellation, and
+  // budgets"). Loops that are provably bounded by already-loaded data
+  // carry an allow marker instead.
+  void CheckIoUnboundedLoop(size_t i) {
+    if (!Is(i, "while") || !Is(i + 1, "(") || PrevIs(i, "do")) return;
+    const size_t cond_close = MatchingClose(i + 1, "(", ")");
+    if (cond_close == Size()) return;
+    // Trigger only on the unbounded shapes: `while (true)`/`while (1)`
+    // or a condition that consumes a stream (getline / a Read* helper).
+    bool unbounded = false;
+    if (cond_close == i + 3 && (Is(i + 2, "true") || Is(i + 2, "1"))) {
+      unbounded = true;
+    } else {
+      for (size_t j = i + 2; j < cond_close; ++j) {
+        if (Tok(j).kind != Token::kIdent) continue;
+        if (Tok(j).text == "getline" || Tok(j).text.rfind("Read", 0) == 0) {
+          unbounded = true;
+          break;
+        }
+      }
+    }
+    if (!unbounded) return;
+    // Body: the braced block (or single statement) after the condition.
+    size_t body_end;
+    if (Is(cond_close + 1, "{")) {
+      body_end = MatchingClose(cond_close + 1, "{", "}");
+    } else {
+      body_end = cond_close + 1;
+      while (body_end < Size() && !Is(body_end, ";")) ++body_end;
+    }
+    static const std::set<std::string> kPolls = {"PollCancel", "CurrentCancel",
+                                                "Cancelled"};
+    for (size_t j = cond_close + 1; j < body_end; ++j) {
+      if (Tok(j).kind == Token::kIdent && kPolls.count(Tok(j).text)) return;
+    }
+    Report(Tok(i).line, "io-unbounded-loop",
+           "loop over external input has no cancellation poll; call "
+           "PollCancel on a stride (or annotate why the loop is bounded)");
+  }
+
   // --- library-only rules -------------------------------------------------
 
   void CheckLibOnly(size_t i) {
@@ -589,6 +640,7 @@ class FileLinter {
   std::string path_;
   const LexedFile* lexed_;
   bool lib_rules_;
+  bool io_rules_;
   bool rng_exempt_;
   const std::set<std::string>* status_fns_;
   std::vector<Violation>* out_;
@@ -652,6 +704,11 @@ std::string Generic(const fs::path& p) { return p.generic_string(); }
 
 bool UnderSrc(const std::string& path) {
   return path.rfind("src/", 0) == 0 || path.find("/src/") != std::string::npos;
+}
+
+bool UnderSrcIo(const std::string& path) {
+  return path.rfind("src/io/", 0) == 0 ||
+         path.find("/src/io/") != std::string::npos;
 }
 
 bool RngExempt(const std::string& path) {
@@ -743,7 +800,8 @@ int main(int argc, char** argv) {
   for (size_t f = 0; f < files.size(); ++f) {
     std::string path = Generic(files[f]);
     FileLinter linter(path, &lexed[f], force_lib || UnderSrc(path),
-                      RngExempt(path), &status_fns, &violations);
+                      force_lib || UnderSrcIo(path), RngExempt(path),
+                      &status_fns, &violations);
     linter.Run();
     for (const auto& [line, rules] : lexed[f].allowed) {
       for (const std::string& rule : rules) {
