@@ -341,7 +341,8 @@ void BM_ParallelPreprocess(benchmark::State& state) {
   state.counters["speedup_vs_serial"] = speedup;
   char record[256];
   std::snprintf(record, sizeof(record),
-                "{\"bench\": \"micro_preprocess\", \"threads\": %d, "
+                "{\"bench\": \"micro_preprocess\", "
+                "\"strategy\": \"deterministic\", \"threads\": %d, "
                 "\"seconds_per_trajectory\": %.6f, "
                 "\"speedup_vs_serial\": %.3f}",
                 lanes, per_item, speedup);

@@ -64,7 +64,7 @@ done
 echo "=== fault injection: robustness suites with LEAD_FAULT_INJECTION=ON ==="
 cmake -B build-fault -S . -DLEAD_FAULT_INJECTION=ON >/dev/null
 FAULT_TESTS=(serialize_robustness_test resilience_test parallel_parity_test \
-             io_test gpx_test chaos_test)
+             io_test gpx_test chaos_test fast_mode_test)
 cmake --build build-fault -j --target "${FAULT_TESTS[@]}"
 for t in "${FAULT_TESTS[@]}"; do
   echo "--- $t (fault injection) ---"
@@ -140,7 +140,7 @@ cmake -B build-tsan -S . \
   -DCMAKE_CXX_FLAGS="$TSAN_FLAGS" \
   -DCMAKE_EXE_LINKER_FLAGS="$TSAN_FLAGS" >/dev/null
 TSAN_TESTS=(obs_test parallel_parity_test resilience_test poi_test lead_test
-  plan_test chaos_test)
+  plan_test chaos_test thread_pool_test fast_mode_test)
 cmake --build build-tsan -j --target "${TSAN_TESTS[@]}"
 for t in "${TSAN_TESTS[@]}"; do
   echo "--- $t (TSan) ---"

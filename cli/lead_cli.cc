@@ -9,11 +9,16 @@
 //       split) and writes the checkpoint to FILE. --threads 0 (default)
 //       uses all hardware threads; any value gives bit-identical results.
 //   lead_cli detect --data DIR --model FILE [--trajectory ID] [--threads N]
-//       [--exec-mode eager|plan] [--deadline-ms N] [--memory-budget-mb N]
+//       [--exec-mode eager|plan] [--strategy deterministic|fast]
+//       [--deadline-ms N] [--memory-budget-mb N]
 //       Detects the loaded trajectory of one trajectory (default: the
 //       first) and prints the candidate distribution. --exec-mode plan
 //       replays compiled per-shape execution plans (bit-identical to
-//       eager, allocation-free once warm).
+//       eager, allocation-free once warm). --strategy fast opts into the
+//       throughput-first execution strategy (work-stealing loops, fused
+//       score batches; decisions equivalent, probabilities within the
+//       documented FP tolerance — DESIGN.md §"Fast execution strategy");
+//       deterministic (default) stays the bit-parity oracle.
 //   lead_cli evaluate --data DIR --model FILE
 //       Evaluates detection accuracy per stay-count bucket on the
 //       held-out test split.
@@ -208,6 +213,18 @@ core::LeadOptions CliLeadOptions(const Flags& flags) {
   } else if (exec_mode != "eager") {
     std::fprintf(stderr, "warning: unknown --exec-mode '%s'; using eager\n",
                  exec_mode.c_str());
+  }
+  // --strategy=fast opts train AND detect into the throughput-first
+  // execution strategy; deterministic (default) keeps bit parity.
+  const std::string strategy = FlagOr(flags, "strategy", "deterministic");
+  ExecStrategy parsed_strategy = ExecStrategy::kDeterministic;
+  if (ParseExecStrategy(strategy, &parsed_strategy)) {
+    options.train.strategy = parsed_strategy;
+    options.detect.strategy = parsed_strategy;
+  } else {
+    std::fprintf(stderr,
+                 "warning: unknown --strategy '%s'; using deterministic\n",
+                 strategy.c_str());
   }
   // --deadline-ms bounds each detect call; --memory-budget-mb installs
   // the process-wide admission-control cap. Both default to "off".

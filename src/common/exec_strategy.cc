@@ -1,0 +1,35 @@
+#include "common/exec_strategy.h"
+
+#include <algorithm>
+
+namespace lead {
+
+const char* ExecStrategyName(ExecStrategy strategy) {
+  switch (strategy) {
+    case ExecStrategy::kDeterministic: return "deterministic";
+    case ExecStrategy::kFast: return "fast";
+  }
+  return "?";
+}
+
+bool ParseExecStrategy(const std::string& text, ExecStrategy* out) {
+  if (text == "deterministic") {
+    *out = ExecStrategy::kDeterministic;
+    return true;
+  }
+  if (text == "fast") {
+    *out = ExecStrategy::kFast;
+    return true;
+  }
+  return false;
+}
+
+int64_t DynamicChunk(int64_t n, int lanes) {
+  // Four chunks per lane balances steal granularity against dispatch
+  // overhead for the loop shapes in this codebase (points, buckets,
+  // shards — thousands of items at most).
+  const int64_t per_lane = 4;
+  return std::max<int64_t>(1, n / (per_lane * std::max(lanes, 1)));
+}
+
+}  // namespace lead

@@ -1,0 +1,42 @@
+// Execution strategies (DESIGN.md §"Fast execution strategy").
+//
+// kDeterministic is the seed contract: fixed contiguous-block chunking,
+// fixed-size gradient shards, pairwise-tree reductions — bit-identical
+// results for every thread count, and therefore the parity oracle.
+//
+// kFast is the opt-in throughput mode: dynamic work-stealing over coarse
+// chunks (common/thread_pool.h ParallelForDynamic), gradient shards sized
+// to the lane count with a flat reduction (core/grad_parallel.h), reads
+// overlapped with preprocessing, and small length-buckets fused into
+// cross-bucket mega-batches (core/batching.h FuseSmallBuckets). Fast mode
+// is NOT bit-deterministic against the oracle; it is held to the
+// differential contract instead (tests/differential.h): identical
+// detection decisions, probabilities within a documented FP tolerance,
+// training-loss curves within epsilon bands.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lead {
+
+enum class ExecStrategy {
+  kDeterministic,
+  kFast,
+};
+
+const char* ExecStrategyName(ExecStrategy strategy);
+
+// Parses "deterministic" | "fast". Returns false (and leaves *out
+// untouched) on anything else.
+bool ParseExecStrategy(const std::string& text, ExecStrategy* out);
+
+// Coarse chunk size for a dynamic work-stealing loop over n items with
+// `lanes` lanes: a handful of chunks per lane, so idle lanes always find
+// work to steal while the per-chunk dispatch overhead stays amortized.
+// Every ParallelForDynamic call site must take its chunk size from here
+// (or another ExecStrategy-derived policy), never from a hardcoded
+// constant — lead-lint rule "strategy-chunking" enforces this.
+int64_t DynamicChunk(int64_t n, int lanes);
+
+}  // namespace lead

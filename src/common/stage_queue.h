@@ -1,0 +1,78 @@
+// Bounded producer/consumer stage queue (ExecStrategy::kFast).
+//
+// Connects a producing stage (typically I/O: CSV/GPX reads on a
+// dedicated thread) to a consuming stage (feature compute on the caller)
+// so the two overlap instead of serializing. The capacity bound keeps the
+// producer from racing arbitrarily far ahead of a slow consumer, which
+// caps the number of raw trajectories held in memory at once.
+//
+// Shutdown contract: the producer calls Close() when done (or when Push
+// returns false); the consumer drains with Pop() until it returns false.
+// A consumer that aborts early (cancellation) calls Close() itself, which
+// unblocks a producer waiting on a full queue — Push then drops the item
+// and returns false, so neither side can deadlock.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace lead {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity)
+      : capacity_(capacity > 0 ? capacity : 1) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  // Blocks while the queue is full. Returns false (dropping the item)
+  // when the queue was closed; the producer should stop.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks until an item is available or the queue is closed and empty;
+  // returns false in the latter case.
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;  // closed and drained
+    *out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  // Idempotent; wakes every waiter on both sides.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+ private:
+  const size_t capacity_;
+  std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace lead

@@ -191,6 +191,82 @@ void ThreadPool::ParallelFor(int64_t n, int lanes,
                     });
 }
 
+void ThreadPool::ParallelForDynamic(
+    int64_t n, int lanes, int64_t chunk,
+    const std::function<void(int64_t begin, int64_t end, int lane)>& fn) {
+  if (n <= 0) return;
+  lanes = static_cast<int>(std::clamp<int64_t>(lanes, 1, n));
+  chunk = std::max<int64_t>(chunk, 1);
+  if (lanes == 1 || in_parallel_region) {
+    fn(0, n, 0);
+    return;
+  }
+
+  // One cursor per contiguous segment. fetch_add hands out disjoint
+  // [begin, begin + chunk) ranges, so an index can never run twice no
+  // matter how local claims and steals interleave; a drained segment just
+  // keeps answering begin >= end. Overshoot per visit is one chunk.
+  struct Segment {
+    std::atomic<int64_t> next{0};
+    int64_t end = 0;
+  };
+  std::vector<Segment> segments(static_cast<size_t>(lanes));
+  for (int lane = 0; lane < lanes; ++lane) {
+    segments[static_cast<size_t>(lane)].next.store(
+        n * lane / lanes, std::memory_order_relaxed);
+    segments[static_cast<size_t>(lane)].end = n * (lane + 1) / lanes;
+  }
+  // Own segment first (locality), then steal round-robin from the rest.
+  // The cancellation check keeps a cancelled loop from claiming chunks it
+  // would only skip inside RunBlock anyway.
+  auto drain = [&segments, lanes, chunk, &fn](int lane) {
+    for (int v = 0; v < lanes; ++v) {
+      Segment& seg = segments[static_cast<size_t>((lane + v) % lanes)];
+      for (;;) {
+        if (CurrentCancel().Cancelled()) return;
+        const int64_t begin =
+            seg.next.fetch_add(chunk, std::memory_order_relaxed);
+        if (begin >= seg.end) break;
+        RunBlock(fn, begin, std::min(begin + chunk, seg.end), lane);
+      }
+    }
+  };
+
+  struct Latch {
+    std::mutex m;
+    std::condition_variable done;
+    int remaining;
+  };
+  Latch latch;
+  latch.remaining = lanes - 1;
+  const CancelToken token = CurrentCancel();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (int lane = 1; lane < lanes; ++lane) {
+      queue_.push_back([&drain, &latch, token, lane] {
+        ScopedCancel scoped(token);
+        drain(lane);
+        // Same latch protocol as ParallelForBlocks: notify while holding
+        // the latch mutex so the waiter cannot destroy the latch first.
+        std::lock_guard<std::mutex> latch_lock(latch.m);
+        --latch.remaining;
+        latch.done.notify_one();
+      });
+    }
+    static obs::Gauge& queue_depth = obs::GetGauge("pool.queue_depth");
+    queue_depth.Set(static_cast<double>(queue_.size()));
+  }
+  work_ready_.notify_all();
+
+  const bool was_in_region = in_parallel_region;
+  in_parallel_region = true;  // nested calls from lane 0 also run inline
+  drain(0);
+  in_parallel_region = was_in_region;
+
+  std::unique_lock<std::mutex> lock(latch.m);
+  latch.done.wait(lock, [&latch] { return latch.remaining == 0; });
+}
+
 int ResolveThreads(int requested) {
   if (requested > 0) return requested;
   const int hw = static_cast<int>(std::thread::hardware_concurrency());

@@ -1,12 +1,20 @@
-// Fixed-size thread pool with deterministic parallel-for.
+// Fixed-size thread pool with deterministic parallel-for, plus an
+// opt-in dynamic work-stealing loop for ExecStrategy::kFast.
 //
 // Design constraints (DESIGN.md §"Parallel execution and determinism"):
-//  - No work stealing: ParallelFor splits [0, n) into `lanes` contiguous
-//    blocks, block b = [b*n/lanes, (b+1)*n/lanes). Lane 0 always runs on
-//    the calling thread; lanes 1.. are submitted to the shared pool as
-//    whole blocks. Which OS thread executes a block never affects the
-//    result because blocks only write lane- or index-private state;
-//    reductions happen on the calling thread in a fixed order.
+//  - No work stealing on the default path: ParallelFor splits [0, n) into
+//    `lanes` contiguous blocks, block b = [b*n/lanes, (b+1)*n/lanes).
+//    Lane 0 always runs on the calling thread; lanes 1.. are submitted to
+//    the shared pool as whole blocks. Which OS thread executes a block
+//    never affects the result because blocks only write lane- or
+//    index-private state; reductions happen on the calling thread in a
+//    fixed order.
+//  - ParallelForDynamic is the fast-strategy counterpart: the same lane
+//    partition, but each lane claims coarse chunks of its own segment
+//    through an atomic cursor and, once drained, steals chunks from the
+//    other segments. Chunk-to-thread assignment is scheduling-dependent;
+//    callers own any ordering sensitivity (DESIGN.md §"Fast execution
+//    strategy").
 //  - lanes <= 1 (or n <= 1, or a call from inside a pool worker) runs
 //    inline on the caller with zero synchronization, so `threads = 1`
 //    degenerates to the serial code path exactly.
@@ -64,6 +72,22 @@ class ThreadPool {
   // partition and execution rules as ParallelForBlocks.
   void ParallelFor(int64_t n, int lanes,
                    const std::function<void(int64_t i)>& fn);
+
+  // Dynamic work-stealing loop (ExecStrategy::kFast): [0, n) is split
+  // into `lanes` contiguous segments; each lane claims [begin, end)
+  // chunks of at most `chunk` items from its own segment front first,
+  // then steals chunks from the other segments. Every index is executed
+  // exactly once (claims go through one atomic cursor per segment), but
+  // which lane/thread runs a chunk — and therefore the cross-chunk
+  // execution order — is scheduling-dependent. fn must only write
+  // index-private state, like ParallelForBlocks blocks. Take `chunk` from
+  // DynamicChunk() (common/exec_strategy.h), never a literal (lead-lint
+  // "strategy-chunking"). Same inline (lanes <= 1 / nested) and
+  // cancellation rules as ParallelForBlocks: a cancelled token skips
+  // unclaimed chunks, so poll before reading per-index results.
+  void ParallelForDynamic(
+      int64_t n, int lanes, int64_t chunk,
+      const std::function<void(int64_t begin, int64_t end, int lane)>& fn);
 
   // True when the calling thread is one of this pool's workers (nested
   // ParallelFor calls then run inline to avoid deadlock).

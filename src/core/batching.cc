@@ -34,4 +34,36 @@ std::vector<LengthBucket> BucketByLength(const std::vector<int>& lengths,
   return buckets;
 }
 
+std::vector<LengthBucket> FuseSmallBuckets(std::vector<LengthBucket> buckets,
+                                           const std::vector<int>& lengths,
+                                           int min_batch, int max_batch,
+                                           int max_padding) {
+  LEAD_TRACE_SCOPE(obs::kCatBatch, "fuse_small_buckets");
+  std::vector<LengthBucket> fused;
+  for (LengthBucket& b : buckets) {
+    LEAD_CHECK(!b.items.empty());
+    if (!fused.empty()) {
+      LengthBucket& prev = fused.back();
+      // BucketByLength fills buckets longest-first, so b's shortest
+      // member is its last item; that member bounds the padding every
+      // absorbed row would pay against prev.max_len.
+      const int shortest = lengths[b.items.back()];
+      const bool small =
+          static_cast<int>(prev.items.size()) < min_batch ||
+          static_cast<int>(b.items.size()) < min_batch;
+      const bool within_batch =
+          max_batch <= 0 ||
+          static_cast<int>(prev.items.size() + b.items.size()) <= max_batch;
+      const bool within_padding =
+          max_padding < 0 || prev.max_len - shortest <= max_padding;
+      if (small && within_batch && within_padding) {
+        prev.items.insert(prev.items.end(), b.items.begin(), b.items.end());
+        continue;
+      }
+    }
+    fused.push_back(std::move(b));
+  }
+  return fused;
+}
+
 }  // namespace lead::core

@@ -26,5 +26,19 @@ struct LengthBucket {
 std::vector<LengthBucket> BucketByLength(const std::vector<int>& lengths,
                                          int max_batch, int max_padding);
 
+// Fast-strategy post-pass (DESIGN.md §"Fast execution strategy"): merges
+// adjacent buckets in the longest-first list when either is smaller than
+// `min_batch`, as long as the merged bucket stays within `max_batch`
+// (<= 0: unbounded) and no absorbed member pads by more than
+// `max_padding` rows against the surviving bucket's max_len. Trades
+// bounded extra padded compute for fewer, larger kernel launches — the
+// win that makes ExecStrategy::kFast beat per-bucket dispatch on corpora
+// dominated by short trajectories. Deterministic given its inputs; items
+// keep longest-first order within each merged bucket.
+std::vector<LengthBucket> FuseSmallBuckets(std::vector<LengthBucket> buckets,
+                                           const std::vector<int>& lengths,
+                                           int min_batch, int max_batch,
+                                           int max_padding);
+
 }  // namespace lead::core
 

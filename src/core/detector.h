@@ -38,6 +38,17 @@ struct DetectorOptions {
 inline constexpr int kSubgroupMaxBatch = 128;
 inline constexpr int kSubgroupMaxPadding = 2;
 
+// ExecStrategy::kFast bucket-fusion knobs (core/batching.h
+// FuseSmallBuckets): buckets smaller than kFastFuseMinBatch are merged
+// into cross-length mega-batches of up to kFastFuseMaxBatch members,
+// accepting up to kFastFuseMaxPadding rows of padding per absorbed
+// member. Padded scores are masked/sliced exactly like ordinary bucket
+// padding, so fusion changes launch granularity, never which scores
+// exist.
+inline constexpr int kFastFuseMinBatch = 32;
+inline constexpr int kFastFuseMaxBatch = 512;
+inline constexpr int kFastFuseMaxPadding = 16;
+
 // Gather layout of one detector pass over a trajectory's candidate
 // c-vecs: `member_rows` lists each grouped row's forward flatten index in
 // subgroup-concatenation order, `lengths` the subgroup sizes. The layout

@@ -14,8 +14,9 @@ std::vector<std::vector<float>> ExtractPointFeatures(
   span.Arg("points", static_cast<double>(n));
   std::vector<std::vector<float>> rows(n);
   // PoiIndex is immutable after construction, so the radius queries are
-  // safe to issue concurrently; each lane fills a disjoint row range.
-  ThreadPool::Global().ParallelFor(n, options.threads, [&](int64_t i) {
+  // safe to issue concurrently; each row is written to its own slot, so
+  // both schedules produce identical output.
+  const auto fill = [&](int64_t i) {
     const traj::GpsPoint& p = trajectory.points[i];
     std::vector<float> row(kFeatureDims, 0.0f);
     row[0] = static_cast<float>(p.pos.lat);
@@ -29,7 +30,16 @@ std::vector<std::vector<float>> ExtractPointFeatures(
       }
     }
     rows[i] = std::move(row);
-  });
+  };
+  if (options.strategy == ExecStrategy::kFast) {
+    ThreadPool::Global().ParallelForDynamic(
+        n, options.threads, DynamicChunk(n, options.threads),
+        [&fill](int64_t begin, int64_t end, int /*lane*/) {
+          for (int64_t i = begin; i < end; ++i) fill(i);
+        });
+  } else {
+    ThreadPool::Global().ParallelFor(n, options.threads, fill);
+  }
   return rows;
 }
 

@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "common/exec_strategy.h"
 #include "nn/matrix.h"
 #include "nn/normalizer.h"
 #include "poi/poi_index.h"
@@ -27,6 +28,10 @@ struct FeatureOptions {
   // point's row is written to its own slot, so any thread count produces
   // identical output. 1 = fully serial.
   int threads = 1;
+  // kDeterministic: static contiguous blocks. kFast: dynamic
+  // work-stealing chunks — same per-row output (rows are index-private),
+  // but better load balance when POI density varies along the route.
+  ExecStrategy strategy = ExecStrategy::kDeterministic;
 };
 
 // Raw (unnormalized) feature rows for every point of a trajectory.

@@ -39,13 +39,23 @@ ShardedGradAccumulator::ShardedGradAccumulator(
 
 ShardedGradAccumulator::~ShardedGradAccumulator() = default;
 
+int GradShardSamples(ExecStrategy strategy, int num_samples, int threads) {
+  if (strategy == ExecStrategy::kFast) {
+    const int lanes = std::clamp(threads, 1, std::max(num_samples, 1));
+    return (num_samples + lanes - 1) / lanes;
+  }
+  return kGradShardSize;
+}
+
 std::vector<float> ShardedGradAccumulator::AccumulateGrads(
-    int num_samples, int threads,
+    ExecStrategy strategy, int num_samples, int threads,
     const std::function<nn::Variable(nn::Module* m, int begin, int end)>&
         shard_loss) {
   LEAD_CHECK_GT(num_samples, 0);
+  const int shard_samples =
+      GradShardSamples(strategy, num_samples, threads);
   const int num_shards =
-      (num_samples + kGradShardSize - 1) / kGradShardSize;
+      (num_samples + shard_samples - 1) / shard_samples;
 
   // Single shard: the batch is small enough that the decomposition is the
   // identity; run the plain backward the serial code always ran.
@@ -68,15 +78,14 @@ std::vector<float> ShardedGradAccumulator::AccumulateGrads(
   std::vector<std::vector<nn::Matrix>> shard_grads(num_shards);
   std::vector<float> shard_values(num_shards);
 
-  ThreadPool::Global().ParallelForBlocks(
-      num_shards, lanes, [&](int64_t s_begin, int64_t s_end, int lane) {
+  const auto shard_block = [&](int64_t s_begin, int64_t s_end, int lane) {
         nn::Module* m =
             lane == 0 ? master_ : replicas_[lane - 1].get();
         const std::vector<nn::Variable> params = m->Parameters();
         for (int64_t s = s_begin; s < s_end; ++s) {
-          const int begin = static_cast<int>(s) * kGradShardSize;
+          const int begin = static_cast<int>(s) * shard_samples;
           const int end =
-              std::min(num_samples, begin + kGradShardSize);
+              std::min(num_samples, begin + shard_samples);
           const nn::Variable loss = shard_loss(m, begin, end);
           const float value = loss.value().at(0, 0);
           shard_values[s] = value;
@@ -97,15 +106,33 @@ std::vector<float> ShardedGradAccumulator::AccumulateGrads(
             }
           }
         }
-      });
+      };
+  if (strategy == ExecStrategy::kFast) {
+    ThreadPool::Global().ParallelForDynamic(
+        num_shards, lanes, DynamicChunk(num_shards, lanes), shard_block);
+  } else {
+    ThreadPool::Global().ParallelForBlocks(num_shards, lanes, shard_block);
+  }
 
-  // Fixed-order pairwise tree reduction over shard index: stride
-  // doubling sums shard s+stride into shard s. The order depends only on
-  // num_shards, so every thread count produces identical bits.
-  for (int stride = 1; stride < num_shards; stride *= 2) {
-    for (int s = 0; s + stride < num_shards; s += 2 * stride) {
+  if (strategy == ExecStrategy::kFast) {
+    // Flat in-shard-order reduction: with one shard per lane the tree
+    // buys nothing, and shard order is fixed regardless of which thread
+    // produced each buffer, so fast mode is still run-to-run stable for
+    // a given (num_samples, threads).
+    for (int s = 1; s < num_shards; ++s) {
       for (size_t p = 0; p < master_params.size(); ++p) {
-        AddInto(&shard_grads[s][p], shard_grads[s + stride][p]);
+        AddInto(&shard_grads[0][p], shard_grads[s][p]);
+      }
+    }
+  } else {
+    // Fixed-order pairwise tree reduction over shard index: stride
+    // doubling sums shard s+stride into shard s. The order depends only
+    // on num_shards, so every thread count produces identical bits.
+    for (int stride = 1; stride < num_shards; stride *= 2) {
+      for (int s = 0; s + stride < num_shards; s += 2 * stride) {
+        for (size_t p = 0; p < master_params.size(); ++p) {
+          AddInto(&shard_grads[s][p], shard_grads[s + stride][p]);
+        }
       }
     }
   }

@@ -20,6 +20,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/exec_strategy.h"
 #include "nn/matrix.h"
 #include "nn/module.h"
 
@@ -30,6 +31,15 @@ namespace lead::core {
 // is identical no matter how many threads execute it. Batches of at most
 // this many samples keep the seed code path's exact numerics.
 inline constexpr int kGradShardSize = 16;
+
+// Samples per gradient shard under `strategy`. Deterministic: the fixed
+// kGradShardSize above. Fast: shards sized to the lane count (one shard
+// per lane, so each backward runs the largest possible [B x d] batch and
+// the per-shard replica/capture overhead is paid `threads` times instead
+// of num_samples/16 times). The fast decomposition depends on `threads`,
+// which is exactly why it lives behind ExecStrategy::kFast — its floats
+// are only equal to the oracle's up to summation order.
+int GradShardSamples(ExecStrategy strategy, int num_samples, int threads);
 
 // Drives sharded backward passes for one training stage. The factory is
 // invoked lazily, once per extra lane ever used; replicas are reused
@@ -46,15 +56,23 @@ class ShardedGradAccumulator {
 
   // Computes the gradient of
   //     sum over shards s of shard_loss(module, begin_s, end_s)
-  // where [begin_s, end_s) tiles [0, num_samples) in kGradShardSize
-  // chunks, leaving the reduced gradient in the master's parameters
-  // (which must hold zero gradients on entry, as after StepAndZeroGrad).
-  // Returns each shard's scalar loss value in shard order. A non-finite
-  // shard loss contributes no gradient (its backward is skipped); the
-  // caller detects poisoning from the returned values. `threads` bounds
-  // the lanes used; 1 runs everything inline on the caller.
+  // where [begin_s, end_s) tiles [0, num_samples) in
+  // GradShardSamples(strategy, ...) chunks, leaving the reduced gradient
+  // in the master's parameters (which must hold zero gradients on entry,
+  // as after StepAndZeroGrad). Returns each shard's scalar loss value in
+  // shard order. A non-finite shard loss contributes no gradient (its
+  // backward is skipped); the caller detects poisoning from the returned
+  // values. `threads` bounds the lanes used; 1 runs everything inline on
+  // the caller.
+  //
+  // kDeterministic keeps the seed contract: fixed shards, static block
+  // schedule, pairwise-tree reduction — bit-identical for every thread
+  // count. kFast sizes shards to the lane count, schedules them through
+  // the work-stealing loop, and reduces with a single flat pass in shard
+  // order; its gradient equals the oracle's only up to FP summation
+  // order (tests/differential.h loss bands).
   std::vector<float> AccumulateGrads(
-      int num_samples, int threads,
+      ExecStrategy strategy, int num_samples, int threads,
       const std::function<nn::Variable(nn::Module* m, int begin, int end)>&
           shard_loss);
 

@@ -9,6 +9,7 @@
 #include <limits>
 #include <numeric>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "common/atomic_io.h"
@@ -18,6 +19,7 @@
 #include "common/crc32.h"
 #include "common/fault.h"
 #include "common/retry.h"
+#include "common/stage_queue.h"
 #include "common/thread_pool.h"
 #include "core/batching.h"
 #include "core/grad_parallel.h"
@@ -69,6 +71,23 @@ nn::Variable BinaryCrossEntropy(const nn::Variable& probs,
   const nn::Variable ll = nn::Add(nn::Mul(one_hot, nn::Log(probs)),
                                   nn::Mul(one_minus_y, nn::Log(one_minus_p)));
   return nn::ScalarMul(nn::Mean(ll), -1.0f);
+}
+
+// Element-wise parallel loop under the given strategy: kDeterministic
+// uses the static contiguous-block schedule, kFast the work-stealing
+// chunk loop. Both require fn to write only index-private state; only
+// kDeterministic guarantees a thread-count-independent schedule.
+void StrategyParallelFor(ExecStrategy strategy, int64_t n, int threads,
+                         const std::function<void(int64_t i)>& fn) {
+  if (strategy == ExecStrategy::kFast) {
+    ThreadPool::Global().ParallelForDynamic(
+        n, threads, DynamicChunk(n, threads),
+        [&fn](int64_t begin, int64_t end, int /*lane*/) {
+          for (int64_t i = begin; i < end; ++i) fn(i);
+        });
+  } else {
+    ThreadPool::Global().ParallelFor(n, threads, fn);
+  }
 }
 
 }  // namespace
@@ -143,11 +162,13 @@ Status LeadModel::Prepare(const std::vector<LabeledRawTrajectory>& labeled,
   obs::ScopedSpan span(obs::kCatPreprocess, "prepare");
   span.Arg("trajectories", static_cast<double>(labeled.size()));
   const int threads = ResolveThreads(options_.train.threads);
+  const ExecStrategy strategy = options_.train.strategy;
   PipelineOptions popt = options_.pipeline;
   // Within one trajectory the per-point POI queries parallelize too; the
   // nested ParallelFor runs inline on whichever lane processes the
   // trajectory, so the two levels never oversubscribe the pool.
   popt.features.threads = threads;
+  popt.features.strategy = strategy;
   const int n = static_cast<int>(labeled.size());
 
   // First pass: pipeline without normalization. Trajectories are
@@ -155,7 +176,7 @@ Status LeadModel::Prepare(const std::vector<LabeledRawTrajectory>& labeled,
   // order wins, matching the serial loop's error.
   std::vector<std::unique_ptr<ProcessedTrajectory>> slots(n);
   std::vector<Status> statuses(n);
-  ThreadPool::Global().ParallelFor(n, threads, [&](int64_t i) {
+  StrategyParallelFor(strategy, n, threads, [&](int64_t i) {
     const LabeledRawTrajectory& sample = labeled[i];
     auto processed = ProcessTrajectory(sample.raw, poi_index, popt, nullptr);
     if (!processed.ok()) {
@@ -198,7 +219,7 @@ Status LeadModel::Prepare(const std::vector<LabeledRawTrajectory>& labeled,
     return FailedPreconditionError("normalizer not fitted");
   }
   // Second pass: standardize in place (disjoint per-sample writes).
-  ThreadPool::Global().ParallelFor(n, threads, [&](int64_t i) {
+  StrategyParallelFor(strategy, n, threads, [&](int64_t i) {
     PreparedSample& s = (*out)[i];
     for (int r = 0; r < s.pt.features.rows(); ++r) {
       std::vector<float> row(s.pt.features.row(r),
@@ -397,11 +418,13 @@ Status LeadModel::TrainAutoencoder(
       const size_t end = std::min(
           samples.size(), begin + static_cast<size_t>(topt.batch_size));
       const int chunk_n = static_cast<int>(end - begin);
+      const int shard_samples =
+          GradShardSamples(topt.strategy, chunk_n, threads);
       const int num_shards =
-          (chunk_n + kGradShardSize - 1) / kGradShardSize;
+          (chunk_n + shard_samples - 1) / shard_samples;
       std::vector<float> shard_mse(num_shards);
       accumulator.AccumulateGrads(
-          chunk_n, threads,
+          topt.strategy, chunk_n, threads,
           [&](nn::Module* m, int s_begin, int s_end) {
             auto* ae = static_cast<HierarchicalAutoencoder*>(m);
             std::vector<CandidateBatchItem> batch;
@@ -411,7 +434,7 @@ Status LeadModel::TrainAutoencoder(
               batch.push_back({&training[ti].pt, cand});
             }
             const nn::Variable loss = ae->ReconstructionLossBatch(batch);
-            shard_mse[s_begin / kGradShardSize] = loss.value().at(0, 0);
+            shard_mse[s_begin / shard_samples] = loss.value().at(0, 0);
             // shard / batch_size rescales the shard mean back to a
             // per-sample weight of 1/batch_size, so a partial final shard
             // contributes the same gradient as a full one.
@@ -430,8 +453,8 @@ Status LeadModel::TrainAutoencoder(
         return std::numeric_limits<float>::quiet_NaN();
       }
       for (int s = 0; s < num_shards; ++s) {
-        const int shard_n = std::min(chunk_n, (s + 1) * kGradShardSize) -
-                            s * kGradShardSize;
+        const int shard_n = std::min(chunk_n, (s + 1) * shard_samples) -
+                            s * shard_samples;
         epoch_loss += static_cast<double>(shard_mse[s]) * shard_n;
       }
       optimizer->StepAndZeroGrad();
@@ -451,7 +474,7 @@ Status LeadModel::TrainAutoencoder(
     const int vn = static_cast<int>(validation.size());
     std::vector<double> totals(vn, 0.0);
     std::vector<int> counts(vn, 0);
-    ThreadPool::Global().ParallelFor(vn, threads, [&](int64_t i) {
+    StrategyParallelFor(topt.strategy, vn, threads, [&](int64_t i) {
       nn::NoGradGuard no_grad;  // thread-local: every lane needs its own
       const PreparedSample& s = validation[i];
       std::vector<CandidateBatchItem> batch;
@@ -523,8 +546,9 @@ Status LeadModel::TrainDetectors(
     // fill indexed slots (EncodeCandidates installs its own NoGradGuard
     // on whichever lane runs it).
     std::vector<CachedSample> cached(samples.size());
-    ThreadPool::Global().ParallelFor(
-        static_cast<int64_t>(samples.size()), threads, [&](int64_t i) {
+    StrategyParallelFor(
+        topt.strategy, static_cast<int64_t>(samples.size()), threads,
+        [&](int64_t i) {
           const PreparedSample& s = samples[i];
           CachedSample c;
           c.num_stays = s.pt.num_stays();
@@ -658,11 +682,13 @@ Status LeadModel::TrainDetectors(
         const size_t end = std::min(
             order.size(), begin + static_cast<size_t>(topt.batch_size));
         const int chunk_n = static_cast<int>(end - begin);
+        const int shard_samples =
+            GradShardSamples(topt.strategy, chunk_n, threads);
         const int num_shards =
-            (chunk_n + kGradShardSize - 1) / kGradShardSize;
+            (chunk_n + shard_samples - 1) / shard_samples;
         std::vector<float> shard_sum(num_shards);
         accumulator.AccumulateGrads(
-            chunk_n, threads,
+            topt.strategy, chunk_n, threads,
             [&](nn::Module* m, int s_begin, int s_end) {
               std::vector<const CachedSample*> shard;
               shard.reserve(s_end - s_begin);
@@ -670,7 +696,7 @@ Status LeadModel::TrainDetectors(
                 shard.push_back(&train_cached[order[begin + i]]);
               }
               const nn::Variable loss = chunk_loss(m, shard);
-              shard_sum[s_begin / kGradShardSize] = loss.value().at(0, 0);
+              shard_sum[s_begin / shard_samples] = loss.value().at(0, 0);
               return nn::ScalarMul(loss, inv_b);
             });
         bool poisoned = false;
@@ -700,7 +726,7 @@ Status LeadModel::TrainDetectors(
       const int64_t num_chunks =
           static_cast<int64_t>((val_cached.size() + b - 1) / b);
       std::vector<double> chunk_totals(num_chunks, 0.0);
-      ThreadPool::Global().ParallelFor(num_chunks, threads, [&](int64_t k) {
+      StrategyParallelFor(topt.strategy, num_chunks, threads, [&](int64_t k) {
         nn::NoGradGuard no_grad;
         const size_t begin = static_cast<size_t>(k) * b;
         const size_t end = std::min(val_cached.size(), begin + b);
@@ -779,6 +805,7 @@ StatusOr<ProcessedTrajectory> LeadModel::Preprocess(
   }
   PipelineOptions popt = options_.pipeline;
   popt.features.threads = ResolveThreads(options_.detect.threads);
+  popt.features.strategy = options_.detect.strategy;
   return ProcessTrajectory(raw, poi_index, popt, &normalizer_);
 }
 
@@ -931,8 +958,17 @@ StatusOr<Detection> LeadModel::DetectProcessed(
       // (per-row values are independent of batch composition, so the
       // bucketed scores match the retired single-ragged-batch path), and
       // the softmax/merge below reassembles them in subgroup order.
-      const std::vector<LengthBucket> buckets =
+      std::vector<LengthBucket> buckets =
           BucketByLength(lengths, kSubgroupMaxBatch, kSubgroupMaxPadding);
+      if (options_.detect.strategy == ExecStrategy::kFast) {
+        // Fast mode fuses the tail of tiny buckets into cross-length
+        // mega-batches: fewer, larger kernel launches at the price of a
+        // bounded amount of masked padding compute. Padded columns are
+        // sliced away below exactly like ordinary bucket padding.
+        buckets = FuseSmallBuckets(std::move(buckets), lengths,
+                                   kFastFuseMinBatch, kFastFuseMaxBatch,
+                                   kFastFuseMaxPadding);
+      }
       std::vector<nn::Variable> scores(buckets.size());
       std::vector<std::pair<int, int>> where(groups.size());  // (bucket,row)
       for (size_t kb = 0; kb < buckets.size(); ++kb) {
@@ -941,8 +977,9 @@ StatusOr<Detection> LeadModel::DetectProcessed(
                                          static_cast<int>(j)};
         }
       }
-      ThreadPool::Global().ParallelFor(
-          static_cast<int64_t>(buckets.size()), threads, [&](int64_t kb) {
+      StrategyParallelFor(
+          options_.detect.strategy, static_cast<int64_t>(buckets.size()),
+          threads, [&](int64_t kb) {
             nn::NoGradGuard lane_no_grad;  // thread-local: lanes need their own
             const LengthBucket& bucket = buckets[kb];
             // Emitted on whichever lane scores the bucket, so the trace
@@ -1045,6 +1082,13 @@ StatusOr<BatchDetection> LeadModel::DetectStream(
   if (provider == nullptr) {
     return InvalidArgumentError("null trajectory provider");
   }
+  // The fast strategy runs the whole batch through the overlapped,
+  // cross-trajectory fused pipeline (grouping variants; the MLP scorer
+  // has no subgroup batches to fuse and keeps the sequential loop).
+  if (options_.detect.strategy == ExecStrategy::kFast &&
+      options_.use_grouping) {
+    return DetectStreamFused(count, provider, poi_index);
+  }
   static obs::Counter& shed_counter = obs::GetCounter("lead.detect.shed");
   obs::ScopedSpan span(obs::kCatInfer, "detect_stream");
   span.Arg("count", static_cast<double>(count));
@@ -1112,6 +1156,303 @@ StatusOr<BatchDetection> LeadModel::DetectStream(
       shed_item(i, cancel_status,
                 cause != CancelCause::kNone ? cause : CancelCause::kUser);
     }
+  }
+  return batch;
+}
+
+StatusOr<BatchDetection> LeadModel::DetectStreamFused(
+    int count, const TrajectoryProvider& provider,
+    const poi::PoiIndex& poi_index) const {
+  if (!normalizer_.fitted()) {
+    return FailedPreconditionError("model is not trained");
+  }
+  static obs::Counter& shed_counter = obs::GetCounter("lead.detect.shed");
+  obs::ScopedSpan span(obs::kCatInfer, "detect_stream_fused");
+  span.Arg("count", static_cast<double>(count));
+  ScopedCancel scoped_cancel(
+      TightenDeadline(CurrentCancel(), options_.detect.deadline_ms));
+  WatchdogScope watchdog("detect_stream");
+  const CancelToken token = CurrentCancel();
+  const int threads = ResolveThreads(options_.detect.threads);
+
+  BatchDetection batch;
+  batch.outcomes.resize(static_cast<size_t>(count));
+  // resolved[i]: outcome i is final (completed, failed, or shed); only
+  // unresolved items are swept into the shed set on cancellation.
+  std::vector<char> resolved(static_cast<size_t>(count), 0);
+  auto shed_item = [&](int index, const Status& status, CancelCause cause) {
+    DetectionOutcome& outcome = batch.outcomes[static_cast<size_t>(index)];
+    outcome.status = status;
+    outcome.degraded = true;
+    resolved[static_cast<size_t>(index)] = 1;
+    shed_counter.Increment();
+    ++batch.shed;
+    if (batch.cause == CancelCause::kNone) batch.cause = cause;
+  };
+  auto fail_item = [&](int index, const Status& status) {
+    batch.outcomes[static_cast<size_t>(index)].status = status;
+    resolved[static_cast<size_t>(index)] = 1;
+  };
+  // Cancellation epilogue shared by every stage: either fail the whole
+  // call or return what resolved so far, shedding the remainder
+  // (DetectStream's exact partial_results contract).
+  auto degrade = [&](const Status& status) -> StatusOr<BatchDetection> {
+    if (!options_.detect.partial_results) return status;
+    const CancelCause cause = token.cause();
+    for (int i = 0; i < count; ++i) {
+      if (!resolved[static_cast<size_t>(i)]) {
+        shed_item(i, status,
+                  cause != CancelCause::kNone ? cause : CancelCause::kUser);
+      }
+    }
+    return batch;
+  };
+
+  // Stage 1 — overlapped read + preprocess: a dedicated producer thread
+  // pulls raw trajectories (sequentially, so the provider is never called
+  // concurrently) through a bounded queue while this thread preprocesses
+  // and admits them. The producer inherits the caller's token, so a
+  // deadline cancels a stalled read exactly like the sequential loop.
+  struct StageItem {
+    int index;
+    StatusOr<traj::RawTrajectory> raw;
+  };
+  struct PendingItem {
+    int index;
+    ProcessedTrajectory pt;
+    MemoryBudget::Reservation reservation;
+  };
+  BoundedQueue<StageItem> queue(
+      static_cast<size_t>(std::max(2, 2 * threads)));
+  std::thread producer([&] {
+    ScopedCancel producer_cancel(token);
+    for (int i = 0; i < count; ++i) {
+      if (token.Cancelled()) break;
+      if (!queue.Push(StageItem{i, provider(i)})) break;
+    }
+    queue.Close();
+  });
+
+  std::vector<PendingItem> ready;
+  Status cancel_status = Status::Ok();
+  StageItem item{0, StatusOr<traj::RawTrajectory>(traj::RawTrajectory{})};
+  while (queue.Pop(&item)) {
+    cancel_status = token.Check("detect_stream");
+    if (!cancel_status.ok()) break;
+    const int i = item.index;
+    if (!item.raw.ok()) {
+      if (IsCancellation(item.raw.status()) && token.Cancelled()) {
+        cancel_status = item.raw.status();
+        break;
+      }
+      if (item.raw.status().code() == StatusCode::kResourceExhausted) {
+        shed_item(i, item.raw.status(), CancelCause::kBudget);
+        continue;
+      }
+      fail_item(i, item.raw.status());
+      continue;
+    }
+    auto processed = Preprocess(*item.raw, poi_index);
+    if (!processed.ok()) {
+      if (IsCancellation(processed.status()) && token.Cancelled()) {
+        cancel_status = processed.status();
+        break;
+      }
+      if (processed.status().code() == StatusCode::kResourceExhausted) {
+        shed_item(i, processed.status(), CancelCause::kBudget);
+        continue;
+      }
+      fail_item(i, processed.status());
+      continue;
+    }
+    const int n = processed->num_stays();
+    if (n < 2 || processed->candidates.empty()) {
+      fail_item(i, InvalidArgumentError(
+                       "trajectory has fewer than 2 stay points; no "
+                       "candidates to score"));
+      continue;
+    }
+    // Same admission formula as DetectProcessed; each item's reservation
+    // is held until its scores are finalized (or the item is shed).
+    const int64_t score_bytes = 3ll * traj::NumCandidates(n) *
+                                options_.autoencoder.cvec_dims() *
+                                static_cast<int64_t>(sizeof(float));
+    MemoryBudget::Reservation reservation =
+        MemoryBudget::Global().Reserve(score_bytes, "detect");
+    if (!reservation.ok()) {
+      shed_item(i, reservation.status(), CancelCause::kBudget);
+      continue;
+    }
+    ready.push_back(
+        PendingItem{i, *std::move(processed), std::move(reservation)});
+  }
+  // Unblock a producer stuck on a full queue, then ALWAYS join before any
+  // return below — the producer captures this frame's locals.
+  queue.Close();
+  producer.join();
+  // A cancellation that drained the queue before the consumer saw any
+  // item (e.g. a pre-cancelled token) leaves cancel_status untouched;
+  // the final poll catches it so all-or-nothing mode still fails typed.
+  if (cancel_status.ok()) cancel_status = token.Check("detect_stream");
+  if (!cancel_status.ok()) return degrade(cancel_status);
+  if (ready.empty()) return batch;
+
+  // Stage 2 — fused encode: every admitted trajectory's candidates in one
+  // cross-trajectory EncodeCandidateBatch (items of one batch may come
+  // from different trajectories by design). base_row maps each item to
+  // its first row of the shared c-vec matrix.
+  nn::NoGradGuard no_grad;
+  std::vector<int> base_row(ready.size(), 0);
+  std::vector<CandidateBatchItem> encode_items;
+  {
+    int total = 0;
+    for (size_t r = 0; r < ready.size(); ++r) {
+      base_row[r] = total;
+      total += static_cast<int>(ready[r].pt.candidates.size());
+    }
+    encode_items.reserve(static_cast<size_t>(total));
+    for (const PendingItem& p : ready) {
+      for (const traj::Candidate& c : p.pt.candidates) {
+        encode_items.push_back({&p.pt, c});
+      }
+    }
+  }
+  const nn::Matrix cvecs =
+      autoencoder_->EncodeCandidateBatch(encode_items).value();
+  cancel_status = token.Check("detect.encode");
+  if (!cancel_status.ok()) return degrade(cancel_status);
+
+  // Stage 3 — fused scoring: per direction, every subgroup of every item
+  // goes through one bucketed (and bucket-fused) scoring sweep; the
+  // per-item softmax over its own concatenated subgroup scores keeps each
+  // output a proper distribution, exactly as in DetectProcessed.
+  std::vector<std::vector<float>> merged(ready.size());
+  std::vector<std::vector<Subgroup>> groups_per_item(ready.size());
+  for (size_t r = 0; r < ready.size(); ++r) {
+    merged[r].assign(ready[r].pt.candidates.size(), 0.0f);
+  }
+  auto accumulate_fused =
+      [&](const StackedBiLstmDetector& detector, bool forward) -> Status {
+    int total_rows = 0;
+    for (size_t r = 0; r < ready.size(); ++r) {
+      const int n = ready[r].pt.num_stays();
+      groups_per_item[r] = forward ? ForwardGroups(n) : BackwardGroups(n);
+      for (const Subgroup& g : groups_per_item[r]) {
+        total_rows += static_cast<int>(g.members.size());
+      }
+    }
+    nn::Matrix grouped(total_rows, cvecs.cols());
+    std::vector<nn::SeqView> views;
+    std::vector<int> lengths;
+    // (item, flat candidate index) of each grouped row, in row order.
+    std::vector<std::pair<int, int>> member_target;
+    member_target.reserve(static_cast<size_t>(total_rows));
+    int row = 0;
+    for (size_t r = 0; r < ready.size(); ++r) {
+      const int n = ready[r].pt.num_stays();
+      for (const Subgroup& g : groups_per_item[r]) {
+        views.push_back({nn::SeqSpan{&grouped, row,
+                                     static_cast<int>(g.members.size())}});
+        lengths.push_back(static_cast<int>(g.members.size()));
+        for (const traj::Candidate& c : g.members) {
+          const int flat = traj::CandidateFlatIndex(n, c);
+          const float* src = cvecs.row(base_row[r] + flat);
+          std::copy(src, src + cvecs.cols(), grouped.row(row++));
+          member_target.emplace_back(static_cast<int>(r), flat);
+        }
+      }
+    }
+    std::vector<LengthBucket> buckets =
+        BucketByLength(lengths, kSubgroupMaxBatch, kSubgroupMaxPadding);
+    buckets = FuseSmallBuckets(std::move(buckets), lengths,
+                               kFastFuseMinBatch, kFastFuseMaxBatch,
+                               kFastFuseMaxPadding);
+    std::vector<nn::Variable> scores(buckets.size());
+    std::vector<std::pair<int, int>> where(views.size());  // (bucket, row)
+    for (size_t kb = 0; kb < buckets.size(); ++kb) {
+      for (size_t j = 0; j < buckets[kb].items.size(); ++j) {
+        where[static_cast<size_t>(buckets[kb].items[j])] = {
+            static_cast<int>(kb), static_cast<int>(j)};
+      }
+    }
+    StrategyParallelFor(
+        ExecStrategy::kFast, static_cast<int64_t>(buckets.size()), threads,
+        [&](int64_t kb) {
+          nn::NoGradGuard lane_no_grad;  // thread-local: lanes need their own
+          const LengthBucket& bucket = buckets[static_cast<size_t>(kb)];
+          obs::ScopedSpan bucket_span(obs::kCatDet, "score_bucket");
+          bucket_span.Arg("subgroups",
+                          static_cast<double>(bucket.items.size()));
+          bucket_span.Arg("max_len", static_cast<double>(bucket.max_len));
+          std::vector<nn::SeqView> bucket_views;
+          bucket_views.reserve(bucket.items.size());
+          for (const int pi : bucket.items) {
+            bucket_views.push_back(views[static_cast<size_t>(pi)]);
+          }
+          scores[static_cast<size_t>(kb)] =
+              detector.ScoreSubgroupsBatch(nn::PackViews(bucket_views));
+        });
+    // Cancelled lanes leave undefined score slots; unwind before slicing.
+    LEAD_RETURN_IF_ERROR(PollCancel("detect.score"));
+    size_t subgroup_cursor = 0;
+    size_t member_cursor = 0;
+    for (size_t r = 0; r < ready.size(); ++r) {
+      std::vector<nn::Variable> parts;
+      parts.reserve(groups_per_item[r].size());
+      for (const Subgroup& g : groups_per_item[r]) {
+        const auto [kb, brow] = where[subgroup_cursor++];
+        parts.push_back(nn::SliceCols(
+            nn::SliceRows(scores[static_cast<size_t>(kb)], brow, 1), 0,
+            static_cast<int>(g.members.size())));
+      }
+      const nn::Variable probs = nn::SoftmaxRows(nn::ConcatCols(parts));
+      const int cols = probs.value().cols();
+      for (int j = 0; j < cols; ++j) {
+        const auto [item_r, flat] = member_target[member_cursor++];
+        merged[static_cast<size_t>(item_r)][static_cast<size_t>(flat)] +=
+            probs.value().at(0, j);
+      }
+    }
+    return Status::Ok();
+  };
+  if (options_.use_forward && forward_detector_ != nullptr) {
+    const Status s = accumulate_fused(*forward_detector_, /*forward=*/true);
+    if (!s.ok()) return degrade(s);
+  }
+  if (options_.use_backward && backward_detector_ != nullptr) {
+    const Status s = accumulate_fused(*backward_detector_, /*forward=*/false);
+    if (!s.ok()) return degrade(s);
+  }
+
+  // Finalize: min-max rescale and argmax per item (Eq. 13), releasing the
+  // item's budget reservation as it leaves `ready` scope at return.
+  for (size_t r = 0; r < ready.size(); ++r) {
+    const PendingItem& p = ready[r];
+    std::vector<float>& m = merged[r];
+    const auto [min_it, max_it] = std::minmax_element(m.begin(), m.end());
+    const float lo = *min_it;
+    const float hi = *max_it;
+    if (!std::isfinite(lo) || !std::isfinite(hi)) {
+      fail_item(p.index,
+                InternalError(
+                    "detector produced non-finite probabilities (corrupt "
+                    "weights or degenerate features)"));
+      continue;
+    }
+    if (hi > lo) {
+      for (float& v : m) v = (v - lo) / (hi - lo);
+    }
+    Detection detection;
+    detection.num_stays = p.pt.num_stays();
+    detection.candidates = p.pt.candidates;
+    const int best = static_cast<int>(
+        std::max_element(m.begin(), m.end()) - m.begin());
+    detection.loaded = detection.candidates[static_cast<size_t>(best)];
+    detection.probabilities = std::move(m);
+    batch.outcomes[static_cast<size_t>(p.index)].detection =
+        std::move(detection);
+    resolved[static_cast<size_t>(p.index)] = 1;
+    ++batch.completed;
   }
   return batch;
 }

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/cancel.h"
+#include "common/exec_strategy.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "core/autoencoder.h"
@@ -94,6 +95,12 @@ struct TrainOptions {
   // count produces bit-identical results (DESIGN.md §"Parallel execution
   // and determinism"); 1 degenerates to the serial code path.
   int threads = 0;
+  // kDeterministic keeps the bit-parity contract above. kFast sizes
+  // gradient shards to the lane count, schedules them through the
+  // work-stealing loop, and reduces with one flat pass — loss curves
+  // agree with the oracle only within the tests/differential.h epsilon
+  // bands (DESIGN.md §"Fast execution strategy").
+  ExecStrategy strategy = ExecStrategy::kDeterministic;
   // Observability sinks (see DESIGN.md §"Observability"). When non-empty,
   // Train() records a Chrome trace-event JSON / metrics JSON of the run
   // into these paths. Tracing never changes results: outputs stay
@@ -114,6 +121,16 @@ struct DetectOptions {
   // results are bit-identical to kEager (which stays the default and the
   // parity oracle). Unsupported shapes fall back to eager per signature.
   ExecMode exec_mode = ExecMode::kEager;
+  // Orthogonal to exec_mode: kDeterministic (default) is the bit-parity
+  // oracle. kFast trades schedule determinism for throughput — dynamic
+  // work-stealing loops, fused cross-length score batches
+  // (core/batching.h FuseSmallBuckets), and a DetectStream that overlaps
+  // provider reads with preprocessing and scores the whole batch's
+  // candidates in cross-trajectory mega-batches. Decisions (argmax
+  // candidates) are asserted equivalent and probabilities agree within a
+  // documented FP tolerance (tests/differential.h); fast mode currently
+  // forces the eager encode path for its fused batches.
+  ExecStrategy strategy = ExecStrategy::kDeterministic;
   // Observability sinks; same semantics as the TrainOptions fields. The
   // library does not scope a collection session per Detect() call (they
   // are sub-millisecond); the CLI owns the session for detect runs.
@@ -300,6 +317,16 @@ class LeadModel {
                         const std::vector<PreparedSample>& validation,
                         int start_stage, int start_epoch, TrainingLog* log,
                         const TrainCheckpointFn& checkpoint);
+  // ExecStrategy::kFast DetectStream body (grouping variants only):
+  // overlaps provider(i) with Preprocess through a bounded stage queue,
+  // encodes every admitted trajectory's candidates in one
+  // cross-trajectory EncodeCandidateBatch, and scores all subgroups of
+  // all items per direction through fused length buckets. Degradation
+  // semantics (deadline/budget/cancel, partial_results) match
+  // DetectStream item for item.
+  StatusOr<BatchDetection> DetectStreamFused(
+      int count, const TrajectoryProvider& provider,
+      const poi::PoiIndex& poi_index) const;
   // Full model state (normalizer header + per-module parameter sections),
   // each section CRC-32 protected.
   Status SerializeModel(std::ostream& out) const;

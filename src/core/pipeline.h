@@ -2,6 +2,11 @@
 //
 // noise filter -> stay-point extraction -> stay/move segmentation ->
 // candidate generation -> per-point feature matrix.
+//
+// Parallelism knobs flow in through FeatureOptions (threads + the
+// ExecStrategy that picks the static or work-stealing schedule for the
+// per-point feature loop); LeadModel sets both from TrainOptions /
+// DetectOptions before calling ProcessTrajectory.
 #pragma once
 
 #include <vector>

@@ -1,0 +1,136 @@
+// Differential-oracle comparison helpers (DESIGN.md §"Fast execution
+// strategy").
+//
+// ExecStrategy::kFast is not bit-deterministic against the deterministic
+// oracle, so fast-mode tests assert a weaker — but still sharp —
+// contract: identical detection decisions, probabilities within a
+// documented absolute tolerance (with ULP distances reported for the
+// worst offender), and training-loss trajectories within relative +
+// absolute epsilon bands. The helpers return ::testing::AssertionResult
+// so a failing sweep names the exact index, values, and distances
+// instead of a bare boolean.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "core/lead.h"
+#include "gtest/gtest.h"
+
+namespace lead::diff {
+
+// Distance in representable floats between a and b (0 for identical
+// bits, including -0.0 vs 0.0 which are one step apart in this metric's
+// monotone mapping; returns INT64_MAX when either value is not finite).
+inline int64_t UlpDiff(float a, float b) {
+  if (!std::isfinite(a) || !std::isfinite(b)) {
+    return std::numeric_limits<int64_t>::max();
+  }
+  int32_t ia = 0;
+  int32_t ib = 0;
+  std::memcpy(&ia, &a, sizeof(ia));
+  std::memcpy(&ib, &b, sizeof(ib));
+  // Map the sign-magnitude float ordering onto a monotone integer line
+  // so the distance is well-defined across zero.
+  const auto monotone = [](int32_t i) -> int64_t {
+    return i >= 0 ? static_cast<int64_t>(i)
+                  : -(static_cast<int64_t>(i & 0x7fffffff));
+  };
+  const int64_t d = monotone(ia) - monotone(ib);
+  return d < 0 ? -d : d;
+}
+
+// Decision equivalence: both runs picked the same loaded trajectory
+// (the externally visible answer) over the same candidate set.
+inline ::testing::AssertionResult SameDecision(const core::Detection& ref,
+                                               const core::Detection& got) {
+  if (ref.num_stays != got.num_stays) {
+    return ::testing::AssertionFailure()
+           << "stay counts differ: oracle " << ref.num_stays << " vs fast "
+           << got.num_stays;
+  }
+  if (ref.candidates.size() != got.candidates.size()) {
+    return ::testing::AssertionFailure()
+           << "candidate counts differ: oracle " << ref.candidates.size()
+           << " vs fast " << got.candidates.size();
+  }
+  if (ref.loaded.start_sp != got.loaded.start_sp ||
+      ref.loaded.end_sp != got.loaded.end_sp) {
+    return ::testing::AssertionFailure()
+           << "decisions differ: oracle picked (" << ref.loaded.start_sp
+           << ", " << ref.loaded.end_sp << "), fast picked ("
+           << got.loaded.start_sp << ", " << got.loaded.end_sp << ")";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// Element-wise probability agreement within `abs_tol`, reporting the
+// worst offender's index, both values, and the absolute + ULP distances.
+inline ::testing::AssertionResult ProbsWithin(const std::vector<float>& ref,
+                                              const std::vector<float>& got,
+                                              float abs_tol) {
+  if (ref.size() != got.size()) {
+    return ::testing::AssertionFailure()
+           << "probability vector sizes differ: " << ref.size() << " vs "
+           << got.size();
+  }
+  float worst = 0.0f;
+  size_t worst_i = 0;
+  for (size_t i = 0; i < ref.size(); ++i) {
+    if (!std::isfinite(ref[i]) || !std::isfinite(got[i])) {
+      return ::testing::AssertionFailure()
+             << "non-finite probability at index " << i << ": oracle "
+             << ref[i] << ", fast " << got[i];
+    }
+    const float d = std::fabs(ref[i] - got[i]);
+    if (d > worst) {
+      worst = d;
+      worst_i = i;
+    }
+  }
+  if (worst > abs_tol) {
+    std::ostringstream msg;
+    msg << "worst probability diff " << worst << " at index " << worst_i
+        << " exceeds tolerance " << abs_tol << " (oracle " << ref[worst_i]
+        << ", fast " << got[worst_i] << ", "
+        << UlpDiff(ref[worst_i], got[worst_i]) << " ULPs)";
+    return ::testing::AssertionFailure() << msg.str();
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// Loss-trajectory agreement: curves of equal length whose points match
+// within the band abs_tol + rel_tol * |ref|. Early stopping makes curve
+// LENGTH part of the contract too — a fast run that stops on a different
+// epoch diverged more than any per-point epsilon can excuse.
+inline ::testing::AssertionResult LossesWithin(const std::vector<float>& ref,
+                                               const std::vector<float>& got,
+                                               float rel_tol, float abs_tol) {
+  if (ref.size() != got.size()) {
+    return ::testing::AssertionFailure()
+           << "loss curve lengths differ: oracle " << ref.size()
+           << " epochs vs fast " << got.size();
+  }
+  for (size_t i = 0; i < ref.size(); ++i) {
+    if (!std::isfinite(ref[i]) || !std::isfinite(got[i])) {
+      return ::testing::AssertionFailure()
+             << "non-finite loss at epoch " << i << ": oracle " << ref[i]
+             << ", fast " << got[i];
+    }
+    const float band = abs_tol + rel_tol * std::fabs(ref[i]);
+    const float d = std::fabs(ref[i] - got[i]);
+    if (d > band) {
+      return ::testing::AssertionFailure()
+             << "loss at epoch " << i << " outside band: oracle " << ref[i]
+             << ", fast " << got[i] << ", |diff| " << d << " > " << band
+             << " (rel_tol " << rel_tol << ", abs_tol " << abs_tol << ")";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+}  // namespace lead::diff

@@ -1,0 +1,26 @@
+// Fixture for the strategy-chunking rule: the third argument of a
+// ParallelForDynamic call (the work-stealing grain) must come from
+// DynamicChunk(n, lanes), not a per-call-site constant.
+namespace lead {
+
+void Bad(ThreadPool& pool, long n, int lanes) {
+  pool.ParallelForDynamic(n, lanes, 64, [](long, long, int) {});
+}
+
+void Good(ThreadPool& pool, long n, int lanes) {
+  pool.ParallelForDynamic(n, lanes, DynamicChunk(n, lanes),
+                          [](long, long, int) {});
+}
+
+void GoodVariable(ThreadPool& pool, long n, int lanes, long grain) {
+  pool.ParallelForDynamic(n, lanes, grain, [](long, long, int) {});
+}
+
+void AllowedLiteral(ThreadPool& pool, long n, int lanes) {
+  // A provably-per-element loop can pin grain 1 with a reason.
+  pool.ParallelForDynamic(
+      n, lanes, 1,  // lead-lint: allow(strategy-chunking)
+      [](long, long, int) {});
+}
+
+}  // namespace lead

@@ -80,6 +80,21 @@ TEST_F(LintTest, EveryRuleFiresOnItsFixture) {
   ExpectViolation("bad_pragma_once.h", "pragma-once", 1);
   ExpectViolation("bad_io_unbounded_loop.cc", "io-unbounded-loop", 9,
                   "--lib");
+  ExpectViolation("bad_strategy_chunking.cc", "strategy-chunking", 7,
+                  "--lib");
+}
+
+TEST_F(LintTest, StrategyChunkingSparesDerivedGrainsAndAllowedLines) {
+  // Only the hardcoded-constant call (line 7) fires; the DynamicChunk
+  // call, the variable grain, and the allow-marked literal stay quiet —
+  // and like the other lib rules, the gate is off without --lib.
+  std::string out;
+  EXPECT_EQ(LintFixture("bad_strategy_chunking.cc", &out, "--lib"), 1);
+  EXPECT_NE(out.find(":7 strategy-chunking"), std::string::npos) << out;
+  EXPECT_EQ(out.find(":11 "), std::string::npos) << out;
+  EXPECT_EQ(out.find(":16 "), std::string::npos) << out;
+  EXPECT_EQ(out.find(":21 "), std::string::npos) << out;
+  EXPECT_EQ(LintFixture("bad_strategy_chunking.cc", &out), 0) << out;
 }
 
 TEST_F(LintTest, IoUnboundedLoopSparesPolledAndAllowedLoops) {
@@ -133,7 +148,7 @@ TEST_F(LintTest, ListRulesCoversEveryRule) {
        {"rand", "raw-rng", "wall-clock", "unordered-iter",
         "discarded-status", "raw-new", "raw-delete", "float-eq",
         "matrix-in-kernel", "cout-in-lib", "exit-in-lib", "stderr",
-        "pragma-once", "io-unbounded-loop"}) {
+        "pragma-once", "io-unbounded-loop", "strategy-chunking"}) {
     EXPECT_NE(out.find(rule), std::string::npos) << "missing rule " << rule;
   }
 }

@@ -1,0 +1,181 @@
+// Unit tests for the work-stealing ParallelForDynamic loop
+// (ExecStrategy::kFast): exactly-once execution under steals, inline
+// degeneration for nested calls, empty/degenerate inputs, shutdown of a
+// local pool, cancellation skipping, and a stress loop that doubles as
+// the TSan target for the atomic claim/steal protocol (ci.sh TSan
+// stage).
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/cancel.h"
+#include "common/exec_strategy.h"
+#include "common/thread_pool.h"
+
+namespace lead {
+namespace {
+
+TEST(ExecStrategyTest, ParseAndName) {
+  ExecStrategy s = ExecStrategy::kFast;
+  EXPECT_TRUE(ParseExecStrategy("deterministic", &s));
+  EXPECT_EQ(s, ExecStrategy::kDeterministic);
+  EXPECT_TRUE(ParseExecStrategy("fast", &s));
+  EXPECT_EQ(s, ExecStrategy::kFast);
+  EXPECT_FALSE(ParseExecStrategy("warp", &s));
+  EXPECT_EQ(s, ExecStrategy::kFast);  // untouched on failure
+  EXPECT_STREQ(ExecStrategyName(ExecStrategy::kDeterministic),
+               "deterministic");
+  EXPECT_STREQ(ExecStrategyName(ExecStrategy::kFast), "fast");
+}
+
+TEST(ExecStrategyTest, DynamicChunkIsPositiveAndCoarse) {
+  EXPECT_GE(DynamicChunk(0, 4), 1);
+  EXPECT_GE(DynamicChunk(1, 8), 1);
+  EXPECT_GE(DynamicChunk(1000, 0), 1);
+  // Roughly a handful of chunks per lane: n=1024 over 4 lanes must give
+  // chunks that are neither per-element (1) nor whole-segment (256).
+  const int64_t chunk = DynamicChunk(1024, 4);
+  EXPECT_GT(chunk, 1);
+  EXPECT_LT(chunk, 256);
+}
+
+// Every index runs exactly once, across a sweep of sizes, lane counts,
+// and chunk sizes (including chunk > n and lanes > n).
+TEST(ParallelForDynamicTest, CoversAllIndicesExactlyOnce) {
+  for (const int64_t n : {1, 2, 7, 64, 1000}) {
+    for (const int lanes : {1, 2, 4, 8, 16}) {
+      for (const int64_t chunk : {int64_t{1}, int64_t{3}, int64_t{4096},
+                                  DynamicChunk(n, lanes)}) {
+        std::vector<std::atomic<int>> counts(static_cast<size_t>(n));
+        ThreadPool::Global().ParallelForDynamic(
+            n, lanes, chunk,
+            [&counts](int64_t begin, int64_t end, int /*lane*/) {
+              for (int64_t i = begin; i < end; ++i) {
+                counts[static_cast<size_t>(i)].fetch_add(1);
+              }
+            });
+        for (int64_t i = 0; i < n; ++i) {
+          ASSERT_EQ(counts[static_cast<size_t>(i)].load(), 1)
+              << "index " << i << " (n=" << n << ", lanes=" << lanes
+              << ", chunk=" << chunk << ")";
+        }
+      }
+    }
+  }
+}
+
+// Steal safety under imbalance: one segment's items are much slower, so
+// idle lanes must steal from it — and stealing must never duplicate or
+// drop an index.
+TEST(ParallelForDynamicTest, ImbalancedLoadStillRunsExactlyOnce) {
+  constexpr int64_t kN = 256;
+  std::vector<std::atomic<int>> counts(kN);
+  std::atomic<int64_t> sum{0};
+  ThreadPool::Global().ParallelForDynamic(
+      kN, 8, DynamicChunk(kN, 8),
+      [&](int64_t begin, int64_t end, int /*lane*/) {
+        for (int64_t i = begin; i < end; ++i) {
+          if (i < kN / 8) {
+            // Busy work concentrated in lane 0's segment.
+            volatile int64_t spin = 0;
+            for (int k = 0; k < 20000; ++k) spin = spin + k;
+          }
+          counts[static_cast<size_t>(i)].fetch_add(1);
+          sum.fetch_add(i);
+        }
+      });
+  for (int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(counts[static_cast<size_t>(i)].load(), 1) << "index " << i;
+  }
+  EXPECT_EQ(sum.load(), kN * (kN - 1) / 2);
+}
+
+TEST(ParallelForDynamicTest, ZeroAndNegativeSizesAreNoOps) {
+  int calls = 0;
+  ThreadPool::Global().ParallelForDynamic(
+      0, 4, 8, [&calls](int64_t, int64_t, int) { ++calls; });
+  ThreadPool::Global().ParallelForDynamic(
+      -3, 4, 8, [&calls](int64_t, int64_t, int) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelForDynamicTest, SingleLaneRunsInlineAsOneBlock) {
+  std::vector<std::pair<int64_t, int64_t>> blocks;
+  ThreadPool::Global().ParallelForDynamic(
+      100, 1, 8, [&blocks](int64_t begin, int64_t end, int lane) {
+        EXPECT_EQ(lane, 0);
+        blocks.emplace_back(begin, end);
+      });
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0], (std::pair<int64_t, int64_t>{0, 100}));
+}
+
+// A dynamic loop nested inside another parallel region must run inline
+// on the calling lane (single block, lane 0) instead of re-entering the
+// queue — the deadlock-avoidance contract shared with ParallelFor.
+TEST(ParallelForDynamicTest, NestedCallsRunInline) {
+  std::atomic<int64_t> total{0};
+  ThreadPool::Global().ParallelForBlocks(
+      8, 4, [&total](int64_t begin, int64_t end, int /*lane*/) {
+        for (int64_t i = begin; i < end; ++i) {
+          ThreadPool::Global().ParallelForDynamic(
+              16, 8, 2, [&total](int64_t b, int64_t e, int inner_lane) {
+                EXPECT_EQ(inner_lane, 0);
+                total.fetch_add(e - b);
+              });
+        }
+      });
+  EXPECT_EQ(total.load(), 8 * 16);
+}
+
+// A pre-cancelled ambient token skips every chunk: the loop returns (no
+// hang) without executing fn.
+TEST(ParallelForDynamicTest, PreCancelledTokenSkipsAllChunks) {
+  CancelToken token = CancelToken::Cancellable();
+  token.Cancel(CancelCause::kUser);
+  ScopedCancel scoped(token);
+  std::atomic<int> calls{0};
+  ThreadPool::Global().ParallelForDynamic(
+      64, 4, 4, [&calls](int64_t, int64_t, int) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+// A local pool constructs and joins cleanly with no work (empty-queue
+// shutdown) and after running dynamic work.
+TEST(ParallelForDynamicTest, LocalPoolShutsDownCleanly) {
+  { ThreadPool idle(3); }  // no work at all
+  ThreadPool pool(3);
+  std::atomic<int64_t> sum{0};
+  pool.ParallelForDynamic(100, 4, 8,
+                          [&sum](int64_t begin, int64_t end, int /*lane*/) {
+                            for (int64_t i = begin; i < end; ++i) {
+                              sum.fetch_add(i);
+                            }
+                          });
+  EXPECT_EQ(sum.load(), 100 * 99 / 2);
+}
+
+// TSan stress target: many iterations with varying shapes so claim/steal
+// interleavings get real coverage. The atomic sum catches lost or
+// duplicated chunks; TSan catches protocol races.
+TEST(ParallelForDynamicTest, StressDynamicLoop) {
+  for (int iter = 0; iter < 200; ++iter) {
+    const int64_t n = 1 + (iter * 37) % 300;
+    const int lanes = 1 + iter % 8;
+    const int64_t chunk = 1 + iter % 9;
+    std::atomic<int64_t> sum{0};
+    ThreadPool::Global().ParallelForDynamic(
+        n, lanes, chunk, [&sum](int64_t begin, int64_t end, int /*lane*/) {
+          for (int64_t i = begin; i < end; ++i) sum.fetch_add(i);
+        });
+    ASSERT_EQ(sum.load(), n * (n - 1) / 2)
+        << "iter " << iter << " n=" << n << " lanes=" << lanes
+        << " chunk=" << chunk;
+  }
+}
+
+}  // namespace
+}  // namespace lead

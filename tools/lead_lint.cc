@@ -65,6 +65,8 @@ constexpr RuleInfo kRules[] = {
     {"pragma-once", "header is missing #pragma once"},
     {"io-unbounded-loop",
      "reader loop in src/io with no cancellation poll point"},
+    {"strategy-chunking",
+     "ParallelForDynamic chunk hardcoded; take it from DynamicChunk"},
 };
 
 bool IsKnownRule(const std::string& name) {
@@ -310,7 +312,10 @@ class FileLinter {
       CheckRawNewDelete(i);
       CheckFloatEq(i);
       CheckMatrixInKernel(i);
-      if (lib_rules_) CheckLibOnly(i);
+      if (lib_rules_) {
+        CheckLibOnly(i);
+        CheckStrategyChunking(i);
+      }
       if (io_rules_) CheckIoUnboundedLoop(i);
     }
     if (IsHeader() && !lexed_->has_pragma_once) {
@@ -612,6 +617,46 @@ class FileLinter {
     Report(Tok(i).line, "io-unbounded-loop",
            "loop over external input has no cancellation poll; call "
            "PollCancel on a stride (or annotate why the loop is bounded)");
+  }
+
+  // --- strategy chunking --------------------------------------------------
+
+  // The work-stealing grain of a ParallelForDynamic loop is an
+  // ExecStrategy policy decision (common/exec_strategy.h DynamicChunk),
+  // not a per-call-site constant: a hardcoded literal pins one site to a
+  // grain that silently stops tracking the strategy's tuning. Flags a
+  // call whose third top-level argument (the chunk) is a bare number.
+  void CheckStrategyChunking(size_t i) {
+    if (Tok(i).kind != Token::kIdent || Tok(i).text != "ParallelForDynamic") {
+      return;
+    }
+    if (!Is(i + 1, "(")) return;
+    const size_t close = MatchingClose(i + 1, "(", ")");
+    if (close == Size()) return;
+    int depth = 0;
+    int commas = 0;
+    size_t begin = 0;
+    size_t end = close;
+    for (size_t j = i + 1; j < close && commas < 3; ++j) {
+      const std::string& t = Tok(j).text;
+      if (t == "(" || t == "[" || t == "{") {
+        ++depth;
+      } else if (t == ")" || t == "]" || t == "}") {
+        --depth;
+      } else if (t == "," && depth == 1) {
+        ++commas;
+        if (commas == 2) begin = j + 1;
+        if (commas == 3) end = j;
+      }
+    }
+    if (begin == 0) return;  // fewer than three arguments: a declaration
+    if (end == begin + 1 && Tok(begin).kind == Token::kNumber) {
+      Report(Tok(begin).line, "strategy-chunking",
+             "ParallelForDynamic chunk is the hardcoded constant " +
+                 Tok(begin).text +
+                 "; take the grain from DynamicChunk(n, lanes) so the site "
+                 "tracks ExecStrategy tuning");
+    }
   }
 
   // --- library-only rules -------------------------------------------------
