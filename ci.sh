@@ -1,9 +1,14 @@
 #!/usr/bin/env bash
 # Repo CI: tier-1 verify (full build + ctest, which includes the
 # lead_lint tree scan and the lint fixture tests), a static-analysis
-# stage (lead_lint over the tree, a -DLEAD_WERROR=ON configure that
-# promotes -Wshadow/-Wconversion to errors, and clang-tidy when it is on
-# PATH), a -DLEAD_CHECK_SHAPES=ON build running the nn/batch/autograd
+# stage (lead_lint over the tree with --report-allows plus a --json
+# smoke, a -DLEAD_WERROR=ON configure that promotes
+# -Wshadow/-Wconversion to errors, a -DLEAD_THREAD_SAFETY=ON clang build
+# that machine-checks the capability annotations in common/annotate.h,
+# and clang-tidy — the clang stages skip with a notice when clang is not
+# on PATH), a fuzz stage over the io parsers (libFuzzer for 30s per
+# target under clang, standalone corpus replay otherwise), a
+# -DLEAD_CHECK_SHAPES=ON build running the nn/batch/autograd
 # suites plus the contract death tests, a fault-injection pass (explicit
 # -DLEAD_FAULT_INJECTION=ON build running the robustness and chaos
 # suites, then re-running the env-armed degradation test under each
@@ -32,11 +37,27 @@ cmake --build build -j
 
 echo "=== static analysis: lead_lint over the source tree ==="
 cmake --build build -j --target lead_lint >/dev/null
-./build/tools/lead_lint src tests bench cli tools
+# --report-allows keeps the suppression inventory honest (a marker whose
+# finding was fixed fails the run); the --json invocation smoke-tests the
+# machine-readable mode CI dashboards consume.
+./build/tools/lead_lint --report-allows src tests bench cli tools
+./build/tools/lead_lint --json src tests bench cli tools >/dev/null
 
 echo "=== static analysis: LEAD_WERROR build (-Wshadow/-Wconversion as errors) ==="
 cmake -B build-werror -S . -DLEAD_WERROR=ON >/dev/null
 cmake --build build-werror -j
+
+if command -v clang++ >/dev/null 2>&1; then
+  echo "=== static analysis: clang thread-safety capabilities (LEAD_THREAD_SAFETY) ==="
+  # Whole-tree build with -Wthread-safety{,-beta} promoted to errors:
+  # every LEAD_GUARDED_BY/LEAD_REQUIRES contract in common/annotate.h is
+  # machine-checked, including interleavings TSan never schedules.
+  cmake -B build-capability -S . -DLEAD_THREAD_SAFETY=ON \
+    -DCMAKE_CXX_COMPILER=clang++ >/dev/null
+  cmake --build build-capability -j
+else
+  echo "=== static analysis: clang++ not on PATH; thread-safety analysis skipped ==="
+fi
 
 if command -v clang-tidy >/dev/null 2>&1; then
   echo "=== static analysis: clang-tidy (bugprone/performance/concurrency) ==="
@@ -46,6 +67,31 @@ if command -v clang-tidy >/dev/null 2>&1; then
     xargs -0 -P "$(nproc)" -n 8 clang-tidy -p build --quiet
 else
   echo "=== static analysis: clang-tidy not on PATH; skipped ==="
+fi
+
+echo "=== fuzz: io-parser harnesses (LEAD_FUZZERS) ==="
+FUZZ_TARGETS=(fuzz_csv fuzz_gpx fuzz_geojson)
+if command -v clang++ >/dev/null 2>&1; then
+  # Real libFuzzer run, wall-clock-bounded per target, seeded from the
+  # checked-in corpora.
+  cmake -B build-fuzz -S . -DLEAD_FUZZERS=ON \
+    -DCMAKE_CXX_COMPILER=clang++ >/dev/null
+  cmake --build build-fuzz -j --target "${FUZZ_TARGETS[@]}"
+  for fmt in csv gpx geojson; do
+    echo "--- fuzz_$fmt (libFuzzer, 30s) ---"
+    "./build-fuzz/tools/fuzz/fuzz_$fmt" -max_total_time=30 \
+      -print_final_stats=1 "tools/fuzz/corpus/$fmt"
+  done
+else
+  # No clang: the standalone drivers still replay every corpus file, so
+  # the harness code and seed inputs stay exercised.
+  echo "--- clang++ not on PATH; corpus replay via standalone drivers ---"
+  cmake -B build-fuzz -S . -DLEAD_FUZZERS=ON >/dev/null
+  cmake --build build-fuzz -j --target "${FUZZ_TARGETS[@]}"
+  for fmt in csv gpx geojson; do
+    echo "--- fuzz_$fmt (corpus replay) ---"
+    "./build-fuzz/tools/fuzz/fuzz_$fmt" tools/fuzz/corpus/"$fmt"/*
+  done
 fi
 
 echo "=== contracts: LEAD_CHECK_SHAPES build of the nn/batch/autograd suites ==="

@@ -77,6 +77,10 @@ class MemoryBudget {
  private:
   MemoryBudget() = default;
 
+  // Lock-free by design: each member is an independent atomic with no
+  // cross-member invariant (capability review, common/annotate.h — there
+  // is deliberately no mutex here for LEAD_GUARDED_BY to name). Admit()
+  // tolerates bounded over-admission between concurrent checks instead.
   std::atomic<int64_t> cap_{0};
   std::atomic<int64_t> used_{0};
 };

@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/annotate.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -220,9 +221,9 @@ struct WatchdogRecord {
 };
 
 struct WatchdogState {
-  std::mutex mutex;
-  std::vector<WatchdogRecord*> active;
-  bool scanner_running = false;
+  Mutex mutex;
+  std::vector<WatchdogRecord*> active LEAD_GUARDED_BY(mutex);
+  bool scanner_running LEAD_GUARDED_BY(mutex) = false;
 };
 
 std::atomic<int64_t> g_watchdog_threshold_ms{0};
@@ -245,7 +246,7 @@ void ScanOnce(int64_t threshold_ms) {
   const uint64_t now = obs::NowMicros();
   const uint64_t threshold_us = static_cast<uint64_t>(threshold_ms) * 1000;
   WatchdogState& wd = Watchdog();
-  std::lock_guard<std::mutex> lock(wd.mutex);
+  MutexLock lock(wd.mutex);
   for (WatchdogRecord* rec : wd.active) {
     if (rec->warned || now - rec->start_us < threshold_us) continue;
     rec->warned = true;
@@ -266,7 +267,7 @@ void ScanOnce(int64_t threshold_ms) {
 
 void EnsureScanner() {
   WatchdogState& wd = Watchdog();
-  std::lock_guard<std::mutex> lock(wd.mutex);
+  MutexLock lock(wd.mutex);
   if (wd.scanner_running) return;
   wd.scanner_running = true;
   std::thread([] {
@@ -309,7 +310,7 @@ WatchdogScope::WatchdogScope(const char* stage) {
   auto* rec = new WatchdogRecord{  // lead-lint: allow(raw-new)
       ThisThreadKey(), stage, obs::NowMicros(), false};
   WatchdogState& wd = Watchdog();
-  std::lock_guard<std::mutex> lock(wd.mutex);
+  MutexLock lock(wd.mutex);
   wd.active.push_back(rec);
   registered_ = true;
 }
@@ -317,7 +318,7 @@ WatchdogScope::WatchdogScope(const char* stage) {
 WatchdogScope::~WatchdogScope() {
   if (!registered_) return;
   WatchdogState& wd = Watchdog();
-  std::lock_guard<std::mutex> lock(wd.mutex);
+  MutexLock lock(wd.mutex);
   const uint64_t key = ThisThreadKey();
   // This thread's scopes destruct LIFO, so ours is its last record.
   for (auto it = wd.active.rbegin(); it != wd.active.rend(); ++it) {

@@ -10,6 +10,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "common/annotate.h"
 #include "common/cancel.h"
 
 namespace lead::fault {
@@ -30,22 +31,24 @@ struct PointState {
 };
 
 // The registry is mutex-protected; the disarmed hot path never takes the
-// lock (see AnyArmed in the header).
-std::mutex& RegistryMutex() {
-  static std::mutex mutex;
-  return mutex;
-}
+// lock (see AnyArmed in the header). Mutex and map live in one struct so
+// the capability analysis can tie the guard to the guarded data — a
+// lock-getter free function cannot carry a LEAD_GUARDED_BY relation.
+struct FaultRegistry {
+  Mutex mutex;
+  std::unordered_map<std::string, PointState> points LEAD_GUARDED_BY(mutex);
+};
 
-std::unordered_map<std::string, PointState>& Registry() {
+FaultRegistry& Registry() {
   // Leaked on purpose: fault points may fire during static teardown.
-  using Points = std::unordered_map<std::string, PointState>;
-  static auto* registry = new Points();  // lead-lint: allow(raw-new)
+  static auto* registry = new FaultRegistry();  // lead-lint: allow(raw-new)
   return *registry;
 }
 
 void ArmImpl(std::string_view point, PointState state) {
-  std::lock_guard<std::mutex> lock(RegistryMutex());
-  auto [it, inserted] = Registry().try_emplace(std::string(point), state);
+  FaultRegistry& reg = Registry();
+  MutexLock lock(reg.mutex);
+  auto [it, inserted] = reg.points.try_emplace(std::string(point), state);
   if (inserted || !it->second.armed) {
     internal::g_armed.fetch_add(1, std::memory_order_relaxed);
   }
@@ -59,9 +62,10 @@ void ArmImpl(std::string_view point, PointState state) {
 // retry attempt).
 const PointState* HitImpl(std::string_view point, Kind kind,
                           PointState* out) {
-  std::lock_guard<std::mutex> lock(RegistryMutex());
-  auto it = Registry().find(std::string(point));
-  if (it == Registry().end()) return nullptr;
+  FaultRegistry& reg = Registry();
+  MutexLock lock(reg.mutex);
+  auto it = reg.points.find(std::string(point));
+  if (it == reg.points.end()) return nullptr;
   PointState& state = it->second;
   if (!state.armed || state.kind != kind) return nullptr;
   ++state.hits;
@@ -111,31 +115,35 @@ void ArmStall(std::string_view point, int nth, int64_t stall_ms) {
 }
 
 void Disarm(std::string_view point) {
-  std::lock_guard<std::mutex> lock(RegistryMutex());
-  auto it = Registry().find(std::string(point));
-  if (it == Registry().end()) return;
+  FaultRegistry& reg = Registry();
+  MutexLock lock(reg.mutex);
+  auto it = reg.points.find(std::string(point));
+  if (it == reg.points.end()) return;
   if (it->second.armed) {
     internal::g_armed.fetch_sub(1, std::memory_order_relaxed);
   }
-  Registry().erase(it);
+  reg.points.erase(it);
 }
 
 void DisarmAll() {
-  std::lock_guard<std::mutex> lock(RegistryMutex());
-  Registry().clear();
+  FaultRegistry& reg = Registry();
+  MutexLock lock(reg.mutex);
+  reg.points.clear();
   internal::g_armed.store(0, std::memory_order_relaxed);
 }
 
 int Hits(std::string_view point) {
-  std::lock_guard<std::mutex> lock(RegistryMutex());
-  auto it = Registry().find(std::string(point));
-  return it == Registry().end() ? 0 : it->second.hits;
+  FaultRegistry& reg = Registry();
+  MutexLock lock(reg.mutex);
+  auto it = reg.points.find(std::string(point));
+  return it == reg.points.end() ? 0 : it->second.hits;
 }
 
 int Fires(std::string_view point) {
-  std::lock_guard<std::mutex> lock(RegistryMutex());
-  auto it = Registry().find(std::string(point));
-  return it == Registry().end() ? 0 : it->second.fires;
+  FaultRegistry& reg = Registry();
+  MutexLock lock(reg.mutex);
+  auto it = reg.points.find(std::string(point));
+  return it == reg.points.end() ? 0 : it->second.fires;
 }
 
 namespace internal {

@@ -16,8 +16,9 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <utility>
+
+#include "common/annotate.h"
 
 namespace lead {
 
@@ -32,34 +33,35 @@ class BoundedQueue {
 
   // Blocks while the queue is full. Returns false (dropping the item)
   // when the queue was closed; the producer should stop.
-  bool Push(T item) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_full_.wait(lock,
-                   [this] { return closed_ || items_.size() < capacity_; });
+  bool Push(T item) LEAD_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    // Explicit wait loops here and in Pop: predicate lambdas are opaque
+    // to the capability analysis (see common/annotate.h).
+    while (!closed_ && items_.size() >= capacity_) not_full_.wait(lock);
     if (closed_) return false;
     items_.push_back(std::move(item));
-    lock.unlock();
+    lock.Unlock();  // notify without holding: waiter wakes straight through
     not_empty_.notify_one();
     return true;
   }
 
   // Blocks until an item is available or the queue is closed and empty;
   // returns false in the latter case.
-  bool Pop(T* out) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+  bool Pop(T* out) LEAD_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    while (!closed_ && items_.empty()) not_empty_.wait(lock);
     if (items_.empty()) return false;  // closed and drained
     *out = std::move(items_.front());
     items_.pop_front();
-    lock.unlock();
+    lock.Unlock();  // notify without holding: waiter wakes straight through
     not_full_.notify_one();
     return true;
   }
 
   // Idempotent; wakes every waiter on both sides.
-  void Close() {
+  void Close() LEAD_EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       closed_ = true;
     }
     not_full_.notify_all();
@@ -68,11 +70,11 @@ class BoundedQueue {
 
  private:
   const size_t capacity_;
-  std::mutex mutex_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  Mutex mutex_;
+  std::condition_variable_any not_full_;
+  std::condition_variable_any not_empty_;
+  std::deque<T> items_ LEAD_GUARDED_BY(mutex_);
+  bool closed_ LEAD_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace lead

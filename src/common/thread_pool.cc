@@ -85,7 +85,7 @@ ThreadPool::ThreadPool(int num_workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutdown_ = true;
   }
   work_ready_.notify_all();
@@ -112,8 +112,11 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_ready_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      // Explicit loop, not a predicate lambda: the capability analysis
+      // treats lambda bodies as unrelated functions with no lock set, so
+      // guarded reads inside a wait predicate would defeat the check.
+      while (!shutdown_ && queue_.empty()) work_ready_.wait(lock);
       if (queue_.empty()) return;  // shutdown
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -138,12 +141,15 @@ void ThreadPool::ParallelForBlocks(
 
   // One completion latch per call; blocks signal it as they retire.
   struct Latch {
-    std::mutex m;
-    std::condition_variable done;
-    int remaining;
+    Mutex m;
+    std::condition_variable_any done;
+    int remaining LEAD_GUARDED_BY(m);
   };
   Latch latch;
-  latch.remaining = lanes - 1;
+  {
+    MutexLock init(latch.m);  // uncontended; keeps the guarded write honest
+    latch.remaining = lanes - 1;
+  }
 
   auto block_bounds = [n, lanes](int lane) {
     return std::pair<int64_t, int64_t>{n * lane / lanes,
@@ -154,7 +160,7 @@ void ThreadPool::ParallelForBlocks(
   // fault stalls, nested loops) observe the same deadline.
   const CancelToken token = CurrentCancel();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (int lane = 1; lane < lanes; ++lane) {
       const auto [begin, end] = block_bounds(lane);
       queue_.push_back([&fn, &latch, token, begin, end, lane] {
@@ -163,7 +169,7 @@ void ThreadPool::ParallelForBlocks(
         // Notify while holding the latch mutex: the waiter destroys the
         // stack-allocated latch as soon as it observes remaining == 0,
         // which it cannot do before this thread releases the lock.
-        std::lock_guard<std::mutex> latch_lock(latch.m);
+        MutexLock latch_lock(latch.m);
         --latch.remaining;
         latch.done.notify_one();
       });
@@ -179,8 +185,8 @@ void ThreadPool::ParallelForBlocks(
   RunBlock(fn, begin, end, 0);
   in_parallel_region = was_in_region;
 
-  std::unique_lock<std::mutex> lock(latch.m);
-  latch.done.wait(lock, [&latch] { return latch.remaining == 0; });
+  MutexLock lock(latch.m);
+  while (latch.remaining != 0) latch.done.wait(lock);
 }
 
 void ThreadPool::ParallelFor(int64_t n, int lanes,
@@ -233,22 +239,25 @@ void ThreadPool::ParallelForDynamic(
   };
 
   struct Latch {
-    std::mutex m;
-    std::condition_variable done;
-    int remaining;
+    Mutex m;
+    std::condition_variable_any done;
+    int remaining LEAD_GUARDED_BY(m);
   };
   Latch latch;
-  latch.remaining = lanes - 1;
+  {
+    MutexLock init(latch.m);  // uncontended; keeps the guarded write honest
+    latch.remaining = lanes - 1;
+  }
   const CancelToken token = CurrentCancel();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (int lane = 1; lane < lanes; ++lane) {
       queue_.push_back([&drain, &latch, token, lane] {
         ScopedCancel scoped(token);
         drain(lane);
         // Same latch protocol as ParallelForBlocks: notify while holding
         // the latch mutex so the waiter cannot destroy the latch first.
-        std::lock_guard<std::mutex> latch_lock(latch.m);
+        MutexLock latch_lock(latch.m);
         --latch.remaining;
         latch.done.notify_one();
       });
@@ -263,8 +272,8 @@ void ThreadPool::ParallelForDynamic(
   drain(0);
   in_parallel_region = was_in_region;
 
-  std::unique_lock<std::mutex> lock(latch.m);
-  latch.done.wait(lock, [&latch] { return latch.remaining == 0; });
+  MutexLock lock(latch.m);
+  while (latch.remaining != 0) latch.done.wait(lock);
 }
 
 int ResolveThreads(int requested) {

@@ -35,9 +35,10 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/annotate.h"
 
 namespace lead {
 
@@ -96,10 +97,10 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mutex_;
-  std::condition_variable work_ready_;
-  std::deque<std::function<void()>> queue_;
-  bool shutdown_ = false;
+  Mutex mutex_;
+  std::condition_variable_any work_ready_;
+  std::deque<std::function<void()>> queue_ LEAD_GUARDED_BY(mutex_);
+  bool shutdown_ LEAD_GUARDED_BY(mutex_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -1,8 +1,13 @@
 #include "io/geojson.h"
 
+#include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
+#include <utility>
 
+#include "common/cancel.h"
 #include "common/check.h"
 
 namespace lead::io {
@@ -91,10 +96,361 @@ Status GeoJsonWriter::WriteToFile(const std::string& path) const {
 void AddTrajectory(const traj::RawTrajectory& trajectory,
                    GeoJsonWriter* writer) {
   if (trajectory.size() < 2) return;
+  std::string times = "\"times\":[";
+  for (int i = 0; i < trajectory.size(); ++i) {
+    if (i > 0) times += ',';
+    times += std::to_string(trajectory.points[i].t);
+  }
+  times += ']';
   writer->AddLineString(
       trajectory.points, traj::IndexRange{0, trajectory.size() - 1},
       "\"kind\":\"raw_trajectory\",\"trajectory_id\":\"" +
-          JsonEscape(trajectory.trajectory_id) + "\",\"stroke\":\"#888888\"");
+          JsonEscape(trajectory.trajectory_id) + "\",\"truck_id\":\"" +
+          JsonEscape(trajectory.truck_id) + "\",\"stroke\":\"#888888\"," +
+          times);
+}
+
+// ---------------------------------------------------------------------------
+// Reading
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Same timestamp sanity ceiling as the CSV reader (2100-01-01T00:00:00Z):
+// casting an unbounded double to int64_t would be undefined behavior, and
+// garbage epochs poison downstream duration math.
+constexpr double kMaxGeoJsonTimestamp = 4102444800.0;
+
+// A parsed JSON value. Objects keep insertion order in a flat pair list:
+// feature property maps are tiny, so linear Find beats a map and stays
+// deterministic.
+struct JsonValue {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> items;                           // kArray
+  std::vector<std::pair<std::string, JsonValue>> fields;  // kObject
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : fields) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+// Minimal recursive-descent JSON parser. Depth-capped (deeply nested
+// input must not exhaust the stack) and cancellation-aware (a multi-MB
+// upload honors a deadline mid-parse).
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Status Parse(JsonValue* out) {
+    LEAD_RETURN_IF_ERROR(ParseValue(out, 0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) return Error("trailing data after JSON value");
+    return Status::Ok();
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+  static constexpr int kPollStride = 4096;
+
+  Status Error(const std::string& what) const {
+    return InvalidArgumentError("GeoJSON: " + what + " at offset " +
+                                std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    if (++values_ % kPollStride == 0) {
+      LEAD_RETURN_IF_ERROR(PollCancel("io.read_geojson"));
+    }
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return ParseObject(out, depth);
+      case '[': return ParseArray(out, depth);
+      case '"':
+        out->kind = JsonValue::kString;
+        return ParseString(&out->str);
+      case 't':
+      case 'f':
+      case 'n': return ParseLiteral(out);
+      default: return ParseNumber(out);
+    }
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    out->kind = JsonValue::kObject;
+    ++pos_;  // '{'
+    SkipWhitespace();
+    if (Consume('}')) return Status::Ok();
+    for (;;) {
+      SkipWhitespace();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key");
+      }
+      LEAD_RETURN_IF_ERROR(ParseString(&key));
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      JsonValue value;
+      LEAD_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      out->fields.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::Ok();
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    out->kind = JsonValue::kArray;
+    ++pos_;  // '['
+    SkipWhitespace();
+    if (Consume(']')) return Status::Ok();
+    for (;;) {
+      JsonValue value;
+      LEAD_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      out->items.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::Ok();
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // opening '"'
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_];
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        ++pos_;
+        continue;
+      }
+      if (++pos_ >= text_.size()) return Error("unterminated escape");
+      switch (text_[pos_]) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 >= text_.size()) return Error("truncated \\u escape");
+          unsigned code = 0;
+          for (int k = 1; k <= 4; ++k) {
+            const char h = text_[pos_ + static_cast<size_t>(k)];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Error("bad hex digit in \\u escape");
+          }
+          pos_ += 4;
+          // UTF-8 encode the BMP code unit. Lone surrogates are accepted
+          // as-is: ids only round-trip through our own escaper, which
+          // never emits them, and rejecting would punish foreign files.
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: return Error("unknown escape character");
+      }
+      ++pos_;
+    }
+    if (!Consume('"')) return Error("unterminated string");
+    return Status::Ok();
+  }
+
+  Status ParseLiteral(JsonValue* out) {
+    auto matches = [&](const char* word) {
+      const size_t len = std::string(word).size();
+      return text_.compare(pos_, len, word) == 0;
+    };
+    if (matches("true")) {
+      out->kind = JsonValue::kBool;
+      out->boolean = true;
+      pos_ += 4;
+    } else if (matches("false")) {
+      out->kind = JsonValue::kBool;
+      out->boolean = false;
+      pos_ += 5;
+    } else if (matches("null")) {
+      out->kind = JsonValue::kNull;
+      pos_ += 4;
+    } else {
+      return Error("unrecognized literal");
+    }
+    return Status::Ok();
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const char* begin = text_.data() + pos_;
+    const char* end = text_.data() + text_.size();
+    double value = 0.0;
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc() || ptr == begin) return Error("malformed number");
+    // from_chars accepts "inf"/"nan" spellings JSON forbids; they would
+    // also make later int64 casts undefined.
+    if (!std::isfinite(value)) return Error("non-finite number");
+    out->kind = JsonValue::kNumber;
+    out->number = value;
+    pos_ += static_cast<size_t>(ptr - begin);
+    return Status::Ok();
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  int values_ = 0;
+};
+
+// Converts one LineString feature into a RawTrajectory.
+Status FeatureToTrajectory(const JsonValue& feature, int auto_id,
+                           traj::RawTrajectory* out) {
+  const JsonValue* geometry = feature.Find("geometry");
+  const JsonValue* coords = geometry->Find("coordinates");
+  if (coords == nullptr || coords->kind != JsonValue::kArray) {
+    return InvalidArgumentError("GeoJSON: LineString has no coordinates");
+  }
+  out->trajectory_id = "geojson_" + std::to_string(auto_id);
+  const JsonValue* times = nullptr;
+  const JsonValue* props = feature.Find("properties");
+  if (props != nullptr && props->kind == JsonValue::kObject) {
+    const JsonValue* id = props->Find("trajectory_id");
+    if (id != nullptr && id->kind == JsonValue::kString) {
+      out->trajectory_id = id->str;
+    }
+    const JsonValue* truck = props->Find("truck_id");
+    if (truck != nullptr && truck->kind == JsonValue::kString) {
+      out->truck_id = truck->str;
+    }
+    times = props->Find("times");
+    if (times != nullptr) {
+      if (times->kind != JsonValue::kArray) {
+        return InvalidArgumentError("GeoJSON: times is not an array");
+      }
+      if (times->items.size() != coords->items.size()) {
+        return InvalidArgumentError(
+            "GeoJSON: times length disagrees with coordinates");
+      }
+    }
+  }
+  out->points.reserve(coords->items.size());
+  for (size_t i = 0; i < coords->items.size(); ++i) {
+    const JsonValue& pair = coords->items[i];
+    if (pair.kind != JsonValue::kArray || pair.items.size() < 2 ||
+        pair.items[0].kind != JsonValue::kNumber ||
+        pair.items[1].kind != JsonValue::kNumber) {
+      return InvalidArgumentError(
+          "GeoJSON: coordinate is not a [lng, lat] pair");
+    }
+    const double lng = pair.items[0].number;
+    const double lat = pair.items[1].number;
+    if (!(lat >= -90.0 && lat <= 90.0 && lng >= -180.0 && lng <= 180.0)) {
+      return InvalidArgumentError("GeoJSON: coordinate outside WGS84 range");
+    }
+    // Without a times array, synthesize strictly increasing stamps so
+    // the result still satisfies ValidateChronological.
+    int64_t t = static_cast<int64_t>(i);
+    if (times != nullptr) {
+      const JsonValue& tv = times->items[i];
+      if (tv.kind != JsonValue::kNumber || tv.number < 0.0 ||
+          tv.number > kMaxGeoJsonTimestamp) {
+        return InvalidArgumentError(
+            "GeoJSON: times entry is not a valid Unix timestamp");
+      }
+      t = static_cast<int64_t>(tv.number);
+    }
+    out->points.push_back({geo::LatLng{lat, lng}, t});
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<std::vector<traj::RawTrajectory>> ReadGeoJson(std::istream& in) {
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return IoError("failed reading GeoJSON stream");
+  const std::string text = buf.str();
+  JsonValue root;
+  JsonParser parser(text);
+  LEAD_RETURN_IF_ERROR(parser.Parse(&root));
+  if (root.kind != JsonValue::kObject) {
+    return InvalidArgumentError("GeoJSON: root is not an object");
+  }
+  const JsonValue* type = root.Find("type");
+  if (type == nullptr || type->kind != JsonValue::kString ||
+      type->str != "FeatureCollection") {
+    return InvalidArgumentError("GeoJSON: root is not a FeatureCollection");
+  }
+  const JsonValue* features = root.Find("features");
+  if (features == nullptr || features->kind != JsonValue::kArray) {
+    return InvalidArgumentError("GeoJSON: missing features array");
+  }
+  std::vector<traj::RawTrajectory> out;
+  int auto_id = 0;
+  for (const JsonValue& feature : features->items) {
+    if (feature.kind != JsonValue::kObject) {
+      return InvalidArgumentError("GeoJSON: feature is not an object");
+    }
+    // Point / Polygon / null-geometry features are simply not tracks.
+    const JsonValue* geometry = feature.Find("geometry");
+    if (geometry == nullptr || geometry->kind != JsonValue::kObject) continue;
+    const JsonValue* gtype = geometry->Find("type");
+    if (gtype == nullptr || gtype->kind != JsonValue::kString ||
+        gtype->str != "LineString") {
+      continue;
+    }
+    traj::RawTrajectory trajectory;
+    LEAD_RETURN_IF_ERROR(FeatureToTrajectory(feature, auto_id, &trajectory));
+    ++auto_id;
+    out.push_back(std::move(trajectory));
+  }
+  return out;
+}
+
+StatusOr<std::vector<traj::RawTrajectory>> ReadGeoJsonFromFile(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return IoError("cannot open for read: " + path);
+  return ReadGeoJson(in);
 }
 
 void AddDetection(const traj::RawTrajectory& cleaned,

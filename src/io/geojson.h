@@ -1,9 +1,14 @@
-// GeoJSON export of trajectories, stay points and detections for
-// visualization (drop the output into geojson.io or any GIS tool).
+// GeoJSON import/export of trajectories, stay points and detections.
 //
-// Writers emit a FeatureCollection. Detection exports color the loaded
+// Writers emit a FeatureCollection for visualization (drop the output
+// into geojson.io or any GIS tool). Detection exports color the loaded
 // subtrajectory differently from the empty phases and mark the
 // loading/unloading stay points, mirroring the paper's Figure 1.
+//
+// The reader inverts AddTrajectory: every LineString feature in a
+// FeatureCollection becomes one RawTrajectory, so tracks exported for
+// inspection (or produced by GIS tooling) can be fed back into the
+// pipeline.
 #pragma once
 
 #include <iosfwd>
@@ -40,9 +45,23 @@ class GeoJsonWriter {
   std::vector<std::string> features_;
 };
 
-// Whole raw trajectory as one LineString.
+// Whole raw trajectory as one LineString. Carries trajectory_id,
+// truck_id, and the per-point timestamps (a "times" array of Unix
+// seconds) in the feature properties so ReadGeoJson can round-trip it.
 void AddTrajectory(const traj::RawTrajectory& trajectory,
                    GeoJsonWriter* writer);
+
+// Parses a GeoJSON FeatureCollection: every LineString feature becomes
+// one RawTrajectory. Coordinates are [lng, lat]; the feature properties
+// trajectory_id, truck_id, and times (written by AddTrajectory) are
+// honored when present — without a times array, synthetic strictly
+// increasing timestamps are assigned. Features with other geometry
+// types are skipped. Rejects malformed JSON (with a nesting-depth cap),
+// out-of-range coordinates, and a times array whose length disagrees
+// with the coordinates. Polls the ambient cancel token while parsing.
+StatusOr<std::vector<traj::RawTrajectory>> ReadGeoJson(std::istream& in);
+StatusOr<std::vector<traj::RawTrajectory>> ReadGeoJsonFromFile(
+    const std::string& path);
 
 // Detection view: empty phases, the loaded subtrajectory, and the
 // loading/unloading stay points as marked Point features.

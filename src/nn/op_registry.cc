@@ -20,13 +20,13 @@ OpRegistry& OpRegistry::Get() {
 
 void OpRegistry::Register(const char* name, OpKernel kernel) {
   LEAD_CHECK(kernel != nullptr);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const bool inserted = kernels_.emplace(name, kernel).second;
   LEAD_CHECK(inserted);  // duplicate registration under one name
 }
 
 OpKernel OpRegistry::Find(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = kernels_.find(name);
   return it == kernels_.end() ? nullptr : it->second;
 }
@@ -40,7 +40,7 @@ OpKernel OpRegistry::MustFind(const char* name) const {
 }
 
 std::vector<std::string> OpRegistry::Names() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<std::string> names;
   names.reserve(kernels_.size());
   for (const auto& [name, kernel] : kernels_) names.push_back(name);

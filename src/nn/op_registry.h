@@ -20,9 +20,10 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/annotate.h"
 
 namespace lead::nn {
 
@@ -74,8 +75,8 @@ class OpRegistry {
  private:
   OpRegistry() = default;
 
-  mutable std::mutex mutex_;
-  std::map<std::string, OpKernel> kernels_;
+  mutable Mutex mutex_;
+  std::map<std::string, OpKernel> kernels_ LEAD_GUARDED_BY(mutex_);
 };
 
 // Static registrar: LEAD_REGISTER_OP(Name, fn) at namespace scope inserts

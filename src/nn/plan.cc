@@ -21,7 +21,7 @@ thread_local PlanRecorder* g_active_recorder = nullptr;
 
 std::unique_ptr<Plan::ExecContext> Plan::AcquireContext() const {
   {
-    std::lock_guard<std::mutex> lock(pool_mutex_);
+    MutexLock lock(pool_mutex_);
     if (!pool_.empty()) {
       std::unique_ptr<ExecContext> context = std::move(pool_.back());
       pool_.pop_back();
@@ -32,7 +32,7 @@ std::unique_ptr<Plan::ExecContext> Plan::AcquireContext() const {
 }
 
 void Plan::ReleaseContext(std::unique_ptr<ExecContext> context) const {
-  std::lock_guard<std::mutex> lock(pool_mutex_);
+  MutexLock lock(pool_mutex_);
   pool_.push_back(std::move(context));
 }
 
@@ -438,7 +438,7 @@ std::shared_ptr<const PlanCache::Entry> PlanCache::GetOrRecord(
   static obs::Gauge& arena_gauge = obs::GetGauge("nn.plan.arena_bytes");
 
   *was_hit = false;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (failed_keys_.count(key) != 0) return nullptr;
   auto it = entries_.find(key);
   if (it != entries_.end()) {
@@ -482,7 +482,7 @@ std::shared_ptr<const PlanCache::Entry> PlanCache::GetOrRecord(
 }
 
 void PlanCache::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   entries_.clear();
   failed_keys_.clear();
   MemoryBudget::Global().Release(static_cast<int64_t>(arena_bytes_total_));
@@ -491,7 +491,7 @@ void PlanCache::Clear() {
 }
 
 size_t PlanCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return entries_.size();
 }
 

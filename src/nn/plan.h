@@ -44,6 +44,8 @@
 #include <map>
 #include <memory>
 #include <mutex>
+
+#include "common/annotate.h"
 #include <set>
 #include <string>
 #include <vector>
@@ -144,8 +146,9 @@ class Plan {
   size_t arena_floats_ = 0;
   Stats stats_;
 
-  mutable std::mutex pool_mutex_;
-  mutable std::vector<std::unique_ptr<ExecContext>> pool_;
+  mutable Mutex pool_mutex_;
+  mutable std::vector<std::unique_ptr<ExecContext>> pool_
+      LEAD_GUARDED_BY(pool_mutex_);
 };
 
 // Passive tape observer, active on the constructing thread until
@@ -242,10 +245,11 @@ class PlanCache {
   [[nodiscard]] size_t size() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::shared_ptr<const Entry>> entries_;
-  std::set<std::string> failed_keys_;
-  size_t arena_bytes_total_ = 0;
+  mutable Mutex mutex_;
+  std::map<std::string, std::shared_ptr<const Entry>> entries_
+      LEAD_GUARDED_BY(mutex_);
+  std::set<std::string> failed_keys_ LEAD_GUARDED_BY(mutex_);
+  size_t arena_bytes_total_ LEAD_GUARDED_BY(mutex_) = 0;
 };
 
 namespace plan_internal {

@@ -10,6 +10,10 @@
 namespace lead::obs {
 
 namespace internal {
+// Sink + level are independent atomics with no cross-variable invariant,
+// so the log path stays mutex-free (nothing for LEAD_GUARDED_BY to name;
+// see common/annotate.h). A sink swapped mid-message sees old-or-new,
+// never torn, state.
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
 }  // namespace internal
 

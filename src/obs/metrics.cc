@@ -127,7 +127,7 @@ void Histogram::Reset() {
 }
 
 void Series::Append(double v) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (values_.size() >= capacity_) {
     ++dropped_;
     return;
@@ -136,17 +136,17 @@ void Series::Append(double v) {
 }
 
 std::vector<double> Series::Values() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return values_;
 }
 
 size_t Series::dropped() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return dropped_;
 }
 
 void Series::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   values_.clear();
   dropped_ = 0;
 }
@@ -167,14 +167,14 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::unique_ptr<Counter>& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::unique_ptr<Gauge>& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return *slot;
@@ -182,7 +182,7 @@ Gauge& MetricsRegistry::GetGauge(const std::string& name) {
 
 Histogram& MetricsRegistry::GetHistogram(const std::string& name,
                                          std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::unique_ptr<Histogram>& slot = histograms_[name];
   if (slot == nullptr) {
     if (bounds.empty()) bounds = DefaultLatencyBoundsUs();
@@ -192,7 +192,7 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name,
 }
 
 Series& MetricsRegistry::GetSeries(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::unique_ptr<Series>& slot = series_[name];
   if (slot == nullptr) slot = std::make_unique<Series>();
   return *slot;
@@ -203,7 +203,7 @@ uint64_t MetricsRegistry::UptimeMicros() const {
 }
 
 void MetricsRegistry::ResetValues() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& [name, counter] : counters_) counter->Reset();
   for (const auto& [name, gauge] : gauges_) gauge->Reset();
   for (const auto& [name, histogram] : histograms_) histogram->Reset();
@@ -212,7 +212,7 @@ void MetricsRegistry::ResetValues() {
 }
 
 std::string MetricsRegistry::ToJson() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::string out = "{\"uptime_us\":";
   out.append(std::to_string(UptimeMicros()));
   out.append(",\"counters\":{");
@@ -277,7 +277,7 @@ std::string MetricsRegistry::ToJson() const {
 }
 
 std::string MetricsRegistry::ToTable() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::string out;
   char line[256];
   std::snprintf(line, sizeof(line), "%-9s %-40s %s\n", "kind", "name",

@@ -19,10 +19,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/annotate.h"
 #include "obs/trace.h"
 
 namespace lead::obs {
@@ -110,10 +110,10 @@ class Series {
   void Reset();
 
  private:
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   size_t capacity_;
-  std::vector<double> values_;
-  size_t dropped_ = 0;
+  std::vector<double> values_ LEAD_GUARDED_BY(mutex_);
+  size_t dropped_ LEAD_GUARDED_BY(mutex_) = 0;
 };
 
 // Default Histogram bounds for microsecond latencies: 10 us .. 10 s,
@@ -151,12 +151,18 @@ class MetricsRegistry {
  private:
   MetricsRegistry();
 
-  mutable std::mutex mutex_;
-  // std::map: deterministic (sorted) export order.
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
-  std::map<std::string, std::unique_ptr<Series>> series_;
+  mutable Mutex mutex_;
+  // std::map: deterministic (sorted) export order. The map structure is
+  // guarded; the pointed-to metrics are internally synchronized (striped
+  // atomics / their own mutex), so references handed out stay lock-free.
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      LEAD_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      LEAD_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      LEAD_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Series>> series_
+      LEAD_GUARDED_BY(mutex_);
   std::atomic<uint64_t> epoch_us_{0};
 };
 

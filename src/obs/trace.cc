@@ -71,6 +71,9 @@ void AppendJsonEscaped(std::string* out, const std::string& text) {
 // drops the newest event), so snapshot reads race with nothing.
 struct Tracer::ThreadBuffer {
   int tid = 0;  // stable lane id (registration order)
+  // Written by SetCurrentThreadName and read by ToJson under the Tracer
+  // mutex (the head/slots publication protocol below covers only events,
+  // not this string; the capability review caught the unlocked write).
   std::string name;
   std::vector<TraceEvent> slots;  // sized on first append
   std::atomic<uint64_t> head{0};
@@ -98,7 +101,7 @@ Tracer& Tracer::Global() {
 Tracer::ThreadBuffer* Tracer::CurrentBuffer() {
   thread_local ThreadBuffer* cached = nullptr;
   if (cached == nullptr) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto buffer = std::make_unique<ThreadBuffer>();
     buffer->tid = static_cast<int>(buffers_.size());
     cached = buffer.get();
@@ -112,7 +115,7 @@ void Tracer::Append(const TraceEvent& event) {
 }
 
 void Tracer::Start() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const std::unique_ptr<ThreadBuffer>& buffer : buffers_) {
     buffer->head.store(0, std::memory_order_relaxed);
     buffer->dropped.store(0, std::memory_order_relaxed);
@@ -125,7 +128,7 @@ void Tracer::Stop() {
 }
 
 uint64_t Tracer::EventCount() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   uint64_t total = 0;
   for (const std::unique_ptr<ThreadBuffer>& buffer : buffers_) {
     total += buffer->head.load(std::memory_order_acquire);
@@ -134,7 +137,7 @@ uint64_t Tracer::EventCount() const {
 }
 
 uint64_t Tracer::DroppedCount() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   uint64_t total = 0;
   for (const std::unique_ptr<ThreadBuffer>& buffer : buffers_) {
     total += buffer->dropped.load(std::memory_order_relaxed);
@@ -143,11 +146,15 @@ uint64_t Tracer::DroppedCount() const {
 }
 
 void Tracer::SetCurrentThreadName(const std::string& name) {
-  CurrentBuffer()->name = name;
+  ThreadBuffer* buffer = CurrentBuffer();
+  // ToJson() on another thread reads the name under mutex_; take the same
+  // lock here instead of racing a std::string assignment against it.
+  MutexLock lock(mutex_);
+  buffer->name = name;
 }
 
 std::string Tracer::ToJson() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::string out;
   out.reserve(size_t{1} << 16);
   out.append("{\"traceEvents\":[");

@@ -24,9 +24,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/annotate.h"
 
 namespace lead::obs {
 
@@ -124,8 +125,9 @@ class Tracer {
   ThreadBuffer* CurrentBuffer();
   void Append(const TraceEvent& event);
 
-  mutable std::mutex mutex_;  // guards registration and serialization
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  mutable Mutex mutex_;  // guards registration, names, serialization
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_
+      LEAD_GUARDED_BY(mutex_);
 };
 
 // Records one "X" trace event from construction to destruction. With

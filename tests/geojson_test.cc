@@ -1,6 +1,8 @@
 // Tests for GeoJSON export.
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "io/geojson.h"
 #include "traj/stay_point.h"
 
@@ -94,6 +96,85 @@ TEST(GeoJsonExportTest, TrajectoryAndPois) {
   const std::string json = writer.ToString();
   EXPECT_NE(json.find("raw_trajectory"), std::string::npos);
   EXPECT_NE(json.find("chemical_factory"), std::string::npos);
+}
+
+TEST(GeoJsonReadTest, RoundTripPreservesTrack) {
+  traj::RawTrajectory t = ThreeStayTrack();
+  t.truck_id = "truck-7";
+  GeoJsonWriter writer;
+  AddTrajectory(t, &writer);
+  std::istringstream in(writer.ToString());
+  const auto result = ReadGeoJson(in);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  ASSERT_EQ(result.value().size(), 1u);
+  const traj::RawTrajectory& back = result.value()[0];
+  EXPECT_EQ(back.trajectory_id, "gj");
+  EXPECT_EQ(back.truck_id, "truck-7");
+  ASSERT_EQ(back.size(), t.size());
+  for (int i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(back.points[i].t, t.points[i].t);
+    // The writer prints %.6f, so round-trip error is at most 5e-7 deg.
+    EXPECT_NEAR(back.points[i].pos.lat, t.points[i].pos.lat, 1e-6);
+    EXPECT_NEAR(back.points[i].pos.lng, t.points[i].pos.lng, 1e-6);
+  }
+}
+
+TEST(GeoJsonReadTest, SkipsNonLineStringFeatures) {
+  GeoJsonWriter writer;
+  writer.AddPoint(kOrigin, "\"kind\":\"poi\"");
+  std::istringstream in(writer.ToString());
+  const auto result = ReadGeoJson(in);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_TRUE(result.value().empty());
+}
+
+TEST(GeoJsonReadTest, AssignsSyntheticTimesWithoutTimesProperty) {
+  std::istringstream in(
+      R"({"type":"FeatureCollection","features":[{"type":"Feature",)"
+      R"("geometry":{"type":"LineString","coordinates":[[120.9,32.0],)"
+      R"([120.91,32.01]]},"properties":{}}]})");
+  const auto result = ReadGeoJson(in);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  ASSERT_EQ(result.value().size(), 1u);
+  const traj::RawTrajectory& t = result.value()[0];
+  EXPECT_EQ(t.trajectory_id, "geojson_0");
+  ASSERT_EQ(t.size(), 2);
+  EXPECT_LT(t.points[0].t, t.points[1].t);
+  EXPECT_NEAR(t.points[0].pos.lat, 32.0, 1e-9);
+  EXPECT_NEAR(t.points[0].pos.lng, 120.9, 1e-9);
+}
+
+TEST(GeoJsonReadTest, RejectsMalformedInput) {
+  const char* bad[] = {
+      "",
+      "{",
+      "[1,2]",
+      "nonsense",
+      "{\"type\":\"FeatureCollection\"}",
+      "{\"type\":\"Feature\",\"features\":[]}",
+      "{\"type\":\"FeatureCollection\",\"features\":[42]}",
+      // Out-of-range coordinate.
+      "{\"type\":\"FeatureCollection\",\"features\":[{\"type\":\"Feature\","
+      "\"geometry\":{\"type\":\"LineString\",\"coordinates\":[[200,100]]},"
+      "\"properties\":{}}]}",
+      // times length mismatch.
+      "{\"type\":\"FeatureCollection\",\"features\":[{\"type\":\"Feature\","
+      "\"geometry\":{\"type\":\"LineString\",\"coordinates\":[[1,2],[3,4]]},"
+      "\"properties\":{\"times\":[0]}}]}",
+      // Trailing garbage after the document.
+      "{\"type\":\"FeatureCollection\",\"features\":[]}}",
+  };
+  for (const char* text : bad) {
+    std::istringstream in(text);
+    EXPECT_FALSE(ReadGeoJson(in).ok()) << text;
+  }
+}
+
+TEST(GeoJsonReadTest, CapsNestingDepth) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  std::istringstream in(deep);
+  EXPECT_FALSE(ReadGeoJson(in).ok());
 }
 
 TEST(GeoJsonExportTest, WritesToFile) {

@@ -1,0 +1,19 @@
+// lock-scope allow markers: a sanctioned RAII boundary.
+#include <mutex>
+
+namespace lead {
+
+class Guard {
+ public:
+  explicit Guard(std::mutex& mu) : mu_(mu) {
+    mu_.lock();  // lead-lint: allow(lock-scope)
+  }
+  ~Guard() {
+    mu_.unlock();  // lead-lint: allow(lock-scope)
+  }
+
+ private:
+  std::mutex& mu_;
+};
+
+}  // namespace lead

@@ -1,0 +1,16 @@
+// lock-scope: naked lock calls outside RAII in library code.
+#include <mutex>
+
+namespace lead {
+
+struct Worker {
+  void Unsafe() {
+    mu_.lock();
+    ++count_;
+    mu_.unlock();
+  }
+  std::mutex mu_;
+  int count_ = 0;
+};
+
+}  // namespace lead

@@ -1,0 +1,19 @@
+// poll-coverage: unbounded streaming loops without a cancellation poll.
+#include "common/stage_queue.h"
+
+namespace lead {
+
+int Drain(BoundedQueue<int>& queue) {
+  int total = 0;
+  int item = 0;
+  while (queue.Pop(&item)) {
+    total += item;
+  }
+  for (;;) {
+    if (total > 100) break;
+    ++total;
+  }
+  return total;
+}
+
+}  // namespace lead

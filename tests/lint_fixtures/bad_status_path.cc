@@ -1,0 +1,22 @@
+// status-path: silent failure paths in Status-returning functions.
+#include "common/status.h"
+
+namespace lead {
+
+Status Step();
+void Note();
+
+Status UnconsumedLocal() {
+  Status st = Step();
+  return Status::Ok();
+}
+
+Status SilentBranch() {
+  Status st = Step();
+  if (!st.ok()) {
+    Note();
+  }
+  return Status::Ok();
+}
+
+}  // namespace lead

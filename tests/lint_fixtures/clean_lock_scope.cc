@@ -1,0 +1,15 @@
+// lock-scope: RAII guards pass.
+#include "common/annotate.h"
+
+namespace lead {
+
+struct Worker {
+  void Safe() {
+    MutexLock lock(mu_);
+    ++count_;
+  }
+  Mutex mu_;
+  int count_ = 0;
+};
+
+}  // namespace lead

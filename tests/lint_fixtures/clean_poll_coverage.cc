@@ -1,0 +1,21 @@
+// poll-coverage: polled streaming loops pass.
+#include "common/cancel.h"
+#include "common/stage_queue.h"
+
+namespace lead {
+
+int Drain(BoundedQueue<int>& queue, const CancelToken& token) {
+  int total = 0;
+  int item = 0;
+  while (queue.Pop(&item)) {
+    if (!token.Check().ok()) break;
+    total += item;
+  }
+  for (;;) {
+    if (CurrentCancel().Cancelled()) break;
+    ++total;
+  }
+  return total;
+}
+
+}  // namespace lead

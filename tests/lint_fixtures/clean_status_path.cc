@@ -1,0 +1,14 @@
+// status-path: consumed locals and propagating branches stay quiet.
+#include "common/status.h"
+
+namespace lead {
+
+Status Step();
+
+Status Propagates() {
+  Status st = Step();
+  if (!st.ok()) return st;
+  return Status::Ok();
+}
+
+}  // namespace lead

@@ -1,0 +1,8 @@
+// A stale allow marker: suppresses nothing, flagged by --report-allows.
+namespace lead {
+
+inline int Answer() {
+  return 42;  // lead-lint: allow(raw-new)
+}
+
+}  // namespace lead

@@ -82,6 +82,54 @@ TEST_F(LintTest, EveryRuleFiresOnItsFixture) {
                   "--lib");
   ExpectViolation("bad_strategy_chunking.cc", "strategy-chunking", 7,
                   "--lib");
+  ExpectViolation("bad_status_path.cc", "status-path", 10);
+  ExpectViolation("bad_status_path.cc", "status-path", 16);
+  ExpectViolation("bad_lock_scope.cc", "lock-scope", 8, "--lib");
+  ExpectViolation("bad_lock_scope.cc", "lock-scope", 10, "--lib");
+  ExpectViolation("bad_poll_coverage.cc", "poll-coverage", 9, "--lib");
+  ExpectViolation("bad_poll_coverage.cc", "poll-coverage", 12, "--lib");
+}
+
+TEST_F(LintTest, NewRulesStayQuietOnCleanAndAllowedFixtures) {
+  std::string out;
+  EXPECT_EQ(LintFixture("clean_status_path.cc", &out), 0) << out;
+  EXPECT_EQ(LintFixture("allowed_status_path.cc", &out), 0) << out;
+  EXPECT_EQ(LintFixture("clean_lock_scope.cc", &out, "--lib"), 0) << out;
+  EXPECT_EQ(LintFixture("allowed_lock_scope.cc", &out, "--lib"), 0) << out;
+  EXPECT_EQ(LintFixture("clean_poll_coverage.cc", &out, "--lib"), 0) << out;
+  EXPECT_EQ(LintFixture("allowed_poll_coverage.cc", &out, "--lib"), 0) << out;
+  // lock-scope and poll-coverage are gated to library/core code: the bad
+  // fixtures pass when linted as tool/test code (no --lib).
+  EXPECT_EQ(LintFixture("bad_lock_scope.cc", &out), 0) << out;
+  EXPECT_EQ(LintFixture("bad_poll_coverage.cc", &out), 0) << out;
+}
+
+TEST_F(LintTest, JsonOutputReportsFindings) {
+  std::string out;
+  EXPECT_EQ(LintFixture("bad_status_path.cc", &out, "--json"), 1);
+  EXPECT_NE(out.find("\"violations\": ["), std::string::npos) << out;
+  EXPECT_NE(out.find("\"rule\": \"status-path\""), std::string::npos) << out;
+  EXPECT_NE(out.find("\"line\": 10"), std::string::npos) << out;
+  EXPECT_EQ(LintFixture("clean.cc", &out, "--json"), 0);
+  EXPECT_NE(out.find("\"violations\": []"), std::string::npos) << out;
+}
+
+TEST_F(LintTest, ReportAllowsFlagsDeadMarkers) {
+  std::string out;
+  // Markers that actually suppress findings are not reported...
+  EXPECT_EQ(LintFixture("allowed_status_path.cc", &out, "--report-allows"), 0)
+      << out;
+  // ...but a marker that suppresses nothing fails the run; without the
+  // flag the stale marker is tolerated.
+  EXPECT_EQ(LintFixture("dead_allow.cc", &out), 0) << out;
+  EXPECT_EQ(LintFixture("dead_allow.cc", &out, "--report-allows"), 1) << out;
+  EXPECT_NE(out.find("dead_allow.cc:5 dead-allow allow(raw-new)"),
+            std::string::npos)
+      << out;
+  // JSON mode carries the same report.
+  EXPECT_EQ(LintFixture("dead_allow.cc", &out, "--report-allows --json"), 1)
+      << out;
+  EXPECT_NE(out.find("\"dead_allows\": ["), std::string::npos) << out;
 }
 
 TEST_F(LintTest, StrategyChunkingSparesDerivedGrainsAndAllowedLines) {
@@ -148,7 +196,8 @@ TEST_F(LintTest, ListRulesCoversEveryRule) {
        {"rand", "raw-rng", "wall-clock", "unordered-iter",
         "discarded-status", "raw-new", "raw-delete", "float-eq",
         "matrix-in-kernel", "cout-in-lib", "exit-in-lib", "stderr",
-        "pragma-once", "io-unbounded-loop", "strategy-chunking"}) {
+        "pragma-once", "io-unbounded-loop", "strategy-chunking",
+        "status-path", "lock-scope", "poll-coverage"}) {
     EXPECT_NE(out.find(rule), std::string::npos) << "missing rule " << rule;
   }
 }
@@ -156,8 +205,10 @@ TEST_F(LintTest, ListRulesCoversEveryRule) {
 TEST_F(LintTest, RealSourceTreeIsClean) {
   ASSERT_FALSE(SourceDir().empty()) << "LEAD_LINT_SOURCE_DIR not configured";
   std::string out;
+  // --report-allows keeps the suppression inventory honest: a marker
+  // whose finding was fixed must be removed with it.
   const std::string cmd = "cd " + SourceDir() + " && " + LintPath() +
-                          " src tests bench cli tools";
+                          " --report-allows src tests bench cli tools";
   EXPECT_EQ(RunCommand(cmd, &out), 0) << out;
 }
 

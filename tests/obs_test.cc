@@ -4,9 +4,9 @@
 // exactly, and the logger must filter by level without evaluating the
 // stream arguments of suppressed messages.
 //
-// The repo has no JSON reader (geojson.h is a writer), so this file
-// carries a minimal recursive-descent parser — strict enough to reject
-// malformed output, small enough to audit.
+// This file carries its own minimal recursive-descent JSON parser
+// (independent of the GeoJSON reader in src/io) — strict enough to
+// reject malformed output, small enough to audit.
 #include <cstdint>
 #include <cstdlib>
 #include <filesystem>

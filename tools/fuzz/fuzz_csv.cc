@@ -1,0 +1,40 @@
+// Fuzz harness for the CSV readers (trajectories, POIs, labels).
+//
+// The readers must return a Status — never crash, hang, or trip a
+// sanitizer — on arbitrary byte streams: real deployments feed them
+// government GPS archives of unknown provenance.
+#include <sstream>
+#include <string>
+
+#include "io/csv.h"
+
+#include "fuzz_driver.h"
+
+namespace {
+
+// Touch the parse result so the whole path stays observably live.
+size_t sink;
+
+template <typename Result>
+void Consume(const Result& result) {
+  sink += result.ok() ? result.value().size() : result.status().message().size();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  {
+    std::istringstream in(text);
+    Consume(lead::io::ReadTrajectories(in));
+  }
+  {
+    std::istringstream in(text);
+    Consume(lead::io::ReadPois(in));
+  }
+  {
+    std::istringstream in(text);
+    Consume(lead::io::ReadLabels(in));
+  }
+  return 0;
+}

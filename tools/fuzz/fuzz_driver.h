@@ -1,0 +1,42 @@
+// Shared entry-point glue for the io-parser fuzz harnesses.
+//
+// Each harness defines LLVMFuzzerTestOneInput. Under Clang the target
+// links -fsanitize=fuzzer, which supplies main() and drives the corpus.
+// Under other compilers CMake defines LEAD_FUZZER_STANDALONE instead and
+// this header supplies a replay main(): every argv entry is read as a
+// file and fed through the harness once, so the same binary smoke-tests
+// the corpus (and reproduces crash inputs) without libFuzzer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+#if defined(LEAD_FUZZER_STANDALONE)
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+int main(int argc, char** argv) {
+  int replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "fuzz: cannot open %s\n", argv[i]);
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string data = buf.str();
+    LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(data.data()),
+                           data.size());
+    ++replayed;
+  }
+  std::printf("fuzz: replayed %d input(s)\n", replayed);
+  return 0;
+}
+
+#endif  // LEAD_FUZZER_STANDALONE

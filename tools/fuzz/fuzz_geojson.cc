@@ -1,0 +1,23 @@
+// Fuzz harness for the GeoJSON FeatureCollection reader (and, through
+// it, the recursive-descent JSON parser with its depth cap).
+#include <sstream>
+#include <string>
+
+#include "io/geojson.h"
+
+#include "fuzz_driver.h"
+
+namespace {
+
+size_t sink;
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  std::istringstream in(text);
+  const auto result = lead::io::ReadGeoJson(in);
+  sink +=
+      result.ok() ? result.value().size() : result.status().message().size();
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Fuzz harness for the GPX track reader and its ISO-8601 time parser.
+#include <sstream>
+#include <string>
+
+#include "io/gpx.h"
+
+#include "fuzz_driver.h"
+
+namespace {
+
+size_t sink;
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  {
+    std::istringstream in(text);
+    const auto result = lead::io::ReadGpx(in);
+    sink +=
+        result.ok() ? result.value().size() : result.status().message().size();
+  }
+  {
+    // The timestamp grammar is its own little parser; feed it directly.
+    const auto result = lead::io::ParseIso8601Utc(text);
+    sink += result.ok() ? static_cast<size_t>(result.value() & 0xff)
+                        : result.status().message().size();
+  }
+  return 0;
+}

@@ -8,19 +8,25 @@
 // code. It is deliberately heuristic: the goal is catching the bug class
 // cheaply at build time, not full semantic analysis. Findings that are
 // provably fine are suppressed per line with an allow marker naming the
-// rules, e.g.
-//
-//     if (scale == 0.0f) return;  // lead-lint: allow(float-eq)
+// rules: a comment of the form `lead-lint:` followed immediately by
+// `allow(rule-a, rule-b)` on the offending line. (The form is spelled
+// out here instead of shown verbatim so this doc comment is not itself
+// parsed as a suppression — --report-allows would flag it as dead.)
 //
 // Usage:
-//   lead_lint [--lib] [--list-rules] <file-or-dir>...
+//   lead_lint [--lib] [--json] [--report-allows] [--list-rules]
+//             <file-or-dir>...
 //
 // Directories are scanned recursively for .h/.cc/.hpp/.cpp/.cxx files;
 // directories named lint_fixtures, golden, or build* are skipped unless
 // named explicitly. Rules gated to library code apply to paths under a
-// src/ component, or to every input when --lib is given. Output is one
-// `file:line rule message` line per violation; exit status is 0 when
-// clean, 1 when violations were found, 2 on usage or I/O errors.
+// src/ component, or to every input when --lib is given; poll-coverage
+// is further gated to src/core (or --lib), io-unbounded-loop to src/io
+// (or --lib). Output is one `file:line rule message` line per violation
+// (or one JSON document with --json); --report-allows additionally
+// reports every allow marker that suppressed nothing in this run (dead
+// suppressions count as violations for the exit status). Exit status is
+// 0 when clean, 1 when violations were found, 2 on usage or I/O errors.
 
 #include <algorithm>
 #include <cctype>
@@ -67,6 +73,12 @@ constexpr RuleInfo kRules[] = {
      "reader loop in src/io with no cancellation poll point"},
     {"strategy-chunking",
      "ParallelForDynamic chunk hardcoded; take it from DynamicChunk"},
+    {"status-path",
+     "Status-returning function has a silent fall-through failure path"},
+    {"lock-scope",
+     "naked .lock()/.unlock() outside RAII in library code"},
+    {"poll-coverage",
+     "unbounded streaming loop in src/core with no cancellation poll"},
 };
 
 bool IsKnownRule(const std::string& name) {
@@ -289,20 +301,24 @@ struct Violation {
 class FileLinter {
  public:
   FileLinter(std::string path, const LexedFile* lexed, bool lib_rules,
-             bool io_rules, bool rng_exempt,
+             bool io_rules, bool core_rules, bool rng_exempt,
              const std::set<std::string>* status_fns,
-             std::vector<Violation>* out)
+             std::vector<Violation>* out,
+             std::map<int, std::set<std::string>>* used_allows)
       : path_(std::move(path)),
         lexed_(lexed),
         lib_rules_(lib_rules),
         io_rules_(io_rules),
+        core_rules_(core_rules),
         rng_exempt_(rng_exempt),
         status_fns_(status_fns),
-        out_(out) {}
+        out_(out),
+        used_allows_(used_allows) {}
 
   void Run() {
     const std::vector<Token>& toks = lexed_->tokens;
     CollectUnorderedNames();
+    CollectStatusFunctionBodies();
     for (size_t i = 0; i < toks.size(); ++i) {
       CheckRand(i);
       CheckRawRng(i);
@@ -315,9 +331,12 @@ class FileLinter {
       if (lib_rules_) {
         CheckLibOnly(i);
         CheckStrategyChunking(i);
+        CheckLockScope(i);
       }
       if (io_rules_) CheckIoUnboundedLoop(i);
+      if (core_rules_) CheckPollCoverage(i);
     }
+    CheckStatusPaths();
     if (IsHeader() && !lexed_->has_pragma_once) {
       Report(1, "pragma-once", "header file has no #pragma once");
     }
@@ -343,7 +362,12 @@ class FileLinter {
 
   void Report(int line, const std::string& rule, const std::string& message) {
     auto it = lexed_->allowed.find(line);
-    if (it != lexed_->allowed.end() && it->second.count(rule)) return;
+    if (it != lexed_->allowed.end() && it->second.count(rule)) {
+      // Record the suppression so --report-allows can tell live markers
+      // from dead ones.
+      (*used_allows_)[line].insert(rule);
+      return;
+    }
     out_->push_back({path_, line, rule, message});
   }
 
@@ -682,16 +706,236 @@ class FileLinter {
     }
   }
 
+  // --- status failure paths -----------------------------------------------
+
+  struct FnScope {
+    size_t body_begin;  // index of the body's '{'
+    size_t body_end;    // index of its matching '}' (or Size())
+  };
+
+  // Records the body range of every function *definition* returning
+  // Status or StatusOr<...> (including `Class::Method` declarators), so
+  // the status-path checks only look inside code that is contractually a
+  // failure channel.
+  void CollectStatusFunctionBodies() {
+    for (size_t i = 0; i < Size(); ++i) {
+      if (Tok(i).kind != Token::kIdent) continue;
+      if (i > 0) {
+        const std::string& p = Tok(i - 1).text;
+        if (p == "class" || p == "struct" || p == "enum" || p == "return" ||
+            p == "." || p == "->" || p == "<") {
+          continue;
+        }
+      }
+      size_t j;
+      if (Tok(i).text == "Status") {
+        j = i + 1;
+      } else if (Tok(i).text == "StatusOr" && Is(i + 1, "<")) {
+        j = MatchingClose(i + 1, "<", ">");
+        if (j == Size()) continue;
+        ++j;
+      } else {
+        continue;
+      }
+      if (j >= Size() || Tok(j).kind != Token::kIdent) continue;
+      // Declarator: ident (:: ident)* immediately followed by '('.
+      size_t k = j;
+      while (k + 2 < Size() && Is(k + 1, "::") &&
+             Tok(k + 2).kind == Token::kIdent) {
+        k += 2;
+      }
+      if (!Is(k + 1, "(")) continue;
+      const size_t params_close = MatchingClose(k + 1, "(", ")");
+      if (params_close == Size()) continue;
+      size_t b = params_close + 1;
+      while (Is(b, "const") || Is(b, "noexcept") || Is(b, "override") ||
+             Is(b, "final")) {
+        ++b;
+      }
+      if (!Is(b, "{")) continue;  // declaration only
+      status_fn_bodies_.push_back({b, MatchingClose(b, "{", "}")});
+    }
+  }
+
+  void CheckStatusPaths() {
+    for (const FnScope& fn : status_fn_bodies_) {
+      CheckUnconsumedStatusLocal(fn);
+      CheckSilentOkBranch(fn);
+    }
+  }
+
+  // (A) A `Status` local that is never looked at again after its
+  // declaration statement: the failure it captured falls through
+  // silently when the function later returns Ok on another path.
+  void CheckUnconsumedStatusLocal(const FnScope& fn) {
+    for (size_t i = fn.body_begin + 1; i < fn.body_end; ++i) {
+      if (Tok(i).kind != Token::kIdent || Tok(i).text != "Status") continue;
+      if (IsMemberAccess(i) || PrevIs(i, "return") || PrevIs(i, "class") ||
+          PrevIs(i, "struct") || PrevIs(i, "enum") || PrevIs(i, "<")) {
+        continue;
+      }
+      if (i + 1 >= fn.body_end || Tok(i + 1).kind != Token::kIdent) continue;
+      const std::string& name = Tok(i + 1).text;
+      if (!Is(i + 2, "=") && !Is(i + 2, ";") && !Is(i + 2, "(")) continue;
+      // Walk to the end of the declaration statement, skipping nested
+      // parens/braces (initializer lambdas would otherwise cut it short).
+      size_t stmt_end = i + 2;
+      while (stmt_end < fn.body_end && !Is(stmt_end, ";")) {
+        if (Is(stmt_end, "(")) {
+          stmt_end = MatchingClose(stmt_end, "(", ")");
+          if (stmt_end == Size()) return;
+        } else if (Is(stmt_end, "{")) {
+          stmt_end = MatchingClose(stmt_end, "{", "}");
+          if (stmt_end == Size()) return;
+        }
+        ++stmt_end;
+      }
+      bool consumed = false;
+      for (size_t j = stmt_end; j < fn.body_end; ++j) {
+        if (Tok(j).kind == Token::kIdent && Tok(j).text == name) {
+          consumed = true;
+          break;
+        }
+      }
+      if (!consumed) {
+        Report(Tok(i).line, "status-path",
+               "Status local '" + name +
+                   "' is never consulted after its declaration; return it, "
+                   "LEAD_RETURN_IF_ERROR it, or remove the variable");
+      }
+    }
+  }
+
+  // (B) An `if (!x.ok())` branch that neither propagates (return/throw),
+  // alters control flow (continue/break/goto), records anything (an
+  // assignment), nor hands the failure to a project macro: the error is
+  // checked and then dropped on the floor.
+  void CheckSilentOkBranch(const FnScope& fn) {
+    for (size_t i = fn.body_begin + 1; i < fn.body_end; ++i) {
+      if (!Is(i, "if") || !Is(i + 1, "(") || !Is(i + 2, "!")) continue;
+      const size_t cond_close = MatchingClose(i + 1, "(", ")");
+      if (cond_close >= fn.body_end) continue;
+      // Condition must be exactly `! chain .ok()` / `! chain ->ok()`.
+      size_t j = i + 3;
+      if (j >= cond_close || Tok(j).kind != Token::kIdent) continue;
+      ++j;
+      while (j + 1 < cond_close &&
+             (Is(j, ".") || Is(j, "->") || Is(j, "::")) &&
+             Tok(j + 1).kind == Token::kIdent && Tok(j + 1).text != "ok") {
+        j += 2;
+      }
+      if (!((Is(j, ".") || Is(j, "->")) && Is(j + 1, "ok") &&
+            Is(j + 2, "(") && Is(j + 3, ")") && j + 4 == cond_close)) {
+        continue;
+      }
+      size_t branch_begin = cond_close + 1;
+      size_t branch_end;
+      if (Is(branch_begin, "{")) {
+        branch_end = MatchingClose(branch_begin, "{", "}");
+      } else {
+        branch_end = branch_begin;
+        while (branch_end < fn.body_end && !Is(branch_end, ";")) ++branch_end;
+      }
+      bool handled = false;
+      for (size_t k = branch_begin; k <= branch_end && k < Size(); ++k) {
+        const std::string& t = Tok(k).text;
+        if (t == "return" || t == "throw" || t == "continue" || t == "break" ||
+            t == "goto" || t == "=" || t.rfind("LEAD_", 0) == 0) {
+          handled = true;
+          break;
+        }
+      }
+      if (!handled) {
+        Report(Tok(i).line, "status-path",
+               "if (!...ok()) branch neither propagates nor records the "
+               "failure; return the status, retry, or log it via obs/log.h");
+      }
+    }
+  }
+
+  // --- lock scope ---------------------------------------------------------
+
+  // Library code must hold locks through RAII (MutexLock, lock_guard):
+  // a naked .lock()/.unlock() pair leaks the capability on every early
+  // return and is invisible to the thread-safety analysis. The annotated
+  // wrappers in common/annotate.h are the one sanctioned boundary and
+  // carry per-line allow markers.
+  void CheckLockScope(size_t i) {
+    if (Tok(i).kind != Token::kIdent ||
+        (Tok(i).text != "lock" && Tok(i).text != "unlock")) {
+      return;
+    }
+    if (!IsMemberAccess(i) || !Is(i + 1, "(") || !Is(i + 2, ")")) return;
+    Report(Tok(i).line, "lock-scope",
+           "naked ." + Tok(i).text +
+               "() outside an RAII guard; hold the mutex through MutexLock "
+               "(common/annotate.h)");
+  }
+
+  // --- poll coverage (src/core streaming paths) ---------------------------
+
+  // Generalizes io-unbounded-loop to the core streaming paths: a
+  // `for (;;)` pump or a `while (q.Pop(...))` / `while (it.Next(...))`
+  // drain in src/core can run for the whole stream, so its body must
+  // observe cancellation (PollCancel / CurrentCancel / Cancelled /
+  // token.Check). When the io rule is active on the same file (--lib or
+  // src/io), the while(true)/reader-condition shapes stay owned by
+  // io-unbounded-loop so one loop never fires both rules.
+  void CheckPollCoverage(size_t i) {
+    bool unbounded = false;
+    size_t body_begin = 0;
+    if (Is(i, "for") && Is(i + 1, "(") && Is(i + 2, ";") && Is(i + 3, ";") &&
+        Is(i + 4, ")")) {
+      unbounded = true;
+      body_begin = i + 5;
+    } else if (Is(i, "while") && Is(i + 1, "(") && !PrevIs(i, "do")) {
+      const size_t cond_close = MatchingClose(i + 1, "(", ")");
+      if (cond_close == Size()) return;
+      if (!io_rules_ && cond_close == i + 3 &&
+          (Is(i + 2, "true") || Is(i + 2, "1"))) {
+        unbounded = true;
+      }
+      for (size_t j = i + 2; !unbounded && j < cond_close; ++j) {
+        if (Tok(j).kind != Token::kIdent) continue;
+        const std::string& t = Tok(j).text;
+        if (t == "Pop" || t == "Next") unbounded = true;
+        if (!io_rules_ && (t == "getline" || t.rfind("Read", 0) == 0)) {
+          unbounded = true;
+        }
+      }
+      body_begin = cond_close + 1;
+    }
+    if (!unbounded) return;
+    size_t body_end;
+    if (Is(body_begin, "{")) {
+      body_end = MatchingClose(body_begin, "{", "}");
+    } else {
+      body_end = body_begin;
+      while (body_end < Size() && !Is(body_end, ";")) ++body_end;
+    }
+    static const std::set<std::string> kPolls = {"PollCancel", "CurrentCancel",
+                                                 "Cancelled", "Check"};
+    for (size_t j = body_begin; j < body_end; ++j) {
+      if (Tok(j).kind == Token::kIdent && kPolls.count(Tok(j).text)) return;
+    }
+    Report(Tok(i).line, "poll-coverage",
+           "unbounded streaming loop has no cancellation poll; check the "
+           "token on a stride (or annotate why the loop is bounded)");
+  }
+
   std::string path_;
   const LexedFile* lexed_;
   bool lib_rules_;
   bool io_rules_;
+  bool core_rules_;
   bool rng_exempt_;
   const std::set<std::string>* status_fns_;
   std::vector<Violation>* out_;
+  std::map<int, std::set<std::string>>* used_allows_;
 
   std::set<std::string> unordered_vars_;
   std::set<std::string> unordered_aliases_;
+  std::vector<FnScope> status_fn_bodies_;
 };
 
 // Collects names of functions declared to return Status or StatusOr<...>:
@@ -756,6 +1000,11 @@ bool UnderSrcIo(const std::string& path) {
          path.find("/src/io/") != std::string::npos;
 }
 
+bool UnderSrcCore(const std::string& path) {
+  return path.rfind("src/core/", 0) == 0 ||
+         path.find("/src/core/") != std::string::npos;
+}
+
 bool RngExempt(const std::string& path) {
   const std::string suffix = "common/rng.h";
   return path.size() >= suffix.size() &&
@@ -764,19 +1013,59 @@ bool RngExempt(const std::string& path) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: lead_lint [--lib] [--list-rules] <file-or-dir>...\n");
+               "usage: lead_lint [--lib] [--json] [--report-allows] "
+               "[--list-rules] <file-or-dir>...\n");
   return 2;
 }
+
+// Minimal JSON string escaping for --json output.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+// An allow marker that suppressed nothing in this run: either the code it
+// excused was fixed (the marker is stale) or the marker never matched a
+// finding at all (a typo'd line). Both deserve removal.
+struct DeadAllow {
+  std::string file;
+  int line;
+  std::string rule;
+};
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bool force_lib = false;
+  bool json_output = false;
+  bool report_allows = false;
   std::vector<fs::path> inputs;
   for (int a = 1; a < argc; ++a) {
     std::string arg = argv[a];
     if (arg == "--lib") {
       force_lib = true;
+    } else if (arg == "--json") {
+      json_output = true;
+    } else if (arg == "--report-allows") {
+      report_allows = true;
     } else if (arg == "--list-rules") {
       for (const RuleInfo& r : kRules) {
         std::printf("%-17s %s\n", r.name, r.summary);
@@ -841,34 +1130,73 @@ int main(int argc, char** argv) {
   status_fns.erase("Ok");
 
   std::vector<Violation> violations;
+  std::vector<DeadAllow> dead_allows;
   std::set<std::string> unknown_allows;
   for (size_t f = 0; f < files.size(); ++f) {
     std::string path = Generic(files[f]);
+    std::map<int, std::set<std::string>> used_allows;
     FileLinter linter(path, &lexed[f], force_lib || UnderSrc(path),
-                      force_lib || UnderSrcIo(path), RngExempt(path),
-                      &status_fns, &violations);
+                      force_lib || UnderSrcIo(path),
+                      force_lib || UnderSrcCore(path), RngExempt(path),
+                      &status_fns, &violations, &used_allows);
     linter.Run();
     for (const auto& [line, rules] : lexed[f].allowed) {
       for (const std::string& rule : rules) {
         if (!IsKnownRule(rule)) {
           unknown_allows.insert(path + ":" + std::to_string(line) + " '" +
                                 rule + "'");
+        } else if (report_allows) {
+          auto it = used_allows.find(line);
+          if (it == used_allows.end() || !it->second.count(rule)) {
+            dead_allows.push_back({path, line, rule});
+          }
         }
       }
     }
   }
 
-  for (const Violation& v : violations) {
-    std::printf("%s:%d %s %s\n", v.file.c_str(), v.line, v.rule.c_str(),
-                v.message.c_str());
+  if (json_output) {
+    std::printf("{\n  \"files\": %zu,\n  \"violations\": [", files.size());
+    for (size_t v = 0; v < violations.size(); ++v) {
+      std::printf(
+          "%s\n    {\"file\": \"%s\", \"line\": %d, \"rule\": \"%s\", "
+          "\"message\": \"%s\"}",
+          v == 0 ? "" : ",", JsonEscape(violations[v].file).c_str(),
+          violations[v].line, JsonEscape(violations[v].rule).c_str(),
+          JsonEscape(violations[v].message).c_str());
+    }
+    std::printf("%s]", violations.empty() ? "" : "\n  ");
+    if (report_allows) {
+      std::printf(",\n  \"dead_allows\": [");
+      for (size_t d = 0; d < dead_allows.size(); ++d) {
+        std::printf(
+            "%s\n    {\"file\": \"%s\", \"line\": %d, \"rule\": \"%s\"}",
+            d == 0 ? "" : ",", JsonEscape(dead_allows[d].file).c_str(),
+            dead_allows[d].line, JsonEscape(dead_allows[d].rule).c_str());
+      }
+      std::printf("%s]", dead_allows.empty() ? "" : "\n  ");
+    }
+    std::printf("\n}\n");
+  } else {
+    for (const Violation& v : violations) {
+      std::printf("%s:%d %s %s\n", v.file.c_str(), v.line, v.rule.c_str(),
+                  v.message.c_str());
+    }
+    for (const DeadAllow& d : dead_allows) {
+      std::printf("%s:%d dead-allow allow(%s) suppresses nothing; remove "
+                  "the stale marker\n",
+                  d.file.c_str(), d.line, d.rule.c_str());
+    }
   }
   for (const std::string& u : unknown_allows) {
     std::fprintf(stderr, "lead_lint: warning: unknown rule in allow(): %s\n",
                  u.c_str());
   }
-  if (!violations.empty()) {
-    std::fprintf(stderr, "lead_lint: %zu violation(s) in %zu file(s)\n",
-                 violations.size(), files.size());
+  if (!violations.empty() || !dead_allows.empty()) {
+    std::fprintf(stderr,
+                 "lead_lint: %zu violation(s), %zu dead allow(s) in %zu "
+                 "file(s)\n",
+                 violations.size(), dead_allows.size(), files.size());
     return 1;
   }
   std::fprintf(stderr, "lead_lint: clean (%zu file(s))\n", files.size());
