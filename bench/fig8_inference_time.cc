@@ -13,10 +13,15 @@
 
 #include "bench/bench_util.h"
 #include "nn/matrix.h"
+#include "obs/trace.h"
 
 using namespace lead;
 
 int main() {
+  // Top-level catch-all span so a sampling profile of this binary
+  // (LEAD_PROFILE=hz) attributes every phase to a named category; the
+  // narrower per-phase spans below refine the hot ones.
+  LEAD_TRACE_SCOPE(obs::kCatBench, "fig8_main");
   const double scale = eval::BenchScaleFromEnv();
   eval::ExperimentConfig config = eval::DefaultConfig(scale);
   // Reduced training: this bench measures inference wall-clock only.
@@ -35,41 +40,51 @@ int main() {
 
   std::vector<eval::MethodResult> results;
 
-  baselines::SpRuleBaseline sp_r(config.lead.pipeline, {});
-  if (const Status s = sp_r.Train(data.TrainLabeled()); !s.ok()) {
-    std::fprintf(stderr, "SP-R training failed: %s\n", s.ToString().c_str());
-    return 1;
-  }
-  results.push_back(eval::EvaluateMethod("SP-R", data.split.test,
-                                         bench::SpRuleDetectFn(sp_r)));
-
-  std::vector<std::unique_ptr<baselines::SpRnnBaseline>> rnns;
-  for (const auto cell :
-       {baselines::RnnCellType::kGru, baselines::RnnCellType::kLstm}) {
-    baselines::SpRnnOptions options;
-    options.cell = cell;
-    options.train = config.lead.train;
-    options.train.detector_epochs = 2;
-    rnns.push_back(std::make_unique<baselines::SpRnnBaseline>(
-        config.lead.pipeline, options));
-    if (const Status s =
-            rnns.back()->Train(data.TrainLabeled(), data.ValLabeled(),
-                               data.world->poi_index(), nullptr, nullptr);
-        !s.ok()) {
-      std::fprintf(stderr, "training failed: %s\n", s.ToString().c_str());
+  {
+    LEAD_TRACE_SCOPE(obs::kCatBench, "baselines");
+    baselines::SpRuleBaseline sp_r(config.lead.pipeline, {});
+    if (const Status s = sp_r.Train(data.TrainLabeled()); !s.ok()) {
+      std::fprintf(stderr, "SP-R training failed: %s\n",
+                   s.ToString().c_str());
       return 1;
     }
-    results.push_back(
-        eval::EvaluateMethod(baselines::RnnCellTypeName(cell),
-                             data.split.test,
-                             bench::SpRnnDetectFn(*rnns.back(), data)));
+    results.push_back(eval::EvaluateMethod("SP-R", data.split.test,
+                                           bench::SpRuleDetectFn(sp_r)));
+
+    std::vector<std::unique_ptr<baselines::SpRnnBaseline>> rnns;
+    for (const auto cell :
+         {baselines::RnnCellType::kGru, baselines::RnnCellType::kLstm}) {
+      baselines::SpRnnOptions options;
+      options.cell = cell;
+      options.train = config.lead.train;
+      options.train.detector_epochs = 2;
+      rnns.push_back(std::make_unique<baselines::SpRnnBaseline>(
+          config.lead.pipeline, options));
+      if (const Status s =
+              rnns.back()->Train(data.TrainLabeled(), data.ValLabeled(),
+                                 data.world->poi_index(), nullptr, nullptr);
+          !s.ok()) {
+        std::fprintf(stderr, "training failed: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      results.push_back(
+          eval::EvaluateMethod(baselines::RnnCellTypeName(cell),
+                               data.split.test,
+                               bench::SpRnnDetectFn(*rnns.back(), data)));
+    }
   }
 
   core::TrainingLog log;
-  const auto lead_model = bench::TrainLead(config.lead, data, &log);
-  results.push_back(eval::EvaluateMethod("LEAD", data.split.test,
-                                         bench::LeadDetectFn(*lead_model,
-                                                             data)));
+  const auto lead_model = [&] {
+    LEAD_TRACE_SCOPE(obs::kCatBench, "train_lead");
+    return bench::TrainLead(config.lead, data, &log);
+  }();
+  {
+    LEAD_TRACE_SCOPE(obs::kCatBench, "evaluate_lead");
+    results.push_back(eval::EvaluateMethod("LEAD", data.split.test,
+                                           bench::LeadDetectFn(*lead_model,
+                                                               data)));
+  }
 
   std::printf("\nMeasured mean inference seconds per trajectory:\n%s",
               eval::FormatTimingTable(results).c_str());
@@ -106,6 +121,7 @@ int main() {
   double baseline_seconds = 0.0;
   for (const ExecStrategy strategy :
        {ExecStrategy::kDeterministic, ExecStrategy::kFast}) {
+    LEAD_TRACE_SCOPE(obs::kCatBench, "detect_sweep");
     for (const int threads : {1, 2, 4, 8}) {
       core::LeadOptions options = config.lead;
       options.detect.threads = threads;
@@ -164,6 +180,7 @@ int main() {
   // per node. Records append to BENCH_plan.json.
   std::printf("\nExec-mode sweep (threads=1, preprocessing hoisted):\n");
   {
+    LEAD_TRACE_SCOPE(obs::kCatBench, "exec_mode_sweep");
     core::LeadOptions options = config.lead;
     options.detect.threads = 1;
     options.detect.exec_mode = core::ExecMode::kEager;

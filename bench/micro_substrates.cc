@@ -13,6 +13,7 @@
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "core/pipeline.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 #include "nn/batch.h"
 #include "nn/lstm.h"
@@ -358,23 +359,47 @@ BENCHMARK(BM_ParallelPreprocess)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
 // allocation, no lock, no clock read.
 void BM_TraceOverhead(benchmark::State& state) {
   LEAD_CHECK(!obs::Tracer::Global().enabled());
+  // The flight recorder is on by default; park it so this measures the
+  // everything-off fast path the acceptance bar is written against.
+  const bool was_recording = obs::Recorder::Global().enabled();
+  obs::Recorder::Global().SetEnabled(false);
   for (auto _ : state) {
     LEAD_TRACE_SCOPE(obs::kCatPool, "bm_span");
   }
+  obs::Recorder::Global().SetEnabled(was_recording);
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TraceOverhead);
+
+// Flight-recorder-only cost (tracing off, recorder on): two clock reads
+// plus sixteen relaxed word stores into the per-thread ring. This is the
+// always-on price every span pays in production; the bar is staying
+// within 2x of BM_TraceOverheadEnabled's per-span cost.
+void BM_RecorderSpan(benchmark::State& state) {
+  LEAD_CHECK(!obs::Tracer::Global().enabled());
+  const bool was_recording = obs::Recorder::Global().enabled();
+  obs::Recorder::Global().SetEnabled(true);
+  for (auto _ : state) {
+    LEAD_TRACE_SCOPE(obs::kCatPool, "bm_span");
+  }
+  obs::Recorder::Global().SetEnabled(was_recording);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RecorderSpan);
 
 // Enabled-path cost: two clock reads plus one buffer append per span.
 // The per-thread buffer fills after kEventsPerThread iterations, so long
 // runs measure a mix of append and counted-drop; both are the "tracing
 // on" steady-state costs.
 void BM_TraceOverheadEnabled(benchmark::State& state) {
+  const bool was_recording = obs::Recorder::Global().enabled();
+  obs::Recorder::Global().SetEnabled(false);
   obs::Tracer::Global().Start();
   for (auto _ : state) {
     LEAD_TRACE_SCOPE(obs::kCatPool, "bm_span");
   }
   obs::Tracer::Global().Stop();
+  obs::Recorder::Global().SetEnabled(was_recording);
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TraceOverheadEnabled);

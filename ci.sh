@@ -15,8 +15,13 @@
 # LEAD_FAULT chaos point), an
 # observability pass (the lead and parity suites traced via the
 # LEAD_TRACE_OUT/LEAD_METRICS_OUT env autostart, with the emitted trace
-# checked for every pipeline category and the disabled-span overhead
-# benchmark), an ASan/UBSan-instrumented build of the nn-layer and
+# checked for every pipeline category and the disabled-span/recorder-span
+# overhead benchmarks), a post-mortem pass (a LEAD_FAULT stall drives the
+# watchdog into writing a leaddump-*.json that must render through
+# `lead_cli obs report` with the right cause, the sampling profiler must
+# attribute >=90% of fig8 samples to named span categories, and
+# bench_trend prints its warn-only trend table), an
+# ASan/UBSan-instrumented build of the nn-layer and
 # io/serialize tests
 # (the batched step kernels, autograd, and binary checkpoint parsing are
 # where memory bugs would hide), and a TSan build of the multi-threaded
@@ -152,8 +157,39 @@ grep -q '"cat":"pool"' "$OBS_DIR/parity_trace.json" ||
 grep -q '"train.autoencoder.loss"' "$OBS_DIR/lead_metrics.json" ||
   { echo "metrics are missing the training loss series" >&2; exit 1; }
 cmake --build build -j --target micro_substrates >/dev/null
-./build/bench/micro_substrates --benchmark_filter='BM_TraceOverhead' \
+./build/bench/micro_substrates \
+  --benchmark_filter='BM_TraceOverhead|BM_RecorderSpan' \
   --benchmark_min_time=0.05
+
+echo "=== post-mortem: anomaly dump + obs report + sampling profiler ==="
+# Force a real watchdog overrun (LEAD_FAULT stall inside detect) against
+# the fault build and require the resulting leaddump-*.json to render
+# through `lead_cli obs report` with the watchdog cause — the same
+# artifact an operator would pull off a wedged production host.
+PM_DIR="build/obs-ci/postmortem"
+rm -rf "$PM_DIR" && mkdir -p "$PM_DIR"
+cmake --build build -j --target lead_cli bench_trend >/dev/null
+LEAD_DUMP_DIR="$PM_DIR" ./build-fault/tests/chaos_test \
+  --gtest_filter='ChaosDetectTest.StalledStageEmitsPostMortemDump'
+DUMP_FILE=$(ls "$PM_DIR"/leaddump-*.json 2>/dev/null | head -n 1)
+[[ -n "$DUMP_FILE" ]] ||
+  { echo "watchdog overrun left no leaddump-*.json in $PM_DIR" >&2; exit 1; }
+./build/cli/lead_cli obs report "$DUMP_FILE" | grep -q "cause: watchdog" ||
+  { echo "obs report did not surface the watchdog cause" >&2; exit 1; }
+# Sampling-profiler smoke: the fig8 workload under LEAD_PROFILE must
+# attribute >=90% of samples to named span categories (everything except
+# the '(untracked)' bucket) in the collapsed-stack output.
+(cd "$PM_DIR" && LEAD_PROFILE=99 LEAD_PROFILE_OUT=lead.collapsed \
+  LEAD_BENCH_SCALE=0.10 ../../bench/fig8_inference_time >/dev/null)
+awk '{n=$NF; total+=n; if ($1 !~ /untracked/) attr+=n}
+     END {pct = total > 0 ? attr * 100.0 / total : 0;
+          printf "profiler attribution: %.1f%% of %d samples\n", pct, total;
+          exit (total >= 20 && pct >= 90.0) ? 0 : 1}' \
+  "$PM_DIR/lead.collapsed" ||
+  { echo "profiler attribution below 90% (or too few samples)" >&2; exit 1; }
+# Warn-only trend table over the bench rows the profiled run appended;
+# drifting benchmarks get seen here without gating the build.
+./build/tools/bench_trend "$PM_DIR"/BENCH_*.json
 
 if [[ "$SKIP_SAN" == "1" ]]; then
   echo "=== sanitizers skipped ==="

@@ -22,6 +22,12 @@
 //   lead_cli evaluate --data DIR --model FILE
 //       Evaluates detection accuracy per stay-count bucket on the
 //       held-out test split.
+//   lead_cli obs report FILE
+//       Pretty-prints a post-mortem dump (leaddump-*.json, written on
+//       anomalies when LEAD_DUMP_DIR / --dump-dir is set): trigger
+//       cause, build/config provenance, top spans by self-time,
+//       histogram percentiles, and the shed/retry/recovery/cancel
+//       event timeline. The dump file itself loads in Perfetto.
 //
 // train/detect/evaluate accept observability flags (DESIGN.md
 // §"Observability"): --trace-out FILE writes a Chrome trace-event JSON
@@ -35,7 +41,8 @@
 // --memory-budget-mb N caps admission-controlled allocations (plan
 // arenas, detect scratch); over-budget work degrades to smaller/slower
 // paths or sheds with RESOURCE_EXHAUSTED rather than OOM-ing. 0 (the
-// default) disables each limit.
+// default) disables each limit. --dump-dir DIR enables anomaly-triggered
+// post-mortem dumps into DIR (DESIGN.md §"Post-mortem diagnostics").
 //
 // A real deployment replaces `simulate` with government GPS archives in
 // the same CSV formats (see src/io/csv.h).
@@ -45,11 +52,16 @@
 #include <map>
 #include <string>
 
+#include <fstream>
+#include <sstream>
+
 #include "common/budget.h"
 #include "core/lead.h"
 #include "eval/harness.h"
 #include "io/csv.h"
+#include "obs/dump.h"
 #include "obs/log.h"
+#include "obs/report.h"
 #include "obs/trace.h"
 
 using namespace lead;
@@ -80,9 +92,11 @@ int Fail(const Status& status) {
 }
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage: lead_cli <simulate|train|detect|evaluate> [--flags]\n"
-               "see the header of cli/lead_cli.cc for details\n");
+  std::fprintf(
+      stderr,
+      "usage: lead_cli <simulate|train|detect|evaluate|obs> [--flags]\n"
+      "       lead_cli obs report FILE\n"
+      "see the header of cli/lead_cli.cc for details\n");
   return 2;
 }
 
@@ -235,6 +249,10 @@ core::LeadOptions CliLeadOptions(const Flags& flags) {
   if (budget_mb > 0) {
     MemoryBudget::Global().SetCapBytes(budget_mb * 1024 * 1024);
   }
+  // --dump-dir enables anomaly-triggered post-mortem dumps (same effect
+  // as the LEAD_DUMP_DIR environment variable).
+  const std::string dump_dir = FlagOr(flags, "dump-dir", "");
+  if (!dump_dir.empty()) obs::SetDumpDir(dump_dir);
   return options;
 }
 
@@ -354,11 +372,33 @@ int RunEvaluate(const Flags& flags) {
   return 0;
 }
 
+int RunObsReport(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const std::string path = argv[3];
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    return Fail(NotFoundError("cannot read dump: " + path));
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string report;
+  std::string error;
+  if (!obs::FormatDumpReport(buffer.str(), &report, &error)) {
+    return Fail(InvalidArgumentError(path + ": " + error));
+  }
+  std::printf("%s", report.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
+  if (command == "obs") {
+    if (argc < 3 || std::string(argv[2]) != "report") return Usage();
+    return RunObsReport(argc, argv);
+  }
   const Flags flags = ParseFlags(argc, argv, 2);
   if (command == "simulate") return RunSimulate(flags);
   if (command == "train") return RunTrain(flags);

@@ -4,6 +4,7 @@
 
 #include "common/fault.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 
 namespace lead {
 namespace {
@@ -39,6 +40,7 @@ Status MemoryBudget::Admit(int64_t bytes, const char* what) {
     const int64_t in_use = used_.load(std::memory_order_relaxed);
     if (forced || in_use + bytes > cap) {
       RejectionCounter().Increment();
+      obs::RecordEvent("budget", "shed", static_cast<double>(bytes), what);
       return ResourceExhaustedError(
           std::string(what) + ": memory budget exceeded (" +
           std::to_string(in_use) + " + " + std::to_string(bytes) + " > " +

@@ -9,8 +9,10 @@
 #include <vector>
 
 #include "common/annotate.h"
+#include "obs/dump.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 
 namespace lead {
@@ -130,6 +132,11 @@ Status CancelToken::Check(const char* stage) const {
   if (c == CancelCause::kNone) return Status::Ok();
   if (!state_->reported.exchange(true, std::memory_order_acq_rel)) {
     CancelCounter(c).Increment();
+    // First observation of this token's sticky cause: one flight-recorder
+    // event per cancelled unit of work, and — when a dump dir is
+    // configured — a post-mortem dump naming the cause.
+    obs::RecordEvent("cancel", CancelCauseName(c), 1.0, stage);
+    obs::TriggerAnomalyDump(CancelCauseName(c), stage);
   }
   std::string what(stage);
   switch (c) {
@@ -262,6 +269,10 @@ void ScanOnce(int64_t threshold_ms) {
     LEAD_LOG(WARN) << "watchdog: stage '" << rec->stage << "' running "
                    << (now - rec->start_us) / 1000 << " ms (threshold "
                    << threshold_ms << " ms); stage stack: " << stack;
+    obs::RecordEvent("watchdog", "overrun",
+                     static_cast<double>(now - rec->start_us) / 1000.0,
+                     stack.c_str());
+    obs::TriggerAnomalyDump("watchdog", stack.c_str());
   }
 }
 

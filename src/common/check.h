@@ -8,6 +8,7 @@
 #include <cstdlib>
 
 #include "common/status.h"
+#include "obs/fatal_hook.h"
 
 namespace lead::internal_check {
 
@@ -16,6 +17,9 @@ namespace lead::internal_check {
   // Abort path: must not depend on the logger.
   std::fprintf(stderr,  // lead-lint: allow(stderr)
                "%s:%d: LEAD_CHECK failed: %s\n", file, line, expr);
+  // Give the post-mortem dumper (obs/dump.cc, when linked and enabled) a
+  // chance to capture the flight recorder before the process dies.
+  ::lead::obs::InvokeFatalFailureHook(file, line, expr);
   std::abort();
 }
 

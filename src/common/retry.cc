@@ -9,6 +9,7 @@
 #include "common/rng.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 
 namespace lead {
 namespace {
@@ -55,6 +56,7 @@ Status RetryWithBackoff(const char* what, const RetryOptions& options,
       const auto millis =
           static_cast<int64_t>(backoff * jitter.Uniform(0.5, 1.5));
       retries.Increment();
+      obs::RecordEvent("io", "retry", static_cast<double>(attempt), what);
       LEAD_LOG(WARN) << what << ": transient I/O error (" << last
                      << "), retry " << attempt << "/" << (attempts - 1)
                      << " after " << millis << " ms";

@@ -13,6 +13,7 @@
 #include "nn/scheduler.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 
 namespace lead::core {
 
@@ -131,6 +132,8 @@ Status RunTrainingStage(
             RecoveryEvent{options.stage_name, epoch, lr_scale, reason});
       }
       recovery_count.Increment();
+      obs::RecordEvent("train", "recovery", static_cast<double>(epoch),
+                       reason);
       span.Arg("recovery", 1.0);
       LEAD_LOG(WARN) << "[" << options.tag << "] epoch " << epoch << ": "
                      << reason << "; rolled back, lr scale now " << lr_scale

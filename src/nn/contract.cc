@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/dump.h"
+
 namespace lead::nn::contract {
 
 void Fail(const char* op, const char* requirement, int a_rows, int a_cols,
@@ -11,12 +13,14 @@ void Fail(const char* op, const char* requirement, int a_rows, int a_cols,
                "LEAD_CHECK_SHAPES: op %s: %s: lhs [%d x %d] vs rhs "
                "[%d x %d]\n",
                op, requirement, a_rows, a_cols, b_rows, b_cols);
+  obs::TriggerAnomalyDump("fatal", op);
   std::abort();
 }
 
 void TapeFail(const char* op, const char* what) {
   std::fprintf(stderr,  // lead-lint: allow(stderr)
                "LEAD_CHECK_SHAPES: tape violation at op %s: %s\n", op, what);
+  obs::TriggerAnomalyDump("fatal", op);
   std::abort();
 }
 
@@ -26,6 +30,7 @@ void NonFiniteFail(const char* op, const char* what, int row, int col,
                "LEAD_CHECK_SHAPES: op %s: first non-finite %s at [%d, %d] "
                "(%f)\n",
                op, what, row, col, static_cast<double>(value));
+  obs::TriggerAnomalyDump("fatal", op);
   std::abort();
 }
 

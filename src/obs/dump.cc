@@ -1,0 +1,347 @@
+#include "obs/dump.h"
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "common/annotate.h"
+#include "obs/fatal_hook.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "obs/trace.h"
+
+namespace lead::obs {
+
+namespace {
+
+constexpr uint64_t kNeverDumped = UINT64_MAX;
+
+struct DumpState {
+  Mutex mutex;
+  std::string dir LEAD_GUARDED_BY(mutex);
+};
+
+DumpState& State() {
+  // Leaked: anomaly triggers can fire from detached threads (watchdog
+  // scanner) past static teardown.
+  static DumpState* state = new DumpState();  // lead-lint: allow(raw-new)
+  return *state;
+}
+
+std::atomic<bool> g_dumps_enabled{false};
+std::atomic<uint64_t> g_last_dump_us{kNeverDumped};
+std::atomic<uint64_t> g_min_interval_us{5'000'000};
+std::atomic<uint64_t> g_dump_seq{0};
+
+// Same escaping rules as the tracer's serializer: strings stay valid
+// JSON whatever the payload.
+void AppendJsonEscaped(std::string* out, const std::string& text) {
+  for (char c : text) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\n': out->append("\\n"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+void AppendJsonString(std::string* out, const std::string& text) {
+  out->push_back('"');
+  AppendJsonEscaped(out, text);
+  out->push_back('"');
+}
+
+void AppendJsonNumber(std::string* out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  out->append(buf);
+}
+
+// The "leaddump" header object: everything a reader needs to interpret
+// the rest of the file without the emitting binary at hand.
+void AppendHeader(std::string* out, const char* cause,
+                  const std::string& detail,
+                  const std::vector<RecorderRecord>& records) {
+  out->append("\"leaddump\":{\"schema_version\":");
+  out->append(std::to_string(kDumpSchemaVersion));
+  out->append(",\"trigger\":{\"cause\":");
+  AppendJsonString(out, cause);
+  out->append(",\"detail\":");
+  AppendJsonString(out, detail);
+  out->append(",\"ts_us\":");
+  out->append(std::to_string(NowMicros()));
+  out->append("},\"build\":{\"compiler\":");
+#if defined(__VERSION__)
+  AppendJsonString(out, __VERSION__);
+#else
+  AppendJsonString(out, "unknown");
+#endif
+  out->append(",\"optimized\":");
+#if defined(NDEBUG)
+  out->append("true");
+#else
+  out->append("false");
+#endif
+  out->append(",\"fault_injection\":");
+#if defined(LEAD_FAULT_INJECTION)
+  out->append("true");
+#else
+  out->append("false");
+#endif
+  out->append(",\"pointer_bits\":");
+  out->append(std::to_string(sizeof(void*) * 8));
+  out->append("},\"config\":{");
+  static constexpr const char* kEnvVars[] = {
+      "LEAD_TRACE_OUT",    "LEAD_METRICS_OUT",     "LEAD_LOG_LEVEL",
+      "LEAD_WATCHDOG_MS",  "LEAD_FAULT",           "LEAD_FAULT_STALL_MS",
+      "LEAD_PROFILE",      "LEAD_PROFILE_OUT",     "LEAD_PROFILE_MODE",
+      "LEAD_DUMP_DIR",     "LEAD_FLIGHT_RECORDER", "LEAD_BENCH_SCALE",
+  };
+  bool first = true;
+  for (const char* var : kEnvVars) {
+    const char* value = std::getenv(var);
+    if (value == nullptr) continue;
+    if (!first) out->push_back(',');
+    first = false;
+    AppendJsonString(out, var);
+    out->push_back(':');
+    AppendJsonString(out, value);
+  }
+  out->append("},\"recorder\":{");
+  uint64_t spans = 0, logs = 0, events = 0;
+  for (const RecorderRecord& rec : records) {
+    switch (rec.kind) {
+      case RecordKind::kSpan: ++spans; break;
+      case RecordKind::kLog: ++logs; break;
+      case RecordKind::kEvent: ++events; break;
+    }
+  }
+  out->append("\"records\":");
+  out->append(std::to_string(records.size()));
+  out->append(",\"spans\":");
+  out->append(std::to_string(spans));
+  out->append(",\"logs\":");
+  out->append(std::to_string(logs));
+  out->append(",\"events\":");
+  out->append(std::to_string(events));
+  out->append(",\"total_appended\":");
+  out->append(std::to_string(Recorder::Global().TotalAppended()));
+  out->append("}}");
+}
+
+// The ring contents as Chrome trace events: spans are complete "X"
+// events, logs and metric-delta events are thread-scoped instants, so
+// Perfetto renders the last moments before the anomaly as a timeline.
+void AppendTraceEvents(std::string* out,
+                       const std::vector<RecorderRecord>& records) {
+  out->append("\"traceEvents\":[");
+  out->append(
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"lead\"}}");
+  std::set<int> tids;
+  for (const RecorderRecord& rec : records) tids.insert(rec.tid);
+  for (int tid : tids) {
+    char meta[128];
+    std::snprintf(meta, sizeof(meta),
+                  ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                  "\"tid\":%d,\"args\":{\"name\":\"recorder-%d\"}}",
+                  tid, tid);
+    out->append(meta);
+  }
+  for (const RecorderRecord& rec : records) {
+    // Sized for the log branch, the longest prefix: ~92 literal bytes
+    // plus tid/ts/level/line rendered at full width.
+    char prefix[192];
+    switch (rec.kind) {
+      case RecordKind::kSpan:
+        std::snprintf(prefix, sizeof(prefix),
+                      ",{\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%llu,"
+                      "\"dur\":%llu,\"name\":",
+                      rec.tid, static_cast<unsigned long long>(rec.ts_us),
+                      static_cast<unsigned long long>(rec.dur_us));
+        out->append(prefix);
+        AppendJsonString(out, rec.name != nullptr ? rec.name : "?");
+        out->append(",\"cat\":");
+        AppendJsonString(out, rec.category != nullptr ? rec.category : "?");
+        out->push_back('}');
+        break;
+      case RecordKind::kLog:
+        std::snprintf(prefix, sizeof(prefix),
+                      ",{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":%d,"
+                      "\"ts\":%llu,\"name\":\"log\",\"cat\":\"log\","
+                      "\"args\":{\"level\":%d,\"line\":%d,\"file\":",
+                      rec.tid, static_cast<unsigned long long>(rec.ts_us),
+                      rec.level, rec.line);
+        out->append(prefix);
+        AppendJsonString(out,
+                         rec.category != nullptr ? rec.category : "?");
+        out->append(",\"message\":");
+        AppendJsonString(out, rec.text);
+        out->append("}}");
+        break;
+      case RecordKind::kEvent:
+        std::snprintf(prefix, sizeof(prefix),
+                      ",{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":%d,"
+                      "\"ts\":%llu,\"name\":",
+                      rec.tid, static_cast<unsigned long long>(rec.ts_us));
+        out->append(prefix);
+        AppendJsonString(out, rec.name != nullptr ? rec.name : "?");
+        out->append(",\"cat\":");
+        AppendJsonString(out, rec.category != nullptr ? rec.category : "?");
+        out->append(",\"args\":{\"value\":");
+        AppendJsonNumber(out, rec.value);
+        out->append(",\"detail\":");
+        AppendJsonString(out, rec.text);
+        out->append("}}");
+        break;
+    }
+  }
+  out->push_back(']');
+}
+
+std::string BuildDumpJson(const char* cause, const std::string& detail) {
+  const std::vector<RecorderRecord> records = Recorder::Global().Snapshot();
+  std::string out;
+  out.reserve(size_t{1} << 16);
+  out.push_back('{');
+  AppendHeader(&out, cause, detail, records);
+  out.push_back(',');
+  out.append("\"metrics\":");
+  out.append(MetricsRegistry::Global().ToJson());
+  out.push_back(',');
+  AppendTraceEvents(&out, records);
+  out.append(",\"displayTimeUnit\":\"ms\"}");
+  return out;
+}
+
+void FatalFailureDump(const char* file, int line, const char* expr) {
+  std::string detail(file);
+  detail += ':';
+  detail += std::to_string(line);
+  detail += ' ';
+  detail += expr;
+  TriggerAnomalyDump("fatal", detail.c_str());
+}
+
+// LEAD_DUMP_DIR enables anomaly dumps for any binary at startup; the
+// fatal hook is installed unconditionally (it no-ops while disabled).
+struct EnvDump {
+  EnvDump() {
+    g_fatal_failure_hook.store(&FatalFailureDump,
+                               std::memory_order_release);
+    const char* dir = std::getenv("LEAD_DUMP_DIR");
+    if (dir != nullptr && dir[0] != '\0') SetDumpDir(dir);
+  }
+};
+
+const EnvDump g_env_dump;
+
+}  // namespace
+
+void SetDumpDir(std::string dir) {
+  {
+    MutexLock lock(State().mutex);
+    State().dir = dir;
+  }
+  g_dumps_enabled.store(!dir.empty(), std::memory_order_release);
+}
+
+std::string DumpDir() {
+  MutexLock lock(State().mutex);
+  return State().dir;
+}
+
+bool DumpsEnabled() {
+  return g_dumps_enabled.load(std::memory_order_acquire);
+}
+
+void SetAnomalyDumpIntervalMicros(uint64_t interval_us) {
+  g_min_interval_us.store(interval_us, std::memory_order_relaxed);
+  if (interval_us == 0) {
+    g_last_dump_us.store(kNeverDumped, std::memory_order_relaxed);
+  }
+}
+
+bool RequestDump(const char* cause, const std::string& detail,
+                 std::string* path, std::string* error) {
+  const std::string dir = DumpDir();
+  if (dir.empty()) {
+    if (error != nullptr) {
+      *error = "no dump directory configured (LEAD_DUMP_DIR or SetDumpDir)";
+    }
+    return false;
+  }
+  const std::string json = BuildDumpJson(cause, detail);
+  unsigned pid = 0;
+#if defined(__unix__) || defined(__APPLE__)
+  pid = static_cast<unsigned>(::getpid());
+#endif
+  char name[96];
+  std::snprintf(name, sizeof(name), "leaddump-%u-%llu-%llu.json", pid,
+                static_cast<unsigned long long>(NowMicros()),
+                static_cast<unsigned long long>(
+                    g_dump_seq.fetch_add(1, std::memory_order_relaxed)));
+  std::string file = dir;
+  if (!file.empty() && file.back() != '/') file.push_back('/');
+  file += name;
+  std::ofstream out(file, std::ios::binary | std::ios::trunc);
+  if (!out.good()) {
+    if (error != nullptr) *error = "cannot open for write: " + file;
+    return false;
+  }
+  out.write(json.data(), static_cast<std::streamsize>(json.size()));
+  out.flush();
+  if (!out.good()) {
+    if (error != nullptr) *error = "failed writing dump: " + file;
+    return false;
+  }
+  if (path != nullptr) *path = file;
+  return true;
+}
+
+void TriggerAnomalyDump(const char* cause, const char* detail) {
+  if (!DumpsEnabled()) return;
+  // Re-entry guard: serializing the dump logs and polls metrics; if any
+  // of that itself trips an anomaly, drop it rather than recurse.
+  thread_local bool in_dump = false;
+  if (in_dump) return;
+  const uint64_t now = NowMicros();
+  const uint64_t interval = g_min_interval_us.load(std::memory_order_relaxed);
+  uint64_t last = g_last_dump_us.load(std::memory_order_relaxed);
+  if (last != kNeverDumped && now - last < interval) return;
+  // One winner per rate-limit window: losers saw a fresher `last`.
+  if (!g_last_dump_us.compare_exchange_strong(last, now,
+                                              std::memory_order_acq_rel)) {
+    return;
+  }
+  in_dump = true;
+  std::string path;
+  std::string error;
+  if (RequestDump(cause, detail != nullptr ? detail : "", &path, &error)) {
+    LEAD_LOG(WARN) << "post-mortem dump (" << cause << "): " << path;
+  } else {
+    LEAD_LOG(ERROR) << "post-mortem dump failed: " << error;
+  }
+  in_dump = false;
+}
+
+}  // namespace lead::obs

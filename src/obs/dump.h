@@ -1,0 +1,51 @@
+// Anomaly-triggered post-mortem dumps.
+//
+// A dump is a single self-contained leaddump-<ts>.json file: a
+// machine-readable "leaddump" header (schema version, trigger cause,
+// build and config provenance, recorder stats), the full metrics
+// registry snapshot, and a Chrome-trace "traceEvents" section built from
+// the flight-recorder rings — spans as "X" events, log records and
+// metric-delta events as instants — so the file loads directly in
+// Perfetto / chrome://tracing while staying grep-able.
+//
+// Triggers: deadline/budget/user/fault cancellations (the first Check()
+// that observes the sticky cause, common/cancel.cc), watchdog overruns,
+// fatal LEAD_CHECK / nn-contract aborts (via obs/fatal_hook.h), and the
+// explicit RequestDump() below. Anomaly triggers are no-ops until a dump
+// directory is configured (LEAD_DUMP_DIR env or SetDumpDir), are
+// rate-limited so a cancellation storm produces one dump rather than
+// thousands, and guard against re-entry (a dump that itself faults must
+// not recurse).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lead::obs {
+
+// Bumped whenever the dump layout changes shape; consumers
+// (obs/report.cc, external tooling) key on it.
+inline constexpr int kDumpSchemaVersion = 1;
+
+// Configures where dumps are written; an empty dir disables anomaly
+// dumps. LEAD_DUMP_DIR seeds this at static-init time.
+void SetDumpDir(std::string dir);
+std::string DumpDir();
+bool DumpsEnabled();
+
+// Writes a dump right now (no rate limit). Fails when no dump directory
+// is configured or the file cannot be written. On success fills `path`
+// with the file written.
+bool RequestDump(const char* cause, const std::string& detail,
+                 std::string* path, std::string* error);
+
+// Fire-and-forget trigger for anomaly sites: no-op when dumps are
+// disabled, rate-limited, re-entry-guarded, never throws. `detail` may
+// be null.
+void TriggerAnomalyDump(const char* cause, const char* detail);
+
+// Minimum spacing between anomaly-triggered dumps (default 5 s); tests
+// set 0 to make every trigger fire.
+void SetAnomalyDumpIntervalMicros(uint64_t interval_us);
+
+}  // namespace lead::obs

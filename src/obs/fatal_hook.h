@@ -1,0 +1,24 @@
+// Process-wide fatal-failure hook, header-only so common/check.h (which
+// must stay linkable from standalone tools) can invoke it without a
+// library dependency. obs/dump.cc installs a hook that writes a
+// post-mortem dump before the abort; with no hook installed the invoke
+// is one relaxed-ish atomic load.
+#pragma once
+
+#include <atomic>
+
+namespace lead::obs {
+
+using FatalFailureHook = void (*)(const char* file, int line,
+                                  const char* expr);
+
+inline std::atomic<FatalFailureHook> g_fatal_failure_hook{nullptr};
+
+inline void InvokeFatalFailureHook(const char* file, int line,
+                                   const char* expr) {
+  FatalFailureHook hook =
+      g_fatal_failure_hook.load(std::memory_order_acquire);
+  if (hook != nullptr) hook(file, line, expr);
+}
+
+}  // namespace lead::obs

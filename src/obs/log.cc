@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/recorder.h"
 #include "obs/trace.h"
 
 namespace lead::obs {
@@ -88,6 +89,12 @@ LogMessage::~LogMessage() {
   LogSink sink = g_sink.load(std::memory_order_relaxed);
   if (sink == nullptr) sink = &DefaultSink;
   sink(level_, file_, line_, message.c_str());
+  // Emitted records also land in the flight recorder (truncated to its
+  // inline payload) so a post-mortem dump carries the recent log tail.
+  if ((internal::ObsFlags() & internal::kRecorderBit) != 0) {
+    Recorder::Global().RecordLog(static_cast<int>(level_), file_, line_,
+                                 message.c_str());
+  }
 }
 
 }  // namespace lead::obs

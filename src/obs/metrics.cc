@@ -34,8 +34,22 @@ void AppendJsonNumber(std::string* out, double v) {
 void AppendJsonKey(std::string* out, const std::string& name) {
   out->push_back('"');
   for (char c : name) {
-    if (c == '"' || c == '\\') out->push_back('\\');
-    out->push_back(c);
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\n': out->append("\\n"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        // Raw control characters in a metric name would emit invalid
+        // JSON; \u-escape them like the tracer's serializer does.
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
   }
   out->append("\":");
 }

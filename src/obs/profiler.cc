@@ -1,0 +1,183 @@
+#include "obs/profiler.h"
+
+#include <atomic>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "obs/log.h"
+#include "obs/profiler_internal.h"
+#include "obs/trace.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <signal.h>
+#include <sys/time.h>
+#define LEAD_PROFILER_SUPPORTED 1
+#else
+#define LEAD_PROFILER_SUPPORTED 0
+#endif
+
+namespace lead::obs {
+
+#if LEAD_PROFILER_SUPPORTED
+
+namespace {
+
+std::atomic<bool> g_running{false};
+// Written by StartProfiler before g_running flips, read by StopProfiler;
+// single-profiler-at-a-time is enforced by g_running.
+ProfilerOptions g_active_options;
+struct sigaction g_previous_action;
+
+int ActiveSignal(const ProfilerOptions& options) {
+  return options.cpu_time ? SIGPROF : SIGALRM;
+}
+
+int ActiveTimer(const ProfilerOptions& options) {
+  return options.cpu_time ? ITIMER_PROF : ITIMER_REAL;
+}
+
+}  // namespace
+
+bool StartProfiler(const ProfilerOptions& options, std::string* error) {
+  if (options.hz < 1 || options.hz > 1000) {
+    if (error != nullptr) *error = "profiler rate must be in [1, 1000] Hz";
+    return false;
+  }
+  if (g_running.load(std::memory_order_acquire)) {
+    if (error != nullptr) *error = "profiler already running";
+    return false;
+  }
+  internal::ProfileSampleRing& ring = internal::ProfilerSampleRing();
+  const uint64_t previously_claimed =
+      ring.claimed.load(std::memory_order_acquire);
+  const uint64_t stored = previously_claimed < internal::kSampleCapacity
+                              ? previously_claimed
+                              : internal::kSampleCapacity;
+  for (uint64_t i = 0; i < stored; ++i) {
+    ring.slots[i].ready.store(0, std::memory_order_relaxed);
+  }
+  ring.claimed.store(0, std::memory_order_release);
+  g_active_options = options;
+
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_sigaction = &internal::ProfilerSignalHandler;
+  action.sa_flags = SA_SIGINFO | SA_RESTART;
+  sigemptyset(&action.sa_mask);
+  if (sigaction(ActiveSignal(options), &action, &g_previous_action) != 0) {
+    if (error != nullptr) *error = "sigaction failed";
+    return false;
+  }
+  struct itimerval timer;
+  std::memset(&timer, 0, sizeof(timer));
+  const long interval_us = 1000000L / options.hz;
+  timer.it_interval.tv_sec = interval_us / 1000000L;
+  timer.it_interval.tv_usec = interval_us % 1000000L;
+  timer.it_value = timer.it_interval;
+  if (setitimer(ActiveTimer(options), &timer, nullptr) != 0) {
+    sigaction(ActiveSignal(options), &g_previous_action, nullptr);
+    if (error != nullptr) *error = "setitimer failed";
+    return false;
+  }
+  // Spans must maintain the TLS stack even when tracer and recorder are
+  // both off; the profiler bit keeps ScopedSpan live.
+  internal::SetObsFlag(internal::kProfilerBit, true);
+  g_running.store(true, std::memory_order_release);
+  return true;
+}
+
+bool StopProfiler(const std::string& collapsed_out, std::string* error) {
+  if (!g_running.load(std::memory_order_acquire)) {
+    if (error != nullptr) *error = "profiler not running";
+    return false;
+  }
+  struct itimerval disarm;
+  std::memset(&disarm, 0, sizeof(disarm));
+  setitimer(ActiveTimer(g_active_options), &disarm, nullptr);
+  sigaction(ActiveSignal(g_active_options), &g_previous_action, nullptr);
+  internal::SetObsFlag(internal::kProfilerBit, false);
+  g_running.store(false, std::memory_order_release);
+  if (collapsed_out.empty()) return true;
+
+  internal::ProfileSampleRing& ring = internal::ProfilerSampleRing();
+  const uint64_t claimed = ring.claimed.load(std::memory_order_acquire);
+  const uint64_t stored =
+      claimed < internal::kSampleCapacity ? claimed : internal::kSampleCapacity;
+  std::map<std::string, uint64_t> stacks;
+  uint64_t collapsed_samples = 0;
+  for (uint64_t i = 0; i < stored; ++i) {
+    const internal::ProfileSample& sample = ring.slots[i];
+    // A handler disarmed mid-write never publishes ready; skip it.
+    if (sample.ready.load(std::memory_order_acquire) != 1) continue;
+    const int depth = sample.depth.load(std::memory_order_relaxed);
+    std::string key = "lead";
+    if (depth <= 0) {
+      key += ";(untracked)";
+    } else {
+      for (int f = 0; f < depth; ++f) {
+        key.push_back(';');
+        key += sample.categories[f].load(std::memory_order_relaxed);
+        key.push_back('.');
+        key += sample.names[f].load(std::memory_order_relaxed);
+      }
+      if (sample.truncated.load(std::memory_order_relaxed) != 0) {
+        key += ";(truncated)";
+      }
+    }
+    ++stacks[key];
+    ++collapsed_samples;
+  }
+  std::ofstream out(collapsed_out, std::ios::binary | std::ios::trunc);
+  if (!out.good()) {
+    if (error != nullptr) {
+      *error = "cannot open for write: " + collapsed_out;
+    }
+    return false;
+  }
+  for (const auto& [stack, count] : stacks) {
+    out << stack << ' ' << count << '\n';
+  }
+  out.flush();
+  if (!out.good()) {
+    if (error != nullptr) *error = "failed writing profile: " + collapsed_out;
+    return false;
+  }
+  if (claimed > stored) {
+    LEAD_LOG(WARN) << "profiler ring filled: " << (claimed - stored)
+                   << " of " << claimed << " samples dropped";
+  }
+  LEAD_LOG(INFO) << "profiler: " << collapsed_samples << " samples -> "
+                 << collapsed_out;
+  return true;
+}
+
+bool ProfilerRunning() { return g_running.load(std::memory_order_acquire); }
+
+uint64_t ProfilerSampleCount() {
+  return internal::ProfilerSampleRing().claimed.load(
+      std::memory_order_acquire);
+}
+
+#else  // !LEAD_PROFILER_SUPPORTED
+
+bool StartProfiler(const ProfilerOptions& /*options*/, std::string* error) {
+  if (error != nullptr) {
+    *error = "sampling profiler requires setitimer (POSIX)";
+  }
+  return false;
+}
+
+bool StopProfiler(const std::string& /*collapsed_out*/, std::string* error) {
+  if (error != nullptr) *error = "profiler not running";
+  return false;
+}
+
+bool ProfilerRunning() { return false; }
+
+uint64_t ProfilerSampleCount() { return 0; }
+
+#endif  // LEAD_PROFILER_SUPPORTED
+
+}  // namespace lead::obs

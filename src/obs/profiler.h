@@ -1,0 +1,49 @@
+// Signal-safe sampling wall/CPU profiler.
+//
+// A setitimer(ITIMER_PROF)/SIGPROF timer (or ITIMER_REAL/SIGALRM in
+// wall-clock mode) interrupts the process at a fixed rate; the handler —
+// the only code allowed to run in signal context, isolated in
+// obs/profiler_signal.cc under the signal-scope lint rule — snapshots
+// the interrupted thread's open-span stack (obs/span_stack.h) and its
+// program counter into a preallocated lock-free sample ring. Everything
+// else (argument validation, timer setup, collapsing samples into a
+// flame-graph file) runs in normal context here.
+//
+// Output is the collapsed-stack format flamegraph.pl and speedscope
+// consume: one "frame;frame;frame count" line per distinct stack, with
+// frames spelled "category.name" and samples that caught no open span
+// attributed to "(untracked)".
+//
+// Environment autostart: LEAD_PROFILE=<hz> starts the profiler at
+// static-init time and writes the profile at exit to LEAD_PROFILE_OUT
+// (default lead_profile.collapsed); LEAD_PROFILE_MODE=wall samples wall
+// clock instead of CPU time (see trace.cc EnvProfiler).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lead::obs {
+
+struct ProfilerOptions {
+  int hz = 99;          // sampling rate, [1, 1000]
+  bool cpu_time = true;  // true: SIGPROF/CPU time; false: SIGALRM/wall
+};
+
+// Arms the timer and installs the handler. Fails (false + `error`) when
+// already running, on a bad rate, or on platforms without setitimer.
+bool StartProfiler(const ProfilerOptions& options, std::string* error);
+
+// Disarms the timer, restores the previous handler, and writes the
+// collapsed-stack profile to `collapsed_out` (empty path skips the
+// write). Samples that arrived after the ring filled are counted and
+// reported, not silently lost.
+bool StopProfiler(const std::string& collapsed_out, std::string* error);
+
+bool ProfilerRunning();
+
+// Samples claimed since the last StartProfiler, including any dropped
+// after the ring filled.
+uint64_t ProfilerSampleCount();
+
+}  // namespace lead::obs

@@ -1,0 +1,45 @@
+// Shared state between the profiler's normal-context half (profiler.cc)
+// and its signal-context half (profiler_signal.cc): the preallocated
+// sample ring and the handler entry point.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <signal.h>
+#endif
+
+namespace lead::obs::internal {
+
+// Span frames stored per sample; deeper live stacks are truncated (and
+// flagged) rather than walked, keeping the handler O(1).
+inline constexpr int kMaxSampleFrames = 8;
+// Samples stored before the ring is full; later tickets are counted as
+// dropped. 2^14 at 99 Hz covers ~165 s of profiling.
+inline constexpr size_t kSampleCapacity = size_t{1} << 14;
+
+struct ProfileSample {
+  std::atomic<uint64_t> ready;  // 1 once the words below are complete
+  std::atomic<uint64_t> pc;     // interrupted program counter (0 if n/a)
+  std::atomic<int32_t> depth;   // frames stored
+  std::atomic<int32_t> truncated;  // 1 when live depth exceeded storage
+  std::atomic<const char*> categories[kMaxSampleFrames];
+  std::atomic<const char*> names[kMaxSampleFrames];
+};
+
+struct ProfileSampleRing {
+  std::atomic<uint64_t> claimed;  // fetch_add ticket counter
+  ProfileSample slots[kSampleCapacity];
+};
+
+// Zero-initialized static storage (profiler_signal.cc): no allocation,
+// safe to touch from the handler.
+ProfileSampleRing& ProfilerSampleRing();
+
+#if defined(__unix__) || defined(__APPLE__)
+// The async-signal-safe SIGPROF/SIGALRM handler (sa_sigaction form).
+void ProfilerSignalHandler(int signo, siginfo_t* info, void* ucontext_raw);
+#endif
+
+}  // namespace lead::obs::internal

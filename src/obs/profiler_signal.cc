@@ -1,0 +1,74 @@
+// Async-signal-safe half of the sampling profiler: the SIGPROF/SIGALRM
+// handler and the static sample ring it writes.
+//
+// lead-lint: signal-scope
+//
+// Everything in this file may run inside a signal handler interrupting
+// arbitrary code — including code that holds the allocator lock or an
+// obs mutex. Only lock-free atomics, reads of this thread's own TLS, and
+// ucontext register access are allowed here: no allocation, no locks, no
+// stdio, no LEAD_LOG (machine-enforced by the signal-safety lint rule).
+#include "obs/profiler_internal.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+
+#include <ucontext.h>
+
+#include "obs/span_stack.h"
+
+namespace lead::obs::internal {
+
+namespace {
+
+// Zero-initialized BSS; never dynamically allocated, so the handler can
+// touch it at any time.
+ProfileSampleRing g_sample_ring;
+
+uint64_t ProgramCounter(void* ucontext_raw) {
+  if (ucontext_raw == nullptr) return 0;
+#if defined(__linux__) && defined(__x86_64__)
+  const ucontext_t* uc = static_cast<const ucontext_t*>(ucontext_raw);
+  return static_cast<uint64_t>(uc->uc_mcontext.gregs[REG_RIP]);
+#elif defined(__linux__) && defined(__aarch64__)
+  const ucontext_t* uc = static_cast<const ucontext_t*>(ucontext_raw);
+  return static_cast<uint64_t>(uc->uc_mcontext.pc);
+#else
+  (void)ucontext_raw;
+  return 0;
+#endif
+}
+
+}  // namespace
+
+ProfileSampleRing& ProfilerSampleRing() { return g_sample_ring; }
+
+void ProfilerSignalHandler(int /*signo*/, siginfo_t* /*info*/,
+                           void* ucontext_raw) {
+  const uint64_t ticket =
+      g_sample_ring.claimed.fetch_add(1, std::memory_order_relaxed);
+  if (ticket >= kSampleCapacity) return;  // full ring: count as dropped
+  ProfileSample& sample = g_sample_ring.slots[ticket];
+  const SpanStack& stack = ThisThreadSpanStack();
+  const int live = stack.depth;
+  // The interrupted thread stored the frame words before the depth that
+  // published them (span_stack.h); pin the compiler ordering on the read
+  // side too.
+  std::atomic_signal_fence(std::memory_order_acquire);
+  int depth = live;
+  if (depth < 0) depth = 0;
+  if (depth > kSpanStackDepth) depth = kSpanStackDepth;
+  if (depth > kMaxSampleFrames) depth = kMaxSampleFrames;
+  for (int f = 0; f < depth; ++f) {
+    sample.categories[f].store(stack.categories[f],
+                               std::memory_order_relaxed);
+    sample.names[f].store(stack.names[f], std::memory_order_relaxed);
+  }
+  sample.depth.store(depth, std::memory_order_relaxed);
+  sample.truncated.store(live > depth ? 1 : 0, std::memory_order_relaxed);
+  sample.pc.store(ProgramCounter(ucontext_raw), std::memory_order_relaxed);
+  sample.ready.store(1, std::memory_order_release);
+}
+
+}  // namespace lead::obs::internal
+
+#endif  // defined(__unix__) || defined(__APPLE__)

@@ -1,0 +1,221 @@
+#include "obs/recorder.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/trace.h"
+
+namespace lead::obs {
+
+namespace {
+
+// Word layout of one record (see PackHeader): a fixed block of atomic
+// words so the owner can write and a snapshotter can read without locks
+// or torn values.
+constexpr size_t kTextWords = kRecorderTextBytes / sizeof(uint64_t);
+constexpr size_t kHeaderWords = 6;
+constexpr size_t kWordsPerRecord = kHeaderWords + kTextWords;
+
+// w0: kind | level<<8 | line<<32.
+uint64_t PackHeader(RecordKind kind, int level, int line) {
+  return static_cast<uint64_t>(static_cast<uint8_t>(kind)) |
+         (static_cast<uint64_t>(static_cast<uint8_t>(level)) << 8) |
+         (static_cast<uint64_t>(static_cast<uint32_t>(line)) << 32);
+}
+
+uint64_t DoubleBits(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double BitsDouble(uint64_t bits) {
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+// One thread's wrapping ring. Only the owning thread writes words and
+// the head; Snapshot() tolerates concurrent overwrites by re-reading the
+// head and discarding any record index the writer may have reused.
+struct Recorder::ThreadRing {
+  ThreadRing()
+      : words(std::make_unique<std::atomic<uint64_t>[]>(
+            kRecorderRingRecords * kWordsPerRecord)) {}
+
+  int tid = 0;  // stable lane id (registration order)
+  std::atomic<uint64_t> head{0};
+  // Allocated at registration (under the Recorder mutex) so the pointer
+  // is immutable once other threads can see the ring.
+  const std::unique_ptr<std::atomic<uint64_t>[]> words;
+
+  void Append(RecordKind kind, int level, int line, uint64_t ts_us,
+              uint64_t dur_us, double value, const char* category,
+              const char* name, const char* text) {
+    const uint64_t h = head.load(std::memory_order_relaxed);
+    std::atomic<uint64_t>* w =
+        words.get() + (h % kRecorderRingRecords) * kWordsPerRecord;
+    w[0].store(PackHeader(kind, level, line), std::memory_order_relaxed);
+    w[1].store(ts_us, std::memory_order_relaxed);
+    w[2].store(dur_us, std::memory_order_relaxed);
+    w[3].store(DoubleBits(value), std::memory_order_relaxed);
+    w[4].store(reinterpret_cast<uint64_t>(category),
+               std::memory_order_relaxed);
+    w[5].store(reinterpret_cast<uint64_t>(name), std::memory_order_relaxed);
+    char buf[kRecorderTextBytes] = {};
+    if (text != nullptr) {
+      size_t n = std::strlen(text);
+      if (n > kRecorderTextBytes - 1) n = kRecorderTextBytes - 1;
+      std::memcpy(buf, text, n);
+    }
+    for (size_t i = 0; i < kTextWords; ++i) {
+      uint64_t tw = 0;
+      std::memcpy(&tw, buf + i * sizeof(uint64_t), sizeof(tw));
+      w[kHeaderWords + i].store(tw, std::memory_order_relaxed);
+    }
+    head.store(h + 1, std::memory_order_release);
+  }
+};
+
+Recorder& Recorder::Global() {
+  // Leaked on purpose: thread_local ring pointers on pool workers must
+  // outlive static teardown.
+  static Recorder* recorder = new Recorder();  // lead-lint: allow(raw-new)
+  return *recorder;
+}
+
+bool Recorder::enabled() const {
+  return (internal::ObsFlags() & internal::kRecorderBit) != 0;
+}
+
+void Recorder::SetEnabled(bool on) {
+  internal::SetObsFlag(internal::kRecorderBit, on);
+}
+
+Recorder::ThreadRing* Recorder::CurrentRing() {
+  thread_local ThreadRing* cached = nullptr;
+  if (cached == nullptr) {
+    MutexLock lock(mutex_);
+    auto ring = std::make_unique<ThreadRing>();
+    ring->tid = static_cast<int>(rings_.size());
+    cached = ring.get();
+    rings_.push_back(std::move(ring));
+  }
+  return cached;
+}
+
+void Recorder::RecordSpan(const char* category, const char* name,
+                          uint64_t ts_us, uint64_t dur_us) {
+  CurrentRing()->Append(RecordKind::kSpan, 0, 0, ts_us, dur_us, 0.0,
+                        category, name, nullptr);
+}
+
+void Recorder::RecordLog(int level, const char* file, int line,
+                         const char* text) {
+  CurrentRing()->Append(RecordKind::kLog, level, line, NowMicros(), 0, 0.0,
+                        file, nullptr, text);
+}
+
+void Recorder::RecordEvent(const char* category, const char* name,
+                           double value, const char* detail) {
+  CurrentRing()->Append(RecordKind::kEvent, 0, 0, NowMicros(), 0, value,
+                        category, name, detail);
+}
+
+std::vector<RecorderRecord> Recorder::Snapshot() const {
+  std::vector<ThreadRing*> rings;
+  {
+    MutexLock lock(mutex_);
+    rings.reserve(rings_.size());
+    for (const std::unique_ptr<ThreadRing>& ring : rings_) {
+      rings.push_back(ring.get());
+    }
+  }
+  std::vector<RecorderRecord> out;
+  std::vector<uint64_t> copy(kRecorderRingRecords * kWordsPerRecord);
+  for (ThreadRing* ring : rings) {
+    const uint64_t h1 = ring->head.load(std::memory_order_acquire);
+    const uint64_t n = h1 < kRecorderRingRecords ? h1 : kRecorderRingRecords;
+    const uint64_t first = h1 - n;
+    for (uint64_t idx = first; idx < h1; ++idx) {
+      std::atomic<uint64_t>* w =
+          ring->words.get() + (idx % kRecorderRingRecords) * kWordsPerRecord;
+      uint64_t* dst = copy.data() + (idx - first) * kWordsPerRecord;
+      for (size_t i = 0; i < kWordsPerRecord; ++i) {
+        dst[i] = w[i].load(std::memory_order_relaxed);
+      }
+    }
+    // The writer publishes head only after finishing a record, and may be
+    // mid-overwrite of record h2's slot right now (owner of old record
+    // h2 - kRecorderRingRecords), so only indexes strictly above that are
+    // guaranteed untorn.
+    const uint64_t h2 = ring->head.load(std::memory_order_acquire);
+    const uint64_t safe_min =
+        h2 + 1 > kRecorderRingRecords ? h2 + 1 - kRecorderRingRecords : 0;
+    for (uint64_t idx = first < safe_min ? safe_min : first; idx < h1;
+         ++idx) {
+      const uint64_t* w = copy.data() + (idx - first) * kWordsPerRecord;
+      const uint64_t kind_word = w[0];
+      const uint8_t kind = static_cast<uint8_t>(kind_word & 0xff);
+      if (kind < 1 || kind > 3) continue;  // never-published slot
+      RecorderRecord rec;
+      rec.kind = static_cast<RecordKind>(kind);
+      rec.tid = ring->tid;
+      rec.level = static_cast<int>((kind_word >> 8) & 0xff);
+      rec.line = static_cast<int>(kind_word >> 32);
+      rec.ts_us = w[1];
+      rec.dur_us = w[2];
+      rec.value = BitsDouble(w[3]);
+      rec.category = reinterpret_cast<const char*>(w[4]);
+      rec.name = reinterpret_cast<const char*>(w[5]);
+      char buf[kRecorderTextBytes + 1];
+      std::memcpy(buf, w + kHeaderWords, kRecorderTextBytes);
+      buf[kRecorderTextBytes] = '\0';
+      rec.text = buf;
+      out.push_back(std::move(rec));
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const RecorderRecord& a, const RecorderRecord& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  return out;
+}
+
+uint64_t Recorder::TotalAppended() const {
+  MutexLock lock(mutex_);
+  uint64_t total = 0;
+  for (const std::unique_ptr<ThreadRing>& ring : rings_) {
+    total += ring->head.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+void RecordEvent(const char* category, const char* name, double value,
+                 const char* detail) {
+  if ((internal::ObsFlags() & internal::kRecorderBit) == 0) return;
+  Recorder::Global().RecordEvent(category, name, value, detail);
+}
+
+namespace {
+
+// LEAD_FLIGHT_RECORDER=0 opts out; any other state leaves the recorder
+// on (always-on is the point of a flight recorder).
+struct EnvRecorder {
+  EnvRecorder() {
+    const char* flag = std::getenv("LEAD_FLIGHT_RECORDER");
+    const bool off = flag != nullptr && flag[0] == '0' && flag[1] == '\0';
+    internal::SetObsFlag(internal::kRecorderBit, !off);
+  }
+};
+
+const EnvRecorder g_env_recorder;
+
+}  // namespace
+
+}  // namespace lead::obs

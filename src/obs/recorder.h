@@ -1,0 +1,105 @@
+// Always-on flight recorder: a bounded per-thread ring of the most recent
+// spans, log records, and metric-delta events, kept at negligible cost so
+// a post-mortem dump (obs/dump.h) can reconstruct the final moments of a
+// process after an anomaly — without tracing having been enabled up
+// front.
+//
+// Design (striped per thread like the tracer's buffers, but wrapping):
+// each thread owns a fixed ring of fixed-size records; a record is a
+// block of std::atomic<uint64_t> words written relaxed by the owner and
+// published by a release store of the ring head. Unlike the tracer, the
+// ring overwrites the oldest record when full — a flight recorder must
+// always hold the newest history. Snapshot() copies the words with
+// relaxed loads, then re-reads the head with acquire and discards any
+// record the writer may have been overwriting during the copy, so a
+// snapshot taken while other threads record is TSan-clean and never
+// observes a torn record.
+//
+// Enabled by default; LEAD_FLIGHT_RECORDER=0 (env) or SetEnabled(false)
+// turns it off. Cost when enabled: two clock reads plus ~16 relaxed
+// stores per span (bench/micro_substrates.cc BM_RecorderSpan); recording
+// never feeds back into the computation, so results stay bit-identical
+// with the recorder on or off.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/annotate.h"
+
+namespace lead::obs {
+
+// Records kept per thread ring before wraparound.
+inline constexpr size_t kRecorderRingRecords = 2048;
+// Inline text payload per record (longer log messages are truncated).
+inline constexpr size_t kRecorderTextBytes = 80;
+
+enum class RecordKind : uint8_t {
+  kSpan = 1,   // a closed ScopedSpan (category/name/ts/dur)
+  kLog = 2,    // a LEAD_LOG record (level/file/line + message in text)
+  kEvent = 3,  // a metric-delta event (category/name/value + detail text)
+};
+
+// One decoded record from a snapshot. `category` and `name` point at
+// static strings for spans/events; for logs `category` holds the source
+// file path (a __FILE__ literal) and `name` is null.
+struct RecorderRecord {
+  RecordKind kind = RecordKind::kSpan;
+  int tid = 0;
+  int level = 0;  // logs: the LogLevel as int
+  int line = 0;   // logs: source line
+  uint64_t ts_us = 0;
+  uint64_t dur_us = 0;  // spans only
+  double value = 0.0;   // events only
+  const char* category = nullptr;
+  const char* name = nullptr;
+  std::string text;
+};
+
+class Recorder {
+ public:
+  // Leaked singleton (like Tracer::Global): worker threads may hold
+  // cached ring pointers past static teardown.
+  static Recorder& Global();
+
+  bool enabled() const;
+  void SetEnabled(bool on);
+
+  // Appends to the calling thread's ring (unconditionally; the
+  // enabled() gate lives at the call sites so tests can record
+  // directly).
+  void RecordSpan(const char* category, const char* name, uint64_t ts_us,
+                  uint64_t dur_us);
+  void RecordLog(int level, const char* file, int line, const char* text);
+  void RecordEvent(const char* category, const char* name, double value,
+                   const char* detail);
+
+  // Copies every ring's retained records, oldest first by timestamp.
+  // Safe to call while other threads are recording: records the writers
+  // may have been overwriting during the copy are discarded.
+  std::vector<RecorderRecord> Snapshot() const;
+
+  // Records ever appended, summed over all thread rings (appends beyond
+  // kRecorderRingRecords per ring overwrite the oldest).
+  uint64_t TotalAppended() const;
+
+ private:
+  struct ThreadRing;
+
+  Recorder() = default;
+  ThreadRing* CurrentRing();
+
+  mutable Mutex mutex_;  // guards ring registration only
+  std::vector<std::unique_ptr<ThreadRing>> rings_ LEAD_GUARDED_BY(mutex_);
+};
+
+// Appends a metric-delta event to the flight recorder when it is
+// enabled; the hook anomaly sites (budget shed, io retry, train
+// recovery, cancellation, watchdog overrun) call so dumps carry an event
+// timeline. `detail` may be null.
+void RecordEvent(const char* category, const char* name, double value,
+                 const char* detail);
+
+}  // namespace lead::obs

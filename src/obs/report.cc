@@ -1,0 +1,490 @@
+#include "obs/report.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lead::obs {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value + recursive-descent parser. Self-contained on
+// purpose: the report must be able to read a dump from a crashed binary
+// of a different version, so it depends on nothing but the text.
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    SkipSpace();
+    if (!ParseValue(out)) return false;
+    SkipSpace();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out->type = JsonValue::Type::kString;
+      return ParseString(&out->str);
+    }
+    if (c == 't' || c == 'f') return ParseBool(out);
+    if (c == 'n') return ParseLiteral("null", out);
+    return ParseNumber(out);
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->type = JsonValue::Type::kObject;
+    if (!Consume('{')) return false;
+    SkipSpace();
+    if (Consume('}')) return true;
+    for (;;) {
+      std::string key;
+      if (!ParseString(&key)) return false;
+      if (!Consume(':')) return false;
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->object.emplace_back(std::move(key), std::move(value));
+      if (Consume(',')) continue;
+      return Consume('}');
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->type = JsonValue::Type::kArray;
+    if (!Consume('[')) return false;
+    SkipSpace();
+    if (Consume(']')) return true;
+    for (;;) {
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->array.push_back(std::move(value));
+      if (Consume(',')) continue;
+      return Consume(']');
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'r': out->push_back('\r'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'u':
+            // Escaped control characters render as '?'; the report is
+            // for eyes, not round-tripping.
+            if (pos_ + 4 > text_.size()) return false;
+            pos_ += 4;
+            out->push_back('?');
+            break;
+          default:
+            return false;
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return false;
+  }
+
+  bool ParseBool(JsonValue* out) {
+    out->type = JsonValue::Type::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      out->boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      out->boolean = false;
+      pos_ += 5;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseLiteral(const char* literal, JsonValue* out) {
+    const size_t n = std::string(literal).size();
+    if (text_.compare(pos_, n, literal) != 0) return false;
+    pos_ += n;
+    out->type = JsonValue::Type::kNull;
+    return true;
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    out->type = JsonValue::Type::kNumber;
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    out->number = std::strtod(text_.substr(start, pos_ - start).c_str(),
+                              nullptr);
+    return true;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Report sections
+// ---------------------------------------------------------------------------
+
+std::string GetString(const JsonValue* object, const std::string& key,
+                      const std::string& fallback) {
+  if (object == nullptr) return fallback;
+  const JsonValue* v = object->Find(key);
+  if (v == nullptr || v->type != JsonValue::Type::kString) return fallback;
+  return v->str;
+}
+
+double GetNumber(const JsonValue* object, const std::string& key,
+                 double fallback) {
+  if (object == nullptr) return fallback;
+  const JsonValue* v = object->Find(key);
+  if (v == nullptr || v->type != JsonValue::Type::kNumber) return fallback;
+  return v->number;
+}
+
+void AppendLine(std::string* out, const std::string& line) {
+  out->append(line);
+  out->push_back('\n');
+}
+
+void AppendHeaderSection(std::string* out, const JsonValue& header) {
+  AppendLine(out, "=== lead post-mortem dump ===");
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "schema:  %d",
+                static_cast<int>(GetNumber(&header, "schema_version", 0)));
+  AppendLine(out, buf);
+  const JsonValue* trigger = header.Find("trigger");
+  AppendLine(out, "cause: " + GetString(trigger, "cause", "?"));
+  const std::string detail = GetString(trigger, "detail", "");
+  if (!detail.empty()) AppendLine(out, "detail:  " + detail);
+  std::snprintf(buf, sizeof(buf), "at:      %.3f ms after start",
+                GetNumber(trigger, "ts_us", 0) / 1000.0);
+  AppendLine(out, buf);
+  const JsonValue* build = header.Find("build");
+  if (build != nullptr) {
+    std::string line = "build:   " + GetString(build, "compiler", "?");
+    const JsonValue* optimized = build->Find("optimized");
+    if (optimized != nullptr && optimized->type == JsonValue::Type::kBool) {
+      line += optimized->boolean ? ", optimized" : ", debug";
+    }
+    const JsonValue* fault = build->Find("fault_injection");
+    if (fault != nullptr && fault->type == JsonValue::Type::kBool &&
+        fault->boolean) {
+      line += ", fault-injection";
+    }
+    AppendLine(out, line);
+  }
+  const JsonValue* config = header.Find("config");
+  if (config != nullptr && !config->object.empty()) {
+    std::string line = "config: ";
+    for (const auto& [key, value] : config->object) {
+      line += ' ';
+      line += key;
+      line += '=';
+      line += value.type == JsonValue::Type::kString ? value.str : "?";
+    }
+    AppendLine(out, line);
+  }
+  const JsonValue* recorder = header.Find("recorder");
+  if (recorder != nullptr) {
+    std::snprintf(buf, sizeof(buf),
+                  "recorder: %d records (%d spans, %d logs, %d events)",
+                  static_cast<int>(GetNumber(recorder, "records", 0)),
+                  static_cast<int>(GetNumber(recorder, "spans", 0)),
+                  static_cast<int>(GetNumber(recorder, "logs", 0)),
+                  static_cast<int>(GetNumber(recorder, "events", 0)));
+    AppendLine(out, buf);
+  }
+}
+
+struct SpanRow {
+  int tid = 0;
+  uint64_t ts_us = 0;
+  uint64_t dur_us = 0;
+  std::string key;  // "category.name"
+};
+
+struct SpanAggregate {
+  uint64_t count = 0;
+  uint64_t total_us = 0;
+  int64_t self_us = 0;
+};
+
+// Self-time per span: within each thread, sort by start (ties: longer
+// first, i.e. enclosing span first) and subtract each span's duration
+// from its innermost still-open ancestor.
+void AppendTopSpansSection(std::string* out,
+                           const std::vector<SpanRow>& spans) {
+  AppendLine(out, "");
+  AppendLine(out, "--- top spans by self time ---");
+  if (spans.empty()) {
+    AppendLine(out, "(no spans recorded)");
+    return;
+  }
+  std::map<int, std::vector<const SpanRow*>> by_tid;
+  for (const SpanRow& span : spans) by_tid[span.tid].push_back(&span);
+  std::map<std::string, SpanAggregate> aggregates;
+  std::vector<int64_t> self;
+  for (auto& [tid, rows] : by_tid) {
+    std::sort(rows.begin(), rows.end(),
+              [](const SpanRow* a, const SpanRow* b) {
+                if (a->ts_us != b->ts_us) return a->ts_us < b->ts_us;
+                return a->dur_us > b->dur_us;
+              });
+    self.assign(rows.size(), 0);
+    std::vector<size_t> stack;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const SpanRow* row = rows[i];
+      self[i] = static_cast<int64_t>(row->dur_us);
+      while (!stack.empty()) {
+        const SpanRow* top = rows[stack.back()];
+        if (top->ts_us + top->dur_us <= row->ts_us) {
+          stack.pop_back();
+        } else {
+          break;
+        }
+      }
+      if (!stack.empty()) {
+        self[stack.back()] -= static_cast<int64_t>(row->dur_us);
+      }
+      stack.push_back(i);
+    }
+    for (size_t i = 0; i < rows.size(); ++i) {
+      SpanAggregate& agg = aggregates[rows[i]->key];
+      ++agg.count;
+      agg.total_us += rows[i]->dur_us;
+      agg.self_us += self[i] > 0 ? self[i] : 0;
+    }
+  }
+  std::vector<std::pair<std::string, SpanAggregate>> rows(
+      aggregates.begin(), aggregates.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.self_us > b.second.self_us;
+  });
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "%-36s %8s %12s %12s", "span", "count",
+                "total ms", "self ms");
+  AppendLine(out, buf);
+  const size_t limit = rows.size() < 12 ? rows.size() : 12;
+  for (size_t i = 0; i < limit; ++i) {
+    std::snprintf(buf, sizeof(buf), "%-36s %8llu %12.3f %12.3f",
+                  rows[i].first.c_str(),
+                  static_cast<unsigned long long>(rows[i].second.count),
+                  static_cast<double>(rows[i].second.total_us) / 1000.0,
+                  static_cast<double>(rows[i].second.self_us) / 1000.0);
+    AppendLine(out, buf);
+  }
+}
+
+// Linear interpolation within the bucket the percentile falls into,
+// against the registry's bucket bounds.
+double HistogramPercentile(const std::vector<double>& bounds,
+                           const std::vector<double>& buckets, double count,
+                           double max_value, double percentile) {
+  const double target = count * percentile;
+  double cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (cumulative + buckets[i] < target) {
+      cumulative += buckets[i];
+      continue;
+    }
+    const double lower = i == 0 ? 0 : bounds[i - 1];
+    const double upper = i < bounds.size() ? bounds[i] : max_value;
+    const double in_bucket = buckets[i];
+    if (in_bucket <= 0) return lower;
+    const double fraction = (target - cumulative) / in_bucket;
+    return lower + (upper - lower) * (fraction < 1 ? fraction : 1);
+  }
+  return max_value;
+}
+
+void AppendHistogramSection(std::string* out, const JsonValue* metrics) {
+  AppendLine(out, "");
+  AppendLine(out, "--- histogram percentiles (us) ---");
+  const JsonValue* histograms =
+      metrics != nullptr ? metrics->Find("histograms") : nullptr;
+  if (histograms == nullptr || histograms->object.empty()) {
+    AppendLine(out, "(no histograms)");
+    return;
+  }
+  char buf[224];
+  std::snprintf(buf, sizeof(buf), "%-36s %8s %10s %10s %10s %10s",
+                "histogram", "count", "p50", "p90", "p99", "max");
+  AppendLine(out, buf);
+  for (const auto& [name, histogram] : histograms->object) {
+    const double count = GetNumber(&histogram, "count", 0);
+    if (count <= 0) continue;
+    std::vector<double> bounds;
+    std::vector<double> buckets;
+    const JsonValue* bounds_json = histogram.Find("bounds");
+    const JsonValue* buckets_json = histogram.Find("buckets");
+    if (bounds_json != nullptr) {
+      for (const JsonValue& v : bounds_json->array) bounds.push_back(v.number);
+    }
+    if (buckets_json != nullptr) {
+      for (const JsonValue& v : buckets_json->array) {
+        buckets.push_back(v.number);
+      }
+    }
+    const double max_value = GetNumber(&histogram, "max", 0);
+    std::snprintf(
+        buf, sizeof(buf), "%-36s %8.0f %10.0f %10.0f %10.0f %10.0f",
+        name.c_str(), count,
+        HistogramPercentile(bounds, buckets, count, max_value, 0.50),
+        HistogramPercentile(bounds, buckets, count, max_value, 0.90),
+        HistogramPercentile(bounds, buckets, count, max_value, 0.99),
+        max_value);
+    AppendLine(out, buf);
+  }
+}
+
+void AppendTimelineSection(std::string* out,
+                           const std::vector<const JsonValue*>& instants) {
+  AppendLine(out, "");
+  AppendLine(out, "--- event timeline (logs, shed/retry/recovery/cancel) ---");
+  if (instants.empty()) {
+    AppendLine(out, "(no events recorded)");
+    return;
+  }
+  // The last 40 events lead up to the trigger; older history is in the
+  // trace section.
+  const size_t first = instants.size() > 40 ? instants.size() - 40 : 0;
+  if (first > 0) {
+    AppendLine(out,
+               "(" + std::to_string(first) + " earlier events omitted)");
+  }
+  char buf[320];
+  for (size_t i = first; i < instants.size(); ++i) {
+    const JsonValue* event = instants[i];
+    const double ts_ms = GetNumber(event, "ts", 0) / 1000.0;
+    const std::string cat = GetString(event, "cat", "?");
+    const std::string name = GetString(event, "name", "?");
+    const JsonValue* args = event->Find("args");
+    if (cat == "log") {
+      std::snprintf(buf, sizeof(buf), "[%10.3f ms] log %s:%d %s", ts_ms,
+                    GetString(args, "file", "?").c_str(),
+                    static_cast<int>(GetNumber(args, "line", 0)),
+                    GetString(args, "message", "").c_str());
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "[%10.3f ms] %s.%s value=%g detail=\"%s\"", ts_ms,
+                    cat.c_str(), name.c_str(), GetNumber(args, "value", 0),
+                    GetString(args, "detail", "").c_str());
+    }
+    AppendLine(out, buf);
+  }
+}
+
+}  // namespace
+
+bool FormatDumpReport(const std::string& dump_json, std::string* out,
+                      std::string* error) {
+  JsonValue doc;
+  if (!JsonParser(dump_json).Parse(&doc) ||
+      doc.type != JsonValue::Type::kObject) {
+    if (error != nullptr) *error = "dump does not parse as JSON";
+    return false;
+  }
+  const JsonValue* header = doc.Find("leaddump");
+  if (header == nullptr || header->type != JsonValue::Type::kObject) {
+    if (error != nullptr) {
+      *error = "not a leaddump file (missing \"leaddump\" header)";
+    }
+    return false;
+  }
+  out->clear();
+  AppendHeaderSection(out, *header);
+
+  std::vector<SpanRow> spans;
+  std::vector<const JsonValue*> instants;
+  const JsonValue* trace_events = doc.Find("traceEvents");
+  if (trace_events != nullptr) {
+    for (const JsonValue& event : trace_events->array) {
+      const std::string phase = GetString(&event, "ph", "");
+      if (phase == "X") {
+        SpanRow row;
+        row.tid = static_cast<int>(GetNumber(&event, "tid", 0));
+        row.ts_us = static_cast<uint64_t>(GetNumber(&event, "ts", 0));
+        row.dur_us = static_cast<uint64_t>(GetNumber(&event, "dur", 0));
+        row.key = GetString(&event, "cat", "?") + "." +
+                  GetString(&event, "name", "?");
+        spans.push_back(std::move(row));
+      } else if (phase == "i") {
+        instants.push_back(&event);
+      }
+    }
+  }
+  AppendTopSpansSection(out, spans);
+  AppendHistogramSection(out, doc.Find("metrics"));
+  AppendTimelineSection(out, instants);
+  return true;
+}
+
+}  // namespace lead::obs

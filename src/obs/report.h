@@ -1,0 +1,21 @@
+// Human-readable rendering of a post-mortem dump (obs/dump.h).
+//
+// One code path shared by `lead_cli obs report`, obs_test, and
+// chaos_test, so "the dump is parseable and names the right cause" is
+// validated by exactly the code operators run. The report shows the
+// machine-readable header (trigger cause, build/config provenance), the
+// top spans by self-time, latency-histogram percentiles, and the
+// shed/retry/recovery/cancel event timeline.
+#pragma once
+
+#include <string>
+
+namespace lead::obs {
+
+// Parses `dump_json` (the contents of a leaddump-*.json file) and
+// renders the report into `out`. Returns false with `error` filled when
+// the document does not parse or is not a leaddump file.
+bool FormatDumpReport(const std::string& dump_json, std::string* out,
+                      std::string* error);
+
+}  // namespace lead::obs

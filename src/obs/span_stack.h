@@ -1,0 +1,53 @@
+// Per-thread stack of open span frames, maintained by ScopedSpan whenever
+// any obs sink is enabled and read by the sampling profiler's signal
+// handler (obs/profiler_signal.cc) to attribute samples to the active
+// span category.
+//
+// Signal-safety contract: the stack is written only by its owning thread
+// and read only from a signal delivered to that same thread, so no
+// cross-thread synchronization is needed. std::atomic_signal_fence pins
+// the compiler ordering (frame words are fully written before the depth
+// store that publishes them), and `depth` is volatile so the interrupted
+// thread's last store is visible to the handler.
+#pragma once
+
+#include <atomic>
+
+namespace lead::obs::internal {
+
+inline constexpr int kSpanStackDepth = 32;
+
+struct SpanStack {
+  const char* categories[kSpanStackDepth];
+  const char* names[kSpanStackDepth];
+  // Logical depth; may exceed kSpanStackDepth (overflow frames are
+  // counted but not stored). volatile: read from a signal handler
+  // interrupting this thread.
+  volatile int depth;
+};
+
+// The calling thread's stack. Constant-initialized thread_local (defined
+// in trace.cc): no lazy-init guard, so it is safe to touch from a signal
+// handler.
+SpanStack& ThisThreadSpanStack();
+
+inline void PushSpanFrame(const char* category, const char* name) {
+  SpanStack& stack = ThisThreadSpanStack();
+  const int d = stack.depth;
+  if (d >= 0 && d < kSpanStackDepth) {
+    stack.categories[d] = category;
+    stack.names[d] = name;
+  }
+  // The frame words above must be committed before the depth store that
+  // publishes them to a signal arriving on this thread.
+  std::atomic_signal_fence(std::memory_order_release);
+  stack.depth = d + 1;
+}
+
+inline void PopSpanFrame() {
+  SpanStack& stack = ThisThreadSpanStack();
+  const int d = stack.depth;
+  if (d > 0) stack.depth = d - 1;
+}
+
+}  // namespace lead::obs::internal

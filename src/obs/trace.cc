@@ -1,5 +1,6 @@
 #include "obs/trace.h"
 
+#include <cassert>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -8,11 +9,31 @@
 
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/recorder.h"
+#include "obs/span_stack.h"
 
 namespace lead::obs {
 
 namespace internal {
-std::atomic<bool> g_trace_enabled{false};
+
+std::atomic<uint32_t> g_obs_flags{0};
+
+void SetObsFlag(uint32_t bit, bool on) {
+  if (on) {
+    g_obs_flags.fetch_or(bit, std::memory_order_release);
+  } else {
+    g_obs_flags.fetch_and(~bit, std::memory_order_release);
+  }
+}
+
+SpanStack& ThisThreadSpanStack() {
+  // Zero-initialized aggregate: constant initialization, so no TLS
+  // init guard — required for access from the profiler signal handler.
+  thread_local SpanStack t_span_stack = {};
+  return t_span_stack;
+}
+
 }  // namespace internal
 
 uint64_t NowMicros() {
@@ -21,9 +42,17 @@ uint64_t NowMicros() {
   static const std::chrono::steady_clock::time_point anchor =
       std::chrono::steady_clock::now();
   const auto elapsed = std::chrono::steady_clock::now() - anchor;
-  return static_cast<uint64_t>(
+  const uint64_t now = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
           .count());
+#ifndef NDEBUG
+  // Drift guard: steady_clock is monotonic by contract; assert it per
+  // thread in debug builds so dump timelines can never run backwards.
+  thread_local uint64_t last_now_us = 0;
+  assert(now >= last_now_us && "NowMicros went backwards");
+  last_now_us = now;
+#endif
+  return now;
 }
 
 namespace {
@@ -120,11 +149,11 @@ void Tracer::Start() {
     buffer->head.store(0, std::memory_order_relaxed);
     buffer->dropped.store(0, std::memory_order_relaxed);
   }
-  internal::g_trace_enabled.store(true, std::memory_order_release);
+  internal::SetObsFlag(internal::kTraceBit, true);
 }
 
 void Tracer::Stop() {
-  internal::g_trace_enabled.store(false, std::memory_order_release);
+  internal::SetObsFlag(internal::kTraceBit, false);
 }
 
 uint64_t Tracer::EventCount() const {
@@ -228,14 +257,23 @@ void ScopedSpan::Begin(const char* category, const char* name) {
   event_.dur_us = 0;
   event_.ts_us = NowMicros();
   active_ = true;
+  internal::PushSpanFrame(category, name);
 }
 
 void ScopedSpan::Finish() {
-  // A span that straddled Stop() is dropped: after Stop the snapshot may
-  // be read concurrently, and published slots must stay frozen.
-  if (!internal::TracingEnabled()) return;
-  event_.dur_us = NowMicros() - event_.ts_us;
-  Tracer::Global().Append(event_);
+  internal::PopSpanFrame();
+  const uint32_t flags = internal::ObsFlags();
+  if (flags == 0) return;
+  event_.dur_us = internal::MonotonicDelta(event_.ts_us, NowMicros());
+  // A span that straddled Tracer::Stop() is dropped from the trace:
+  // after Stop the snapshot may be read concurrently, and published
+  // slots must stay frozen. The flight recorder has no such freeze (its
+  // snapshots tolerate concurrent appends), so it still gets the span.
+  if ((flags & internal::kTraceBit) != 0) Tracer::Global().Append(event_);
+  if ((flags & internal::kRecorderBit) != 0) {
+    Recorder::Global().RecordSpan(event_.category, event_.name,
+                                  event_.ts_us, event_.dur_us);
+  }
 }
 
 ScopedCollection::ScopedCollection(std::string trace_out,
@@ -289,6 +327,45 @@ struct EnvCollection {
 };
 
 const EnvCollection g_env_collection;
+
+// LEAD_PROFILE=<hz> starts the sampling profiler at static-init time and
+// writes the collapsed-stack profile at exit (LEAD_PROFILE_OUT, default
+// lead_profile.collapsed; LEAD_PROFILE_MODE=wall switches to wall-clock
+// sampling). Lives here rather than in profiler.cc so the autostart is
+// linked into every binary that emits spans.
+struct EnvProfiler {
+  EnvProfiler() {
+    const char* hz = std::getenv("LEAD_PROFILE");
+    if (hz == nullptr || hz[0] == '\0') return;
+    ProfilerOptions options;
+    options.hz = static_cast<int>(std::strtol(hz, nullptr, 10));
+    const char* mode = std::getenv("LEAD_PROFILE_MODE");
+    if (mode != nullptr && std::string(mode) == "wall") {
+      options.cpu_time = false;
+    }
+    const char* out_env = std::getenv("LEAD_PROFILE_OUT");
+    out = (out_env != nullptr && out_env[0] != '\0')
+              ? out_env
+              : "lead_profile.collapsed";
+    std::string error;
+    if (StartProfiler(options, &error)) {
+      started = true;
+    } else {
+      LEAD_LOG(ERROR) << "LEAD_PROFILE not started: " << error;
+    }
+  }
+  ~EnvProfiler() {
+    if (!started || !ProfilerRunning()) return;
+    std::string error;
+    if (!StopProfiler(out, &error)) {
+      LEAD_LOG(ERROR) << "LEAD_PROFILE not written: " << error;
+    }
+  }
+  std::string out;
+  bool started = false;
+};
+
+const EnvProfiler g_env_profiler;
 
 }  // namespace
 

@@ -41,18 +41,30 @@ inline constexpr const char kCatDet[] = "det";
 inline constexpr const char kCatInfer[] = "infer";
 inline constexpr const char kCatPool[] = "pool";
 inline constexpr const char kCatIo[] = "io";
+inline constexpr const char kCatBench[] = "bench";
 
 // Microseconds since the process-wide monotonic anchor (first call).
 // Every obs timestamp — trace events, metrics timers, bench tables —
 // reads this one clock.
 uint64_t NowMicros();
 
+namespace internal {
+// Clamped elapsed time: now_us - start_us, or 0 when the inputs are out
+// of order, so a timeline built from these deltas can never go
+// backwards even if callers mix timestamps from different sources.
+inline uint64_t MonotonicDelta(uint64_t start_us, uint64_t now_us) {
+  return now_us >= start_us ? now_us - start_us : 0;
+}
+}  // namespace internal
+
 // Monotonic elapsed-time helper over NowMicros().
 class Stopwatch {
  public:
   Stopwatch() : start_us_(NowMicros()) {}
   void Reset() { start_us_ = NowMicros(); }
-  uint64_t ElapsedMicros() const { return NowMicros() - start_us_; }
+  uint64_t ElapsedMicros() const {
+    return internal::MonotonicDelta(start_us_, NowMicros());
+  }
   double ElapsedSeconds() const {
     return static_cast<double>(ElapsedMicros()) * 1e-6;
   }
@@ -78,12 +90,23 @@ struct TraceEvent {
 };
 
 namespace internal {
-// Single global enable flag so the disabled span path is one relaxed
-// load; owned by Tracer::Start/Stop.
-extern std::atomic<bool> g_trace_enabled;
-inline bool TracingEnabled() {
-  return g_trace_enabled.load(std::memory_order_relaxed);
+// Single global obs-enable word so the all-off span path stays one
+// relaxed load plus a branch. Bit kTraceBit is owned by
+// Tracer::Start/Stop, kRecorderBit by the flight recorder
+// (obs/recorder.h, on by default), kProfilerBit by the sampling
+// profiler (obs/profiler.h).
+inline constexpr uint32_t kTraceBit = 1u << 0;
+inline constexpr uint32_t kRecorderBit = 1u << 1;
+inline constexpr uint32_t kProfilerBit = 1u << 2;
+extern std::atomic<uint32_t> g_obs_flags;
+inline uint32_t ObsFlags() {
+  return g_obs_flags.load(std::memory_order_relaxed);
 }
+inline bool TracingEnabled() { return (ObsFlags() & kTraceBit) != 0; }
+inline bool AnyObsEnabled() { return ObsFlags() != 0; }
+// Sets or clears one flag bit (release, so state armed before the flip
+// is visible to threads that observe the bit).
+void SetObsFlag(uint32_t bit, bool on);
 }  // namespace internal
 
 class Tracer {
@@ -130,12 +153,14 @@ class Tracer {
       LEAD_GUARDED_BY(mutex_);
 };
 
-// Records one "X" trace event from construction to destruction. With
-// tracing disabled the constructor is a relaxed load plus a branch.
+// Records one "X" trace event from construction to destruction, feeds
+// the flight recorder (obs/recorder.h), and maintains the per-thread
+// span stack the sampling profiler attributes to. With every obs sink
+// disabled the constructor is a relaxed load plus a branch.
 class ScopedSpan {
  public:
   ScopedSpan(const char* category, const char* name) {
-    if (internal::TracingEnabled()) Begin(category, name);
+    if (internal::AnyObsEnabled()) Begin(category, name);
   }
   ~ScopedSpan() {
     if (active_) Finish();

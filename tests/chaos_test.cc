@@ -13,8 +13,10 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -31,7 +33,10 @@
 #include "core/lead.h"
 #include "eval/harness.h"
 #include "io/csv.h"
+#include "obs/dump.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "obs/report.h"
 #include "obs/trace.h"
 
 namespace lead {
@@ -443,10 +448,160 @@ TEST(ChaosWatchdogTest, OverrunningStageBumpsTheCounter) {
   SetWatchdogThresholdMillis(20);
   {
     WatchdogScope scope("chaos_test.slow_stage");
-    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    // The scanner idles at a 200 ms cadence while the threshold is 0
+    // (earlier tests reset it); outlive one full idle sleep plus the
+    // armed cadence so the overrun is observed regardless of where in
+    // the idle sleep the new threshold landed.
+    std::this_thread::sleep_for(std::chrono::milliseconds(450));
   }
   SetWatchdogThresholdMillis(0);
   EXPECT_GT(obs::GetCounter("lead.watchdog.overruns").Value(), before);
+}
+
+// ---------------------------------------------------------------------------
+// Anomaly-triggered post-mortem dumps on the real detect path.
+// ---------------------------------------------------------------------------
+
+std::set<std::string> DumpFilesIn(const std::string& dir) {
+  std::set<std::string> files;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("leaddump-", 0) == 0) files.insert(entry.path().string());
+  }
+  return files;
+}
+
+// Configures a dump directory for one test. When ci.sh passes
+// LEAD_DUMP_DIR the environment-configured directory is used as-is (so
+// the stage can inspect the file afterwards); otherwise a private temp
+// dir is created and cleaned up.
+class ScopedDumpDir {
+ public:
+  ScopedDumpDir() : prior_dir_(obs::DumpDir()) {
+    if (std::getenv("LEAD_DUMP_DIR") != nullptr && !prior_dir_.empty()) {
+      dir_ = prior_dir_;
+    } else {
+      dir_ = ::testing::TempDir() + "/chaos_dumps";
+      std::filesystem::create_directories(dir_);
+      owns_dir_ = true;
+      obs::SetDumpDir(dir_);
+    }
+    obs::SetAnomalyDumpIntervalMicros(0);  // every trigger fires
+    was_recording_ = obs::Recorder::Global().enabled();
+    obs::Recorder::Global().SetEnabled(true);
+    before_ = DumpFilesIn(dir_);
+  }
+  ~ScopedDumpDir() {
+    obs::Recorder::Global().SetEnabled(was_recording_);
+    obs::SetAnomalyDumpIntervalMicros(5'000'000);
+    obs::SetDumpDir(prior_dir_);
+    if (owns_dir_) std::filesystem::remove_all(dir_);
+  }
+
+  const std::string& dir() const { return dir_; }
+
+  // Dump files that appeared since construction.
+  std::vector<std::string> NewDumps() const {
+    std::vector<std::string> fresh;
+    for (const std::string& f : DumpFilesIn(dir_)) {
+      if (before_.count(f) == 0) fresh.push_back(f);
+    }
+    return fresh;
+  }
+
+ private:
+  std::string prior_dir_;
+  std::string dir_;
+  bool owns_dir_ = false;
+  bool was_recording_ = false;
+  std::set<std::string> before_;
+};
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// Acceptance: a deadline-expired detect run emits one self-contained
+// post-mortem dump whose trigger cause is the sticky first cause
+// (deadline), and the dump renders through the report formatter.
+TEST_F(ChaosDetectTest, DeadlineExpiredDetectEmitsParseableDump) {
+  if (!fault::Enabled()) GTEST_SKIP() << "fault injection compiled out";
+  ScopedDumpDir dumps;
+  const auto model = TrainedModel(200);
+  fault::ArmStall("io.read.stall", 1, 10'000);
+  const auto batch =
+      model->DetectStream(Count(), CsvProvider(), data_->world->poi_index());
+  fault::DisarmAll();
+  ASSERT_TRUE(batch.ok()) << batch.status();
+  ASSERT_EQ(batch->cause, CancelCause::kDeadline);
+
+  const std::vector<std::string> fresh = dumps.NewDumps();
+  ASSERT_EQ(fresh.size(), 1u)
+      << "expected exactly one dump (sticky first cause reports once)";
+  const std::string json = ReadWholeFile(fresh[0]);
+  std::string report;
+  std::string error;
+  ASSERT_TRUE(obs::FormatDumpReport(json, &report, &error)) << error;
+  EXPECT_NE(report.find("cause: deadline"), std::string::npos) << report;
+  // The header carries the stage that first observed the expiry.
+  EXPECT_NE(json.find("\"cause\":\"deadline\""), std::string::npos);
+}
+
+// Acceptance (ci.sh post-mortem stage runs this under LEAD_DUMP_DIR and
+// validates the file with `lead_cli obs report`): a stage stalled past
+// the watchdog threshold emits a dump with cause "watchdog" while the
+// stall is still in progress — no cancellation or crash required.
+TEST_F(ChaosDetectTest, StalledStageEmitsPostMortemDump) {
+  if (!fault::Enabled()) GTEST_SKIP() << "fault injection compiled out";
+  ScopedDumpDir dumps;
+  SetWatchdogThresholdMillis(50);
+  fault::ArmStall("io.read.stall", 1, 400);
+  // No deadline: the watchdog is the only anomaly detector in play.
+  const auto batch = model_->DetectStream(Count(), CsvProvider(),
+                                          data_->world->poi_index());
+  fault::DisarmAll();
+  SetWatchdogThresholdMillis(0);
+  ASSERT_TRUE(batch.ok()) << batch.status();
+
+  // The scanner thread writes the dump mid-stall; give a slow host a
+  // grace window before declaring it missing.
+  std::vector<std::string> fresh = dumps.NewDumps();
+  for (int waited_ms = 0; fresh.empty() && waited_ms < 2000;
+       waited_ms += 50) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    fresh = dumps.NewDumps();
+  }
+  ASSERT_FALSE(fresh.empty()) << "watchdog overrun produced no dump";
+  const std::string json = ReadWholeFile(fresh[0]);
+  std::string report;
+  std::string error;
+  ASSERT_TRUE(obs::FormatDumpReport(json, &report, &error)) << error;
+  EXPECT_NE(report.find("cause: watchdog"), std::string::npos) << report;
+  // The detail names the stuck stage stack.
+  EXPECT_NE(json.find("detect"), std::string::npos);
+}
+
+// The flight recorder observes the hot path by default; like the poll
+// points and watchdog scopes, it must never perturb results. Same golden
+// fixture, recorder forced on and forced off: bit-identical.
+TEST(ChaosParityTest, DetectBitIdenticalWithRecorderOnAndOff) {
+  const std::vector<std::string> expected = GoldenFileLines();
+  ASSERT_FALSE(expected.empty()) << "no golden fixture";
+  const bool was_recording = obs::Recorder::Global().enabled();
+  obs::Recorder::Global().SetEnabled(true);
+  const std::vector<std::string> with_recorder =
+      GoldenConfigLines(core::ExecMode::kEager, 4, 0);
+  obs::Recorder::Global().SetEnabled(false);
+  const std::vector<std::string> without_recorder =
+      GoldenConfigLines(core::ExecMode::kEager, 4, 0);
+  obs::Recorder::Global().SetEnabled(was_recording);
+  EXPECT_EQ(with_recorder, expected);
+  EXPECT_EQ(without_recorder, expected);
 }
 
 }  // namespace

@@ -1,0 +1,20 @@
+// signal-safety: async-signal-unsafe constructs in a file whose header
+// comment declares lead-lint: signal-scope (this comment is the marker).
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+
+namespace lead {
+
+void Handler() {
+  void* raw = std::malloc(16);
+  std::fprintf(stderr, "sampled\n");
+  std::string label = "x";
+  static std::mutex mu;
+  std::free(raw);
+  (void)label;
+  (void)mu;
+}
+
+}  // namespace lead

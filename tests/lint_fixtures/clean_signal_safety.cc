@@ -1,0 +1,14 @@
+// signal-safety: lock-free atomics and same-thread TLS reads are the
+// whole allowed vocabulary in handler code. lead-lint: signal-scope
+#include <atomic>
+#include <cstdint>
+
+namespace lead {
+
+std::atomic<uint64_t> g_samples{0};
+
+void Handler() {
+  g_samples.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace lead

@@ -1,0 +1,15 @@
+// Without a signal-scope marker the signal-safety rule stays inert:
+// ordinary code may allocate and use the standard library freely.
+#include <cstdlib>
+#include <string>
+
+namespace lead {
+
+void Ordinary() {
+  std::string label = "x";
+  void* raw = std::malloc(16);
+  std::free(raw);
+  (void)label;
+}
+
+}  // namespace lead

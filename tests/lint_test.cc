@@ -88,6 +88,26 @@ TEST_F(LintTest, EveryRuleFiresOnItsFixture) {
   ExpectViolation("bad_lock_scope.cc", "lock-scope", 10, "--lib");
   ExpectViolation("bad_poll_coverage.cc", "poll-coverage", 9, "--lib");
   ExpectViolation("bad_poll_coverage.cc", "poll-coverage", 12, "--lib");
+  ExpectViolation("bad_signal_safety.cc", "signal-safety", 11);
+  ExpectViolation("bad_signal_safety.cc", "signal-safety", 12);
+  ExpectViolation("bad_signal_safety.cc", "signal-safety", 13);
+  ExpectViolation("bad_signal_safety.cc", "signal-safety", 14);
+  ExpectViolation("bad_signal_safety.cc", "signal-safety", 15);
+}
+
+TEST_F(LintTest, SignalSafetyIsGatedByTheScopeMarkerNotTheLibFlag) {
+  std::string out;
+  // Atomics-only handler code in a marked file is clean, and a marked
+  // file may excuse provably-unreachable setup helpers per line.
+  EXPECT_EQ(LintFixture("clean_signal_safety.cc", &out), 0) << out;
+  EXPECT_EQ(LintFixture("allowed_signal_safety.cc", &out), 0) << out;
+  // The same unsafe constructs pass without the marker: the rule follows
+  // the file's declaration, not a path- or flag-based gate...
+  EXPECT_EQ(LintFixture("unmarked_signal_safety.cc", &out), 0) << out;
+  EXPECT_EQ(LintFixture("unmarked_signal_safety.cc", &out, "--lib"), 0)
+      << out;
+  // ...so the bad fixture fires even without --lib.
+  EXPECT_EQ(LintFixture("bad_signal_safety.cc", &out), 1) << out;
 }
 
 TEST_F(LintTest, NewRulesStayQuietOnCleanAndAllowedFixtures) {
@@ -197,7 +217,7 @@ TEST_F(LintTest, ListRulesCoversEveryRule) {
         "discarded-status", "raw-new", "raw-delete", "float-eq",
         "matrix-in-kernel", "cout-in-lib", "exit-in-lib", "stderr",
         "pragma-once", "io-unbounded-loop", "strategy-chunking",
-        "status-path", "lock-scope", "poll-coverage"}) {
+        "status-path", "lock-scope", "poll-coverage", "signal-safety"}) {
     EXPECT_NE(out.find(rule), std::string::npos) << "missing rule " << rule;
   }
 }

@@ -7,20 +7,27 @@
 // This file carries its own minimal recursive-descent JSON parser
 // (independent of the GeoJSON reader in src/io) — strict enough to
 // reject malformed output, small enough to audit.
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "obs/dump.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/recorder.h"
+#include "obs/report.h"
 #include "obs/trace.h"
 
 namespace lead {
@@ -416,6 +423,26 @@ TEST(MetricsTest, GaugeAndSeriesBasics) {
   EXPECT_EQ(series.dropped(), 0u);
 }
 
+TEST(MetricsTest, JsonEscapesHostileMetricNames) {
+  // A metric name carrying quote, backslash, newline, and a raw control
+  // byte must not corrupt the registry export: the JSON still parses and
+  // the unescaped name round-trips as the key.
+  const std::string hostile = "obs_test.esc\"quote\\back\nline\x01";
+  obs::Counter& counter = obs::GetCounter(hostile);
+  counter.Reset();
+  counter.Add(7);
+  JsonValue doc;
+  const std::string json = obs::MetricsRegistry::Global().ToJson();
+  ASSERT_TRUE(ParseJson(json, &doc)) << json.substr(0, 400);
+  // Our parser folds \uXXXX escapes to '?', so look the key up with the
+  // control byte folded the same way.
+  std::string folded = hostile;
+  folded.back() = '?';
+  ASSERT_TRUE(doc.At("counters").Has(folded)) << json.substr(0, 400);
+  EXPECT_EQ(doc.At("counters").At(folded).number, 7.0);
+  counter.Reset();
+}
+
 TEST(MetricsTest, JsonExportParsesAndCarriesValues) {
   obs::GetCounter("obs_test.json.counter").Reset();
   obs::GetCounter("obs_test.json.counter").Add(3);
@@ -571,6 +598,331 @@ TEST(ScopedCollectionTest, EmptyPathsAreInert) {
     EXPECT_FALSE(obs::Tracer::Global().enabled());
   }
   EXPECT_FALSE(obs::Tracer::Global().enabled());
+}
+
+// ---------------------------------------------------------------------------
+// Monotonic time.
+
+TEST(TimeTest, MonotonicDeltaClampsBackwardMotion) {
+  EXPECT_EQ(obs::internal::MonotonicDelta(100, 150), 50u);
+  EXPECT_EQ(obs::internal::MonotonicDelta(100, 100), 0u);
+  // A clock stepping backwards must clamp to zero, not wrap to ~2^64.
+  EXPECT_EQ(obs::internal::MonotonicDelta(150, 100), 0u);
+}
+
+TEST(TimeTest, NowMicrosNeverGoesBackwards) {
+  // Also exercises NowMicros' own debug monotonicity assert on a tight
+  // call loop.
+  uint64_t last = obs::NowMicros();
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t now = obs::NowMicros();
+    ASSERT_GE(now, last);
+    last = now;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder.
+
+// Restores the recorder's enabled state even when a test fails mid-way.
+class RecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = obs::Recorder::Global().enabled();
+    obs::Recorder::Global().SetEnabled(true);
+  }
+  void TearDown() override {
+    obs::Recorder::Global().SetEnabled(was_enabled_);
+  }
+  bool was_enabled_ = false;
+};
+
+TEST_F(RecorderTest, CapturesSpansLogsAndEvents) {
+  {
+    obs::ScopedSpan span(obs::kCatDet, "recorder_probe_span");
+  }
+  LEAD_LOG(WARN) << "recorder probe log " << 42;
+  obs::RecordEvent("recorder_probe", "event", 2.5, "probe-detail");
+
+  const std::vector<obs::RecorderRecord> records =
+      obs::Recorder::Global().Snapshot();
+  const obs::RecorderRecord* span = nullptr;
+  const obs::RecorderRecord* log = nullptr;
+  const obs::RecorderRecord* event = nullptr;
+  for (const obs::RecorderRecord& r : records) {
+    if (r.kind == obs::RecordKind::kSpan && r.name != nullptr &&
+        std::string(r.name) == "recorder_probe_span") {
+      span = &r;
+    }
+    if (r.kind == obs::RecordKind::kLog &&
+        r.text.find("recorder probe log 42") != std::string::npos) {
+      log = &r;
+    }
+    if (r.kind == obs::RecordKind::kEvent && r.category != nullptr &&
+        std::string(r.category) == "recorder_probe") {
+      event = &r;
+    }
+  }
+  ASSERT_NE(span, nullptr);
+  EXPECT_STREQ(span->category, obs::kCatDet);
+  EXPECT_GT(span->ts_us, 0u);
+  ASSERT_NE(log, nullptr);
+  EXPECT_NE(std::string(log->category).find("obs_test"), std::string::npos);
+  EXPECT_GT(log->line, 0);
+  ASSERT_NE(event, nullptr);
+  EXPECT_EQ(event->value, 2.5);
+  EXPECT_EQ(event->text, "probe-detail");
+  EXPECT_GT(obs::Recorder::Global().TotalAppended(), 0u);
+}
+
+TEST_F(RecorderTest, WrapAroundKeepsNewestRecords) {
+  // Overfill this thread's ring by ~50%: the snapshot must hold exactly
+  // the newest records, contiguous to the end. A full ring surfaces
+  // capacity - 1 of them — the slot the *next* append would overwrite is
+  // always discarded, because a snapshot cannot tell an idle writer from
+  // one caught mid-overwrite before publishing the head.
+  const int total = static_cast<int>(obs::kRecorderRingRecords) + 952;
+  for (int i = 0; i < total; ++i) {
+    obs::RecordEvent("wraptest", "tick", static_cast<double>(i), nullptr);
+  }
+  std::vector<int> values;
+  for (const obs::RecorderRecord& r : obs::Recorder::Global().Snapshot()) {
+    if (r.kind == obs::RecordKind::kEvent && r.category != nullptr &&
+        std::string(r.category) == "wraptest") {
+      values.push_back(static_cast<int>(r.value));
+    }
+  }
+  ASSERT_EQ(values.size(), obs::kRecorderRingRecords - 1);
+  std::sort(values.begin(), values.end());
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(values[i], 953 + static_cast<int>(i));
+  }
+  EXPECT_EQ(values.back(), total - 1);
+}
+
+TEST_F(RecorderTest, ConcurrentSnapshotSeesNoTornRecords) {
+  // A writer laps its ring while the main thread snapshots continuously:
+  // every surfaced record must be internally consistent (text matches
+  // value) — the discard window around the head hides in-flight
+  // overwrites. Run under TSan, this is also the recorder's data-race
+  // proof.
+  std::atomic<bool> done{false};
+  const int laps = static_cast<int>(obs::kRecorderRingRecords) * 4;
+  std::thread writer([&done, laps] {
+    for (int i = 0; i < laps; ++i) {
+      std::string detail = "payload-" + std::to_string(i);
+      obs::RecordEvent("torntest", "tick", static_cast<double>(i),
+                       detail.c_str());
+    }
+    done.store(true, std::memory_order_release);
+  });
+  auto verify = [](int* inspected) {
+    for (const obs::RecorderRecord& r : obs::Recorder::Global().Snapshot()) {
+      if (r.kind != obs::RecordKind::kEvent || r.category == nullptr ||
+          std::string(r.category) != "torntest") {
+        continue;
+      }
+      ++*inspected;
+      const std::string expected =
+          "payload-" + std::to_string(static_cast<int>(r.value));
+      ASSERT_EQ(r.text, expected) << "torn record surfaced by snapshot";
+    }
+  };
+  // While the writer laps, a snapshot may surface few records (or none:
+  // the discard window covers everything a lapping writer might be
+  // rewriting) — but whatever it does surface must be consistent.
+  int racing = 0;
+  while (!done.load(std::memory_order_acquire)) {
+    verify(&racing);
+    if (::testing::Test::HasFatalFailure()) break;
+  }
+  writer.join();
+  // Quiescent again, the final snapshot must surface the newest history.
+  int settled = 0;
+  verify(&settled);
+  EXPECT_GE(settled,
+            static_cast<int>(obs::kRecorderRingRecords) - 1);
+  SUCCEED() << racing << " records inspected mid-race";
+}
+
+// ---------------------------------------------------------------------------
+// Post-mortem dumps.
+
+// Points dumps at a fresh temp dir; restores dir, interval, and recorder
+// state afterwards so later tests see the environment-configured setup.
+class DumpTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    prior_dir_ = obs::DumpDir();
+    was_enabled_ = obs::Recorder::Global().enabled();
+    obs::Recorder::Global().SetEnabled(true);
+    dir_ = ::testing::TempDir() + "/obs_dumps_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    obs::SetDumpDir(dir_);
+  }
+  void TearDown() override {
+    obs::SetDumpDir(prior_dir_);
+    obs::SetAnomalyDumpIntervalMicros(5'000'000);
+    obs::Recorder::Global().SetEnabled(was_enabled_);
+    std::filesystem::remove_all(dir_);
+  }
+
+  size_t CountDumps() const {
+    size_t count = 0;
+    for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("leaddump-", 0) == 0) ++count;
+    }
+    return count;
+  }
+
+  std::string dir_;
+  std::string prior_dir_;
+  bool was_enabled_ = false;
+};
+
+TEST_F(DumpTest, RequestDumpWritesSelfContainedPerfettoLoadableJson) {
+  {
+    obs::ScopedSpan span(obs::kCatDet, "dump_probe_span");
+  }
+  obs::RecordEvent("dumptest", "marker", 1.0, "dump-probe");
+
+  std::string path;
+  std::string error;
+  ASSERT_TRUE(obs::RequestDump("manual", "unit-test", &path, &error))
+      << error;
+  EXPECT_NE(path.find("leaddump-"), std::string::npos);
+
+  JsonValue doc;
+  const std::string json = ReadFile(path);
+  ASSERT_TRUE(ParseJson(json, &doc)) << json.substr(0, 400);
+  // Machine-readable header.
+  const JsonValue& header = doc.At("leaddump");
+  EXPECT_EQ(header.At("schema_version").number,
+            static_cast<double>(obs::kDumpSchemaVersion));
+  EXPECT_EQ(header.At("trigger").At("cause").string, "manual");
+  EXPECT_EQ(header.At("trigger").At("detail").string, "unit-test");
+  EXPECT_TRUE(header.Has("build"));
+  EXPECT_TRUE(header.Has("recorder"));
+  // Full metrics snapshot rides along.
+  EXPECT_TRUE(doc.At("metrics").Has("counters"));
+  // Perfetto-loadable body: traceEvents with our span and instant.
+  EXPECT_EQ(doc.At("displayTimeUnit").string, "ms");
+  bool found_span = false;
+  bool found_event = false;
+  for (const JsonValue& event : doc.At("traceEvents").array) {
+    if (event.At("name").string == "dump_probe_span" &&
+        event.At("ph").string == "X") {
+      found_span = true;
+    }
+    if (event.At("name").string == "marker" &&
+        event.At("cat").string == "dumptest") {
+      found_event = true;
+      EXPECT_EQ(event.At("ph").string, "i");
+      EXPECT_EQ(event.At("args").At("detail").string, "dump-probe");
+    }
+  }
+  EXPECT_TRUE(found_span);
+  EXPECT_TRUE(found_event);
+
+  // The CLI-facing report renders it and names the trigger cause.
+  std::string report;
+  ASSERT_TRUE(obs::FormatDumpReport(json, &report, &error)) << error;
+  EXPECT_NE(report.find("cause: manual"), std::string::npos) << report;
+  EXPECT_NE(report.find("dump_probe_span"), std::string::npos) << report;
+}
+
+TEST_F(DumpTest, AnomalyTriggersAreRateLimitedAndGatedOnDir) {
+  obs::SetAnomalyDumpIntervalMicros(0);  // every trigger fires
+  obs::TriggerAnomalyDump("deadline", "stage-one");
+  obs::TriggerAnomalyDump("watchdog", "stage-two");
+  EXPECT_EQ(CountDumps(), 2u);
+  // A long interval swallows the next trigger...
+  obs::SetAnomalyDumpIntervalMicros(3'600'000'000ull);
+  obs::TriggerAnomalyDump("deadline", "suppressed");
+  EXPECT_EQ(CountDumps(), 2u);
+  // ...and with no dump dir the trigger is a hard no-op.
+  obs::SetAnomalyDumpIntervalMicros(0);
+  obs::SetDumpDir("");
+  EXPECT_FALSE(obs::DumpsEnabled());
+  obs::TriggerAnomalyDump("deadline", "disabled");
+  EXPECT_EQ(CountDumps(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Sampling profiler.
+
+#if defined(__unix__) || defined(__APPLE__)
+TEST(ProfilerTest, CollapsedProfileAttributesSamplesToActiveSpans) {
+  const std::string out_path = ::testing::TempDir() + "/obs_test.collapsed";
+  std::filesystem::remove(out_path);
+
+  obs::ProfilerOptions options;
+  options.hz = 250;
+  options.cpu_time = true;
+  std::string error;
+  ASSERT_TRUE(obs::StartProfiler(options, &error)) << error;
+  EXPECT_TRUE(obs::ProfilerRunning());
+  EXPECT_FALSE(obs::StartProfiler(options, &error));  // already running
+
+  {
+    // Burn CPU inside a span so SIGPROF lands with the span stack live.
+    obs::ScopedSpan span(obs::kCatDet, "profile_burn");
+    volatile double sink = 0.0;
+    const uint64_t start = obs::NowMicros();
+    while (obs::NowMicros() - start < 400000) {
+      for (int i = 0; i < 1000; ++i) sink = sink + static_cast<double>(i);
+    }
+  }
+
+  ASSERT_TRUE(obs::StopProfiler(out_path, &error)) << error;
+  EXPECT_FALSE(obs::ProfilerRunning());
+
+  // Collapsed-stack format: "lead;cat.name count" per line.
+  std::ifstream in(out_path);
+  ASSERT_TRUE(in.good());
+  uint64_t total = 0;
+  uint64_t burn = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    ASSERT_EQ(line.rfind("lead", 0), 0u) << line;
+    const uint64_t count = std::strtoull(line.c_str() + space + 1,
+                                         nullptr, 10);
+    total += count;
+    if (line.find("det.profile_burn") != std::string::npos) burn += count;
+  }
+  if (total < 10) {
+    GTEST_SKIP() << "timer delivered only " << total
+                 << " samples; host timer too coarse to judge attribution";
+  }
+  // The burn loop owns the process' CPU time, so the span should own the
+  // overwhelming share of samples.
+  EXPECT_GE(burn * 10, total * 8)
+      << "only " << burn << "/" << total << " samples inside profile_burn";
+  std::filesystem::remove(out_path);
+}
+#endif  // defined(__unix__) || defined(__APPLE__)
+
+// ---------------------------------------------------------------------------
+// Dump report parsing.
+
+TEST(ReportTest, RejectsNonDumpInput) {
+  std::string report;
+  std::string error;
+  EXPECT_FALSE(obs::FormatDumpReport("{}", &report, &error));
+  EXPECT_FALSE(error.empty());
+  error.clear();
+  EXPECT_FALSE(obs::FormatDumpReport("not json at all", &report, &error));
+  EXPECT_FALSE(error.empty());
+  error.clear();
+  EXPECT_FALSE(
+      obs::FormatDumpReport("{\"traceEvents\": []}", &report, &error));
+  EXPECT_FALSE(error.empty());
 }
 
 }  // namespace

@@ -79,6 +79,8 @@ constexpr RuleInfo kRules[] = {
      "naked .lock()/.unlock() outside RAII in library code"},
     {"poll-coverage",
      "unbounded streaming loop in src/core with no cancellation poll"},
+    {"signal-safety",
+     "async-signal-unsafe construct in a signal-scope-marked file"},
 };
 
 bool IsKnownRule(const std::string& name) {
@@ -105,6 +107,11 @@ struct LexedFile {
   // line -> rules allowed on that line via an allow-marker comment.
   std::map<int, std::set<std::string>> allowed;
   bool has_pragma_once = false;
+  // A comment anywhere in the file declared the signal-scope marker
+  // (the words `lead-lint:` and `signal-scope` adjacent; not spelled out
+  // here so this file does not mark itself): the whole file may run
+  // inside a signal handler, so signal-safety applies to every token.
+  bool signal_scope = false;
 };
 
 bool IsIdentStart(char c) {
@@ -115,8 +122,14 @@ bool IsIdentChar(char c) {
 }
 bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
 
-// Parses an allow marker (kMarker below) out of a comment's text.
+// Parses an allow marker (kMarker below) out of a comment's text; also
+// recognizes the file-scope `lead-lint:` `signal-scope` declaration
+// (spelled as two adjacent words in real code) that arms the
+// signal-safety rule for the whole file.
 void ParseAllowMarker(const std::string& comment, int line, LexedFile* out) {
+  if (comment.find("lead-lint: signal-scope") != std::string::npos) {
+    out->signal_scope = true;
+  }
   const std::string kMarker = "lead-lint: allow(";
   size_t pos = comment.find(kMarker);
   if (pos == std::string::npos) return;
@@ -335,6 +348,7 @@ class FileLinter {
       }
       if (io_rules_) CheckIoUnboundedLoop(i);
       if (core_rules_) CheckPollCoverage(i);
+      if (lexed_->signal_scope) CheckSignalSafety(i);
     }
     CheckStatusPaths();
     if (IsHeader() && !lexed_->has_pragma_once) {
@@ -870,6 +884,50 @@ class FileLinter {
            "naked ." + Tok(i).text +
                "() outside an RAII guard; hold the mutex through MutexLock "
                "(common/annotate.h)");
+  }
+
+  // --- signal safety ------------------------------------------------------
+
+  // A file whose comments carry the signal-scope marker (see LexedFile)
+  // declares that its code may run inside a signal handler interrupting
+  // arbitrary threads (obs/profiler_signal.cc). POSIX async-signal-safety
+  // then forbids anything that can take the allocator lock, a mutex, or
+  // the stdio lock: heap allocation (including std::string and the
+  // containers), locks, stdio, and the LEAD_LOG/LEAD_CHECK macros (they
+  // allocate and lock the sink). Only lock-free atomics and same-thread
+  // TLS reads are safe. The rule is gated by the marker, not by --lib.
+  void CheckSignalSafety(size_t i) {
+    static const std::set<std::string> kBanned = {
+        "malloc",      "calloc",        "realloc",     "free",
+        "printf",      "fprintf",       "sprintf",     "snprintf",
+        "vsnprintf",   "puts",          "fputs",       "fwrite",
+        "fopen",       "fclose",        "fflush",      "syslog",
+        "MutexLock",   "lock_guard",    "unique_lock", "scoped_lock",
+        "mutex",       "shared_mutex",  "condition_variable",
+        "string",      "vector",        "deque",       "map",
+        "unordered_map", "make_unique", "make_shared", "ostringstream",
+        "stringstream"};
+    if (Tok(i).kind != Token::kIdent) return;
+    const std::string& t = Tok(i).text;
+    if (t == "new" || t == "delete") {
+      if (PrevIs(i, "operator") || PrevIs(i, "=")) return;
+      Report(Tok(i).line, "signal-safety",
+             "raw " + t +
+                 " in signal-scope code can deadlock on the allocator lock "
+                 "when the handler interrupts an allocation");
+      return;
+    }
+    if (t.rfind("LEAD_LOG", 0) == 0 || t.rfind("LEAD_CHECK", 0) == 0) {
+      Report(Tok(i).line, "signal-safety",
+             t + " allocates and locks the log sink; signal-scope code "
+                 "cannot log");
+      return;
+    }
+    if (!kBanned.count(t) || IsMemberAccess(i)) return;
+    Report(Tok(i).line, "signal-safety",
+           "'" + t +
+               "' is not async-signal-safe; signal-scope code may only use "
+               "lock-free atomics and same-thread TLS reads");
   }
 
   // --- poll coverage (src/core streaming paths) ---------------------------
